@@ -1,0 +1,522 @@
+(* Command-line driver for the statistical timing analyzer.
+
+   Mirrors the paper's program: read a circuit (a built-in ISCAS85
+   substitute, or a .bench file with an optional DEF placement), run the
+   statistical methodology, and report delay PDFs, rankings and tables. *)
+
+open Cmdliner
+module Iscas85 = Ssta_circuit.Iscas85
+module Bench_format = Ssta_circuit.Bench_format
+module Def_format = Ssta_circuit.Def_format
+module Placement = Ssta_circuit.Placement
+module Netlist = Ssta_circuit.Netlist
+module Verilog = Ssta_circuit.Verilog
+module Spef = Ssta_circuit.Spef
+module Sensitivity = Ssta_tech.Sensitivity
+module Convexity = Ssta_tech.Convexity
+module Elmore = Ssta_tech.Elmore
+module Config = Ssta_core.Config
+module Methodology = Ssta_core.Methodology
+module Report = Ssta_core.Report
+module Ranking = Ssta_core.Ranking
+module Path_analysis = Ssta_core.Path_analysis
+module Monte_carlo = Ssta_core.Monte_carlo
+module Block_based = Ssta_core.Block_based
+module Quality_sweep = Ssta_core.Quality_sweep
+module Yield = Ssta_core.Yield
+
+let load_circuit ?verilog ~bench ~def name =
+  let from_file c =
+    let pl =
+      match def with
+      | Some def_path ->
+          Def_format.placement_of (Def_format.parse_file def_path) c
+      | None -> Placement.place c
+    in
+    (c, pl)
+  in
+  match bench, verilog with
+  | Some path, _ -> from_file (Bench_format.parse_file path)
+  | None, Some path -> from_file (Verilog.parse_file path)
+  | None, None -> (
+      match Iscas85.by_name name with
+      | Some spec -> Iscas85.build_placed spec
+      | None ->
+          Fmt.failwith
+            "unknown circuit %S (expected one of %s, or use --bench/--verilog \
+             FILE)"
+            name
+            (String.concat ", " Iscas85.names))
+
+let config_of ~quality_intra ~quality_inter ~confidence ~corner_k ~max_paths
+    ~inter_fraction ~shape =
+  let c = Config.default in
+  let c = Config.with_quality c ~intra:quality_intra ~inter:quality_inter in
+  let c = Config.with_confidence c confidence in
+  let c = Config.with_inter_shape c shape in
+  let c = { c with Config.corner_k; max_paths } in
+  match inter_fraction with
+  | None -> c
+  | Some f -> Config.with_budget_split c ~inter_fraction:f
+
+(* Shared options *)
+let circuit_arg =
+  Arg.(value & pos 0 string "c432" & info [] ~docv:"CIRCUIT"
+         ~doc:"Built-in benchmark name (c432 .. c7552).")
+
+let bench_opt =
+  Arg.(value & opt (some file) None & info [ "bench" ] ~docv:"FILE"
+         ~doc:"Read the circuit from an ISCAS85 .bench file instead.")
+
+let verilog_opt =
+  Arg.(value & opt (some file) None & info [ "verilog" ] ~docv:"FILE"
+         ~doc:"Read the circuit from a structural Verilog file instead.")
+
+let def_opt =
+  Arg.(value & opt (some file) None & info [ "def" ] ~docv:"FILE"
+         ~doc:"Read gate (x,y) coordinates from a DEF file.")
+
+let quality_intra_opt =
+  Arg.(value & opt int 100 & info [ "quality-intra" ] ~docv:"N"
+         ~doc:"Intra-PDF discretization (paper: 100).")
+
+let quality_inter_opt =
+  Arg.(value & opt int 50 & info [ "quality-inter" ] ~docv:"N"
+         ~doc:"Inter-PDF discretization (paper: 50).")
+
+let confidence_opt =
+  Arg.(value & opt float 0.05 & info [ "c"; "confidence" ] ~docv:"C"
+         ~doc:"Confidence constant: analyze paths within C*sigma_C.")
+
+let corner_k_opt =
+  Arg.(value & opt float Ssta_tech.Corner.default_k
+       & info [ "corner-sigma" ] ~docv:"K"
+           ~doc:"Worst-case corner multiplier (sigmas).")
+
+let max_paths_opt =
+  Arg.(value & opt int 20_000 & info [ "max-paths" ] ~docv:"N"
+         ~doc:"Safety cap on near-critical path enumeration.")
+
+let inter_fraction_opt =
+  Arg.(value & opt (some float) None & info [ "inter-fraction" ] ~docv:"F"
+         ~doc:"Give layer 0 (inter-die) this fraction of the variance; \
+               the rest splits equally over the intra layers.")
+
+let shape_opt =
+  let shape_conv =
+    Arg.enum
+      (List.map
+         (fun sh -> (Ssta_prob.Shape.name sh, sh))
+         Ssta_prob.Shape.all)
+  in
+  Arg.(value & opt shape_conv Ssta_prob.Shape.Gaussian
+       & info [ "shape" ] ~docv:"SHAPE"
+           ~doc:"Distribution shape of the inter-die RVs (gaussian, \
+                 uniform, triangular).")
+
+let wire_opt =
+  Arg.(value & flag & info [ "wires" ]
+         ~doc:"Use the placement-aware interconnect loading model.")
+
+let spef_opt =
+  Arg.(value & opt (some file) None & info [ "spef" ] ~docv:"FILE"
+         ~doc:"Annotate net capacitances from a SPEF file.")
+
+let seed_opt =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Random seed for Monte-Carlo commands.")
+
+(* run *)
+let run_cmd =
+  let action name bench verilog def spef qi qj c k mp inter_fraction shape
+      wires verbose =
+    let circuit, placement = load_circuit ?verilog ~bench ~def name in
+    let config =
+      config_of ~quality_intra:qi ~quality_inter:qj ~confidence:c ~corner_k:k
+        ~max_paths:mp ~inter_fraction ~shape
+    in
+    let wire = if wires then Some Ssta_tech.Wire.default else None in
+    let wire_caps =
+      Option.map (fun path -> Spef.apply (Spef.parse_file path) circuit) spef
+    in
+    let m = Methodology.run ~config ~placement ?wire ?wire_caps circuit in
+    Report.pp_table2_header Fmt.stdout ();
+    Report.pp_table2_row Fmt.stdout (Report.table2_row m);
+    if verbose then begin
+      let d = m.Methodology.det_critical in
+      Fmt.pr "deterministic critical path: delay %.3f ps, %d gates@."
+        (Elmore.ps d.Path_analysis.det_delay)
+        d.Path_analysis.gate_count;
+      Fmt.pr "  intra sigma %.3f ps, inter sigma %.3f ps, total %.3f ps@."
+        (Elmore.ps d.Path_analysis.intra_sigma)
+        (Elmore.ps d.Path_analysis.inter_sigma)
+        (Elmore.ps d.Path_analysis.std);
+      Fmt.pr "  probabilistic mean shift %+.4f ps (nonlinearity)@."
+        (Elmore.ps (d.Path_analysis.mean -. d.Path_analysis.det_delay));
+      Fmt.pr "rank correlation (det vs prob): %.4f; max rank change: %d@."
+        (Ranking.rank_correlation m.Methodology.ranked)
+        (Ranking.max_rank_change m.Methodology.ranked);
+      let top = Int.min 10 (Array.length m.Methodology.ranked) in
+      Fmt.pr "top %d paths by 3-sigma point:@." top;
+      for i = 0 to top - 1 do
+        let r = m.Methodology.ranked.(i) in
+        Fmt.pr "  prob#%-4d det#%-4d 3sig %.3f ps mean %.3f ps gates %d@."
+          r.Ranking.prob_rank r.Ranking.det_rank
+          (Elmore.ps r.Ranking.analysis.Path_analysis.confidence_point)
+          (Elmore.ps r.Ranking.analysis.Path_analysis.mean)
+          r.Ranking.analysis.Path_analysis.gate_count
+      done
+    end
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print path details.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run the full statistical methodology.")
+    Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
+          $ spef_opt $ quality_intra_opt $ quality_inter_opt $ confidence_opt
+          $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
+          $ wire_opt $ verbose)
+
+(* table2 *)
+let table2_cmd =
+  let action only mp =
+    let specs =
+      match only with
+      | [] -> Iscas85.all
+      | names ->
+          List.filter_map Iscas85.by_name names
+    in
+    Report.pp_table2_header Fmt.stdout ();
+    List.iter
+      (fun (spec : Iscas85.spec) ->
+        let circuit, placement = Iscas85.build_placed spec in
+        let config =
+          Config.with_confidence Config.default
+            spec.Iscas85.paper.Iscas85.confidence
+        in
+        let config = { config with Config.max_paths = mp } in
+        let m = Methodology.run ~config ~placement circuit in
+        Report.pp_table2_row Fmt.stdout (Report.table2_row m))
+      specs
+  in
+  let only =
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME"
+           ~doc:"Restrict to the given benchmarks (repeatable).")
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2 over the benchmark suite.")
+    Term.(const action $ only $ max_paths_opt)
+
+(* table3 *)
+let table3_cmd =
+  let action name mp c =
+    let circuit, placement = load_circuit ~bench:None ~def:None name in
+    Report.pp_table3_header Fmt.stdout ();
+    List.iter
+      (fun (scenario, inter_fraction) ->
+        let config =
+          Config.with_budget_split (Config.with_confidence Config.default c)
+            ~inter_fraction
+        in
+        let config = { config with Config.max_paths = mp } in
+        let m = Methodology.run ~config ~placement circuit in
+        Report.pp_table3_row Fmt.stdout
+          (Report.table3_row ~scenario ~inter_fraction m))
+      [ ("only intra-die", 0.0); ("50% inter, 50% intra", 0.5);
+        ("75% inter, 25% intra", 0.75) ]
+  in
+  let c =
+    Arg.(value & opt float 0.2 & info [ "c"; "confidence" ] ~docv:"C"
+           ~doc:"Confidence constant for the path counts.")
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Regenerate the inter/intra split study.")
+    Term.(const action $ circuit_arg $ max_paths_opt $ c)
+
+(* sensitivity *)
+let sensitivity_cmd =
+  let action () = Sensitivity.pp_table Fmt.stdout (Sensitivity.table1 ()) in
+  Cmd.v (Cmd.info "sensitivity" ~doc:"Regenerate Table 1 (delay sensitivities).")
+    Term.(const action $ const ())
+
+(* convexity *)
+let convexity_cmd =
+  let action () =
+    Convexity.pp_table Fmt.stdout
+      (List.map Convexity.analyze Sensitivity.table1_gates)
+  in
+  Cmd.v (Cmd.info "convexity" ~doc:"Check the Section 2.5 convexity claim.")
+    Term.(const action $ const ())
+
+(* sweep *)
+let sweep_cmd =
+  let action name bench def =
+    let circuit, _ = load_circuit ~bench ~def name in
+    let sweep = Quality_sweep.run circuit in
+    Quality_sweep.pp Fmt.stdout sweep;
+    let k = Quality_sweep.knee sweep in
+    Fmt.pr "knee: Qintra=%d Qinter=%d (err %.4f%%, %.4f s)@."
+      k.Quality_sweep.quality_intra k.Quality_sweep.quality_inter
+      k.Quality_sweep.error_pct k.Quality_sweep.runtime_s
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"QUALITY accuracy/run-time trade-off study.")
+    Term.(const action $ circuit_arg $ bench_opt $ def_opt)
+
+(* mc *)
+let mc_cmd =
+  let action name samples seed =
+    let circuit, placement = load_circuit ~bench:None ~def:None name in
+    let sta = Ssta_timing.Sta.analyze circuit in
+    let ctx =
+      Path_analysis.context Config.default sta.Ssta_timing.Sta.graph placement
+    in
+    let a = Path_analysis.analyze ctx sta.Ssta_timing.Sta.critical_path in
+    let sampler =
+      Monte_carlo.sampler Config.default sta.Ssta_timing.Sta.graph placement
+    in
+    let rng = Ssta_prob.Rng.create seed in
+    let v = Monte_carlo.validate_path ~n:samples sampler rng a in
+    Fmt.pr "critical path of %s, %d exact Monte-Carlo samples:@." name samples;
+    Fmt.pr "  analytic: mean %.3f ps, std %.3f ps@."
+      (Elmore.ps a.Path_analysis.mean)
+      (Elmore.ps a.Path_analysis.std);
+    Fmt.pr "  sampled : mean %.3f ps, std %.3f ps@."
+      (Elmore.ps v.Monte_carlo.sampled.Ssta_prob.Stats.mean)
+      (Elmore.ps v.Monte_carlo.sampled.Ssta_prob.Stats.std);
+    Fmt.pr "  |mean err| %.4f ps, |std err| %.4f ps, KS %.4f@."
+      (Elmore.ps v.Monte_carlo.mean_err)
+      (Elmore.ps v.Monte_carlo.std_err)
+      v.Monte_carlo.ks
+  in
+  let samples =
+    Arg.(value & opt int 20_000 & info [ "n" ] ~docv:"N"
+           ~doc:"Number of Monte-Carlo samples.")
+  in
+  Cmd.v (Cmd.info "mc" ~doc:"Validate the analytic path PDF against exact \
+                             Monte-Carlo sampling.")
+    Term.(const action $ circuit_arg $ samples $ seed_opt)
+
+(* block *)
+let block_cmd =
+  let action name samples seed =
+    let circuit, placement = load_circuit ~bench:None ~def:None name in
+    let bb = Block_based.analyze ~placement circuit in
+    Fmt.pr "block-based (Clark) circuit arrival: mean %.3f ps, std %.3f ps, \
+            3-sigma %.3f ps (%.3f s)@."
+      (Elmore.ps bb.Block_based.mean)
+      (Elmore.ps bb.Block_based.std)
+      (Elmore.ps bb.Block_based.confidence_point)
+      bb.Block_based.runtime_s;
+    let sta = Ssta_timing.Sta.analyze circuit in
+    let sampler =
+      Monte_carlo.sampler Config.default sta.Ssta_timing.Sta.graph placement
+    in
+    let rng = Ssta_prob.Rng.create seed in
+    let mc = Monte_carlo.circuit_delay_samples sampler ~n:samples rng in
+    let s = Ssta_prob.Stats.summarize mc in
+    Fmt.pr "Monte-Carlo reference (%d dies): mean %.3f ps, std %.3f ps, \
+            3-sigma %.3f ps@."
+      samples
+      (Elmore.ps s.Ssta_prob.Stats.mean)
+      (Elmore.ps s.Ssta_prob.Stats.std)
+      (Elmore.ps (Ssta_prob.Stats.sigma_point mc 3.0))
+  in
+  let samples =
+    Arg.(value & opt int 2_000 & info [ "n" ] ~docv:"N"
+           ~doc:"Number of Monte-Carlo dies.")
+  in
+  Cmd.v (Cmd.info "block" ~doc:"Block-based SSTA baseline vs Monte-Carlo.")
+    Term.(const action $ circuit_arg $ samples $ seed_opt)
+
+(* report *)
+let report_cmd =
+  let action name bench verilog def top =
+    let circuit, placement = load_circuit ?verilog ~bench ~def name in
+    let m = Methodology.run ~placement circuit in
+    let shown = Int.min top (Array.length m.Methodology.ranked) in
+    for i = 0 to shown - 1 do
+      let r = m.Methodology.ranked.(i) in
+      Fmt.pr "@.path %d of %d (prob rank %d, det rank %d):@." (i + 1) shown
+        r.Ranking.prob_rank r.Ranking.det_rank;
+      Report.pp_path_report Fmt.stdout
+        m.Methodology.sta.Ssta_timing.Sta.graph r.Ranking.analysis
+    done
+  in
+  let top =
+    Arg.(value & opt int 3 & info [ "top" ] ~docv:"K"
+           ~doc:"How many paths to report (probabilistic rank order).")
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Per-gate timing report of the top paths.")
+    Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt $ top)
+
+(* yield *)
+let yield_cmd =
+  let action name samples seed target_yield =
+    let circuit, placement = load_circuit ~bench:None ~def:None name in
+    let m = Methodology.run ~placement circuit in
+    let d = m.Methodology.det_critical in
+    let pdf =
+      m.Methodology.prob_critical.Ranking.analysis.Path_analysis.total_pdf
+    in
+    let clock = Yield.clock_for_yield pdf ~yield:target_yield in
+    Fmt.pr "clock for %.2f%% yield: %.3f ps@." (target_yield *. 100.0)
+      (Elmore.ps clock);
+    Fmt.pr "worst-case corner clock: %.3f ps (overdesign +%.1f%%)@."
+      (Elmore.ps d.Path_analysis.worst_case)
+      ((d.Path_analysis.worst_case -. clock) /. clock *. 100.0);
+    let sampler =
+      Monte_carlo.sampler Config.default m.Methodology.sta.Ssta_timing.Sta.graph
+        placement
+    in
+    let mc =
+      Monte_carlo.circuit_delay_samples sampler ~n:samples
+        (Ssta_prob.Rng.create seed)
+    in
+    Fmt.pr "Monte-Carlo circuit yield at that clock: %.4f (%d dies)@."
+      (Ssta_core.Yield.of_samples mc ~clock)
+      samples
+  in
+  let samples =
+    Arg.(value & opt int 2_000 & info [ "n" ] ~docv:"N"
+           ~doc:"Monte-Carlo dies for the exact check.")
+  in
+  let target =
+    Arg.(value & opt float 0.99 & info [ "yield" ] ~docv:"Y"
+           ~doc:"Target timing yield in (0, 1).")
+  in
+  Cmd.v (Cmd.info "yield" ~doc:"Clock targets for a timing yield, vs the \
+                                worst-case corner.")
+    Term.(const action $ circuit_arg $ samples $ seed_opt $ target)
+
+(* dualvt *)
+let dualvt_cmd =
+  let action name headroom =
+    let circuit, placement = load_circuit ~bench:None ~def:None name in
+    let m = Methodology.run ~placement circuit in
+    let base3 =
+      m.Methodology.prob_critical.Ssta_core.Ranking.analysis
+        .Path_analysis.confidence_point
+    in
+    let target = (1.0 +. headroom) *. base3 in
+    Fmt.pr "all-low 3-sigma %.3f ps; target %.3f ps (+%.0f%%)@."
+      (Elmore.ps base3) (Elmore.ps target) (headroom *. 100.0);
+    let r = Ssta_core.Dual_vt.optimize ~placement ~target circuit in
+    Fmt.pr "high-Vt gates %d/%d; 3-sigma %.3f ps; leakage -%.1f%%; %s@."
+      r.Ssta_core.Dual_vt.high_count r.Ssta_core.Dual_vt.gate_count
+      (Elmore.ps r.Ssta_core.Dual_vt.sigma3_final)
+      ((r.Ssta_core.Dual_vt.leakage_all_low
+       -. r.Ssta_core.Dual_vt.leakage_final)
+      /. r.Ssta_core.Dual_vt.leakage_all_low *. 100.0)
+      (if r.Ssta_core.Dual_vt.met then "target met" else "target NOT met")
+  in
+  let headroom =
+    Arg.(value & opt float 0.05 & info [ "headroom" ] ~docv:"H"
+           ~doc:"Allowed 3-sigma degradation fraction (default 0.05).")
+  in
+  Cmd.v (Cmd.info "dualvt" ~doc:"Dual-Vt leakage optimization under a \
+                                 statistical timing target.")
+    Term.(const action $ circuit_arg $ headroom)
+
+(* generate *)
+let generate_cmd =
+  let action name out =
+    match Iscas85.by_name name with
+    | None -> Fmt.failwith "unknown benchmark %S" name
+    | Some spec ->
+        let circuit, placement = Iscas85.build_placed spec in
+        let bench_path = Filename.concat out (name ^ ".bench") in
+        let verilog_path = Filename.concat out (name ^ ".v") in
+        let def_path = Filename.concat out (name ^ ".def") in
+        let spef_path = Filename.concat out (name ^ ".spef") in
+        Bench_format.write_file bench_path circuit;
+        Verilog.write_file verilog_path circuit;
+        Def_format.write_file def_path
+          (Def_format.of_placement ~design:name circuit placement);
+        Spef.write_file spef_path
+          (Spef.of_placement ~design:name circuit placement);
+        Fmt.pr "wrote %s, %s, %s and %s (%a)@." bench_path verilog_path
+          def_path spef_path Netlist.pp_stats circuit
+  in
+  let out =
+    Arg.(value & opt dir "." & info [ "o"; "out" ] ~docv:"DIR"
+           ~doc:"Output directory.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Write a benchmark as .bench + DEF files.")
+    Term.(const action $ circuit_arg $ out)
+
+(* figures *)
+let figures_cmd =
+  let action out mp =
+    let save path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+    in
+    (* Fig. 3: PDFs of selected ranked paths of c1355. *)
+    (match Iscas85.by_name "c1355" with
+    | None -> ()
+    | Some spec ->
+        let circuit, placement = Iscas85.build_placed spec in
+        let config = { Config.default with Config.max_paths = mp } in
+        let m = Methodology.run ~config ~placement circuit in
+        let n = Methodology.num_critical_paths m in
+        let pick rank = Methodology.find_rank m ~prob_rank:(Int.min rank n) in
+        let curves =
+          [ ("p1", (pick 1).Ranking.analysis.Path_analysis.total_pdf);
+            ( Printf.sprintf "p%d" ((n + 1) / 2),
+              (pick ((n + 1) / 2)).Ranking.analysis.Path_analysis.total_pdf );
+            ( Printf.sprintf "p%d" n,
+              (pick n).Ranking.analysis.Path_analysis.total_pdf ) ]
+        in
+        save (Filename.concat out "fig3_c1355_pdfs.csv")
+          (Report.pdfs_csv curves);
+        save (Filename.concat out "fig5_c1355_ranks.csv")
+          (Report.rank_scatter_csv
+             (Ranking.rank_pairs ~first:100 m.Methodology.ranked)));
+    (* Fig. 4: intra/inter/total of c432's critical path. *)
+    (match Iscas85.by_name "c432" with
+    | None -> ()
+    | Some spec ->
+        let circuit, placement = Iscas85.build_placed spec in
+        let m = Methodology.run ~placement circuit in
+        let d = m.Methodology.det_critical in
+        save (Filename.concat out "fig4_c432_pdfs.csv")
+          (Report.pdfs_csv
+             [ ("intra",
+                Ssta_prob.Pdf.shift d.Path_analysis.intra_pdf
+                  d.Path_analysis.det_delay);
+               ("inter", d.Path_analysis.inter_pdf);
+               ("total", d.Path_analysis.total_pdf) ]));
+    (* Fig. 6: rank scatter of c7552. *)
+    (match Iscas85.by_name "c7552" with
+    | None -> ()
+    | Some spec ->
+        let circuit, placement = Iscas85.build_placed spec in
+        let config =
+          Config.with_confidence Config.default 0.05
+        in
+        let config = { config with Config.max_paths = mp } in
+        let m = Methodology.run ~config ~placement circuit in
+        save (Filename.concat out "fig6_c7552_ranks.csv")
+          (Report.rank_scatter_csv
+             (Ranking.rank_pairs ~first:100 m.Methodology.ranked)))
+  in
+  let out =
+    Arg.(value & opt dir "." & info [ "o"; "out" ] ~docv:"DIR"
+           ~doc:"Output directory.")
+  in
+  let mp =
+    Arg.(value & opt int 2_000 & info [ "max-paths" ] ~docv:"N"
+           ~doc:"Near-critical enumeration cap.")
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Emit CSV data behind Figs. 3-6.")
+    Term.(const action $ out $ mp)
+
+let () =
+  let doc = "Path-based statistical static timing analysis (DATE'05)" in
+  let info = Cmd.info "ssta" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; report_cmd; table2_cmd; table3_cmd; sensitivity_cmd;
+            convexity_cmd; sweep_cmd; mc_cmd; block_cmd; yield_cmd;
+            dualvt_cmd; generate_cmd; figures_cmd ]))

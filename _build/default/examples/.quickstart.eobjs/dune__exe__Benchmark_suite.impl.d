@@ -1,0 +1,1 @@
+examples/benchmark_suite.ml: Array Config Fmt List Methodology Report Ssta_circuit Ssta_core String Sys

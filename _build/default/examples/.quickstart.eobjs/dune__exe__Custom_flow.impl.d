@@ -1,0 +1,1 @@
+examples/custom_flow.ml: Config Format List Monte_carlo Path_analysis Ssta_circuit Ssta_core Ssta_prob Ssta_tech Ssta_timing String

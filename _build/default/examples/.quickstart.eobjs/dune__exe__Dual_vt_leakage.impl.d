@@ -1,0 +1,1 @@
+examples/dual_vt_leakage.ml: Array Config Dual_vt Format Int Methodology Monte_carlo Path_analysis Ranking Ssta_circuit Ssta_core Ssta_prob Ssta_tech Ssta_timing

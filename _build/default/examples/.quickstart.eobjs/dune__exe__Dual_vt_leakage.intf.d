@@ -1,0 +1,1 @@
+examples/dual_vt_leakage.mli:

@@ -1,0 +1,1 @@
+examples/hold_and_slack.ml: Array Format Graph Incremental Int List Longest_path Paths Shortest_path Slack Ssta_circuit Ssta_tech Ssta_timing

@@ -1,0 +1,1 @@
+examples/hold_and_slack.mli:

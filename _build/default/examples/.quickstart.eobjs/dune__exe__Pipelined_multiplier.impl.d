@@ -1,0 +1,1 @@
+examples/pipelined_multiplier.ml: Clocking Config Format List Printf Ssta_circuit Ssta_core Ssta_tech

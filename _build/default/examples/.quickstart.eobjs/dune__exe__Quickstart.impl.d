@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Methodology Path_analysis Ranking Ssta_circuit Ssta_core Ssta_tech Ssta_timing

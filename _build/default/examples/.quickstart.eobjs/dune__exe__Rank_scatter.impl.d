@@ -1,0 +1,1 @@
+examples/rank_scatter.ml: Array Config Fmt Int Methodology Ranking Ssta_circuit Ssta_core String

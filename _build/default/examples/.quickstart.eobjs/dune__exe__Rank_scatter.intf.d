@@ -1,0 +1,1 @@
+examples/rank_scatter.mli:

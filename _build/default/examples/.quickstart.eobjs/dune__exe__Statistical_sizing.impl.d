@@ -1,0 +1,1 @@
+examples/statistical_sizing.ml: Array Config Float Fmt Format List Methodology Path_analysis Report Sizing Ssta_circuit Ssta_core Ssta_tech Ssta_timing

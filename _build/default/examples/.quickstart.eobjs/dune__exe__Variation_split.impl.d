@@ -1,0 +1,1 @@
+examples/variation_split.ml: Config Fmt List Methodology Path_analysis Report Ssta_circuit Ssta_core Ssta_tech

@@ -1,0 +1,1 @@
+examples/yield_analysis.ml: Array Config Criticality Format List Methodology Monte_carlo Path_analysis Ranking Ssta_circuit Ssta_core Ssta_prob Ssta_tech Ssta_timing Yield

@@ -1,0 +1,100 @@
+(* Integrating the library into a custom flow:
+
+   - parse a hand-written .bench netlist,
+   - place it and round-trip the placement through DEF (the paper's input
+     format for coordinates),
+   - run deterministic STA and explore the near-critical set manually,
+   - analyze chosen paths statistically,
+   - cross-check one analytic PDF against exact Monte-Carlo sampling.
+
+     dune exec examples/custom_flow.exe *)
+
+module Bench_format = Ssta_circuit.Bench_format
+module Def_format = Ssta_circuit.Def_format
+module Placement = Ssta_circuit.Placement
+module Netlist = Ssta_circuit.Netlist
+module Sta = Ssta_timing.Sta
+module Paths = Ssta_timing.Paths
+module Elmore = Ssta_tech.Elmore
+open Ssta_core
+
+let bench_text =
+  {|# 4-bit priority chain with two reconvergent cones
+INPUT(req0)
+INPUT(req1)
+INPUT(req2)
+INPUT(req3)
+INPUT(en)
+OUTPUT(grant3)
+OUTPUT(any)
+n0   = NOT(req0)
+n1   = NOT(req1)
+n2   = NOT(req2)
+g0   = NAND(req0, en)
+g1   = NAND(req1, n0)
+g2   = NAND(req2, n1)
+g3   = NAND(req3, n2)
+c01  = NAND(g0, g1)
+c23  = NAND(g2, g3)
+grant3 = NAND(c01, c23)
+o1   = OR(req0, req1)
+o2   = OR(req2, req3)
+any  = OR(o1, o2)
+|}
+
+let () =
+  let circuit = Bench_format.parse_string ~name:"priority4" bench_text in
+  Format.printf "parsed: %a@." Netlist.pp_stats circuit;
+
+  (* Place, export to DEF, and read the coordinates back — exercising the
+     same input path as the paper's program. *)
+  let placement = Placement.place circuit in
+  let def = Def_format.of_placement ~design:"priority4" circuit placement in
+  let def_text = Def_format.to_string def in
+  Format.printf "DEF (%d components, die %.0fx%.0f um):@.%s@."
+    (List.length def.Def_format.components)
+    def.Def_format.die_width def.Def_format.die_height
+    (String.concat "\n"
+       (List.filteri (fun i _ -> i < 6)
+          (String.split_on_char '\n' def_text)));
+  let placement = Def_format.placement_of (Def_format.parse_string def_text)
+      circuit in
+
+  (* Deterministic STA + manual near-critical exploration. *)
+  let sta = Sta.analyze circuit in
+  Format.printf "@.%a@." Sta.pp_summary sta;
+  let slack = 0.2 *. sta.Sta.critical_delay in
+  let enum = Sta.near_critical sta ~slack in
+  Format.printf "paths within 20%% of critical: %d@."
+    (List.length enum.Paths.paths);
+
+  (* Statistical analysis of the top three. *)
+  let ctx = Path_analysis.context Config.default sta.Sta.graph placement in
+  let top3 =
+    List.filteri (fun i _ -> i < 3) enum.Paths.paths
+    |> List.map (Path_analysis.analyze ctx)
+  in
+  List.iteri
+    (fun i a ->
+      Format.printf
+        "path %d: nominal %.3f ps | mean %.3f ps sigma %.3f ps 3s %.3f ps@."
+        (i + 1)
+        (Elmore.ps a.Path_analysis.det_delay)
+        (Elmore.ps a.Path_analysis.mean)
+        (Elmore.ps a.Path_analysis.std)
+        (Elmore.ps a.Path_analysis.confidence_point))
+    top3;
+
+  (* Monte-Carlo cross-check of the first path. *)
+  match top3 with
+  | [] -> ()
+  | a :: _ ->
+      let sampler = Monte_carlo.sampler Config.default sta.Sta.graph placement in
+      let rng = Ssta_prob.Rng.create 2025 in
+      let v = Monte_carlo.validate_path ~n:20_000 sampler rng a in
+      Format.printf
+        "@.Monte-Carlo check (20k exact samples): mean err %.4f ps, std err \
+         %.4f ps, KS %.4f@."
+        (Elmore.ps v.Monte_carlo.mean_err)
+        (Elmore.ps v.Monte_carlo.std_err)
+        v.Monte_carlo.ks

@@ -1,0 +1,52 @@
+(* Pipelining under statistical timing: insert register ranks into the
+   16x16 array multiplier (the c6288 substitute) and watch the
+   statistically safe clock period respond — including the diminishing
+   returns and the hold margins a designer must track.
+
+     dune exec examples/pipelined_multiplier.exe *)
+
+module Generators = Ssta_circuit.Generators
+module Sequential = Ssta_circuit.Sequential
+module Netlist = Ssta_circuit.Netlist
+module Elmore = Ssta_tech.Elmore
+open Ssta_core
+
+let ps = Elmore.ps
+
+let () =
+  (* an 8x8 multiplier keeps the near-critical sets manageable here; the
+     bench harness runs the full 16x16 *)
+  let comb = Generators.array_multiplier ~name:"mult8" ~bits:8 () in
+  Format.printf "combinational %s: %d gates, depth %d@." comb.Netlist.name
+    (Netlist.num_gates comb) (Netlist.depth comb);
+  let config =
+    { (Config.with_quality Config.default ~intra:60 ~inter:24) with
+      Config.max_paths = 400 }
+  in
+  let baseline =
+    Clocking.analyze ~config (Sequential.of_netlist comb)
+  in
+  Format.printf
+    "%8s %10s %12s %12s %14s %12s %10s@." "stages" "registers" "det clk(ps)"
+    "3sig clk(ps)" "worst clk(ps)" "hold mgn(ps)" "speedup";
+  List.iter
+    (fun stages ->
+      let s = Sequential.pipeline ~stages comb in
+      (* repair hold violations of the register chains with buffers *)
+      let s, buffers = Clocking.fix_hold s in
+      ignore buffers;
+      let c = Clocking.analyze ~config s in
+      Format.printf "%8d %10d %12.1f %12.1f %14.1f %12s %9.2fx@." stages
+        (Sequential.num_registers s)
+        (ps c.Clocking.det_min_clock)
+        (ps c.Clocking.stat_min_clock)
+        (ps c.Clocking.worst_case_clock)
+        (if c.Clocking.fastest_reg_to_reg = infinity then "-"
+         else Printf.sprintf "%.1f" (ps c.Clocking.hold_margin))
+        (Clocking.speedup ~baseline c))
+    [ 1; 2; 4; 8 ];
+  Format.printf
+    "@.(register-chain hold violations are repaired by buffer insertion \
+     before analysis; statistical clocks are 3-sigma per-path-yield \
+     targets, and the worst-case column shows how much a corner-based \
+     sign-off would overdesign each pipeline)@."

@@ -1,0 +1,64 @@
+(* Quickstart: build a small circuit with the Builder API, run the full
+   statistical timing methodology, and read the headline numbers.
+
+     dune exec examples/quickstart.exe *)
+
+module Gate = Ssta_tech.Gate
+module Elmore = Ssta_tech.Elmore
+module Netlist = Ssta_circuit.Netlist
+module B = Netlist.Builder
+open Ssta_core
+
+(* A 1-bit full adder followed by a small decode cone. *)
+let build_circuit () =
+  let b = B.create "quickstart" in
+  let a = B.add_input b "a" in
+  let c = B.add_input b "c" in
+  let cin = B.add_input b "cin" in
+  let x1 = B.add_gate b Gate.Xor2 [ a; c ] in
+  let sum = B.add_gate b Gate.Xor2 [ x1; cin ] in
+  let g1 = B.add_gate b (Gate.Nand 2) [ a; c ] in
+  let g2 = B.add_gate b (Gate.Nand 2) [ x1; cin ] in
+  let cout = B.add_gate b (Gate.Nand 2) [ g1; g2 ] in
+  let dec0 = B.add_gate b (Gate.Nor 2) [ sum; cout ] in
+  let dec1 = B.add_gate b Gate.Inv [ dec0 ] in
+  B.mark_output b sum;
+  B.mark_output b cout;
+  B.mark_output b dec1;
+  B.finish b
+
+let () =
+  let circuit = build_circuit () in
+  Format.printf "circuit: %a@." Netlist.pp_stats circuit;
+
+  (* The paper's default configuration: QUALITY_intra = 100,
+     QUALITY_inter = 50, C = 0.05, 4 quad-tree layers + 1 random layer,
+     variance split equally, PDFs truncated at 6 sigma. *)
+  let m = Methodology.run circuit in
+
+  let ps = Elmore.ps in
+  Format.printf "deterministic critical delay: %.3f ps@."
+    (ps m.Methodology.sta.Ssta_timing.Sta.critical_delay);
+
+  let d = m.Methodology.det_critical in
+  Format.printf "statistical analysis of the critical path:@.";
+  Format.printf "  mean %.3f ps (shift %+.4f ps vs. nominal — nonlinearity)@."
+    (ps d.Path_analysis.mean)
+    (ps (d.Path_analysis.mean -. d.Path_analysis.det_delay));
+  Format.printf "  sigma %.3f ps (inter %.3f, intra %.3f)@."
+    (ps d.Path_analysis.std)
+    (ps d.Path_analysis.inter_sigma)
+    (ps d.Path_analysis.intra_sigma);
+  Format.printf "  3-sigma confidence point: %.3f ps@."
+    (ps d.Path_analysis.confidence_point);
+  Format.printf "  worst-case corner analysis: %.3f ps — %.1f%% above the \
+                 3-sigma point@."
+    (ps d.Path_analysis.worst_case)
+    (Path_analysis.overestimation_pct d);
+
+  Format.printf "near-critical paths analyzed: %d (slack C*sigma_C = %.4f ps)@."
+    (Methodology.num_critical_paths m)
+    (ps m.Methodology.slack);
+  let prob = m.Methodology.prob_critical in
+  Format.printf "probabilistic critical path: prob rank 1, det rank %d@."
+    prob.Ranking.det_rank

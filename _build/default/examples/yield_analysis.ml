@@ -1,0 +1,83 @@
+(* Timing yield and path criticality on a benchmark circuit — the
+   "so what" of statistical timing: how fast can we clock the chip at a
+   target yield, how wrong is the worst-case answer, and which paths
+   actually limit the yield?
+
+     dune exec examples/yield_analysis.exe *)
+
+module Iscas85 = Ssta_circuit.Iscas85
+module Placement = Ssta_circuit.Placement
+module Sta = Ssta_timing.Sta
+module Elmore = Ssta_tech.Elmore
+module Rng = Ssta_prob.Rng
+open Ssta_core
+
+let () =
+  let spec =
+    match Iscas85.by_name "c432" with
+    | Some s -> s
+    | None -> failwith "c432 missing"
+  in
+  let circuit, placement = Iscas85.build_placed spec in
+  let m = Methodology.run ~placement circuit in
+  let d = m.Methodology.det_critical in
+  let ps = Elmore.ps in
+
+  Format.printf "circuit %s: deterministic critical delay %.3f ps@."
+    m.Methodology.circuit_name (ps d.Path_analysis.det_delay);
+  Format.printf "worst-case corner says the clock must be >= %.3f ps@."
+    (ps d.Path_analysis.worst_case);
+
+  (* Yield curve from the probabilistic critical path. *)
+  Format.printf "@.clock (ps)   yield@.";
+  List.iter
+    (fun (clock, y) -> Format.printf "%9.1f   %6.4f@." (ps clock) y)
+    (Yield.curve
+       m.Methodology.prob_critical.Ranking.analysis.Path_analysis.total_pdf
+       ~lo:(d.Path_analysis.mean -. (1.0 *. d.Path_analysis.std))
+       ~hi:(d.Path_analysis.mean +. (4.0 *. d.Path_analysis.std))
+       ~points:11);
+
+  (* Clock targets for standard yields, vs. the worst-case answer. *)
+  Format.printf "@.";
+  List.iter
+    (fun y ->
+      let clock =
+        Yield.clock_for_yield
+          m.Methodology.prob_critical.Ranking.analysis.Path_analysis.total_pdf
+          ~yield:y
+      in
+      Format.printf
+        "clock for %.2f%% yield: %.3f ps (worst-case overdesign: +%.1f%%)@."
+        (y *. 100.0) (ps clock)
+        ((d.Path_analysis.worst_case -. clock) /. clock *. 100.0))
+    [ 0.90; 0.99; 0.9987 ];
+
+  (* Exact yield from correlated Monte-Carlo, at the 3-sigma clock. *)
+  let sampler =
+    Monte_carlo.sampler Config.default m.Methodology.sta.Sta.graph placement
+  in
+  let rng = Rng.create 20250704 in
+  let samples = Monte_carlo.circuit_delay_samples sampler ~n:3000 rng in
+  let clock = d.Path_analysis.confidence_point in
+  Format.printf
+    "@.at the 3-sigma clock (%.3f ps): analytic yield %.4f, Monte-Carlo \
+     circuit yield %.4f, independence lower bound %.4f@."
+    (ps clock)
+    (Yield.of_methodology m ~clock)
+    (Yield.of_samples samples ~clock)
+    (Yield.pessimistic_of_methodology m ~clock);
+
+  (* Which paths actually limit the yield? *)
+  let paths =
+    Array.to_list m.Methodology.ranked
+    |> List.filteri (fun i _ -> i < 8)
+    |> List.map (fun r -> r.Ranking.analysis.Path_analysis.path)
+  in
+  let crit = Criticality.estimate sampler ~n:2000 rng paths in
+  Format.printf "@.criticality of the top %d probabilistic paths \
+                 (entropy %.3f nats):@."
+    (List.length paths) crit.Criticality.entropy;
+  Array.iteri
+    (fun i p -> Format.printf "  prob#%d: %.3f@." (i + 1) p)
+    crit.Criticality.probabilities

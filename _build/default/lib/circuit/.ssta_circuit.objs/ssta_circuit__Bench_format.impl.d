@@ -1,0 +1,1 @@
+lib/circuit/bench_format.ml: Array Buffer Filename Hashtbl List Netlist Printf Ssta_tech String

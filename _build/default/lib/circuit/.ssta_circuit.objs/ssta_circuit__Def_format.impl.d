@@ -1,0 +1,1 @@
+lib/circuit/def_format.ml: Array Buffer Float Hashtbl List Netlist Placement Printf Ssta_tech String

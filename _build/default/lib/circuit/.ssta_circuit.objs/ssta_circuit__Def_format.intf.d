@@ -1,0 +1,1 @@
+lib/circuit/def_format.mli: Netlist Placement

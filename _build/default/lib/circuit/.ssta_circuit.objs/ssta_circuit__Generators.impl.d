@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Hashtbl List Netlist Printf Ssta_prob Ssta_tech

@@ -1,0 +1,1 @@
+lib/circuit/iscas85.ml: Generators List Placement String

@@ -1,0 +1,1 @@
+lib/circuit/iscas85.mli: Netlist Placement

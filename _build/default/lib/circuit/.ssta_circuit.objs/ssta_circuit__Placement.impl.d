@@ -1,0 +1,1 @@
+lib/circuit/placement.ml: Array Float Int Netlist Ssta_prob

@@ -1,0 +1,1 @@
+lib/circuit/sequential.ml: Array Bench_format Buffer Hashtbl Int List Netlist Printf Ssta_tech String

@@ -1,0 +1,1 @@
+lib/circuit/sequential.mli: Netlist

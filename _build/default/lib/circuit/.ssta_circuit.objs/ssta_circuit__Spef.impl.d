@@ -1,0 +1,1 @@
+lib/circuit/spef.ml: Array Buffer Hashtbl List Netlist Placement Printf Ssta_tech String

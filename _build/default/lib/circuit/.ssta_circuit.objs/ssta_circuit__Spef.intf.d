@@ -1,0 +1,1 @@
+lib/circuit/spef.mli: Netlist Placement Ssta_tech

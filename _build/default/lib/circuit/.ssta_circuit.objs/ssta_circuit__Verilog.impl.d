@@ -1,0 +1,1 @@
+lib/circuit/verilog.ml: Array Buffer Hashtbl List Netlist Printf Ssta_tech String

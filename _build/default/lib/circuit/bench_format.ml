@@ -1,0 +1,177 @@
+module Gate = Ssta_tech.Gate
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+type raw_line =
+  | Input of string
+  | Output of string
+  | Def of string * string * string list  (** target, gate name, operands *)
+
+let strip s = String.trim s
+
+let is_ident_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '[' || ch = ']' || ch = '.' || ch = '-'
+
+let check_ident lineno s =
+  if s = "" then fail lineno "empty identifier";
+  String.iter
+    (fun ch ->
+      if not (is_ident_char ch) then
+        fail lineno (Printf.sprintf "invalid character %C in identifier %S" ch s))
+    s
+
+(* Parse "HEAD(arg1, arg2, ...)" -> (HEAD, args). *)
+let parse_call lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno ("expected a parenthesized form: " ^ s)
+  | Some open_paren ->
+      if not (String.length s > 0 && s.[String.length s - 1] = ')') then
+        fail lineno ("missing closing parenthesis: " ^ s);
+      let head = strip (String.sub s 0 open_paren) in
+      let inner =
+        String.sub s (open_paren + 1) (String.length s - open_paren - 2)
+      in
+      let args =
+        if strip inner = "" then []
+        else List.map strip (String.split_on_char ',' inner)
+      in
+      (head, args)
+
+let parse_raw_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = strip line in
+  if line = "" then None
+  else
+    match String.index_opt line '=' with
+    | Some eq ->
+        let target = strip (String.sub line 0 eq) in
+        check_ident lineno target;
+        let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+        let head, args = parse_call lineno rhs in
+        if args = [] then fail lineno ("gate with no operands: " ^ line);
+        List.iter (check_ident lineno) args;
+        Some (Def (target, head, args))
+    | None ->
+        let head, args = parse_call lineno line in
+        let arg =
+          match args with
+          | [ a ] -> a
+          | _ -> fail lineno ("expected a single signal: " ^ line)
+        in
+        check_ident lineno arg;
+        (match String.uppercase_ascii head with
+        | "INPUT" -> Some (Input arg)
+        | "OUTPUT" -> Some (Output arg)
+        | _ -> fail lineno ("unknown directive: " ^ head))
+
+let parse_string ?(name = "bench") text =
+  let lines = String.split_on_char '\n' text in
+  let raw = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_raw_line (i + 1) line with
+      | Some r -> raw := r :: !raw
+      | None -> ())
+    lines;
+  let raw = List.rev !raw in
+  let builder = Netlist.Builder.create name in
+  let ids = Hashtbl.create 256 in
+  let defs = Hashtbl.create 256 in
+  let inputs = ref [] and outputs = ref [] in
+  List.iter
+    (function
+      | Input s -> inputs := s :: !inputs
+      | Output s -> outputs := s :: !outputs
+      | Def (target, head, args) ->
+          if Hashtbl.mem defs target then
+            fail 0 ("signal defined twice: " ^ target);
+          Hashtbl.add defs target (head, args))
+    raw;
+  List.iter
+    (fun s -> Hashtbl.replace ids s (Netlist.Builder.add_input builder s))
+    (List.rev !inputs);
+  (* Resolve definitions in dependency order by depth-first search. *)
+  let visiting = Hashtbl.create 64 in
+  let rec resolve signal =
+    match Hashtbl.find_opt ids signal with
+    | Some id -> id
+    | None -> (
+        if Hashtbl.mem visiting signal then
+          fail 0 ("combinational cycle through signal " ^ signal);
+        Hashtbl.add visiting signal ();
+        match Hashtbl.find_opt defs signal with
+        | None -> fail 0 ("undefined signal: " ^ signal)
+        | Some (head, args) ->
+            let fanins = List.map resolve args in
+            let kind =
+              match Gate.of_name head (List.length args) with
+              | Some k -> k
+              | None ->
+                  fail 0
+                    (Printf.sprintf "unknown gate %s/%d defining %s" head
+                       (List.length args) signal)
+            in
+            let id = Netlist.Builder.add_gate ~name:signal builder kind fanins in
+            Hashtbl.remove visiting signal;
+            Hashtbl.replace ids signal id;
+            id)
+  in
+  (* Resolve in file order for deterministic node numbering. *)
+  List.iter
+    (function Def (target, _, _) -> ignore (resolve target) | Input _ | Output _ -> ())
+    raw;
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt ids s with
+      | Some id -> Netlist.Builder.mark_output builder id
+      | None -> fail 0 ("OUTPUT references undefined signal: " ^ s))
+    (List.rev !outputs);
+  try Netlist.Builder.finish builder
+  with Invalid_argument msg -> fail 0 msg
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name text
+
+let to_string (c : Netlist.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" c.Netlist.name);
+  for i = 0 to c.Netlist.num_inputs - 1 do
+    Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.node_name c i))
+  done;
+  Array.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (Netlist.node_name c o)))
+    c.Netlist.outputs;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let operands =
+        g.Netlist.fanins |> Array.to_list
+        |> List.map (Netlist.node_name c)
+        |> String.concat ", "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n"
+           (Netlist.node_name c g.Netlist.id)
+           (Gate.name g.Netlist.kind) operands))
+    c.Netlist.gates;
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,33 @@
+(** Reader/writer for the ISCAS85 [.bench] netlist format.
+
+    The format used to distribute the benchmark circuits the paper
+    evaluates on:
+
+    {v
+      # comment
+      INPUT(G1)
+      OUTPUT(G17)
+      G10 = NAND(G1, G3)
+      G11 = NOT(G5)
+    v}
+
+    Signals may be referenced before their defining line; the parser
+    resolves definitions in dependency order (the file must still be
+    combinational — cyclic definitions are an error). *)
+
+exception Parse_error of int * string
+(** [(line number, message)]. *)
+
+val parse_string : ?name:string -> string -> Netlist.t
+(** Parse the contents of a .bench file.  [name] overrides the circuit
+    name (default ["bench"]). *)
+
+val parse_file : string -> Netlist.t
+(** Parse from disk; circuit name is the file's basename without
+    extension. *)
+
+val to_string : Netlist.t -> string
+(** Render a netlist back to .bench text (a parse/print round trip
+    preserves structure and names). *)
+
+val write_file : string -> Netlist.t -> unit

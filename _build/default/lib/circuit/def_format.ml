@@ -1,0 +1,164 @@
+module Gate = Ssta_tech.Gate
+
+exception Parse_error of int * string
+
+type component = { comp_name : string; master : string; x : float; y : float }
+
+type t = {
+  design : string;
+  units_per_micron : int;
+  die_width : float;
+  die_height : float;
+  components : component list;
+}
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let float_token lineno s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail lineno ("expected a number, got " ^ s)
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let design = ref "" in
+  let units = ref 1000 in
+  let die_w = ref 0.0 and die_h = ref 0.0 in
+  let components = ref [] in
+  let in_components = ref false in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      match tokens_of_line raw with
+      | [] -> ()
+      | "DESIGN" :: name :: _ -> design := name
+      | "UNITS" :: "DISTANCE" :: "MICRONS" :: v :: _ ->
+          (match int_of_string_opt v with
+          | Some u when u > 0 -> units := u
+          | Some _ | None -> fail lineno "bad UNITS value")
+      | "DIEAREA" :: rest -> (
+          (* DIEAREA ( x0 y0 ) ( x1 y1 ) ; *)
+          let numbers =
+            List.filter_map (fun tok -> float_of_string_opt tok) rest
+          in
+          match numbers with
+          | [ x0; y0; x1; y1 ] ->
+              let u = float_of_int !units in
+              die_w := (x1 -. x0) /. u;
+              die_h := (y1 -. y0) /. u
+          | _ -> fail lineno "DIEAREA expects two corner points")
+      | "COMPONENTS" :: _ -> in_components := true
+      | "END" :: "COMPONENTS" :: _ -> in_components := false
+      | "END" :: "DESIGN" :: _ -> ()
+      | "-" :: name :: master :: rest when !in_components ->
+          (* - name master + PLACED ( x y ) N ; *)
+          let rec find_placed = function
+            | "PLACED" :: "(" :: x :: y :: _ ->
+                Some (float_token lineno x, float_token lineno y)
+            | _ :: tl -> find_placed tl
+            | [] -> None
+          in
+          (match find_placed rest with
+          | Some (x, y) ->
+              let u = float_of_int !units in
+              components :=
+                { comp_name = name; master; x = x /. u; y = y /. u }
+                :: !components
+          | None -> fail lineno ("component without PLACED location: " ^ name))
+      | _ -> ())
+    lines;
+  if !design = "" then fail 0 "missing DESIGN statement";
+  { design = !design;
+    units_per_micron = !units;
+    die_width = !die_w;
+    die_height = !die_h;
+    components = List.rev !components }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let u = float_of_int t.units_per_micron in
+  let dbu f = int_of_float (Float.round (f *. u)) in
+  Buffer.add_string buf (Printf.sprintf "DESIGN %s ;\n" t.design);
+  Buffer.add_string buf
+    (Printf.sprintf "UNITS DISTANCE MICRONS %d ;\n" t.units_per_micron);
+  Buffer.add_string buf
+    (Printf.sprintf "DIEAREA ( 0 0 ) ( %d %d ) ;\n" (dbu t.die_width)
+       (dbu t.die_height));
+  Buffer.add_string buf
+    (Printf.sprintf "COMPONENTS %d ;\n" (List.length t.components));
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  - %s %s + PLACED ( %d %d ) N ;\n" c.comp_name
+           c.master (dbu c.x) (dbu c.y)))
+    t.components;
+  Buffer.add_string buf "END COMPONENTS\n";
+  Buffer.add_string buf "END DESIGN\n";
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let master_of_kind = function
+  | Gate.Inv -> "INV"
+  | Gate.Buf -> "BUF"
+  | Gate.Nand n -> Printf.sprintf "NAND%d" n
+  | Gate.Nor n -> Printf.sprintf "NOR%d" n
+  | Gate.And n -> Printf.sprintf "AND%d" n
+  | Gate.Or n -> Printf.sprintf "OR%d" n
+  | Gate.Xor2 -> "XOR2"
+  | Gate.Xnor2 -> "XNOR2"
+
+let of_placement ~design (c : Netlist.t) (pl : Placement.t) =
+  let components =
+    Array.to_list c.Netlist.gates
+    |> List.map (fun (g : Netlist.gate) ->
+           let x, y = Placement.coord pl g.Netlist.id in
+           { comp_name = Netlist.node_name c g.Netlist.id;
+             master = master_of_kind g.Netlist.kind;
+             x;
+             y })
+  in
+  { design;
+    units_per_micron = 1000;
+    die_width = pl.Placement.die_width;
+    die_height = pl.Placement.die_height;
+    components }
+
+let placement_of t (c : Netlist.t) =
+  let table = Hashtbl.create 256 in
+  List.iter (fun comp -> Hashtbl.replace table comp.comp_name (comp.x, comp.y))
+    t.components;
+  let matched = ref 0 in
+  let coords =
+    Array.init (Netlist.num_nodes c) (fun id ->
+        match Hashtbl.find_opt table (Netlist.node_name c id) with
+        | Some xy ->
+            incr matched;
+            xy
+        | None -> (0.0, 0.0))
+  in
+  if !matched * 2 < Netlist.num_gates c then
+    invalid_arg "Def_format.placement_of: DEF does not match this netlist";
+  let die_width = Float.max t.die_width 1.0 in
+  let die_height = Float.max t.die_height 1.0 in
+  Placement.with_coords ~die_width ~die_height
+    (Array.map
+       (fun (x, y) ->
+         (Float.min (Float.max x 0.0) die_width,
+          Float.min (Float.max y 0.0) die_height))
+       coords)

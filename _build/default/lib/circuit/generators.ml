@@ -1,0 +1,410 @@
+module Gate = Ssta_tech.Gate
+module Rng = Ssta_prob.Rng
+module B = Netlist.Builder
+
+let chain ?(kind = Gate.Inv) ~name ~length () =
+  if length < 1 then invalid_arg "Generators.chain: length must be >= 1";
+  if Gate.fan_in kind <> 1 then
+    invalid_arg "Generators.chain: kind must be a 1-input gate";
+  let b = B.create name in
+  let input = B.add_input b "in" in
+  let rec extend prev i =
+    if i >= length then prev
+    else extend (B.add_gate b kind [ prev ]) (i + 1)
+  in
+  let last = extend input 0 in
+  B.mark_output b last;
+  B.finish b
+
+let and_or_tree ~name ~width () =
+  if width < 2 then invalid_arg "Generators.and_or_tree: width must be >= 2";
+  let b = B.create name in
+  let leaves =
+    List.init width (fun i -> B.add_input b (Printf.sprintf "in%d" i))
+  in
+  let rec reduce level nodes =
+    match nodes with
+    | [] -> invalid_arg "Generators.and_or_tree: empty"
+    | [ last ] -> last
+    | _ ->
+        let kind = if level mod 2 = 0 then Gate.Nand 2 else Gate.Nor 2 in
+        let rec pair = function
+          | a :: c :: rest -> B.add_gate b kind [ a; c ] :: pair rest
+          | [ a ] -> [ B.add_gate b Gate.Inv [ a ] ]
+          | [] -> []
+        in
+        reduce (level + 1) (pair nodes)
+  in
+  let root = reduce 0 leaves in
+  B.mark_output b root;
+  B.finish b
+
+(* Full adder from XOR/AND/OR: 5 gates. *)
+let full_adder_xag b a c cin =
+  let x1 = B.add_gate b Gate.Xor2 [ a; c ] in
+  let s = B.add_gate b Gate.Xor2 [ x1; cin ] in
+  let a1 = B.add_gate b (Gate.And 2) [ a; c ] in
+  let a2 = B.add_gate b (Gate.And 2) [ x1; cin ] in
+  let cout = B.add_gate b (Gate.Or 2) [ a1; a2 ] in
+  (s, cout)
+
+let ripple_carry_adder ~name ~bits () =
+  if bits < 1 then invalid_arg "Generators.ripple_carry_adder: bits >= 1";
+  let b = B.create name in
+  let a = Array.init bits (fun i -> B.add_input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.add_input b (Printf.sprintf "b%d" i)) in
+  let cin = B.add_input b "cin" in
+  let carry = ref cin in
+  for i = 0 to bits - 1 do
+    let s, cout = full_adder_xag b a.(i) bb.(i) !carry in
+    B.mark_output b s;
+    carry := cout
+  done;
+  B.mark_output b !carry;
+  B.finish b
+
+(* NAND-only adders, as in the real c6288 cell style.
+   4-NAND XOR; 9-NAND full adder; 6-NAND half adder. *)
+let nand2 b x y = B.add_gate b (Gate.Nand 2) [ x; y ]
+
+let xor_nand b x y =
+  let m1 = nand2 b x y in
+  let m2 = nand2 b x m1 in
+  let m3 = nand2 b y m1 in
+  (nand2 b m2 m3, m1)
+
+let full_adder_nand b a c cin =
+  let x, m1 = xor_nand b a c in
+  let s, m4 = xor_nand b x cin in
+  let cout = nand2 b m1 m4 in
+  (s, cout)
+
+let half_adder_nand b a c =
+  let s, m1 = xor_nand b a c in
+  let cout = B.add_gate b Gate.Inv [ m1 ] in
+  (s, cout)
+
+let array_multiplier ~name ~bits () =
+  if bits < 2 then invalid_arg "Generators.array_multiplier: bits >= 2";
+  let b = B.create name in
+  let a = Array.init bits (fun i -> B.add_input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init bits (fun i -> B.add_input b (Printf.sprintf "b%d" i)) in
+  let pp i j = B.add_gate b (Gate.And 2) [ a.(j); bv.(i) ] in
+  (* acc.(j) holds the running sum bit of weight row+j. *)
+  let acc = Array.init bits (fun j -> pp 0 j) in
+  let row_carry = ref None in
+  B.mark_output b acc.(0);
+  for i = 1 to bits - 1 do
+    let carry = ref None in
+    let next = Array.make bits 0 in
+    for j = 0 to bits - 1 do
+      let top = if j < bits - 1 then Some acc.(j + 1) else !row_carry in
+      let p = pp i j in
+      let s, cout =
+        match top, !carry with
+        | Some t, Some c ->
+            let s, cout = full_adder_nand b t p c in
+            (s, Some cout)
+        | Some t, None ->
+            let s, cout = half_adder_nand b t p in
+            (s, Some cout)
+        | None, Some c ->
+            let s, cout = half_adder_nand b p c in
+            (s, Some cout)
+        | None, None -> (p, None)
+      in
+      next.(j) <- s;
+      carry := cout
+    done;
+    row_carry := !carry;
+    Array.blit next 0 acc 0 bits;
+    B.mark_output b acc.(0)
+  done;
+  for j = 1 to bits - 1 do
+    B.mark_output b acc.(j)
+  done;
+  (match !row_carry with Some c -> B.mark_output b c | None -> ());
+  B.finish b
+
+let ecc ~name ~data_bits ~check_bits () =
+  if data_bits < 4 || check_bits < 2 then
+    invalid_arg "Generators.ecc: need data_bits >= 4 and check_bits >= 2";
+  let b = B.create name in
+  let data =
+    Array.init data_bits (fun i -> B.add_input b (Printf.sprintf "d%d" i))
+  in
+  let check =
+    Array.init check_bits (fun j -> B.add_input b (Printf.sprintf "p%d" j))
+  in
+  (* Overlapping parity subsets: data bit i participates in check j when
+     (i * (2j + 3)) mod 8 < 3, and additionally when i = j (mod
+     check_bits) so that every data bit is covered by at least one check
+     (an uncovered bit would be "corrected" spuriously on clean words).
+     The exact code is irrelevant to timing; the bushy XOR trees with
+     near-equal depths are what matters. *)
+  let member i j = (i * ((2 * j) + 3)) mod 8 < 3 || i mod check_bits = j in
+  let membership j =
+    Array.to_list (Array.mapi (fun i d -> (i, d)) data)
+    |> List.filter (fun (i, _) -> member i j)
+    |> List.map snd
+  in
+  (* Balanced XOR tree. *)
+  let rec xor_tree nodes =
+    match nodes with
+    | [] -> invalid_arg "Generators.ecc: empty parity subset"
+    | [ last ] -> last
+    | _ ->
+        let rec pair = function
+          | a :: c :: rest -> B.add_gate b Gate.Xor2 [ a; c ] :: pair rest
+          | [ a ] -> [ a ]
+          | [] -> []
+        in
+        xor_tree (pair nodes)
+  in
+  let syndrome =
+    Array.init check_bits (fun j ->
+        let parity = xor_tree (membership j) in
+        B.add_gate b Gate.Xor2 [ parity; check.(j) ])
+  in
+  let syndrome_not =
+    Array.map (fun s -> B.add_gate b Gate.Inv [ s ]) syndrome
+  in
+  (* Corrector per data bit: AND of the syndrome literals matching the
+     bit's membership pattern, then XOR into the data bit. *)
+  Array.iteri
+    (fun i d ->
+      let literals =
+        List.init check_bits (fun j ->
+            if member i j then syndrome.(j) else syndrome_not.(j))
+      in
+      let hit = B.add_gate b (Gate.And check_bits) literals in
+      let corrected = B.add_gate b Gate.Xor2 [ d; hit ] in
+      B.mark_output b corrected)
+    data;
+  B.finish b
+
+let expand_xor (c : Netlist.t) =
+  let b = B.create c.Netlist.name in
+  let remap = Array.make (Netlist.num_nodes c) (-1) in
+  for i = 0 to c.Netlist.num_inputs - 1 do
+    remap.(i) <- B.add_input b (Netlist.node_name c i)
+  done;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let ins = Array.map (fun f -> remap.(f)) g.Netlist.fanins in
+      let out =
+        match g.Netlist.kind, Array.to_list ins with
+        | Gate.Xor2, [ x; y ] ->
+            let out, _ = xor_nand b x y in
+            out
+        | Gate.Xnor2, [ x; y ] ->
+            let out, _ = xor_nand b x y in
+            B.add_gate b Gate.Inv [ out ]
+        | kind, ins -> B.add_gate b kind ins
+      in
+      remap.(g.Netlist.id) <- out)
+    c.Netlist.gates;
+  Array.iter (fun o -> B.mark_output b remap.(o)) c.Netlist.outputs;
+  B.finish b
+
+let decoder ~name ~bits () =
+  if bits < 1 || bits > 6 then
+    invalid_arg "Generators.decoder: bits must be in 1..6";
+  let b = B.create name in
+  let sel = Array.init bits (fun i -> B.add_input b (Printf.sprintf "s%d" i)) in
+  let inv = Array.map (fun s -> B.add_gate b Gate.Inv [ s ]) sel in
+  for word = 0 to (1 lsl bits) - 1 do
+    let literals =
+      List.init bits (fun i ->
+          if (word lsr i) land 1 = 1 then sel.(i) else inv.(i))
+    in
+    let out =
+      if bits = 1 then B.add_gate b Gate.Buf literals
+      else B.add_gate b (Gate.And bits) literals
+    in
+    B.mark_output b out
+  done;
+  B.finish b
+
+let mux_tree ~name ~select_bits () =
+  if select_bits < 1 || select_bits > 6 then
+    invalid_arg "Generators.mux_tree: select_bits must be in 1..6";
+  let b = B.create name in
+  let n = 1 lsl select_bits in
+  let data = Array.init n (fun i -> B.add_input b (Printf.sprintf "d%d" i)) in
+  let sel =
+    Array.init select_bits (fun i -> B.add_input b (Printf.sprintf "s%d" i))
+  in
+  (* level l merges pairs under select bit l: out = (not s & a) | (s & b) *)
+  let rec reduce level nodes =
+    match nodes with
+    | [ root ] -> root
+    | _ ->
+        let s = sel.(level) in
+        let ns = B.add_gate b Gate.Inv [ s ] in
+        let rec pair = function
+          | a :: c :: rest ->
+              let ta = B.add_gate b (Gate.And 2) [ ns; a ] in
+              let tc = B.add_gate b (Gate.And 2) [ s; c ] in
+              B.add_gate b (Gate.Or 2) [ ta; tc ] :: pair rest
+          | [ a ] -> [ a ]
+          | [] -> []
+        in
+        reduce (level + 1) (pair nodes)
+  in
+  let root = reduce 0 (Array.to_list data) in
+  B.mark_output b root;
+  B.finish b
+
+let parity_chain ~name ~width () =
+  if width < 2 then invalid_arg "Generators.parity_chain: width must be >= 2";
+  let b = B.create name in
+  let inputs =
+    Array.init width (fun i -> B.add_input b (Printf.sprintf "i%d" i))
+  in
+  let acc = ref inputs.(0) in
+  for i = 1 to width - 1 do
+    acc := B.add_gate b Gate.Xor2 [ !acc; inputs.(i) ]
+  done;
+  B.mark_output b !acc;
+  B.finish b
+
+let comparator ~name ~bits () =
+  if bits < 1 then invalid_arg "Generators.comparator: bits must be >= 1";
+  let b = B.create name in
+  let a = Array.init bits (fun i -> B.add_input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init bits (fun i -> B.add_input b (Printf.sprintf "b%d" i)) in
+  let eq =
+    Array.to_list (Array.mapi (fun i x -> B.add_gate b Gate.Xnor2 [ x; bv.(i) ]) a)
+  in
+  let rec and_tree nodes =
+    match nodes with
+    | [] -> invalid_arg "Generators.comparator: empty"
+    | [ root ] -> root
+    | _ ->
+        let rec pair = function
+          | x :: y :: rest -> B.add_gate b (Gate.And 2) [ x; y ] :: pair rest
+          | [ x ] -> [ x ]
+          | [] -> []
+        in
+        and_tree (pair nodes)
+  in
+  let root =
+    if bits = 1 then B.add_gate b Gate.Buf eq else and_tree eq
+  in
+  B.mark_output b root;
+  B.finish b
+
+type mix = (Gate.kind * float) list
+
+let default_mix =
+  [ (Gate.Nand 2, 0.35); (Gate.Nor 2, 0.15); (Gate.Inv, 0.18);
+    (Gate.And 2, 0.08); (Gate.Or 2, 0.06); (Gate.Nand 3, 0.06);
+    (Gate.Nor 3, 0.03); (Gate.Xor2, 0.04); (Gate.Xnor2, 0.02);
+    (Gate.Buf, 0.03) ]
+
+let pick_kind rng mix =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
+  let target = Rng.float rng *. total in
+  let rec walk acc = function
+    | [] -> invalid_arg "Generators.pick_kind: empty mix"
+    | [ (k, _) ] -> k
+    | (k, w) :: rest -> if acc +. w >= target then k else walk (acc +. w) rest
+  in
+  walk 0.0 mix
+
+let random_layered ?(mix = default_mix) ~name ~inputs ~outputs ~gates ~depth
+    ~seed () =
+  if inputs < 2 then invalid_arg "Generators.random_layered: inputs >= 2";
+  if outputs < 1 then invalid_arg "Generators.random_layered: outputs >= 1";
+  if depth < 1 then invalid_arg "Generators.random_layered: depth >= 1";
+  if gates < depth then
+    invalid_arg "Generators.random_layered: gates must be >= depth";
+  let rng = Rng.create seed in
+  let b = B.create name in
+  let input_ids =
+    Array.init inputs (fun i -> B.add_input b (Printf.sprintf "i%d" i))
+  in
+  (* Layer sizes: front-loaded so early layers are wide (cone shape). *)
+  let sizes = Array.make depth (gates / depth) in
+  let remainder = gates - (depth * (gates / depth)) in
+  for i = 0 to remainder - 1 do
+    sizes.(i mod depth) <- sizes.(i mod depth) + 1
+  done;
+  (* layers.(0) = primary inputs; layers.(l) for l >= 1 = gate layers. *)
+  let layers = Array.make (depth + 1) [||] in
+  layers.(0) <- input_ids;
+  let pick_source_layer current =
+    (* Geometric bias towards the immediately preceding layer. *)
+    let rec back l =
+      if l <= 0 then 0
+      else if Rng.float rng < 0.55 then l
+      else back (l - 1)
+    in
+    back (current - 1)
+  in
+  let pick_node layer_index =
+    let layer = layers.(layer_index) in
+    layer.(Rng.int rng (Array.length layer))
+  in
+  for l = 1 to depth do
+    let size = sizes.(l - 1) in
+    let ids =
+      Array.init size (fun _ ->
+          let kind = pick_kind rng mix in
+          let arity = Gate.fan_in kind in
+          (* First fan-in from the previous layer keeps depth tight. *)
+          let first = pick_node (l - 1) in
+          let rest =
+            List.init (arity - 1) (fun _ -> pick_node (pick_source_layer l))
+          in
+          B.add_gate b kind (first :: rest))
+    in
+    layers.(l) <- ids
+  done;
+  (* Primary outputs: the whole last layer, then earlier-layer gates up to
+     the requested count; true sinks are promoted in a second pass below. *)
+  let marked = Hashtbl.create 64 in
+  let mark id =
+    if not (Hashtbl.mem marked id) then begin
+      Hashtbl.add marked id ();
+      B.mark_output b id
+    end
+  in
+  Array.iter mark layers.(depth);
+  let l = ref (depth - 1) in
+  while Hashtbl.length marked < outputs && !l >= 1 do
+    let layer = layers.(!l) in
+    let i = ref 0 in
+    while Hashtbl.length marked < outputs && !i < Array.length layer do
+      mark layer.(!i);
+      i := !i + 2
+    done;
+    decr l
+  done;
+  let c = B.finish b in
+  (* Any remaining sink (fanout-0 gate not marked) is promoted to an
+     output so that every gate lies on some PI->PO path. *)
+  let fc = Netlist.fanout_counts c in
+  let extra = ref [] in
+  Array.iteri
+    (fun id n -> if n = 0 && not (Netlist.is_input c id) then extra := id :: !extra)
+    fc;
+  if !extra = [] then c
+  else begin
+    (* Rebuild with the extra outputs included. *)
+    let b2 = B.create name in
+    let remap = Array.make (Netlist.num_nodes c) (-1) in
+    for i = 0 to c.Netlist.num_inputs - 1 do
+      remap.(i) <- B.add_input b2 (Netlist.node_name c i)
+    done;
+    Array.iter
+      (fun (g : Netlist.gate) ->
+        let ins = Array.to_list (Array.map (fun f -> remap.(f)) g.Netlist.fanins) in
+        remap.(g.Netlist.id) <-
+          B.add_gate b2 ~name:(Netlist.node_name c g.Netlist.id) g.Netlist.kind ins)
+      c.Netlist.gates;
+    Array.iter (fun o -> B.mark_output b2 remap.(o)) c.Netlist.outputs;
+    List.iter (fun o -> B.mark_output b2 remap.(o)) !extra;
+    B.finish b2
+  end

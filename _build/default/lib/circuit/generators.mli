@@ -1,0 +1,78 @@
+(** Deterministic circuit generators.
+
+    The ISCAS85 distribution files are not available in this sealed
+    environment, so the benchmark circuits are substituted by generated
+    ones with matching size and topological character (see DESIGN.md,
+    "Substitutions").  Real arithmetic structures are used where the
+    original is one: c6288 is a 16x16 array multiplier and c499/c1355 are
+    a 32-bit error-correcting-code circuit (c1355 being its XOR-to-NAND
+    expansion, exactly as for the originals). *)
+
+val chain : ?kind:Ssta_tech.Gate.kind -> name:string -> length:int -> unit
+  -> Netlist.t
+(** A linear chain of [length] identical 1-input gates (default [Inv])
+    behind a single input — the simplest timing testbench. *)
+
+val and_or_tree : name:string -> width:int -> unit -> Netlist.t
+(** Balanced tree of alternating NAND/NOR levels over [width] inputs
+    (width >= 2). *)
+
+val ripple_carry_adder : name:string -> bits:int -> unit -> Netlist.t
+(** [bits]-bit ripple-carry adder (inputs a0..a(n-1), b0..b(n-1), cin;
+    outputs sum bits and carry-out) built from XOR/AND/OR gates. *)
+
+val array_multiplier : name:string -> bits:int -> unit -> Netlist.t
+(** [bits] x [bits] array multiplier in NAND-only logic (AND matrix via
+    NAND+INV, 9-NAND full adders, 6-NAND half adders).  At [bits = 16]
+    this is the c6288 substitute: ~2400 gates, very deep, and with an
+    enormous population of near-equal critical paths. *)
+
+val ecc : name:string -> data_bits:int -> check_bits:int -> unit -> Netlist.t
+(** Single-error-correcting circuit: [check_bits] parity trees (XOR) over
+    overlapping subsets of [data_bits] data inputs plus one check input
+    each, followed by a syndrome decoder (NAND/INV) and output correctors
+    (XOR).  With 32/8 this is the c499 substitute: XOR-dominated, bushy,
+    with many near-identical path delays. *)
+
+val expand_xor : Netlist.t -> Netlist.t
+(** Replace every XOR2 by the classic 4-NAND2 realization and every XNOR2
+    by 4 NAND2 + INV, preserving the logic function (tested by
+    simulation).  Applying this to the c499 substitute yields the c1355
+    substitute, mirroring the real benchmark pair. *)
+
+val decoder : name:string -> bits:int -> unit -> Netlist.t
+(** [bits]-to-2^[bits] one-hot decoder (inverters + AND trees); a wide,
+    shallow circuit with heavy input fan-out (bits in 1..6). *)
+
+val mux_tree : name:string -> select_bits:int -> unit -> Netlist.t
+(** 2^[select_bits]-to-1 multiplexer tree built from AND/OR/INV
+    (select_bits in 1..6): data inputs d0.., selects s0.., one output. *)
+
+val parity_chain : name:string -> width:int -> unit -> Netlist.t
+(** Linear XOR chain computing the parity of [width] inputs — maximum
+    depth for its size (the anti-c499). *)
+
+val comparator : name:string -> bits:int -> unit -> Netlist.t
+(** [bits]-bit equality comparator: XNOR per bit + AND tree, output 1
+    when a = b. *)
+
+type mix = (Ssta_tech.Gate.kind * float) list
+(** Weighted gate-kind mix for random circuits. *)
+
+val default_mix : mix
+(** NAND2-heavy mix resembling the ISCAS85 profiles. *)
+
+val random_layered :
+  ?mix:mix ->
+  name:string ->
+  inputs:int ->
+  outputs:int ->
+  gates:int ->
+  depth:int ->
+  seed:int ->
+  unit ->
+  Netlist.t
+(** Layered random DAG: [gates] gates distributed over [depth] layers;
+    each gate draws its kind from [mix] and its fan-ins from earlier
+    layers with a strong bias to the immediately preceding layer (so the
+    logic depth is close to [depth]).  Deterministic in [seed]. *)

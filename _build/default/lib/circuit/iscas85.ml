@@ -1,0 +1,82 @@
+type style = Random of int | Ecc | Ecc_expanded | Multiplier of int
+
+type paper_row = {
+  det_delay_ps : float;
+  worst_case_ps : float;
+  overestimation_pct : float;
+  confidence : float;
+  num_critical_paths : int;
+  prob_mean_ps : float;
+  prob_sigma3_ps : float;
+  critical_path_gates : int;
+  det_rank_of_prob_critical : int;
+  runtime_s : float;
+}
+
+type spec = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  style : style;
+  seed : int;
+  paper : paper_row;
+}
+
+let row det wc pct c n mean s3 cg rank rt =
+  { det_delay_ps = det; worst_case_ps = wc; overestimation_pct = pct;
+    confidence = c; num_critical_paths = n; prob_mean_ps = mean;
+    prob_sigma3_ps = s3; critical_path_gates = cg;
+    det_rank_of_prob_critical = rank; runtime_s = rt }
+
+(* Depths for the random circuits follow Table 2's critical-path gate
+   counts (column 10). *)
+let all =
+  [ { name = "c432"; inputs = 36; outputs = 7; gates = 160;
+      style = Random 16; seed = 432;
+      paper = row 266.771 545.009 56.61 0.05 32 266.640 347.996 16 1 0.2 };
+    { name = "c499"; inputs = 41; outputs = 32; gates = 202; style = Ecc;
+      seed = 499;
+      paper = row 180.004 358.336 49.94 0.05 58 179.183 238.979 11 40 0.6 };
+    { name = "c880"; inputs = 60; outputs = 26; gates = 383;
+      style = Random 23; seed = 880;
+      paper = row 205.999 421.535 58.68 0.05 3 206.036 265.655 23 1 0.05 };
+    { name = "c1355"; inputs = 41; outputs = 32; gates = 546;
+      style = Ecc_expanded; seed = 1355;
+      paper = row 241.245 486.283 52.46 0.05 1596 240.180 318.963 24 902 27.0 };
+    { name = "c1908"; inputs = 33; outputs = 25; gates = 880;
+      style = Random 40; seed = 1908;
+      paper = row 326.109 675.068 58.07 0.05 5 324.403 427.082 40 5 0.05 };
+    { name = "c2670"; inputs = 233; outputs = 140; gates = 1269;
+      style = Random 32; seed = 2670;
+      paper = row 375.465 762.627 57.26 0.1 74 373.216 484.960 32 18 1.5 };
+    { name = "c3540"; inputs = 50; outputs = 22; gates = 1669;
+      style = Random 41; seed = 3540;
+      paper = row 459.501 903.289 48.32 0.05 32 458.431 609.015 41 8 0.5 };
+    { name = "c5315"; inputs = 178; outputs = 123; gates = 2307;
+      style = Random 48; seed = 5315;
+      paper = row 381.292 775.375 50.69 0.05 5 381.177 514.552 48 1 0.4 };
+    { name = "c6288"; inputs = 32; outputs = 32; gates = 2416;
+      style = Multiplier 16; seed = 6288;
+      paper = row 1033.433 2163.213 62.22 0.001 896 1033.531 1333.470 124 1 15.0 };
+    { name = "c7552"; inputs = 207; outputs = 108; gates = 3513;
+      style = Random 21; seed = 7552;
+      paper = row 383.688 754.628 51.57 0.05 5 383.557 497.886 21 1 0.4 } ]
+
+let names = List.map (fun s -> s.name) all
+let by_name n = List.find_opt (fun s -> String.equal s.name n) all
+
+let build spec =
+  match spec.style with
+  | Ecc -> Generators.ecc ~name:spec.name ~data_bits:32 ~check_bits:8 ()
+  | Ecc_expanded ->
+      let base = Generators.ecc ~name:spec.name ~data_bits:32 ~check_bits:8 () in
+      Generators.expand_xor base
+  | Multiplier bits -> Generators.array_multiplier ~name:spec.name ~bits ()
+  | Random depth ->
+      Generators.random_layered ~name:spec.name ~inputs:spec.inputs
+        ~outputs:spec.outputs ~gates:spec.gates ~depth ~seed:spec.seed ()
+
+let build_placed spec =
+  let c = build spec in
+  (c, Placement.place c)

@@ -1,0 +1,52 @@
+(** The ISCAS85 benchmark suite, as substituted circuits.
+
+    Each spec records the real benchmark's vital statistics (I/O counts,
+    gate count, critical-path gate count) together with the paper's
+    Table 2 reference values, and builds a deterministic substitute
+    circuit of the same size and topological character (see DESIGN.md,
+    "Substitutions").  [c6288] is a real 16x16 array multiplier and
+    [c1355] is the XOR-to-NAND expansion of the [c499] ECC circuit —
+    mirroring what the actual benchmarks are. *)
+
+type style =
+  | Random of int  (** layered random DAG with the given depth *)
+  | Ecc  (** 32-data/8-check error-correcting circuit (c499) *)
+  | Ecc_expanded  (** the same with XORs expanded to NANDs (c1355) *)
+  | Multiplier of int  (** n x n array multiplier (c6288) *)
+
+type paper_row = {
+  det_delay_ps : float;  (** Table 2 col. 3: critical path delay *)
+  worst_case_ps : float;  (** col. 4 *)
+  overestimation_pct : float;  (** col. 5 *)
+  confidence : float;  (** col. 6: the C constant used *)
+  num_critical_paths : int;  (** col. 7 *)
+  prob_mean_ps : float;  (** col. 8 *)
+  prob_sigma3_ps : float;  (** col. 9: 3-sigma point *)
+  critical_path_gates : int;  (** col. 10 *)
+  det_rank_of_prob_critical : int;  (** col. 11 *)
+  runtime_s : float;  (** col. 12 *)
+}
+(** The row the paper reports for this circuit — kept as ground truth for
+    EXPERIMENTS.md comparisons. *)
+
+type spec = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  gates : int;  (** real benchmark gate count (= Table 2 col. 2) *)
+  style : style;
+  seed : int;
+  paper : paper_row;
+}
+
+val all : spec list
+(** The ten circuits of Table 2, in the paper's order. *)
+
+val by_name : string -> spec option
+val names : string list
+
+val build : spec -> Netlist.t
+(** Construct the substitute circuit (deterministic in [spec.seed]). *)
+
+val build_placed : spec -> Netlist.t * Placement.t
+(** Circuit plus its default placement. *)

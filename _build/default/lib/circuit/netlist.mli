@@ -1,0 +1,89 @@
+(** Combinational gate-level netlists.
+
+    Node identifiers are dense integers: primary inputs come first
+    (ids [0 .. num_inputs-1]), gates follow in construction order, which
+    the {!Builder} guarantees to be topological (a gate may only use
+    already-defined nodes as fan-ins).  This makes every well-formed
+    netlist a DAG by construction — the property the paper's timing graph
+    relies on. *)
+
+type gate = {
+  id : int;
+  kind : Ssta_tech.Gate.kind;
+  fanins : int array;  (** node ids, length = fan-in of [kind] *)
+}
+
+type t = private {
+  name : string;
+  num_inputs : int;
+  gates : gate array;  (** gate with id [num_inputs + i] at index [i] *)
+  outputs : int array;  (** node ids designated as primary outputs *)
+  node_names : string array;  (** one name per node id *)
+}
+
+val num_nodes : t -> int
+(** Inputs plus gates. *)
+
+val num_gates : t -> int
+val is_input : t -> int -> bool
+
+val gate_of : t -> int -> gate
+(** The gate driving node [id].  Raises [Invalid_argument] for primary
+    inputs. *)
+
+val node_name : t -> int -> string
+val find_node : t -> string -> int option
+
+val fanouts : t -> int array array
+(** [fanouts c].(id) lists the gate node-ids that consume node [id];
+    O(nodes + edges), computed fresh on each call. *)
+
+val fanout_counts : t -> int array
+(** Number of consumers per node (primary outputs add one sink each). *)
+
+val levels : t -> int array
+(** Topological level per node: inputs are 0, a gate is
+    1 + max level of its fan-ins. *)
+
+val depth : t -> int
+(** Maximum level over all nodes (logic depth). *)
+
+val gate_kind_histogram : t -> (Ssta_tech.Gate.kind * int) list
+(** Count of gates per kind, sorted by decreasing count. *)
+
+val simulate : t -> bool array -> bool array
+(** [simulate c inputs] evaluates the circuit on an input assignment
+    (length [num_inputs]) and returns the value of every node.  Used by
+    tests to check that structural transformations preserve logic. *)
+
+val output_values : t -> bool array -> bool array
+(** Primary-output values for an input assignment. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+(** Incremental construction; the only way to create a netlist. *)
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : string -> t
+  (** [create name] starts an empty netlist. *)
+
+  val add_input : t -> string -> int
+  (** Declare a primary input; returns its node id.  Raises
+      [Invalid_argument] on duplicate names or if gates were already
+      added. *)
+
+  val add_gate : ?name:string -> t -> Ssta_tech.Gate.kind -> int list -> int
+  (** [add_gate b kind fanins] appends a gate and returns its node id.
+      Fan-ins must be existing node ids, and their count must match the
+      gate's arity.  A default name [n<id>] is used when [name] is
+      omitted. *)
+
+  val mark_output : t -> int -> unit
+  (** Declare an existing node to be a primary output (idempotent). *)
+
+  val finish : t -> netlist
+  (** Validate and freeze.  Raises [Invalid_argument] if the netlist has
+      no inputs, no gates, or no outputs. *)
+end

@@ -1,0 +1,69 @@
+type t = {
+  die_width : float;
+  die_height : float;
+  coords : (float * float) array;
+}
+
+type strategy = Levelized | Row_major | Scattered of int
+
+let bounding coords pitch =
+  let w =
+    Array.fold_left (fun acc (x, _) -> Float.max acc x) 0.0 coords +. pitch
+  in
+  let h =
+    Array.fold_left (fun acc (_, y) -> Float.max acc y) 0.0 coords +. pitch
+  in
+  (w, h)
+
+let levelized pitch c =
+  let lv = Netlist.levels c in
+  let n = Netlist.num_nodes c in
+  let max_level = Array.fold_left Int.max 0 lv in
+  let counters = Array.make (max_level + 1) 0 in
+  let coords = Array.make n (0.0, 0.0) in
+  for id = 0 to n - 1 do
+    let level = lv.(id) in
+    let row = counters.(level) in
+    counters.(level) <- row + 1;
+    coords.(id) <- (float_of_int level *. pitch, float_of_int row *. pitch)
+  done;
+  coords
+
+let row_major pitch c =
+  let n = Netlist.num_nodes c in
+  let side = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  Array.init n (fun id ->
+      ( float_of_int (id mod side) *. pitch,
+        float_of_int (id / side) *. pitch ))
+
+let scattered seed pitch c =
+  let n = Netlist.num_nodes c in
+  let rng = Ssta_prob.Rng.create seed in
+  let side = Float.ceil (sqrt (float_of_int n)) *. pitch in
+  Array.init n (fun _ ->
+      ( Ssta_prob.Rng.uniform rng ~lo:0.0 ~hi:side,
+        Ssta_prob.Rng.uniform rng ~lo:0.0 ~hi:side ))
+
+let place ?(strategy = Levelized) ?(pitch = 10.0) c =
+  if pitch <= 0.0 then invalid_arg "Placement.place: pitch must be positive";
+  let coords =
+    match strategy with
+    | Levelized -> levelized pitch c
+    | Row_major -> row_major pitch c
+    | Scattered seed -> scattered seed pitch c
+  in
+  let die_width, die_height = bounding coords pitch in
+  { die_width; die_height; coords }
+
+let coord t id =
+  if id < 0 || id >= Array.length t.coords then
+    invalid_arg "Placement.coord: bad node id";
+  t.coords.(id)
+
+let with_coords ~die_width ~die_height coords =
+  Array.iter
+    (fun (x, y) ->
+      if x < 0.0 || y < 0.0 || x > die_width || y > die_height then
+        invalid_arg "Placement.with_coords: coordinate outside die")
+    coords;
+  { die_width; die_height; coords }

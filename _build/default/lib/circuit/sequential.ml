@@ -1,0 +1,273 @@
+module Gate = Ssta_tech.Gate
+module B = Netlist.Builder
+
+type register = { q : int; d : int; reg_name : string }
+
+type t = {
+  name : string;
+  core : Netlist.t;
+  registers : register array;
+  real_inputs : int;
+  real_output_ids : int array;
+}
+
+let num_registers t = Array.length t.registers
+
+let is_register_q t id =
+  Netlist.is_input t.core id && id >= t.real_inputs
+
+let is_register_d t id =
+  Array.exists (fun r -> r.d = id) t.registers
+
+let of_netlist core =
+  { name = core.Netlist.name;
+    core;
+    registers = [||];
+    real_inputs = core.Netlist.num_inputs;
+    real_output_ids = core.Netlist.outputs }
+
+(* ---- ISCAS89-style parsing: extract DFF lines, transform the rest ---- *)
+
+let strip = String.trim
+
+(* Recognize "target = DFF(arg)" (case-insensitive head). *)
+let dff_of_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match String.index_opt line '=' with
+  | None -> None
+  | Some eq -> (
+      let target = strip (String.sub line 0 eq) in
+      let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      match String.index_opt rhs '(' with
+      | Some open_paren
+        when String.uppercase_ascii (strip (String.sub rhs 0 open_paren))
+             = "DFF"
+             && String.length rhs > 0
+             && rhs.[String.length rhs - 1] = ')' ->
+          let arg =
+            strip
+              (String.sub rhs (open_paren + 1)
+                 (String.length rhs - open_paren - 2))
+          in
+          Some (target, arg)
+      | Some _ | None -> None)
+
+let parse_bench ?(name = "sequential") text =
+  let lines = String.split_on_char '\n' text in
+  let dffs = ref [] in
+  let comb_lines = ref [] in
+  List.iter
+    (fun line ->
+      match dff_of_line line with
+      | Some (target, arg) -> dffs := (target, arg) :: !dffs
+      | None -> comb_lines := line :: !comb_lines)
+    lines;
+  let dffs = List.rev !dffs in
+  let comb_lines = List.rev !comb_lines in
+  (* a DFF target must not also have a combinational definition *)
+  List.iter
+    (fun (target, _) ->
+      List.iter
+        (fun line ->
+          match String.index_opt line '=' with
+          | Some eq when strip (String.sub line 0 eq) = target ->
+              raise
+                (Bench_format.Parse_error
+                   (0, "signal driven by both DFF and a gate: " ^ target))
+          | Some _ | None -> ())
+        comb_lines)
+    dffs;
+  (* count true inputs (INPUT lines) before adding pseudo ones *)
+  let buf = Buffer.create (String.length text + 256) in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    comb_lines;
+  List.iter
+    (fun (target, _) -> Buffer.add_string buf ("INPUT(" ^ target ^ ")\n"))
+    dffs;
+  let core0 = Bench_format.parse_string ~name (Buffer.contents buf) in
+  (* true inputs come first only if the INPUT lines did; rebuild cleanly:
+     Bench_format adds inputs in file order, so the pseudo inputs we
+     appended are last — exactly the layout we need. *)
+  let real_inputs = core0.Netlist.num_inputs - List.length dffs in
+  let real_output_ids = core0.Netlist.outputs in
+  (* mark every register's D signal as a (pseudo) output *)
+  let find name =
+    match Netlist.find_node core0 name with
+    | Some id -> id
+    | None ->
+        raise
+          (Bench_format.Parse_error (0, "DFF references unknown signal: " ^ name))
+  in
+  let registers =
+    List.map
+      (fun (target, arg) ->
+        { q = find target; d = find arg; reg_name = target })
+      dffs
+    |> Array.of_list
+  in
+  (* rebuild the core with the D pins marked as outputs *)
+  let core =
+    if Array.length registers = 0 then core0
+    else begin
+      let b = B.create name in
+      let remap = Array.make (Netlist.num_nodes core0) (-1) in
+      for i = 0 to core0.Netlist.num_inputs - 1 do
+        remap.(i) <- B.add_input b (Netlist.node_name core0 i)
+      done;
+      Array.iter
+        (fun (g : Netlist.gate) ->
+          let ins =
+            Array.to_list (Array.map (fun f -> remap.(f)) g.Netlist.fanins)
+          in
+          remap.(g.Netlist.id) <-
+            B.add_gate ~name:(Netlist.node_name core0 g.Netlist.id) b
+              g.Netlist.kind ins)
+        core0.Netlist.gates;
+      Array.iter (fun o -> B.mark_output b remap.(o)) core0.Netlist.outputs;
+      Array.iter (fun r -> B.mark_output b remap.(r.d)) registers;
+      B.finish b
+    end
+  in
+  (* node ids are preserved by the rebuild (same order) *)
+  { name; core; registers; real_inputs; real_output_ids }
+
+let to_bench t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" t.name);
+  for i = 0 to t.real_inputs - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "INPUT(%s)\n" (Netlist.node_name t.core i))
+  done;
+  Array.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (Netlist.node_name t.core o)))
+    t.real_output_ids;
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = DFF(%s)\n" r.reg_name
+           (Netlist.node_name t.core r.d)))
+    t.registers;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let operands =
+        g.Netlist.fanins |> Array.to_list
+        |> List.map (Netlist.node_name t.core)
+        |> String.concat ", "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n"
+           (Netlist.node_name t.core g.Netlist.id)
+           (Gate.name g.Netlist.kind) operands))
+    t.core.Netlist.gates;
+  Buffer.contents buf
+
+let simulate t ~state ~inputs =
+  if Array.length state <> num_registers t then
+    invalid_arg "Sequential.simulate: state width mismatch";
+  if Array.length inputs <> t.real_inputs then
+    invalid_arg "Sequential.simulate: input width mismatch";
+  let core_inputs = Array.append inputs state in
+  let values = Netlist.simulate t.core core_inputs in
+  let outputs = Array.map (fun o -> values.(o)) t.real_output_ids in
+  let next_state = Array.map (fun r -> values.(r.d)) t.registers in
+  (outputs, next_state)
+
+(* ---- pipelining ---- *)
+
+let pipeline ?(stages = 2) comb =
+  if stages < 1 then invalid_arg "Sequential.pipeline: stages must be >= 1";
+  if stages = 1 then of_netlist comb
+  else begin
+    let depth = Netlist.depth comb in
+    let levels = Netlist.levels comb in
+    let last = stages - 1 in
+    let stage_of id =
+      if Netlist.is_input comb id then 0
+      else Int.min last ((levels.(id) - 1) * stages / Int.max 1 depth)
+    in
+    (* pass 1: which (node, stage) registered copies are needed *)
+    let needs = Hashtbl.create 64 in
+    let require node from_stage upto =
+      for k = from_stage + 1 to upto do
+        Hashtbl.replace needs (node, k) ()
+      done
+    in
+    Array.iter
+      (fun (g : Netlist.gate) ->
+        let s_g = stage_of g.Netlist.id in
+        Array.iter
+          (fun f -> require f (stage_of f) s_g)
+          g.Netlist.fanins)
+      comb.Netlist.gates;
+    Array.iter
+      (fun o -> require o (stage_of o) last)
+      comb.Netlist.outputs;
+    let need_list =
+      Hashtbl.fold (fun key () acc -> key :: acc) needs []
+      |> List.sort compare
+    in
+    (* pass 2: build *)
+    let b = B.create (comb.Netlist.name ^ "_p" ^ string_of_int stages) in
+    let base = Array.make (Netlist.num_nodes comb) (-1) in
+    for i = 0 to comb.Netlist.num_inputs - 1 do
+      base.(i) <- B.add_input b (Netlist.node_name comb i)
+    done;
+    let pseudo = Hashtbl.create 64 in
+    List.iter
+      (fun (node, k) ->
+        let qname =
+          Printf.sprintf "%s_s%d" (Netlist.node_name comb node) k
+        in
+        Hashtbl.replace pseudo (node, k) (B.add_input b qname))
+      need_list;
+    let at node stage =
+      if stage = stage_of node then base.(node)
+      else
+        match Hashtbl.find_opt pseudo (node, stage) with
+        | Some id -> id
+        | None -> invalid_arg "Sequential.pipeline: missing register copy"
+    in
+    Array.iter
+      (fun (g : Netlist.gate) ->
+        let s_g = stage_of g.Netlist.id in
+        let ins =
+          Array.to_list (Array.map (fun f -> at f s_g) g.Netlist.fanins)
+        in
+        base.(g.Netlist.id) <- B.add_gate b g.Netlist.kind ins)
+      comb.Netlist.gates;
+    (* true outputs: the last-stage copy *)
+    let real_output_new = Array.map (fun o -> at o last) comb.Netlist.outputs in
+    Array.iter (fun o -> B.mark_output b o) real_output_new;
+    (* register D pins are pseudo outputs *)
+    let registers =
+      List.map
+        (fun (node, k) ->
+          let d = at node (k - 1) in
+          B.mark_output b d;
+          let q =
+            match Hashtbl.find_opt pseudo (node, k) with
+            | Some id -> id
+            | None -> assert false
+          in
+          { q;
+            d;
+            reg_name = Printf.sprintf "%s_s%d" (Netlist.node_name comb node) k })
+        need_list
+      |> Array.of_list
+    in
+    let core = B.finish b in
+    { name = core.Netlist.name;
+      core;
+      registers;
+      real_inputs = comb.Netlist.num_inputs;
+      real_output_ids = real_output_new }
+  end

@@ -1,0 +1,56 @@
+(** Sequential (clocked) circuits.
+
+    The ISCAS85 suite the paper uses is combinational, but its sequential
+    sibling (ISCAS89, same .bench format plus [G7 = DFF(G14)] lines) is
+    what real designs look like.  A sequential circuit is represented in
+    the standard way: a combinational core in which every register
+    contributes a pseudo primary input (its Q pin) and a pseudo primary
+    output (its D pin).  All the timing machinery then applies unchanged
+    to the core, and the minimum clock period is the core's critical
+    delay plus the setup time. *)
+
+type register = {
+  q : int;  (** core node id of the register output (a primary input) *)
+  d : int;  (** core node id of the register data input (marked output) *)
+  reg_name : string;
+}
+
+type t = {
+  name : string;
+  core : Netlist.t;  (** combinational core with pseudo PI/PO *)
+  registers : register array;
+  real_inputs : int;  (** the first [real_inputs] PIs are true inputs;
+                          the rest are register Q pins *)
+  real_output_ids : int array;  (** the circuit's true primary outputs *)
+}
+
+val num_registers : t -> int
+
+val is_register_q : t -> int -> bool
+(** Whether a core PI is a register output. *)
+
+val is_register_d : t -> int -> bool
+(** Whether a core node is some register's data input. *)
+
+val of_netlist : Netlist.t -> t
+(** Wrap a purely combinational netlist (no registers). *)
+
+val parse_bench : ?name:string -> string -> t
+(** Parse .bench text that may contain [DFF(...)] definitions (ISCAS89
+    dialect).  Raises {!Bench_format.Parse_error} on malformed input. *)
+
+val to_bench : t -> string
+(** Render back to .bench with DFF lines (round-trips). *)
+
+val simulate :
+  t -> state:bool array -> inputs:bool array -> bool array * bool array
+(** One clock cycle: [(outputs, next_state)] for the given register
+    state and primary-input values.  [state] has {!num_registers}
+    entries; [inputs] the circuit's true inputs. *)
+
+val pipeline : ?stages:int -> Netlist.t -> t
+(** Insert register ranks into a combinational circuit, cutting its
+    topological levels into [stages] (default 2) roughly equal bands; a
+    signal crossing several cuts goes through a register chain.  Stage
+    count 1 returns the wrapped original.  Logic is preserved with a
+    latency of [stages - 1] cycles (tested by simulation). *)

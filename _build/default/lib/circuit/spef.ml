@@ -1,0 +1,87 @@
+exception Parse_error of int * string
+
+type t = { design : string; caps : (string * float) list }
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_string text =
+  let design = ref "" in
+  let caps = ref [] in
+  let pf = 1e-12 in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      match tokens_of_line raw with
+      | [] -> ()
+      | "*DESIGN" :: name :: _ -> design := name
+      | "*D_NET" :: net :: cap :: _ -> (
+          match float_of_string_opt cap with
+          | Some c when c >= 0.0 -> caps := (net, c *. pf) :: !caps
+          | Some _ -> fail lineno ("negative capacitance on net " ^ net)
+          | None -> fail lineno ("bad capacitance value: " ^ cap))
+      | "*D_NET" :: _ -> fail lineno "*D_NET needs a net name and a value"
+      | tok :: _ when String.length tok > 0 && tok.[0] = '*' -> ()
+      | _ -> ())
+    (String.split_on_char '\n' text);
+  if !design = "" then fail 0 "missing *DESIGN";
+  { design = !design; caps = List.rev !caps }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "*SPEF \"IEEE 1481-1998\"\n";
+  Buffer.add_string buf (Printf.sprintf "*DESIGN %s\n" t.design);
+  Buffer.add_string buf "*C_UNIT 1 PF\n";
+  List.iter
+    (fun (net, cap) ->
+      Buffer.add_string buf
+        (Printf.sprintf "*D_NET %s %.6f\n" net (cap /. 1e-12)))
+    t.caps;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let of_placement ?(wire = Ssta_tech.Wire.default) ~design (c : Netlist.t) pl =
+  let fanouts = Netlist.fanouts c in
+  let caps =
+    Array.to_list c.Netlist.gates
+    |> List.map (fun (g : Netlist.gate) ->
+           let id = g.Netlist.id in
+           let sinks =
+             Array.to_list fanouts.(id)
+             |> List.map (fun f -> Placement.coord pl f)
+           in
+           ( Netlist.node_name c id,
+             Ssta_tech.Wire.net_cap wire (Placement.coord pl id) sinks ))
+  in
+  { design; caps }
+
+let apply t (c : Netlist.t) =
+  let table = Hashtbl.create 256 in
+  List.iter (fun (net, cap) -> Hashtbl.replace table net cap) t.caps;
+  let matched = ref 0 in
+  let caps =
+    Array.init (Netlist.num_nodes c) (fun id ->
+        match Hashtbl.find_opt table (Netlist.node_name c id) with
+        | Some cap ->
+            incr matched;
+            cap
+        | None -> 0.0)
+  in
+  if !matched * 2 < Netlist.num_gates c then
+    invalid_arg "Spef.apply: SPEF does not match this netlist";
+  caps

@@ -1,0 +1,36 @@
+(** Gate-level structural Verilog subset.
+
+    The ISCAS85 benchmarks are also distributed as structural Verilog
+    using the primitive gates; this module reads and writes that
+    dialect:
+
+    {v
+      module c17 (N1, N2, N3, N6, N7, N22, N23);
+        input N1, N2, N3, N6, N7;
+        output N22, N23;
+        wire N10, N11, N16, N19;
+        nand g1 (N10, N1, N3);
+        nand g2 (N11, N3, N6);
+        ...
+      endmodule
+    v}
+
+    Supported primitives: [and], [or], [nand], [nor], [xor], [xnor],
+    [not], [buf] — output port first, as in the Verilog standard.
+    Comments ([// ...] and [/* ... */]) are skipped.  One module per
+    file; instances may reference wires declared later (resolved like
+    the .bench parser). *)
+
+exception Parse_error of int * string
+(** [(line, message)]. *)
+
+val parse_string : string -> Netlist.t
+val parse_file : string -> Netlist.t
+
+val to_string : Netlist.t -> string
+(** Emit the netlist as a single structural module (named after the
+    circuit; identifiers unsupported by Verilog are escaped with [\ ]).
+    Multi-input AND/OR/NAND/NOR map to the variadic primitives; a
+    parse/print round trip preserves structure and logic. *)
+
+val write_file : string -> Netlist.t -> unit

@@ -1,0 +1,1 @@
+lib/core/block_based.ml: Array Config Float Hashtbl List Ssta_circuit Ssta_correlation Ssta_prob Ssta_tech Ssta_timing Unix

@@ -1,0 +1,1 @@
+lib/core/block_based.mli: Config Hashtbl Ssta_circuit Ssta_correlation

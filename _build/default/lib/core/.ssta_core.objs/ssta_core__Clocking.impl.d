@@ -1,0 +1,1 @@
+lib/core/clocking.ml: Array Config Float Methodology Path_analysis Ranking Ssta_circuit Ssta_tech Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/clocking.mli: Config Methodology Ssta_circuit

@@ -1,0 +1,1 @@
+lib/core/config.ml: Ssta_correlation Ssta_prob Ssta_tech

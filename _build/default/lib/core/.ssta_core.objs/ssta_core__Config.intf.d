@@ -1,0 +1,1 @@
+lib/core/config.mli: Ssta_circuit Ssta_correlation Ssta_prob

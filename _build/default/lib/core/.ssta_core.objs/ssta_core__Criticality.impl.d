@@ -1,0 +1,1 @@
+lib/core/criticality.ml: Array Monte_carlo Ssta_timing

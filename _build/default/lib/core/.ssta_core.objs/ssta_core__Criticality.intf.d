@@ -1,0 +1,1 @@
+lib/core/criticality.mli: Monte_carlo Ssta_prob Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/dual_vt.ml: Array Config Float Hashtbl Int Inter Intra List Ssta_circuit Ssta_correlation Ssta_prob Ssta_tech Ssta_timing

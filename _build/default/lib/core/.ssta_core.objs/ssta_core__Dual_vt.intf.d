@@ -1,0 +1,1 @@
+lib/core/dual_vt.mli: Config Inter Ssta_circuit Ssta_prob Ssta_tech Ssta_timing

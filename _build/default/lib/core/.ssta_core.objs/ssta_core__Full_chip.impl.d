@@ -1,0 +1,1 @@
+lib/core/full_chip.ml: Array Config Float List Ssta_circuit Ssta_prob Ssta_tech Ssta_timing Unix

@@ -1,0 +1,1 @@
+lib/core/full_chip.mli: Config Ssta_circuit Ssta_prob Ssta_tech

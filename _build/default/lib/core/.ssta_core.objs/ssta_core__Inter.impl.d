@@ -1,0 +1,1 @@
+lib/core/inter.ml: Array Config Float Ssta_correlation Ssta_prob Ssta_tech

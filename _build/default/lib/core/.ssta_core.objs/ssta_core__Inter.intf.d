@@ -1,0 +1,1 @@
+lib/core/inter.mli: Config Ssta_correlation Ssta_prob

@@ -1,0 +1,1 @@
+lib/core/intra.ml: Config Ssta_correlation Ssta_prob

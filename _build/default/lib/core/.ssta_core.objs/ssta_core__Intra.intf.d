@@ -1,0 +1,1 @@
+lib/core/intra.mli: Config Ssta_correlation Ssta_prob

@@ -1,0 +1,1 @@
+lib/core/methodology.ml: Array Config List Path_analysis Ranking Ssta_circuit Ssta_timing Unix

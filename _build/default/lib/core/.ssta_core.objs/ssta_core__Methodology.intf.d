@@ -1,0 +1,1 @@
+lib/core/methodology.mli: Config Path_analysis Ranking Ssta_circuit Ssta_tech Ssta_timing

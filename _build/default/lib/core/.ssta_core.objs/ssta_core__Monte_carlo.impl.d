@@ -1,0 +1,1 @@
+lib/core/monte_carlo.ml: Array Config Float Hashtbl Path_analysis Ssta_circuit Ssta_correlation Ssta_prob Ssta_tech Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/monte_carlo.mli: Config Path_analysis Ssta_circuit Ssta_prob Ssta_tech Ssta_timing

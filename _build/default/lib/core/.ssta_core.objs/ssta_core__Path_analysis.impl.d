@@ -1,0 +1,1 @@
+lib/core/path_analysis.ml: Config Inter Intra Ssta_circuit Ssta_correlation Ssta_prob Ssta_tech Ssta_timing

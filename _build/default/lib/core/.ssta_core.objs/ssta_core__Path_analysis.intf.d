@@ -1,0 +1,1 @@
+lib/core/path_analysis.mli: Config Ssta_circuit Ssta_correlation Ssta_prob Ssta_timing

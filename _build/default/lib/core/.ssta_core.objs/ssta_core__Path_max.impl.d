@@ -1,0 +1,1 @@
+lib/core/path_max.ml: Array Block_based Config Float Hashtbl Int List Methodology Path_analysis Ranking Ssta_correlation Ssta_prob Ssta_tech

@@ -1,0 +1,1 @@
+lib/core/path_max.mli: Block_based Config Methodology Path_analysis

@@ -1,0 +1,1 @@
+lib/core/quality_sweep.ml: Config Float Format Int List Path_analysis Ssta_circuit Ssta_tech Ssta_timing Unix

@@ -1,0 +1,1 @@
+lib/core/quality_sweep.mli: Config Format Ssta_circuit

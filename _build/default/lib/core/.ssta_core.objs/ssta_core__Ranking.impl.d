@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Array Int List Path_analysis Ssta_prob

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Config Format List Methodology Path_analysis Printf Ranking Ssta_circuit Ssta_prob Ssta_tech Ssta_timing

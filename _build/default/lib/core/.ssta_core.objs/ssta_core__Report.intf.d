@@ -1,0 +1,1 @@
+lib/core/report.mli: Format Methodology Path_analysis Ssta_circuit Ssta_prob Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/second_order.ml: Array Config Hashtbl List Path_analysis Ssta_circuit Ssta_correlation Ssta_tech Ssta_timing

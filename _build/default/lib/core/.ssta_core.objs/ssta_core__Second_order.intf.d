@@ -1,0 +1,1 @@
+lib/core/second_order.mli: Config Path_analysis Ssta_circuit Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/sizing.ml: Array Config Float List Path_analysis Ssta_circuit Ssta_timing

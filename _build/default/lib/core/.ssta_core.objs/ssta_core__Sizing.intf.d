@@ -1,0 +1,1 @@
+lib/core/sizing.mli: Config Ssta_circuit

@@ -1,0 +1,1 @@
+lib/core/yield.ml: Array List Methodology Path_analysis Ranking Ssta_prob

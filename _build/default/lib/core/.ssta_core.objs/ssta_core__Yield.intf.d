@@ -1,0 +1,1 @@
+lib/core/yield.mli: Methodology Ssta_prob

@@ -1,0 +1,128 @@
+module Sequential = Ssta_circuit.Sequential
+module Netlist = Ssta_circuit.Netlist
+module Graph = Ssta_timing.Graph
+module Sta = Ssta_timing.Sta
+
+type t = {
+  det_min_clock : float;
+  stat_min_clock : float;
+  worst_case_clock : float;
+  fastest_reg_to_reg : float;
+  hold_margin : float;
+  methodology : Methodology.t;
+}
+
+(* Minimum delay from any register Q to any register D: earliest-arrival
+   labels with only register outputs as time-zero sources. *)
+let fastest_reg_to_reg (s : Sequential.t) graph =
+  let n = Graph.num_nodes graph in
+  let labels = Array.make n infinity in
+  for id = 0 to n - 1 do
+    if Graph.is_input graph id then begin
+      if Sequential.is_register_q s id then labels.(id) <- 0.0
+    end
+    else begin
+      let best = ref infinity in
+      Array.iter
+        (fun f -> if labels.(f) < !best then best := labels.(f))
+        (Graph.fanins graph id);
+      if !best < infinity then labels.(id) <- !best +. graph.Graph.delay.(id)
+    end
+  done;
+  Array.fold_left
+    (fun acc (r : Sequential.register) ->
+      (* a register capturing directly from another register's Q *)
+      Float.min acc labels.(r.Sequential.d))
+    infinity s.Sequential.registers
+
+let analyze ?(config = Config.default) ?(setup = 5e-12) ?(hold = 2e-12)
+    (s : Sequential.t) =
+  let m = Methodology.run ~config s.Sequential.core in
+  let det = m.Methodology.sta.Sta.critical_delay in
+  let stat =
+    m.Methodology.prob_critical.Ranking.analysis.Path_analysis
+    .confidence_point
+  in
+  let worst = m.Methodology.det_critical.Path_analysis.worst_case in
+  let fastest = fastest_reg_to_reg s m.Methodology.sta.Sta.graph in
+  { det_min_clock = det +. setup;
+    stat_min_clock = stat +. setup;
+    worst_case_clock = worst +. setup;
+    fastest_reg_to_reg = fastest;
+    hold_margin = fastest -. hold;
+    methodology = m }
+
+let speedup ~baseline t = baseline.stat_min_clock /. t.stat_min_clock
+
+let fix_hold ?(hold = 2e-12) (s : Sequential.t) =
+  let module B = Netlist.Builder in
+  let module Gate = Ssta_tech.Gate in
+  let graph = Graph.of_netlist s.Sequential.core in
+  (* per-register fastest launch delay, as in fastest_reg_to_reg but
+     per capture pin *)
+  let n = Graph.num_nodes graph in
+  let labels = Array.make n infinity in
+  for id = 0 to n - 1 do
+    if Graph.is_input graph id then begin
+      if Sequential.is_register_q s id then labels.(id) <- 0.0
+    end
+    else begin
+      let best = ref infinity in
+      Array.iter
+        (fun f -> if labels.(f) < !best then best := labels.(f))
+        (Graph.fanins graph id);
+      if !best < infinity then labels.(id) <- !best +. graph.Graph.delay.(id)
+    end
+  done;
+  let buf_delay =
+    Ssta_tech.Elmore.nominal_delay (Gate.electrical ~fanout:1 Gate.Buf)
+  in
+  let deficit d = hold -. labels.(d) in
+  let buffers_for d =
+    let need = deficit d in
+    if need <= 0.0 then 0
+    else int_of_float (Float.ceil (need /. buf_delay))
+  in
+  let total = ref 0 in
+  let core = s.Sequential.core in
+  let b = B.create core.Netlist.name in
+  let remap = Array.make (Netlist.num_nodes core) (-1) in
+  for i = 0 to core.Netlist.num_inputs - 1 do
+    remap.(i) <- B.add_input b (Netlist.node_name core i)
+  done;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let ins =
+        Array.to_list (Array.map (fun f -> remap.(f)) g.Netlist.fanins)
+      in
+      remap.(g.Netlist.id) <-
+        B.add_gate ~name:(Netlist.node_name core g.Netlist.id) b
+          g.Netlist.kind ins)
+    core.Netlist.gates;
+  (* buffer chains in front of slow-to-capture register D pins *)
+  let new_d =
+    Array.map
+      (fun (r : Sequential.register) ->
+        let k = buffers_for r.Sequential.d in
+        total := !total + k;
+        let rec chain node i =
+          if i = 0 then node else chain (B.add_gate b Gate.Buf [ node ]) (i - 1)
+        in
+        chain remap.(r.Sequential.d) k)
+      s.Sequential.registers
+  in
+  Array.iter (fun o -> B.mark_output b remap.(o)) s.Sequential.real_output_ids;
+  Array.iter (fun d -> B.mark_output b d) new_d;
+  let core' = B.finish b in
+  let registers =
+    Array.mapi
+      (fun i (r : Sequential.register) ->
+        { r with Sequential.q = remap.(r.Sequential.q); d = new_d.(i) })
+      s.Sequential.registers
+  in
+  ( { s with
+      Sequential.core = core';
+      registers;
+      real_output_ids =
+        Array.map (fun o -> remap.(o)) s.Sequential.real_output_ids },
+    !total )

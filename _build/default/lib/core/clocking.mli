@@ -1,0 +1,39 @@
+(** Clock-period analysis of sequential circuits.
+
+    With registers represented as pseudo PI/PO pairs
+    ({!Ssta_circuit.Sequential}), the minimum clock period is the
+    combinational core's critical delay plus the register setup time —
+    deterministically, statistically (the 3-sigma point of the
+    probabilistic critical path, i.e. a 99.87%-per-path-yield clock) and
+    at the worst-case corner.  The hold check needs the {e fastest}
+    register-to-register path: data launched at an edge must not reach
+    the next register before the hold window of the same edge closes. *)
+
+type t = {
+  det_min_clock : float;  (** nominal critical delay + setup, seconds *)
+  stat_min_clock : float;  (** 3-sigma point + setup *)
+  worst_case_clock : float;  (** corner delay + setup *)
+  fastest_reg_to_reg : float;
+      (** minimum register-to-register path delay (infinite when the
+          circuit has fewer than two connected registers) *)
+  hold_margin : float;  (** fastest_reg_to_reg - hold *)
+  methodology : Methodology.t;  (** the underlying statistical run *)
+}
+
+val analyze :
+  ?config:Config.t -> ?setup:float -> ?hold:float
+  -> Ssta_circuit.Sequential.t -> t
+(** [setup] and [hold] default to 5 ps and 2 ps.  The placement is the
+    default one of the core. *)
+
+val speedup : baseline:t -> t -> float
+(** Statistical clock-frequency ratio between two analyses (e.g. a
+    pipelined circuit vs. its combinational baseline). *)
+
+val fix_hold : ?hold:float -> Ssta_circuit.Sequential.t
+  -> Ssta_circuit.Sequential.t * int
+(** Insert buffer chains in front of register data pins whose fastest
+    launch-to-capture delay is below [hold] (default 2 ps) — the
+    standard hold fix for shift-register chains, here driven by the
+    nominal buffer delay.  Returns the repaired circuit and the number
+    of buffers added.  Logic is unchanged (buffers only). *)

@@ -1,0 +1,59 @@
+module Budget = Ssta_correlation.Budget
+module Layers = Ssta_correlation.Layers
+
+type t = {
+  quality_intra : int;
+  quality_inter : int;
+  confidence : float;
+  quad_levels : int;
+  random_layer : bool;
+  budget : Budget.t;
+  truncation : float;
+  corner_k : float;
+  confidence_sigma : float;
+  max_paths : int;
+  inter_shape : Ssta_prob.Shape.t;
+}
+
+let num_layers t = t.quad_levels + if t.random_layer then 1 else 0
+
+let default =
+  let quad_levels = 4 and random_layer = true in
+  { quality_intra = 100;
+    quality_inter = 50;
+    confidence = 0.05;
+    quad_levels;
+    random_layer;
+    budget = Budget.equal ~layers:(quad_levels + 1);
+    truncation = 6.0;
+    corner_k = Ssta_tech.Corner.default_k;
+    confidence_sigma = 3.0;
+    max_paths = 20_000;
+    inter_shape = Ssta_prob.Shape.Gaussian }
+
+let with_confidence t confidence = { t with confidence }
+
+let with_quality t ~intra ~inter =
+  { t with quality_intra = intra; quality_inter = inter }
+
+let with_inter_shape t inter_shape = { t with inter_shape }
+
+let with_budget_split t ~inter_fraction =
+  { t with
+    budget = Budget.inter_intra ~inter_fraction ~layers:(num_layers t) }
+
+let layers_for t pl =
+  Layers.of_placement ~quad_levels:t.quad_levels ~random_layer:t.random_layer
+    pl
+
+let validate t =
+  if t.quality_intra < 2 then Error "quality_intra must be >= 2"
+  else if t.quality_inter < 2 then Error "quality_inter must be >= 2"
+  else if t.confidence < 0.0 then Error "confidence must be >= 0"
+  else if t.quad_levels < 1 then Error "quad_levels must be >= 1"
+  else if Budget.layers t.budget <> num_layers t then
+    Error "budget layer count does not match the layer structure"
+  else if t.truncation <= 0.0 then Error "truncation must be positive"
+  else if t.confidence_sigma < 0.0 then Error "confidence_sigma must be >= 0"
+  else if t.max_paths < 1 then Error "max_paths must be >= 1"
+  else Ok ()

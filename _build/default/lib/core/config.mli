@@ -1,0 +1,46 @@
+(** Configuration of the statistical timing methodology.
+
+    Gathers every knob of the paper's flow: PDF discretizations
+    (QUALITY_intra = 100 and QUALITY_inter = 50, chosen in Section 4 as
+    the accuracy/run-time sweet spot), the confidence constant C, the
+    correlation-layer structure and variance budget, the worst-case
+    corner multiplier and the confidence point used for ranking. *)
+
+type t = {
+  quality_intra : int;  (** intra-PDF discretization (paper: 100) *)
+  quality_inter : int;  (** inter-PDF discretization (paper: 50) *)
+  confidence : float;  (** the C constant: slack = C * sigma_C *)
+  quad_levels : int;  (** spatial quad-tree layers (paper: 4) *)
+  random_layer : bool;  (** extra per-gate layer (paper: yes) *)
+  budget : Ssta_correlation.Budget.t;  (** variance split across layers *)
+  truncation : float;  (** Gaussian truncation in sigmas (paper: 6) *)
+  corner_k : float;  (** worst-case corner multiplier (see Corner) *)
+  confidence_sigma : float;  (** ranking confidence point (paper: 3) *)
+  max_paths : int;  (** near-critical enumeration safety cap *)
+  inter_shape : Ssta_prob.Shape.t;
+      (** distribution shape of the inter-die RVs (paper: Gaussian; the
+          numeric inter engine accepts any shape — an extension
+          demonstrating that path-based SSTA is not Gaussian-bound) *)
+}
+
+val default : t
+(** The paper's settings: Q_intra 100, Q_inter 50, C 0.05, 4+1 layers,
+    equal variance split, 6-sigma truncation, 3-sigma ranking point,
+    corner multiplier {!Ssta_tech.Corner.default_k}, 20_000-path cap. *)
+
+val num_layers : t -> int
+
+val with_confidence : t -> float -> t
+val with_quality : t -> intra:int -> inter:int -> t
+
+val with_budget_split : t -> inter_fraction:float -> t
+(** Replace the budget by an inter/intra split (Table 3 scenarios). *)
+
+val with_inter_shape : t -> Ssta_prob.Shape.t -> t
+
+val layers_for : t -> Ssta_circuit.Placement.t -> Ssta_correlation.Layers.t
+(** Instantiate the layer structure on a placed die. *)
+
+val validate : t -> (unit, string) result
+(** Check internal consistency (positive qualities, budget layer count
+    matching the layer structure, C >= 0, ...). *)

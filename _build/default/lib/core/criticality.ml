@@ -1,0 +1,45 @@
+module Paths = Ssta_timing.Paths
+module Graph = Ssta_timing.Graph
+
+type t = {
+  probabilities : float array;
+  samples : int;
+  entropy : float;
+}
+
+let estimate sampler ~n rng paths =
+  if paths = [] then invalid_arg "Criticality.estimate: no paths";
+  if n < 1 then invalid_arg "Criticality.estimate: n >= 1";
+  let paths = Array.of_list paths in
+  let wins = Array.make (Array.length paths) 0 in
+  for _ = 1 to n do
+    let delays = Monte_carlo.sample_gate_delays sampler rng in
+    let best = ref 0 and best_delay = ref neg_infinity in
+    Array.iteri
+      (fun i (p : Paths.path) ->
+        let d =
+          Array.fold_left (fun acc id -> acc +. delays.(id)) 0.0 p.Paths.nodes
+        in
+        if d > !best_delay then begin
+          best := i;
+          best_delay := d
+        end)
+      paths;
+    wins.(!best) <- wins.(!best) + 1
+  done;
+  let probabilities =
+    Array.map (fun w -> float_of_int w /. float_of_int n) wins
+  in
+  let entropy =
+    Array.fold_left
+      (fun acc p -> if p > 0.0 then acc -. (p *. log p) else acc)
+      0.0 probabilities
+  in
+  { probabilities; samples = n; entropy }
+
+let dominant t =
+  let best = ref 0 in
+  Array.iteri
+    (fun i p -> if p > t.probabilities.(!best) then best := i)
+    t.probabilities;
+  !best

@@ -1,0 +1,30 @@
+(** Path criticality probabilities.
+
+    The paper ranks near-critical paths by a confidence point; a natural
+    refinement (standard in later SSTA literature) is each path's
+    {e criticality}: the probability that it is the slowest of the set.
+    Because the paths share layer RVs, this needs the joint
+    distribution, which the Monte-Carlo sampler provides exactly: one
+    process draw gives every gate's delay, hence every candidate path's
+    delay, and the argmax is tallied. *)
+
+type t = {
+  probabilities : float array;  (** per path, same order as the input *)
+  samples : int;
+  entropy : float;  (** Shannon entropy (nats) of the criticality
+                        distribution: ~0 when one path dominates, large
+                        when criticality is diffuse (the c1355 case) *)
+}
+
+val estimate :
+  Monte_carlo.sampler ->
+  n:int ->
+  Ssta_prob.Rng.t ->
+  Ssta_timing.Paths.path list ->
+  t
+(** [estimate sampler ~n rng paths] tallies, over [n] correlated process
+    draws, how often each path of [paths] is the slowest (ties split
+    towards the earliest).  [paths] must be non-empty and [n >= 1]. *)
+
+val dominant : t -> int
+(** Index of the most-often-critical path. *)

@@ -1,0 +1,273 @@
+module Params = Ssta_tech.Params
+module Gate = Ssta_tech.Gate
+module Elmore = Ssta_tech.Elmore
+module Corner = Ssta_tech.Corner
+module Derivatives = Ssta_tech.Derivatives
+module Vt_class = Ssta_tech.Vt_class
+module Graph = Ssta_timing.Graph
+module Sta = Ssta_timing.Sta
+module Paths = Ssta_timing.Paths
+module Slack = Ssta_timing.Slack
+module Layers = Ssta_correlation.Layers
+module Budget = Ssta_correlation.Budget
+module Placement = Ssta_circuit.Placement
+module Netlist = Ssta_circuit.Netlist
+module Pdf = Ssta_prob.Pdf
+module Combine = Ssta_prob.Combine
+
+type assignment = Vt_class.t array
+
+type path_stats = {
+  path : Paths.path;
+  nominal_delay : float;
+  mean : float;
+  std : float;
+  confidence_point : float;
+  total_pdf : Pdf.t;
+  worst_case : float;
+}
+
+let graph_for ?shift circuit assignment =
+  if Array.length assignment <> Netlist.num_nodes circuit then
+    invalid_arg "Dual_vt.graph_for: one class per node required";
+  Graph.with_params_of circuit (fun id ->
+      Vt_class.params_for ?shift assignment.(id))
+
+let analyze_path ?shift config tables graph placement assignment
+    (path : Paths.path) =
+  let layers = Config.layers_for config placement in
+  (* class-aware coefficient accumulation (cf. Path_coeffs.of_path) *)
+  let coeffs = Hashtbl.create 64 in
+  let alpha_low = ref 0.0 and alpha_high = ref 0.0 in
+  let beta_low = ref 0.0 and beta_high = ref 0.0 in
+  let nominal_delay = ref 0.0 in
+  let worst = ref 0.0 in
+  Array.iter
+    (fun id ->
+      if not (Graph.is_input graph id) then begin
+        let e = Graph.electrical_exn graph id in
+        let cls = assignment.(id) in
+        (match cls with
+        | Vt_class.Low ->
+            alpha_low := !alpha_low +. e.Gate.alpha;
+            beta_low := !beta_low +. e.Gate.beta
+        | Vt_class.High ->
+            alpha_high := !alpha_high +. e.Gate.alpha;
+            beta_high := !beta_high +. e.Gate.beta);
+        nominal_delay := !nominal_delay +. graph.Graph.delay.(id);
+        worst :=
+          !worst
+          +. Elmore.gate_delay e
+               (Vt_class.corner_for ?shift ~k:config.Config.corner_k
+                  Corner.Worst cls);
+        let x, y = Placement.coord placement id in
+        let grad = Derivatives.gradient e (Vt_class.params_for ?shift cls) in
+        List.iter
+          (fun rv ->
+            let d = Params.get grad rv in
+            for layer = 1 to Layers.num_layers layers - 1 do
+              let partition =
+                Layers.partition_of_gate layers ~level:layer ~gate_id:id ~x ~y
+              in
+              let key = (Params.rv_index rv, layer, partition) in
+              let prev = try Hashtbl.find coeffs key with Not_found -> 0.0 in
+              Hashtbl.replace coeffs key (prev +. d)
+            done)
+          Params.all_rvs
+      end)
+    path.Paths.nodes;
+  let intra_variance =
+    Hashtbl.fold
+      (fun (rv_index, layer, _) c acc ->
+        let rv = List.nth Params.all_rvs rv_index in
+        let s =
+          Budget.sigma_of_layer config.Config.budget
+            ~total_sigma:(Params.sigma rv) layer
+        in
+        acc +. (c *. c *. s *. s))
+      coeffs 0.0
+  in
+  let intra_pdf = Intra.pdf_of_variance config intra_variance in
+  let inter_pdf =
+    Inter.pdf_dual tables ~alpha_low:!alpha_low ~alpha_high:!alpha_high
+      ~beta_low:!beta_low ~beta_high:!beta_high
+  in
+  let total_pdf =
+    Combine.sum ~n:config.Config.quality_intra inter_pdf intra_pdf
+  in
+  let mean = Pdf.mean total_pdf and std = Pdf.std total_pdf in
+  { path;
+    nominal_delay = !nominal_delay;
+    mean;
+    std;
+    confidence_point = mean +. (config.Config.confidence_sigma *. std);
+    total_pdf;
+    worst_case = !worst }
+
+let leakage ?shift graph assignment =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let id = g.Netlist.id in
+      acc :=
+        !acc
+        +. Vt_class.leakage ?shift
+             (Graph.electrical_exn graph id)
+             assignment.(id))
+    graph.Graph.circuit.Netlist.gates;
+  !acc
+
+type result = {
+  assignment : assignment;
+  high_count : int;
+  gate_count : int;
+  sigma3_all_low : float;
+  sigma3_final : float;
+  leakage_all_low : float;
+  leakage_final : float;
+  met : bool;
+  iterations : int;
+}
+
+(* 3-sigma point of the statistically worst near-critical path under the
+   current assignment, together with that path. *)
+let statistical_critical ?shift config tables placement circuit assignment =
+  let graph = graph_for ?shift circuit assignment in
+  let sta = Sta.of_graph graph in
+  let slack = config.Config.confidence *. (0.1 *. sta.Sta.critical_delay) in
+  (* a generous deterministic window: statistics shuffle only nearby paths *)
+  let slack = Float.max slack (0.01 *. sta.Sta.critical_delay) in
+  let enum = Sta.near_critical ~max_paths:100 sta ~slack in
+  let worst = ref None in
+  List.iter
+    (fun p ->
+      let stats = analyze_path ?shift config tables graph placement assignment p in
+      match !worst with
+      | None -> worst := Some stats
+      | Some best ->
+          if stats.confidence_point > best.confidence_point then
+            worst := Some stats)
+    enum.Paths.paths;
+  match !worst with
+  | Some stats -> (graph, stats)
+  | None -> invalid_arg "Dual_vt: circuit has no paths"
+
+let optimize ?(config = Config.default) ?placement
+    ?(shift = Vt_class.default_shift) ?(slack_factor = 2.0)
+    ?(max_iterations = 40) ~target circuit =
+  if target <= 0.0 then invalid_arg "Dual_vt.optimize: target must be positive";
+  if slack_factor < 0.0 then
+    invalid_arg "Dual_vt.optimize: slack_factor must be non-negative";
+  let placement =
+    match placement with Some pl -> pl | None -> Placement.place circuit
+  in
+  let tables = Inter.tables ~vt_shift:shift config in
+  let n = Netlist.num_nodes circuit in
+  let all_low = Array.make n Vt_class.Low in
+  let graph_low, low_stats =
+    statistical_critical ~shift config tables placement circuit all_low
+  in
+  let leakage_all_low = leakage ~shift graph_low all_low in
+  (* Greedy seed: High wherever the deterministic slack can absorb the
+     class's delay penalty with margin. *)
+  let slacks = Slack.compute graph_low in
+  let assignment = Array.make n Vt_class.Low in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let id = g.Netlist.id in
+      let e = Graph.electrical_exn graph_low id in
+      let penalty =
+        Elmore.gate_delay e (Vt_class.params_for ~shift Vt_class.High)
+        -. graph_low.Graph.delay.(id)
+      in
+      if slacks.Slack.slack.(id) > slack_factor *. penalty then
+        assignment.(id) <- Vt_class.High)
+    circuit.Netlist.gates;
+  (* Demotion loop: pull High gates off the statistical critical path
+     until the target holds. *)
+  let rec refine iteration =
+    let graph, stats =
+      statistical_critical ~shift config tables placement circuit assignment
+    in
+    if stats.confidence_point <= target then (iteration, graph, stats, true)
+    else begin
+      let demoted = ref 0 in
+      Array.iter
+        (fun id ->
+          if (not (Netlist.is_input circuit id))
+             && assignment.(id) = Vt_class.High
+          then begin
+            assignment.(id) <- Vt_class.Low;
+            incr demoted
+          end)
+        stats.path.Paths.nodes;
+      if !demoted = 0 || iteration >= max_iterations then
+        (iteration, graph, stats, stats.confidence_point <= target)
+      else refine (iteration + 1)
+    end
+  in
+  let iterations, _, stats_after_demote, met = refine 0 in
+  (* Promotion pass: spend whatever headroom remains on further gates,
+     most-slack first, in chunks, reverting any chunk that breaks the
+     target. *)
+  let iterations = ref iterations in
+  if met then begin
+    let candidates =
+      Array.to_list circuit.Netlist.gates
+      |> List.filter_map (fun (g : Netlist.gate) ->
+             let id = g.Netlist.id in
+             if assignment.(id) = Vt_class.Low then
+               Some (id, slacks.Slack.slack.(id))
+             else None)
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.map fst
+    in
+    let chunk_size =
+      Int.max 1 (Netlist.num_gates circuit / 16)
+    in
+    let rec chunks = function
+      | [] -> []
+      | l ->
+          let rec take k acc = function
+            | [] -> (List.rev acc, [])
+            | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+            | rest -> (List.rev acc, rest)
+          in
+          let c, rest = take chunk_size [] l in
+          c :: chunks rest
+    in
+    List.iter
+      (fun chunk ->
+        List.iter (fun id -> assignment.(id) <- Vt_class.High) chunk;
+        incr iterations;
+        let _, stats =
+          statistical_critical ~shift config tables placement circuit
+            assignment
+        in
+        if stats.confidence_point > target then
+          List.iter (fun id -> assignment.(id) <- Vt_class.Low) chunk)
+      (chunks candidates)
+  end;
+  let graph_final, final_stats =
+    statistical_critical ~shift config tables placement circuit assignment
+  in
+  let met =
+    if met then final_stats.confidence_point <= target +. 1e-18 else met
+  in
+  ignore stats_after_demote;
+  let iterations = !iterations in
+  let high_count =
+    Array.fold_left
+      (fun acc (g : Netlist.gate) ->
+        if assignment.(g.Netlist.id) = Vt_class.High then acc + 1 else acc)
+      0 circuit.Netlist.gates
+  in
+  { assignment;
+    high_count;
+    gate_count = Netlist.num_gates circuit;
+    sigma3_all_low = low_stats.confidence_point;
+    sigma3_final = final_stats.confidence_point;
+    leakage_all_low;
+    leakage_final = leakage ~shift graph_final assignment;
+    met;
+    iterations }

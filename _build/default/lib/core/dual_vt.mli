@@ -1,0 +1,76 @@
+(** Statistical dual-threshold (dual-Vt) optimization.
+
+    The paper's delay model originates in a dual-Vt optimization paper
+    (its ref [13]): assign a high threshold to gates with timing slack,
+    cutting subthreshold leakage exponentially, while the timing
+    constraint is checked — here, {e statistically}, at the 3-sigma
+    confidence point, with the class-aware machinery end to end:
+
+    - deterministic delays per class ({!Ssta_timing.Graph.with_params_of}),
+    - class-aware intra coefficients (derivatives at the class nominal),
+    - a mixed-class inter PDF ({!Inter.pdf_dual} — the shared threshold
+      deviation RVs stay shared, the class shifts only their means),
+    - Monte-Carlo validation with per-gate nominals.
+
+    The optimizer greedily marks high-slack gates High, then demotes
+    gates on the statistical critical path until the 3-sigma target
+    holds. *)
+
+type assignment = Ssta_tech.Vt_class.t array
+(** Per node id; primary-input entries are ignored. *)
+
+type path_stats = {
+  path : Ssta_timing.Paths.path;
+  nominal_delay : float;  (** class-aware deterministic delay *)
+  mean : float;
+  std : float;
+  confidence_point : float;
+  total_pdf : Ssta_prob.Pdf.t;
+  worst_case : float;  (** class-aware corner *)
+}
+
+val graph_for :
+  ?shift:float -> Ssta_circuit.Netlist.t -> assignment -> Ssta_timing.Graph.t
+(** Timing graph with class-aware nominal delays. *)
+
+val analyze_path :
+  ?shift:float ->
+  Config.t ->
+  Inter.tables ->
+  Ssta_timing.Graph.t ->
+  Ssta_circuit.Placement.t ->
+  assignment ->
+  Ssta_timing.Paths.path ->
+  path_stats
+(** Full statistical analysis of a path under a class assignment.  The
+    [tables] must have been built with the same [shift]. *)
+
+val leakage : ?shift:float -> Ssta_timing.Graph.t -> assignment -> float
+(** Total leakage proxy of the circuit under the assignment. *)
+
+type result = {
+  assignment : assignment;
+  high_count : int;  (** gates assigned High *)
+  gate_count : int;
+  sigma3_all_low : float;  (** 3-sigma point before optimization *)
+  sigma3_final : float;
+  leakage_all_low : float;
+  leakage_final : float;
+  met : bool;
+  iterations : int;
+}
+
+val optimize :
+  ?config:Config.t ->
+  ?placement:Ssta_circuit.Placement.t ->
+  ?shift:float ->
+  ?slack_factor:float ->
+  ?max_iterations:int ->
+  target:float ->
+  Ssta_circuit.Netlist.t ->
+  result
+(** [optimize ~target circuit]: greedy assignment of High to gates whose
+    deterministic slack exceeds [slack_factor] (default 2.0) times their
+    high-Vt delay penalty, then iterative demotion of High gates on the
+    statistical critical path until its confidence point is at most
+    [target].  [target] must be positive. *)

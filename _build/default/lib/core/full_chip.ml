@@ -1,0 +1,73 @@
+module Pdf = Ssta_prob.Pdf
+module Dist = Ssta_prob.Dist
+module Combine = Ssta_prob.Combine
+module Params = Ssta_tech.Params
+module Derivatives = Ssta_tech.Derivatives
+module Elmore = Ssta_tech.Elmore
+module Graph = Ssta_timing.Graph
+module Netlist = Ssta_circuit.Netlist
+
+type result = {
+  arrival_pdf : Pdf.t;
+  mean : float;
+  std : float;
+  confidence_point : float;
+  runtime_s : float;
+}
+
+let gate_delay_pdf ?(quality = 50) (config : Config.t) e =
+  let grad = Derivatives.gradient e Params.nominal in
+  let variance =
+    List.fold_left
+      (fun acc rv ->
+        let d = Params.get grad rv and s = Params.sigma rv in
+        acc +. (d *. d *. s *. s))
+      0.0 Params.all_rvs
+  in
+  Dist.truncated_gaussian ~n:quality ~bound:config.Config.truncation
+    ~mu:(Elmore.nominal_delay e) ~sigma:(sqrt variance) ()
+
+let analyze ?(config = Config.default) ?(quality = 50) circuit =
+  let started = Unix.gettimeofday () in
+  let graph = Graph.of_netlist circuit in
+  let n = Graph.num_nodes graph in
+  let arrivals = Array.make n None in
+  for id = 0 to n - 1 do
+    if not (Graph.is_input graph id) then begin
+      let merged =
+        Array.fold_left
+          (fun acc f ->
+            match acc, arrivals.(f) with
+            | None, inc -> inc
+            | Some m, None -> Some m
+            | Some m, Some inc -> Some (Combine.binop ~n:quality Float.max m inc))
+          None
+          (Graph.fanins graph id)
+      in
+      let gate =
+        gate_delay_pdf ~quality config (Graph.electrical_exn graph id)
+      in
+      arrivals.(id) <-
+        (match merged with
+        | None -> Some gate
+        | Some m -> Some (Combine.sum ~n:quality m gate))
+    end
+  done;
+  let arrival_pdf =
+    Array.fold_left
+      (fun acc o ->
+        match acc, arrivals.(o) with
+        | None, p -> p
+        | Some m, None -> Some m
+        | Some m, Some p -> Some (Combine.binop ~n:quality Float.max m p))
+      None circuit.Netlist.outputs
+    |> function
+    | Some p -> p
+    | None -> invalid_arg "Full_chip.analyze: no driven outputs"
+  in
+  let mean = Pdf.mean arrival_pdf and std = Pdf.std arrival_pdf in
+  { arrival_pdf;
+    mean;
+    std;
+    confidence_point = mean +. (config.Config.confidence_sigma *. std);
+    runtime_s = Unix.gettimeofday () -. started }

@@ -1,0 +1,126 @@
+module Pdf = Ssta_prob.Pdf
+module Combine = Ssta_prob.Combine
+module Params = Ssta_tech.Params
+module Elmore = Ssta_tech.Elmore
+module Budget = Ssta_correlation.Budget
+module Path_coeffs = Ssta_correlation.Path_coeffs
+
+type table = {
+  values : float array array;
+  t_min : float;
+  t_max : float;
+}
+
+type tables = {
+  quality : int;
+  u_pdf : Pdf.t;  (* K * t_ox * L_eff *)
+  vdd : Pdf.t;
+  vtn : Pdf.t;
+  vtp : Pdf.t;
+  fn : table;  (* F(vdd_i, vtn_j), low-Vt class *)
+  fp : table;  (* F(vdd_i, vtp_k), low-Vt class *)
+  fn_high : table;  (* same with the high-Vt threshold shift *)
+  fp_high : table;
+  vt_shift : float;
+}
+
+let inter_sigma (config : Config.t) rv =
+  Budget.sigma_of_layer config.Config.budget ~total_sigma:(Params.sigma rv) 0
+
+let rv_pdf config rv =
+  let sigma = inter_sigma config rv in
+  let mu = Params.get Params.nominal rv in
+  if sigma > 0.0 then
+    Ssta_prob.Shape.pdf config.Config.inter_shape
+      ~n:config.Config.quality_inter ~bound:config.Config.truncation ~mu
+      ~sigma
+  else Pdf.point_mass mu
+
+let tables ?(vt_shift = Ssta_tech.Vt_class.default_shift) config =
+  let quality = config.Config.quality_inter in
+  let tox = rv_pdf config Params.Tox in
+  let leff = rv_pdf config Params.Leff in
+  let vdd = rv_pdf config Params.Vdd in
+  let vtn = rv_pdf config Params.Vtn in
+  let vtp = rv_pdf config Params.Vtp in
+  let k = Elmore.elmore_constant /. Elmore.eps_ox in
+  let u_pdf =
+    Combine.binop ~n:quality (fun t l -> k *. t *. l) tox leff
+  in
+  let table ~shift vt_pdf =
+    let values =
+      Array.init (Pdf.size vdd) (fun i ->
+          let v = Pdf.x_at vdd i in
+          Array.init (Pdf.size vt_pdf) (fun j ->
+              Elmore.voltage_factor ~vdd:v ~vt:(Pdf.x_at vt_pdf j +. shift)))
+    in
+    let t_min, t_max =
+      Array.fold_left
+        (fun (lo, hi) row ->
+          Array.fold_left
+            (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+            (lo, hi) row)
+        (infinity, neg_infinity) values
+    in
+    { values; t_min; t_max }
+  in
+  { quality;
+    u_pdf;
+    vdd;
+    vtn;
+    vtp;
+    fn = table ~shift:0.0 vtn;
+    fp = table ~shift:0.0 vtp;
+    fn_high = table ~shift:vt_shift vtn;
+    fp_high = table ~shift:vt_shift vtp;
+    vt_shift }
+
+let pdf_dual t ~alpha_low ~alpha_high ~beta_low ~beta_high =
+  if alpha_low < 0.0 || alpha_high < 0.0 || beta_low < 0.0 || beta_high < 0.0
+  then invalid_arg "Inter.pdf_dual: coefficient sums must be non-negative";
+  if alpha_low +. alpha_high <= 0.0 || beta_low +. beta_high <= 0.0 then
+    invalid_arg "Inter.pdf_dual: need positive NMOS and PMOS coefficients";
+  let lo =
+    (alpha_low *. t.fn.t_min) +. (alpha_high *. t.fn_high.t_min)
+    +. (beta_low *. t.fp.t_min) +. (beta_high *. t.fp_high.t_min)
+  in
+  let hi =
+    (alpha_low *. t.fn.t_max) +. (alpha_high *. t.fn_high.t_max)
+    +. (beta_low *. t.fp.t_max) +. (beta_high *. t.fp_high.t_max)
+  in
+  let hi = if hi > lo then hi else lo +. (1e-12 *. (1.0 +. Float.abs lo)) in
+  let acc = Combine.accumulator ~lo ~hi ~n:t.quality in
+  let nv = Pdf.size t.vdd and nn = Pdf.size t.vtn and np = Pdf.size t.vtp in
+  for i = 0 to nv - 1 do
+    let mv = Pdf.mass_at t.vdd i in
+    if mv > 0.0 then begin
+      let fn_i = t.fn.values.(i) and fnh_i = t.fn_high.values.(i) in
+      let fp_i = t.fp.values.(i) and fph_i = t.fp_high.values.(i) in
+      for j = 0 to nn - 1 do
+        let mvn = mv *. Pdf.mass_at t.vtn j in
+        if mvn > 0.0 then begin
+          let base = (alpha_low *. fn_i.(j)) +. (alpha_high *. fnh_i.(j)) in
+          for k = 0 to np - 1 do
+            let m = mvn *. Pdf.mass_at t.vtp k in
+            if m > 0.0 then
+              Combine.deposit acc
+                ~x:(base +. (beta_low *. fp_i.(k)) +. (beta_high *. fph_i.(k)))
+                ~mass:m
+          done
+        end
+      done
+    end
+  done;
+  let voltage_pdf = Combine.to_pdf acc in
+  Combine.binop ~n:t.quality ( *. ) t.u_pdf voltage_pdf
+
+let pdf t ~alpha_sum ~beta_sum =
+  if alpha_sum <= 0.0 || beta_sum <= 0.0 then
+    invalid_arg "Inter.pdf: coefficient sums must be positive";
+  pdf_dual t ~alpha_low:alpha_sum ~alpha_high:0.0 ~beta_low:beta_sum
+    ~beta_high:0.0
+
+let of_coeffs t (c : Path_coeffs.t) =
+  pdf t ~alpha_sum:c.Path_coeffs.alpha_sum ~beta_sum:c.Path_coeffs.beta_sum
+
+let mean_is_shifted p ~nominal = Pdf.mean p -. nominal

@@ -1,0 +1,48 @@
+(** Inter-die path-delay PDF: the numeric push-forward of Section 2.5.
+
+    The inter part of a path delay (first term of Eq. 13) keeps the full
+    nonlinear form
+
+    {v t_inter = K * t_ox * L_eff * (A F(V_dd,V_Tn) + B F(V_dd,|V_Tp|)) v}
+
+    with K = 0.345/eps_ox and A/B the summed gate alphas/betas.  A naive
+    5-dimensional enumeration would cost O(Q^5); the factorization lets
+    us precompute path-independent pieces — the product PDF
+    [U = K t_ox L_eff] and the voltage-factor tables F on the
+    (V_dd, V_Tn) and (V_dd, V_Tp) grids — and reduces the per-path cost
+    to one O(Q^3) accumulation plus one O(Q^2) product, which is what
+    makes analyzing thousands of near-critical paths tractable. *)
+
+type tables
+(** Path-independent precomputation for a given configuration. *)
+
+val tables : ?vt_shift:float -> Config.t -> tables
+(** Build the inter-RV grids (truncated Gaussians with the layer-0 share
+    of each parameter's variance), the U product PDF and the
+    voltage-factor tables — one pair for the nominal (low-Vt) threshold
+    and one for thresholds shifted by [vt_shift] (default
+    {!Ssta_tech.Vt_class.default_shift}), enabling dual-Vt analysis. *)
+
+val pdf : tables -> alpha_sum:float -> beta_sum:float -> Ssta_prob.Pdf.t
+(** Inter-delay PDF of a path with the given coefficient sums (both must
+    be positive); all gates on the low-Vt class. *)
+
+val pdf_dual :
+  tables ->
+  alpha_low:float ->
+  alpha_high:float ->
+  beta_low:float ->
+  beta_high:float ->
+  Ssta_prob.Pdf.t
+(** Mixed-class inter PDF: alpha/beta sums split by Vt class (the class
+    shifts the threshold's mean, the deviation RV stays shared).  Sums
+    must be non-negative with a positive total on each of the NMOS and
+    PMOS sides. *)
+
+val of_coeffs : tables -> Ssta_correlation.Path_coeffs.t -> Ssta_prob.Pdf.t
+
+val mean_is_shifted : Ssta_prob.Pdf.t -> nominal:float -> float
+(** [mean pdf - nominal]: the systematic shift between the probabilistic
+    mean and the deterministic delay caused by the nonlinearity ("the
+    expected value of the delay is not the delay of the expected
+    values").  Exposed for tests and reports. *)

@@ -1,0 +1,17 @@
+module Path_coeffs = Ssta_correlation.Path_coeffs
+module Pdf = Ssta_prob.Pdf
+module Dist = Ssta_prob.Dist
+
+let variance (config : Config.t) coeffs =
+  Path_coeffs.intra_variance coeffs config.Config.budget
+
+let sigma config coeffs = sqrt (variance config coeffs)
+
+let pdf_of_variance (config : Config.t) var =
+  if var < 0.0 then invalid_arg "Intra.pdf_of_variance: negative variance";
+  if var = 0.0 then Pdf.point_mass 0.0
+  else
+    Dist.truncated_gaussian ~n:config.Config.quality_intra
+      ~bound:config.Config.truncation ~mu:0.0 ~sigma:(sqrt var) ()
+
+let pdf config coeffs = pdf_of_variance config (variance config coeffs)

@@ -1,0 +1,20 @@
+(** Intra-die path-delay PDF (Eqs. 12-14).
+
+    After linearization, the intra part of a path delay is a zero-mean
+    linear combination of independent Gaussian layer RVs, so its PDF is
+    a Gaussian whose variance is Eq. (14):
+    [sum over (rv, layer >= 1, partition) of coeff^2 * sigma_layer^2].
+    The PDF is discretized at QUALITY_intra points, truncated like the
+    input distributions. *)
+
+val variance : Config.t -> Ssta_correlation.Path_coeffs.t -> float
+(** Eq. (14) under the config's variance budget. *)
+
+val sigma : Config.t -> Ssta_correlation.Path_coeffs.t -> float
+
+val pdf : Config.t -> Ssta_correlation.Path_coeffs.t -> Ssta_prob.Pdf.t
+(** Zero-mean truncated Gaussian with the Eq. (14) variance; a point
+    mass at 0 when the variance vanishes (e.g. a pure-inter budget). *)
+
+val pdf_of_variance : Config.t -> float -> Ssta_prob.Pdf.t
+(** Same construction from an explicit variance (used by sweeps). *)

@@ -1,0 +1,78 @@
+module Sta = Ssta_timing.Sta
+module Paths = Ssta_timing.Paths
+module Placement = Ssta_circuit.Placement
+module Netlist = Ssta_circuit.Netlist
+
+type t = {
+  circuit_name : string;
+  num_gates : int;
+  config : Config.t;
+  sta : Sta.t;
+  sigma_c : float;
+  slack : float;
+  truncated : bool;
+  ranked : Ranking.ranked array;
+  det_critical : Path_analysis.t;
+  prob_critical : Ranking.ranked;
+  runtime_s : float;
+}
+
+let run ?(config = Config.default) ?placement ?wire ?wire_caps circuit =
+  let started = Unix.gettimeofday () in
+  let placement =
+    match placement with Some pl -> pl | None -> Placement.place circuit
+  in
+  let sta =
+    match wire, wire_caps with
+    | Some _, Some _ ->
+        invalid_arg "Methodology.run: wire and wire_caps are exclusive"
+    | None, None -> Sta.analyze circuit
+    | Some wire, None -> Sta.analyze_placed ~wire circuit placement
+    | None, Some caps ->
+        Sta.of_graph (Ssta_timing.Graph.with_wire_caps circuit caps)
+  in
+  let ctx = Path_analysis.context config sta.Sta.graph placement in
+  (* Step 3: sigma_C from the deterministic critical path. *)
+  let det_critical = Path_analysis.analyze ctx sta.Sta.critical_path in
+  let sigma_c = det_critical.Path_analysis.std in
+  let slack = config.Config.confidence *. sigma_c in
+  (* Step 4: all near-critical paths, deterministically ranked. *)
+  let enumeration =
+    Sta.near_critical ~max_paths:config.Config.max_paths sta ~slack
+  in
+  (* Step 5: statistical analysis of each, then confidence ranking. *)
+  let analyses =
+    List.map
+      (fun p ->
+        if p.Paths.nodes = det_critical.Path_analysis.path.Paths.nodes then
+          det_critical
+        else Path_analysis.analyze ctx p)
+      enumeration.Paths.paths
+  in
+  let ranked = Ranking.rank analyses in
+  let prob_critical = Ranking.probabilistic_critical ranked in
+  { circuit_name = circuit.Netlist.name;
+    num_gates = Netlist.num_gates circuit;
+    config;
+    sta;
+    sigma_c;
+    slack;
+    truncated = enumeration.Paths.truncated;
+    ranked;
+    det_critical;
+    prob_critical;
+    runtime_s = Unix.gettimeofday () -. started }
+
+let num_critical_paths t = Array.length t.ranked
+
+let overestimation_pct t =
+  let worst = t.det_critical.Path_analysis.worst_case in
+  let cp =
+    t.prob_critical.Ranking.analysis.Path_analysis.confidence_point
+  in
+  if cp <= 0.0 then 0.0 else (worst -. cp) /. cp *. 100.0
+
+let find_rank t ~prob_rank =
+  if prob_rank < 1 || prob_rank > Array.length t.ranked then
+    invalid_arg "Methodology.find_rank: rank out of range";
+  t.ranked.(prob_rank - 1)

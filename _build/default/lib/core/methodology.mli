@@ -1,0 +1,49 @@
+(** The complete methodology of Fig. 1.
+
+    1. Build the timing graph; evaluate nominal delays and derivatives.
+    2. Bellman-Ford for the deterministic critical path.
+    3. Statistical analysis of that path; extract sigma_C.
+    4. Enumerate every path within C * sigma_C of the critical delay.
+    5. Statistical analysis of each; rank by the confidence point.
+
+    The result carries everything the paper's Table 2 reports, plus the
+    full per-path analyses for the figures. *)
+
+type t = {
+  circuit_name : string;
+  num_gates : int;
+  config : Config.t;
+  sta : Ssta_timing.Sta.t;
+  sigma_c : float;  (** std of the det. critical path's total PDF *)
+  slack : float;  (** C * sigma_C *)
+  truncated : bool;  (** near-critical enumeration hit max_paths *)
+  ranked : Ranking.ranked array;  (** all analyzed paths, prob. order *)
+  det_critical : Path_analysis.t;  (** analysis of the det. critical path *)
+  prob_critical : Ranking.ranked;
+  runtime_s : float;  (** wall-clock of the whole flow *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?placement:Ssta_circuit.Placement.t ->
+  ?wire:Ssta_tech.Wire.params ->
+  ?wire_caps:float array ->
+  Ssta_circuit.Netlist.t ->
+  t
+(** Execute the flow (default config {!Config.default}; default placement
+    {!Ssta_circuit.Placement.place}).  When [wire] is given, gate loads
+    come from the placement-aware interconnect model
+    ({!Ssta_timing.Graph.of_placed}); when [wire_caps] is given (e.g.
+    from {!Ssta_circuit.Spef.apply}), each node uses that explicit wire
+    capacitance.  The two are mutually exclusive. *)
+
+val num_critical_paths : t -> int
+(** Paths analyzed (Table 2 column 7). *)
+
+val overestimation_pct : t -> float
+(** Worst-case vs. the probabilistic critical path's confidence point
+    (Table 2 column 5, computed on the worst-case delay of the
+    deterministic critical path as the paper does). *)
+
+val find_rank : t -> prob_rank:int -> Ranking.ranked
+(** Path at the given probabilistic rank (1-based). *)

@@ -1,0 +1,134 @@
+module Rng = Ssta_prob.Rng
+module Stats = Ssta_prob.Stats
+module Pdf = Ssta_prob.Pdf
+module Params = Ssta_tech.Params
+module Elmore = Ssta_tech.Elmore
+module Graph = Ssta_timing.Graph
+module Paths = Ssta_timing.Paths
+module Longest_path = Ssta_timing.Longest_path
+module Layers = Ssta_correlation.Layers
+module Budget = Ssta_correlation.Budget
+module Placement = Ssta_circuit.Placement
+module Netlist = Ssta_circuit.Netlist
+
+type sampler = {
+  config : Config.t;
+  graph : Graph.t;
+  layers : Layers.t;
+  (* For each node and each spatial layer, the partition it falls in. *)
+  partitions : int array array;  (* indexed [node].(spatial layer) *)
+  nominal_of : int -> Params.t;
+}
+
+let sampler ?(nominal_of = fun _ -> Params.nominal) config graph placement =
+  let layers = Config.layers_for config placement in
+  let n = Graph.num_nodes graph in
+  let partitions =
+    Array.init n (fun id ->
+        let x, y = Placement.coord placement id in
+        Array.init layers.Layers.quad_levels (fun level ->
+            Layers.partition_of layers ~level ~x ~y))
+  in
+  { config; graph; layers; partitions; nominal_of }
+
+(* Draw one value for every (rv, layer, partition) lazily; a Hashtbl per
+   sample keeps only the partitions the circuit actually touches. *)
+let draw_layer_value s rng cache rv layer partition =
+  let key = (Params.rv_index rv * 1_000_003) + (layer * 65_537) + partition in
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+      let sigma =
+        Budget.sigma_of_layer s.config.Config.budget
+          ~total_sigma:(Params.sigma rv) layer
+      in
+      let v =
+        if sigma <= 0.0 then 0.0
+        else if layer = 0 then
+          Ssta_prob.Shape.sample s.config.Config.inter_shape rng
+            ~bound:s.config.Config.truncation ~mu:0.0 ~sigma
+        else
+          Rng.truncated_gaussian rng ~mu:0.0 ~sigma
+            ~bound:s.config.Config.truncation
+      in
+      Hashtbl.add cache key v;
+      v
+
+let gate_params s rng cache id =
+  let num_layers = Layers.num_layers s.layers in
+  let nominal = s.nominal_of id in
+  let value rv =
+    let acc = ref (Params.get nominal rv) in
+    for layer = 0 to num_layers - 1 do
+      let partition =
+        if Layers.is_random_layer s.layers layer then id
+        else s.partitions.(id).(layer)
+      in
+      acc := !acc +. draw_layer_value s rng cache rv layer partition
+    done;
+    !acc
+  in
+  { Params.tox = value Params.Tox;
+    leff = value Params.Leff;
+    vdd = value Params.Vdd;
+    vtn = value Params.Vtn;
+    vtp = value Params.Vtp }
+
+let sample_gate_delays s rng =
+  let cache = Hashtbl.create 1024 in
+  Array.init (Graph.num_nodes s.graph) (fun id ->
+      if Graph.is_input s.graph id then 0.0
+      else
+        Elmore.gate_delay (Graph.electrical_exn s.graph id)
+          (gate_params s rng cache id))
+
+let path_delay_once s rng (path : Paths.path) =
+  let cache = Hashtbl.create 256 in
+  Array.fold_left
+    (fun acc id ->
+      if Graph.is_input s.graph id then acc
+      else
+        acc
+        +. Elmore.gate_delay (Graph.electrical_exn s.graph id)
+             (gate_params s rng cache id))
+    0.0 path.Paths.nodes
+
+let path_delay_samples s ~n rng path =
+  if n < 1 then invalid_arg "Monte_carlo.path_delay_samples: n >= 1";
+  Array.init n (fun _ -> path_delay_once s rng path)
+
+let circuit_delay_samples s ~n rng =
+  if n < 1 then invalid_arg "Monte_carlo.circuit_delay_samples: n >= 1";
+  let g = s.graph in
+  Array.init n (fun _ ->
+      let delays = sample_gate_delays s rng in
+      (* Topological longest path with the sampled per-gate delays. *)
+      let labels = Array.make (Graph.num_nodes g) 0.0 in
+      for id = 0 to Graph.num_nodes g - 1 do
+        if not (Graph.is_input g id) then begin
+          let best = ref 0.0 in
+          Array.iter
+            (fun f -> if labels.(f) > !best then best := labels.(f))
+            (Graph.fanins g id);
+          labels.(id) <- !best +. delays.(id)
+        end
+      done;
+      Array.fold_left
+        (fun acc o -> Float.max acc labels.(o))
+        0.0 g.Graph.circuit.Netlist.outputs)
+
+type validation = {
+  mean_err : float;
+  std_err : float;
+  ks : float;
+  sampled : Stats.summary;
+}
+
+let validate_path ?(n = 20_000) s rng (analysis : Path_analysis.t) =
+  let samples = path_delay_samples s ~n rng analysis.Path_analysis.path in
+  let sampled = Stats.summarize samples in
+  let pdf = analysis.Path_analysis.total_pdf in
+  { mean_err = Float.abs (sampled.Stats.mean -. Pdf.mean pdf);
+    std_err = Float.abs (sampled.Stats.std -. Pdf.std pdf);
+    ks = Stats.ks_against_pdf samples pdf;
+    sampled }

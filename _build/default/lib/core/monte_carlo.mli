@@ -1,0 +1,49 @@
+(** Monte-Carlo golden reference.
+
+    Samples the {e exact} nonlinear delay model with the {e exact}
+    correlation structure: every (RV, layer, partition) gets an
+    independent truncated-Gaussian draw, each gate's parameters are the
+    layer sums of Eq. (7), and delays are evaluated with the full Elmore
+    formula — no Taylor expansion, no frozen derivatives, no grid.
+    This validates the analytic path PDFs (the paper's approximations)
+    end to end, and provides a reference distribution for the circuit
+    delay (max over all outputs) used by the block-based comparison. *)
+
+type sampler
+(** Reusable sampling context for one placed circuit. *)
+
+val sampler :
+  ?nominal_of:(int -> Ssta_tech.Params.t) ->
+  Config.t ->
+  Ssta_timing.Graph.t ->
+  Ssta_circuit.Placement.t ->
+  sampler
+(** [nominal_of] overrides the per-gate operating point (default
+    {!Ssta_tech.Params.nominal} everywhere) — used to validate dual-Vt
+    assignments. *)
+
+val sample_gate_delays : sampler -> Ssta_prob.Rng.t -> float array
+(** One process draw: the correlated delay of every node (0 for primary
+    inputs).  Each call is an independent die. *)
+
+val path_delay_samples :
+  sampler -> n:int -> Ssta_prob.Rng.t -> Ssta_timing.Paths.path
+  -> float array
+(** [n] independent samples of one path's total delay. *)
+
+val circuit_delay_samples :
+  sampler -> n:int -> Ssta_prob.Rng.t -> float array
+(** [n] independent samples of the circuit's critical delay (topological
+    max over the sampled gate delays). *)
+
+type validation = {
+  mean_err : float;  (** |analytic mean - sampled mean|, seconds *)
+  std_err : float;  (** |analytic std - sampled std|, seconds *)
+  ks : float;  (** Kolmogorov-Smirnov distance *)
+  sampled : Ssta_prob.Stats.summary;
+}
+
+val validate_path :
+  ?n:int -> sampler -> Ssta_prob.Rng.t -> Path_analysis.t -> validation
+(** Compare a path's analytic total PDF with [n] (default 20_000) exact
+    samples. *)

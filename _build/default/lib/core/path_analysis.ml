@@ -1,0 +1,71 @@
+module Pdf = Ssta_prob.Pdf
+module Combine = Ssta_prob.Combine
+module Corner = Ssta_tech.Corner
+module Graph = Ssta_timing.Graph
+module Paths = Ssta_timing.Paths
+module Layers = Ssta_correlation.Layers
+module Path_coeffs = Ssta_correlation.Path_coeffs
+
+type t = {
+  path : Paths.path;
+  gate_count : int;
+  coeffs : Path_coeffs.t;
+  intra_pdf : Pdf.t;
+  inter_pdf : Pdf.t;
+  total_pdf : Pdf.t;
+  det_delay : float;
+  mean : float;
+  std : float;
+  intra_sigma : float;
+  inter_sigma : float;
+  confidence_point : float;
+  worst_case : float;
+}
+
+type context = {
+  config : Config.t;
+  graph : Graph.t;
+  placement : Ssta_circuit.Placement.t;
+  layers : Layers.t;
+  tables : Inter.tables;
+}
+
+let context config graph placement =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Path_analysis.context: " ^ msg));
+  { config;
+    graph;
+    placement;
+    layers = Config.layers_for config placement;
+    tables = Inter.tables config }
+
+let analyze ctx path =
+  let coeffs = Path_coeffs.of_path ctx.graph ctx.placement ctx.layers path in
+  let intra_pdf = Intra.pdf ctx.config coeffs in
+  let inter_pdf = Inter.of_coeffs ctx.tables coeffs in
+  let total_pdf =
+    Combine.sum ~n:ctx.config.Config.quality_intra inter_pdf intra_pdf
+  in
+  let mean = Pdf.mean total_pdf and std = Pdf.std total_pdf in
+  let worst_case =
+    Corner.path_delay ~k:ctx.config.Config.corner_k Corner.Worst
+      (Paths.path_gates ctx.graph path)
+  in
+  { path;
+    gate_count = Paths.path_gate_count ctx.graph path;
+    coeffs;
+    intra_pdf;
+    inter_pdf;
+    total_pdf;
+    det_delay = path.Paths.delay;
+    mean;
+    std;
+    intra_sigma = Pdf.std intra_pdf;
+    inter_sigma = Pdf.std inter_pdf;
+    confidence_point = mean +. (ctx.config.Config.confidence_sigma *. std);
+    worst_case }
+
+let overestimation_pct t =
+  if t.confidence_point <= 0.0 then 0.0
+  else (t.worst_case -. t.confidence_point) /. t.confidence_point *. 100.0

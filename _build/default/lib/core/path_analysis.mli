@@ -1,0 +1,37 @@
+(** Statistical analysis of a single path (Section 3.2).
+
+    Combines the pieces: Eq. (13) coefficient accumulation, the Gaussian
+    intra-PDF (Eq. 14), the numeric inter-PDF, and their convolution into
+    the total delay PDF, from which the confidence point used for ranking
+    is read. *)
+
+type t = {
+  path : Ssta_timing.Paths.path;
+  gate_count : int;
+  coeffs : Ssta_correlation.Path_coeffs.t;
+  intra_pdf : Ssta_prob.Pdf.t;
+  inter_pdf : Ssta_prob.Pdf.t;
+  total_pdf : Ssta_prob.Pdf.t;  (** convolution of inter and intra *)
+  det_delay : float;  (** nominal (deterministic) delay, s *)
+  mean : float;  (** probabilistic mean — close to but not equal
+                     to [det_delay] (nonlinearity) *)
+  std : float;
+  intra_sigma : float;
+  inter_sigma : float;
+  confidence_point : float;  (** mean + confidence_sigma * std *)
+  worst_case : float;  (** corner analysis of the same path *)
+}
+
+type context
+(** Shared precomputation (inter tables, layers) for analyzing many paths
+    of one placed circuit. *)
+
+val context :
+  Config.t -> Ssta_timing.Graph.t -> Ssta_circuit.Placement.t -> context
+
+val analyze : context -> Ssta_timing.Paths.path -> t
+(** Full statistical analysis of one path. *)
+
+val overestimation_pct : t -> float
+(** [(worst_case - confidence_point) / confidence_point * 100] — the
+    paper's Table 2 column 5. *)

@@ -1,0 +1,89 @@
+module Sta = Ssta_timing.Sta
+module Placement = Ssta_circuit.Placement
+module Netlist = Ssta_circuit.Netlist
+
+type point = {
+  quality_intra : int;
+  quality_inter : int;
+  sigma3 : float;
+  error_pct : float;
+  runtime_s : float;
+}
+
+type t = {
+  circuit_name : string;
+  reference_sigma3 : float;
+  reference_quality : int * int;
+  points : point list;
+}
+
+let default_grid =
+  [ (10, 5); (20, 10); (40, 20); (60, 30); (80, 40); (100, 50); (150, 60);
+    (200, 80); (300, 100); (400, 100) ]
+
+let sigma3_at config sta placement =
+  let ctx = Path_analysis.context config sta.Sta.graph placement in
+  let a = Path_analysis.analyze ctx sta.Sta.critical_path in
+  a.Path_analysis.confidence_point
+
+let run ?(config = Config.default) ?(grid = default_grid) circuit =
+  if grid = [] then invalid_arg "Quality_sweep.run: empty grid";
+  let sta = Sta.analyze circuit in
+  let placement = Placement.place circuit in
+  let finest_intra =
+    List.fold_left (fun acc (i, _) -> Int.max acc i) 0 grid * 2
+  in
+  let finest_inter =
+    List.fold_left (fun acc (_, j) -> Int.max acc j) 0 grid * 2
+  in
+  let reference_quality = (finest_intra, finest_inter) in
+  let reference_sigma3 =
+    sigma3_at
+      (Config.with_quality config ~intra:finest_intra ~inter:finest_inter)
+      sta placement
+  in
+  let points =
+    List.map
+      (fun (quality_intra, quality_inter) ->
+        let started = Unix.gettimeofday () in
+        let sigma3 =
+          sigma3_at
+            (Config.with_quality config ~intra:quality_intra
+               ~inter:quality_inter)
+            sta placement
+        in
+        { quality_intra;
+          quality_inter;
+          sigma3;
+          error_pct =
+            Float.abs (sigma3 -. reference_sigma3) /. reference_sigma3 *. 100.0;
+          runtime_s = Unix.gettimeofday () -. started })
+      grid
+  in
+  { circuit_name = circuit.Netlist.name;
+    reference_sigma3;
+    reference_quality;
+    points }
+
+let knee t =
+  let acceptable = List.filter (fun p -> p.error_pct < 0.3) t.points in
+  let pool = if acceptable = [] then t.points else acceptable in
+  match pool with
+  | [] -> invalid_arg "Quality_sweep.knee: no points"
+  | first :: rest ->
+      List.fold_left
+        (fun acc p -> if p.runtime_s < acc.runtime_s then p else acc)
+        first rest
+
+let pp fmt t =
+  Format.fprintf fmt "quality sweep on %s (reference 3-sigma %.4f ps at %dx%d)@."
+    t.circuit_name
+    (Ssta_tech.Elmore.ps t.reference_sigma3)
+    (fst t.reference_quality) (snd t.reference_quality);
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  Qintra=%4d Qinter=%4d 3sigma=%10.4f ps err=%8.5f%% %.4fs@."
+        p.quality_intra p.quality_inter
+        (Ssta_tech.Elmore.ps p.sigma3)
+        p.error_pct p.runtime_s)
+    t.points

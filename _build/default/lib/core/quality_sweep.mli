@@ -1,0 +1,39 @@
+(** Accuracy / run-time trade-off over the PDF discretizations.
+
+    Section 4 of the paper sweeps QUALITY_intra and QUALITY_inter on
+    c499's critical path, measures the 3-sigma point against the finest
+    discretization, and picks (100, 50) as the knee (accuracy within
+    0.009% at 0.4 s).  This module regenerates that study for any
+    circuit. *)
+
+type point = {
+  quality_intra : int;
+  quality_inter : int;
+  sigma3 : float;  (** 3-sigma point of the critical path, seconds *)
+  error_pct : float;  (** |sigma3 - reference| / reference * 100 *)
+  runtime_s : float;
+}
+
+type t = {
+  circuit_name : string;
+  reference_sigma3 : float;  (** at the finest grid of the sweep *)
+  reference_quality : int * int;
+  points : point list;
+}
+
+val default_grid : (int * int) list
+(** The sweep used by the bench: intra in 10..400, inter in 5..100. *)
+
+val run :
+  ?config:Config.t ->
+  ?grid:(int * int) list ->
+  Ssta_circuit.Netlist.t ->
+  t
+(** Analyze the deterministic critical path of the circuit at each
+    (Q_intra, Q_inter) of [grid] plus one finest reference point. *)
+
+val knee : t -> point
+(** The cheapest point with error below 0.3% — how the paper justifies
+    (100, 50). *)
+
+val pp : Format.formatter -> t -> unit

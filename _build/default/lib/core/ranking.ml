@@ -1,0 +1,48 @@
+type ranked = {
+  analysis : Path_analysis.t;
+  det_rank : int;
+  prob_rank : int;
+}
+
+let rank analyses =
+  let with_det =
+    List.mapi (fun i a -> (i + 1, a)) analyses |> Array.of_list
+  in
+  Array.sort
+    (fun (da, a) (db, b) ->
+      let c =
+        compare b.Path_analysis.confidence_point a.Path_analysis.confidence_point
+      in
+      if c <> 0 then c else compare da db)
+    with_det;
+  Array.mapi
+    (fun i (det_rank, analysis) -> { analysis; det_rank; prob_rank = i + 1 })
+    with_det
+
+let probabilistic_critical ranked =
+  if Array.length ranked = 0 then
+    invalid_arg "Ranking.probabilistic_critical: no paths";
+  ranked.(0)
+
+let det_rank_of_prob_critical ranked =
+  (probabilistic_critical ranked).det_rank
+
+let rank_pairs ?first ranked =
+  let n =
+    match first with
+    | None -> Array.length ranked
+    | Some f -> Int.min f (Array.length ranked)
+  in
+  Array.init n (fun i -> (ranked.(i).det_rank, ranked.(i).prob_rank))
+
+let rank_correlation ranked =
+  if Array.length ranked < 2 then 1.0
+  else
+    Ssta_prob.Stats.spearman
+      (Array.map (fun r -> float_of_int r.det_rank) ranked)
+      (Array.map (fun r -> float_of_int r.prob_rank) ranked)
+
+let max_rank_change ranked =
+  Array.fold_left
+    (fun acc r -> Int.max acc (abs (r.det_rank - r.prob_rank)))
+    0 ranked

@@ -1,0 +1,35 @@
+(** Confidence-point ranking of analyzed paths and rank-change metrics.
+
+    The paper ranks every near-critical path by a confidence point on its
+    total delay PDF (the 3-sigma point) and contrasts the probabilistic
+    ranking with the deterministic (nominal-delay) ranking: Figs. 5 and 6
+    plot one against the other for c1355 (large churn) and c7552 (almost
+    none). *)
+
+type ranked = {
+  analysis : Path_analysis.t;
+  det_rank : int;  (** 1-based rank by nominal delay *)
+  prob_rank : int;  (** 1-based rank by confidence point *)
+}
+
+val rank : Path_analysis.t list -> ranked array
+(** Input in deterministic order (rank 1 first); output sorted by
+    probabilistic rank.  Ties in confidence point are broken by
+    deterministic rank for stability. *)
+
+val probabilistic_critical : ranked array -> ranked
+(** The path with probabilistic rank 1.  Raises [Invalid_argument] on an
+    empty array. *)
+
+val det_rank_of_prob_critical : ranked array -> int
+(** The paper's Table 2 column 11. *)
+
+val rank_pairs : ?first:int -> ranked array -> (int * int) array
+(** [(det_rank, prob_rank)] for the paths with the [first] smallest
+    probabilistic ranks (default all) — the data behind Figs. 5/6. *)
+
+val rank_correlation : ranked array -> float
+(** Spearman correlation between the two rankings (1.0 = no churn). *)
+
+val max_rank_change : ranked array -> int
+(** Largest |det_rank - prob_rank| over all paths. *)

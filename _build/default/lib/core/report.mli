@@ -1,0 +1,62 @@
+(** Rendering of the paper's tables and figure data.
+
+    Table 2 rows, Table 3 rows, PDF curves (Figs. 3/4) and rank scatter
+    data (Figs. 5/6), in both human-readable text and CSV for plotting. *)
+
+type table2_row = {
+  name : string;
+  num_gates : int;
+  det_delay_ps : float;
+  worst_case_ps : float;
+  overestimation_pct : float;
+  confidence : float;
+  num_critical_paths : int;
+  truncated : bool;
+  prob_mean_ps : float;
+  prob_sigma3_ps : float;
+  critical_path_gates : int;
+  det_rank_of_prob_critical : int;
+  runtime_s : float;
+}
+
+val table2_row : Methodology.t -> table2_row
+(** Extract the Table 2 columns from a methodology run. *)
+
+val pp_table2_header : Format.formatter -> unit -> unit
+val pp_table2_row : Format.formatter -> table2_row -> unit
+
+val pp_table2_comparison :
+  Format.formatter -> paper:Ssta_circuit.Iscas85.paper_row -> table2_row -> unit
+(** Side-by-side measured-vs-paper line (for EXPERIMENTS.md). *)
+
+type table3_row = {
+  scenario : string;
+  inter_fraction : float;
+  mean_ps : float;
+  total_sigma_ps : float;
+  inter_sigma_ps : float;
+  intra_sigma_ps : float;
+  num_paths : int;
+}
+
+val table3_row :
+  scenario:string -> inter_fraction:float -> Methodology.t -> table3_row
+
+val pp_table3_header : Format.formatter -> unit -> unit
+val pp_table3_row : Format.formatter -> table3_row -> unit
+
+val pp_path_report :
+  Format.formatter -> Ssta_timing.Graph.t -> Path_analysis.t -> unit
+(** Classic "report_timing"-style breakdown of one analyzed path: one
+    line per node with gate type, incremental delay and cumulative
+    arrival, followed by the statistical summary (mean, sigma,
+    confidence point, worst-case corner). *)
+
+val pdf_csv : Ssta_prob.Pdf.t -> string
+(** Two-column CSV [delay_ps,density] of a delay PDF (Figs. 3/4). *)
+
+val pdfs_csv : (string * Ssta_prob.Pdf.t) list -> string
+(** Long-format CSV [series,delay_ps,density] for several curves. *)
+
+val rank_scatter_csv : (int * int) array -> string
+(** CSV [det_rank,prob_rank] (Figs. 5/6). *)

@@ -1,0 +1,88 @@
+module Params = Ssta_tech.Params
+module Derivatives = Ssta_tech.Derivatives
+module Graph = Ssta_timing.Graph
+module Paths = Ssta_timing.Paths
+module Layers = Ssta_correlation.Layers
+module Budget = Ssta_correlation.Budget
+module Placement = Ssta_circuit.Placement
+
+type correction = {
+  mean_shift : float;
+  extra_variance : float;
+  third_central : float;
+  skewness : float;
+}
+
+let of_path (config : Config.t) g pl path =
+  let layers = Config.layers_for config pl in
+  (* first (c) and second (q) derivative sums per (rv, layer, partition) *)
+  let firsts = Hashtbl.create 64 in
+  let seconds = Hashtbl.create 64 in
+  let bump table key v =
+    let prev = try Hashtbl.find table key with Not_found -> 0.0 in
+    Hashtbl.replace table key (prev +. v)
+  in
+  Array.iter
+    (fun id ->
+      if not (Graph.is_input g id) then begin
+        let e = Graph.electrical_exn g id in
+        let x, y = Placement.coord pl id in
+        List.iter
+          (fun rv ->
+            let c = Derivatives.first e Params.nominal rv in
+            let q = Derivatives.second e Params.nominal rv in
+            for layer = 1 to Layers.num_layers layers - 1 do
+              let partition =
+                Layers.partition_of_gate layers ~level:layer ~gate_id:id ~x ~y
+              in
+              let key = (Params.rv_index rv, layer, partition) in
+              bump firsts key c;
+              bump seconds key q
+            done)
+          Params.all_rvs
+      end)
+    path.Paths.nodes;
+  let mean_shift = ref 0.0 in
+  let extra_variance = ref 0.0 in
+  let third = ref 0.0 in
+  Hashtbl.iter
+    (fun ((rv_index, layer, _) as key) q ->
+      let rv = List.nth Params.all_rvs rv_index in
+      let s =
+        Budget.sigma_of_layer config.Config.budget
+          ~total_sigma:(Params.sigma rv) layer
+      in
+      let c = try Hashtbl.find firsts key with Not_found -> 0.0 in
+      let s2 = s *. s in
+      let s4 = s2 *. s2 in
+      mean_shift := !mean_shift +. (0.5 *. q *. s2);
+      extra_variance := !extra_variance +. (0.5 *. q *. q *. s4);
+      third :=
+        !third +. ((3.0 *. c *. c *. q *. s4) +. (q *. q *. q *. s4 *. s2)))
+    seconds;
+  (* total intra variance (first order) for the skewness denominator *)
+  let base_variance =
+    Hashtbl.fold
+      (fun (rv_index, layer, _) c acc ->
+        let rv = List.nth Params.all_rvs rv_index in
+        let s =
+          Budget.sigma_of_layer config.Config.budget
+            ~total_sigma:(Params.sigma rv) layer
+        in
+        acc +. (c *. c *. s *. s))
+      firsts 0.0
+  in
+  let var = base_variance +. !extra_variance in
+  let skewness =
+    if var > 0.0 then !third /. (var ** 1.5) else 0.0
+  in
+  { mean_shift = !mean_shift;
+    extra_variance = !extra_variance;
+    third_central = !third;
+    skewness }
+
+let corrected_mean (a : Path_analysis.t) c =
+  a.Path_analysis.mean +. c.mean_shift
+
+let corrected_std (a : Path_analysis.t) c =
+  sqrt ((a.Path_analysis.std *. a.Path_analysis.std) +. c.extra_variance)

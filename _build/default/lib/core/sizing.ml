@@ -1,0 +1,107 @@
+module Graph = Ssta_timing.Graph
+module Sta = Ssta_timing.Sta
+module Longest_path = Ssta_timing.Longest_path
+module Paths = Ssta_timing.Paths
+module Placement = Ssta_circuit.Placement
+module Netlist = Ssta_circuit.Netlist
+
+type step = { sigma3 : float; area : float; resized : int }
+
+type result = {
+  drives : float array;
+  initial_sigma3 : float;
+  final_sigma3 : float;
+  area : float;
+  initial_area : float;
+  iterations : int;
+  met : bool;
+  history : step list;
+}
+
+let total_area circuit drives =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (g : Netlist.gate) -> acc := !acc +. drives.(g.Netlist.id))
+    circuit.Netlist.gates;
+  !acc
+
+(* Statistical analysis of the current sizing: probabilistic critical
+   path's confidence point over the near-critical set (capped for
+   speed), plus the path itself. *)
+let evaluate config placement circuit drives =
+  let graph = Graph.with_drives circuit drives in
+  let sta = Sta.of_graph graph in
+  let ctx = Path_analysis.context config graph placement in
+  let det = Path_analysis.analyze ctx sta.Sta.critical_path in
+  let slack = config.Config.confidence *. det.Path_analysis.std in
+  let enum = Sta.near_critical ~max_paths:200 sta ~slack in
+  let worst =
+    List.fold_left
+      (fun acc p ->
+        let a =
+          if p.Paths.nodes = det.Path_analysis.path.Paths.nodes then det
+          else Path_analysis.analyze ctx p
+        in
+        match acc with
+        | None -> Some a
+        | Some best ->
+            if a.Path_analysis.confidence_point
+               > best.Path_analysis.confidence_point
+            then Some a
+            else Some best)
+      None enum.Paths.paths
+  in
+  match worst with
+  | Some a -> a
+  | None -> det
+
+let optimize ?(config = Config.default) ?placement ?(max_iterations = 50)
+    ?(step_factor = 1.25) ?(max_drive = 6.0) ~target circuit =
+  if target <= 0.0 then invalid_arg "Sizing.optimize: target must be positive";
+  if step_factor <= 1.0 then
+    invalid_arg "Sizing.optimize: step_factor must exceed 1";
+  if max_drive < 1.0 then invalid_arg "Sizing.optimize: max_drive >= 1";
+  let placement =
+    match placement with Some pl -> pl | None -> Placement.place circuit
+  in
+  let n = Netlist.num_nodes circuit in
+  let drives = Array.make n 1.0 in
+  let initial = evaluate config placement circuit drives in
+  let initial_area = total_area circuit drives in
+  let history = ref [] in
+  let rec loop iteration current =
+    let sigma3 = current.Path_analysis.confidence_point in
+    if sigma3 <= target then (iteration, current, true)
+    else if iteration >= max_iterations then (iteration, current, false)
+    else begin
+      (* Upsize the gates of the probabilistic critical path. *)
+      let resized = ref 0 in
+      Array.iter
+        (fun id ->
+          if not (Netlist.is_input circuit id) && drives.(id) < max_drive
+          then begin
+            drives.(id) <- Float.min max_drive (drives.(id) *. step_factor);
+            incr resized
+          end)
+        current.Path_analysis.path.Paths.nodes;
+      if !resized = 0 then (iteration, current, false)
+      else begin
+        let next = evaluate config placement circuit drives in
+        history :=
+          { sigma3 = next.Path_analysis.confidence_point;
+            area = total_area circuit drives;
+            resized = !resized }
+          :: !history;
+        loop (iteration + 1) next
+      end
+    end
+  in
+  let iterations, final, met = loop 0 initial in
+  { drives;
+    initial_sigma3 = initial.Path_analysis.confidence_point;
+    final_sigma3 = final.Path_analysis.confidence_point;
+    area = total_area circuit drives;
+    initial_area;
+    iterations;
+    met;
+    history = List.rev !history }

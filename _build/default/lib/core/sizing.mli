@@ -1,0 +1,44 @@
+(** Statistical gate sizing.
+
+    The paper's introduction motivates statistical timing through
+    optimization ("Statistical Timing Optimization of Combinational
+    Logic Circuits", its refs [4] and [6]): a deterministic sizer that
+    chases the nominal critical path can waste area on paths that are
+    not statistically critical.  This optimizer closes the loop with the
+    statistical timer: it repeatedly upsizes the gates of the current
+    {e probabilistic} critical path (largest confidence point) until the
+    3-sigma target is met, re-evaluating loads — upsizing a gate slows
+    its fan-ins — and delays each round. *)
+
+type step = {
+  sigma3 : float;  (** confidence point after the round, seconds *)
+  area : float;  (** total drive area, in unit-gate equivalents *)
+  resized : int;  (** gates touched this round *)
+}
+
+type result = {
+  drives : float array;  (** final per-node drive strengths *)
+  initial_sigma3 : float;
+  final_sigma3 : float;
+  area : float;  (** final total drive area *)
+  initial_area : float;
+  iterations : int;
+  met : bool;  (** target reached *)
+  history : step list;  (** oldest first *)
+}
+
+val optimize :
+  ?config:Config.t ->
+  ?placement:Ssta_circuit.Placement.t ->
+  ?max_iterations:int ->
+  ?step_factor:float ->
+  ?max_drive:float ->
+  target:float ->
+  Ssta_circuit.Netlist.t ->
+  result
+(** [optimize ~target circuit] sizes until the probabilistic critical
+    path's confidence point is at most [target] (seconds), the drive cap
+    is hit on every critical gate, or [max_iterations] (default 50)
+    rounds elapse.  [step_factor] (default 1.25) multiplies the drive of
+    each gate on the probabilistic critical path per round, clamped to
+    [max_drive] (default 6.0). *)

@@ -1,0 +1,33 @@
+module Pdf = Ssta_prob.Pdf
+
+let of_pdf pdf ~clock = Pdf.cdf pdf clock
+
+let clock_for_yield pdf ~yield =
+  if yield < 0.0 || yield > 1.0 then
+    invalid_arg "Yield.clock_for_yield: yield must be in [0, 1]";
+  Pdf.quantile pdf yield
+
+let of_samples samples ~clock =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Yield.of_samples: empty sample";
+  let ok = Array.fold_left (fun acc d -> if d <= clock then acc + 1 else acc) 0 samples in
+  float_of_int ok /. float_of_int n
+
+let curve pdf ~lo ~hi ~points =
+  if points < 2 then invalid_arg "Yield.curve: need at least 2 points";
+  if not (hi > lo) then invalid_arg "Yield.curve: hi must exceed lo";
+  List.init points (fun i ->
+      let clock =
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1))
+      in
+      (clock, of_pdf pdf ~clock))
+
+let of_methodology (m : Methodology.t) ~clock =
+  of_pdf m.Methodology.prob_critical.Ranking.analysis.Path_analysis.total_pdf
+    ~clock
+
+let pessimistic_of_methodology (m : Methodology.t) ~clock =
+  Array.fold_left
+    (fun acc r ->
+      acc *. of_pdf r.Ranking.analysis.Path_analysis.total_pdf ~clock)
+    1.0 m.Methodology.ranked

@@ -1,0 +1,35 @@
+(** Timing yield — the fraction of manufactured dies meeting a clock
+    target.
+
+    The paper's motivation for statistical analysis is exactly this
+    question (its reference [11], Gattiker et al., "Timing Yield
+    Estimation from Static Timing Analysis").  The yield at clock period
+    T is P(circuit delay <= T); this module computes it from a delay PDF
+    (a single path's, or the probabilistic critical path's as the
+    paper's proxy for the circuit) and from Monte-Carlo circuit samples
+    (the exact reference). *)
+
+val of_pdf : Ssta_prob.Pdf.t -> clock:float -> float
+(** P(delay <= clock) under the given delay PDF. *)
+
+val clock_for_yield : Ssta_prob.Pdf.t -> yield:float -> float
+(** Smallest clock period achieving the target [yield] (in [0, 1]). *)
+
+val of_samples : float array -> clock:float -> float
+(** Empirical yield from Monte-Carlo delay samples. *)
+
+val curve :
+  Ssta_prob.Pdf.t -> lo:float -> hi:float -> points:int
+  -> (float * float) list
+(** [(clock, yield)] pairs over a clock range (for plotting). *)
+
+val of_methodology : Methodology.t -> clock:float -> float
+(** Yield estimate from the probabilistic critical path's total PDF —
+    optimistic by construction (ignores the other near-critical paths),
+    but within the slack window of the exact value; the ablation bench
+    compares it against Monte-Carlo. *)
+
+val pessimistic_of_methodology : Methodology.t -> clock:float -> float
+(** Product of per-path yields over all analyzed near-critical paths —
+    the independence lower bound (paths are positively correlated, so
+    the true yield lies between this and {!of_methodology}). *)

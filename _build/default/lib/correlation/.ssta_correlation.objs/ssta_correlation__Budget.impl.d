@@ -1,0 +1,1 @@
+lib/correlation/budget.ml: Array Float

@@ -1,0 +1,1 @@
+lib/correlation/budget.mli:

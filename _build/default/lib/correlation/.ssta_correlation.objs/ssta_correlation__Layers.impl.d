@@ -1,0 +1,1 @@
+lib/correlation/layers.ml: Ssta_circuit

@@ -1,0 +1,1 @@
+lib/correlation/layers.mli: Ssta_circuit

@@ -1,0 +1,1 @@
+lib/correlation/path_coeffs.ml: Array Budget Hashtbl Layers List Ssta_circuit Ssta_tech Ssta_timing

@@ -1,0 +1,1 @@
+lib/correlation/path_coeffs.mli: Budget Hashtbl Layers Ssta_circuit Ssta_tech Ssta_timing

@@ -1,0 +1,1 @@
+lib/correlation/path_correlation.ml: Budget Hashtbl List Path_coeffs Ssta_tech

@@ -1,0 +1,1 @@
+lib/correlation/path_correlation.mli: Budget Path_coeffs

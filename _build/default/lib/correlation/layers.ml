@@ -1,0 +1,44 @@
+type t = {
+  quad_levels : int;
+  random_layer : bool;
+  die_width : float;
+  die_height : float;
+}
+
+let create ?(quad_levels = 4) ?(random_layer = true) ~die_width ~die_height ()
+    =
+  if quad_levels < 1 then invalid_arg "Layers.create: quad_levels >= 1";
+  if die_width <= 0.0 || die_height <= 0.0 then
+    invalid_arg "Layers.create: die dimensions must be positive";
+  { quad_levels; random_layer; die_width; die_height }
+
+let of_placement ?quad_levels ?random_layer (pl : Ssta_circuit.Placement.t) =
+  create ?quad_levels ?random_layer ~die_width:pl.Ssta_circuit.Placement.die_width
+    ~die_height:pl.Ssta_circuit.Placement.die_height ()
+
+let num_layers t = t.quad_levels + if t.random_layer then 1 else 0
+let is_random_layer t u = t.random_layer && u = t.quad_levels
+
+let partitions_at t level =
+  if level < 0 || level >= num_layers t then
+    invalid_arg "Layers.partitions_at: bad level";
+  if is_random_layer t level then
+    invalid_arg "Layers.partitions_at: random layer has per-gate partitions";
+  1 lsl (2 * level)
+
+let clamp_cell cells v = if v < 0 then 0 else if v >= cells then cells - 1 else v
+
+let partition_of t ~level ~x ~y =
+  if level < 0 || level >= t.quad_levels then
+    invalid_arg "Layers.partition_of: bad spatial level";
+  let cells = 1 lsl level in
+  let col =
+    clamp_cell cells (int_of_float (x /. t.die_width *. float_of_int cells))
+  in
+  let row =
+    clamp_cell cells (int_of_float (y /. t.die_height *. float_of_int cells))
+  in
+  (row * cells) + col
+
+let partition_of_gate t ~level ~gate_id ~x ~y =
+  if is_random_layer t level then gate_id else partition_of t ~level ~x ~y

@@ -1,0 +1,46 @@
+(** Hierarchical quad-tree correlation layers (Section 2.3).
+
+    The die is replicated on several layers; layer [i] divides it into
+    [4^i] rectangular regions.  A gate's parameter value is the sum of
+    one RV per layer — the RV of the partition the gate falls in — so
+    two gates share more summands (and are thus more correlated) the
+    closer they are.  Layer 0 is the whole die: the inter-die variation.
+    The paper uses a 4-layer quad-tree model plus a fifth "random" layer
+    whose RVs are per-gate independent. *)
+
+type t = private {
+  quad_levels : int;  (** spatial layers 0 .. quad_levels-1 *)
+  random_layer : bool;  (** extra per-gate independent layer *)
+  die_width : float;
+  die_height : float;
+}
+
+val create :
+  ?quad_levels:int -> ?random_layer:bool -> die_width:float
+  -> die_height:float -> unit -> t
+(** Default [quad_levels] 4 and [random_layer] true — the paper's
+    "4 layer model along with a fifth random layer".  Requires
+    [quad_levels >= 1] and positive die dimensions. *)
+
+val of_placement : ?quad_levels:int -> ?random_layer:bool
+  -> Ssta_circuit.Placement.t -> t
+
+val num_layers : t -> int
+(** Total layers including the random one (the paper's L). *)
+
+val is_random_layer : t -> int -> bool
+(** Whether layer index [u] is the per-gate random layer. *)
+
+val partitions_at : t -> int -> int
+(** [4^u] for spatial layers.  Raises [Invalid_argument] for the random
+    layer (its partition count is the gate count, known only to the
+    caller). *)
+
+val partition_of : t -> level:int -> x:float -> y:float -> int
+(** Partition index (row-major over a 2^level x 2^level grid) of a point
+    on a spatial layer.  Points outside the die are clamped to the
+    nearest border region. *)
+
+val partition_of_gate :
+  t -> level:int -> gate_id:int -> x:float -> y:float -> int
+(** Like {!partition_of} but resolves the random layer to [gate_id]. *)

@@ -1,0 +1,67 @@
+module Params = Ssta_tech.Params
+module Derivatives = Ssta_tech.Derivatives
+module Graph = Ssta_timing.Graph
+module Paths = Ssta_timing.Paths
+module Placement = Ssta_circuit.Placement
+
+type key = { rv : Params.rv; layer : int; partition : int }
+
+type t = {
+  alpha_sum : float;
+  beta_sum : float;
+  gate_count : int;
+  nominal_delay : float;
+  grad_sum : Params.t;
+  coeffs : (key, float) Hashtbl.t;
+}
+
+let of_path g pl layers (path : Paths.path) =
+  let coeffs = Hashtbl.create 64 in
+  let alpha_sum = ref 0.0 and beta_sum = ref 0.0 in
+  let gate_count = ref 0 and nominal_delay = ref 0.0 in
+  let grad_sum = ref Params.zero in
+  Array.iter
+    (fun id ->
+      if not (Graph.is_input g id) then begin
+        let e = Graph.electrical_exn g id in
+        alpha_sum := !alpha_sum +. e.Ssta_tech.Gate.alpha;
+        beta_sum := !beta_sum +. e.Ssta_tech.Gate.beta;
+        incr gate_count;
+        nominal_delay := !nominal_delay +. g.Graph.delay.(id);
+        let x, y = Placement.coord pl id in
+        let grad = Derivatives.gradient e Params.nominal in
+        grad_sum := Params.add !grad_sum grad;
+        List.iter
+          (fun rv ->
+            let d = Params.get grad rv in
+            (* Intra layers start at 1; layer 0 is the inter part. *)
+            for layer = 1 to Layers.num_layers layers - 1 do
+              let partition =
+                Layers.partition_of_gate layers ~level:layer ~gate_id:id ~x ~y
+              in
+              let key = { rv; layer; partition } in
+              let prev = try Hashtbl.find coeffs key with Not_found -> 0.0 in
+              Hashtbl.replace coeffs key (prev +. d)
+            done)
+          Params.all_rvs
+      end)
+    path.Paths.nodes;
+  { alpha_sum = !alpha_sum;
+    beta_sum = !beta_sum;
+    gate_count = !gate_count;
+    nominal_delay = !nominal_delay;
+    grad_sum = !grad_sum;
+    coeffs }
+
+let intra_variance t budget =
+  Hashtbl.fold
+    (fun key c acc ->
+      let sigma =
+        Budget.sigma_of_layer budget ~total_sigma:(Params.sigma key.rv)
+          key.layer
+      in
+      acc +. (c *. c *. sigma *. sigma))
+    t.coeffs 0.0
+
+let coeff t key = try Hashtbl.find t.coeffs key with Not_found -> 0.0
+let num_layer_rvs t = Hashtbl.length t.coeffs

@@ -1,0 +1,48 @@
+(** Per-path accumulation of layer-RV coefficients — Eq. (13).
+
+    After the Taylor linearization, a path's intra-die delay is
+    [sum over (rv, layer u, partition w) of coeff * RV(rv, u, w)], where
+    the coefficient is the sum of the nominal delay derivatives of the
+    path's gates that fall in partition (u, w).  Gates of the same path
+    that share a partition add their derivatives {e before} squaring —
+    this is exactly how the layering model carries spatial correlation
+    into the variance of Eq. (14).
+
+    The inter-die part stays nonlinear; for it we accumulate the alpha
+    and beta sums of Eq. (5) so the inter-delay PDF can be computed as
+    [0.345 tox Leff / eps_ox * (A F(vdd,vtn) + B F(vdd,vtp))]. *)
+
+type key = { rv : Ssta_tech.Params.rv; layer : int; partition : int }
+
+type t = {
+  alpha_sum : float;  (** A = sum of gate alphas along the path *)
+  beta_sum : float;  (** B = sum of gate betas *)
+  gate_count : int;
+  nominal_delay : float;  (** sum of nominal gate delays, seconds *)
+  grad_sum : Ssta_tech.Params.t;
+      (** per-RV sum of the nominal delay derivatives over the path's
+          gates — the linearized sensitivity of the whole path, used for
+          analytic path-to-path covariances *)
+  coeffs : (key, float) Hashtbl.t;
+      (** intra layers only (layer >= 1): summed delay derivatives *)
+}
+
+val of_path :
+  Ssta_timing.Graph.t ->
+  Ssta_circuit.Placement.t ->
+  Layers.t ->
+  Ssta_timing.Paths.path ->
+  t
+(** Accumulate coefficients for one path.  Derivatives are evaluated at
+    nominal (the paper's zeroth-order approximation, Eq. 11). *)
+
+val intra_variance : t -> Budget.t -> float
+(** Eq. (14): [sum coeff^2 * sigma_layer^2] over all intra keys, with
+    per-layer sigmas from the budget and {!Ssta_tech.Params.sigma}. *)
+
+val coeff : t -> key -> float
+(** 0 when the key is absent. *)
+
+val num_layer_rvs : t -> int
+(** Number of distinct (rv, layer, partition) triples on the path — the
+    paper's Omega in the complexity analysis. *)

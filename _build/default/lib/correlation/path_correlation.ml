@@ -1,0 +1,51 @@
+module Params = Ssta_tech.Params
+
+let inter_covariance budget (a : Path_coeffs.t) (b : Path_coeffs.t) =
+  List.fold_left
+    (fun acc rv ->
+      let s = Budget.sigma_of_layer budget ~total_sigma:(Params.sigma rv) 0 in
+      acc
+      +. (Params.get a.Path_coeffs.grad_sum rv
+         *. Params.get b.Path_coeffs.grad_sum rv
+         *. s *. s))
+    0.0 Params.all_rvs
+
+let intra_covariance budget (a : Path_coeffs.t) (b : Path_coeffs.t) =
+  let small, large =
+    if Hashtbl.length a.Path_coeffs.coeffs <= Hashtbl.length b.Path_coeffs.coeffs
+    then (a, b)
+    else (b, a)
+  in
+  Hashtbl.fold
+    (fun (key : Path_coeffs.key) ca acc ->
+      match Hashtbl.find_opt large.Path_coeffs.coeffs key with
+      | Some cb ->
+          let s =
+            Budget.sigma_of_layer budget
+              ~total_sigma:(Params.sigma key.Path_coeffs.rv)
+              key.Path_coeffs.layer
+          in
+          acc +. (ca *. cb *. s *. s)
+      | None -> acc)
+    small.Path_coeffs.coeffs 0.0
+
+let covariance budget a b =
+  inter_covariance budget a b +. intra_covariance budget a b
+
+let variance budget a = covariance budget a a
+
+let correlation budget a b =
+  let va = variance budget a and vb = variance budget b in
+  if va <= 0.0 || vb <= 0.0 then 0.0
+  else covariance budget a b /. sqrt (va *. vb)
+
+let shared_keys (a : Path_coeffs.t) (b : Path_coeffs.t) =
+  let small, large =
+    if Hashtbl.length a.Path_coeffs.coeffs <= Hashtbl.length b.Path_coeffs.coeffs
+    then (a, b)
+    else (b, a)
+  in
+  Hashtbl.fold
+    (fun key _ acc ->
+      if Hashtbl.mem large.Path_coeffs.coeffs key then acc + 1 else acc)
+    small.Path_coeffs.coeffs 0

@@ -1,0 +1,29 @@
+(** Analytic delay correlation between two paths.
+
+    Two paths of the same die are correlated through the RVs they share:
+    all paths share the five inter-die RVs, and paths whose gates fall in
+    common quad-tree partitions additionally share intra-die layer RVs.
+    With the paper's linearization, the covariance between path delays is
+
+    {v
+      cov = sum_rv Da(rv) Db(rv) sigma_0(rv)^2       (inter, always shared)
+          + sum_{shared (rv,u,w)} ca cb sigma_u(rv)^2 (intra, if co-located)
+    v}
+
+    where D is a path's summed delay derivative.  This is the quantity
+    behind the paper's observation that spatial correlation inflates rank
+    churn on c1355: highly correlated near-equal paths reorder easily.
+    Validated against Monte-Carlo sampling in the test suite. *)
+
+val variance : Budget.t -> Path_coeffs.t -> float
+(** Linearized total delay variance of a path (inter part linearized too,
+    unlike the numeric PDF engine — small difference, see tests). *)
+
+val covariance : Budget.t -> Path_coeffs.t -> Path_coeffs.t -> float
+
+val correlation : Budget.t -> Path_coeffs.t -> Path_coeffs.t -> float
+(** In [-1, 1]; 1.0 when the paths are identical. *)
+
+val shared_keys : Path_coeffs.t -> Path_coeffs.t -> int
+(** Number of intra layer-RVs the two paths share (the "number of common
+    RVs" of Section 2.3). *)

@@ -1,0 +1,1 @@
+lib/prob/combine.ml: Array Float Int List Pdf

@@ -1,0 +1,1 @@
+lib/prob/mc.ml: Array Float Pdf Stats

@@ -1,0 +1,1 @@
+lib/prob/mc.mli: Pdf Rng Stats

@@ -1,0 +1,1 @@
+lib/prob/pdf.ml: Array Float Format Int Rng

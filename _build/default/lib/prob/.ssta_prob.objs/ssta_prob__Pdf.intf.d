@@ -1,0 +1,1 @@
+lib/prob/pdf.mli: Format Rng

@@ -1,0 +1,1 @@
+lib/prob/shape.ml: Dist Rng String

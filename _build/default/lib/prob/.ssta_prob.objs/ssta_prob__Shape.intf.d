@@ -1,0 +1,1 @@
+lib/prob/shape.mli: Pdf Rng

@@ -1,0 +1,179 @@
+type accumulator = {
+  acc_lo : float;
+  acc_step : float;
+  cells : float array;
+  mutable deposited : float;
+}
+
+let accumulator ~lo ~hi ~n =
+  if n <= 0 then invalid_arg "Combine.accumulator: n must be positive";
+  if not (hi > lo) then invalid_arg "Combine.accumulator: hi must exceed lo";
+  { acc_lo = lo;
+    acc_step = (hi -. lo) /. float_of_int n;
+    cells = Array.make n 0.0;
+    deposited = 0.0 }
+
+(* Linear mass splitting between the two nearest cell centers keeps the
+   mean of each deposit exact, which matters for the paper's claim that
+   the probabilistic mean differs from the nominal delay. *)
+let deposit a ~x ~mass =
+  if mass > 0.0 then begin
+    let n = Array.length a.cells in
+    let u = ((x -. a.acc_lo) /. a.acc_step) -. 0.5 in
+    let i = int_of_float (Float.floor u) in
+    let frac = u -. float_of_int i in
+    let put j m =
+      if m > 0.0 then begin
+        let j = if j < 0 then 0 else if j >= n then n - 1 else j in
+        a.cells.(j) <- a.cells.(j) +. m
+      end
+    in
+    put i (mass *. (1.0 -. frac));
+    put (i + 1) (mass *. frac);
+    a.deposited <- a.deposited +. mass
+  end
+
+let to_pdf a =
+  if not (a.deposited > 0.0) then
+    invalid_arg "Combine.to_pdf: no mass deposited";
+  Pdf.make ~lo:a.acc_lo ~step:a.acc_step
+    (Array.map (fun m -> m /. a.acc_step) a.cells)
+
+(* Scan the corners and edges of the product grid to find the output
+   range; for monotone-ish smooth functions (everything the delay model
+   uses) extrema lie on the boundary of the box.  A sparse interior sweep
+   guards against non-monotone combinations. *)
+let range2 f px py =
+  let lo = ref infinity and hi = ref neg_infinity in
+  let consider v =
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  in
+  let nx = Pdf.size px and ny = Pdf.size py in
+  let stride n = Int.max 1 (n / 16) in
+  let sx = stride nx and sy = stride ny in
+  for i = 0 to nx - 1 do
+    if i = 0 || i = nx - 1 || i mod sx = 0 then
+      for j = 0 to ny - 1 do
+        if j = 0 || j = ny - 1 || j mod sy = 0 then
+          consider (f (Pdf.x_at px i) (Pdf.x_at py j))
+      done
+  done;
+  (!lo, !hi)
+
+let widen (lo, hi) =
+  if hi > lo then (lo, hi)
+  else
+    let eps = 1e-12 *. (1.0 +. Float.abs lo) in
+    (lo -. eps, hi +. eps)
+
+let binop ?n f px py =
+  let n = match n with Some n -> n | None -> Int.max (Pdf.size px) (Pdf.size py) in
+  let lo, hi = widen (range2 f px py) in
+  let a = accumulator ~lo ~hi ~n in
+  for i = 0 to Pdf.size px - 1 do
+    let x = Pdf.x_at px i and mx = Pdf.mass_at px i in
+    if mx > 0.0 then
+      for j = 0 to Pdf.size py - 1 do
+        let my = Pdf.mass_at py j in
+        if my > 0.0 then deposit a ~x:(f x (Pdf.x_at py j)) ~mass:(mx *. my)
+      done
+  done;
+  to_pdf a
+
+let sum ?n px py = binop ?n ( +. ) px py
+
+let sum_list ?n = function
+  | [] -> invalid_arg "Combine.sum_list: empty list"
+  | [ p ] -> p
+  | p :: rest -> List.fold_left (fun acc q -> sum ?n acc q) p rest
+
+let product ?n px py = binop ?n ( *. ) px py
+
+let map ?n f p =
+  let n = match n with Some n -> n | None -> Pdf.size p in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for i = 0 to Pdf.size p - 1 do
+    let v = f (Pdf.x_at p i) in
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  done;
+  let lo, hi = widen (!lo, !hi) in
+  let a = accumulator ~lo ~hi ~n in
+  for i = 0 to Pdf.size p - 1 do
+    deposit a ~x:(f (Pdf.x_at p i)) ~mass:(Pdf.mass_at p i)
+  done;
+  to_pdf a
+
+let push2 = binop
+
+let push3 ?n f px py pz =
+  let n =
+    match n with
+    | Some n -> n
+    | None -> Int.max (Pdf.size px) (Int.max (Pdf.size py) (Pdf.size pz))
+  in
+  (* Range scan over a coarse sub-grid of the 3-D box. *)
+  let lo = ref infinity and hi = ref neg_infinity in
+  let consider v =
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  in
+  let scan p = Int.max 1 (Pdf.size p / 8) in
+  let sweep p k =
+    let n = Pdf.size p in
+    k 0;
+    k (n - 1);
+    let s = scan p in
+    let i = ref s in
+    while !i < n - 1 do
+      k !i;
+      i := !i + s
+    done
+  in
+  sweep px (fun i ->
+      sweep py (fun j ->
+          sweep pz (fun k ->
+              consider (f (Pdf.x_at px i) (Pdf.x_at py j) (Pdf.x_at pz k)))));
+  let lo, hi = widen (!lo, !hi) in
+  let a = accumulator ~lo ~hi ~n in
+  for i = 0 to Pdf.size px - 1 do
+    let x = Pdf.x_at px i and mx = Pdf.mass_at px i in
+    if mx > 0.0 then
+      for j = 0 to Pdf.size py - 1 do
+        let y = Pdf.x_at py j and mxy = mx *. Pdf.mass_at py j in
+        if mxy > 0.0 then
+          for k = 0 to Pdf.size pz - 1 do
+            let mz = Pdf.mass_at pz k in
+            if mz > 0.0 then
+              deposit a ~x:(f x y (Pdf.x_at pz k)) ~mass:(mxy *. mz)
+          done
+      done
+  done;
+  to_pdf a
+
+let mixture weighted =
+  if weighted = [] then invalid_arg "Combine.mixture: empty mixture";
+  List.iter
+    (fun (w, _) ->
+      if not (w > 0.0) then
+        invalid_arg "Combine.mixture: weights must be positive")
+    weighted;
+  let lo =
+    List.fold_left (fun acc (_, p) -> Float.min acc (Pdf.x_at p 0 -. p.Pdf.step))
+      infinity weighted
+  in
+  let hi =
+    List.fold_left (fun acc (_, p) -> Float.max acc (Pdf.hi p)) neg_infinity
+      weighted
+  in
+  let n = List.fold_left (fun acc (_, p) -> Int.max acc (Pdf.size p)) 1 weighted in
+  let a = accumulator ~lo ~hi ~n in
+  let wtotal = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  List.iter
+    (fun (w, p) ->
+      for i = 0 to Pdf.size p - 1 do
+        deposit a ~x:(Pdf.x_at p i) ~mass:(w /. wtotal *. Pdf.mass_at p i)
+      done)
+    weighted;
+  to_pdf a

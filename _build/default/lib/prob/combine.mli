@@ -1,0 +1,61 @@
+(** Combinators over discretized PDFs of independent random variables.
+
+    These implement the numeric machinery of the paper's Section 3.2: the
+    intra/inter delay PDFs are built by convolving (sums) and multiplying
+    (products) independent discretized distributions and by pushing grids
+    of input RVs through the nonlinear Elmore delay function.  Mass is
+    deposited with linear splitting between the two nearest destination
+    cells, which keeps the first moment of each deposit exact. *)
+
+type accumulator
+(** A mass-accumulation grid onto which weighted samples are deposited
+    before being normalized into a {!Pdf.t}. *)
+
+val accumulator : lo:float -> hi:float -> n:int -> accumulator
+(** Fresh accumulator with [n] cells spanning [lo, hi).  Mass deposited
+    outside the range is clamped to the boundary cells. *)
+
+val deposit : accumulator -> x:float -> mass:float -> unit
+(** Add probability mass at position [x], split linearly between the two
+    neighbouring cell centers. *)
+
+val to_pdf : accumulator -> Pdf.t
+(** Normalize the accumulated mass into a PDF.  Raises [Invalid_argument]
+    if nothing was deposited. *)
+
+val binop : ?n:int -> (float -> float -> float) -> Pdf.t -> Pdf.t -> Pdf.t
+(** [binop f px py] is the distribution of [f X Y] for independent X, Y.
+    Cost O(|px| * |py|).  The output grid has [n] cells (default:
+    max of the input sizes) spanning the observed range of [f]. *)
+
+val sum : ?n:int -> Pdf.t -> Pdf.t -> Pdf.t
+(** Distribution of X + Y (independent): discrete convolution.  This is
+    the paper's O(QUALITY^2) convolution of inter- and intra-PDFs. *)
+
+val sum_list : ?n:int -> Pdf.t list -> Pdf.t
+(** Convolution of a non-empty list of independent summands. *)
+
+val product : ?n:int -> Pdf.t -> Pdf.t -> Pdf.t
+(** Distribution of X * Y (independent). *)
+
+val map : ?n:int -> (float -> float) -> Pdf.t -> Pdf.t
+(** Push-forward of a single PDF through an arbitrary function. *)
+
+val push2 : ?n:int -> (float -> float -> float) -> Pdf.t -> Pdf.t -> Pdf.t
+(** Alias of {!binop}, named for symmetry with {!push3}. *)
+
+val push3 :
+  ?n:int ->
+  (float -> float -> float -> float) ->
+  Pdf.t ->
+  Pdf.t ->
+  Pdf.t ->
+  Pdf.t
+(** [push3 f px py pz]: distribution of [f X Y Z] for independent inputs.
+    Cost O(|px| * |py| * |pz|) — this is the 3-dimensional enumeration used
+    for the voltage part of the inter-delay PDF. *)
+
+val mixture : (float * Pdf.t) list -> Pdf.t
+(** [mixture weighted] is the weighted mixture of component PDFs; weights
+    must be positive and are renormalized.  The grid is the union support
+    at the finest component resolution. *)

@@ -1,0 +1,26 @@
+(** Standard distribution constructors on the discretized-PDF grid.
+
+    The paper assumes Gaussian parameter distributions truncated at their
+    6-sigma points (Section 4); {!truncated_gaussian} is therefore the
+    workhorse constructor. *)
+
+val gaussian : ?n:int -> mu:float -> sigma:float -> unit -> Pdf.t
+(** [gaussian ~n ~mu ~sigma ()] discretizes N(mu, sigma^2) over
+    [mu - 8 sigma, mu + 8 sigma] with [n] cells (default 200).
+    [sigma] must be positive. *)
+
+val truncated_gaussian :
+  ?n:int -> ?bound:float -> mu:float -> sigma:float -> unit -> Pdf.t
+(** [truncated_gaussian ~n ~bound ~mu ~sigma ()] is N(mu, sigma^2)
+    conditioned on [mu +- bound*sigma] (default bound 6.0, the paper's
+    truncation), renormalized, with [n] cells (default 200). *)
+
+val uniform : ?n:int -> lo:float -> hi:float -> unit -> Pdf.t
+(** Uniform density on [lo, hi). *)
+
+val triangular : ?n:int -> lo:float -> mode:float -> hi:float -> unit -> Pdf.t
+(** Triangular density with the given support and mode. *)
+
+val exponential : ?n:int -> ?tail:float -> rate:float -> unit -> Pdf.t
+(** Exponential with the given [rate], truncated at quantile
+    [1 - tail] (default tail 1e-6). *)

@@ -1,0 +1,18 @@
+type result = {
+  samples : float array;
+  summary : Stats.summary;
+  empirical : Pdf.t;
+}
+
+let run ?(bins = 100) ~n rng draw =
+  if n < 2 then invalid_arg "Mc.run: need at least 2 samples";
+  let samples = Array.init n (fun _ -> draw rng) in
+  { samples;
+    summary = Stats.summarize samples;
+    empirical = Pdf.of_samples ~n:bins samples }
+
+let compare_to_pdf r pdf =
+  let mean_err = Float.abs (r.summary.Stats.mean -. Pdf.mean pdf) in
+  let std_err = Float.abs (r.summary.Stats.std -. Pdf.std pdf) in
+  let ks = Stats.ks_against_pdf r.samples pdf in
+  (mean_err, std_err, ks)

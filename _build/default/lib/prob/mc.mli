@@ -1,0 +1,21 @@
+(** Generic Monte-Carlo driver.
+
+    The paper validates its analytic PDFs implicitly; this reproduction
+    validates them explicitly by sampling the exact nonlinear delay model
+    with correlated parameters and comparing summaries. *)
+
+type result = {
+  samples : float array;
+  summary : Stats.summary;
+  empirical : Pdf.t;  (** histogram estimate of the sampled distribution *)
+}
+
+val run : ?bins:int -> n:int -> Rng.t -> (Rng.t -> float) -> result
+(** [run ~n rng draw] evaluates [draw rng] [n] times ([n >= 2]) and
+    summarizes.  [bins] controls the histogram resolution (default 100). *)
+
+val compare_to_pdf : result -> Pdf.t -> float * float * float
+(** [compare_to_pdf r pdf] is
+    [(mean error, std error, KS distance)] between the sampled population
+    and an analytic PDF — the validation triple used by the ablation
+    benches. *)

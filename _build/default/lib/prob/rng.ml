@@ -1,0 +1,65 @@
+(* Splitmix64 (Steele, Lea, Flood 2014): tiny state, passes BigCrush, and
+   trivially splittable -- ideal for deterministic experiment replay. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix s }
+
+let float t =
+  (* 53 high bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* 62 random bits fit a non-negative OCaml int; modulo bias is
+     negligible for n << 2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod n
+
+let gaussian t ~mu ~sigma =
+  let rec draw () =
+    let u1 = float t in
+    if u1 <= 0.0 then draw ()
+    else
+      let u2 = float t in
+      mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  in
+  draw ()
+
+let truncated_gaussian t ~mu ~sigma ~bound =
+  if bound <= 0.0 then
+    invalid_arg "Rng.truncated_gaussian: bound must be positive";
+  let rec draw () =
+    let x = gaussian t ~mu ~sigma in
+    if Float.abs (x -. mu) <= bound *. sigma then x else draw ()
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    A splitmix64 generator with explicit state.  Every stochastic component
+    of the library (circuit generators, Monte-Carlo baselines) threads one
+    of these so that all experiments regenerate bit-identically from a
+    seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new statistically independent generator and
+    advances [t]; use to give sub-components their own streams. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] is uniform on [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform on [lo, hi). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n-1]; [n] must be positive. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box-Muller. *)
+
+val truncated_gaussian : t -> mu:float -> sigma:float -> bound:float -> float
+(** [truncated_gaussian t ~mu ~sigma ~bound] samples a normal deviate
+    conditioned on lying within [mu +- bound*sigma] (rejection sampling;
+    [bound] must be positive, and should be >= 0.5 for the rejection loop
+    to terminate quickly). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,42 @@
+type t = Gaussian | Uniform | Triangular
+
+let all = [ Gaussian; Uniform; Triangular ]
+
+let name = function
+  | Gaussian -> "gaussian"
+  | Uniform -> "uniform"
+  | Triangular -> "triangular"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "gaussian" | "normal" -> Some Gaussian
+  | "uniform" -> Some Uniform
+  | "triangular" -> Some Triangular
+  | _ -> None
+
+let sqrt3 = sqrt 3.0
+let sqrt6 = sqrt 6.0
+
+let pdf shape ~n ~bound ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Shape.pdf: sigma must be positive";
+  match shape with
+  | Gaussian -> Dist.truncated_gaussian ~n ~bound ~mu ~sigma ()
+  | Uniform ->
+      let h = sqrt3 *. sigma in
+      Dist.uniform ~n ~lo:(mu -. h) ~hi:(mu +. h) ()
+  | Triangular ->
+      let h = sqrt6 *. sigma in
+      Dist.triangular ~n ~lo:(mu -. h) ~mode:mu ~hi:(mu +. h) ()
+
+let sample shape rng ~bound ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Shape.sample: sigma must be positive";
+  match shape with
+  | Gaussian -> Rng.truncated_gaussian rng ~mu ~sigma ~bound
+  | Uniform ->
+      let h = sqrt3 *. sigma in
+      Rng.uniform rng ~lo:(mu -. h) ~hi:(mu +. h)
+  | Triangular ->
+      (* Sum of two uniforms on [-h/2, h/2] is triangular on [-h, h]. *)
+      let h = sqrt6 *. sigma in
+      let u () = Rng.uniform rng ~lo:(-.h /. 2.0) ~hi:(h /. 2.0) in
+      mu +. u () +. u ()

@@ -1,0 +1,24 @@
+(** Parameter distribution shapes.
+
+    The paper notes that a common restriction of contemporary SSTA
+    methods is "a certain kind of input PDF (usually Gaussian)" and that
+    a numeric path-based engine need not be restricted this way.  This
+    module provides interchangeable shapes with {e matched mean and
+    variance}, so the inter-die machinery (a numeric push-forward) can
+    run on any of them unchanged. *)
+
+type t = Gaussian | Uniform | Triangular
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+
+val pdf : t -> n:int -> bound:float -> mu:float -> sigma:float -> Pdf.t
+(** Discretized PDF with mean [mu] and standard deviation [sigma]:
+    - [Gaussian]: truncated at [mu +- bound * sigma];
+    - [Uniform]: support [mu +- sqrt 3 * sigma];
+    - [Triangular]: symmetric, support [mu +- sqrt 6 * sigma].
+    [sigma] must be positive. *)
+
+val sample : t -> Rng.t -> bound:float -> mu:float -> sigma:float -> float
+(** Draw from the same distribution (for Monte-Carlo consistency). *)

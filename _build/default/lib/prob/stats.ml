@@ -1,0 +1,103 @@
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  std : float;
+  min : float;
+  max : float;
+  skewness : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stats.variance: need at least 2 samples";
+  let mu = mean xs in
+  let ss = Array.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs in
+  ss /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stats.summarize: need at least 2 samples";
+  let mu = mean xs in
+  let m2 = ref 0.0 and m3 = ref 0.0 in
+  let mn = ref xs.(0) and mx = ref xs.(0) in
+  Array.iter
+    (fun x ->
+      let d = x -. mu in
+      m2 := !m2 +. (d *. d);
+      m3 := !m3 +. (d *. d *. d);
+      if x < !mn then mn := x;
+      if x > !mx then mx := x)
+    xs;
+  let var = !m2 /. float_of_int (n - 1) in
+  let sd = sqrt var in
+  let skew =
+    if sd > 0.0 then !m3 /. float_of_int n /. (sd *. sd *. sd) else 0.0
+  in
+  { count = n; mean = mu; variance = var; std = sd; min = !mn; max = !mx;
+    skewness = skew }
+
+let percentile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Stats.percentile: q must be in [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  if i >= n - 1 then sorted.(n - 1)
+  else begin
+    let frac = pos -. float_of_int i in
+    sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+  end
+
+let sigma_point xs k = mean xs +. (k *. std xs)
+
+let ks_against_pdf xs pdf =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.ks_against_pdf: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let f = Pdf.cdf pdf x in
+      let e_hi = float_of_int (i + 1) /. float_of_int n in
+      let e_lo = float_of_int i /. float_of_int n in
+      worst := Float.max !worst (Float.max (Float.abs (f -. e_hi))
+                                   (Float.abs (f -. e_lo))))
+    sorted;
+  !worst
+
+let correlation xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then
+    invalid_arg "Stats.correlation: length mismatch";
+  if n < 2 then invalid_arg "Stats.correlation: need at least 2 samples";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let r = Array.make n 0.0 in
+  Array.iteri (fun rank idx -> r.(idx) <- float_of_int rank) order;
+  r
+
+let spearman xs ys = correlation (ranks xs) (ranks ys)

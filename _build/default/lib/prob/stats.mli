@@ -1,0 +1,38 @@
+(** Descriptive statistics over raw float samples.
+
+    Used by the Monte-Carlo golden baseline and by the test suite to
+    validate the discretized-PDF engine against sampling. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** unbiased (n-1) estimator *)
+  std : float;
+  min : float;
+  max : float;
+  skewness : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on fewer than 2 samples. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val std : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs q] for [q] in [0, 1], linear interpolation between order
+    statistics.  Sorts a copy; O(n log n). *)
+
+val sigma_point : float array -> float -> float
+(** [sigma_point xs k] = sample mean + k * sample std. *)
+
+val ks_against_pdf : float array -> Pdf.t -> float
+(** Kolmogorov-Smirnov statistic between the empirical CDF of the samples
+    and a discretized PDF. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient; arrays must have equal length >= 2. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (ties broken by index order). *)

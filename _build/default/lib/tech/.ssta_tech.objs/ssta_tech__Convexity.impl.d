@@ -1,0 +1,1 @@
+lib/tech/convexity.ml: Derivatives Float Format Gate List Params

@@ -1,0 +1,1 @@
+lib/tech/convexity.mli: Format Gate Params

@@ -1,0 +1,1 @@
+lib/tech/corner.ml: Elmore Params

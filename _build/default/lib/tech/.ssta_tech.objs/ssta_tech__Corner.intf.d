@@ -1,0 +1,1 @@
+lib/tech/corner.mli: Gate Params

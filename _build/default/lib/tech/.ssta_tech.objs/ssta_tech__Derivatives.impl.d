@@ -1,0 +1,1 @@
+lib/tech/derivatives.ml: Elmore Float Gate Params

@@ -1,0 +1,1 @@
+lib/tech/derivatives.mli: Gate Params

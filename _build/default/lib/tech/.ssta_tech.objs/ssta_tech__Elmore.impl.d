@@ -1,0 +1,1 @@
+lib/tech/elmore.ml: Gate List Params

@@ -1,0 +1,1 @@
+lib/tech/elmore.mli: Gate Params

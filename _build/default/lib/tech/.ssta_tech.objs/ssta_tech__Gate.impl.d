@@ -1,0 +1,1 @@
+lib/tech/gate.ml: List String

@@ -1,0 +1,1 @@
+lib/tech/sensitivity.ml: Derivatives Elmore Float Format Gate List Params Printf

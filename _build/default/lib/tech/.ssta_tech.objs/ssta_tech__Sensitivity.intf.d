@@ -1,0 +1,1 @@
+lib/tech/sensitivity.mli: Format Gate Params

@@ -1,0 +1,1 @@
+lib/tech/vt_class.ml: Corner Format Gate Params

@@ -1,0 +1,1 @@
+lib/tech/vt_class.mli: Corner Format Gate Params

@@ -1,0 +1,36 @@
+type entry = {
+  rv : Params.rv;
+  first : float;
+  curvature_step : float;
+  ratio : float;
+}
+
+type row = { gate : Gate.kind; entries : entry list }
+
+let analyze ?(fanout = 2) kind =
+  let e = Gate.electrical ~fanout kind in
+  let entries =
+    List.map
+      (fun rv ->
+        let first = Float.abs (Derivatives.first e Params.nominal rv) in
+        let curvature_step =
+          Float.abs (Derivatives.second e Params.nominal rv *. Params.sigma rv)
+        in
+        let ratio = if first > 0.0 then curvature_step /. first else 0.0 in
+        { rv; first; curvature_step; ratio })
+      Params.all_rvs
+  in
+  { gate = kind; entries }
+
+let max_ratio row =
+  List.fold_left (fun acc e -> Float.max acc e.ratio) 0.0 row.entries
+
+let acceptable ?(threshold = 0.5) row = 3.0 *. max_ratio row < threshold
+
+let pp_table fmt rows =
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "gate %-6s max ratio %.4f%s@."
+        (Gate.name row.gate) (max_ratio row)
+        (if acceptable row then " (ok)" else " (VIOLATES approximation)"))
+    rows

@@ -1,0 +1,29 @@
+(** Convexity analysis — Section 2.5 of the paper.
+
+    The zeroth-order freezing of delay derivatives at nominal (Eq. 11) is
+    justified when the change of the derivative over a few sigma is small
+    relative to the derivative itself:
+    [|d2 t_p / d x^2 * sigma_x| << |d t_p / d x|].  This module computes
+    both sides so the claim can be checked per gate and per RV. *)
+
+type entry = {
+  rv : Params.rv;
+  first : float;  (** |d t_p / d x| at nominal *)
+  curvature_step : float;  (** |d2 t_p / d x^2 * sigma_x| *)
+  ratio : float;  (** curvature_step / first; 0 when first is 0 *)
+}
+
+type row = { gate : Gate.kind; entries : entry list }
+
+val analyze : ?fanout:int -> Gate.kind -> row
+
+val max_ratio : row -> float
+(** Worst ratio across the five RVs; the paper argues this stays well
+    below 1 (an order of magnitude, even for 3-sigma excursions). *)
+
+val acceptable : ?threshold:float -> row -> bool
+(** [acceptable row] is true when a 3-sigma excursion changes every
+    derivative by less than [threshold] (default 0.5) of its value,
+    i.e. [3 * max_ratio < threshold]. *)
+
+val pp_table : Format.formatter -> row list -> unit

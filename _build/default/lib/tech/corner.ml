@@ -1,0 +1,25 @@
+type case = Best | Nominal | Worst
+
+let default_k = 3.5
+
+let point ?(k = default_k) case =
+  let sign =
+    match case with Best -> -1.0 | Nominal -> 0.0 | Worst -> 1.0
+  in
+  let shift rv base direction =
+    base +. (direction *. sign *. k *. Params.sigma rv)
+  in
+  let open Params in
+  let p =
+    { tox = shift Tox nominal.tox 1.0;
+      leff = shift Leff nominal.leff 1.0;
+      vdd = shift Vdd nominal.vdd (-1.0);
+      vtn = shift Vtn nominal.vtn 1.0;
+      vtp = shift Vtp nominal.vtp 1.0 }
+  in
+  if not (is_physical p) then
+    invalid_arg "Corner.point: corner leaves the model validity domain";
+  p
+
+let gate_delay ?k case e = Elmore.gate_delay e (point ?k case)
+let path_delay ?k case gates = Elmore.path_delay gates (point ?k case)

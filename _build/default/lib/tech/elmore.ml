@@ -1,0 +1,22 @@
+let eps_ox = 3.9 *. 8.854e-12
+let elmore_constant = 0.345
+
+let voltage_factor ~vdd ~vt =
+  let headroom = vdd -. vt in
+  let linear = (1.5 *. vdd) -. (2.0 *. vt) in
+  if headroom <= 0.0 || linear <= 0.0 then
+    invalid_arg "Elmore.voltage_factor: outside model validity domain";
+  (vdd /. (headroom ** 1.3)) +. (1.0 /. linear)
+
+let gate_delay (e : Gate.electrical) (p : Params.t) =
+  let geometry = elmore_constant *. p.Params.tox *. p.Params.leff /. eps_ox in
+  let vn = voltage_factor ~vdd:p.Params.vdd ~vt:p.Params.vtn in
+  let vp = voltage_factor ~vdd:p.Params.vdd ~vt:p.Params.vtp in
+  geometry *. ((e.Gate.alpha *. vn) +. (e.Gate.beta *. vp))
+
+let nominal_delay e = gate_delay e Params.nominal
+
+let path_delay gates p =
+  List.fold_left (fun acc e -> acc +. gate_delay e p) 0.0 gates
+
+let ps t = t *. 1e12

@@ -1,0 +1,36 @@
+(** Short-channel Elmore gate-delay model — Eq. (2) of the paper.
+
+    The propagation delay of a gate with coefficients [alpha], [beta]
+    (from {!Gate.electrical}) at parameter point X is
+
+    {v
+      t_p = 0.345 * (t_ox * L_eff / eps_ox)
+            * ( alpha * F(V_dd, V_Tn) + beta * F(V_dd, |V_Tp|) )
+      F(v, vt) = v / (v - vt)^1.3 + 1 / (1.5 v - 2 vt)
+    v}
+
+    All delays are in seconds; helpers convert to picoseconds. *)
+
+val eps_ox : float
+(** Oxide permittivity, F/m (3.9 * eps_0). *)
+
+val elmore_constant : float
+(** The 0.345 prefactor of Eq. (1). *)
+
+val voltage_factor : vdd:float -> vt:float -> float
+(** The function F above.  Raises [Invalid_argument] outside the model's
+    validity domain ([vdd - vt <= 0] or [1.5 vdd - 2 vt <= 0]). *)
+
+val gate_delay : Gate.electrical -> Params.t -> float
+(** Full nonlinear delay of one gate at a parameter point (Eq. 2). *)
+
+val nominal_delay : Gate.electrical -> float
+(** Delay at {!Params.nominal}. *)
+
+val path_delay : Gate.electrical list -> Params.t -> float
+(** Sum of gate delays with {e shared} parameters — the fully correlated
+    evaluation used for corner analysis (Eq. 5 with all gates at the same
+    point). *)
+
+val ps : float -> float
+(** Seconds to picoseconds. *)

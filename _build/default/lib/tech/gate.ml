@@ -1,0 +1,138 @@
+type kind =
+  | Inv
+  | Buf
+  | Nand of int
+  | Nor of int
+  | And of int
+  | Or of int
+  | Xor2
+  | Xnor2
+
+let fan_in = function
+  | Inv | Buf -> 1
+  | Nand n | Nor n | And n | Or n -> n
+  | Xor2 | Xnor2 -> 2
+
+let name = function
+  | Inv -> "NOT"
+  | Buf -> "BUF"
+  | Nand _ -> "NAND"
+  | Nor _ -> "NOR"
+  | And _ -> "AND"
+  | Or _ -> "OR"
+  | Xor2 -> "XOR"
+  | Xnor2 -> "XNOR"
+
+let of_name s n =
+  let valid_multi k = if n >= 2 then Some k else None in
+  match String.uppercase_ascii s with
+  | "NOT" | "INV" -> if n = 1 then Some Inv else None
+  | "BUF" | "BUFF" -> if n = 1 then Some Buf else None
+  | "NAND" -> valid_multi (Nand n)
+  | "NOR" -> valid_multi (Nor n)
+  | "AND" -> valid_multi (And n)
+  | "OR" -> valid_multi (Or n)
+  | "XOR" -> if n = 2 then Some Xor2 else None
+  | "XNOR" -> if n = 2 then Some Xnor2 else None
+  | _ -> None
+
+let eval kind inputs =
+  let arity = fan_in kind in
+  if List.length inputs <> arity then invalid_arg "Gate.eval: arity mismatch";
+  let all_true = List.for_all (fun b -> b) inputs in
+  let any_true = List.exists (fun b -> b) inputs in
+  match kind, inputs with
+  | Inv, [ a ] -> not a
+  | Buf, [ a ] -> a
+  | Nand _, _ -> not all_true
+  | And _, _ -> all_true
+  | Nor _, _ -> not any_true
+  | Or _, _ -> any_true
+  | Xor2, [ a; b ] -> a <> b
+  | Xnor2, [ a; b ] -> a = b
+  | (Inv | Buf | Xor2 | Xnor2), _ -> assert false
+
+type electrical = {
+  kind : kind;
+  wn : float;
+  wp : float;
+  cd_n : float;
+  cd_p : float;
+  c_out : float;
+  alpha : float;
+  beta : float;
+}
+
+let mu_n = 0.040 (* 400 cm^2/Vs *)
+let mu_p = 0.015 (* 150 cm^2/Vs *)
+let c_gate_input = 2.0e-15
+let cd_per_width = 1.0e-9 (* drain junction capacitance per meter of width *)
+let w0 = 0.5e-6 (* unit transistor width *)
+
+(* Library sizing.  The ratios are chosen so that nominal FO2 delays
+   reproduce the ordering of the paper's Table 1:
+   NAND2 slowest, then XNOR2, then NOR2, INV fastest. *)
+let widths = function
+  | Inv -> (2.0 *. w0, 4.0 *. w0)
+  | Buf -> (2.0 *. w0, 4.0 *. w0)
+  | Nand n -> (float_of_int n /. 2.0 *. w0, 1.0 *. w0)
+  | Nor n -> (1.0 *. w0, float_of_int n *. 2.0 *. w0)
+  | And n -> (float_of_int n /. 2.0 *. w0, 1.0 *. w0)
+  | Or n -> (1.0 *. w0, float_of_int n *. 2.0 *. w0)
+  | Xor2 | Xnor2 -> (2.0 *. w0, 4.0 *. w0)
+
+(* Output-node self-capacitance: drains connected to the output. *)
+let self_cap kind cd_n cd_p =
+  match kind with
+  | Inv | Buf -> cd_n +. cd_p
+  | Nand n | And n ->
+      (* one NMOS drain (top of stack) + n parallel PMOS drains *)
+      cd_n +. (float_of_int n *. cd_p)
+  | Nor n | Or n -> (float_of_int n *. cd_n) +. cd_p
+  | Xor2 | Xnor2 -> (2.0 *. cd_n) +. (2.0 *. cd_p)
+
+let input_cap ?(drive = 1.0) _kind = c_gate_input *. drive
+
+let electrical ?(fanout = 2) ?(wire_cap = 1.0e-15) ?load_cap ?(drive = 1.0)
+    kind =
+  if fanout < 0 then invalid_arg "Gate.electrical: negative fanout";
+  if drive <= 0.0 then invalid_arg "Gate.electrical: drive must be positive";
+  let wn, wp = widths kind in
+  let wn = wn *. drive and wp = wp *. drive in
+  let cd_n = cd_per_width *. wn and cd_p = cd_per_width *. wp in
+  let external_cap =
+    match load_cap with
+    | Some c -> c
+    | None -> float_of_int fanout *. c_gate_input
+  in
+  let c_out = self_cap kind cd_n cd_p +. external_cap +. wire_cap in
+  let fi = float_of_int (fan_in kind) in
+  (* Eq. (3)/(4) for NAND-form gates; the stacked network switches sides
+     for NOR-form gates, and XOR/XNOR stack both networks.  The internal
+     inverter of AND/OR is folded in as an extra c_out term on the
+     stacked side. *)
+  let alpha, beta =
+    match kind with
+    | Inv -> (c_out /. (mu_n *. wn), c_out /. (mu_p *. wp))
+    | Buf ->
+        (* two stages; modelled as doubled effective load *)
+        (2.0 *. c_out /. (mu_n *. wn), 2.0 *. c_out /. (mu_p *. wp))
+    | Nand _ ->
+        ( ((cd_n *. fi *. (fi -. 1.0)) +. (fi *. c_out)) /. (mu_n *. wn),
+          c_out /. (mu_p *. wp) )
+    | Nor _ ->
+        ( c_out /. (mu_n *. wn),
+          ((cd_p *. fi *. (fi -. 1.0)) +. (fi *. c_out)) /. (mu_p *. wp) )
+    | And _ ->
+        ( ((cd_n *. fi *. (fi -. 1.0)) +. (fi *. (c_out +. c_gate_input)))
+          /. (mu_n *. wn),
+          (c_out +. c_gate_input) /. (mu_p *. wp) )
+    | Or _ ->
+        ( (c_out +. c_gate_input) /. (mu_n *. wn),
+          ((cd_p *. fi *. (fi -. 1.0)) +. (fi *. (c_out +. c_gate_input)))
+          /. (mu_p *. wp) )
+    | Xor2 | Xnor2 ->
+        ( ((cd_n *. 2.0) +. (2.0 *. c_out)) /. (mu_n *. wn),
+          ((cd_p *. 2.0) +. (2.0 *. c_out)) /. (mu_p *. wp) )
+  in
+  { kind; wn; wp; cd_n; cd_p; c_out; alpha; beta }

@@ -1,0 +1,75 @@
+(** Gate library: logic function, transistor sizing and the Elmore
+    coefficients alpha / beta of Eqs. (3)-(4).
+
+    The paper analyzes the gates that make up the ISCAS85 benchmarks:
+    inverters, n-input NANDs and NORs, 2-input XNOR (and XOR, which has
+    the same electrical structure), plus buffers.  Each gate's delay has
+    the common form of Eq. (2) with gate-specific [alpha] and [beta]. *)
+
+type kind =
+  | Inv
+  | Buf
+  | Nand of int  (** n-input NAND, n >= 2 *)
+  | Nor of int  (** n-input NOR, n >= 2 *)
+  | And of int  (** NAND + internal inverter *)
+  | Or of int  (** NOR + internal inverter *)
+  | Xor2
+  | Xnor2
+
+val fan_in : kind -> int
+(** Number of logic inputs ([Inv] and [Buf] have 1). *)
+
+val name : kind -> string
+(** Canonical upper-case name as used by the .bench format
+    (e.g. ["NAND"], ["XOR"]). *)
+
+val of_name : string -> int -> kind option
+(** [of_name s n] parses a .bench gate name with [n] inputs;
+    [None] for unknown names or invalid arities. *)
+
+val eval : kind -> bool list -> bool
+(** Logic function of the gate (for simulation-based tests).  Raises
+    [Invalid_argument] on arity mismatch. *)
+
+type electrical = {
+  kind : kind;
+  wn : float;  (** effective NMOS width, m *)
+  wp : float;  (** effective PMOS width, m *)
+  cd_n : float;  (** NMOS drain capacitance C_dN, F *)
+  cd_p : float;  (** PMOS drain capacitance C_dP, F *)
+  c_out : float;  (** total output-node capacitance C_n, F *)
+  alpha : float;  (** Eq. (3) coefficient, F.V.s/m^3 scale *)
+  beta : float;  (** Eq. (4) coefficient *)
+}
+(** Electrical view of a gate instance, including its loading. *)
+
+val electrical :
+  ?fanout:int -> ?wire_cap:float -> ?load_cap:float -> ?drive:float ->
+  kind -> electrical
+(** [electrical ~fanout kind] sizes the gate with the library's default
+    widths and computes C_n for the given [fanout] (default 2, the
+    fan-out the paper's Table 1 uses) plus [wire_cap] (default 1 fF),
+    then derives alpha and beta per Eqs. (3)-(4) and their duals (the
+    paper notes all gates share the form of Eq. (2) with different
+    alpha, beta).
+
+    [load_cap] overrides the default fan-out loading model with an
+    explicit external capacitance (gate-input caps of the consumers);
+    when given, [fanout] only contributes drain/wire bookkeeping.
+
+    [drive] (default 1) scales both transistor widths: a gate at drive
+    [d] is faster into a fixed load but presents [d] times the input
+    capacitance to its fan-ins — the knob used by the statistical
+    sizing optimizer. *)
+
+val input_cap : ?drive:float -> kind -> float
+(** Capacitance one input pin of the gate presents to its driver. *)
+
+val mu_n : float
+(** Electron mobility, m^2/(V.s). *)
+
+val mu_p : float
+(** Hole mobility. *)
+
+val c_gate_input : float
+(** Input capacitance presented by one gate input, F. *)

@@ -1,0 +1,74 @@
+type rv = Tox | Leff | Vdd | Vtn | Vtp
+
+let all_rvs = [ Tox; Leff; Vdd; Vtn; Vtp ]
+
+let rv_name = function
+  | Tox -> "t_ox"
+  | Leff -> "L_eff"
+  | Vdd -> "V_dd"
+  | Vtn -> "V_Tn"
+  | Vtp -> "|V_Tp|"
+
+let rv_index = function Tox -> 0 | Leff -> 1 | Vdd -> 2 | Vtn -> 3 | Vtp -> 4
+
+type t = { tox : float; leff : float; vdd : float; vtn : float; vtp : float }
+
+let get p = function
+  | Tox -> p.tox
+  | Leff -> p.leff
+  | Vdd -> p.vdd
+  | Vtn -> p.vtn
+  | Vtp -> p.vtp
+
+let set p rv v =
+  match rv with
+  | Tox -> { p with tox = v }
+  | Leff -> { p with leff = v }
+  | Vdd -> { p with vdd = v }
+  | Vtn -> { p with vtn = v }
+  | Vtp -> { p with vtp = v }
+
+let map2 f a b =
+  { tox = f a.tox b.tox;
+    leff = f a.leff b.leff;
+    vdd = f a.vdd b.vdd;
+    vtn = f a.vtn b.vtn;
+    vtp = f a.vtp b.vtp }
+
+let add = map2 ( +. )
+let zero = { tox = 0.0; leff = 0.0; vdd = 0.0; vtn = 0.0; vtp = 0.0 }
+
+(* 130 nm operating point.  t_ox is calibrated so that the sensitivity
+   ratios of the paper's Table 1 are reproduced (the quoted
+   sigma_tox / t_ox and sigma_Leff / L_eff relative spreads imply
+   t_ox ~ 4.5 nm for their delay model; see DESIGN.md section 3). *)
+let nominal =
+  { tox = 4.5e-9; leff = 130e-9; vdd = 1.3; vtn = 0.33; vtp = 0.33 }
+
+let sigma = function
+  | Tox -> 0.15e-9
+  | Leff -> 15e-9
+  | Vdd -> 40e-3
+  | Vtn -> 13e-3
+  | Vtp -> 14e-3
+
+let sigmas =
+  { tox = sigma Tox;
+    leff = sigma Leff;
+    vdd = sigma Vdd;
+    vtn = sigma Vtn;
+    vtp = sigma Vtp }
+
+let truncation_bound = 6.0
+
+let is_physical p =
+  p.tox > 0.0 && p.leff > 0.0 && p.vdd > 0.0 && p.vtn >= 0.0 && p.vtp >= 0.0
+  && p.vdd -. p.vtn > 0.0
+  && p.vdd -. p.vtp > 0.0
+  && (1.5 *. p.vdd) -. (2.0 *. p.vtn) > 0.0
+  && (1.5 *. p.vdd) -. (2.0 *. p.vtp) > 0.0
+
+let pp fmt p =
+  Format.fprintf fmt
+    "{tox=%.3gnm leff=%.3gnm vdd=%.3gV vtn=%.3gV vtp=%.3gV}" (p.tox *. 1e9)
+    (p.leff *. 1e9) p.vdd p.vtn p.vtp

@@ -1,0 +1,62 @@
+(** Process and environment parameters.
+
+    The paper models five random variables (Section 2.2): oxide thickness
+    [t_ox], effective channel length [L_eff], supply voltage [V_dd], and
+    the NMOS/PMOS threshold voltages [V_Tn], [|V_Tp|].  This module fixes
+    the 130 nm nominal operating point and the typical standard
+    deviations taken from Nassif, "Delay Variability: Sources, Impacts and
+    Trends" (ISSCC 2000), as the paper does. *)
+
+type rv = Tox | Leff | Vdd | Vtn | Vtp
+(** The five random variables.  [Vtp] stands for the magnitude
+    [|V_Tp|]. *)
+
+val all_rvs : rv list
+(** The five RVs in the paper's order: t_ox, L_eff, V_dd, V_Tn, |V_Tp|. *)
+
+val rv_name : rv -> string
+(** Display name, e.g. ["L_eff"]. *)
+
+val rv_index : rv -> int
+(** Position of the RV in {!all_rvs} (0..4). *)
+
+type t = {
+  tox : float;  (** oxide thickness, m *)
+  leff : float;  (** effective channel length, m *)
+  vdd : float;  (** supply voltage, V *)
+  vtn : float;  (** NMOS threshold voltage, V *)
+  vtp : float;  (** PMOS threshold magnitude |V_Tp|, V *)
+}
+(** A full assignment of the five parameters. *)
+
+val get : t -> rv -> float
+val set : t -> rv -> float -> t
+
+val add : t -> t -> t
+(** Component-wise sum (used to add intra-die deviations to an inter-die
+    operating point). *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+val zero : t
+
+val nominal : t
+(** 130 nm nominal operating point. *)
+
+val sigma : rv -> float
+(** Typical total standard deviation of each RV (Nassif ISSCC'00 values as
+    quoted in the paper's Table 1 caption: sigma_tox = 0.15 nm,
+    sigma_Leff = 15 nm, sigma_Vdd = 40 mV, sigma_Vtn = 13 mV,
+    sigma_Vtp = 14 mV). *)
+
+val sigmas : t
+(** All five sigmas as a parameter record. *)
+
+val truncation_bound : float
+(** The paper truncates all parameter PDFs at their 6-sigma points. *)
+
+val is_physical : t -> bool
+(** Sanity check that a parameter assignment keeps the delay model in its
+    valid domain: positive geometry and [V_dd - V_t > 0],
+    [1.5 V_dd - 2 V_t > 0] for both thresholds. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type entry = {
+  rv : Params.rv;
+  derivative : float;
+  sigma : float;
+  impact : float;
+}
+
+type row = { gate : Gate.kind; entries : entry list }
+
+let analyze ?(fanout = 2) kind =
+  let e = Gate.electrical ~fanout kind in
+  let entries =
+    List.map
+      (fun rv ->
+        let derivative = Derivatives.first e Params.nominal rv in
+        let sigma = Params.sigma rv in
+        { rv; derivative; sigma; impact = Float.abs (derivative *. sigma) })
+      Params.all_rvs
+  in
+  { gate = kind; entries }
+
+let table1_gates = [ Gate.Nand 2; Gate.Nor 2; Gate.Inv; Gate.Xnor2 ]
+let table1 () = List.map analyze table1_gates
+
+let dominant row =
+  match row.entries with
+  | [] -> invalid_arg "Sensitivity.dominant: empty row"
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun acc e -> if e.impact > acc.impact then e else acc)
+          first rest
+      in
+      best.rv
+
+let pp_table fmt rows =
+  let gate_label row =
+    match row.gate with
+    | Gate.Nand n -> Printf.sprintf "%d-NAND" n
+    | Gate.Nor n -> Printf.sprintf "%d-NOR" n
+    | Gate.Inv -> "INV"
+    | Gate.Xnor2 -> "2-XNOR"
+    | Gate.Xor2 -> "2-XOR"
+    | Gate.Buf -> "BUF"
+    | Gate.And n -> Printf.sprintf "%d-AND" n
+    | Gate.Or n -> Printf.sprintf "%d-OR" n
+  in
+  Format.fprintf fmt "%-8s" "";
+  List.iter (fun row -> Format.fprintf fmt "%10s" (gate_label row)) rows;
+  Format.pp_print_newline fmt ();
+  List.iter
+    (fun rv ->
+      Format.fprintf fmt "%-8s" (Params.rv_name rv);
+      List.iter
+        (fun row ->
+          let entry = List.find (fun e -> e.rv = rv) row.entries in
+          Format.fprintf fmt "%8.3fps" (Elmore.ps entry.impact))
+        rows;
+      Format.pp_print_newline fmt ())
+    Params.all_rvs

@@ -1,0 +1,29 @@
+(** First-degree sensitivity analysis — reproduces Table 1.
+
+    For each gate type and each RV [x], the impact of a one-sigma
+    variation on delay is [|d t_p / d x|_nominal * sigma_x|]
+    (Section 2.2; parameters independent, capacitances constant). *)
+
+type entry = {
+  rv : Params.rv;
+  derivative : float;  (** d t_p / d x at nominal, SI units *)
+  sigma : float;  (** total standard deviation of the RV *)
+  impact : float;  (** |derivative * sigma|, seconds *)
+}
+
+type row = { gate : Gate.kind; entries : entry list }
+
+val analyze : ?fanout:int -> Gate.kind -> row
+(** Sensitivity of one gate type (default fan-out 2, as in Table 1). *)
+
+val table1_gates : Gate.kind list
+(** The four gate types of Table 1: 2-NAND, 2-NOR, INV, 2-XNOR. *)
+
+val table1 : unit -> row list
+(** The full Table 1 reproduction. *)
+
+val dominant : row -> Params.rv
+(** The RV with the largest impact (the paper finds L_eff). *)
+
+val pp_table : Format.formatter -> row list -> unit
+(** Render rows in the layout of the paper's Table 1 (picoseconds). *)

@@ -1,0 +1,31 @@
+type t = Low | High
+
+let default_shift = 0.060
+
+let params_for ?(shift = default_shift) = function
+  | Low -> Params.nominal
+  | High ->
+      { Params.nominal with
+        Params.vtn = Params.nominal.Params.vtn +. shift;
+        vtp = Params.nominal.Params.vtp +. shift }
+
+let corner_for ?(shift = default_shift) ?k case cls =
+  let base = Corner.point ?k case in
+  match cls with
+  | Low -> base
+  | High ->
+      { base with
+        Params.vtn = base.Params.vtn +. shift;
+        vtp = base.Params.vtp +. shift }
+
+(* ~90 mV/decade subthreshold slope -> s = 0.09 / ln 10. *)
+let subthreshold_s = 0.09 /. log 10.0
+
+let leakage ?(shift = default_shift) (e : Gate.electrical) cls =
+  let p = params_for ~shift cls in
+  let width = e.Gate.wn +. e.Gate.wp in
+  width *. exp (-.p.Params.vtn /. subthreshold_s) /. 1e-6
+
+let pp fmt = function
+  | Low -> Format.pp_print_string fmt "low-vt"
+  | High -> Format.pp_print_string fmt "high-vt"

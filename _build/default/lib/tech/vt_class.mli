@@ -1,0 +1,29 @@
+(** Dual-threshold (dual-Vt) gate classes.
+
+    The paper's delay model comes from Wei et al., "Design and
+    Optimization of Dual-Threshold Circuits for Low-Voltage Low-Power
+    Applications" (its ref [13]): gates off the critical path can use a
+    higher threshold voltage, cutting subthreshold leakage exponentially
+    at the cost of speed.  This module defines the two classes, the
+    parameter shift, and a leakage proxy, so the statistical timer can
+    drive the classic timing-constrained leakage optimization. *)
+
+type t = Low | High
+
+val default_shift : float
+(** Threshold increase of the High class: +60 mV on both V_Tn and
+    |V_Tp|. *)
+
+val params_for : ?shift:float -> t -> Params.t
+(** Nominal operating point of the class ([Low] is {!Params.nominal}). *)
+
+val corner_for : ?shift:float -> ?k:float -> Corner.case -> t -> Params.t
+(** Corner point of the class (the class shift applies on top of the
+    corner excursion). *)
+
+val leakage : ?shift:float -> Gate.electrical -> t -> float
+(** Subthreshold leakage proxy of a gate: total transistor width times
+    [exp (-Vt / s)] with the usual ~90 mV/decade slope.  Arbitrary
+    units; only ratios are meaningful. *)
+
+val pp : Format.formatter -> t -> unit

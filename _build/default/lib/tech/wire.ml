@@ -1,0 +1,22 @@
+type params = { cap_per_micron : float; via_cap : float }
+
+let default = { cap_per_micron = 0.2e-15; via_cap = 0.1e-15 }
+
+let net_length (dx, dy) sinks =
+  match sinks with
+  | [] -> 0.0
+  | _ ->
+      let lo_x, hi_x, lo_y, hi_y =
+        List.fold_left
+          (fun (lx, hx, ly, hy) (x, y) ->
+            (Float.min lx x, Float.max hx x, Float.min ly y, Float.max hy y))
+          (dx, dx, dy, dy) sinks
+      in
+      (* half-perimeter wire length *)
+      hi_x -. lo_x +. (hi_y -. lo_y)
+
+let net_cap p driver sinks =
+  if p.cap_per_micron < 0.0 || p.via_cap < 0.0 then
+    invalid_arg "Wire.net_cap: negative parameters";
+  (p.cap_per_micron *. net_length driver sinks)
+  +. (float_of_int (List.length sinks) *. p.via_cap)

@@ -1,0 +1,25 @@
+(** Interconnect loading model.
+
+    The paper's path-based approach "allows for more complex delay and
+    interconnect models" (citing Gattiker et al.).  This module provides
+    the placement-aware refinement: instead of a fixed 1 fF wire cap per
+    net, the output load of a gate includes a capacitance proportional to
+    the Manhattan length of its fan-out net, estimated from gate
+    coordinates.  Capacitances stay deterministic, as the paper
+    assumes. *)
+
+type params = {
+  cap_per_micron : float;  (** F/um of routed wire *)
+  via_cap : float;  (** fixed cap per sink pin, F *)
+}
+
+val default : params
+(** 0.2 fF/um and 0.1 fF per sink — typical 130 nm global-layer values. *)
+
+val net_length : (float * float) -> (float * float) list -> float
+(** [net_length driver sinks] is the half-perimeter wire-length estimate
+    (microns) of the net: half the perimeter of the bounding box of
+    driver and sinks; 0 for an unloaded net. *)
+
+val net_cap : params -> (float * float) -> (float * float) list -> float
+(** Wire capacitance of the net in farads. *)

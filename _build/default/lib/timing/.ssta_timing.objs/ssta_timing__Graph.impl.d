@@ -1,0 +1,1 @@
+lib/timing/graph.ml: Array List Ssta_circuit Ssta_tech

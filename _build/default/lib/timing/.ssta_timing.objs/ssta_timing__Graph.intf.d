@@ -1,0 +1,1 @@
+lib/timing/graph.mli: Ssta_circuit Ssta_tech

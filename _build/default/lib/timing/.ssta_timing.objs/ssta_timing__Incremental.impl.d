@@ -1,0 +1,1 @@
+lib/timing/incremental.ml: Array Float Graph Int Longest_path Set Ssta_circuit Ssta_tech

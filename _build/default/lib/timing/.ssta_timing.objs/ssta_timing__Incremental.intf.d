@@ -1,0 +1,1 @@
+lib/timing/incremental.mli: Graph Ssta_circuit

@@ -1,0 +1,1 @@
+lib/timing/longest_path.ml: Array Float Graph Ssta_circuit

@@ -1,0 +1,1 @@
+lib/timing/longest_path.mli: Graph

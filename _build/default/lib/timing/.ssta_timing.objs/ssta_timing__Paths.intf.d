@@ -1,0 +1,1 @@
+lib/timing/paths.mli: Graph Ssta_tech

@@ -1,0 +1,1 @@
+lib/timing/shortest_path.ml: Array Float Graph List Paths Ssta_circuit

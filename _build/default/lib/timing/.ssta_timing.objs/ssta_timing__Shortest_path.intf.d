@@ -1,0 +1,1 @@
+lib/timing/shortest_path.mli: Graph Paths

@@ -1,0 +1,1 @@
+lib/timing/slack.ml: Array Float Graph List Longest_path Ssta_circuit

@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Format Graph Longest_path Paths Ssta_circuit Ssta_tech

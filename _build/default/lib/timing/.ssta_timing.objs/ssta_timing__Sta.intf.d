@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Format Graph Paths Ssta_circuit Ssta_tech

@@ -1,0 +1,66 @@
+(** Timing graph: a netlist annotated with electrical gate models and
+    nominal delays.
+
+    The paper maps the circuit to a timing graph once, evaluating every
+    gate's deterministic delay and its delay derivatives at nominal
+    ("these are one time calculations", Section 3).  Primary inputs are
+    zero-delay source nodes. *)
+
+type t = {
+  circuit : Ssta_circuit.Netlist.t;
+  electrical : Ssta_tech.Gate.electrical option array;
+      (** per node; [None] for primary inputs *)
+  delay : float array;  (** nominal gate delay per node (s); 0 for inputs *)
+  fanouts : int array array;  (** consumers per node *)
+}
+
+val of_netlist : ?wire_cap:float -> Ssta_circuit.Netlist.t -> t
+(** Build the graph; each gate's electrical model uses its actual fanout
+    count for the output load (default [wire_cap] 1 fF). *)
+
+val with_drives :
+  ?wire_cap:float -> Ssta_circuit.Netlist.t -> float array -> t
+(** Like {!of_netlist} but with a per-node drive-strength multiplier
+    (index = node id; entries for primary inputs are ignored).  A gate's
+    output load is the sum of its consumers' input capacitances at
+    {e their} drives (upsizing a gate speeds it up but slows its
+    fan-ins), plus one pin capacitance per primary-output connection.
+    Raises [Invalid_argument] on a length mismatch or non-positive
+    drive. *)
+
+val with_params_of :
+  ?wire_cap:float ->
+  Ssta_circuit.Netlist.t ->
+  (int -> Ssta_tech.Params.t) ->
+  t
+(** Like {!of_netlist} but evaluating each gate's nominal delay at a
+    per-gate operating point (e.g. dual-Vt class assignments:
+    {!Ssta_tech.Vt_class.params_for}). *)
+
+val with_wire_caps : Ssta_circuit.Netlist.t -> float array -> t
+(** Like {!of_netlist} but with an explicit per-node wire capacitance
+    (e.g. from a SPEF annotation, {!Ssta_circuit.Spef.apply}).  Raises
+    [Invalid_argument] on length mismatch or negative caps. *)
+
+val of_placed :
+  ?wire:Ssta_tech.Wire.params ->
+  Ssta_circuit.Netlist.t ->
+  Ssta_circuit.Placement.t ->
+  t
+(** Placement-aware construction: each gate's wire capacitance comes from
+    the half-perimeter length of its fan-out net (see
+    {!Ssta_tech.Wire}), so physically long nets load their drivers —
+    the "more complex interconnect models" refinement the paper
+    attributes to path-based analysis. *)
+
+val num_nodes : t -> int
+val is_input : t -> int -> bool
+
+val electrical_exn : t -> int -> Ssta_tech.Gate.electrical
+(** Raises [Invalid_argument] on primary inputs. *)
+
+val fanins : t -> int -> int array
+(** Fan-ins of a node ([||] for primary inputs). *)
+
+val total_nominal_delay : t -> float
+(** Sum of all gate delays (a sanity metric used in tests). *)

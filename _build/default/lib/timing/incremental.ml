@@ -1,0 +1,123 @@
+module Netlist = Ssta_circuit.Netlist
+module Gate = Ssta_tech.Gate
+module Elmore = Ssta_tech.Elmore
+
+type t = {
+  circuit : Netlist.t;
+  wire_cap : float;
+  drives : float array;
+  delays : float array;
+  labels : float array;
+  fanouts : int array array;
+  is_output : bool array;
+}
+
+let gate_delay_at t id =
+  let g = Netlist.gate_of t.circuit id in
+  let load_cap =
+    Array.fold_left
+      (fun acc f ->
+        let kind = (Netlist.gate_of t.circuit f).Netlist.kind in
+        acc +. Gate.input_cap ~drive:t.drives.(f) kind)
+      (if t.is_output.(id) then Gate.c_gate_input else 0.0)
+      t.fanouts.(id)
+  in
+  let e =
+    Gate.electrical
+      ~fanout:(Array.length t.fanouts.(id))
+      ~wire_cap:t.wire_cap ~load_cap ~drive:t.drives.(id) g.Netlist.kind
+  in
+  Elmore.nominal_delay e
+
+let arrival_of t id =
+  if Netlist.is_input t.circuit id then 0.0
+  else begin
+    let best = ref 0.0 in
+    Array.iter
+      (fun f -> if t.labels.(f) > !best then best := t.labels.(f))
+      (Netlist.gate_of t.circuit id).Netlist.fanins;
+    !best +. t.delays.(id)
+  end
+
+let create ?(wire_cap = 1.0e-15) circuit =
+  let n = Netlist.num_nodes circuit in
+  let fanouts = Netlist.fanouts circuit in
+  let is_output = Array.make n false in
+  Array.iter (fun o -> is_output.(o) <- true) circuit.Netlist.outputs;
+  let t =
+    { circuit;
+      wire_cap;
+      drives = Array.make n 1.0;
+      delays = Array.make n 0.0;
+      labels = Array.make n 0.0;
+      fanouts;
+      is_output }
+  in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      t.delays.(g.Netlist.id) <- gate_delay_at t g.Netlist.id)
+    circuit.Netlist.gates;
+  (* node order is topological *)
+  for id = 0 to n - 1 do
+    t.labels.(id) <- arrival_of t id
+  done;
+  t
+
+let arrival t id = t.labels.(id)
+let delay t id = t.delays.(id)
+let drive t id = t.drives.(id)
+
+let critical_delay t =
+  Array.fold_left
+    (fun acc o -> Float.max acc t.labels.(o))
+    0.0 t.circuit.Netlist.outputs
+
+(* Worklist propagation in topological (node id) order. *)
+module Ids = Set.Make (Int)
+
+let set_drive t id d =
+  if Netlist.is_input t.circuit id then
+    invalid_arg "Incremental.set_drive: node is a primary input";
+  if d <= 0.0 then invalid_arg "Incremental.set_drive: drive must be positive";
+  t.drives.(id) <- d;
+  (* Delays that depend on the edit: the gate itself (its own width) and
+     its gate fan-ins (their output load includes id's input cap). *)
+  let delay_dirty =
+    Array.fold_left
+      (fun acc f ->
+        if Netlist.is_input t.circuit f then acc else Ids.add f acc)
+      (Ids.singleton id)
+      (Netlist.gate_of t.circuit id).Netlist.fanins
+  in
+  let arrival_dirty = ref Ids.empty in
+  Ids.iter
+    (fun n ->
+      let fresh = gate_delay_at t n in
+      if fresh <> t.delays.(n) then begin
+        t.delays.(n) <- fresh;
+        arrival_dirty := Ids.add n !arrival_dirty
+      end)
+    delay_dirty;
+  let changed = ref 0 in
+  let rec drain work =
+    match Ids.min_elt_opt work with
+    | None -> ()
+    | Some n ->
+        let work = Ids.remove n work in
+        let fresh = arrival_of t n in
+        if fresh <> t.labels.(n) then begin
+          t.labels.(n) <- fresh;
+          incr changed;
+          (* consumers have larger ids (topological order), so the
+             min-first drain visits each node at most once per wave *)
+          drain
+            (Array.fold_left (fun acc c -> Ids.add c acc) work t.fanouts.(n))
+        end
+        else drain work
+  in
+  drain !arrival_dirty;
+  !changed
+
+let to_graph t = Graph.with_drives ~wire_cap:t.wire_cap t.circuit t.drives
+
+let labels_reference t = Longest_path.bellman_ford (to_graph t)

@@ -1,0 +1,90 @@
+let relax_once g labels =
+  let changed = ref false in
+  let n = Graph.num_nodes g in
+  for id = 0 to n - 1 do
+    if not (Graph.is_input g id) then begin
+      let best = ref neg_infinity in
+      Array.iter
+        (fun f -> if labels.(f) > !best then best := labels.(f))
+        (Graph.fanins g id);
+      let candidate = !best +. g.Graph.delay.(id) in
+      if candidate > labels.(id) then begin
+        labels.(id) <- candidate;
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+let bellman_ford g =
+  let n = Graph.num_nodes g in
+  let labels =
+    Array.init n (fun id -> if Graph.is_input g id then 0.0 else neg_infinity)
+  in
+  (* At most N sweeps are ever needed; the DAG structure means far fewer
+     in practice (node order is topological, so one suffices — but we
+     keep the paper's fixed-point iteration and stop when stable). *)
+  let rec iterate remaining =
+    if remaining > 0 && relax_once g labels then iterate (remaining - 1)
+  in
+  iterate n;
+  labels
+
+let topological g =
+  let n = Graph.num_nodes g in
+  let labels = Array.make n 0.0 in
+  for id = 0 to n - 1 do
+    if not (Graph.is_input g id) then begin
+      let best = ref 0.0 in
+      Array.iter
+        (fun f -> if labels.(f) > !best then best := labels.(f))
+        (Graph.fanins g id);
+      labels.(id) <- !best +. g.Graph.delay.(id)
+    end
+  done;
+  labels
+
+let critical_delay g labels =
+  Array.fold_left
+    (fun acc o -> Float.max acc labels.(o))
+    neg_infinity g.Graph.circuit.Ssta_circuit.Netlist.outputs
+
+let critical_output g labels =
+  let best = ref (-1) in
+  Array.iter
+    (fun o ->
+      match !best with
+      | -1 -> best := o
+      | b -> if labels.(o) > labels.(b) then best := o)
+    g.Graph.circuit.Ssta_circuit.Netlist.outputs;
+  if !best < 0 then invalid_arg "Longest_path.critical_output: no outputs";
+  !best
+
+let critical_path g labels =
+  let rec trace acc id =
+    let acc = id :: acc in
+    if Graph.is_input g id then acc
+    else begin
+      let arrival_before = labels.(id) -. g.Graph.delay.(id) in
+      let fanins = Graph.fanins g id in
+      let best = ref (-1) in
+      Array.iter
+        (fun f ->
+          if !best < 0
+             && Float.abs (labels.(f) -. arrival_before) <= 1e-18 +. (1e-12 *. Float.abs arrival_before)
+          then best := f)
+        fanins;
+      (* Guard against float drift: fall back to the max-label fan-in. *)
+      if !best < 0 then begin
+        Array.iter
+          (fun f ->
+            match !best with
+            | -1 -> best := f
+            | b -> if labels.(f) > labels.(b) then best := f)
+          fanins;
+        if !best < 0 then invalid_arg "Longest_path.critical_path: dangling gate"
+      end;
+      trace acc !best
+    end
+  in
+  Array.of_list (trace [] (critical_output g labels))

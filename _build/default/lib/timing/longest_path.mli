@@ -1,0 +1,26 @@
+(** Longest-path (arrival-time) labels.
+
+    The paper computes the delay label of every node — the maximum
+    arrival time from the source — with Bellman-Ford (Section 3.1).
+    Because a netlist is a DAG by construction, a single topological
+    sweep gives the same labels in O(N + E); both are implemented and
+    cross-checked in the tests.  The arrival of a node includes its own
+    gate delay (inputs arrive at 0). *)
+
+val bellman_ford : Graph.t -> float array
+(** Iterative relaxation exactly as in the paper; O(N * E) worst case,
+    terminating early once a sweep changes nothing. *)
+
+val topological : Graph.t -> float array
+(** Single forward sweep in node order (which is topological). *)
+
+val critical_delay : Graph.t -> float array -> float
+(** Maximum label over the primary outputs. *)
+
+val critical_output : Graph.t -> float array -> int
+(** The primary output that realizes {!critical_delay} (smallest id on
+    ties). *)
+
+val critical_path : Graph.t -> float array -> int array
+(** One maximum-delay path, source input first, critical output last
+    (greedy backward trace; ties broken towards smaller node ids). *)

@@ -1,0 +1,84 @@
+module Netlist = Ssta_circuit.Netlist
+
+type path = { nodes : int array; delay : float }
+
+type enumeration = {
+  paths : path list;
+  truncated : bool;
+  critical_delay : float;
+  slack : float;
+}
+
+let path_gates g p =
+  Array.to_list p.nodes
+  |> List.filter_map (fun id ->
+         if Graph.is_input g id then None else Some (Graph.electrical_exn g id))
+
+let path_gate_count g p =
+  Array.fold_left
+    (fun acc id -> if Graph.is_input g id then acc else acc + 1)
+    0 p.nodes
+
+let recompute_delay g nodes =
+  Array.fold_left (fun acc id -> acc +. g.Graph.delay.(id)) 0.0 nodes
+
+exception Limit
+
+let enumerate ?(max_paths = 200_000) g ~labels ~slack =
+  if slack < 0.0 then invalid_arg "Paths.enumerate: slack must be >= 0";
+  if max_paths < 1 then invalid_arg "Paths.enumerate: max_paths must be >= 1";
+  let critical = Longest_path.critical_delay g labels in
+  let eps = 1e-15 +. (1e-12 *. Float.abs critical) in
+  let collected = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  (* Walk backwards from [id] with [budget] slack remaining; [suffix] is
+     the node list from [id]'s consumer down to the output. *)
+  let rec walk id budget suffix =
+    let suffix = id :: suffix in
+    if Graph.is_input g id then begin
+      if !count >= max_paths then raise Limit;
+      incr count;
+      let nodes = Array.of_list suffix in
+      collected := { nodes; delay = recompute_delay g nodes } :: !collected
+    end
+    else begin
+      let arrival_before = labels.(id) -. g.Graph.delay.(id) in
+      Array.iter
+        (fun u ->
+          let local_slack = arrival_before -. labels.(u) in
+          if local_slack <= budget +. eps then
+            walk u (budget -. local_slack) suffix)
+        (Graph.fanins g id)
+    end
+  in
+  (try
+     Array.iter
+       (fun o ->
+         let budget = slack -. (critical -. labels.(o)) in
+         if budget >= -.eps then walk o budget [])
+       g.Graph.circuit.Netlist.outputs
+   with Limit -> truncated := true);
+  let paths =
+    List.sort (fun a b -> compare b.delay a.delay) !collected
+  in
+  { paths; truncated = !truncated; critical_delay = critical; slack }
+
+let is_path g nodes =
+  let n = Array.length nodes in
+  if n = 0 then false
+  else if not (Graph.is_input g nodes.(0)) then false
+  else if
+    not
+      (Array.exists
+         (fun o -> o = nodes.(n - 1))
+         g.Graph.circuit.Netlist.outputs)
+  then false
+  else begin
+    let ok = ref true in
+    for i = 1 to n - 1 do
+      let fanins = Graph.fanins g nodes.(i) in
+      if not (Array.exists (fun f -> f = nodes.(i - 1)) fanins) then ok := false
+    done;
+    !ok
+  end

@@ -1,0 +1,42 @@
+(** Near-critical path enumeration — the recursive algorithm of Fig. 2.
+
+    Given the Bellman-Ford labels, all source-to-output paths whose total
+    nominal delay is within a slack budget of the critical delay are
+    enumerated by walking backwards from each output: a fan-in [u] of
+    node [n] stays on a candidate path when its label is within the
+    remaining slack of [label(n) - delay(n)].  Worst-case cost is
+    O(kappa * E) for kappa emitted paths, as the paper notes.
+
+    The paper caps the explosion on c6288 by lowering C; we additionally
+    support a hard [max_paths] cap that marks the result truncated. *)
+
+type path = {
+  nodes : int array;  (** primary input first, primary output last *)
+  delay : float;  (** nominal delay, seconds *)
+}
+
+type enumeration = {
+  paths : path list;  (** sorted by decreasing nominal delay *)
+  truncated : bool;  (** true when [max_paths] stopped the search *)
+  critical_delay : float;
+  slack : float;  (** the slack budget used *)
+}
+
+val path_gates : Graph.t -> path -> Ssta_tech.Gate.electrical list
+(** Electrical models of the gate nodes of a path (inputs skipped), in
+    path order. *)
+
+val path_gate_count : Graph.t -> path -> int
+(** Number of gates on the path (the paper's Table 2 column 10). *)
+
+val recompute_delay : Graph.t -> int array -> float
+(** Sum of gate delays along an explicit node list (validation). *)
+
+val enumerate :
+  ?max_paths:int -> Graph.t -> labels:float array -> slack:float -> enumeration
+(** All paths with delay >= critical - slack, up to [max_paths]
+    (default 200_000).  [slack] must be non-negative. *)
+
+val is_path : Graph.t -> int array -> bool
+(** Check that consecutive nodes are connected, the first is a primary
+    input and the last a primary output. *)

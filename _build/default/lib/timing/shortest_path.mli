@@ -1,0 +1,26 @@
+(** Shortest-path (earliest-arrival) labels — the hold-time dual.
+
+    The paper analyzes only the slowest (setup-limiting) paths; a
+    production timer also needs the fastest paths, whose delays bound
+    hold-time safety and which are checked against the {e best}-case
+    corner.  The algorithms mirror {!Longest_path} with min instead of
+    max. *)
+
+val labels : Graph.t -> float array
+(** Earliest arrival per node (a node's own delay included; inputs 0). *)
+
+val min_delay : Graph.t -> float array -> float
+(** Minimum over the primary outputs of the earliest arrival — the
+    circuit's shortest input-to-output path delay. *)
+
+val min_output : Graph.t -> float array -> int
+(** The output realizing {!min_delay} (smallest id on ties). *)
+
+val min_path : Graph.t -> float array -> int array
+(** One minimum-delay path, input first, output last. *)
+
+val enumerate_near_min :
+  ?max_paths:int -> Graph.t -> labels:float array -> slack:float
+  -> Paths.enumeration
+(** All input-to-output paths with delay <= min_delay + slack, sorted by
+    {e increasing} delay.  [slack] must be non-negative. *)

@@ -1,0 +1,79 @@
+module Netlist = Ssta_circuit.Netlist
+
+type t = {
+  clock : float;
+  arrival : float array;
+  required : float array;
+  slack : float array;
+}
+
+let compute ?clock g =
+  let arrival = Longest_path.bellman_ford g in
+  let clock =
+    match clock with
+    | Some c -> c
+    | None -> Longest_path.critical_delay g arrival
+  in
+  let n = Graph.num_nodes g in
+  let required = Array.make n infinity in
+  (* Primary outputs must settle by the clock edge. *)
+  Array.iter
+    (fun o -> required.(o) <- Float.min required.(o) clock)
+    g.Graph.circuit.Netlist.outputs;
+  (* Backward sweep (reverse node order is reverse-topological). *)
+  for id = n - 1 downto 0 do
+    if not (Graph.is_input g id) then begin
+      let at_input = required.(id) -. g.Graph.delay.(id) in
+      Array.iter
+        (fun f -> if at_input < required.(f) then required.(f) <- at_input)
+        (Graph.fanins g id)
+    end
+  done;
+  let slack = Array.init n (fun id -> required.(id) -. arrival.(id)) in
+  { clock; arrival; required; slack }
+
+(* Nodes with infinite required time drive no primary output; they carry
+   no timing obligation and are excluded from the worst-slack scan. *)
+let on_a_path t id = t.required.(id) < infinity
+
+let worst t =
+  let best = ref infinity in
+  Array.iteri
+    (fun id s -> if on_a_path t id && s < !best then best := s)
+    t.slack;
+  !best
+
+let worst_node t =
+  let w = worst t in
+  let found = ref (-1) in
+  (try
+     Array.iteri
+       (fun id s ->
+         if on_a_path t id && s <= w +. 1e-18 then begin
+           found := id;
+           raise Exit
+         end)
+       t.slack
+   with Exit -> ());
+  if !found < 0 then invalid_arg "Slack.worst_node: no timed nodes";
+  !found
+
+(* Backward and forward sweeps associate float additions differently, so
+   nodes on the defining path can come out at -1e-25 instead of 0. *)
+let noise t = 1e-12 *. (Float.abs t.clock +. 1e-18)
+
+let violations t =
+  let tol = noise t in
+  let acc = ref [] in
+  Array.iteri
+    (fun id s -> if on_a_path t id && s < -.tol then acc := id :: !acc)
+    t.slack;
+  List.rev !acc
+
+let critical_nodes ?(tolerance = 1e-15) t =
+  let w = worst t in
+  let acc = ref [] in
+  Array.iteri
+    (fun id s -> if on_a_path t id && s <= w +. tolerance then acc := id :: !acc)
+    t.slack;
+  List.rev !acc

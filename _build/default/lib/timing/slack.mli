@@ -1,0 +1,33 @@
+(** Required times and slacks.
+
+    Given a clock target T, the required time at a primary output is T;
+    propagating backwards, a node's required time is the minimum over
+    its consumers of (their required time minus their gate delay).  The
+    node's slack is (required - arrival): negative slack marks the nodes
+    that violate the target, zero slack marks the critical ones. *)
+
+type t = {
+  clock : float;
+  arrival : float array;  (** Bellman-Ford labels *)
+  required : float array;
+  slack : float array;
+}
+
+val compute : ?clock:float -> Graph.t -> t
+(** [compute g] with the default clock equal to the critical delay (so
+    the critical path has slack 0 and nothing is negative).  An explicit
+    [clock] may produce negative slacks. *)
+
+val worst : t -> float
+(** Minimum slack over all nodes on some input-output path. *)
+
+val worst_node : t -> int
+(** A node realizing {!worst} (smallest id on ties). *)
+
+val violations : t -> int list
+(** Nodes with negative slack (ascending ids; a relative-epsilon guard
+    absorbs float noise from the forward/backward sweeps). *)
+
+val critical_nodes : ?tolerance:float -> t -> int list
+(** Nodes whose slack is within [tolerance] (default 1e-15 s) of
+    {!worst} — the paper's critical path(s) as a node set. *)

@@ -1,0 +1,33 @@
+module Elmore = Ssta_tech.Elmore
+module Corner = Ssta_tech.Corner
+
+type t = {
+  graph : Graph.t;
+  labels : float array;
+  critical_delay : float;
+  critical_path : Paths.path;
+}
+
+let of_graph graph =
+  let labels = Longest_path.bellman_ford graph in
+  let critical_delay = Longest_path.critical_delay graph labels in
+  let nodes = Longest_path.critical_path graph labels in
+  let critical_path =
+    { Paths.nodes; delay = Paths.recompute_delay graph nodes }
+  in
+  { graph; labels; critical_delay; critical_path }
+
+let analyze ?wire_cap c = of_graph (Graph.of_netlist ?wire_cap c)
+let analyze_placed ?wire c pl = of_graph (Graph.of_placed ?wire c pl)
+
+let near_critical ?max_paths t ~slack =
+  Paths.enumerate ?max_paths t.graph ~labels:t.labels ~slack
+
+let worst_case_delay ?corner_k t path =
+  Corner.path_delay ?k:corner_k Corner.Worst (Paths.path_gates t.graph path)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: critical delay %.3f ps over %d gates"
+    t.graph.Graph.circuit.Ssta_circuit.Netlist.name
+    (Elmore.ps t.critical_delay)
+    (Paths.path_gate_count t.graph t.critical_path)

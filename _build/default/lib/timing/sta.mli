@@ -1,0 +1,39 @@
+(** Deterministic static timing analysis driver.
+
+    Bundles the one-time calculations of the paper's methodology: build
+    the timing graph, compute Bellman-Ford labels, extract the critical
+    path, and (given a slack budget) enumerate and rank the near-critical
+    paths by nominal delay.  Deterministic rank 1 is the nominally
+    slowest path. *)
+
+type t = {
+  graph : Graph.t;
+  labels : float array;  (** Bellman-Ford arrival labels *)
+  critical_delay : float;  (** seconds *)
+  critical_path : Paths.path;
+}
+
+val analyze : ?wire_cap:float -> Ssta_circuit.Netlist.t -> t
+(** Graph construction + labels + critical path. *)
+
+val of_graph : Graph.t -> t
+(** Run the label/critical-path computations on an existing graph (e.g.
+    one built with {!Graph.with_drives}). *)
+
+val analyze_placed :
+  ?wire:Ssta_tech.Wire.params ->
+  Ssta_circuit.Netlist.t ->
+  Ssta_circuit.Placement.t ->
+  t
+(** Like {!analyze} but with placement-aware wire loading
+    ({!Graph.of_placed}). *)
+
+val near_critical : ?max_paths:int -> t -> slack:float -> Paths.enumeration
+(** Paths within [slack] of the critical delay, ranked by nominal delay
+    (deterministic rank = 1-based position in this list). *)
+
+val worst_case_delay : ?corner_k:float -> t -> Paths.path -> float
+(** Classical corner analysis of one path (all parameters at the
+    worst-case corner simultaneously). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Config Float QCheck QCheck_alcotest Ssta_circuit Ssta_core

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Block_based Config Float Graph Helpers List Monte_carlo Path_analysis Paths Placement Quality_sweep Rng Ssta_circuit Ssta_core Ssta_prob Ssta_timing Sta Stats

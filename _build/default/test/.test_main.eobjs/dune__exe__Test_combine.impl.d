@@ -1,0 +1,1 @@
+test/test_combine.ml: Combine Dist Float Helpers Pdf QCheck Ssta_prob

@@ -1,0 +1,1 @@
+test/test_correlation.ml: Array Budget Float Generators Graph Hashtbl Helpers Layers List Longest_path Netlist Path_coeffs Paths Placement QCheck Ssta_circuit Ssta_correlation Ssta_tech Ssta_timing

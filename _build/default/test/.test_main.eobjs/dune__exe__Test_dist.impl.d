@@ -1,0 +1,1 @@
+test/test_dist.ml: Dist Float Helpers Pdf QCheck Ssta_prob

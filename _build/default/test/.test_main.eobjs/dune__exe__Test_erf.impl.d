@@ -1,0 +1,1 @@
+test/test_erf.ml: Erf Float Helpers List Printf QCheck Ssta_prob

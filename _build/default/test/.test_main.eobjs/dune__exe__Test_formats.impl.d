@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Array Bench_format Def_format Filename Generators Helpers List Netlist Placement QCheck Spef Ssta_circuit Ssta_prob Ssta_timing String Sys

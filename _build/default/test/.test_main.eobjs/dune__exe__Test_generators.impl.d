@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Array Bench_format Generators Helpers List Netlist QCheck Ssta_circuit Ssta_prob Ssta_tech

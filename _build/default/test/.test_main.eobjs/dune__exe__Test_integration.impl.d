@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bench_format Config Def_format Filename Helpers Iscas85 Methodology Path_analysis Printf Ranking Ssta_circuit Ssta_core Ssta_timing Sys

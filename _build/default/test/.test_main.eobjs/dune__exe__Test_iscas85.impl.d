@@ -1,0 +1,1 @@
+test/test_iscas85.ml: Alcotest Array Bench_format Float Helpers Int64 Iscas85 List Netlist Placement Ssta_circuit Ssta_prob Ssta_tech

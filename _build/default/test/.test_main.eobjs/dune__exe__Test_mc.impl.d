@@ -1,0 +1,1 @@
+test/test_mc.ml: Dist Helpers Mc Pdf Rng Ssta_prob Stats

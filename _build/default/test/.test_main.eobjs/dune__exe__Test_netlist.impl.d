@@ -1,0 +1,1 @@
+test/test_netlist.ml: Array Gate Generators Helpers List Netlist QCheck Ssta_circuit Ssta_tech String

@@ -1,0 +1,1 @@
+test/test_pdf.ml: Array Dist Float Helpers List Pdf Printf QCheck Rng Ssta_prob Stats

@@ -1,0 +1,1 @@
+test/test_rng.ml: Array Float Helpers Int64 Printf QCheck Rng Ssta_prob Stats

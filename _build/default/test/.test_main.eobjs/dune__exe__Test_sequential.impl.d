@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest Array Bench_format Clocking Config Generators Helpers List Netlist Printf Rng Sequential Ssta_circuit Ssta_core Ssta_prob Ssta_timing

@@ -1,0 +1,1 @@
+test/test_stats.ml: Array Dist Float Helpers QCheck Rng Ssta_prob Stats

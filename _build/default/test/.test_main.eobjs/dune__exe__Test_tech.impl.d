@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Convexity Corner Derivatives Elmore Gate Helpers List Params Printf Sensitivity Ssta_tech

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Generators Graph Hashtbl Helpers List Longest_path Netlist Paths QCheck Ssta_circuit Ssta_tech Ssta_timing Sta

@@ -1,0 +1,135 @@
+open Ssta_prob
+open Helpers
+
+let gauss ?(n = 120) mu sigma = Dist.truncated_gaussian ~n ~mu ~sigma ()
+
+let test_accumulator_basic () =
+  let a = Combine.accumulator ~lo:0.0 ~hi:10.0 ~n:10 in
+  Combine.deposit a ~x:2.5 ~mass:1.0;
+  let p = Combine.to_pdf a in
+  check_close ~tol:1e-9 "mean of single deposit" 2.5 (Pdf.mean p)
+
+let test_accumulator_clamps () =
+  let a = Combine.accumulator ~lo:0.0 ~hi:10.0 ~n:10 in
+  Combine.deposit a ~x:(-5.0) ~mass:0.5;
+  Combine.deposit a ~x:50.0 ~mass:0.5;
+  let p = Combine.to_pdf a in
+  check_close ~tol:1e-9 "clamped mass conserved" 1.0 (Pdf.total_mass p)
+
+let test_accumulator_empty () =
+  let a = Combine.accumulator ~lo:0.0 ~hi:1.0 ~n:4 in
+  check_raises_invalid "no deposits" (fun () -> ignore (Combine.to_pdf a))
+
+let test_sum_gaussians () =
+  let x = gauss 3.0 1.0 and y = gauss 5.0 2.0 in
+  let z = Combine.sum x y in
+  check_close ~tol:1e-6 "sum mean adds" 8.0 (Pdf.mean z);
+  check_close ~tol:0.02 "sum std in quadrature" (sqrt 5.0) (Pdf.std z)
+
+let test_sum_list () =
+  let parts = [ gauss 1.0 0.5; gauss 2.0 0.5; gauss 3.0 0.5 ] in
+  let z = Combine.sum_list parts in
+  check_close ~tol:1e-6 "three-way sum mean" 6.0 (Pdf.mean z);
+  check_close ~tol:0.02 "three-way sum std" (sqrt 0.75) (Pdf.std z);
+  check_raises_invalid "empty list" (fun () -> ignore (Combine.sum_list []))
+
+let test_product_means_multiply () =
+  let x = gauss 4.0 0.5 and y = gauss 10.0 1.0 in
+  let z = Combine.product x y in
+  (* E[XY] = E[X] E[Y] for independent. *)
+  check_close ~tol:2e-3 "product mean" 40.0 (Pdf.mean z);
+  (* Var(XY) = mx^2 vy + my^2 vx + vx vy = 16 + 25 + 0.25 = 41.25 *)
+  check_close ~tol:0.05 "product std" (sqrt 41.25) (Pdf.std z)
+
+let test_map_linear () =
+  let x = gauss 2.0 1.0 in
+  let z = Combine.map (fun v -> (2.0 *. v) +. 1.0) x in
+  check_close ~tol:1e-3 "mapped mean" 5.0 (Pdf.mean z);
+  check_close ~tol:0.05 "mapped std" 2.0 (Pdf.std z)
+
+let test_map_nonlinear_jensen () =
+  (* E[X^2] = mu^2 + sigma^2 > (E[X])^2: the push-forward must capture
+     the Jensen gap — the mechanism behind the paper's mean shift. *)
+  let x = gauss 3.0 1.0 in
+  let z = Combine.map ~n:300 (fun v -> v *. v) x in
+  check_close ~tol:5e-3 "E[X^2] = 10" 10.0 (Pdf.mean z)
+
+let test_push3 () =
+  let x = gauss ~n:40 1.0 0.3 in
+  let y = gauss ~n:40 2.0 0.4 in
+  let w = gauss ~n:40 3.0 0.5 in
+  let z = Combine.push3 (fun a b c -> a +. b +. c) x y w in
+  check_close ~tol:1e-4 "push3 sum mean" 6.0 (Pdf.mean z);
+  check_close ~tol:0.03 "push3 sum std"
+    (sqrt ((0.3 ** 2.0) +. (0.4 ** 2.0) +. (0.5 ** 2.0)))
+    (Pdf.std z)
+
+let test_push3_product () =
+  let x = gauss ~n:40 2.0 0.1 in
+  let y = gauss ~n:40 3.0 0.1 in
+  let w = gauss ~n:40 4.0 0.1 in
+  let z = Combine.push3 (fun a b c -> a *. b *. c) x y w in
+  check_close ~tol:1e-3 "independent triple product mean" 24.0 (Pdf.mean z)
+
+let test_binop_with_point_mass () =
+  let x = Pdf.point_mass 5.0 in
+  let y = gauss 2.0 0.5 in
+  let z = Combine.sum x y in
+  check_close ~tol:1e-6 "point mass shifts" 7.0 (Pdf.mean z);
+  check_close ~tol:0.02 "spread unchanged" 0.5 (Pdf.std z)
+
+let test_mixture () =
+  let z = Combine.mixture [ (1.0, gauss 0.0 0.5); (1.0, gauss 10.0 0.5) ] in
+  check_close ~tol:5e-3 "bimodal mean" 5.0 (Pdf.mean z);
+  check_true "bimodal std ~ 5" (Float.abs (Pdf.std z -. 5.025) < 0.1);
+  check_raises_invalid "empty mixture" (fun () ->
+      ignore (Combine.mixture []));
+  check_raises_invalid "bad weight" (fun () ->
+      ignore (Combine.mixture [ (0.0, gauss 0.0 1.0) ]))
+
+let test_mixture_weights () =
+  let z = Combine.mixture [ (3.0, gauss 0.0 0.2); (1.0, gauss 8.0 0.2) ] in
+  check_close ~tol:2e-2 "weighted mixture mean" 2.0 (Pdf.mean z)
+
+let prop_sum_mean_additive =
+  qcheck "convolution adds means"
+    QCheck.(
+      quad (float_range (-5.0) 5.0) (float_range 0.2 2.0)
+        (float_range (-5.0) 5.0) (float_range 0.2 2.0))
+    (fun (m1, s1, m2, s2) ->
+      let z = Combine.sum (gauss ~n:60 m1 s1) (gauss ~n:60 m2 s2) in
+      Float.abs (Pdf.mean z -. (m1 +. m2)) < 1e-4 *. (1.0 +. Float.abs (m1 +. m2)))
+
+let prop_sum_variance_additive =
+  qcheck "convolution adds variances"
+    QCheck.(pair (float_range 0.2 2.0) (float_range 0.2 2.0))
+    (fun (s1, s2) ->
+      let z = Combine.sum (gauss ~n:100 0.0 s1) (gauss ~n:100 0.0 s2) in
+      let expected = (s1 *. s1) +. (s2 *. s2) in
+      Float.abs (Pdf.variance z -. expected) < 0.05 *. expected)
+
+let prop_total_mass_conserved =
+  qcheck "binop conserves mass"
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range 0.2 2.0))
+    (fun (m, s) ->
+      let z = Combine.binop ( +. ) (gauss ~n:50 m s) (gauss ~n:50 0.0 1.0) in
+      Float.abs (Pdf.total_mass z -. 1.0) < 1e-9)
+
+let suite =
+  ( "combine",
+    [ case "accumulator deposits keep the mean" test_accumulator_basic;
+      case "accumulator clamps outside mass" test_accumulator_clamps;
+      case "accumulator rejects empty" test_accumulator_empty;
+      case "sum of gaussians" test_sum_gaussians;
+      case "sum_list" test_sum_list;
+      case "product of independents" test_product_means_multiply;
+      case "map linear" test_map_linear;
+      case "map nonlinear captures Jensen gap" test_map_nonlinear_jensen;
+      case "push3 sum" test_push3;
+      case "push3 product" test_push3_product;
+      case "binop with point mass" test_binop_with_point_mass;
+      case "mixture" test_mixture;
+      case "mixture weights" test_mixture_weights;
+      prop_sum_mean_additive;
+      prop_sum_variance_additive;
+      prop_total_mass_conserved ] )

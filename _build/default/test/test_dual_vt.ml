@@ -1,0 +1,242 @@
+(* Dual-threshold machinery: Vt classes, the mixed-class inter engine,
+   class-aware path analysis validated against Monte-Carlo, and the
+   leakage optimizer. *)
+
+open Ssta_circuit
+open Ssta_timing
+open Ssta_prob
+open Ssta_tech
+open Ssta_core
+open Helpers
+
+(* ---------------- Vt_class ---------------- *)
+
+let test_params_for () =
+  let low = Vt_class.params_for Vt_class.Low in
+  check_close ~tol:0.0 "low = nominal" Params.nominal.Params.vtn
+    low.Params.vtn;
+  let high = Vt_class.params_for Vt_class.High in
+  check_close ~tol:1e-12 "high vtn shifted"
+    (Params.nominal.Params.vtn +. Vt_class.default_shift)
+    high.Params.vtn;
+  check_close ~tol:1e-12 "high vtp shifted"
+    (Params.nominal.Params.vtp +. Vt_class.default_shift)
+    high.Params.vtp;
+  let custom = Vt_class.params_for ~shift:0.1 Vt_class.High in
+  check_close ~tol:1e-12 "custom shift" (Params.nominal.Params.vtn +. 0.1)
+    custom.Params.vtn
+
+let test_high_vt_slower_and_leaks_less () =
+  let e = Gate.electrical (Gate.Nand 2) in
+  let d cls = Elmore.gate_delay e (Vt_class.params_for cls) in
+  check_true "high-Vt gate is slower" (d Vt_class.High > d Vt_class.Low);
+  check_true "delay penalty below 30%"
+    (d Vt_class.High < 1.3 *. d Vt_class.Low);
+  let l cls = Vt_class.leakage e cls in
+  check_true "high-Vt leaks less" (l Vt_class.High < l Vt_class.Low);
+  (* 60 mV at ~90 mV/decade: about 4-5x *)
+  check_true "leakage ratio in the expected range"
+    (l Vt_class.Low /. l Vt_class.High > 3.0
+    && l Vt_class.Low /. l Vt_class.High < 8.0)
+
+let test_corner_for () =
+  let wc = Vt_class.corner_for Corner.Worst Vt_class.High in
+  let base = Corner.point Corner.Worst in
+  check_close ~tol:1e-12 "corner + class shift"
+    (base.Params.vtn +. Vt_class.default_shift)
+    wc.Params.vtn
+
+(* ---------------- Inter.pdf_dual ---------------- *)
+
+let test_pdf_dual_reduces_to_pdf () =
+  let tables = Inter.tables fast_config in
+  let a = 1e-6 and b = 1.2e-6 in
+  let p1 = Inter.pdf tables ~alpha_sum:a ~beta_sum:b in
+  let p2 =
+    Inter.pdf_dual tables ~alpha_low:a ~alpha_high:0.0 ~beta_low:b
+      ~beta_high:0.0
+  in
+  check_close ~tol:1e-12 "all-low dual = plain" (Pdf.mean p1) (Pdf.mean p2);
+  check_close ~tol:1e-12 "same std" (Pdf.std p1) (Pdf.std p2)
+
+let test_pdf_dual_high_is_slower () =
+  let tables = Inter.tables fast_config in
+  let a = 1e-6 and b = 1.2e-6 in
+  let low = Inter.pdf_dual tables ~alpha_low:a ~alpha_high:0.0 ~beta_low:b
+      ~beta_high:0.0 in
+  let high = Inter.pdf_dual tables ~alpha_low:0.0 ~alpha_high:a ~beta_low:0.0
+      ~beta_high:b in
+  check_true "all-high mean above all-low" (Pdf.mean high > Pdf.mean low);
+  let mixed = Inter.pdf_dual tables ~alpha_low:(a /. 2.0)
+      ~alpha_high:(a /. 2.0) ~beta_low:(b /. 2.0) ~beta_high:(b /. 2.0) in
+  check_true "mixed in between"
+    (Pdf.mean mixed > Pdf.mean low && Pdf.mean mixed < Pdf.mean high)
+
+let test_pdf_dual_validation () =
+  let tables = Inter.tables fast_config in
+  check_raises_invalid "negative sum" (fun () ->
+      ignore
+        (Inter.pdf_dual tables ~alpha_low:(-1.0) ~alpha_high:0.0
+           ~beta_low:1.0 ~beta_high:0.0));
+  check_raises_invalid "zero NMOS side" (fun () ->
+      ignore
+        (Inter.pdf_dual tables ~alpha_low:0.0 ~alpha_high:0.0 ~beta_low:1.0
+           ~beta_high:0.0))
+
+(* ---------------- Class-aware analysis ---------------- *)
+
+let setup () =
+  let c = small_random () in
+  let pl = Placement.place c in
+  (c, pl)
+
+let all_of cls c = Array.make (Netlist.num_nodes c) cls
+
+let test_graph_for_classes () =
+  let c, _ = setup () in
+  let g_low = Dual_vt.graph_for c (all_of Vt_class.Low c) in
+  let g_high = Dual_vt.graph_for c (all_of Vt_class.High c) in
+  let d g = Longest_path.critical_delay g (Longest_path.bellman_ford g) in
+  check_true "all-high circuit is slower" (d g_high > d g_low);
+  (* all-low graph matches the plain construction *)
+  let g_plain = Graph.of_netlist c in
+  Array.iteri
+    (fun id delay ->
+      check_close ~tol:1e-12 "all-low = plain" g_plain.Graph.delay.(id) delay)
+    g_low.Graph.delay
+
+let test_analyze_path_all_low_matches_path_analysis () =
+  let c, pl = setup () in
+  let assignment = all_of Vt_class.Low c in
+  let g = Dual_vt.graph_for c assignment in
+  let sta = Sta.of_graph g in
+  let tables = Inter.tables fast_config in
+  let stats =
+    Dual_vt.analyze_path fast_config tables g pl assignment
+      sta.Sta.critical_path
+  in
+  let ctx = Path_analysis.context fast_config g pl in
+  let a = Path_analysis.analyze ctx sta.Sta.critical_path in
+  check_close ~tol:1e-9 "same mean" a.Path_analysis.mean stats.Dual_vt.mean;
+  check_close ~tol:1e-9 "same std" a.Path_analysis.std stats.Dual_vt.std;
+  check_close ~tol:1e-9 "same worst case" a.Path_analysis.worst_case
+    stats.Dual_vt.worst_case
+
+let test_analyze_path_matches_monte_carlo_mixed () =
+  (* alternate classes along the ids: a genuinely mixed assignment *)
+  let c, pl = setup () in
+  let assignment =
+    Array.init (Netlist.num_nodes c) (fun id ->
+        if id mod 2 = 0 then Vt_class.Low else Vt_class.High)
+  in
+  let g = Dual_vt.graph_for c assignment in
+  let sta = Sta.of_graph g in
+  let tables = Inter.tables Config.default in
+  let stats =
+    Dual_vt.analyze_path Config.default tables g pl assignment
+      sta.Sta.critical_path
+  in
+  let sampler =
+    Monte_carlo.sampler
+      ~nominal_of:(fun id -> Vt_class.params_for assignment.(id))
+      Config.default g pl
+  in
+  let samples =
+    Monte_carlo.path_delay_samples sampler ~n:8000 (Rng.create 77)
+      sta.Sta.critical_path
+  in
+  let s = Stats.summarize samples in
+  check_close ~tol:0.01 "mixed-class mean matches MC" s.Stats.mean
+    stats.Dual_vt.mean;
+  check_close ~tol:0.12 "mixed-class std matches MC" s.Stats.std
+    stats.Dual_vt.std
+
+let test_leakage_monotone () =
+  let c, _ = setup () in
+  let g = Graph.of_netlist c in
+  let low = Dual_vt.leakage g (all_of Vt_class.Low c) in
+  let high = Dual_vt.leakage g (all_of Vt_class.High c) in
+  check_true "positive" (high > 0.0);
+  check_true "all-high leaks least" (high < low)
+
+(* ---------------- Optimizer ---------------- *)
+
+let test_optimize_meets_target_and_saves_leakage () =
+  let c, pl = setup () in
+  let m = Methodology.run ~config:fast_config ~placement:pl c in
+  let base3 =
+    m.Methodology.prob_critical.Ranking.analysis.Path_analysis
+    .confidence_point
+  in
+  let target = 1.05 *. base3 in
+  let r = Dual_vt.optimize ~config:fast_config ~placement:pl ~target c in
+  check_true "met" r.Dual_vt.met;
+  check_true "3-sigma within target" (r.Dual_vt.sigma3_final <= target +. 1e-15);
+  check_true "some gates went high" (r.Dual_vt.high_count > 0);
+  check_true "leakage saved"
+    (r.Dual_vt.leakage_final < r.Dual_vt.leakage_all_low);
+  check_int "assignment covers all nodes" (Netlist.num_nodes c)
+    (Array.length r.Dual_vt.assignment)
+
+let test_optimize_impossible_target () =
+  let c, pl = setup () in
+  (* a target below the all-low 3-sigma point can never be met *)
+  let r =
+    Dual_vt.optimize ~config:fast_config ~placement:pl ~target:1e-13 c
+  in
+  check_true "not met" (not r.Dual_vt.met);
+  check_true "falls back towards all-low"
+    (r.Dual_vt.high_count < r.Dual_vt.gate_count)
+
+let test_optimize_validation () =
+  let c, _ = setup () in
+  check_raises_invalid "bad target" (fun () ->
+      ignore (Dual_vt.optimize ~target:0.0 c));
+  check_raises_invalid "bad slack factor" (fun () ->
+      ignore (Dual_vt.optimize ~slack_factor:(-1.0) ~target:1.0 c))
+
+let test_optimize_monte_carlo_check () =
+  let c, pl = setup () in
+  let config = fast_config in
+  let m = Methodology.run ~config ~placement:pl c in
+  let base3 =
+    m.Methodology.prob_critical.Ranking.analysis.Path_analysis
+    .confidence_point
+  in
+  let target = 1.08 *. base3 in
+  let r = Dual_vt.optimize ~config ~placement:pl ~target c in
+  let g = Dual_vt.graph_for c r.Dual_vt.assignment in
+  let sta = Sta.of_graph g in
+  let sampler =
+    Monte_carlo.sampler
+      ~nominal_of:(fun id -> Vt_class.params_for r.Dual_vt.assignment.(id))
+      config g pl
+  in
+  let samples =
+    Monte_carlo.path_delay_samples sampler ~n:6000 (Rng.create 3)
+      sta.Sta.critical_path
+  in
+  let mc3 = Stats.sigma_point samples 3.0 in
+  check_true "MC confirms the timing target (2% tolerance)"
+    (mc3 <= 1.02 *. target)
+
+let suite =
+  ( "dual-vt",
+    [ case "class operating points" test_params_for;
+      case "high-Vt slower, leaks less" test_high_vt_slower_and_leaks_less;
+      case "class-aware corners" test_corner_for;
+      case "pdf_dual reduces to pdf" test_pdf_dual_reduces_to_pdf;
+      case "pdf_dual orders the classes" test_pdf_dual_high_is_slower;
+      case "pdf_dual validation" test_pdf_dual_validation;
+      case "class-aware graphs" test_graph_for_classes;
+      case "all-low analysis = standard analysis"
+        test_analyze_path_all_low_matches_path_analysis;
+      slow_case "mixed-class analysis matches Monte-Carlo"
+        test_analyze_path_matches_monte_carlo_mixed;
+      case "leakage monotone in the class" test_leakage_monotone;
+      case "optimizer meets target and saves leakage"
+        test_optimize_meets_target_and_saves_leakage;
+      case "optimizer on an impossible target" test_optimize_impossible_target;
+      case "optimizer validation" test_optimize_validation;
+      slow_case "Monte-Carlo confirms the optimized timing"
+        test_optimize_monte_carlo_check ] )

@@ -1,0 +1,89 @@
+open Ssta_prob
+open Helpers
+
+let known_erf_values =
+  (* (x, erf x) reference values. *)
+  [ (0.0, 0.0); (0.1, 0.1124629160); (0.5, 0.5204998778);
+    (1.0, 0.8427007929); (1.5, 0.9661051465); (2.0, 0.9953222650);
+    (3.0, 0.9999779095) ]
+
+let test_erf_table () =
+  List.iter
+    (fun (x, expected) ->
+      check_close_abs ~tol:2e-7 (Printf.sprintf "erf(%g)" x) expected
+        (Erf.erf x))
+    known_erf_values
+
+let test_erf_odd () =
+  List.iter
+    (fun x ->
+      check_close_abs ~tol:1e-12 "erf is odd" (-.Erf.erf x) (Erf.erf (-.x)))
+    [ 0.1; 0.7; 1.3; 2.5 ]
+
+let test_erfc_complement () =
+  List.iter
+    (fun x ->
+      check_close_abs ~tol:1e-7 "erf + erfc = 1" 1.0 (Erf.erf x +. Erf.erfc x))
+    [ -2.0; -0.5; 0.0; 0.3; 1.7; 4.0 ]
+
+let test_normal_cdf_standard () =
+  check_close_abs ~tol:1e-7 "Phi(0)" 0.5 (Erf.normal_cdf 0.0);
+  check_close_abs ~tol:1e-7 "Phi(1.96)" 0.9750021049 (Erf.normal_cdf 1.96);
+  check_close_abs ~tol:1e-7 "Phi(-1)" 0.1586552539 (Erf.normal_cdf (-1.0))
+
+let test_normal_cdf_scaled () =
+  check_close_abs ~tol:1e-7 "Phi((x-mu)/sigma)"
+    (Erf.normal_cdf 1.0)
+    (Erf.normal_cdf ~mu:5.0 ~sigma:2.0 7.0)
+
+let test_normal_pdf () =
+  check_close ~tol:1e-9 "pdf(0)" 0.3989422804 (Erf.normal_pdf 0.0);
+  check_close ~tol:1e-9 "pdf symmetric" (Erf.normal_pdf 1.2)
+    (Erf.normal_pdf (-1.2));
+  (* integrates to ~1 *)
+  let n = 4000 in
+  let h = 16.0 /. float_of_int n in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (Erf.normal_pdf (-8.0 +. ((float_of_int i +. 0.5) *. h)) *. h)
+  done;
+  check_close ~tol:1e-6 "pdf integrates to 1" 1.0 !total
+
+let test_inverse_roundtrip () =
+  List.iter
+    (fun p ->
+      check_close_abs ~tol:2e-7 (Printf.sprintf "Phi(Phi^-1(%g))" p) p
+        (Erf.normal_cdf (Erf.inverse_normal_cdf p)))
+    [ 1e-6; 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 -. 1e-6 ]
+
+let test_inverse_known () =
+  check_close_abs ~tol:1e-6 "Phi^-1(0.975)" 1.9599639845
+    (Erf.inverse_normal_cdf 0.975);
+  check_close_abs ~tol:2e-7 "Phi^-1(0.5)" 0.0 (Erf.inverse_normal_cdf 0.5)
+
+let test_invalid_args () =
+  check_raises_invalid "p=0" (fun () -> Erf.inverse_normal_cdf 0.0);
+  check_raises_invalid "p=1" (fun () -> Erf.inverse_normal_cdf 1.0);
+  check_raises_invalid "sigma<=0" (fun () -> Erf.normal_cdf ~sigma:0.0 1.0);
+  check_raises_invalid "pdf sigma<=0" (fun () ->
+      Erf.normal_pdf ~sigma:(-1.0) 1.0)
+
+let prop_cdf_monotone =
+  qcheck "normal_cdf is monotone"
+    QCheck.(pair (float_bound_exclusive 8.0) (float_bound_exclusive 8.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Erf.normal_cdf lo <= Erf.normal_cdf hi +. 1e-12)
+
+let suite =
+  ( "erf",
+    [ case "erf against reference table" test_erf_table;
+      case "erf is odd" test_erf_odd;
+      case "erfc complements erf" test_erfc_complement;
+      case "standard normal CDF values" test_normal_cdf_standard;
+      case "scaled normal CDF" test_normal_cdf_scaled;
+      case "normal PDF values and normalization" test_normal_pdf;
+      case "inverse CDF round trip" test_inverse_roundtrip;
+      case "inverse CDF known quantiles" test_inverse_known;
+      case "invalid arguments rejected" test_invalid_args;
+      prop_cdf_monotone ] )

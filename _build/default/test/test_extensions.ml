@@ -1,0 +1,284 @@
+(* Extension features: distribution shapes, wire-aware loading, timing
+   yield and path criticality. *)
+
+open Ssta_prob
+open Ssta_circuit
+open Ssta_timing
+open Ssta_core
+open Helpers
+
+(* ---------------- Shape ---------------- *)
+
+let test_shape_names () =
+  List.iter
+    (fun s ->
+      match Shape.of_name (Shape.name s) with
+      | Some s' -> check_true "roundtrip" (s = s')
+      | None -> Alcotest.failf "of_name failed for %s" (Shape.name s))
+    Shape.all;
+  check_true "unknown shape" (Shape.of_name "cauchy" = None)
+
+let test_shape_moments_matched () =
+  (* All shapes must deliver the requested mean and std. *)
+  List.iter
+    (fun shape ->
+      let p = Shape.pdf shape ~n:400 ~bound:6.0 ~mu:3.0 ~sigma:0.5 in
+      check_close ~tol:1e-6 (Shape.name shape ^ " mean") 3.0 (Pdf.mean p);
+      check_close ~tol:2e-2 (Shape.name shape ^ " std") 0.5 (Pdf.std p))
+    Shape.all
+
+let test_shape_sampling_matches_pdf () =
+  List.iter
+    (fun shape ->
+      let rng = Rng.create 99 in
+      let samples =
+        Array.init 30_000 (fun _ ->
+            Shape.sample shape rng ~bound:6.0 ~mu:(-1.0) ~sigma:2.0)
+      in
+      let s = Stats.summarize samples in
+      check_close_abs ~tol:0.05 (Shape.name shape ^ " sampled mean") (-1.0)
+        s.Stats.mean;
+      check_close_abs ~tol:0.05 (Shape.name shape ^ " sampled std") 2.0
+        s.Stats.std;
+      let p = Shape.pdf shape ~n:200 ~bound:6.0 ~mu:(-1.0) ~sigma:2.0 in
+      check_true
+        (Shape.name shape ^ " KS small")
+        (Stats.ks_against_pdf samples p < 0.03))
+    Shape.all
+
+let test_shape_invalid () =
+  check_raises_invalid "sigma<=0 pdf" (fun () ->
+      ignore (Shape.pdf Shape.Uniform ~n:10 ~bound:6.0 ~mu:0.0 ~sigma:0.0));
+  check_raises_invalid "sigma<=0 sample" (fun () ->
+      ignore
+        (Shape.sample Shape.Triangular (Rng.create 1) ~bound:6.0 ~mu:0.0
+           ~sigma:(-1.0)))
+
+(* ---------------- Inter shape in the flow ---------------- *)
+
+let test_inter_shape_changes_tails_not_mean () =
+  let circuit = small_random () in
+  let run shape =
+    let config = Config.with_inter_shape fast_config shape in
+    let m = Methodology.run ~config circuit in
+    m.Methodology.det_critical
+  in
+  let g = run Shape.Gaussian and u = run Shape.Uniform in
+  (* Same variance budget: mean and sigma stay close... *)
+  check_close ~tol:5e-3 "means agree across shapes" g.Path_analysis.mean
+    u.Path_analysis.mean;
+  check_close ~tol:8e-2 "sigmas agree across shapes" g.Path_analysis.std
+    u.Path_analysis.std;
+  (* ...but the uniform's bounded support cuts the extreme tail. *)
+  let q g = Pdf.quantile g.Path_analysis.total_pdf 0.9999 in
+  check_true "uniform inter has a shorter extreme tail" (q u < q g)
+
+let test_mc_agrees_for_uniform_shape () =
+  (* The Monte-Carlo sampler must follow the configured shape, so the
+     analytic/sampled agreement holds for non-Gaussian inputs too. *)
+  let circuit = small_random () in
+  let config = Config.with_inter_shape Config.default Shape.Uniform in
+  let sta = Sta.analyze circuit in
+  let pl = Placement.place circuit in
+  let ctx = Path_analysis.context config sta.Sta.graph pl in
+  let a = Path_analysis.analyze ctx sta.Sta.critical_path in
+  let sampler = Monte_carlo.sampler config sta.Sta.graph pl in
+  let v = Monte_carlo.validate_path ~n:6000 sampler (Rng.create 55) a in
+  check_true "mean within 0.5%"
+    (v.Monte_carlo.mean_err < 0.005 *. a.Path_analysis.mean);
+  check_true "KS < 0.06" (v.Monte_carlo.ks < 0.06)
+
+(* ---------------- Wire model ---------------- *)
+
+let test_net_length () =
+  check_close ~tol:1e-12 "unloaded net" 0.0
+    (Ssta_tech.Wire.net_length (3.0, 4.0) []);
+  check_close ~tol:1e-12 "single sink manhattan"
+    7.0
+    (Ssta_tech.Wire.net_length (0.0, 0.0) [ (3.0, 4.0) ]);
+  check_close ~tol:1e-12 "half perimeter of the bounding box" 20.0
+    (Ssta_tech.Wire.net_length (0.0, 0.0) [ (10.0, 10.0); (5.0, 2.0) ])
+
+let test_net_cap_monotone () =
+  let p = Ssta_tech.Wire.default in
+  let short = Ssta_tech.Wire.net_cap p (0.0, 0.0) [ (1.0, 0.0) ] in
+  let long_ = Ssta_tech.Wire.net_cap p (0.0, 0.0) [ (500.0, 0.0) ] in
+  check_true "longer nets have more capacitance" (long_ > short);
+  check_true "caps in femtofarad range" (short > 0.0 && long_ < 1e-12)
+
+let test_placed_graph_slower_on_long_nets () =
+  (* Spread placement => long nets => bigger loads => larger delays. *)
+  let c = small_random () in
+  let n = Netlist.num_nodes c in
+  let compact =
+    Placement.with_coords ~die_width:2000.0 ~die_height:2000.0
+      (Array.make n (10.0, 10.0))
+  in
+  let rng = Rng.create 31 in
+  let spread =
+    Placement.with_coords ~die_width:2000.0 ~die_height:2000.0
+      (Array.init n (fun _ ->
+           (Rng.uniform rng ~lo:0.0 ~hi:1900.0,
+            Rng.uniform rng ~lo:0.0 ~hi:1900.0)))
+  in
+  let delay pl =
+    (Sta.analyze_placed c pl).Sta.critical_delay
+  in
+  check_true "spread placement is slower" (delay spread > delay compact)
+
+let test_placed_graph_close_to_default_for_tight_placement () =
+  let c = tiny_chain () in
+  let pl = Placement.place ~pitch:5.0 c in
+  let placed = Sta.analyze_placed c pl in
+  let plain = Sta.analyze c in
+  (* tight pitch: wire caps are tiny, delays nearly identical *)
+  check_close ~tol:0.15 "within 15%" plain.Sta.critical_delay
+    placed.Sta.critical_delay
+
+(* ---------------- Yield ---------------- *)
+
+let test_yield_of_pdf () =
+  let p = Dist.truncated_gaussian ~n:200 ~mu:100.0 ~sigma:10.0 () in
+  check_close_abs ~tol:5e-3 "yield at the mean" 0.5 (Yield.of_pdf p ~clock:100.0);
+  check_true "generous clock" (Yield.of_pdf p ~clock:200.0 > 0.999);
+  check_true "impossible clock" (Yield.of_pdf p ~clock:0.0 < 1e-6)
+
+let test_clock_for_yield_inverts () =
+  let p = Dist.truncated_gaussian ~n:400 ~mu:100.0 ~sigma:10.0 () in
+  List.iter
+    (fun y ->
+      let clock = Yield.clock_for_yield p ~yield:y in
+      check_close_abs ~tol:5e-3 "roundtrip" y (Yield.of_pdf p ~clock))
+    [ 0.1; 0.5; 0.9; 0.99 ];
+  check_raises_invalid "bad yield" (fun () ->
+      ignore (Yield.clock_for_yield p ~yield:1.5))
+
+let test_yield_of_samples () =
+  let samples = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close ~tol:1e-12 "half below 2.5" 0.5
+    (Yield.of_samples samples ~clock:2.5);
+  check_raises_invalid "empty" (fun () ->
+      ignore (Yield.of_samples [||] ~clock:1.0))
+
+let test_yield_curve_monotone () =
+  let p = Dist.truncated_gaussian ~n:100 ~mu:10.0 ~sigma:1.0 () in
+  let curve = Yield.curve p ~lo:5.0 ~hi:15.0 ~points:21 in
+  check_int "points" 21 (List.length curve);
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        check_true "yield monotone in clock" (a <= b +. 1e-12);
+        monotone rest
+    | [ _ ] | [] -> ()
+  in
+  monotone curve
+
+let test_yield_bounds_from_methodology () =
+  let m = Methodology.run ~config:fast_config (small_random ()) in
+  let d = m.Methodology.det_critical in
+  let clock = d.Path_analysis.mean +. (2.0 *. d.Path_analysis.std) in
+  let optimistic = Yield.of_methodology m ~clock in
+  let pessimistic = Yield.pessimistic_of_methodology m ~clock in
+  check_true "bounds ordered" (pessimistic <= optimistic +. 1e-12);
+  check_true "plausible range" (optimistic > 0.8 && optimistic <= 1.0)
+
+let test_yield_vs_monte_carlo () =
+  let circuit = small_random () in
+  let m = Methodology.run ~config:Config.default circuit in
+  let sta = m.Methodology.sta in
+  let pl = Placement.place circuit in
+  let sampler = Monte_carlo.sampler Config.default sta.Sta.graph pl in
+  let samples =
+    Monte_carlo.circuit_delay_samples sampler ~n:1500 (Rng.create 41)
+  in
+  let d = m.Methodology.det_critical in
+  let clock = d.Path_analysis.mean +. (3.0 *. d.Path_analysis.std) in
+  let mc = Yield.of_samples samples ~clock in
+  let analytic = Yield.of_methodology m ~clock in
+  (* the prob-critical proxy is optimistic but should be within a few
+     points of the exact circuit yield at a 3-sigma clock *)
+  check_close_abs ~tol:0.05 "analytic vs MC yield" mc analytic
+
+(* ---------------- Criticality ---------------- *)
+
+let test_criticality_sums_to_one () =
+  let circuit = small_random () in
+  let sta = Sta.analyze circuit in
+  let pl = Placement.place circuit in
+  let sampler = Monte_carlo.sampler fast_config sta.Sta.graph pl in
+  let enum = Sta.near_critical sta ~slack:(0.05 *. sta.Sta.critical_delay) in
+  let c =
+    Criticality.estimate sampler ~n:300 (Rng.create 6) enum.Paths.paths
+  in
+  let total = Array.fold_left ( +. ) 0.0 c.Criticality.probabilities in
+  check_close ~tol:1e-12 "probabilities sum to 1" 1.0 total;
+  check_int "samples recorded" 300 c.Criticality.samples;
+  check_true "entropy non-negative" (c.Criticality.entropy >= 0.0)
+
+let test_criticality_dominant_path_is_plausible () =
+  (* With zero slack the enumerated set contains only nominally critical
+     paths; the dominant one should carry substantial probability. *)
+  let circuit = small_random () in
+  let sta = Sta.analyze circuit in
+  let pl = Placement.place circuit in
+  let sampler = Monte_carlo.sampler fast_config sta.Sta.graph pl in
+  let enum = Sta.near_critical sta ~slack:(0.15 *. sta.Sta.critical_delay) in
+  let c =
+    Criticality.estimate sampler ~n:400 (Rng.create 17) enum.Paths.paths
+  in
+  let dom = Criticality.dominant c in
+  check_true "dominant probability substantial"
+    (c.Criticality.probabilities.(dom) > 0.1)
+
+let test_criticality_single_path () =
+  let circuit = tiny_chain () in
+  let sta = Sta.analyze circuit in
+  let pl = Placement.place circuit in
+  let sampler = Monte_carlo.sampler fast_config sta.Sta.graph pl in
+  let c =
+    Criticality.estimate sampler ~n:50 (Rng.create 2)
+      [ sta.Sta.critical_path ]
+  in
+  check_close ~tol:1e-12 "sole path always critical" 1.0
+    c.Criticality.probabilities.(0);
+  check_close ~tol:1e-12 "entropy zero" 0.0 c.Criticality.entropy
+
+let test_criticality_invalid () =
+  let circuit = tiny_chain () in
+  let sta = Sta.analyze circuit in
+  let pl = Placement.place circuit in
+  let sampler = Monte_carlo.sampler fast_config sta.Sta.graph pl in
+  check_raises_invalid "no paths" (fun () ->
+      ignore (Criticality.estimate sampler ~n:10 (Rng.create 1) []));
+  check_raises_invalid "no samples" (fun () ->
+      ignore
+        (Criticality.estimate sampler ~n:0 (Rng.create 1)
+           [ sta.Sta.critical_path ]))
+
+let suite =
+  ( "extensions",
+    [ case "shape name roundtrip" test_shape_names;
+      case "shapes deliver matched moments" test_shape_moments_matched;
+      case "shape sampling matches shape pdf" test_shape_sampling_matches_pdf;
+      case "shape input validation" test_shape_invalid;
+      case "inter shape changes tails, not moments"
+        test_inter_shape_changes_tails_not_mean;
+      slow_case "MC agreement holds for uniform inputs"
+        test_mc_agrees_for_uniform_shape;
+      case "net length (half perimeter)" test_net_length;
+      case "net capacitance monotone in length" test_net_cap_monotone;
+      case "spread placement slows the circuit"
+        test_placed_graph_slower_on_long_nets;
+      case "tight placement ~ default loading"
+        test_placed_graph_close_to_default_for_tight_placement;
+      case "yield from a pdf" test_yield_of_pdf;
+      case "clock_for_yield inverts the yield" test_clock_for_yield_inverts;
+      case "empirical yield" test_yield_of_samples;
+      case "yield curve monotone" test_yield_curve_monotone;
+      case "optimistic/pessimistic yield bounds"
+        test_yield_bounds_from_methodology;
+      slow_case "analytic yield near Monte-Carlo" test_yield_vs_monte_carlo;
+      case "criticality probabilities sum to 1" test_criticality_sums_to_one;
+      case "dominant path carries weight"
+        test_criticality_dominant_path_is_plausible;
+      case "single-path criticality" test_criticality_single_path;
+      case "criticality input validation" test_criticality_invalid ] )

@@ -1,0 +1,500 @@
+(* Tests for the production-timer features layered on the paper's core:
+   hold (min-delay) analysis, required-time/slack, structural Verilog,
+   analytic path correlation, drive strengths and the sizing optimizer,
+   and the additional arithmetic generators. *)
+
+open Ssta_circuit
+open Ssta_timing
+open Ssta_correlation
+open Ssta_prob
+open Helpers
+
+(* ---------------- Shortest path / hold ---------------- *)
+
+let test_min_labels_chain () =
+  let g = Graph.of_netlist (tiny_chain ()) in
+  let min_labels = Shortest_path.labels g in
+  let max_labels = Longest_path.bellman_ford g in
+  (* a chain has a single path: min = max *)
+  Array.iteri
+    (fun i x -> check_close ~tol:1e-15 "chain: min = max" max_labels.(i) x)
+    min_labels
+
+let test_min_below_max () =
+  let g = Graph.of_netlist (small_random ()) in
+  let min_labels = Shortest_path.labels g in
+  let max_labels = Longest_path.bellman_ford g in
+  Array.iteri
+    (fun i x -> check_true "min <= max" (x <= max_labels.(i) +. 1e-18))
+    min_labels;
+  check_true "min delay below critical delay"
+    (Shortest_path.min_delay g min_labels
+    <= Longest_path.critical_delay g max_labels)
+
+let test_min_path_consistency () =
+  List.iter
+    (fun c ->
+      let g = Graph.of_netlist c in
+      let labels = Shortest_path.labels g in
+      let path = Shortest_path.min_path g labels in
+      check_true "valid path" (Paths.is_path g path);
+      check_close ~tol:1e-12 "path delay = min delay"
+        (Shortest_path.min_delay g labels)
+        (Paths.recompute_delay g path))
+    [ tiny_chain (); small_adder (); small_random () ]
+
+let test_near_min_enumeration () =
+  let g = Graph.of_netlist (small_adder ()) in
+  let labels = Shortest_path.labels g in
+  let fastest = Shortest_path.min_delay g labels in
+  let e = Shortest_path.enumerate_near_min g ~labels ~slack:(0.2 *. fastest) in
+  check_true "found at least the fastest path"
+    (List.length e.Paths.paths >= 1);
+  (* sorted ascending and all within slack *)
+  let rec walk last = function
+    | [] -> ()
+    | (p : Paths.path) :: rest ->
+        check_true "ascending" (p.Paths.delay >= last -. 1e-15);
+        check_true "within slack"
+          (p.Paths.delay <= fastest +. (0.2 *. fastest) +. 1e-12);
+        walk p.Paths.delay rest
+  in
+  walk 0.0 e.Paths.paths;
+  check_raises_invalid "negative slack" (fun () ->
+      ignore (Shortest_path.enumerate_near_min g ~labels ~slack:(-1.0)))
+
+let test_near_min_vs_near_max_disjoint_ends () =
+  (* For a circuit with unequal path lengths, the fastest path should be
+     shorter (in gates) than the critical one. *)
+  let g = Graph.of_netlist (small_random ()) in
+  let minl = Shortest_path.labels g in
+  let maxl = Longest_path.bellman_ford g in
+  let fast = Shortest_path.min_path g minl in
+  let slow = Longest_path.critical_path g maxl in
+  check_true "fastest path has fewer or equal gates"
+    (Array.length fast <= Array.length slow)
+
+(* ---------------- Slack ---------------- *)
+
+let test_slack_default_clock () =
+  let g = Graph.of_netlist (small_random ()) in
+  let s = Slack.compute g in
+  check_close ~tol:1e-15 "clock = critical delay"
+    (Longest_path.critical_delay g s.Slack.arrival)
+    s.Slack.clock;
+  check_close_abs ~tol:1e-18 "worst slack is zero at the default clock" 0.0
+    (Slack.worst s);
+  check_true "no violations" (Slack.violations s = [])
+
+let test_slack_tight_clock () =
+  let g = Graph.of_netlist (small_random ()) in
+  let labels = Longest_path.bellman_ford g in
+  let critical = Longest_path.critical_delay g labels in
+  let s = Slack.compute ~clock:(0.9 *. critical) g in
+  check_close ~tol:1e-9 "worst slack = clock - critical"
+    ((0.9 *. critical) -. critical)
+    (Slack.worst s);
+  check_true "violations exist" (Slack.violations s <> []);
+  let worst_node = Slack.worst_node s in
+  check_close ~tol:1e-9 "worst node carries the worst slack" (Slack.worst s)
+    s.Slack.slack.(worst_node)
+
+let test_slack_critical_nodes_cover_critical_path () =
+  let g = Graph.of_netlist (small_random ()) in
+  let labels = Longest_path.bellman_ford g in
+  let path = Longest_path.critical_path g labels in
+  let s = Slack.compute g in
+  let critical = Slack.critical_nodes s in
+  Array.iter
+    (fun id ->
+      check_true "critical-path node has zero slack" (List.mem id critical))
+    path
+
+let test_slack_generous_clock () =
+  let g = Graph.of_netlist (tiny_chain ()) in
+  let s = Slack.compute ~clock:1.0 g in
+  check_true "everything has huge slack" (Slack.worst s > 0.9)
+
+(* ---------------- Verilog ---------------- *)
+
+let verilog_sample =
+  {|// a comment
+module test (a, b, sel, y);
+  input a, b, sel;
+  output y;
+  wire na, ta, tb, nsel;
+  /* 2:1 mux */
+  not (nsel, sel);
+  and g1 (ta, a, nsel);
+  and g2 (tb, b, sel);
+  or  g3 (y, ta, tb);
+endmodule
+|}
+
+let test_verilog_parse () =
+  let c = Verilog.parse_string verilog_sample in
+  check_int "inputs" 3 c.Netlist.num_inputs;
+  check_int "gates" 4 (Netlist.num_gates c);
+  check_int "outputs" 1 (Array.length c.Netlist.outputs);
+  (* mux semantics *)
+  let out a b sel = (Netlist.output_values c [| a; b; sel |]).(0) in
+  check_true "sel=0 picks a" (out true false false);
+  check_true "sel=1 picks b" (not (out true false true));
+  check_true "sel=1 picks b (true)" (out false true true)
+
+let test_verilog_forward_refs_and_unnamed_instances () =
+  let text =
+    "module m (a, y);\n input a;\n output y;\n wire w;\n not (y, w);\n \
+     not (w, a);\nendmodule\n"
+  in
+  let c = Verilog.parse_string text in
+  check_int "two gates" 2 (Netlist.num_gates c);
+  check_true "double inversion" ((Netlist.output_values c [| true |]).(0))
+
+let test_verilog_errors () =
+  let expect text =
+    match Verilog.parse_string text with
+    | exception Verilog.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected Parse_error for %S" text
+  in
+  expect "module m (a); input a; endmodule";
+  (* no outputs -> builder failure is Invalid_argument; catch both *)
+  expect "module m (a, y);\ninput a;\noutput y;\nfrob g (y, a);\nendmodule\n";
+  expect "module m (a, y);\ninput a;\noutput y;\nnot (y, w);\nendmodule\n";
+  expect "module m (a, y);\ninput a;\noutput y;\nnot (y, y);\nendmodule\n";
+  expect "module m (a, y);\ninput a;\noutput y;\nnot (y, a;\nendmodule\n";
+  expect "module m (a, y);\ninput a;\noutput y;\nnot (y, a);\n"
+
+let test_verilog_roundtrip_suite () =
+  List.iter
+    (fun c ->
+      let c' = Verilog.parse_string (Verilog.to_string c) in
+      check_int "nodes" (Netlist.num_nodes c) (Netlist.num_nodes c');
+      let rng = Rng.create 5 in
+      for _ = 1 to 60 do
+        let inputs =
+          Array.init c.Netlist.num_inputs (fun _ -> Rng.float rng < 0.5)
+        in
+        check_true "logic preserved"
+          (Netlist.output_values c inputs = Netlist.output_values c' inputs)
+      done)
+    [ small_adder ();
+      Generators.ecc ~name:"e" ~data_bits:8 ~check_bits:4 ();
+      small_random () ]
+
+let test_verilog_and_bench_agree () =
+  let c = small_random () in
+  let via_verilog = Verilog.parse_string (Verilog.to_string c) in
+  let via_bench = Bench_format.parse_string (Bench_format.to_string c) in
+  let rng = Rng.create 9 in
+  for _ = 1 to 40 do
+    let inputs =
+      Array.init c.Netlist.num_inputs (fun _ -> Rng.float rng < 0.5)
+    in
+    check_true "both formats preserve the function"
+      (Netlist.output_values via_verilog inputs
+      = Netlist.output_values via_bench inputs)
+  done
+
+(* ---------------- Path correlation ---------------- *)
+
+let correlated_context () =
+  let c = small_random () in
+  let g = Graph.of_netlist c in
+  let pl = Placement.place c in
+  let layers = Layers.of_placement pl in
+  let labels = Longest_path.bellman_ford g in
+  let enum =
+    Paths.enumerate g ~labels
+      ~slack:(0.3 *. Longest_path.critical_delay g labels)
+  in
+  let coeffs =
+    List.map (fun p -> Path_coeffs.of_path g pl layers p) enum.Paths.paths
+  in
+  (g, pl, enum.Paths.paths, coeffs)
+
+let budget = Ssta_correlation.Budget.equal ~layers:5
+
+let test_self_correlation_is_one () =
+  let _, _, _, coeffs = correlated_context () in
+  List.iter
+    (fun pc ->
+      check_close ~tol:1e-12 "corr(p, p) = 1" 1.0
+        (Path_correlation.correlation budget pc pc))
+    coeffs
+
+let test_correlation_bounds_and_symmetry () =
+  let _, _, _, coeffs = correlated_context () in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if j > i then begin
+            let r = Path_correlation.correlation budget a b in
+            check_true "within [-1, 1]" (r >= -1.0 -. 1e-12 && r <= 1.0 +. 1e-12);
+            check_close ~tol:1e-12 "symmetric"
+              (Path_correlation.covariance budget a b)
+              (Path_correlation.covariance budget b a)
+          end)
+        coeffs)
+    coeffs
+
+let test_all_paths_positively_correlated () =
+  (* every pair shares the inter-die RVs, so correlations are strictly
+     positive *)
+  let _, _, _, coeffs = correlated_context () in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if j > i then
+            check_true "positive correlation"
+              (Path_correlation.correlation budget a b > 0.0))
+        coeffs)
+    coeffs
+
+let test_correlation_matches_monte_carlo () =
+  let g, pl, paths, coeffs = correlated_context () in
+  match paths, coeffs with
+  | pa :: pb :: _, ca :: cb :: _ ->
+      let analytic = Path_correlation.correlation budget ca cb in
+      let sampler =
+        Ssta_core.Monte_carlo.sampler Ssta_core.Config.default g pl
+      in
+      let rng = Rng.create 77 in
+      let n = 3000 in
+      let da = Array.make n 0.0 and db = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        let delays = Ssta_core.Monte_carlo.sample_gate_delays sampler rng in
+        let sum (p : Paths.path) =
+          Array.fold_left (fun acc id -> acc +. delays.(id)) 0.0 p.Paths.nodes
+        in
+        da.(i) <- sum pa;
+        db.(i) <- sum pb
+      done;
+      let sampled = Stats.correlation da db in
+      check_close_abs ~tol:0.08 "analytic vs sampled correlation" sampled
+        analytic
+  | _ -> Alcotest.fail "need at least two near-critical paths"
+
+let test_shared_keys () =
+  let _, _, _, coeffs = correlated_context () in
+  match coeffs with
+  | a :: _ ->
+      check_int "a path shares all its keys with itself"
+        (Hashtbl.length a.Path_coeffs.coeffs)
+        (Path_correlation.shared_keys a a)
+  | [] -> Alcotest.fail "no paths"
+
+let test_linearized_variance_close_to_pdf_variance () =
+  let c = small_random () in
+  let g = Graph.of_netlist c in
+  let pl = Placement.place c in
+  let layers = Layers.of_placement pl in
+  let labels = Longest_path.bellman_ford g in
+  let nodes = Longest_path.critical_path g labels in
+  let path = { Paths.nodes; delay = Paths.recompute_delay g nodes } in
+  let pc = Path_coeffs.of_path g pl layers path in
+  let ctx = Ssta_core.Path_analysis.context Ssta_core.Config.default g pl in
+  let a = Ssta_core.Path_analysis.analyze ctx path in
+  let linearized = sqrt (Path_correlation.variance budget pc) in
+  check_close ~tol:0.05 "linearized sigma ~ numeric sigma" a.Ssta_core.Path_analysis.std
+    linearized
+
+(* ---------------- Drives and sizing ---------------- *)
+
+let test_with_drives_uniform_matches_default () =
+  let c = small_random () in
+  let n = Netlist.num_nodes c in
+  let g1 = Graph.of_netlist c in
+  let g2 = Graph.with_drives c (Array.make n 1.0) in
+  (* same drive, but with_drives computes exact consumer loads instead of
+     fanout * default cap; delays agree within the PO-pin modelling *)
+  let l1 = Longest_path.bellman_ford g1 in
+  let l2 = Longest_path.bellman_ford g2 in
+  check_close ~tol:0.08 "critical delays close"
+    (Longest_path.critical_delay g1 l1)
+    (Longest_path.critical_delay g2 l2)
+
+let test_with_drives_speedup () =
+  let c = tiny_chain () in
+  let n = Netlist.num_nodes c in
+  let base = Graph.with_drives c (Array.make n 1.0) in
+  let fast = Graph.with_drives c (Array.make n 3.0) in
+  let d g = Longest_path.critical_delay g (Longest_path.bellman_ford g) in
+  check_true "upsizing everything speeds up the chain" (d fast < d base)
+
+let test_with_drives_loading_effect () =
+  (* Upsizing ONLY a consumer slows its driver. *)
+  let c = tiny_chain () in
+  let n = Netlist.num_nodes c in
+  let drives = Array.make n 1.0 in
+  drives.(3) <- 4.0;
+  let g = Graph.with_drives c drives in
+  let base = Graph.with_drives c (Array.make n 1.0) in
+  check_true "driver of the upsized gate got slower"
+    (g.Graph.delay.(2) > base.Graph.delay.(2));
+  check_true "the upsized gate itself got faster"
+    (g.Graph.delay.(3) < base.Graph.delay.(3))
+
+let test_with_drives_validation () =
+  let c = tiny_chain () in
+  check_raises_invalid "wrong length" (fun () ->
+      ignore (Graph.with_drives c [| 1.0 |]));
+  let n = Netlist.num_nodes c in
+  let drives = Array.make n 1.0 in
+  drives.(n - 1) <- 0.0;
+  check_raises_invalid "non-positive drive" (fun () ->
+      ignore (Graph.with_drives c drives))
+
+let test_sizing_meets_target () =
+  let c = small_random () in
+  let config = fast_config in
+  let m = Ssta_core.Methodology.run ~config c in
+  let before =
+    m.Ssta_core.Methodology.det_critical.Ssta_core.Path_analysis
+    .confidence_point
+  in
+  let target = 0.9 *. before in
+  let r = Ssta_core.Sizing.optimize ~config ~target c in
+  check_true "target met" r.Ssta_core.Sizing.met;
+  check_true "3-sigma improved"
+    (r.Ssta_core.Sizing.final_sigma3 <= target +. 1e-15);
+  check_true "area grew"
+    (r.Ssta_core.Sizing.area > r.Ssta_core.Sizing.initial_area);
+  check_true "history recorded"
+    (List.length r.Ssta_core.Sizing.history = r.Ssta_core.Sizing.iterations)
+
+let test_sizing_gives_up_gracefully () =
+  let c = tiny_chain () in
+  (* an impossible target: drives cap out, met = false *)
+  let r =
+    Ssta_core.Sizing.optimize ~config:fast_config ~max_iterations:12
+      ~target:1e-15 c
+  in
+  check_true "not met" (not r.Ssta_core.Sizing.met);
+  check_true "still improved"
+    (r.Ssta_core.Sizing.final_sigma3 < r.Ssta_core.Sizing.initial_sigma3)
+
+let test_sizing_validation () =
+  let c = tiny_chain () in
+  check_raises_invalid "bad target" (fun () ->
+      ignore (Ssta_core.Sizing.optimize ~target:0.0 c));
+  check_raises_invalid "bad step" (fun () ->
+      ignore (Ssta_core.Sizing.optimize ~step_factor:1.0 ~target:1.0 c))
+
+(* ---------------- New generators ---------------- *)
+
+let test_decoder () =
+  let c = Generators.decoder ~name:"dec3" ~bits:3 () in
+  check_int "8 outputs" 8 (Array.length c.Netlist.outputs);
+  for word = 0 to 7 do
+    let inputs = Array.init 3 (fun i -> (word lsr i) land 1 = 1) in
+    let out = Netlist.output_values c inputs in
+    Array.iteri
+      (fun i v -> check_true "one-hot" (v = (i = word)))
+      out
+  done;
+  check_raises_invalid "bits too big" (fun () ->
+      ignore (Generators.decoder ~name:"d" ~bits:7 ()))
+
+let test_mux_tree () =
+  let c = Generators.mux_tree ~name:"mux4" ~select_bits:2 () in
+  check_int "6 inputs" 6 c.Netlist.num_inputs;
+  for sel = 0 to 3 do
+    for data = 0 to 15 do
+      let inputs =
+        Array.append
+          (Array.init 4 (fun i -> (data lsr i) land 1 = 1))
+          (Array.init 2 (fun i -> (sel lsr i) land 1 = 1))
+      in
+      let expected = (data lsr sel) land 1 = 1 in
+      check_true "mux selects the right input"
+        ((Netlist.output_values c inputs).(0) = expected)
+    done
+  done
+
+let test_parity_chain () =
+  let c = Generators.parity_chain ~name:"par5" ~width:5 () in
+  check_int "deep as its width" 4 (Netlist.depth c);
+  for v = 0 to 31 do
+    let inputs = Array.init 5 (fun i -> (v lsr i) land 1 = 1) in
+    let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 inputs in
+    check_true "parity"
+      ((Netlist.output_values c inputs).(0) = (ones mod 2 = 1))
+  done
+
+let test_comparator () =
+  let c = Generators.comparator ~name:"cmp3" ~bits:3 () in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let inputs =
+        Array.append
+          (Array.init 3 (fun i -> (a lsr i) land 1 = 1))
+          (Array.init 3 (fun i -> (b lsr i) land 1 = 1))
+      in
+      check_true "equality" ((Netlist.output_values c inputs).(0) = (a = b))
+    done
+  done
+
+(* ---------------- Path report ---------------- *)
+
+let test_path_report_renders () =
+  let c = small_random () in
+  let sta = Sta.analyze c in
+  let pl = Placement.place c in
+  let ctx = Ssta_core.Path_analysis.context fast_config sta.Sta.graph pl in
+  let a = Ssta_core.Path_analysis.analyze ctx sta.Sta.critical_path in
+  let text =
+    Format.asprintf "%a" (fun fmt () ->
+        Ssta_core.Report.pp_path_report fmt sta.Sta.graph a) ()
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  check_true "mentions the statistical summary"
+    (String.length text > 100 && contains text "statistical");
+  check_true "mentions the corner" (contains text "worst-case corner")
+
+let suite =
+  ( "features",
+    [ case "min labels on a chain" test_min_labels_chain;
+      case "min labels below max labels" test_min_below_max;
+      case "min path consistency" test_min_path_consistency;
+      case "near-min enumeration" test_near_min_enumeration;
+      case "fastest vs slowest path" test_near_min_vs_near_max_disjoint_ends;
+      case "slack at the default clock" test_slack_default_clock;
+      case "slack under a tight clock" test_slack_tight_clock;
+      case "critical nodes cover the critical path"
+        test_slack_critical_nodes_cover_critical_path;
+      case "slack under a generous clock" test_slack_generous_clock;
+      case "verilog parse + mux semantics" test_verilog_parse;
+      case "verilog forward refs" test_verilog_forward_refs_and_unnamed_instances;
+      case "verilog parse errors" test_verilog_errors;
+      case "verilog roundtrip preserves logic" test_verilog_roundtrip_suite;
+      case "verilog and bench agree" test_verilog_and_bench_agree;
+      case "self correlation is 1" test_self_correlation_is_one;
+      case "correlation bounds and symmetry"
+        test_correlation_bounds_and_symmetry;
+      case "all paths positively correlated"
+        test_all_paths_positively_correlated;
+      slow_case "analytic correlation matches Monte-Carlo"
+        test_correlation_matches_monte_carlo;
+      case "shared key counting" test_shared_keys;
+      case "linearized variance ~ numeric variance"
+        test_linearized_variance_close_to_pdf_variance;
+      case "uniform drives ~ default graph" test_with_drives_uniform_matches_default;
+      case "global upsizing speeds up" test_with_drives_speedup;
+      case "upsizing a consumer loads its driver"
+        test_with_drives_loading_effect;
+      case "with_drives validation" test_with_drives_validation;
+      case "sizing meets a feasible target" test_sizing_meets_target;
+      case "sizing gives up gracefully" test_sizing_gives_up_gracefully;
+      case "sizing validation" test_sizing_validation;
+      case "decoder one-hot" test_decoder;
+      case "mux tree selects" test_mux_tree;
+      case "parity chain" test_parity_chain;
+      case "comparator equality" test_comparator;
+      case "path report renders" test_path_report_renders ] )

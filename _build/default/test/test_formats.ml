@@ -1,0 +1,246 @@
+open Ssta_circuit
+open Helpers
+
+(* ---------------- .bench ---------------- *)
+
+let sample_bench =
+  {|# small test circuit
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G10)
+OUTPUT(G11)
+G8 = NAND(G1, G2)
+G9 = NOT(G3)
+G10 = NOR(G8, G9)
+G11 = XOR(G8, G3)
+|}
+
+let test_parse_basic () =
+  let c = Bench_format.parse_string ~name:"t" sample_bench in
+  check_int "inputs" 3 c.Netlist.num_inputs;
+  check_int "gates" 4 (Netlist.num_gates c);
+  check_int "outputs" 2 (Array.length c.Netlist.outputs)
+
+let test_parse_forward_reference () =
+  (* G5 referenced before its definition. *)
+  let text = "INPUT(A)\nOUTPUT(Y)\nY = NOT(G5)\nG5 = NOT(A)\n" in
+  let c = Bench_format.parse_string text in
+  check_int "two gates" 2 (Netlist.num_gates c);
+  (* logic: Y = NOT(NOT(A)) = A *)
+  check_true "semantics" ((Netlist.output_values c [| true |]).(0) = true)
+
+let test_parse_comments_and_blanks () =
+  let text = "\n# header\nINPUT(A)  # trailing comment\n\nOUTPUT(B)\nB = BUF(A)\n" in
+  let c = Bench_format.parse_string text in
+  check_int "one gate" 1 (Netlist.num_gates c)
+
+let test_parse_errors () =
+  let expect_error text =
+    match Bench_format.parse_string text with
+    | exception Bench_format.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected Parse_error for %S" text
+  in
+  expect_error "INPUT(A)\nOUTPUT(B)\nB = FROB(A)\n";
+  expect_error "INPUT(A)\nOUTPUT(B)\nB = NOT(C)\n";
+  (* undefined *)
+  expect_error "INPUT(A)\nOUTPUT(B)\nB = NOT(B)\n";
+  (* self-cycle *)
+  expect_error "INPUT(A)\nOUTPUT(B)\nB = NOT(A\n";
+  (* unbalanced *)
+  expect_error "INPUT(A)\nOUTPUT(B)\nB = NOT(A)\nB = NOT(A)\n";
+  (* double definition *)
+  expect_error "INPUT(A)\nWIBBLE(A)\nOUTPUT(A)\nX = NOT(A)\n"
+
+let test_roundtrip_preserves_structure () =
+  let c = small_adder () in
+  let c' = Bench_format.parse_string ~name:"rca4" (Bench_format.to_string c) in
+  check_int "node count" (Netlist.num_nodes c) (Netlist.num_nodes c');
+  check_int "output count"
+    (Array.length c.Netlist.outputs)
+    (Array.length c'.Netlist.outputs);
+  (* logic equivalence on a few vectors *)
+  let rng = Ssta_prob.Rng.create 4 in
+  for _ = 1 to 50 do
+    let inputs =
+      Array.init c.Netlist.num_inputs (fun _ -> Ssta_prob.Rng.float rng < 0.5)
+    in
+    check_true "same outputs"
+      (Netlist.output_values c inputs = Netlist.output_values c' inputs)
+  done
+
+let test_file_roundtrip () =
+  let c = tiny_chain () in
+  let path = Filename.temp_file "ssta" ".bench" in
+  Bench_format.write_file path c;
+  let c' = Bench_format.parse_file path in
+  Sys.remove path;
+  check_int "nodes preserved" (Netlist.num_nodes c) (Netlist.num_nodes c')
+
+let prop_roundtrip_random_circuits =
+  qcheck ~count:20 ".bench roundtrip on random circuits"
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let c =
+        Generators.random_layered ~name:"r" ~inputs:5 ~outputs:3 ~gates:30
+          ~depth:5 ~seed ()
+      in
+      let c' = Bench_format.parse_string ~name:"r" (Bench_format.to_string c) in
+      Netlist.num_nodes c = Netlist.num_nodes c'
+      && Array.length c.Netlist.outputs = Array.length c'.Netlist.outputs)
+
+(* ---------------- DEF ---------------- *)
+
+let test_def_roundtrip () =
+  let c = small_adder () in
+  let pl = Placement.place c in
+  let def = Def_format.of_placement ~design:"rca4" c pl in
+  let def' = Def_format.parse_string (Def_format.to_string def) in
+  check_true "design name" (String.equal def'.Def_format.design "rca4");
+  check_int "component count"
+    (List.length def.Def_format.components)
+    (List.length def'.Def_format.components);
+  check_close ~tol:1e-9 "die width" def.Def_format.die_width
+    def'.Def_format.die_width;
+  let pl' = Def_format.placement_of def' c in
+  (* every gate's coordinates survive the round trip *)
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let x, y = Placement.coord pl g.Netlist.id in
+      let x', y' = Placement.coord pl' g.Netlist.id in
+      check_close_abs ~tol:1e-2 "x" x x';
+      check_close_abs ~tol:1e-2 "y" y y')
+    c.Netlist.gates
+
+let test_def_parse_error () =
+  (match Def_format.parse_string "COMPONENTS 1 ;\nEND COMPONENTS\n" with
+  | exception Def_format.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error on missing DESIGN")
+
+let test_def_component_without_placed () =
+  let text = "DESIGN x ;\nCOMPONENTS 1 ;\n- g1 INV ;\nEND COMPONENTS\n" in
+  match Def_format.parse_string text with
+  | exception Def_format.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error on unplaced component"
+
+let test_def_mismatch_rejected () =
+  let c = small_adder () in
+  let other = tiny_chain () in
+  let def =
+    Def_format.of_placement ~design:"rca4" c (Placement.place c)
+  in
+  check_raises_invalid "wrong netlist for DEF" (fun () ->
+      ignore (Def_format.placement_of def other))
+
+let test_def_units () =
+  let c = tiny_chain () in
+  let pl = Placement.place c in
+  let def = Def_format.of_placement ~design:"t" c pl in
+  check_int "microns convention" 1000 def.Def_format.units_per_micron
+
+(* ---------------- Placement ---------------- *)
+
+let test_place_levelized () =
+  let c = tiny_chain () in
+  let pl = Placement.place c in
+  check_int "coords for every node" (Netlist.num_nodes c)
+    (Array.length pl.Placement.coords);
+  (* chain: each gate one level deeper -> strictly increasing x *)
+  let x_of id = fst (Placement.coord pl id) in
+  check_true "x grows along the chain" (x_of 1 < x_of 2 && x_of 2 < x_of 3)
+
+let test_place_strategies_cover_die () =
+  let c = small_random () in
+  List.iter
+    (fun strategy ->
+      let pl = Placement.place ~strategy c in
+      Array.iter
+        (fun (x, y) ->
+          check_true "inside die"
+            (x >= 0.0 && y >= 0.0 && x <= pl.Placement.die_width
+            && y <= pl.Placement.die_height))
+        pl.Placement.coords)
+    [ Placement.Levelized; Placement.Row_major; Placement.Scattered 5 ]
+
+let test_place_invalid_pitch () =
+  check_raises_invalid "pitch<=0" (fun () ->
+      ignore (Placement.place ~pitch:0.0 (tiny_chain ())))
+
+let test_with_coords_validation () =
+  check_raises_invalid "outside die" (fun () ->
+      ignore
+        (Placement.with_coords ~die_width:10.0 ~die_height:10.0
+           [| (5.0, 20.0) |]))
+
+(* ---------------- SPEF ---------------- *)
+
+let test_spef_roundtrip () =
+  let c = small_adder () in
+  let pl = Placement.place c in
+  let spef = Spef.of_placement ~design:"rca4" c pl in
+  let spef' = Spef.parse_string (Spef.to_string spef) in
+  check_true "design preserved" (String.equal spef'.Spef.design "rca4");
+  check_int "one record per gate" (Netlist.num_gates c)
+    (List.length spef'.Spef.caps);
+  List.iter2
+    (fun (n, cap) (n', cap') ->
+      check_true "net name" (String.equal n n');
+      check_close_abs ~tol:1e-18 "capacitance" cap cap')
+    spef.Spef.caps spef'.Spef.caps
+
+let test_spef_apply_and_graph () =
+  let c = small_adder () in
+  let pl = Placement.place c in
+  let spef = Spef.of_placement ~design:"rca4" c pl in
+  let caps = Spef.apply spef c in
+  check_int "cap per node" (Netlist.num_nodes c) (Array.length caps);
+  (* SPEF-annotated timing equals the placement-aware construction *)
+  let g_spef = Ssta_timing.Graph.with_wire_caps c caps in
+  let g_placed = Ssta_timing.Graph.of_placed c pl in
+  Array.iteri
+    (fun id d ->
+      check_close ~tol:1e-9 "delays agree" g_placed.Ssta_timing.Graph.delay.(id) d)
+    g_spef.Ssta_timing.Graph.delay
+
+let test_spef_errors () =
+  (match Spef.parse_string "*D_NET n1 0.5\n" with
+  | exception Spef.Parse_error _ -> ()
+  | _ -> Alcotest.fail "missing *DESIGN accepted");
+  (match Spef.parse_string "*DESIGN x\n*D_NET n1 frog\n" with
+  | exception Spef.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bad value accepted");
+  (match Spef.parse_string "*DESIGN x\n*D_NET n1 -0.5\n" with
+  | exception Spef.Parse_error _ -> ()
+  | _ -> Alcotest.fail "negative cap accepted")
+
+let test_spef_mismatch () =
+  let c = small_adder () in
+  let other = tiny_chain () in
+  let spef =
+    Spef.of_placement ~design:"rca4" c (Placement.place c)
+  in
+  check_raises_invalid "wrong netlist" (fun () ->
+      ignore (Spef.apply spef other))
+
+let suite =
+  ( "formats",
+    [ case "bench parse basic" test_parse_basic;
+      case "bench forward references" test_parse_forward_reference;
+      case "bench comments and blanks" test_parse_comments_and_blanks;
+      case "bench parse errors" test_parse_errors;
+      case "bench roundtrip preserves logic" test_roundtrip_preserves_structure;
+      case "bench file roundtrip" test_file_roundtrip;
+      prop_roundtrip_random_circuits;
+      case "def roundtrip preserves coordinates" test_def_roundtrip;
+      case "def requires DESIGN" test_def_parse_error;
+      case "def requires PLACED" test_def_component_without_placed;
+      case "def/netlist mismatch rejected" test_def_mismatch_rejected;
+      case "def units convention" test_def_units;
+      case "levelized placement" test_place_levelized;
+      case "all strategies stay on the die" test_place_strategies_cover_die;
+      case "placement rejects bad pitch" test_place_invalid_pitch;
+      case "with_coords validates" test_with_coords_validation;
+      case "spef roundtrip" test_spef_roundtrip;
+      case "spef apply = placement-aware graph" test_spef_apply_and_graph;
+      case "spef parse errors" test_spef_errors;
+      case "spef/netlist mismatch rejected" test_spef_mismatch ] )

@@ -1,0 +1,199 @@
+open Ssta_circuit
+open Helpers
+
+let to_bits v n = Array.init n (fun i -> (v lsr i) land 1 = 1)
+
+let of_bits a =
+  Array.to_list a
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+let test_chain () =
+  let c = Generators.chain ~name:"c" ~length:7 () in
+  check_int "gates" 7 (Netlist.num_gates c);
+  check_int "depth" 7 (Netlist.depth c);
+  (* 7 inverters: odd chain inverts *)
+  check_true "odd inversion"
+    ((Netlist.output_values c [| true |]).(0) = false);
+  check_raises_invalid "zero length" (fun () ->
+      ignore (Generators.chain ~name:"c" ~length:0 ()));
+  check_raises_invalid "multi-input kind" (fun () ->
+      ignore (Generators.chain ~kind:(Ssta_tech.Gate.Nand 2) ~name:"c"
+                ~length:3 ()))
+
+let test_and_or_tree () =
+  let c = Generators.and_or_tree ~name:"t" ~width:16 () in
+  check_int "one output" 1 (Array.length c.Netlist.outputs);
+  check_true "logarithmic depth" (Netlist.depth c <= 5);
+  check_raises_invalid "width too small" (fun () ->
+      ignore (Generators.and_or_tree ~name:"t" ~width:1 ()))
+
+let test_ripple_carry_adder_exhaustive () =
+  let bits = 4 in
+  let c = Generators.ripple_carry_adder ~name:"rca" ~bits () in
+  check_int "io" (2 * bits + 1) c.Netlist.num_inputs;
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      for cin = 0 to 1 do
+        let inputs =
+          Array.concat [ to_bits a bits; to_bits b bits; [| cin = 1 |] ]
+        in
+        let sum = of_bits (Netlist.output_values c inputs) in
+        if sum <> a + b + cin then
+          Alcotest.failf "rca: %d+%d+%d = %d, got %d" a b cin (a + b + cin)
+            sum
+      done
+    done
+  done
+
+let test_array_multiplier_exhaustive () =
+  let bits = 4 in
+  let c = Generators.array_multiplier ~name:"mul" ~bits () in
+  check_int "inputs" (2 * bits) c.Netlist.num_inputs;
+  check_int "product bits" (2 * bits) (Array.length c.Netlist.outputs);
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let inputs = Array.append (to_bits a bits) (to_bits b bits) in
+      let p = of_bits (Netlist.output_values c inputs) in
+      if p <> a * b then Alcotest.failf "mul: %d*%d = %d, got %d" a b (a * b) p
+    done
+  done
+
+let test_array_multiplier_structure () =
+  let c = Generators.array_multiplier ~name:"m16" ~bits:16 () in
+  (* c6288 character: ~2400 gates, very deep, NAND-dominated. *)
+  check_true "gate count near c6288"
+    (Netlist.num_gates c > 2200 && Netlist.num_gates c < 2600);
+  check_true "deep" (Netlist.depth c > 100);
+  let nands =
+    List.fold_left
+      (fun acc (kind, n) ->
+        match kind with Ssta_tech.Gate.Nand 2 -> acc + n | _ -> acc)
+      0
+      (Netlist.gate_kind_histogram c)
+  in
+  check_true "NAND-dominated" (nands * 10 > Netlist.num_gates c * 8)
+
+let test_ecc_structure () =
+  let c = Generators.ecc ~name:"e" ~data_bits:32 ~check_bits:8 () in
+  check_int "inputs" 40 c.Netlist.num_inputs;
+  check_int "outputs" 32 (Array.length c.Netlist.outputs);
+  check_true "c499-scale" (Netlist.num_gates c > 120 && Netlist.num_gates c < 260);
+  check_true "shallow and bushy" (Netlist.depth c <= 10)
+
+let test_ecc_corrects_nothing_when_clean () =
+  (* With matching check bits (syndrome 0) every data bit passes through. *)
+  let c = Generators.ecc ~name:"e" ~data_bits:8 ~check_bits:4 () in
+  let member i j = (i * ((2 * j) + 3)) mod 8 < 3 || i mod 4 = j in
+  let rng = Ssta_prob.Rng.create 10 in
+  for _ = 1 to 100 do
+    let data = Array.init 8 (fun _ -> Ssta_prob.Rng.float rng < 0.5) in
+    let parity j =
+      Array.to_list data
+      |> List.filteri (fun i _ -> member i j)
+      |> List.fold_left (fun acc b -> acc <> b) false
+    in
+    let checks = Array.init 4 parity in
+    let out = Netlist.output_values c (Array.append data checks) in
+    check_true "clean word passes through" (out = data)
+  done
+
+let test_expand_xor_equivalence () =
+  let c = Generators.ecc ~name:"e" ~data_bits:12 ~check_bits:4 () in
+  let ex = Generators.expand_xor c in
+  check_true "no xor gates remain"
+    (List.for_all
+       (fun (kind, _) ->
+         match kind with
+         | Ssta_tech.Gate.Xor2 | Ssta_tech.Gate.Xnor2 -> false
+         | _ -> true)
+       (Netlist.gate_kind_histogram ex));
+  let rng = Ssta_prob.Rng.create 3 in
+  for _ = 1 to 200 do
+    let inputs =
+      Array.init c.Netlist.num_inputs (fun _ -> Ssta_prob.Rng.float rng < 0.5)
+    in
+    check_true "logic preserved"
+      (Netlist.output_values c inputs = Netlist.output_values ex inputs)
+  done
+
+let test_expand_xor_handles_xnor () =
+  let b = Netlist.Builder.create "x" in
+  let a = Netlist.Builder.add_input b "a" in
+  let c = Netlist.Builder.add_input b "b" in
+  let g = Netlist.Builder.add_gate b Ssta_tech.Gate.Xnor2 [ a; c ] in
+  Netlist.Builder.mark_output b g;
+  let circuit = Netlist.Builder.finish b in
+  let ex = Generators.expand_xor circuit in
+  List.iter
+    (fun (x, y) ->
+      check_true "xnor truth preserved"
+        ((Netlist.output_values circuit [| x; y |])
+        = Netlist.output_values ex [| x; y |]))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_random_layered_determinism () =
+  let mk () =
+    Generators.random_layered ~name:"r" ~inputs:10 ~outputs:5 ~gates:80
+      ~depth:10 ~seed:7 ()
+  in
+  let a = mk () and b = mk () in
+  check_true "same seed, same netlist"
+    (Bench_format.to_string a = Bench_format.to_string b);
+  let c =
+    Generators.random_layered ~name:"r" ~inputs:10 ~outputs:5 ~gates:80
+      ~depth:10 ~seed:8 ()
+  in
+  check_true "different seed differs"
+    (Bench_format.to_string a <> Bench_format.to_string c)
+
+let test_random_layered_shape () =
+  let c =
+    Generators.random_layered ~name:"r" ~inputs:12 ~outputs:6 ~gates:100
+      ~depth:12 ~seed:5 ()
+  in
+  check_int "gates as requested" 100 (Netlist.num_gates c);
+  check_int "inputs as requested" 12 c.Netlist.num_inputs;
+  check_int "depth equals requested" 12 (Netlist.depth c);
+  (* every gate reaches a primary output: no dangling sinks *)
+  let counts = Netlist.fanout_counts c in
+  Array.iteri
+    (fun id n ->
+      if not (Netlist.is_input c id) then
+        check_true "no dangling gate" (n > 0))
+    counts
+
+let test_random_layered_invalid () =
+  check_raises_invalid "gates < depth" (fun () ->
+      ignore
+        (Generators.random_layered ~name:"r" ~inputs:4 ~outputs:2 ~gates:3
+           ~depth:5 ~seed:1 ()))
+
+let prop_random_layered_depth =
+  qcheck ~count:20 "requested depth is realized"
+    QCheck.(pair (int_range 2 15) (int_range 1 1000))
+    (fun (depth, seed) ->
+      let c =
+        Generators.random_layered ~name:"p" ~inputs:6 ~outputs:3
+          ~gates:(depth * 8) ~depth ~seed ()
+      in
+      Netlist.depth c = depth)
+
+let suite =
+  ( "generators",
+    [ case "chain" test_chain;
+      case "and/or tree" test_and_or_tree;
+      case "ripple-carry adder exhaustive" test_ripple_carry_adder_exhaustive;
+      case "array multiplier exhaustive (4 bits)"
+        test_array_multiplier_exhaustive;
+      case "array multiplier has c6288 structure"
+        test_array_multiplier_structure;
+      case "ecc structure matches c499" test_ecc_structure;
+      case "ecc passes clean words" test_ecc_corrects_nothing_when_clean;
+      case "expand_xor preserves logic" test_expand_xor_equivalence;
+      case "expand_xor handles XNOR" test_expand_xor_handles_xnor;
+      case "random circuits deterministic in seed"
+        test_random_layered_determinism;
+      case "random circuit shape" test_random_layered_shape;
+      case "random generator input validation" test_random_layered_invalid;
+      prop_random_layered_depth ] )

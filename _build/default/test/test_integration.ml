@@ -1,0 +1,145 @@
+(* Cross-module integration tests: the paper's headline claims, end to
+   end, on the substituted benchmark circuits (reduced PDF quality for
+   speed; the bench harness runs the full-quality versions). *)
+
+open Ssta_circuit
+open Ssta_core
+open Helpers
+
+let run ?(confidence = 0.05) ?(max_paths = 500) name =
+  let spec =
+    match Iscas85.by_name name with
+    | Some s -> s
+    | None -> Alcotest.failf "missing benchmark %s" name
+  in
+  let circuit, placement = Iscas85.build_placed spec in
+  let config = Config.with_confidence fast_config confidence in
+  let config = { config with Config.max_paths } in
+  (spec, Methodology.run ~config ~placement circuit)
+
+let test_c432_overestimation () =
+  (* Headline: worst-case analysis overestimates the 3-sigma point by
+     tens of percent (paper: 48-62% across the suite). *)
+  let _, m = run "c432" in
+  let over = Methodology.overestimation_pct m in
+  check_true
+    (Printf.sprintf "overestimation %.1f%% in [30, 90]" over)
+    (over > 30.0 && over < 90.0)
+
+let test_c432_mean_shift () =
+  (* "The expected value of the delay is not the delay of the expected
+     values" — a small positive shift. *)
+  let _, m = run "c432" in
+  let d = m.Methodology.det_critical in
+  let shift = d.Path_analysis.mean -. d.Path_analysis.det_delay in
+  check_true "positive" (shift > 0.0);
+  check_true "small" (shift < 0.005 *. d.Path_analysis.det_delay)
+
+let test_c432_sigma_fraction () =
+  (* Path sigma is 5-15% of the mean in the paper's Table 2. *)
+  let _, m = run "c432" in
+  let d = m.Methodology.det_critical in
+  let frac = d.Path_analysis.std /. d.Path_analysis.mean in
+  check_true
+    (Printf.sprintf "sigma/mean = %.3f in [0.03, 0.2]" frac)
+    (frac > 0.03 && frac < 0.2)
+
+let test_bushy_circuits_have_many_near_critical_paths () =
+  let _, m499 = run "c499" in
+  let _, m880 = run "c880" in
+  check_true "c499 (bushy ECC) has far more near-critical paths than c880"
+    (Methodology.num_critical_paths m499
+    > 5 * Methodology.num_critical_paths m880)
+
+let test_rank_churn_contrast () =
+  (* Fig. 5 vs Fig. 6: rank churn is large for c1355, small for c7552. *)
+  let _, m1355 = run ~max_paths:400 "c1355" in
+  let _, m7552 = run ~max_paths:400 "c7552" in
+  let change1355 = Ranking.max_rank_change m1355.Methodology.ranked in
+  let change7552 = Ranking.max_rank_change m7552.Methodology.ranked in
+  check_true
+    (Printf.sprintf "c1355 churn (%d) >> c7552 churn (%d)" change1355
+       change7552)
+    (change1355 > 4 * change7552)
+
+let test_table3_sigma_grows_with_inter_share () =
+  let spec =
+    match Iscas85.by_name "c432" with Some s -> s | None -> assert false
+  in
+  let circuit, placement = Iscas85.build_placed spec in
+  let sigma_at inter_fraction =
+    let config = Config.with_budget_split fast_config ~inter_fraction in
+    let m = Methodology.run ~config ~placement circuit in
+    m.Methodology.det_critical.Path_analysis.std
+  in
+  let s0 = sigma_at 0.0 and s50 = sigma_at 0.5 and s75 = sigma_at 0.75 in
+  check_true "sigma grows with inter share" (s0 < s50 && s50 < s75)
+
+let test_near_critical_threshold_semantics () =
+  (* Every analyzed path's nominal delay is within C * sigma_C of the
+     critical delay — the paper's Section 3.2 definition. *)
+  let _, m = run ~confidence:1.0 "c432" in
+  let d = m.Methodology.sta.Ssta_timing.Sta.critical_delay in
+  Array.iter
+    (fun r ->
+      check_true "path within the threshold"
+        (r.Ranking.analysis.Path_analysis.det_delay
+        >= d -. m.Methodology.slack -. 1e-12))
+    m.Methodology.ranked
+
+let test_full_flow_from_bench_file () =
+  (* Export c432 to .bench + DEF, re-read both, and get the same
+     deterministic critical delay — the paper's program I/O path. *)
+  let spec =
+    match Iscas85.by_name "c432" with Some s -> s | None -> assert false
+  in
+  let circuit, placement = Iscas85.build_placed spec in
+  let bench_path = Filename.temp_file "c432" ".bench" in
+  let def_path = Filename.temp_file "c432" ".def" in
+  Bench_format.write_file bench_path circuit;
+  Def_format.write_file def_path
+    (Def_format.of_placement ~design:"c432" circuit placement);
+  let circuit' = Bench_format.parse_file bench_path in
+  let placement' =
+    Def_format.placement_of (Def_format.parse_file def_path) circuit'
+  in
+  Sys.remove bench_path;
+  Sys.remove def_path;
+  let m = Methodology.run ~config:fast_config ~placement circuit in
+  let m' = Methodology.run ~config:fast_config ~placement:placement' circuit' in
+  check_close ~tol:1e-9 "same critical delay through the file formats"
+    m.Methodology.sta.Ssta_timing.Sta.critical_delay
+    m'.Methodology.sta.Ssta_timing.Sta.critical_delay;
+  check_int "same number of near-critical paths"
+    (Methodology.num_critical_paths m)
+    (Methodology.num_critical_paths m')
+
+let test_determinism_of_the_whole_flow () =
+  let _, m1 = run "c880" in
+  let _, m2 = run "c880" in
+  check_close ~tol:0.0 "identical sigma_c" m1.Methodology.sigma_c
+    m2.Methodology.sigma_c;
+  check_int "identical path counts"
+    (Methodology.num_critical_paths m1)
+    (Methodology.num_critical_paths m2);
+  check_int "identical prob-critical det rank"
+    (Ranking.det_rank_of_prob_critical m1.Methodology.ranked)
+    (Ranking.det_rank_of_prob_critical m2.Methodology.ranked)
+
+let suite =
+  ( "integration",
+    [ case "c432 worst-case overestimation (headline)"
+        test_c432_overestimation;
+      case "c432 probabilistic mean shift" test_c432_mean_shift;
+      case "c432 sigma fraction" test_c432_sigma_fraction;
+      case "bushy circuits explode the near-critical set"
+        test_bushy_circuits_have_many_near_critical_paths;
+      slow_case "rank churn: c1355 vs c7552" test_rank_churn_contrast;
+      case "Table 3: sigma grows with inter share"
+        test_table3_sigma_grows_with_inter_share;
+      case "near-critical threshold semantics"
+        test_near_critical_threshold_semantics;
+      case "full flow through .bench and DEF files"
+        test_full_flow_from_bench_file;
+      case "whole flow is deterministic" test_determinism_of_the_whole_flow ]
+  )

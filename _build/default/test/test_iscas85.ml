@@ -1,0 +1,117 @@
+open Ssta_circuit
+open Helpers
+
+let test_suite_composition () =
+  check_int "ten circuits" 10 (List.length Iscas85.all);
+  check_true "names unique"
+    (List.sort_uniq compare Iscas85.names = List.sort compare Iscas85.names)
+
+let test_by_name () =
+  check_true "known" (Iscas85.by_name "c432" <> None);
+  check_true "unknown" (Iscas85.by_name "c9999" = None)
+
+let test_gate_counts_near_paper () =
+  (* Substituted circuits must stay within 20% of the real gate counts
+     (the multiplier and the ECC pair are structural, the rest exact). *)
+  List.iter
+    (fun (spec : Iscas85.spec) ->
+      let c = Iscas85.build spec in
+      let actual = Netlist.num_gates c in
+      let target = spec.Iscas85.gates in
+      let deviation =
+        Float.abs (float_of_int (actual - target)) /. float_of_int target
+      in
+      if deviation > 0.20 then
+        Alcotest.failf "%s: %d gates vs target %d" spec.Iscas85.name actual
+          target)
+    Iscas85.all
+
+let test_depth_tracks_critical_path_gates () =
+  (* For the random circuits the depth is pinned to the paper's
+     critical-path gate count. *)
+  List.iter
+    (fun (spec : Iscas85.spec) ->
+      match spec.Iscas85.style with
+      | Iscas85.Random depth ->
+          let c = Iscas85.build spec in
+          check_int
+            (spec.Iscas85.name ^ " depth")
+            depth (Netlist.depth c)
+      | Iscas85.Ecc | Iscas85.Ecc_expanded | Iscas85.Multiplier _ -> ())
+    Iscas85.all
+
+let test_builds_are_deterministic () =
+  let spec =
+    match Iscas85.by_name "c880" with Some s -> s | None -> assert false
+  in
+  let a = Iscas85.build spec and b = Iscas85.build spec in
+  check_true "identical rebuilds"
+    (Bench_format.to_string a = Bench_format.to_string b)
+
+let test_c1355_is_expanded_c499 () =
+  let c499 =
+    match Iscas85.by_name "c499" with Some s -> Iscas85.build s | None -> assert false
+  in
+  let c1355 =
+    match Iscas85.by_name "c1355" with Some s -> Iscas85.build s | None -> assert false
+  in
+  check_int "same inputs" c499.Netlist.num_inputs c1355.Netlist.num_inputs;
+  check_int "same outputs"
+    (Array.length c499.Netlist.outputs)
+    (Array.length c1355.Netlist.outputs);
+  (* equivalent logic *)
+  let rng = Ssta_prob.Rng.create 2 in
+  for _ = 1 to 100 do
+    let inputs =
+      Array.init c499.Netlist.num_inputs (fun _ ->
+          Ssta_prob.Rng.float rng < 0.5)
+    in
+    check_true "c1355 = expand_xor(c499)"
+      (Netlist.output_values c499 inputs = Netlist.output_values c1355 inputs)
+  done;
+  check_true "c1355 has no XOR gates"
+    (List.for_all
+       (fun (kind, _) ->
+         match kind with
+         | Ssta_tech.Gate.Xor2 | Ssta_tech.Gate.Xnor2 -> false
+         | _ -> true)
+       (Netlist.gate_kind_histogram c1355))
+
+let test_c6288_multiplies () =
+  let spec =
+    match Iscas85.by_name "c6288" with Some s -> s | None -> assert false
+  in
+  let c = Iscas85.build spec in
+  let to_bits v n = Array.init n (fun i -> Int64.to_int (Int64.logand (Int64.shift_right_logical (Int64.of_int v) i) 1L) = 1) in
+  let of_bits a =
+    Array.to_list a
+    |> List.mapi (fun i b -> if b then Int64.shift_left 1L i else 0L)
+    |> List.fold_left Int64.add 0L
+  in
+  List.iter
+    (fun (a, b) ->
+      let inputs = Array.append (to_bits a 16) (to_bits b 16) in
+      let p = of_bits (Netlist.output_values c inputs) in
+      if p <> Int64.of_int (a * b) then
+        Alcotest.failf "c6288: %d*%d = %d, got %Ld" a b (a * b) p)
+    [ (0, 0); (1, 1); (3, 5); (65535, 65535); (12345, 54321); (40000, 40000) ]
+
+let test_build_placed () =
+  let spec =
+    match Iscas85.by_name "c432" with Some s -> s | None -> assert false
+  in
+  let c, pl = Iscas85.build_placed spec in
+  check_int "placement covers all nodes" (Netlist.num_nodes c)
+    (Array.length pl.Placement.coords)
+
+let suite =
+  ( "iscas85",
+    [ case "ten benchmarks, unique names" test_suite_composition;
+      case "lookup by name" test_by_name;
+      case "gate counts near the paper" test_gate_counts_near_paper;
+      case "random depths = paper critical-path gates"
+        test_depth_tracks_critical_path_gates;
+      case "deterministic builds" test_builds_are_deterministic;
+      case "c1355 is the NAND expansion of c499" test_c1355_is_expanded_c499;
+      slow_case "c6288 multiplies 16x16" test_c6288_multiplies;
+      case "build_placed covers all nodes" test_build_placed ] )

@@ -1,0 +1,52 @@
+open Ssta_prob
+open Helpers
+
+let test_run_summary () =
+  let rng = Rng.create 21 in
+  let r = Mc.run ~n:20_000 rng (fun rng -> Rng.gaussian rng ~mu:4.0 ~sigma:1.0) in
+  check_int "sample count" 20_000 r.Mc.summary.Stats.count;
+  check_close_abs ~tol:0.05 "sampled mean" 4.0 r.Mc.summary.Stats.mean;
+  check_close_abs ~tol:0.05 "sampled std" 1.0 r.Mc.summary.Stats.std;
+  check_close_abs ~tol:0.05 "histogram mean matches" r.Mc.summary.Stats.mean
+    (Pdf.mean r.Mc.empirical)
+
+let test_run_rejects_small_n () =
+  let rng = Rng.create 1 in
+  check_raises_invalid "n=1" (fun () ->
+      ignore (Mc.run ~n:1 rng (fun _ -> 0.0)))
+
+let test_compare_to_pdf_agreement () =
+  let rng = Rng.create 5 in
+  let r =
+    Mc.run ~n:20_000 rng (fun rng ->
+        Rng.truncated_gaussian rng ~mu:0.0 ~sigma:1.0 ~bound:6.0)
+  in
+  let p = Dist.truncated_gaussian ~n:200 ~mu:0.0 ~sigma:1.0 () in
+  let mean_err, std_err, ks = Mc.compare_to_pdf r p in
+  check_true "mean err small" (mean_err < 0.03);
+  check_true "std err small" (std_err < 0.03);
+  check_true "ks small" (ks < 0.02)
+
+let test_compare_to_pdf_disagreement () =
+  let rng = Rng.create 6 in
+  let r =
+    Mc.run ~n:5_000 rng (fun rng -> Rng.gaussian rng ~mu:10.0 ~sigma:1.0)
+  in
+  let p = Dist.truncated_gaussian ~n:200 ~mu:0.0 ~sigma:1.0 () in
+  let mean_err, _, ks = Mc.compare_to_pdf r p in
+  check_true "mean err large" (mean_err > 9.0);
+  check_true "ks saturates" (ks > 0.9)
+
+let test_determinism () =
+  let draw rng = Rng.gaussian rng ~mu:0.0 ~sigma:1.0 in
+  let a = Mc.run ~n:100 (Rng.create 3) draw in
+  let b = Mc.run ~n:100 (Rng.create 3) draw in
+  check_true "same seed, same samples" (a.Mc.samples = b.Mc.samples)
+
+let suite =
+  ( "mc",
+    [ case "run summarizes samples" test_run_summary;
+      case "run rejects tiny n" test_run_rejects_small_n;
+      case "agreement with matching pdf" test_compare_to_pdf_agreement;
+      case "disagreement detected" test_compare_to_pdf_disagreement;
+      case "deterministic in the seed" test_determinism ] )

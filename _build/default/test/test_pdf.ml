@@ -1,0 +1,184 @@
+open Ssta_prob
+open Helpers
+
+let gauss ?(n = 200) ?(mu = 0.0) ?(sigma = 1.0) () =
+  Dist.truncated_gaussian ~n ~mu ~sigma ()
+
+let test_make_normalizes () =
+  let p = Pdf.make ~lo:0.0 ~step:0.5 [| 1.0; 3.0; 2.0; 2.0 |] in
+  check_close ~tol:1e-12 "total mass" 1.0 (Pdf.total_mass p)
+
+let test_make_invalid () =
+  check_raises_invalid "empty" (fun () -> Pdf.make ~lo:0.0 ~step:1.0 [||]);
+  check_raises_invalid "bad step" (fun () ->
+      Pdf.make ~lo:0.0 ~step:0.0 [| 1.0 |]);
+  check_raises_invalid "negative density" (fun () ->
+      Pdf.make ~lo:0.0 ~step:1.0 [| 1.0; -1.0 |]);
+  check_raises_invalid "zero mass" (fun () ->
+      Pdf.make ~lo:0.0 ~step:1.0 [| 0.0; 0.0 |])
+
+let test_grid_geometry () =
+  let p = Pdf.make ~lo:2.0 ~step:0.25 (Array.make 8 1.0) in
+  check_int "size" 8 (Pdf.size p);
+  check_close ~tol:1e-12 "hi" 4.0 (Pdf.hi p);
+  check_close ~tol:1e-12 "x_at 0" 2.125 (Pdf.x_at p 0);
+  check_close ~tol:1e-12 "mass_at uniform" 0.125 (Pdf.mass_at p 3)
+
+let test_gaussian_moments () =
+  let p = gauss ~mu:5.0 ~sigma:1.5 () in
+  check_close ~tol:1e-6 "mean" 5.0 (Pdf.mean p);
+  check_close ~tol:2e-3 "std" 1.5 (Pdf.std p);
+  check_close_abs ~tol:1e-6 "skewness ~ 0" 0.0 (Pdf.skewness p)
+
+let test_uniform_moments () =
+  let p = Dist.uniform ~n:400 ~lo:0.0 ~hi:12.0 () in
+  check_close ~tol:1e-9 "mean" 6.0 (Pdf.mean p);
+  (* variance of U(0,12) = 144/12 = 12; grid version slightly smaller *)
+  check_close ~tol:2e-3 "variance" 12.0 (Pdf.variance p)
+
+let test_cdf_properties () =
+  let p = gauss () in
+  check_close ~tol:1e-12 "cdf below support" 0.0 (Pdf.cdf p (-100.0));
+  check_close ~tol:1e-12 "cdf above support" 1.0 (Pdf.cdf p 100.0);
+  check_close_abs ~tol:1e-3 "cdf at mean" 0.5 (Pdf.cdf p 0.0);
+  check_close_abs ~tol:2e-3 "cdf at 1 sigma" 0.8413 (Pdf.cdf p 1.0)
+
+let test_quantile_inverts_cdf () =
+  let p = gauss ~mu:3.0 ~sigma:0.7 () in
+  List.iter
+    (fun q ->
+      let x = Pdf.quantile p q in
+      check_close_abs ~tol:2e-3 (Printf.sprintf "cdf(quantile %g)" q) q
+        (Pdf.cdf p x))
+    [ 0.01; 0.1; 0.5; 0.9; 0.99 ]
+
+let test_quantile_invalid () =
+  let p = gauss () in
+  check_raises_invalid "q<0" (fun () -> Pdf.quantile p (-0.1));
+  check_raises_invalid "q>1" (fun () -> Pdf.quantile p 1.1)
+
+let test_sigma_point () =
+  let p = gauss ~mu:10.0 ~sigma:2.0 () in
+  check_close ~tol:5e-3 "3-sigma point" 16.0 (Pdf.sigma_point p 3.0);
+  check_close ~tol:5e-3 "-1-sigma point" 8.0 (Pdf.sigma_point p (-1.0))
+
+let test_mode () =
+  let p = gauss ~mu:4.0 ~sigma:1.0 () in
+  check_close_abs ~tol:0.05 "mode at mean for gaussian" 4.0 (Pdf.mode p)
+
+let test_density_at () =
+  let p = Dist.uniform ~n:10 ~lo:0.0 ~hi:1.0 () in
+  check_close ~tol:1e-9 "inside" 1.0 (Pdf.density_at p 0.5);
+  check_close ~tol:1e-12 "outside" 0.0 (Pdf.density_at p 2.0)
+
+let test_affine () =
+  let p = gauss ~mu:2.0 ~sigma:1.0 () in
+  let q = Pdf.affine p ~mul:3.0 ~add:1.0 in
+  check_close ~tol:1e-6 "affine mean" 7.0 (Pdf.mean q);
+  check_close ~tol:3e-3 "affine std" 3.0 (Pdf.std q);
+  let r = Pdf.affine p ~mul:(-2.0) ~add:0.0 in
+  check_close ~tol:1e-6 "negated mean" (-4.0) (Pdf.mean r);
+  check_close ~tol:3e-3 "negated std" 2.0 (Pdf.std r);
+  check_close ~tol:1e-9 "mass preserved" 1.0 (Pdf.total_mass r);
+  check_raises_invalid "mul=0" (fun () -> Pdf.affine p ~mul:0.0 ~add:1.0)
+
+let test_shift_scale () =
+  let p = gauss ~mu:1.0 ~sigma:0.5 () in
+  check_close ~tol:1e-6 "shift mean" 4.0 (Pdf.mean (Pdf.shift p 3.0));
+  check_close ~tol:1e-6 "scale mean" 2.0 (Pdf.mean (Pdf.scale p 2.0))
+
+let test_resample_conserves () =
+  let p = gauss ~n:160 ~mu:0.0 ~sigma:1.0 () in
+  let q = Pdf.resample p ~n:37 in
+  check_close ~tol:1e-9 "mass" 1.0 (Pdf.total_mass q);
+  check_close_abs ~tol:5e-3 "mean preserved" (Pdf.mean p) (Pdf.mean q);
+  check_close_abs ~tol:2e-2 "std approximately preserved" (Pdf.std p)
+    (Pdf.std q)
+
+let test_restrict () =
+  let p = gauss ~mu:0.0 ~sigma:1.0 () in
+  let q = Pdf.restrict p ~lo:0.0 ~hi:10.0 in
+  check_close ~tol:1e-9 "renormalized" 1.0 (Pdf.total_mass q);
+  check_true "mean moved right" (Pdf.mean q > 0.5);
+  check_raises_invalid "empty window" (fun () ->
+      Pdf.restrict p ~lo:50.0 ~hi:60.0)
+
+let test_point_mass () =
+  let p = Pdf.point_mass 42.0 in
+  check_close ~tol:1e-9 "point mass mean" 42.0 (Pdf.mean p);
+  check_true "tiny std" (Pdf.std p < 1e-9)
+
+let test_of_samples () =
+  let rng = Rng.create 8 in
+  let samples =
+    Array.init 30_000 (fun _ -> Rng.gaussian rng ~mu:7.0 ~sigma:3.0)
+  in
+  let p = Pdf.of_samples ~n:80 samples in
+  check_close_abs ~tol:0.1 "histogram mean" 7.0 (Pdf.mean p);
+  check_close_abs ~tol:0.1 "histogram std" 3.0 (Pdf.std p);
+  check_raises_invalid "too few samples" (fun () ->
+      ignore (Pdf.of_samples [| 1.0 |]))
+
+let test_sample_statistics () =
+  let p = gauss ~mu:(-2.0) ~sigma:0.8 () in
+  let rng = Rng.create 77 in
+  let samples = Array.init 20_000 (fun _ -> Pdf.sample p rng) in
+  let s = Stats.summarize samples in
+  check_close_abs ~tol:0.03 "inverse-cdf sampling mean" (-2.0) s.Stats.mean;
+  check_close_abs ~tol:0.03 "inverse-cdf sampling std" 0.8 s.Stats.std
+
+let test_ks_distance () =
+  let p = gauss ~mu:0.0 ~sigma:1.0 () in
+  let q = gauss ~mu:0.0 ~sigma:1.0 () in
+  check_close_abs ~tol:1e-6 "identical PDFs" 0.0 (Pdf.ks_distance p q);
+  let r = gauss ~mu:3.0 ~sigma:1.0 () in
+  check_true "separated PDFs have large KS" (Pdf.ks_distance p r > 0.8)
+
+let prop_quantile_in_support =
+  qcheck "quantile lies in support"
+    QCheck.(pair (float_range 0.0 1.0) (float_range 0.1 5.0))
+    (fun (q, sigma) ->
+      let p = gauss ~mu:0.0 ~sigma () in
+      let x = Pdf.quantile p q in
+      x >= p.Pdf.lo -. 1e-9 && x <= Pdf.hi p +. 1e-9)
+
+let prop_cdf_monotone =
+  qcheck "cdf monotone on random grids"
+    QCheck.(pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+    (fun (a, b) ->
+      let p = gauss () in
+      let lo = Float.min a b and hi = Float.max a b in
+      Pdf.cdf p lo <= Pdf.cdf p hi +. 1e-12)
+
+let prop_affine_mean =
+  qcheck "affine transforms the mean affinely"
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range 0.1 4.0))
+    (fun (add, mul) ->
+      let p = gauss ~mu:1.0 ~sigma:0.5 () in
+      let q = Pdf.affine p ~mul ~add in
+      Float.abs (Pdf.mean q -. ((Pdf.mean p *. mul) +. add)) < 1e-6)
+
+let suite =
+  ( "pdf",
+    [ case "make normalizes" test_make_normalizes;
+      case "make rejects invalid input" test_make_invalid;
+      case "grid geometry" test_grid_geometry;
+      case "gaussian moments" test_gaussian_moments;
+      case "uniform moments" test_uniform_moments;
+      case "cdf properties" test_cdf_properties;
+      case "quantile inverts cdf" test_quantile_inverts_cdf;
+      case "quantile rejects bad q" test_quantile_invalid;
+      case "sigma points" test_sigma_point;
+      case "mode" test_mode;
+      case "density_at" test_density_at;
+      case "affine transform" test_affine;
+      case "shift and scale" test_shift_scale;
+      case "resample conserves mass and moments" test_resample_conserves;
+      case "restrict conditions and renormalizes" test_restrict;
+      case "point mass" test_point_mass;
+      case "histogram from samples" test_of_samples;
+      case "inverse-cdf sampling" test_sample_statistics;
+      case "ks distance" test_ks_distance;
+      prop_quantile_in_support;
+      prop_cdf_monotone;
+      prop_affine_mean ] )

@@ -1,0 +1,129 @@
+open Ssta_prob
+open Helpers
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for i = 0 to 99 do
+    check_close ~tol:0.0
+      (Printf.sprintf "draw %d identical" i)
+      (Rng.float a) (Rng.float b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = Array.init 16 (fun _ -> Rng.float a) in
+  let ys = Array.init 16 (fun _ -> Rng.float b) in
+  check_true "different seeds diverge" (xs <> ys)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.float a);
+  let b = Rng.copy a in
+  check_close ~tol:0.0 "copy continues identically" (Rng.float a) (Rng.float b)
+
+let test_split_diverges () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = Array.init 16 (fun _ -> Rng.float a) in
+  let ys = Array.init 16 (fun _ -> Rng.float b) in
+  check_true "split stream differs" (xs <> ys)
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    check_true "float in [0,1)" (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  check_close_abs ~tol:0.01 "uniform mean ~0.5" 0.5 (!sum /. float_of_int n)
+
+let test_int_range () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 10 in
+    check_true "int in range" (v >= 0 && v < 10);
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_true (Printf.sprintf "bucket %d roughly uniform" i)
+        (c > 800 && c < 1200))
+    counts
+
+let test_int_invalid () =
+  let rng = Rng.create 1 in
+  check_raises_invalid "n=0" (fun () -> Rng.int rng 0);
+  check_raises_invalid "n<0" (fun () -> Rng.int rng (-3))
+
+let test_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let n = 60_000 in
+  let samples =
+    Array.init n (fun _ -> Rng.gaussian rng ~mu:3.0 ~sigma:2.0)
+  in
+  let s = Stats.summarize samples in
+  check_close_abs ~tol:0.05 "gaussian mean" 3.0 s.Stats.mean;
+  check_close_abs ~tol:0.05 "gaussian std" 2.0 s.Stats.std;
+  check_close_abs ~tol:0.08 "gaussian skew ~ 0" 0.0 s.Stats.skewness
+
+let test_truncated_gaussian_bounds () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 20_000 do
+    let x = Rng.truncated_gaussian rng ~mu:10.0 ~sigma:2.0 ~bound:2.0 in
+    check_true "within truncation" (Float.abs (x -. 10.0) <= 4.0 +. 1e-12)
+  done
+
+let test_truncated_gaussian_invalid () =
+  let rng = Rng.create 1 in
+  check_raises_invalid "bound<=0" (fun () ->
+      Rng.truncated_gaussian rng ~mu:0.0 ~sigma:1.0 ~bound:0.0)
+
+let test_uniform_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 5_000 do
+    let x = Rng.uniform rng ~lo:(-3.0) ~hi:7.0 in
+    check_true "uniform in range" (x >= -3.0 && x < 7.0)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 31 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  check_true "shuffle is a permutation" (sorted = a);
+  check_true "shuffle moved something" (b <> a)
+
+let prop_int64_nonsticky =
+  qcheck "int64 stream has no short cycle" QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let a = Rng.int64 rng and b = Rng.int64 rng and c = Rng.int64 rng in
+      not (Int64.equal a b && Int64.equal b c))
+
+let suite =
+  ( "rng",
+    [ case "same seed, same stream" test_determinism;
+      case "different seeds diverge" test_seed_sensitivity;
+      case "copy continues identically" test_copy_independent;
+      case "split stream diverges" test_split_diverges;
+      case "float stays in [0,1)" test_float_range;
+      case "uniform mean" test_float_mean;
+      case "int uniform buckets" test_int_range;
+      case "int rejects bad bounds" test_int_invalid;
+      case "gaussian moments" test_gaussian_moments;
+      case "truncated gaussian respects bound" test_truncated_gaussian_bounds;
+      case "truncated gaussian rejects bad bound"
+        test_truncated_gaussian_invalid;
+      case "uniform range" test_uniform_range;
+      case "shuffle is a permutation" test_shuffle_permutation;
+      prop_int64_nonsticky ] )

@@ -1,0 +1,225 @@
+(* Sequential circuits: ISCAS89-style DFF parsing, cycle-accurate
+   simulation, the pipelining transform and clock-period analysis. *)
+
+open Ssta_circuit
+open Ssta_prob
+open Ssta_core
+open Helpers
+
+let s27_text =
+  {|INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOT(G5)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+|}
+
+let s27 () = Sequential.parse_bench ~name:"s27" s27_text
+
+(* ---------------- parsing ---------------- *)
+
+let test_parse_s27 () =
+  let s = s27 () in
+  check_int "real inputs" 4 s.Sequential.real_inputs;
+  check_int "registers" 3 (Sequential.num_registers s);
+  check_int "core gates" 10 (Netlist.num_gates s.Sequential.core);
+  check_int "real outputs" 1 (Array.length s.Sequential.real_output_ids);
+  (* register Q pins are the trailing core PIs *)
+  Array.iter
+    (fun (r : Sequential.register) ->
+      check_true "q is a pseudo input" (Sequential.is_register_q s r.Sequential.q);
+      check_true "d is tracked" (Sequential.is_register_d s r.Sequential.d))
+    s.Sequential.registers
+
+let test_parse_rejections () =
+  let expect text =
+    match Sequential.parse_bench text with
+    | exception Bench_format.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected Parse_error for %S" text
+  in
+  (* doubly driven: DFF target also a gate target *)
+  expect "INPUT(A)\nOUTPUT(B)\nQ = DFF(A)\nQ = NOT(A)\nB = NOT(Q)\n";
+  (* DFF referencing an unknown signal *)
+  expect "INPUT(A)\nOUTPUT(B)\nQ = DFF(ZZZ)\nB = NOT(Q)\n"
+
+let test_bench_roundtrip () =
+  let s = s27 () in
+  let rt = Sequential.parse_bench ~name:"s27" (Sequential.to_bench s) in
+  check_int "registers preserved" (Sequential.num_registers s)
+    (Sequential.num_registers rt);
+  check_int "gates preserved"
+    (Netlist.num_gates s.Sequential.core)
+    (Netlist.num_gates rt.Sequential.core);
+  (* behavioural equivalence over a few cycles *)
+  let rng = Rng.create 11 in
+  let st_a = ref (Array.make 3 false) and st_b = ref (Array.make 3 false) in
+  for _ = 1 to 40 do
+    let inputs = Array.init 4 (fun _ -> Rng.float rng < 0.5) in
+    let oa, na = Sequential.simulate s ~state:!st_a ~inputs in
+    let ob, nb = Sequential.simulate rt ~state:!st_b ~inputs in
+    check_true "same outputs" (oa = ob);
+    check_true "same next state" (na = nb);
+    st_a := na;
+    st_b := nb
+  done
+
+let test_of_netlist_wraps () =
+  let c = small_adder () in
+  let s = Sequential.of_netlist c in
+  check_int "no registers" 0 (Sequential.num_registers s);
+  check_int "outputs preserved"
+    (Array.length c.Netlist.outputs)
+    (Array.length s.Sequential.real_output_ids)
+
+let test_simulate_validation () =
+  let s = s27 () in
+  check_raises_invalid "state width" (fun () ->
+      ignore (Sequential.simulate s ~state:[| true |] ~inputs:(Array.make 4 false)));
+  check_raises_invalid "input width" (fun () ->
+      ignore
+        (Sequential.simulate s ~state:(Array.make 3 false) ~inputs:[| true |]))
+
+(* ---------------- pipelining ---------------- *)
+
+let to_bits v n = Array.init n (fun i -> (v lsr i) land 1 = 1)
+
+let of_bits a =
+  Array.to_list a
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+let run_pipelined p ~stages ~inputs =
+  let state = ref (Array.make (Sequential.num_registers p) false) in
+  let out = ref [||] in
+  for _ = 1 to stages do
+    let o, st = Sequential.simulate p ~state:!state ~inputs in
+    out := o;
+    state := st
+  done;
+  !out
+
+let test_pipeline_preserves_logic () =
+  let comb = Generators.array_multiplier ~name:"m4" ~bits:4 () in
+  List.iter
+    (fun stages ->
+      let p = Sequential.pipeline ~stages comb in
+      let rng = Rng.create (100 + stages) in
+      for _ = 1 to 40 do
+        let a = Rng.int rng 16 and b = Rng.int rng 16 in
+        let inputs = Array.append (to_bits a 4) (to_bits b 4) in
+        let out = run_pipelined p ~stages ~inputs in
+        check_int
+          (Printf.sprintf "%d-stage pipeline computes %d*%d" stages a b)
+          (a * b) (of_bits out)
+      done)
+    [ 2; 3; 5 ]
+
+let test_pipeline_reduces_depth () =
+  let comb = Generators.array_multiplier ~name:"m4" ~bits:4 () in
+  let d1 = Netlist.depth comb in
+  let p = Sequential.pipeline ~stages:4 comb in
+  let d4 = Netlist.depth p.Sequential.core in
+  check_true "core depth shrinks" (d4 < d1);
+  check_true "roughly by the stage count" (d4 <= (d1 / 3) + 2);
+  check_true "registers inserted" (Sequential.num_registers p > 0)
+
+let test_pipeline_single_stage_identity () =
+  let comb = small_adder () in
+  let p = Sequential.pipeline ~stages:1 comb in
+  check_int "no registers" 0 (Sequential.num_registers p);
+  check_int "same gates" (Netlist.num_gates comb)
+    (Netlist.num_gates p.Sequential.core)
+
+let test_pipeline_validation () =
+  check_raises_invalid "stages >= 1" (fun () ->
+      ignore (Sequential.pipeline ~stages:0 (small_adder ())))
+
+(* ---------------- clocking ---------------- *)
+
+let test_clocking_combinational () =
+  let comb = small_random () in
+  let s = Sequential.of_netlist comb in
+  let c = Clocking.analyze ~config:fast_config s in
+  let sta = Ssta_timing.Sta.analyze comb in
+  check_close ~tol:1e-9 "det clock = critical + setup"
+    (sta.Ssta_timing.Sta.critical_delay +. 5e-12)
+    c.Clocking.det_min_clock;
+  check_true "stat clock above det"
+    (c.Clocking.stat_min_clock > c.Clocking.det_min_clock);
+  check_true "worst-case clock above stat"
+    (c.Clocking.worst_case_clock > c.Clocking.stat_min_clock);
+  check_true "no registers: infinite reg-to-reg"
+    (c.Clocking.fastest_reg_to_reg = infinity)
+
+let test_clocking_pipeline_speedup () =
+  let comb = Generators.array_multiplier ~name:"m4" ~bits:4 () in
+  let config = { fast_config with Config.max_paths = 200 } in
+  let base = Clocking.analyze ~config (Sequential.of_netlist comb) in
+  let p2 = Clocking.analyze ~config (Sequential.pipeline ~stages:2 comb) in
+  let sp = Clocking.speedup ~baseline:base p2 in
+  check_true
+    (Printf.sprintf "2 stages speed up 1.4-2.2x (got %.2f)" sp)
+    (sp > 1.4 && sp < 2.2)
+
+let test_hold_fix () =
+  let comb = Generators.array_multiplier ~name:"m4" ~bits:4 () in
+  let config = { fast_config with Config.max_paths = 100 } in
+  let p = Sequential.pipeline ~stages:4 comb in
+  let before = Clocking.analyze ~config p in
+  check_true "register chains violate hold" (before.Clocking.hold_margin < 0.0);
+  let fixed, buffers = Clocking.fix_hold p in
+  check_true "buffers inserted" (buffers > 0);
+  let after = Clocking.analyze ~config fixed in
+  check_true "hold repaired" (after.Clocking.hold_margin >= 0.0);
+  (* logic unchanged *)
+  let rng = Rng.create 9 in
+  for _ = 1 to 30 do
+    let a = Rng.int rng 16 and b = Rng.int rng 16 in
+    let inputs = Array.append (to_bits a 4) (to_bits b 4) in
+    check_int "buffered pipeline still multiplies" (a * b)
+      (of_bits (run_pipelined fixed ~stages:4 ~inputs))
+  done
+
+let test_clocking_statistical_vs_corner () =
+  (* The headline applies to sequential sign-off too: the corner clock
+     overestimates the 3-sigma clock by tens of percent. *)
+  let comb = small_random () in
+  let c = Clocking.analyze ~config:fast_config (Sequential.of_netlist comb) in
+  let over =
+    (c.Clocking.worst_case_clock -. c.Clocking.stat_min_clock)
+    /. c.Clocking.stat_min_clock
+  in
+  check_true
+    (Printf.sprintf "corner clock overdesign %.2f in [0.2, 1.0]" over)
+    (over > 0.2 && over < 1.0)
+
+let suite =
+  ( "sequential",
+    [ case "parse s27" test_parse_s27;
+      case "parse rejections" test_parse_rejections;
+      case "bench roundtrip (with DFF) is behaviourally equal"
+        test_bench_roundtrip;
+      case "wrap a combinational netlist" test_of_netlist_wraps;
+      case "simulate validation" test_simulate_validation;
+      slow_case "pipelining preserves logic" test_pipeline_preserves_logic;
+      case "pipelining reduces core depth" test_pipeline_reduces_depth;
+      case "single stage is the identity" test_pipeline_single_stage_identity;
+      case "pipeline validation" test_pipeline_validation;
+      case "clocking of a combinational circuit" test_clocking_combinational;
+      case "pipeline speedup" test_clocking_pipeline_speedup;
+      case "hold violations found and fixed" test_hold_fix;
+      case "corner overdesign on sequential sign-off"
+        test_clocking_statistical_vs_corner ] )

@@ -1,0 +1,92 @@
+open Ssta_prob
+open Helpers
+
+let data = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_mean () = check_close ~tol:1e-12 "mean" 5.0 (Stats.mean data)
+
+let test_variance_unbiased () =
+  (* sum of squared deviations = 32, n-1 = 7 *)
+  check_close ~tol:1e-12 "variance" (32.0 /. 7.0) (Stats.variance data)
+
+let test_summarize () =
+  let s = Stats.summarize data in
+  check_int "count" 8 s.Stats.count;
+  check_close ~tol:1e-12 "mean" 5.0 s.Stats.mean;
+  check_close ~tol:1e-12 "min" 2.0 s.Stats.min;
+  check_close ~tol:1e-12 "max" 9.0 s.Stats.max;
+  check_true "positive skew" (s.Stats.skewness > 0.0)
+
+let test_empty_rejected () =
+  check_raises_invalid "mean of empty" (fun () -> ignore (Stats.mean [||]));
+  check_raises_invalid "variance of singleton" (fun () ->
+      ignore (Stats.variance [| 1.0 |]));
+  check_raises_invalid "summarize of singleton" (fun () ->
+      ignore (Stats.summarize [| 1.0 |]))
+
+let test_percentile () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_close ~tol:1e-12 "median" 3.0 (Stats.percentile xs 0.5);
+  check_close ~tol:1e-12 "min" 1.0 (Stats.percentile xs 0.0);
+  check_close ~tol:1e-12 "max" 5.0 (Stats.percentile xs 1.0);
+  check_close ~tol:1e-12 "interpolated" 1.4 (Stats.percentile xs 0.1);
+  check_raises_invalid "bad q" (fun () -> ignore (Stats.percentile xs 1.5))
+
+let test_sigma_point () =
+  check_close ~tol:1e-9 "mean + 2 std"
+    (5.0 +. (2.0 *. sqrt (32.0 /. 7.0)))
+    (Stats.sigma_point data 2.0)
+
+let test_ks_against_pdf () =
+  let p = Dist.truncated_gaussian ~n:200 ~mu:0.0 ~sigma:1.0 () in
+  let rng = Rng.create 4 in
+  let matching =
+    Array.init 5_000 (fun _ ->
+        Rng.truncated_gaussian rng ~mu:0.0 ~sigma:1.0 ~bound:6.0)
+  in
+  check_true "matching sample: small KS" (Stats.ks_against_pdf matching p < 0.03);
+  let shifted = Array.map (fun x -> x +. 2.0) matching in
+  check_true "shifted sample: large KS" (Stats.ks_against_pdf shifted p > 0.5)
+
+let test_correlation () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  check_close ~tol:1e-12 "perfect positive" 1.0 (Stats.correlation xs ys);
+  let zs = Array.map (fun x -> -.x) xs in
+  check_close ~tol:1e-12 "perfect negative" (-1.0) (Stats.correlation xs zs);
+  check_raises_invalid "length mismatch" (fun () ->
+      ignore (Stats.correlation xs [| 1.0 |]))
+
+let test_correlation_degenerate () =
+  let xs = [| 1.0; 1.0; 1.0 |] and ys = [| 1.0; 2.0; 3.0 |] in
+  check_close ~tol:1e-12 "constant series" 0.0 (Stats.correlation xs ys)
+
+let test_spearman () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  let ys = [| 1.0; 8.0; 27.0; 64.0 |] in
+  (* monotone transform: perfect rank correlation *)
+  check_close ~tol:1e-12 "monotone data" 1.0 (Stats.spearman xs ys);
+  let zs = [| 64.0; 27.0; 8.0; 1.0 |] in
+  check_close ~tol:1e-12 "reversed" (-1.0) (Stats.spearman xs zs)
+
+let prop_percentile_monotone =
+  qcheck "percentiles are monotone in q"
+    QCheck.(pair (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (a, b) ->
+      let xs = [| 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 |] in
+      let lo = Float.min a b and hi = Float.max a b in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-12)
+
+let suite =
+  ( "stats",
+    [ case "mean" test_mean;
+      case "unbiased variance" test_variance_unbiased;
+      case "summarize" test_summarize;
+      case "degenerate inputs rejected" test_empty_rejected;
+      case "percentile" test_percentile;
+      case "sigma point" test_sigma_point;
+      case "ks against pdf" test_ks_against_pdf;
+      case "pearson correlation" test_correlation;
+      case "correlation of constant series" test_correlation_degenerate;
+      case "spearman rank correlation" test_spearman;
+      prop_percentile_monotone ] )

@@ -1,0 +1,293 @@
+open Ssta_tech
+open Helpers
+
+(* ---------------- Params ---------------- *)
+
+let test_rv_roundtrip () =
+  check_int "five RVs" 5 (List.length Params.all_rvs);
+  List.iteri
+    (fun i rv -> check_int (Params.rv_name rv) i (Params.rv_index rv))
+    Params.all_rvs
+
+let test_get_set () =
+  let p = Params.nominal in
+  List.iter
+    (fun rv ->
+      let p' = Params.set p rv 0.123 in
+      check_close ~tol:0.0 "set/get" 0.123 (Params.get p' rv);
+      (* other fields untouched *)
+      List.iter
+        (fun other ->
+          if other <> rv then
+            check_close ~tol:0.0 "others unchanged" (Params.get p other)
+              (Params.get p' other))
+        Params.all_rvs)
+    Params.all_rvs
+
+let test_add_zero () =
+  let p = Params.add Params.nominal Params.zero in
+  List.iter
+    (fun rv ->
+      check_close ~tol:0.0 "zero is neutral" (Params.get Params.nominal rv)
+        (Params.get p rv))
+    Params.all_rvs
+
+let test_nominal_physical () =
+  check_true "nominal is physical" (Params.is_physical Params.nominal);
+  check_true "vdd below vtn is not physical"
+    (not (Params.is_physical (Params.set Params.nominal Params.Vdd 0.2)))
+
+let test_sigmas_positive () =
+  List.iter
+    (fun rv -> check_true (Params.rv_name rv) (Params.sigma rv > 0.0))
+    Params.all_rvs;
+  (* the paper's Table 1 caption values *)
+  check_close ~tol:1e-12 "sigma tox" 0.15e-9 (Params.sigma Params.Tox);
+  check_close ~tol:1e-12 "sigma leff" 15e-9 (Params.sigma Params.Leff);
+  check_close ~tol:1e-12 "sigma vdd" 0.040 (Params.sigma Params.Vdd)
+
+(* ---------------- Gate ---------------- *)
+
+let all_kinds =
+  [ Gate.Inv; Gate.Buf; Gate.Nand 2; Gate.Nand 3; Gate.Nor 2; Gate.Nor 4;
+    Gate.And 2; Gate.Or 2; Gate.Xor2; Gate.Xnor2 ]
+
+let test_fan_in () =
+  check_int "inv" 1 (Gate.fan_in Gate.Inv);
+  check_int "nand3" 3 (Gate.fan_in (Gate.Nand 3));
+  check_int "xor" 2 (Gate.fan_in Gate.Xor2)
+
+let test_name_of_name_roundtrip () =
+  List.iter
+    (fun kind ->
+      match Gate.of_name (Gate.name kind) (Gate.fan_in kind) with
+      | Some k -> check_true "roundtrip" (k = kind)
+      | None -> Alcotest.failf "of_name failed for %s" (Gate.name kind))
+    all_kinds
+
+let test_of_name_rejects () =
+  check_true "unknown gate" (Gate.of_name "MAJ" 3 = None);
+  check_true "xor arity" (Gate.of_name "XOR" 3 = None);
+  check_true "not arity" (Gate.of_name "NOT" 2 = None);
+  check_true "nand arity" (Gate.of_name "NAND" 1 = None)
+
+let test_eval_truth_tables () =
+  check_true "nand2 00" (Gate.eval (Gate.Nand 2) [ false; false ]);
+  check_true "nand2 11" (not (Gate.eval (Gate.Nand 2) [ true; true ]));
+  check_true "nor2 00" (Gate.eval (Gate.Nor 2) [ false; false ]);
+  check_true "nor2 01" (not (Gate.eval (Gate.Nor 2) [ false; true ]));
+  check_true "xor 01" (Gate.eval Gate.Xor2 [ false; true ]);
+  check_true "xnor 11" (Gate.eval Gate.Xnor2 [ true; true ]);
+  check_true "inv" (Gate.eval Gate.Inv [ false ]);
+  check_true "buf" (Gate.eval Gate.Buf [ true ]);
+  check_true "and3" (Gate.eval (Gate.And 3) [ true; true; true ]);
+  check_true "or3" (Gate.eval (Gate.Or 3) [ false; false; true ]);
+  check_raises_invalid "arity mismatch" (fun () ->
+      ignore (Gate.eval Gate.Xor2 [ true ]))
+
+let test_electrical_positive () =
+  List.iter
+    (fun kind ->
+      let e = Gate.electrical kind in
+      check_true "alpha > 0" (e.Gate.alpha > 0.0);
+      check_true "beta > 0" (e.Gate.beta > 0.0);
+      check_true "c_out > 0" (e.Gate.c_out > 0.0))
+    all_kinds
+
+let test_electrical_fanout_grows_load () =
+  let light = Gate.electrical ~fanout:1 (Gate.Nand 2) in
+  let heavy = Gate.electrical ~fanout:8 (Gate.Nand 2) in
+  check_true "load grows with fanout" (heavy.Gate.c_out > light.Gate.c_out);
+  check_true "alpha grows with load" (heavy.Gate.alpha > light.Gate.alpha)
+
+let test_electrical_rejects_negative_fanout () =
+  check_raises_invalid "fanout<0" (fun () ->
+      ignore (Gate.electrical ~fanout:(-1) Gate.Inv))
+
+(* ---------------- Elmore ---------------- *)
+
+let test_voltage_factor_nominal () =
+  (* V(1.3, 0.33) = 1.3/0.97^1.3 + 1/1.29 *)
+  let expected = (1.3 /. (0.97 ** 1.3)) +. (1.0 /. 1.29) in
+  check_close ~tol:1e-12 "voltage factor" expected
+    (Elmore.voltage_factor ~vdd:1.3 ~vt:0.33)
+
+let test_voltage_factor_domain () =
+  check_raises_invalid "vt >= vdd" (fun () ->
+      ignore (Elmore.voltage_factor ~vdd:0.3 ~vt:0.4));
+  check_raises_invalid "linear term domain" (fun () ->
+      ignore (Elmore.voltage_factor ~vdd:1.0 ~vt:0.8))
+
+let test_gate_delay_ordering () =
+  (* Table 1 ordering: NAND2 slowest, then XNOR2, NOR2, INV fastest. *)
+  let d kind = Elmore.nominal_delay (Gate.electrical kind) in
+  let nand = d (Gate.Nand 2) and xnor = d Gate.Xnor2 in
+  let nor = d (Gate.Nor 2) and inv = d Gate.Inv in
+  check_true "nand > xnor" (nand > xnor);
+  check_true "xnor > nor" (xnor > nor);
+  check_true "nor > inv" (nor > inv);
+  check_true "delays in the tens of ps"
+    (Elmore.ps nand > 5.0 && Elmore.ps nand < 100.0)
+
+let test_delay_monotonicity () =
+  let e = Gate.electrical (Gate.Nand 2) in
+  let base = Elmore.gate_delay e Params.nominal in
+  let longer =
+    Elmore.gate_delay e (Params.set Params.nominal Params.Leff 150e-9)
+  in
+  check_true "longer channel is slower" (longer > base);
+  let lower_vdd =
+    Elmore.gate_delay e (Params.set Params.nominal Params.Vdd 1.1)
+  in
+  check_true "lower vdd is slower" (lower_vdd > base);
+  let higher_vt =
+    Elmore.gate_delay e (Params.set Params.nominal Params.Vtn 0.4)
+  in
+  check_true "higher threshold is slower" (higher_vt > base)
+
+let test_path_delay_sums () =
+  let gates = [ Gate.electrical Gate.Inv; Gate.electrical (Gate.Nand 2) ] in
+  let total = Elmore.path_delay gates Params.nominal in
+  let by_hand =
+    List.fold_left
+      (fun acc e -> acc +. Elmore.gate_delay e Params.nominal)
+      0.0 gates
+  in
+  check_close ~tol:1e-15 "path = sum of gates" by_hand total
+
+(* ---------------- Derivatives ---------------- *)
+
+let test_analytic_matches_numeric_first () =
+  List.iter
+    (fun kind ->
+      let e = Gate.electrical kind in
+      List.iter
+        (fun rv ->
+          let a = Derivatives.first e Params.nominal rv in
+          let n = Derivatives.first_numeric e Params.nominal rv in
+          check_close ~tol:1e-5
+            (Printf.sprintf "d(%s)/d%s" (Gate.name kind) (Params.rv_name rv))
+            n a)
+        Params.all_rvs)
+    [ Gate.Inv; Gate.Nand 2; Gate.Nor 2; Gate.Xnor2 ]
+
+let test_analytic_matches_numeric_second () =
+  let e = Gate.electrical (Gate.Nand 2) in
+  List.iter
+    (fun rv ->
+      let a = Derivatives.second e Params.nominal rv in
+      let n = Derivatives.second_numeric ~relative_step:1e-4 e Params.nominal rv in
+      (* second derivatives of the voltage terms; geometric ones are 0 *)
+      match rv with
+      | Params.Tox | Params.Leff ->
+          check_close ~tol:0.0 "geometric second derivative is exactly 0" 0.0 a
+      | Params.Vdd | Params.Vtn | Params.Vtp ->
+          check_close ~tol:1e-3
+            (Printf.sprintf "d2/d%s2" (Params.rv_name rv))
+            n a)
+    Params.all_rvs
+
+let test_gradient_signs () =
+  let e = Gate.electrical (Gate.Nand 2) in
+  let g = Derivatives.gradient e Params.nominal in
+  check_true "d/dtox > 0" (g.Params.tox > 0.0);
+  check_true "d/dleff > 0" (g.Params.leff > 0.0);
+  check_true "d/dvdd < 0" (g.Params.vdd < 0.0);
+  check_true "d/dvtn > 0" (g.Params.vtn > 0.0);
+  check_true "d/dvtp > 0" (g.Params.vtp > 0.0)
+
+(* ---------------- Sensitivity ---------------- *)
+
+let test_table1_shape () =
+  let rows = Sensitivity.table1 () in
+  check_int "four gates" 4 (List.length rows);
+  List.iter
+    (fun row ->
+      check_int "five entries" 5 (List.length row.Sensitivity.entries);
+      check_true "L_eff dominates"
+        (Sensitivity.dominant row = Params.Leff);
+      List.iter
+        (fun e -> check_true "impacts non-negative" (e.Sensitivity.impact >= 0.0))
+        row.Sensitivity.entries)
+    rows
+
+let test_table1_magnitudes () =
+  (* The paper's 2-NAND column: L_eff ~ 2 ps, thresholds < 0.3 ps. *)
+  let row = Sensitivity.analyze (Gate.Nand 2) in
+  let impact rv =
+    let e = List.find (fun e -> e.Sensitivity.rv = rv) row.Sensitivity.entries in
+    Elmore.ps e.Sensitivity.impact
+  in
+  check_true "L_eff impact 1.5-3 ps"
+    (impact Params.Leff > 1.5 && impact Params.Leff < 3.0);
+  check_true "V_Tn impact < 0.5 ps" (impact Params.Vtn < 0.5);
+  check_true "t_ox impact 0.3-1.0 ps"
+    (impact Params.Tox > 0.3 && impact Params.Tox < 1.0)
+
+(* ---------------- Convexity ---------------- *)
+
+let test_convexity_claim () =
+  List.iter
+    (fun kind ->
+      let row = Convexity.analyze kind in
+      check_true "approximation acceptable" (Convexity.acceptable row);
+      check_true "max ratio well below 1" (Convexity.max_ratio row < 0.2))
+    Sensitivity.table1_gates
+
+(* ---------------- Corner ---------------- *)
+
+let test_corner_ordering () =
+  let e = Gate.electrical (Gate.Nand 2) in
+  let best = Corner.gate_delay Corner.Best e in
+  let nominal = Corner.gate_delay Corner.Nominal e in
+  let worst = Corner.gate_delay Corner.Worst e in
+  check_true "best < nominal" (best < nominal);
+  check_true "nominal < worst" (nominal < worst);
+  check_close ~tol:1e-15 "nominal corner = nominal delay"
+    (Elmore.nominal_delay e) nominal
+
+let test_corner_ratio_matches_paper () =
+  (* The paper's Table 2 worst/nominal ratio is ~2.0. *)
+  let e = Gate.electrical (Gate.Nand 2) in
+  let ratio =
+    Corner.gate_delay Corner.Worst e /. Corner.gate_delay Corner.Nominal e
+  in
+  check_true "worst/nominal ~ 2" (ratio > 1.6 && ratio < 2.4)
+
+let test_corner_k_scales () =
+  let e = Gate.electrical Gate.Inv in
+  let mild = Corner.gate_delay ~k:1.0 Corner.Worst e in
+  let harsh = Corner.gate_delay ~k:5.0 Corner.Worst e in
+  check_true "larger corner is slower" (harsh > mild)
+
+let suite =
+  ( "tech",
+    [ case "rv enumeration" test_rv_roundtrip;
+      case "params get/set" test_get_set;
+      case "params add zero" test_add_zero;
+      case "nominal is physical" test_nominal_physical;
+      case "paper sigma values" test_sigmas_positive;
+      case "gate fan-in" test_fan_in;
+      case "gate name roundtrip" test_name_of_name_roundtrip;
+      case "gate of_name rejects" test_of_name_rejects;
+      case "gate truth tables" test_eval_truth_tables;
+      case "electrical coefficients positive" test_electrical_positive;
+      case "fanout grows the load" test_electrical_fanout_grows_load;
+      case "electrical rejects bad fanout"
+        test_electrical_rejects_negative_fanout;
+      case "voltage factor value" test_voltage_factor_nominal;
+      case "voltage factor domain" test_voltage_factor_domain;
+      case "gate delay ordering (Table 1)" test_gate_delay_ordering;
+      case "delay monotonic in parameters" test_delay_monotonicity;
+      case "path delay sums gates" test_path_delay_sums;
+      case "first derivatives match finite differences"
+        test_analytic_matches_numeric_first;
+      case "second derivatives match finite differences"
+        test_analytic_matches_numeric_second;
+      case "gradient signs" test_gradient_signs;
+      case "Table 1 shape" test_table1_shape;
+      case "Table 1 magnitudes" test_table1_magnitudes;
+      case "convexity claim (Section 2.5)" test_convexity_claim;
+      case "corner ordering" test_corner_ordering;
+      case "worst/nominal ratio ~ paper" test_corner_ratio_matches_paper;
+      case "corner k scales" test_corner_k_scales ] )

@@ -1,0 +1,257 @@
+open Ssta_circuit
+open Ssta_timing
+open Helpers
+
+(* ---------------- Graph ---------------- *)
+
+let test_graph_of_netlist () =
+  let c = small_adder () in
+  let g = Graph.of_netlist c in
+  check_int "nodes" (Netlist.num_nodes c) (Graph.num_nodes g);
+  for id = 0 to Graph.num_nodes g - 1 do
+    if Graph.is_input g id then begin
+      check_close ~tol:0.0 "input delay 0" 0.0 g.Graph.delay.(id);
+      check_true "no electrical model" (g.Graph.electrical.(id) = None)
+    end
+    else begin
+      check_true "positive gate delay" (g.Graph.delay.(id) > 0.0);
+      check_true "has electrical model" (g.Graph.electrical.(id) <> None)
+    end
+  done
+
+let test_graph_fanout_loading () =
+  (* A gate with more fanout must carry a larger delay. *)
+  let b = Netlist.Builder.create "fo" in
+  let a = Netlist.Builder.add_input b "a" in
+  let shared = Netlist.Builder.add_gate b Ssta_tech.Gate.Inv [ a ] in
+  let single = Netlist.Builder.add_gate b Ssta_tech.Gate.Inv [ a ] in
+  (* give [shared] three consumers, [single] one *)
+  let c1 = Netlist.Builder.add_gate b Ssta_tech.Gate.Inv [ shared ] in
+  let c2 = Netlist.Builder.add_gate b Ssta_tech.Gate.Inv [ shared ] in
+  let c3 = Netlist.Builder.add_gate b Ssta_tech.Gate.Inv [ shared ] in
+  let c4 = Netlist.Builder.add_gate b Ssta_tech.Gate.Inv [ single ] in
+  List.iter (Netlist.Builder.mark_output b) [ c1; c2; c3; c4 ];
+  let g = Graph.of_netlist (Netlist.Builder.finish b) in
+  check_true "fanout 3 slower than fanout 1"
+    (g.Graph.delay.(shared) > g.Graph.delay.(single))
+
+let test_electrical_exn () =
+  let g = Graph.of_netlist (tiny_chain ()) in
+  check_raises_invalid "on input" (fun () -> ignore (Graph.electrical_exn g 0))
+
+(* ---------------- Longest path ---------------- *)
+
+let test_chain_labels () =
+  let g = Graph.of_netlist (tiny_chain ()) in
+  let labels = Longest_path.bellman_ford g in
+  check_close ~tol:0.0 "input label" 0.0 labels.(0);
+  (* labels strictly increase along the chain *)
+  for id = 1 to Graph.num_nodes g - 1 do
+    check_true "monotone labels" (labels.(id) > labels.(id - 1))
+  done
+
+let test_bellman_ford_equals_topological () =
+  List.iter
+    (fun c ->
+      let g = Graph.of_netlist c in
+      let bf = Longest_path.bellman_ford g in
+      let topo = Longest_path.topological g in
+      Array.iteri
+        (fun i x -> check_close ~tol:1e-12 "labels agree" topo.(i) x)
+        bf)
+    [ tiny_chain (); small_adder (); small_random () ]
+
+let test_critical_delay_positive () =
+  let g = Graph.of_netlist (small_adder ()) in
+  let labels = Longest_path.bellman_ford g in
+  let d = Longest_path.critical_delay g labels in
+  check_true "positive critical delay" (d > 0.0);
+  let o = Longest_path.critical_output g labels in
+  check_close ~tol:1e-15 "critical output realizes the delay" d labels.(o)
+
+let test_critical_path_consistency () =
+  List.iter
+    (fun c ->
+      let g = Graph.of_netlist c in
+      let labels = Longest_path.bellman_ford g in
+      let path = Longest_path.critical_path g labels in
+      check_true "starts at an input" (Graph.is_input g path.(0));
+      check_true "is a connected path" (Paths.is_path g path);
+      check_close ~tol:1e-12 "path delay equals critical delay"
+        (Longest_path.critical_delay g labels)
+        (Paths.recompute_delay g path))
+    [ tiny_chain (); small_adder (); small_random () ]
+
+(* ---------------- Near-critical enumeration ---------------- *)
+
+let enumerate_all g =
+  let labels = Longest_path.bellman_ford g in
+  (* a slack larger than total delay enumerates every input-output path *)
+  Paths.enumerate g ~labels ~slack:(Graph.total_nominal_delay g +. 1.0)
+
+let test_enumerate_chain () =
+  let g = Graph.of_netlist (tiny_chain ()) in
+  let e = enumerate_all g in
+  check_int "single path in a chain" 1 (List.length e.Paths.paths)
+
+let test_enumerate_finds_critical () =
+  let g = Graph.of_netlist (small_random ()) in
+  let labels = Longest_path.bellman_ford g in
+  let e = Paths.enumerate g ~labels ~slack:0.0 in
+  check_true "at least one path at zero slack" (List.length e.Paths.paths >= 1);
+  match e.Paths.paths with
+  | [] -> Alcotest.fail "no critical path"
+  | first :: _ ->
+      check_close ~tol:1e-9 "zero-slack paths are critical"
+        e.Paths.critical_delay first.Paths.delay
+
+let test_enumerate_slack_monotone () =
+  let g = Graph.of_netlist (small_random ()) in
+  let labels = Longest_path.bellman_ford g in
+  let count slack =
+    List.length (Paths.enumerate g ~labels ~slack).Paths.paths
+  in
+  let d = Longest_path.critical_delay g labels in
+  let c1 = count 0.0 in
+  let c2 = count (0.02 *. d) in
+  let c3 = count (0.2 *. d) in
+  check_true "path count grows with slack" (c1 <= c2 && c2 <= c3)
+
+let test_enumerate_all_within_slack () =
+  let g = Graph.of_netlist (small_random ()) in
+  let labels = Longest_path.bellman_ford g in
+  let d = Longest_path.critical_delay g labels in
+  let slack = 0.1 *. d in
+  let e = Paths.enumerate g ~labels ~slack in
+  List.iter
+    (fun (p : Paths.path) ->
+      check_true "path within slack" (p.Paths.delay >= d -. slack -. 1e-12);
+      check_true "valid path" (Paths.is_path g p.Paths.nodes);
+      check_close ~tol:1e-12 "stored delay correct"
+        (Paths.recompute_delay g p.Paths.nodes)
+        p.Paths.delay)
+    e.Paths.paths
+
+let test_enumerate_sorted_descending () =
+  let g = Graph.of_netlist (small_adder ()) in
+  let e = enumerate_all g in
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+        check_true "sorted by decreasing delay"
+          (a.Paths.delay >= b.Paths.delay -. 1e-15);
+        check_sorted rest
+    | [ _ ] | [] -> ()
+  in
+  check_sorted e.Paths.paths
+
+let test_enumerate_max_paths_cap () =
+  let g = Graph.of_netlist (small_adder ()) in
+  let labels = Longest_path.bellman_ford g in
+  let full = enumerate_all g in
+  let total = List.length full.Paths.paths in
+  check_true "adder has multiple paths" (total > 3);
+  let capped =
+    Paths.enumerate ~max_paths:2 g ~labels
+      ~slack:(Graph.total_nominal_delay g +. 1.0)
+  in
+  check_true "truncation flagged" capped.Paths.truncated;
+  check_int "capped count" 2 (List.length capped.Paths.paths)
+
+let test_enumerate_exhaustive_small () =
+  (* Enumerate all paths of the 4-bit adder and cross-check the count by
+     independent DFS over the DAG. *)
+  let c = small_adder () in
+  let g = Graph.of_netlist c in
+  let e = enumerate_all g in
+  let memo = Hashtbl.create 64 in
+  let rec count_paths id =
+    if Graph.is_input g id then 1
+    else
+      match Hashtbl.find_opt memo id with
+      | Some n -> n
+      | None ->
+          let n =
+            Array.fold_left
+              (fun acc f -> acc + count_paths f)
+              0 (Graph.fanins g id)
+          in
+          Hashtbl.add memo id n;
+          n
+  in
+  let expected =
+    Array.fold_left
+      (fun acc o -> acc + count_paths o)
+      0 c.Netlist.outputs
+  in
+  check_int "every input-output path enumerated" expected
+    (List.length e.Paths.paths)
+
+let test_enumerate_invalid () =
+  let g = Graph.of_netlist (tiny_chain ()) in
+  let labels = Longest_path.bellman_ford g in
+  check_raises_invalid "negative slack" (fun () ->
+      ignore (Paths.enumerate g ~labels ~slack:(-1.0)));
+  check_raises_invalid "bad cap" (fun () ->
+      ignore (Paths.enumerate ~max_paths:0 g ~labels ~slack:0.0))
+
+(* ---------------- STA driver ---------------- *)
+
+let test_sta_analyze () =
+  let sta = Sta.analyze (small_random ()) in
+  check_true "critical delay positive" (sta.Sta.critical_delay > 0.0);
+  check_close ~tol:1e-12 "critical path delay matches"
+    sta.Sta.critical_delay sta.Sta.critical_path.Paths.delay
+
+let test_sta_worst_case_exceeds_nominal () =
+  let sta = Sta.analyze (small_random ()) in
+  let wc = Sta.worst_case_delay sta sta.Sta.critical_path in
+  check_true "corner slower than nominal" (wc > sta.Sta.critical_delay);
+  check_true "corner ratio plausible" (wc < 3.0 *. sta.Sta.critical_delay)
+
+let test_path_gates () =
+  let sta = Sta.analyze (tiny_chain ()) in
+  let gates = Paths.path_gates sta.Sta.graph sta.Sta.critical_path in
+  check_int "five gates on the chain" 5 (List.length gates);
+  check_int "gate count helper" 5
+    (Paths.path_gate_count sta.Sta.graph sta.Sta.critical_path)
+
+let prop_critical_is_max =
+  qcheck ~count:15 "no enumerated path exceeds the critical delay"
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let c =
+        Generators.random_layered ~name:"p" ~inputs:6 ~outputs:3 ~gates:50
+          ~depth:7 ~seed ()
+      in
+      let g = Graph.of_netlist c in
+      let labels = Longest_path.bellman_ford g in
+      let d = Longest_path.critical_delay g labels in
+      let e = Paths.enumerate g ~labels ~slack:(0.3 *. d) in
+      List.for_all
+        (fun (p : Paths.path) -> p.Paths.delay <= d +. 1e-12)
+        e.Paths.paths)
+
+let suite =
+  ( "timing",
+    [ case "graph construction" test_graph_of_netlist;
+      case "fanout increases loading" test_graph_fanout_loading;
+      case "electrical_exn on inputs" test_electrical_exn;
+      case "chain labels monotone" test_chain_labels;
+      case "bellman-ford = topological sweep"
+        test_bellman_ford_equals_topological;
+      case "critical delay and output" test_critical_delay_positive;
+      case "critical path consistency" test_critical_path_consistency;
+      case "chain has one path" test_enumerate_chain;
+      case "zero slack finds critical paths" test_enumerate_finds_critical;
+      case "path count monotone in slack" test_enumerate_slack_monotone;
+      case "all enumerated paths within slack"
+        test_enumerate_all_within_slack;
+      case "enumeration sorted by delay" test_enumerate_sorted_descending;
+      case "max_paths cap and truncation flag" test_enumerate_max_paths_cap;
+      case "exhaustive enumeration matches DFS count"
+        test_enumerate_exhaustive_small;
+      case "enumeration input validation" test_enumerate_invalid;
+      case "sta driver" test_sta_analyze;
+      case "worst case exceeds nominal" test_sta_worst_case_exceeds_nominal;
+      case "path gate extraction" test_path_gates;
+      prop_critical_is_max ] )
