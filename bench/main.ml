@@ -7,7 +7,6 @@
      dune exec bench/main.exe -- --no-bechamel *)
 
 module Iscas85 = Ssta_circuit.Iscas85
-module Placement = Ssta_circuit.Placement
 module Sensitivity = Ssta_tech.Sensitivity
 module Convexity = Ssta_tech.Convexity
 module Elmore = Ssta_tech.Elmore
@@ -193,7 +192,7 @@ let quality () =
 let convexity () =
   section "Convexity analysis (Section 2.5)";
   Convexity.pp_table Fmt.stdout
-    (List.map Convexity.analyze Sensitivity.table1_gates)
+    (List.map (fun g -> Convexity.analyze g) Sensitivity.table1_gates)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: analytic PDF vs exact Monte-Carlo.                        *)

@@ -24,6 +24,9 @@ module Monte_carlo = Ssta_core.Monte_carlo
 module Block_based = Ssta_core.Block_based
 module Quality_sweep = Ssta_core.Quality_sweep
 module Yield = Ssta_core.Yield
+module Lint = Ssta_lint.Engine
+module Lint_reporter = Ssta_lint.Reporter
+module Diagnostic = Ssta_lint.Diagnostic
 
 let load_circuit ?verilog ~bench ~def name =
   let from_file c =
@@ -126,6 +129,134 @@ let seed_opt =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
          ~doc:"Random seed for Monte-Carlo commands.")
 
+(* lint *)
+let lint_cmd =
+  let action name bench verilog def spef format min_severity budget
+      list_rules no_deep =
+    if list_rules then Lint_reporter.rule_table Fmt.stdout Lint.all_rules
+    else begin
+      let parse_diags = ref [] in
+      let parse_diag path (line, msg) =
+        parse_diags :=
+          Diagnostic.make ~rule:"parse-error" ~severity:Diagnostic.Error
+            ~location:(Diagnostic.File { path; line })
+            msg
+          :: !parse_diags
+      in
+      let circuit =
+        try
+          Some
+            (match (bench, verilog) with
+            | Some path, _ -> Bench_format.parse_file path
+            | None, Some path -> Verilog.parse_file path
+            | None, None -> (
+                match Iscas85.by_name name with
+                | Some spec -> Iscas85.build spec
+                | None ->
+                    Fmt.failwith
+                      "unknown circuit %S (expected one of %s, or use \
+                       --bench/--verilog FILE)"
+                      name
+                      (String.concat ", " Iscas85.names)))
+        with
+        | Bench_format.Parse_error (line, msg) ->
+            parse_diag (Option.get bench) (line, msg);
+            None
+        | Verilog.Parse_error (line, msg) ->
+            parse_diag (Option.get verilog) (line, msg);
+            None
+      in
+      let def_t =
+        match def with
+        | None -> None
+        | Some path -> (
+            try Some (Def_format.parse_file path)
+            with Def_format.Parse_error (line, msg) ->
+              parse_diag path (line, msg);
+              None)
+      in
+      let spef_t =
+        match spef with
+        | None -> None
+        | Some path -> (
+            try Some (Spef.parse_file path)
+            with Spef.Parse_error (line, msg) ->
+              parse_diag path (line, msg);
+              None)
+      in
+      let circuit_name =
+        match circuit with
+        | Some c -> c.Ssta_circuit.Netlist.name
+        | None -> name
+      in
+      let diags =
+        match circuit with
+        | None -> !parse_diags
+        | Some c ->
+            let placement =
+              match def_t with
+              | Some d -> (
+                  (* A DEF that fails to convert still gets its own
+                     cross-check diagnostics; fall back to no placement. *)
+                  try Some (Def_format.placement_of d c)
+                  with Invalid_argument _ -> None)
+              | None -> Some (Placement.place c)
+            in
+            let input =
+              Lint.input ?placement ?spef:spef_t ?def:def_t
+                ?budget_weights:(Option.map Array.of_list budget)
+                ~deep:(not no_deep) c
+            in
+            !parse_diags @ Lint.run input
+      in
+      let shown = Lint.filter ~min_severity diags in
+      (match format with
+      | `Text -> Lint_reporter.text ~circuit_name Fmt.stdout shown
+      | `Json -> Lint_reporter.json ~circuit_name Fmt.stdout shown);
+      if Lint.exit_code diags <> 0 then Stdlib.exit 1
+    end
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: text or json.")
+  in
+  let min_severity =
+    Arg.(value
+         & opt
+             (enum
+                [ ("error", Diagnostic.Error);
+                  ("warning", Diagnostic.Warning);
+                  ("info", Diagnostic.Info) ])
+             Diagnostic.Info
+         & info [ "severity" ] ~docv:"SEV"
+             ~doc:"Only report diagnostics at least this severe (the exit \
+                   code still reflects all errors).")
+  in
+  let budget =
+    Arg.(value
+         & opt (some (list float)) None
+         & info [ "budget" ] ~docv:"W0,W1,..."
+             ~doc:"Validate raw per-layer variance shares (layer 0 is \
+                   inter-die); they must be non-negative and sum to 1.")
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let no_deep =
+    Arg.(value & flag
+         & info [ "no-deep" ]
+             ~doc:"Skip the timing-graph / PDF sanity checks.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis of circuit, placement, SPEF/DEF and config \
+             inputs; exits 1 when any error-severity diagnostic fires.")
+    Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
+          $ spef_opt $ format $ min_severity $ budget $ list_rules $ no_deep)
+
 (* run *)
 let run_cmd =
   let action name bench verilog def spef qi qj c k mp inter_fraction shape
@@ -136,9 +267,20 @@ let run_cmd =
         ~max_paths:mp ~inter_fraction ~shape
     in
     let wire = if wires then Some Ssta_tech.Wire.default else None in
-    let wire_caps =
-      Option.map (fun path -> Spef.apply (Spef.parse_file path) circuit) spef
+    let spef_t = Option.map Spef.parse_file spef in
+    (* Automatic pre-analysis lint: report (warnings only, never fatal)
+       so malformed inputs are called out before they skew the PDFs. *)
+    let lint_ds =
+      Lint.run
+        (Lint.input ~placement ?spef:spef_t ~config ~deep:false circuit)
     in
+    let visible =
+      Lint.filter ~min_severity:Diagnostic.Warning lint_ds
+    in
+    if visible <> [] then
+      Lint_reporter.text ~circuit_name:circuit.Ssta_circuit.Netlist.name
+        Fmt.stderr visible;
+    let wire_caps = Option.map (fun s -> Spef.apply s circuit) spef_t in
     let m = Methodology.run ~config ~placement ?wire ?wire_caps circuit in
     Report.pp_table2_header Fmt.stdout ();
     Report.pp_table2_row Fmt.stdout (Report.table2_row m);
@@ -241,7 +383,7 @@ let sensitivity_cmd =
 let convexity_cmd =
   let action () =
     Convexity.pp_table Fmt.stdout
-      (List.map Convexity.analyze Sensitivity.table1_gates)
+      (List.map (fun g -> Convexity.analyze g) Sensitivity.table1_gates)
   in
   Cmd.v (Cmd.info "convexity" ~doc:"Check the Section 2.5 convexity claim.")
     Term.(const action $ const ())
@@ -517,6 +659,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; report_cmd; table2_cmd; table3_cmd; sensitivity_cmd;
-            convexity_cmd; sweep_cmd; mc_cmd; block_cmd; yield_cmd;
-            dualvt_cmd; generate_cmd; figures_cmd ]))
+          [ run_cmd; lint_cmd; report_cmd; table2_cmd; table3_cmd;
+            sensitivity_cmd; convexity_cmd; sweep_cmd; mc_cmd; block_cmd;
+            yield_cmd; dualvt_cmd; generate_cmd; figures_cmd ]))

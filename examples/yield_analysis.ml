@@ -6,7 +6,6 @@
      dune exec examples/yield_analysis.exe *)
 
 module Iscas85 = Ssta_circuit.Iscas85
-module Placement = Ssta_circuit.Placement
 module Sta = Ssta_timing.Sta
 module Elmore = Ssta_tech.Elmore
 module Rng = Ssta_prob.Rng

@@ -2,12 +2,18 @@ module Gate = Ssta_tech.Gate
 
 type gate = { id : int; kind : Gate.kind; fanins : int array }
 
+type cache = {
+  mutable c_fanouts : int array array option;
+  mutable c_fanout_counts : int array option;
+}
+
 type t = {
   name : string;
   num_inputs : int;
   gates : gate array;
   outputs : int array;
   node_names : string array;
+  cache : cache;
 }
 
 let num_nodes c = c.num_inputs + Array.length c.gates
@@ -33,29 +39,37 @@ let find_node c name =
   search 0
 
 let fanout_counts c =
-  let counts = Array.make (num_nodes c) 0 in
-  Array.iter
-    (fun g -> Array.iter (fun f -> counts.(f) <- counts.(f) + 1) g.fanins)
-    c.gates;
-  Array.iter (fun o -> counts.(o) <- counts.(o) + 1) c.outputs;
-  counts
+  match c.cache.c_fanout_counts with
+  | Some counts -> counts
+  | None ->
+      let counts = Array.make (num_nodes c) 0 in
+      Array.iter
+        (fun g -> Array.iter (fun f -> counts.(f) <- counts.(f) + 1) g.fanins)
+        c.gates;
+      Array.iter (fun o -> counts.(o) <- counts.(o) + 1) c.outputs;
+      c.cache.c_fanout_counts <- Some counts;
+      counts
 
 let fanouts c =
-  let counts = Array.make (num_nodes c) 0 in
-  Array.iter
-    (fun g -> Array.iter (fun f -> counts.(f) <- counts.(f) + 1) g.fanins)
-    c.gates;
-  let result = Array.map (fun n -> Array.make n 0) counts in
-  let fill = Array.make (num_nodes c) 0 in
-  Array.iter
-    (fun g ->
+  match c.cache.c_fanouts with
+  | Some result -> result
+  | None ->
+      let counts = Array.make (num_nodes c) 0 in
       Array.iter
-        (fun f ->
-          result.(f).(fill.(f)) <- g.id;
-          fill.(f) <- fill.(f) + 1)
-        g.fanins)
-    c.gates;
-  result
+        (fun g -> Array.iter (fun f -> counts.(f) <- counts.(f) + 1) g.fanins)
+        c.gates;
+      let result = Array.map (fun n -> Array.make n 0) counts in
+      let fill = Array.make (num_nodes c) 0 in
+      Array.iter
+        (fun g ->
+          Array.iter
+            (fun f ->
+              result.(f).(fill.(f)) <- g.id;
+              fill.(f) <- fill.(f) + 1)
+            g.fanins)
+        c.gates;
+      c.cache.c_fanouts <- Some result;
+      result
 
 let levels c =
   let lv = Array.make (num_nodes c) 0 in
@@ -173,5 +187,6 @@ module Builder = struct
       num_inputs = b.num_in;
       gates = Array.of_list (List.rev b.bgates);
       outputs = Array.of_list (List.rev b.outs);
-      node_names }
+      node_names;
+      cache = { c_fanouts = None; c_fanout_counts = None } }
 end

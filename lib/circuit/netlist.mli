@@ -13,12 +13,17 @@ type gate = {
   fanins : int array;  (** node ids, length = fan-in of [kind] *)
 }
 
+type cache
+(** Memoized derived structures (fan-out lists and counts), filled in
+    lazily on first use.  Opaque to clients. *)
+
 type t = private {
   name : string;
   num_inputs : int;
   gates : gate array;  (** gate with id [num_inputs + i] at index [i] *)
   outputs : int array;  (** node ids designated as primary outputs *)
   node_names : string array;  (** one name per node id *)
+  cache : cache;
 }
 
 val num_nodes : t -> int
@@ -36,10 +41,12 @@ val find_node : t -> string -> int option
 
 val fanouts : t -> int array array
 (** [fanouts c].(id) lists the gate node-ids that consume node [id];
-    O(nodes + edges), computed fresh on each call. *)
+    O(nodes + edges) on the first call, then cached — repeated calls
+    return the same arrays, which callers must treat as read-only. *)
 
 val fanout_counts : t -> int array
-(** Number of consumers per node (primary outputs add one sink each). *)
+(** Number of consumers per node (primary outputs add one sink each).
+    Cached like {!fanouts}; treat the result as read-only. *)
 
 val levels : t -> int array
 (** Topological level per node: inputs are 0, a gate is

@@ -1,5 +1,4 @@
 module Paths = Ssta_timing.Paths
-module Graph = Ssta_timing.Graph
 
 type t = {
   probabilities : float array;

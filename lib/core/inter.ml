@@ -75,6 +75,8 @@ let tables ?(vt_shift = Ssta_tech.Vt_class.default_shift) config =
     fp_high = table ~shift:vt_shift vtp;
     vt_shift }
 
+let vt_shift t = t.vt_shift
+
 let pdf_dual t ~alpha_low ~alpha_high ~beta_low ~beta_high =
   if alpha_low < 0.0 || alpha_high < 0.0 || beta_low < 0.0 || beta_high < 0.0
   then invalid_arg "Inter.pdf_dual: coefficient sums must be non-negative";

@@ -23,6 +23,9 @@ val tables : ?vt_shift:float -> Config.t -> tables
     and one for thresholds shifted by [vt_shift] (default
     {!Ssta_tech.Vt_class.default_shift}), enabling dual-Vt analysis. *)
 
+val vt_shift : tables -> float
+(** The threshold shift the high-Vt grids were built with. *)
+
 val pdf : tables -> alpha_sum:float -> beta_sum:float -> Ssta_prob.Pdf.t
 (** Inter-delay PDF of a path with the given coefficient sums (both must
     be positive); all gates on the low-Vt class. *)

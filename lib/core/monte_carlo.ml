@@ -5,7 +5,6 @@ module Params = Ssta_tech.Params
 module Elmore = Ssta_tech.Elmore
 module Graph = Ssta_timing.Graph
 module Paths = Ssta_timing.Paths
-module Longest_path = Ssta_timing.Longest_path
 module Layers = Ssta_correlation.Layers
 module Budget = Ssta_correlation.Budget
 module Placement = Ssta_circuit.Placement

@@ -1,6 +1,5 @@
 module Graph = Ssta_timing.Graph
 module Sta = Ssta_timing.Sta
-module Longest_path = Ssta_timing.Longest_path
 module Paths = Ssta_timing.Paths
 module Placement = Ssta_circuit.Placement
 module Netlist = Ssta_circuit.Netlist

@@ -1,0 +1,67 @@
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_name = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let at_least ~min s = severity_rank s <= severity_rank min
+
+type location =
+  | Circuit
+  | Node of { id : int; name : string }
+  | Place of { id : int; x : float; y : float }
+  | Net of string
+  | Config
+  | Pdf of string
+  | File of { path : string; line : int }
+
+type t = {
+  rule : string;
+  severity : severity;
+  location : location;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint ~rule ~severity ~location message =
+  { rule; severity; location; message; hint }
+
+let location_key = function
+  | Circuit -> (0, 0, "")
+  | Node { id; _ } -> (1, id, "")
+  | Place { id; _ } -> (2, id, "")
+  | Net n -> (3, 0, n)
+  | Config -> (4, 0, "")
+  | Pdf n -> (5, 0, n)
+  | File { path; line } -> (6, line, path)
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else Stdlib.compare (location_key a.location) (location_key b.location)
+
+let pp_location fmt = function
+  | Circuit -> Format.fprintf fmt "circuit"
+  | Node { id; name } -> Format.fprintf fmt "node '%s' (id %d)" name id
+  | Place { id; x; y } ->
+      Format.fprintf fmt "node %d at (%.2f, %.2f)" id x y
+  | Net n -> Format.fprintf fmt "net '%s'" n
+  | Config -> Format.fprintf fmt "config"
+  | Pdf n -> Format.fprintf fmt "pdf '%s'" n
+  | File { path; line } -> Format.fprintf fmt "%s:%d" path line
+
+let pp fmt t =
+  Format.fprintf fmt "%s[%s] %a: %s"
+    (severity_name t.severity)
+    t.rule pp_location t.location t.message

@@ -1,0 +1,53 @@
+(** Structured lint diagnostics.
+
+    Every finding of the static-analysis pass is a {!t}: a stable rule
+    identifier (kebab-case, namespaced by input layer — [net-*],
+    [place-*], [spef-*], [def-*], [config-*], [budget-*], [timing-*],
+    [pdf-*]), a severity, a location inside the analyzed artifacts, a
+    human-readable message and an optional fix-it hint.  Diagnostics are
+    plain data; rendering lives in {!Reporter}. *)
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val severity_of_name : string -> severity option
+
+val severity_rank : severity -> int
+(** [Error] is 0, [Warning] 1, [Info] 2 — lower is more severe. *)
+
+val at_least : min:severity -> severity -> bool
+(** [at_least ~min s] is true when [s] is at least as severe as
+    [min]. *)
+
+type location =
+  | Circuit  (** the netlist as a whole *)
+  | Node of { id : int; name : string }  (** one netlist node *)
+  | Place of { id : int; x : float; y : float }
+      (** a placed node with its coordinates (microns) *)
+  | Net of string  (** a named net of a SPEF/DEF annotation *)
+  | Config  (** the methodology configuration *)
+  | Pdf of string  (** a named probability density *)
+  | File of { path : string; line : int }  (** a position in an input file *)
+
+type t = {
+  rule : string;  (** stable rule identifier *)
+  severity : severity;
+  location : location;
+  message : string;
+  hint : string option;  (** optional fix-it suggestion *)
+}
+
+val make :
+  ?hint:string -> rule:string -> severity:severity -> location:location ->
+  string -> t
+
+val compare : t -> t -> int
+(** Orders by severity (errors first), then rule id, then location —
+    the presentation order of the reporters. *)
+
+val pp_location : Format.formatter -> location -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: [severity[rule] location: message]. *)

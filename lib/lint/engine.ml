@@ -1,0 +1,108 @@
+module Netlist = Ssta_circuit.Netlist
+module Placement = Ssta_circuit.Placement
+module Config = Ssta_core.Config
+module Sta = Ssta_timing.Sta
+module Path_analysis = Ssta_core.Path_analysis
+module D = Diagnostic
+
+type input = {
+  circuit : Netlist.t;
+  placement : Placement.t option;
+  spef : Ssta_circuit.Spef.t option;
+  def : Ssta_circuit.Def_format.t option;
+  config : Config.t;
+  budget_weights : float array option;
+  deep : bool;
+}
+
+let input ?placement ?spef ?def ?(config = Config.default) ?budget_weights
+    ?(deep = true) circuit =
+  { circuit; placement; spef; def; config; budget_weights; deep }
+
+let deep_checks i =
+  (* One Bellman-Ford pass plus a single-path statistical analysis —
+     cheap relative to the full methodology, and enough to catch NaN
+     poisoning, mass leaks and dead derivative tables. *)
+  try
+    let sta = Sta.analyze i.circuit in
+    let graph_ds = Rules_timing.check_graph sta.Sta.graph in
+    let placement =
+      match i.placement with
+      | Some pl -> pl
+      | None -> Placement.place i.circuit
+    in
+    let ctx = Path_analysis.context i.config sta.Sta.graph placement in
+    let a = Path_analysis.analyze ctx sta.Sta.critical_path in
+    graph_ds @ Rules_timing.check_path_analysis a
+  with e ->
+    [ D.make ~rule:"lint-internal" ~severity:D.Error ~location:D.Circuit
+        ~hint:"the input is malformed enough to crash the analyzer"
+        (Printf.sprintf "deep timing analysis failed: %s"
+           (Printexc.to_string e)) ]
+
+let run i =
+  let config_ds =
+    Rules_config.check i.config
+    @
+    match i.budget_weights with
+    | Some w ->
+        Rules_config.check_budget_weights
+          ~layers:(Config.num_layers i.config) w
+    | None -> []
+  in
+  let netlist_ds = Rules_netlist.check i.circuit in
+  let placement_ds =
+    match i.placement with
+    | Some pl ->
+        Rules_placement.check ~quad_levels:i.config.Config.quad_levels
+          i.circuit pl
+    | None -> []
+  in
+  let spef_ds =
+    match i.spef with
+    | Some s -> Rules_annotation.check_spef s i.circuit
+    | None -> []
+  in
+  let def_ds =
+    match i.def with
+    | Some d -> Rules_annotation.check_def d i.circuit
+    | None -> []
+  in
+  let shallow = config_ds @ netlist_ds @ placement_ds @ spef_ds @ def_ds in
+  let blocked =
+    List.exists
+      (fun (d : D.t) ->
+        d.D.severity = D.Error
+        && (String.length d.D.rule >= 6 && String.sub d.D.rule 0 6 = "config"
+           || String.length d.D.rule >= 5 && String.sub d.D.rule 0 5 = "place"))
+      shallow
+  in
+  let deep_ds = if i.deep && not blocked then deep_checks i else [] in
+  List.sort D.compare (shallow @ deep_ds)
+
+type summary = { errors : int; warnings : int; infos : int }
+
+let summarize ds =
+  List.fold_left
+    (fun acc (d : D.t) ->
+      match d.D.severity with
+      | D.Error -> { acc with errors = acc.errors + 1 }
+      | D.Warning -> { acc with warnings = acc.warnings + 1 }
+      | D.Info -> { acc with infos = acc.infos + 1 })
+    { errors = 0; warnings = 0; infos = 0 }
+    ds
+
+let filter ~min_severity ds =
+  List.filter
+    (fun (d : D.t) -> D.at_least ~min:min_severity d.D.severity)
+    ds
+
+let has_errors ds = List.exists (fun (d : D.t) -> d.D.severity = D.Error) ds
+let exit_code ds = if has_errors ds then 1 else 0
+
+let all_rules =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Rules_netlist.rules @ Rules_placement.rules @ Rules_annotation.rules
+   @ Rules_config.rules @ Rules_timing.rules
+    @ [ ("lint-internal", "deep timing analysis crashed on this input") ])

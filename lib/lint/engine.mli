@@ -1,0 +1,57 @@
+(** The lint engine: runs every applicable rule over a bundle of input
+    artifacts and returns the sorted diagnostics.
+
+    Layering: config/budget checks come first (a broken config voids the
+    deeper analyses), then netlist structure, placement, SPEF/DEF
+    cross-checks, and finally — unless [deep] is disabled — the timing
+    graph is built and the deterministic critical path is analyzed
+    statistically so the resulting PDFs can be sanity-checked
+    (NaN/Inf-free, unit mass, non-degenerate intra variance). *)
+
+type input = {
+  circuit : Ssta_circuit.Netlist.t;
+  placement : Ssta_circuit.Placement.t option;
+  spef : Ssta_circuit.Spef.t option;
+  def : Ssta_circuit.Def_format.t option;
+  config : Ssta_core.Config.t;
+  budget_weights : float array option;
+      (** raw (pre-normalization) weights to validate, e.g. parsed from
+          the command line *)
+  deep : bool;  (** run the timing-graph / PDF checks (default true) *)
+}
+
+val input :
+  ?placement:Ssta_circuit.Placement.t ->
+  ?spef:Ssta_circuit.Spef.t ->
+  ?def:Ssta_circuit.Def_format.t ->
+  ?config:Ssta_core.Config.t ->
+  ?budget_weights:float array ->
+  ?deep:bool ->
+  Ssta_circuit.Netlist.t ->
+  input
+(** Bundle inputs; [config] defaults to {!Ssta_core.Config.default}. *)
+
+val run : input -> Diagnostic.t list
+(** Execute every applicable rule; the result is sorted with
+    {!Diagnostic.compare} (errors first).  The deep timing checks are
+    skipped when the config or placement already produced errors (they
+    could not run meaningfully), and an internal failure of the deep
+    analysis is reported as a [lint-internal] error rather than an
+    exception. *)
+
+type summary = { errors : int; warnings : int; infos : int }
+
+val summarize : Diagnostic.t list -> summary
+
+val filter :
+  min_severity:Diagnostic.severity -> Diagnostic.t list -> Diagnostic.t list
+(** Keep diagnostics at least as severe as [min_severity]. *)
+
+val has_errors : Diagnostic.t list -> bool
+
+val exit_code : Diagnostic.t list -> int
+(** 0 when error-free, 1 otherwise — the CLI contract. *)
+
+val all_rules : (string * string) list
+(** Every rule id the engine can emit with its one-line description,
+    sorted by id. *)

@@ -1,0 +1,79 @@
+module D = Diagnostic
+
+let text ~circuit_name fmt ds =
+  let s = Engine.summarize ds in
+  Format.fprintf fmt "%s: %d diagnostic(s) (%d error(s), %d warning(s), %d info(s))@."
+    circuit_name
+    (List.length ds) s.Engine.errors s.Engine.warnings s.Engine.infos;
+  List.iter
+    (fun (d : D.t) ->
+      Format.fprintf fmt "  %a@." D.pp d;
+      match d.D.hint with
+      | Some h -> Format.fprintf fmt "    hint: %s@." h
+      | None -> ())
+    ds
+
+(* Minimal JSON emission; strings are escaped per RFC 8259. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%g" f
+  else Printf.sprintf "\"%g\"" f
+
+let location_json = function
+  | D.Circuit -> "{\"kind\":\"circuit\"}"
+  | D.Node { id; name } ->
+      Printf.sprintf "{\"kind\":\"node\",\"id\":%d,\"name\":\"%s\"}" id
+        (json_escape name)
+  | D.Place { id; x; y } ->
+      Printf.sprintf "{\"kind\":\"place\",\"id\":%d,\"x\":%s,\"y\":%s}" id
+        (json_float x) (json_float y)
+  | D.Net n ->
+      Printf.sprintf "{\"kind\":\"net\",\"name\":\"%s\"}" (json_escape n)
+  | D.Config -> "{\"kind\":\"config\"}"
+  | D.Pdf n ->
+      Printf.sprintf "{\"kind\":\"pdf\",\"name\":\"%s\"}" (json_escape n)
+  | D.File { path; line } ->
+      Printf.sprintf "{\"kind\":\"file\",\"path\":\"%s\",\"line\":%d}"
+        (json_escape path) line
+
+let diagnostic_json (d : D.t) =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"severity\":\"%s\",\"location\":%s,\"message\":\"%s\",\"hint\":%s}"
+    (json_escape d.D.rule)
+    (D.severity_name d.D.severity)
+    (location_json d.D.location)
+    (json_escape d.D.message)
+    (match d.D.hint with
+    | Some h -> Printf.sprintf "\"%s\"" (json_escape h)
+    | None -> "null")
+
+let json ~circuit_name fmt ds =
+  let s = Engine.summarize ds in
+  Format.fprintf fmt
+    "{\"circuit\":\"%s\",\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"total\":%d},\"diagnostics\":[%s]}@."
+    (json_escape circuit_name)
+    s.Engine.errors s.Engine.warnings s.Engine.infos (List.length ds)
+    (String.concat "," (List.map diagnostic_json ds))
+
+let rule_table fmt rules =
+  let width =
+    List.fold_left (fun acc (id, _) -> Int.max acc (String.length id)) 0 rules
+  in
+  List.iter
+    (fun (id, doc) -> Format.fprintf fmt "%-*s  %s@." width id doc)
+    rules

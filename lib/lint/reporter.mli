@@ -1,0 +1,30 @@
+(** Rendering of lint results.
+
+    Two formats: a human-readable text listing and a machine-readable
+    JSON document with the schema
+
+    {v
+      { "circuit": string,
+        "summary": { "errors": int, "warnings": int,
+                     "infos": int, "total": int },
+        "diagnostics": [
+          { "rule": string,
+            "severity": "error" | "warning" | "info",
+            "location": { "kind": "circuit" | "node" | "place" | "net"
+                                | "config" | "pdf" | "file", ... },
+            "message": string,
+            "hint": string | null } ] }
+    v}
+
+    Node locations carry ["id"] and ["name"]; place locations ["id"],
+    ["x"], ["y"]; net/pdf locations ["name"]; file locations ["path"]
+    and ["line"]. *)
+
+val text :
+  circuit_name:string -> Format.formatter -> Diagnostic.t list -> unit
+
+val json :
+  circuit_name:string -> Format.formatter -> Diagnostic.t list -> unit
+
+val rule_table : Format.formatter -> (string * string) list -> unit
+(** Render the rule catalogue (for [--list-rules]). *)

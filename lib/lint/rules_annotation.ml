@@ -1,0 +1,109 @@
+module Netlist = Ssta_circuit.Netlist
+module Spef = Ssta_circuit.Spef
+module Def_format = Ssta_circuit.Def_format
+module D = Diagnostic
+
+let rules =
+  [ ("spef-orphan-net", "SPEF annotation names a node absent from the netlist");
+    ("spef-negative-cap", "negative or non-finite net capacitance");
+    ("spef-cap-outlier", "net capacitance wildly out of range");
+    ("spef-duplicate-net", "net annotated more than once");
+    ("spef-low-coverage", "fewer than half the gates carry an annotation");
+    ("def-unknown-component", "DEF component matches no gate of the netlist");
+    ("def-outside-die", "DEF component placed outside the DIEAREA");
+    ("def-duplicate-component", "DEF component name appears more than once");
+    ("def-low-coverage", "fewer than half the gates have a DEF component") ]
+
+let name_table c =
+  let table = Hashtbl.create 256 in
+  for id = 0 to Netlist.num_nodes c - 1 do
+    Hashtbl.replace table (Netlist.node_name c id) id
+  done;
+  table
+
+let check_spef ?(cap_limit = 1e-10) (spef : Spef.t) c =
+  let table = name_table c in
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  let seen = Hashtbl.create 256 in
+  let matched = ref 0 in
+  List.iter
+    (fun (net, cap) ->
+      (match Hashtbl.find_opt table net with
+      | None ->
+          emit
+            (D.make ~rule:"spef-orphan-net" ~severity:D.Error
+               ~location:(D.Net net)
+               ~hint:"check that the SPEF was extracted from this netlist"
+               "annotation names a node absent from the netlist")
+      | Some _ -> incr matched);
+      if Hashtbl.mem seen net then
+        emit
+          (D.make ~rule:"spef-duplicate-net" ~severity:D.Warning
+             ~location:(D.Net net)
+             ~hint:"the last record wins in Spef.apply"
+             "net annotated more than once")
+      else Hashtbl.add seen net ();
+      if (not (Float.is_finite cap)) || cap < 0.0 then
+        emit
+          (D.make ~rule:"spef-negative-cap" ~severity:D.Error
+             ~location:(D.Net net)
+             (Printf.sprintf "capacitance %g F is negative or not finite" cap))
+      else if cap > cap_limit then
+        emit
+          (D.make ~rule:"spef-cap-outlier" ~severity:D.Warning
+             ~location:(D.Net net)
+             ~hint:"check the SPEF capacitance units (expected farads here)"
+             (Printf.sprintf "capacitance %g F exceeds the %g F sanity limit"
+                cap cap_limit)))
+    spef.Spef.caps;
+  if !matched * 2 < Netlist.num_gates c then
+    emit
+      (D.make ~rule:"spef-low-coverage" ~severity:D.Error ~location:D.Circuit
+         ~hint:"Spef.apply rejects pairings covering under half the gates"
+         (Printf.sprintf "only %d of %d gates annotated" !matched
+            (Netlist.num_gates c)));
+  List.rev !ds
+
+let check_def (def : Def_format.t) c =
+  let table = name_table c in
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  let seen = Hashtbl.create 256 in
+  let matched = ref 0 in
+  let w = def.Def_format.die_width and h = def.Def_format.die_height in
+  List.iter
+    (fun (comp : Def_format.component) ->
+      let name = comp.Def_format.comp_name in
+      (match Hashtbl.find_opt table name with
+      | Some id when not (Netlist.is_input c id) -> incr matched
+      | Some _ | None ->
+          emit
+            (D.make ~rule:"def-unknown-component" ~severity:D.Warning
+               ~location:(D.Net name)
+               ~hint:"check that the DEF was written for this netlist"
+               "component matches no gate of the netlist"));
+      if Hashtbl.mem seen name then
+        emit
+          (D.make ~rule:"def-duplicate-component" ~severity:D.Warning
+             ~location:(D.Net name) "component name appears more than once")
+      else Hashtbl.add seen name ();
+      let x = comp.Def_format.x and y = comp.Def_format.y in
+      if
+        (not (Float.is_finite x && Float.is_finite y))
+        || x < 0.0 || y < 0.0 || x > w || y > h
+      then
+        emit
+          (D.make ~rule:"def-outside-die" ~severity:D.Error
+             ~location:(D.Net name)
+             ~hint:(Printf.sprintf "DIEAREA is (0, 0) .. (%g, %g) microns" w h)
+             (Printf.sprintf "component placed at (%g, %g), outside the die" x
+                y)))
+    def.Def_format.components;
+  if !matched * 2 < Netlist.num_gates c then
+    emit
+      (D.make ~rule:"def-low-coverage" ~severity:D.Error ~location:D.Circuit
+         ~hint:"Def_format.placement_of rejects pairings under half coverage"
+         (Printf.sprintf "only %d of %d gates have a placed component"
+            !matched (Netlist.num_gates c)));
+  List.rev !ds

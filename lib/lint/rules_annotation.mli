@@ -1,0 +1,34 @@
+(** Cross-checks of SPEF / DEF annotations against the netlist they are
+    meant to annotate.
+
+    SPEF rules:
+    - [spef-orphan-net] (error): a [*D_NET] record naming a node absent
+      from the netlist.
+    - [spef-negative-cap] (error): a negative or non-finite capacitance
+      (only reachable on programmatically built annotations — the parser
+      rejects them — but lint guards the API path too).
+    - [spef-cap-outlier] (warning): a capacitance beyond [cap_limit]
+      farads (default 1e-10, i.e. 100 pF — orders of magnitude above any
+      plausible net in this technology).
+    - [spef-duplicate-net] (warning): the same net annotated twice.
+    - [spef-low-coverage] (error): fewer than half the gates annotated —
+      {!Ssta_circuit.Spef.apply} would reject the pairing at run time.
+
+    DEF rules:
+    - [def-unknown-component] (warning): a component whose name matches
+      no gate of the netlist.
+    - [def-outside-die] (error): a component placed outside the DIEAREA.
+    - [def-duplicate-component] (warning): the same component name twice.
+    - [def-low-coverage] (error): fewer than half the gates matched —
+      {!Ssta_circuit.Def_format.placement_of} would reject the pairing. *)
+
+val check_spef :
+  ?cap_limit:float ->
+  Ssta_circuit.Spef.t ->
+  Ssta_circuit.Netlist.t ->
+  Diagnostic.t list
+
+val check_def :
+  Ssta_circuit.Def_format.t -> Ssta_circuit.Netlist.t -> Diagnostic.t list
+
+val rules : (string * string) list

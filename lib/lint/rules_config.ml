@@ -1,0 +1,96 @@
+module Config = Ssta_core.Config
+module Budget = Ssta_correlation.Budget
+module D = Diagnostic
+
+let rules =
+  [ ("config-invalid", "Config.validate rejected the configuration");
+    ("config-quality", "suspicious PDF discretization quality points");
+    ("config-confidence", "confidence constant beyond 1.0");
+    ("budget-shares", "layer variance shares do not sum to the total");
+    ("budget-degenerate", "intra-die layers carry zero variance") ]
+
+let quality_ceiling = 4000
+
+let check_budget_weights ?layers weights =
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  let n = Array.length weights in
+  if n = 0 then
+    emit
+      (D.make ~rule:"budget-shares" ~severity:D.Error ~location:D.Config
+         "empty budget weight vector")
+  else begin
+    (match layers with
+    | Some l when l <> n ->
+        emit
+          (D.make ~rule:"budget-shares" ~severity:D.Error ~location:D.Config
+             ~hint:"one weight per correlation layer (layer 0 is inter-die)"
+             (Printf.sprintf "%d weights for %d layers" n l))
+    | _ -> ());
+    let bad = ref false in
+    Array.iteri
+      (fun i w ->
+        if (not (Float.is_finite w)) || w < 0.0 then begin
+          bad := true;
+          emit
+            (D.make ~rule:"budget-shares" ~severity:D.Error ~location:D.Config
+               (Printf.sprintf "weight %g of layer %d is negative or not finite"
+                  w i))
+        end)
+      weights;
+    if not !bad then begin
+      let sum = Array.fold_left ( +. ) 0.0 weights in
+      if Float.abs (sum -. 1.0) > 1e-6 then
+        emit
+          (D.make ~rule:"budget-shares" ~severity:D.Error ~location:D.Config
+             ~hint:"Eq. (14): per-layer variances must sum to the total"
+             (Printf.sprintf "weights sum to %.6f, expected 1" sum));
+      (* All the variance on layer 0 means no intra-die variation. *)
+      let intra = Array.sub weights 1 (Int.max 0 (n - 1)) in
+      if n > 1 && Array.for_all (fun w -> w = 0.0) intra then
+        emit
+          (D.make ~rule:"budget-degenerate" ~severity:D.Warning
+             ~location:D.Config
+             ~hint:"path PDFs collapse to the inter-die part"
+             "intra-die layers carry zero variance")
+    end
+  end;
+  List.rev !ds
+
+let check (cfg : Config.t) =
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg ->
+      emit
+        (D.make ~rule:"config-invalid" ~severity:D.Error ~location:D.Config
+           msg));
+  if cfg.Config.quality_inter > cfg.Config.quality_intra then
+    emit
+      (D.make ~rule:"config-quality" ~severity:D.Warning ~location:D.Config
+         ~hint:"the paper picks QUALITY_intra 100 >= QUALITY_inter 50"
+         (Printf.sprintf "quality_inter %d exceeds quality_intra %d"
+            cfg.Config.quality_inter cfg.Config.quality_intra));
+  if
+    cfg.Config.quality_intra > quality_ceiling
+    || cfg.Config.quality_inter > quality_ceiling
+  then
+    emit
+      (D.make ~rule:"config-quality" ~severity:D.Warning ~location:D.Config
+         ~hint:"PDF combination cost grows quadratically in the quality"
+         (Printf.sprintf "quality points %d/%d beyond the %d sanity ceiling"
+            cfg.Config.quality_intra cfg.Config.quality_inter quality_ceiling));
+  if cfg.Config.confidence > 1.0 then
+    emit
+      (D.make ~rule:"config-confidence" ~severity:D.Warning ~location:D.Config
+         ~hint:"the paper uses C in [0.05, 0.2]"
+         (Printf.sprintf
+            "confidence constant %g makes near-critical enumeration explode"
+            cfg.Config.confidence));
+  let budget = cfg.Config.budget in
+  let weights =
+    Array.init (Budget.layers budget) (fun i -> Budget.weight budget i)
+  in
+  let layers = Config.num_layers cfg in
+  List.rev !ds @ check_budget_weights ~layers weights

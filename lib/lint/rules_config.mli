@@ -1,0 +1,29 @@
+(** Checks on the methodology configuration and the layer variance
+    budget (Eq. 14 requires the per-layer shares to reproduce the total
+    variance).
+
+    Rules:
+    - [config-invalid] (error): {!Ssta_core.Config.validate} rejected
+      the configuration.
+    - [config-quality] (warning): suspicious PDF discretizations —
+      [quality_inter > quality_intra] (the paper picks 100/50), or a
+      quality point beyond 4000 cells (quadratic run-time blow-up).
+    - [config-confidence] (warning): a confidence constant above 1.0 —
+      near-critical enumeration explodes.
+    - [budget-shares] (error): a raw weight vector that is empty, has
+      negative or non-finite entries, does not sum to 1, or does not
+      match the layer count.
+    - [budget-degenerate] (warning): the intra-die layers carry zero
+      variance — every path PDF collapses to the inter-die part. *)
+
+val check : Ssta_core.Config.t -> Diagnostic.t list
+(** Configuration checks, including budget checks on the (normalized)
+    weights embedded in the config. *)
+
+val check_budget_weights :
+  ?layers:int -> float array -> Diagnostic.t list
+(** Validate a raw, un-normalized weight vector (e.g. parsed from the
+    command line) against Eq. (14): non-negative, finite, summing to 1
+    within 1e-6, and of length [layers] when given. *)
+
+val rules : (string * string) list

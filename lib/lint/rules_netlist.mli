@@ -1,0 +1,26 @@
+(** Structural checks on the gate-level netlist.
+
+    Rules (ids are stable):
+    - [net-dangling] (error for gates, warning for inputs): a node whose
+      output drives nothing and that is not a primary output.
+    - [net-unreachable] (error): a gate with consumers but no directed
+      path to any primary output — dead logic the timer would silently
+      ignore.
+    - [net-duplicate-gate] (info): two gates of the same kind with the
+      same fan-in multiset (structural duplicates, load-splitting
+      aside).
+    - [net-constant-gate] (warning): a gate whose output is provably
+      constant because every fan-in is the same node (XOR(a,a),
+      XNOR(a,a)).
+    - [net-fanout-outlier] (info): a node driving more than
+      [fanout_limit] consumers.
+    - [net-depth-outlier] (info): logic depth out of proportion with the
+      gate count (chain-like topology on a large circuit). *)
+
+val check :
+  ?fanout_limit:int -> Ssta_circuit.Netlist.t -> Diagnostic.t list
+(** Run every netlist rule.  [fanout_limit] defaults to 64. *)
+
+val rules : (string * string) list
+(** [(rule id, one-line description)] of every rule this module can
+    emit. *)

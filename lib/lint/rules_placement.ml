@@ -1,0 +1,109 @@
+module Netlist = Ssta_circuit.Netlist
+module Placement = Ssta_circuit.Placement
+module Layers = Ssta_correlation.Layers
+module D = Diagnostic
+
+let rules =
+  [ ("place-count-mismatch",
+     "coordinate array does not cover every netlist node");
+    ("place-degenerate-die", "non-positive or non-finite die dimensions");
+    ("place-outside-die", "node placed outside the die bounding box");
+    ("place-overlap", "several gates share the same coordinates");
+    ("place-empty-partition",
+     "deepest quad-tree layer has partitions with no gates") ]
+
+let check ?(quad_levels = 4) c (pl : Placement.t) =
+  let n = Netlist.num_nodes c in
+  let coords = pl.Placement.coords in
+  if Array.length coords <> n then
+    [ D.make ~rule:"place-count-mismatch" ~severity:D.Error
+        ~location:D.Circuit
+        ~hint:"re-run the placer on this netlist"
+        (Printf.sprintf "placement has %d coordinates for %d nodes"
+           (Array.length coords) n) ]
+  else begin
+    let ds = ref [] in
+    let emit d = ds := d :: !ds in
+    let w = pl.Placement.die_width and h = pl.Placement.die_height in
+    let die_ok =
+      Float.is_finite w && Float.is_finite h && w > 0.0 && h > 0.0
+    in
+    if not die_ok then
+      emit
+        (D.make ~rule:"place-degenerate-die" ~severity:D.Error
+           ~location:D.Circuit
+           (Printf.sprintf "die is %g x %g microns" w h));
+    (* place-outside-die *)
+    if die_ok then
+      Array.iteri
+        (fun id (x, y) ->
+          if
+            (not (Float.is_finite x && Float.is_finite y))
+            || x < 0.0 || y < 0.0 || x > w || y > h
+          then
+            emit
+              (D.make ~rule:"place-outside-die" ~severity:D.Error
+                 ~location:(D.Place { id; x; y })
+                 ~hint:
+                   (Printf.sprintf "die bounding box is (0, 0) .. (%g, %g)" w
+                      h)
+                 "node placed outside the die bounding box"))
+        coords;
+    (* place-overlap: exact collisions after rounding to 1e-3 micron.
+       Primary inputs carry no gate delay, so only gates count — DEF
+       files legitimately leave inputs unplaced at the origin. *)
+    let key (x, y) =
+      (Float.round (x *. 1000.0), Float.round (y *. 1000.0))
+    in
+    let groups : (float * float, int list) Hashtbl.t = Hashtbl.create n in
+    Array.iteri
+      (fun id xy ->
+        if not (Netlist.is_input c id) then begin
+          let k = key xy in
+          let prev = Option.value (Hashtbl.find_opt groups k) ~default:[] in
+          Hashtbl.replace groups k (id :: prev)
+        end)
+      coords;
+    Hashtbl.iter
+      (fun _ ids ->
+        match List.rev ids with
+        | first :: (_ :: _ as rest) ->
+            let x, y = coords.(first) in
+            emit
+              (D.make ~rule:"place-overlap" ~severity:D.Warning
+                 ~location:(D.Place { id = first; x; y })
+                 ~hint:"overlapping gates make spatial correlation degenerate"
+                 (Printf.sprintf "%d other node(s) at the same spot (%s)"
+                    (List.length rest)
+                    (String.concat ", " (List.map string_of_int rest))))
+        | _ -> ())
+      groups;
+    (* place-empty-partition on the deepest spatial layer. *)
+    if die_ok && quad_levels >= 1 && Netlist.num_gates c > 0 then begin
+      let layers =
+        Layers.create ~quad_levels ~random_layer:false ~die_width:w
+          ~die_height:h ()
+      in
+      let level = quad_levels - 1 in
+      let parts = Layers.partitions_at layers level in
+      let occupancy = Array.make parts 0 in
+      Array.iter
+        (fun (g : Netlist.gate) ->
+          let x, y = coords.(g.Netlist.id) in
+          if Float.is_finite x && Float.is_finite y then begin
+            let p = Layers.partition_of layers ~level ~x ~y in
+            occupancy.(p) <- occupancy.(p) + 1
+          end)
+        c.Netlist.gates;
+      let empty = Array.fold_left (fun acc o -> if o = 0 then acc + 1 else acc) 0 occupancy in
+      if empty > 0 then
+        emit
+          (D.make ~rule:"place-empty-partition" ~severity:D.Info
+             ~location:D.Circuit
+             ~hint:"a denser placement uses the correlation layers better"
+             (Printf.sprintf
+                "%d of %d partitions at quad-tree level %d contain no gates"
+                empty parts level))
+    end;
+    List.rev !ds
+  end

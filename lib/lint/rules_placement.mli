@@ -1,0 +1,24 @@
+(** Checks on a placement against its netlist and the quad-tree layer
+    structure.
+
+    Rules:
+    - [place-count-mismatch] (error): the coordinate array does not
+      cover every node of the netlist (remaining rules are skipped).
+    - [place-degenerate-die] (error): non-positive or non-finite die
+      dimensions.
+    - [place-outside-die] (error): a node placed outside the die
+      bounding box.
+    - [place-overlap] (warning): two or more nodes at the same
+      coordinates (within 1e-3 micron).
+    - [place-empty-partition] (info): leaf partitions of the deepest
+      quad-tree layer containing no gates — the spatial-correlation
+      model degenerates there. *)
+
+val check :
+  ?quad_levels:int ->
+  Ssta_circuit.Netlist.t ->
+  Ssta_circuit.Placement.t ->
+  Diagnostic.t list
+(** [quad_levels] defaults to 4, the paper's layer count. *)
+
+val rules : (string * string) list

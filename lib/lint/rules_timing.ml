@@ -1,0 +1,67 @@
+module Graph = Ssta_timing.Graph
+module Netlist = Ssta_circuit.Netlist
+module Pdf = Ssta_prob.Pdf
+module Path_analysis = Ssta_core.Path_analysis
+module D = Diagnostic
+
+let rules =
+  [ ("timing-nonfinite-delay", "NaN, infinite or negative nominal gate delay");
+    ("pdf-invalid-density", "PDF density has NaN, infinite or negative cells");
+    ("pdf-mass", "PDF total probability mass is not 1");
+    ("timing-zero-intra", "zero intra-die sigma on a multi-gate path") ]
+
+let check_graph (g : Graph.t) =
+  let c = g.Graph.circuit in
+  let ds = ref [] in
+  Array.iteri
+    (fun id d ->
+      if (not (Netlist.is_input c id)) && ((not (Float.is_finite d)) || d < 0.0)
+      then
+        ds :=
+          D.make ~rule:"timing-nonfinite-delay" ~severity:D.Error
+            ~location:(D.Node { id; name = Netlist.node_name c id })
+            ~hint:"check the electrical model and the load capacitances"
+            (Printf.sprintf "nominal delay %g s" d)
+          :: !ds)
+    g.Graph.delay;
+  List.rev !ds
+
+let check_pdf ~label (p : Pdf.t) =
+  let ds = ref [] in
+  let bad = ref 0 in
+  Array.iter
+    (fun d -> if (not (Float.is_finite d)) || d < 0.0 then incr bad)
+    p.Pdf.density;
+  if !bad > 0 then
+    ds :=
+      D.make ~rule:"pdf-invalid-density" ~severity:D.Error
+        ~location:(D.Pdf label)
+        ~hint:"a NaN upstream poisons every convolution it enters"
+        (Printf.sprintf "%d of %d density cells are NaN, infinite or negative"
+           !bad (Pdf.size p))
+      :: !ds
+  else begin
+    let mass = Pdf.total_mass p in
+    if Float.abs (mass -. 1.0) > 1e-6 then
+      ds :=
+        D.make ~rule:"pdf-mass" ~severity:D.Error ~location:(D.Pdf label)
+          (Printf.sprintf "total probability mass %.9f, expected 1" mass)
+        :: !ds
+  end;
+  List.rev !ds
+
+let check_path_analysis (a : Path_analysis.t) =
+  let ds =
+    check_pdf ~label:"intra" a.Path_analysis.intra_pdf
+    @ check_pdf ~label:"inter" a.Path_analysis.inter_pdf
+    @ check_pdf ~label:"total" a.Path_analysis.total_pdf
+  in
+  if a.Path_analysis.gate_count >= 2 && a.Path_analysis.intra_sigma <= 0.0
+  then
+    ds
+    @ [ D.make ~rule:"timing-zero-intra" ~severity:D.Warning
+          ~location:(D.Pdf "intra")
+          ~hint:"Eq. (14) coefficients all vanished; check derivatives/budget"
+          (Printf.sprintf "intra sigma %g on a path of %d gates"
+             a.Path_analysis.intra_sigma a.Path_analysis.gate_count) ]
+  else ds

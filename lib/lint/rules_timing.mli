@@ -1,0 +1,24 @@
+(** Post-build sanity of the timing graph and of the statistical
+    path-analysis outputs (the paper's PDFs).
+
+    Rules:
+    - [timing-nonfinite-delay] (error): a nominal gate delay that is
+      NaN, infinite or negative.
+    - [pdf-invalid-density] (error): a PDF density containing NaN,
+      infinite or negative cells.
+    - [pdf-mass] (error): total probability mass off 1 by more than
+      1e-6.
+    - [timing-zero-intra] (warning): zero intra-die sigma on a path of
+      two or more gates — the Eq. (14) coefficients all vanished, which
+      means the derivative tables or the budget are broken. *)
+
+val check_graph : Ssta_timing.Graph.t -> Diagnostic.t list
+
+val check_pdf : label:string -> Ssta_prob.Pdf.t -> Diagnostic.t list
+(** [label] names the PDF in the diagnostic location. *)
+
+val check_path_analysis : Ssta_core.Path_analysis.t -> Diagnostic.t list
+(** Runs {!check_pdf} over the intra / inter / total PDFs of one
+    analyzed path plus the zero-intra-variance check. *)
+
+val rules : (string * string) list

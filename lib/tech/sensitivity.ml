@@ -20,7 +20,7 @@ let analyze ?(fanout = 2) kind =
   { gate = kind; entries }
 
 let table1_gates = [ Gate.Nand 2; Gate.Nor 2; Gate.Inv; Gate.Xnor2 ]
-let table1 () = List.map analyze table1_gates
+let table1 () = List.map (fun g -> analyze g) table1_gates
 
 let dominant row =
   match row.entries with

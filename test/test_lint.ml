@@ -1,0 +1,343 @@
+(* Lint subsystem: clean bills of health for every built-in and
+   generated circuit, and one firing fixture per rule family. *)
+
+module Netlist = Ssta_circuit.Netlist
+module B = Netlist.Builder
+module Generators = Ssta_circuit.Generators
+module Iscas85 = Ssta_circuit.Iscas85
+module Placement = Ssta_circuit.Placement
+module Spef = Ssta_circuit.Spef
+module Def_format = Ssta_circuit.Def_format
+module Gate = Ssta_tech.Gate
+module Pdf = Ssta_prob.Pdf
+module Sta = Ssta_timing.Sta
+module Config = Ssta_core.Config
+module Path_analysis = Ssta_core.Path_analysis
+module D = Ssta_lint.Diagnostic
+module Lint = Ssta_lint.Engine
+module Rules_netlist = Ssta_lint.Rules_netlist
+module Rules_timing = Ssta_lint.Rules_timing
+module Rules_config = Ssta_lint.Rules_config
+open Helpers
+
+let fires ?severity rule ds =
+  List.exists
+    (fun (d : D.t) ->
+      String.equal d.D.rule rule
+      && match severity with None -> true | Some s -> d.D.severity = s)
+    ds
+
+let assert_fires ?severity rule ds =
+  if not (fires ?severity rule ds) then
+    Alcotest.failf "expected rule %s to fire; got: %s" rule
+      (String.concat "; "
+         (List.map (fun (d : D.t) -> Fmt.str "%a" D.pp d) ds))
+
+let assert_clean name ds =
+  match List.filter (fun (d : D.t) -> d.D.severity = D.Error) ds with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "%s: expected no lint errors, got %s" name
+        (String.concat "; "
+           (List.map (fun (d : D.t) -> Fmt.str "%a" D.pp d) errs))
+
+let assert_rejects ds =
+  check_true "defective input must exit nonzero" (Lint.exit_code ds <> 0)
+
+(* --- clean inputs ---------------------------------------------------- *)
+
+let test_builtins_clean () =
+  List.iter
+    (fun (spec : Iscas85.spec) ->
+      let circuit, placement = Iscas85.build_placed spec in
+      let ds =
+        Lint.run (Lint.input ~placement ~config:fast_config circuit)
+      in
+      assert_clean spec.Iscas85.name ds;
+      check_int (spec.Iscas85.name ^ " exit code") 0 (Lint.exit_code ds))
+    Iscas85.all
+
+let test_generators_clean () =
+  let circuits =
+    [ Generators.chain ~name:"chain" ~length:5 ();
+      Generators.and_or_tree ~name:"tree" ~width:16 ();
+      Generators.ripple_carry_adder ~name:"rca" ~bits:8 ();
+      Generators.array_multiplier ~name:"mul" ~bits:4 ();
+      Generators.ecc ~name:"ecc" ~data_bits:32 ~check_bits:8 ();
+      Generators.expand_xor
+        (Generators.ecc ~name:"ecc_x" ~data_bits:32 ~check_bits:8 ());
+      Generators.decoder ~name:"dec" ~bits:4 ();
+      Generators.mux_tree ~name:"mux" ~select_bits:3 ();
+      Generators.parity_chain ~name:"par" ~width:16 ();
+      Generators.comparator ~name:"cmp" ~bits:8 ();
+      small_random () ]
+  in
+  List.iter
+    (fun c ->
+      let ds = Lint.run (Lint.input ~config:fast_config c) in
+      assert_clean c.Netlist.name ds)
+    circuits
+
+let test_generated_files_clean () =
+  (* The writer/parser round trip must stay lint-clean too. *)
+  let spec = Option.get (Iscas85.by_name "c432") in
+  let circuit, placement = Iscas85.build_placed spec in
+  let spef = Spef.of_placement ~design:"c432" circuit placement in
+  let def = Def_format.of_placement ~design:"c432" circuit placement in
+  let ds =
+    Lint.run (Lint.input ~placement ~spef ~def ~config:fast_config circuit)
+  in
+  assert_clean "c432 + SPEF + DEF" ds
+
+(* --- netlist rules --------------------------------------------------- *)
+
+let defective_unreachable () =
+  (* g1 -> g2 where g2 dangles: g2 is a dangling error, g1 is live-looking
+     but unreachable from the single primary output g3. *)
+  let b = B.create "unreachable" in
+  let a = B.add_input b "a" in
+  let bb = B.add_input b "b" in
+  let g1 = B.add_gate b (Gate.Nand 2) [ a; bb ] in
+  let _g2 = B.add_gate b Gate.Inv [ g1 ] in
+  let g3 = B.add_gate b Gate.Inv [ a ] in
+  B.mark_output b g3;
+  B.finish b
+
+let test_unreachable () =
+  let ds = Lint.run (Lint.input ~deep:false (defective_unreachable ())) in
+  assert_fires ~severity:D.Error "net-unreachable" ds;
+  assert_fires ~severity:D.Error "net-dangling" ds;
+  assert_rejects ds
+
+let test_dangling_input () =
+  let b = B.create "dangling_in" in
+  let a = B.add_input b "a" in
+  let _unused = B.add_input b "unused" in
+  let g = B.add_gate b Gate.Inv [ a ] in
+  B.mark_output b g;
+  let ds = Lint.run (Lint.input ~deep:false (B.finish b)) in
+  assert_fires ~severity:D.Warning "net-dangling" ds;
+  check_int "unused input is only a warning" 0 (Lint.exit_code ds)
+
+let test_duplicate_and_constant () =
+  let b = B.create "dup" in
+  let a = B.add_input b "a" in
+  let bb = B.add_input b "b" in
+  let g1 = B.add_gate b (Gate.Nand 2) [ a; bb ] in
+  let g2 = B.add_gate b (Gate.Nand 2) [ a; bb ] in
+  let g3 = B.add_gate b Gate.Xor2 [ a; a ] in
+  List.iter (B.mark_output b) [ g1; g2; g3 ];
+  let ds = Lint.run (Lint.input ~deep:false (B.finish b)) in
+  assert_fires ~severity:D.Info "net-duplicate-gate" ds;
+  assert_fires ~severity:D.Warning "net-constant-gate" ds
+
+let test_fanout_and_depth_outliers () =
+  let b = B.create "fan" in
+  let a = B.add_input b "a" in
+  for _ = 1 to 4 do
+    B.mark_output b (B.add_gate b Gate.Inv [ a ])
+  done;
+  let ds = Rules_netlist.check ~fanout_limit:3 (B.finish b) in
+  assert_fires ~severity:D.Info "net-fanout-outlier" ds;
+  let chain = Generators.chain ~name:"deep" ~length:40 () in
+  assert_fires ~severity:D.Info "net-depth-outlier"
+    (Rules_netlist.check chain)
+
+(* --- placement rules ------------------------------------------------- *)
+
+let tiny () = tiny_chain ()
+
+let test_placement_outside_die () =
+  let c = tiny () in
+  let n = Netlist.num_nodes c in
+  let coords = Array.init n (fun i -> (float_of_int i *. 10.0, 10.0)) in
+  coords.(n - 1) <- (1000.0, 10.0);
+  let placement =
+    { Placement.die_width = 100.0; die_height = 50.0; coords }
+  in
+  let ds = Lint.run (Lint.input ~placement ~deep:false c) in
+  assert_fires ~severity:D.Error "place-outside-die" ds;
+  assert_rejects ds
+
+let test_placement_overlap_and_mismatch () =
+  let c = tiny () in
+  let n = Netlist.num_nodes c in
+  let coords = Array.make n (5.0, 5.0) in
+  let placement =
+    { Placement.die_width = 100.0; die_height = 100.0; coords }
+  in
+  let ds = Lint.run (Lint.input ~placement ~deep:false c) in
+  assert_fires ~severity:D.Warning "place-overlap" ds;
+  assert_fires ~severity:D.Info "place-empty-partition" ds;
+  let short =
+    { Placement.die_width = 100.0; die_height = 100.0;
+      coords = Array.make (n - 1) (5.0, 5.0) }
+  in
+  let ds = Lint.run (Lint.input ~placement:short ~deep:false c) in
+  assert_fires ~severity:D.Error "place-count-mismatch" ds
+
+let test_placement_degenerate_die () =
+  let c = tiny () in
+  let placement =
+    { Placement.die_width = 0.0; die_height = 100.0;
+      coords = Array.make (Netlist.num_nodes c) (0.0, 0.0) }
+  in
+  let ds = Lint.run (Lint.input ~placement ~deep:false c) in
+  assert_fires ~severity:D.Error "place-degenerate-die" ds
+
+(* --- SPEF / DEF cross-checks ----------------------------------------- *)
+
+let test_spef_orphan () =
+  let c = tiny () in
+  let spef = { Spef.design = "tiny"; caps = [ ("no_such_net", 1e-15) ] } in
+  let ds = Lint.run (Lint.input ~spef ~deep:false c) in
+  assert_fires ~severity:D.Error "spef-orphan-net" ds;
+  assert_fires ~severity:D.Error "spef-low-coverage" ds;
+  assert_rejects ds
+
+let test_spef_bad_caps () =
+  let c = tiny () in
+  let gate_net id = Netlist.node_name c id in
+  let caps =
+    [ (gate_net 1, -1e-15);  (* negative *)
+      (gate_net 2, 1e-9);  (* 1000 pF: absurd *)
+      (gate_net 3, 1e-15); (gate_net 3, 2e-15);  (* duplicate *)
+      (gate_net 4, 1e-15); (gate_net 5, 1e-15) ]
+  in
+  let ds = Lint.run (Lint.input ~spef:{ Spef.design = "tiny"; caps } ~deep:false c) in
+  assert_fires ~severity:D.Error "spef-negative-cap" ds;
+  assert_fires ~severity:D.Warning "spef-cap-outlier" ds;
+  assert_fires ~severity:D.Warning "spef-duplicate-net" ds
+
+let test_def_cross_checks () =
+  let c = tiny () in
+  let comp name x y =
+    { Def_format.comp_name = name; master = "INV"; x; y }
+  in
+  let def =
+    { Def_format.design = "tiny"; units_per_micron = 1000;
+      die_width = 100.0; die_height = 100.0;
+      components =
+        [ comp "no_such_gate" 10.0 10.0; comp (Netlist.node_name c 1) 200.0 10.0 ] }
+  in
+  let ds = Lint.run (Lint.input ~def ~deep:false c) in
+  assert_fires ~severity:D.Warning "def-unknown-component" ds;
+  assert_fires ~severity:D.Error "def-outside-die" ds;
+  assert_fires ~severity:D.Error "def-low-coverage" ds;
+  assert_rejects ds
+
+(* --- config / budget rules ------------------------------------------- *)
+
+let test_config_invalid_blocks_deep () =
+  let config = { Config.default with Config.quality_intra = 1 } in
+  let ds = Lint.run (Lint.input ~config (tiny ())) in
+  assert_fires ~severity:D.Error "config-invalid" ds;
+  check_true "deep analysis skipped on config errors"
+    (not (fires "lint-internal" ds));
+  assert_rejects ds
+
+let test_config_quality_and_confidence () =
+  let config =
+    Config.with_confidence
+      (Config.with_quality Config.default ~intra:16 ~inter:40)
+      2.0
+  in
+  let ds = Lint.run (Lint.input ~config ~deep:false (tiny ())) in
+  assert_fires ~severity:D.Warning "config-quality" ds;
+  assert_fires ~severity:D.Warning "config-confidence" ds;
+  check_int "warnings only" 0 (Lint.exit_code ds)
+
+let test_budget_shares () =
+  let ds =
+    Lint.run
+      (Lint.input ~deep:false
+         ~budget_weights:[| 0.5; 0.2; 0.1; 0.1; 0.05 |]
+         (tiny ()))
+  in
+  assert_fires ~severity:D.Error "budget-shares" ds;
+  assert_rejects ds;
+  (* wrong layer count *)
+  let ds = Rules_config.check_budget_weights ~layers:5 [| 0.5; 0.5 |] in
+  assert_fires ~severity:D.Error "budget-shares" ds;
+  (* all variance on the inter layer *)
+  let ds =
+    Rules_config.check_budget_weights ~layers:5 [| 1.0; 0.0; 0.0; 0.0; 0.0 |]
+  in
+  assert_fires ~severity:D.Warning "budget-degenerate" ds
+
+(* --- timing graph / PDF sanity --------------------------------------- *)
+
+let test_pdf_nan_density () =
+  (* inf densities normalize to inf/inf = NaN cells — exactly the
+     poisoning the rule exists for. *)
+  let p = Pdf.of_fun ~lo:0.0 ~hi:1.0 ~n:8 (fun _ -> Float.infinity) in
+  let ds = Rules_timing.check_pdf ~label:"fixture" p in
+  assert_fires ~severity:D.Error "pdf-invalid-density" ds;
+  assert_rejects ds
+
+let test_pdf_healthy () =
+  let p = Pdf.of_fun ~lo:0.0 ~hi:1.0 ~n:64 (fun _ -> 1.0) in
+  check_int "no diagnostics on a healthy pdf" 0
+    (List.length (Rules_timing.check_pdf ~label:"uniform" p))
+
+let test_zero_intra_sigma () =
+  let c = tiny () in
+  let sta = Sta.analyze c in
+  let ctx =
+    Path_analysis.context fast_config sta.Sta.graph (Placement.place c)
+  in
+  let a = Path_analysis.analyze ctx sta.Sta.critical_path in
+  check_int "healthy path analysis is clean" 0
+    (List.length (Rules_timing.check_path_analysis a));
+  let broken = { a with Path_analysis.intra_sigma = 0.0 } in
+  assert_fires ~severity:D.Warning "timing-zero-intra"
+    (Rules_timing.check_path_analysis broken)
+
+(* --- engine plumbing ------------------------------------------------- *)
+
+let test_severity_filter_and_summary () =
+  let ds = Lint.run (Lint.input ~deep:false (defective_unreachable ())) in
+  let s = Lint.summarize ds in
+  check_true "summary counts errors" (s.Lint.errors > 0);
+  let errors_only = Lint.filter ~min_severity:D.Error ds in
+  check_true "filtered list keeps only errors"
+    (List.for_all (fun (d : D.t) -> d.D.severity = D.Error) errors_only);
+  check_int "filter preserves error count" s.Lint.errors
+    (List.length errors_only)
+
+let test_rule_catalogue () =
+  let ids = List.map fst Lint.all_rules in
+  check_true "at least 10 distinct rules" (List.length ids >= 10);
+  let sorted = List.sort_uniq String.compare ids in
+  check_int "rule ids are unique" (List.length ids) (List.length sorted)
+
+let test_fanout_caching () =
+  let c = small_adder () in
+  check_true "fanouts memoized" (Netlist.fanouts c == Netlist.fanouts c);
+  check_true "fanout_counts memoized"
+    (Netlist.fanout_counts c == Netlist.fanout_counts c)
+
+let suite =
+  ( "lint",
+    [ slow_case "built-in circuits lint clean" test_builtins_clean;
+      case "generator circuits lint clean" test_generators_clean;
+      case "SPEF/DEF round trip lints clean" test_generated_files_clean;
+      case "unreachable gate rejected" test_unreachable;
+      case "unused input warns" test_dangling_input;
+      case "duplicate and constant gates flagged" test_duplicate_and_constant;
+      case "fanout and depth outliers" test_fanout_and_depth_outliers;
+      case "placement outside die rejected" test_placement_outside_die;
+      case "placement overlap and mismatch" test_placement_overlap_and_mismatch;
+      case "degenerate die rejected" test_placement_degenerate_die;
+      case "SPEF orphan rejected" test_spef_orphan;
+      case "SPEF bad capacitances" test_spef_bad_caps;
+      case "DEF cross-checks" test_def_cross_checks;
+      case "invalid config rejected, deep skipped" test_config_invalid_blocks_deep;
+      case "quality and confidence warnings" test_config_quality_and_confidence;
+      case "bad budget shares rejected" test_budget_shares;
+      case "NaN pdf density rejected" test_pdf_nan_density;
+      case "healthy pdf is clean" test_pdf_healthy;
+      case "zero intra sigma flagged" test_zero_intra_sigma;
+      case "severity filter and summary" test_severity_filter_and_summary;
+      case "rule catalogue" test_rule_catalogue;
+      case "netlist fanout caching" test_fanout_caching ] )

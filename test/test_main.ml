@@ -21,4 +21,5 @@ let () =
       Test_features.suite;
       Test_advanced.suite;
       Test_dual_vt.suite;
-      Test_sequential.suite ]
+      Test_sequential.suite;
+      Test_lint.suite ]
