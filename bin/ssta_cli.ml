@@ -27,29 +27,55 @@ module Yield = Ssta_core.Yield
 module Lint = Ssta_lint.Engine
 module Lint_reporter = Ssta_lint.Reporter
 module Diagnostic = Ssta_lint.Diagnostic
+module Err = Ssta_runtime.Ssta_error
+module Rbudget = Ssta_runtime.Budget
+module Fault = Ssta_runtime.Fault
+module Health = Ssta_runtime.Health
+
+(* Exit-code convention (documented in the README):
+     0  success
+     1  analysis or lint errors (parse, structural, numeric, budget)
+     2  command-line usage errors
+     3  budget degradation under --strict-budget
+     4  internal errors (bugs)                                        *)
+
+let ok_or_raise = function Ok v -> v | Error e -> Err.raise_error e
+
+(* Every command body runs under this wrapper: typed errors (and stray
+   exceptions, classified by [Err.of_exn]) are printed to stderr and
+   mapped to the convention above instead of escaping. *)
+let guarded f =
+  try f () with
+  | exn ->
+      let e = Err.of_exn ~context:"ssta-cli" exn in
+      Fmt.epr "ssta: error: %a@." Err.pp e;
+      Err.exit_code e
 
 let load_circuit ?verilog ~bench ~def name =
   let from_file c =
     let pl =
       match def with
       | Some def_path ->
-          Def_format.placement_of (Def_format.parse_file def_path) c
+          let d = ok_or_raise (Def_format.parse_file_res def_path) in
+          ok_or_raise (Def_format.placement_of_res d c)
       | None -> Placement.place c
     in
     (c, pl)
   in
   match bench, verilog with
-  | Some path, _ -> from_file (Bench_format.parse_file path)
-  | None, Some path -> from_file (Verilog.parse_file path)
+  | Some path, _ -> from_file (ok_or_raise (Bench_format.parse_file_res path))
+  | None, Some path -> from_file (ok_or_raise (Verilog.parse_file_res path))
   | None, None -> (
       match Iscas85.by_name name with
       | Some spec -> Iscas85.build_placed spec
       | None ->
-          Fmt.failwith
-            "unknown circuit %S (expected one of %s, or use --bench/--verilog \
-             FILE)"
-            name
-            (String.concat ", " Iscas85.names))
+          Err.raise_error
+            (Err.structural ~subject:"circuit"
+               (Printf.sprintf
+                  "unknown circuit %S (expected one of %s, or use \
+                   --bench/--verilog FILE)"
+                  name
+                  (String.concat ", " Iscas85.names))))
 
 let config_of ~quality_intra ~quality_inter ~confidence ~corner_k ~max_paths
     ~inter_fraction ~shape =
@@ -127,19 +153,54 @@ let spef_opt =
 
 let seed_opt =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
-         ~doc:"Random seed for Monte-Carlo commands.")
+         ~doc:"Random seed, threaded into circuit generators, \
+               Monte-Carlo sampling and fault injection.")
+
+(* Budget options (run command): wall-clock deadline, enumeration cap
+   (shared with --max-paths) and PDF cell cap. *)
+let deadline_conv =
+  let parse s =
+    match Rbudget.parse_duration s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg (Err.to_string e))
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%gs" v)
+
+let deadline_opt =
+  Arg.(value & opt (some deadline_conv) None
+       & info [ "deadline" ] ~docv:"DURATION"
+           ~doc:"Wall-clock budget for the whole run (e.g. 10s, 500ms, \
+                 2m).  On breach the run stops early and returns the \
+                 already-analyzed subset, marked degraded.")
+
+let max_cells_opt =
+  Arg.(value & opt (some int) None & info [ "max-cells" ] ~docv:"N"
+         ~doc:"Cap on PDF discretization cells; tighter QUALITY settings \
+               are used (and reported) when the configured ones exceed \
+               it.")
+
+let strict_budget_opt =
+  Arg.(value & flag & info [ "strict-budget" ]
+         ~doc:"Exit with code 3 when the run had to degrade to fit its \
+               budget (default: degraded runs exit 0).")
 
 (* lint *)
 let lint_cmd =
   let action name bench verilog def spef format min_severity budget
       list_rules no_deep =
-    if list_rules then Lint_reporter.rule_table Fmt.stdout Lint.all_rules
+    guarded @@ fun () ->
+    if list_rules then begin
+      Lint_reporter.rule_table Fmt.stdout Lint.all_rules;
+      0
+    end
     else begin
       let parse_diags = ref [] in
-      let parse_diag path (line, msg) =
+      let parse_diag path (pos, msg) =
         parse_diags :=
           Diagnostic.make ~rule:"parse-error" ~severity:Diagnostic.Error
-            ~location:(Diagnostic.File { path; line })
+            ~location:
+              (Diagnostic.File
+                 { path; line = pos.Err.line; col = pos.Err.col })
             msg
           :: !parse_diags
       in
@@ -159,11 +220,11 @@ let lint_cmd =
                       name
                       (String.concat ", " Iscas85.names)))
         with
-        | Bench_format.Parse_error (line, msg) ->
-            parse_diag (Option.get bench) (line, msg);
+        | Bench_format.Parse_error (pos, msg) ->
+            parse_diag (Option.get bench) (pos, msg);
             None
-        | Verilog.Parse_error (line, msg) ->
-            parse_diag (Option.get verilog) (line, msg);
+        | Verilog.Parse_error (pos, msg) ->
+            parse_diag (Option.get verilog) (pos, msg);
             None
       in
       let def_t =
@@ -171,8 +232,8 @@ let lint_cmd =
         | None -> None
         | Some path -> (
             try Some (Def_format.parse_file path)
-            with Def_format.Parse_error (line, msg) ->
-              parse_diag path (line, msg);
+            with Def_format.Parse_error (pos, msg) ->
+              parse_diag path (pos, msg);
               None)
       in
       let spef_t =
@@ -180,8 +241,8 @@ let lint_cmd =
         | None -> None
         | Some path -> (
             try Some (Spef.parse_file path)
-            with Spef.Parse_error (line, msg) ->
-              parse_diag path (line, msg);
+            with Spef.Parse_error (pos, msg) ->
+              parse_diag path (pos, msg);
               None)
       in
       let circuit_name =
@@ -213,7 +274,7 @@ let lint_cmd =
       (match format with
       | `Text -> Lint_reporter.text ~circuit_name Fmt.stdout shown
       | `Json -> Lint_reporter.json ~circuit_name Fmt.stdout shown);
-      if Lint.exit_code diags <> 0 then Stdlib.exit 1
+      if Lint.exit_code diags <> 0 then 1 else 0
     end
   in
   let format =
@@ -260,14 +321,20 @@ let lint_cmd =
 (* run *)
 let run_cmd =
   let action name bench verilog def spef qi qj c k mp inter_fraction shape
-      wires verbose =
+      wires deadline max_cells strict_budget verbose =
+    guarded @@ fun () ->
     let circuit, placement = load_circuit ?verilog ~bench ~def name in
     let config =
       config_of ~quality_intra:qi ~quality_inter:qj ~confidence:c ~corner_k:k
         ~max_paths:mp ~inter_fraction ~shape
     in
+    let budget =
+      Rbudget.make ?deadline_s:deadline ?max_cells ~max_paths:mp ()
+    in
     let wire = if wires then Some Ssta_tech.Wire.default else None in
-    let spef_t = Option.map Spef.parse_file spef in
+    let spef_t =
+      Option.map (fun p -> ok_or_raise (Spef.parse_file_res p)) spef
+    in
     (* Automatic pre-analysis lint: report (warnings only, never fatal)
        so malformed inputs are called out before they skew the PDFs. *)
     let lint_ds =
@@ -280,10 +347,18 @@ let run_cmd =
     if visible <> [] then
       Lint_reporter.text ~circuit_name:circuit.Ssta_circuit.Netlist.name
         Fmt.stderr visible;
-    let wire_caps = Option.map (fun s -> Spef.apply s circuit) spef_t in
-    let m = Methodology.run ~config ~placement ?wire ?wire_caps circuit in
+    let wire_caps =
+      Option.map (fun s -> ok_or_raise (Spef.apply_res s circuit)) spef_t
+    in
+    let m =
+      ok_or_raise
+        (Methodology.analyze ~config ~budget ~placement ?wire ?wire_caps
+           circuit)
+    in
     Report.pp_table2_header Fmt.stdout ();
     Report.pp_table2_row Fmt.stdout (Report.table2_row m);
+    if Methodology.is_degraded m || not (Health.is_clean m.Methodology.health)
+    then Report.pp_run_status Fmt.stdout m;
     if verbose then begin
       let d = m.Methodology.det_critical in
       Fmt.pr "deterministic critical path: delay %.3f ps, %d gates@."
@@ -308,7 +383,8 @@ let run_cmd =
           (Elmore.ps r.Ranking.analysis.Path_analysis.mean)
           r.Ranking.analysis.Path_analysis.gate_count
       done
-    end
+    end;
+    if strict_budget && Methodology.is_degraded m then 3 else 0
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print path details.")
@@ -317,11 +393,13 @@ let run_cmd =
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ spef_opt $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
-          $ wire_opt $ verbose)
+          $ wire_opt $ deadline_opt $ max_cells_opt $ strict_budget_opt
+          $ verbose)
 
 (* table2 *)
 let table2_cmd =
   let action only mp =
+    guarded @@ fun () ->
     let specs =
       match only with
       | [] -> Iscas85.all
@@ -339,7 +417,8 @@ let table2_cmd =
         let config = { config with Config.max_paths = mp } in
         let m = Methodology.run ~config ~placement circuit in
         Report.pp_table2_row Fmt.stdout (Report.table2_row m))
-      specs
+      specs;
+    0
   in
   let only =
     Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME"
@@ -351,6 +430,7 @@ let table2_cmd =
 (* table3 *)
 let table3_cmd =
   let action name mp c =
+    guarded @@ fun () ->
     let circuit, placement = load_circuit ~bench:None ~def:None name in
     Report.pp_table3_header Fmt.stdout ();
     List.iter
@@ -364,7 +444,8 @@ let table3_cmd =
         Report.pp_table3_row Fmt.stdout
           (Report.table3_row ~scenario ~inter_fraction m))
       [ ("only intra-die", 0.0); ("50% inter, 50% intra", 0.5);
-        ("75% inter, 25% intra", 0.75) ]
+        ("75% inter, 25% intra", 0.75) ];
+    0
   in
   let c =
     Arg.(value & opt float 0.2 & info [ "c"; "confidence" ] ~docv:"C"
@@ -375,15 +456,21 @@ let table3_cmd =
 
 (* sensitivity *)
 let sensitivity_cmd =
-  let action () = Sensitivity.pp_table Fmt.stdout (Sensitivity.table1 ()) in
+  let action () =
+    guarded @@ fun () ->
+    Sensitivity.pp_table Fmt.stdout (Sensitivity.table1 ());
+    0
+  in
   Cmd.v (Cmd.info "sensitivity" ~doc:"Regenerate Table 1 (delay sensitivities).")
     Term.(const action $ const ())
 
 (* convexity *)
 let convexity_cmd =
   let action () =
+    guarded @@ fun () ->
     Convexity.pp_table Fmt.stdout
-      (List.map (fun g -> Convexity.analyze g) Sensitivity.table1_gates)
+      (List.map (fun g -> Convexity.analyze g) Sensitivity.table1_gates);
+    0
   in
   Cmd.v (Cmd.info "convexity" ~doc:"Check the Section 2.5 convexity claim.")
     Term.(const action $ const ())
@@ -391,13 +478,15 @@ let convexity_cmd =
 (* sweep *)
 let sweep_cmd =
   let action name bench def =
+    guarded @@ fun () ->
     let circuit, _ = load_circuit ~bench ~def name in
     let sweep = Quality_sweep.run circuit in
     Quality_sweep.pp Fmt.stdout sweep;
     let k = Quality_sweep.knee sweep in
     Fmt.pr "knee: Qintra=%d Qinter=%d (err %.4f%%, %.4f s)@."
       k.Quality_sweep.quality_intra k.Quality_sweep.quality_inter
-      k.Quality_sweep.error_pct k.Quality_sweep.runtime_s
+      k.Quality_sweep.error_pct k.Quality_sweep.runtime_s;
+    0
   in
   Cmd.v (Cmd.info "sweep" ~doc:"QUALITY accuracy/run-time trade-off study.")
     Term.(const action $ circuit_arg $ bench_opt $ def_opt)
@@ -405,6 +494,7 @@ let sweep_cmd =
 (* mc *)
 let mc_cmd =
   let action name samples seed =
+    guarded @@ fun () ->
     let circuit, placement = load_circuit ~bench:None ~def:None name in
     let sta = Ssta_timing.Sta.analyze circuit in
     let ctx =
@@ -426,7 +516,8 @@ let mc_cmd =
     Fmt.pr "  |mean err| %.4f ps, |std err| %.4f ps, KS %.4f@."
       (Elmore.ps v.Monte_carlo.mean_err)
       (Elmore.ps v.Monte_carlo.std_err)
-      v.Monte_carlo.ks
+      v.Monte_carlo.ks;
+    0
   in
   let samples =
     Arg.(value & opt int 20_000 & info [ "n" ] ~docv:"N"
@@ -439,6 +530,7 @@ let mc_cmd =
 (* block *)
 let block_cmd =
   let action name samples seed =
+    guarded @@ fun () ->
     let circuit, placement = load_circuit ~bench:None ~def:None name in
     let bb = Block_based.analyze ~placement circuit in
     Fmt.pr "block-based (Clark) circuit arrival: mean %.3f ps, std %.3f ps, \
@@ -459,7 +551,8 @@ let block_cmd =
       samples
       (Elmore.ps s.Ssta_prob.Stats.mean)
       (Elmore.ps s.Ssta_prob.Stats.std)
-      (Elmore.ps (Ssta_prob.Stats.sigma_point mc 3.0))
+      (Elmore.ps (Ssta_prob.Stats.sigma_point mc 3.0));
+    0
   in
   let samples =
     Arg.(value & opt int 2_000 & info [ "n" ] ~docv:"N"
@@ -471,6 +564,7 @@ let block_cmd =
 (* report *)
 let report_cmd =
   let action name bench verilog def top =
+    guarded @@ fun () ->
     let circuit, placement = load_circuit ?verilog ~bench ~def name in
     let m = Methodology.run ~placement circuit in
     let shown = Int.min top (Array.length m.Methodology.ranked) in
@@ -480,7 +574,8 @@ let report_cmd =
         r.Ranking.prob_rank r.Ranking.det_rank;
       Report.pp_path_report Fmt.stdout
         m.Methodology.sta.Ssta_timing.Sta.graph r.Ranking.analysis
-    done
+    done;
+    0
   in
   let top =
     Arg.(value & opt int 3 & info [ "top" ] ~docv:"K"
@@ -492,6 +587,7 @@ let report_cmd =
 (* yield *)
 let yield_cmd =
   let action name samples seed target_yield =
+    guarded @@ fun () ->
     let circuit, placement = load_circuit ~bench:None ~def:None name in
     let m = Methodology.run ~placement circuit in
     let d = m.Methodology.det_critical in
@@ -514,7 +610,8 @@ let yield_cmd =
     in
     Fmt.pr "Monte-Carlo circuit yield at that clock: %.4f (%d dies)@."
       (Ssta_core.Yield.of_samples mc ~clock)
-      samples
+      samples;
+    0
   in
   let samples =
     Arg.(value & opt int 2_000 & info [ "n" ] ~docv:"N"
@@ -531,6 +628,7 @@ let yield_cmd =
 (* dualvt *)
 let dualvt_cmd =
   let action name headroom =
+    guarded @@ fun () ->
     let circuit, placement = load_circuit ~bench:None ~def:None name in
     let m = Methodology.run ~placement circuit in
     let base3 =
@@ -547,7 +645,8 @@ let dualvt_cmd =
       ((r.Ssta_core.Dual_vt.leakage_all_low
        -. r.Ssta_core.Dual_vt.leakage_final)
       /. r.Ssta_core.Dual_vt.leakage_all_low *. 100.0)
-      (if r.Ssta_core.Dual_vt.met then "target met" else "target NOT met")
+      (if r.Ssta_core.Dual_vt.met then "target met" else "target NOT met");
+    0
   in
   let headroom =
     Arg.(value & opt float 0.05 & info [ "headroom" ] ~docv:"H"
@@ -559,34 +658,60 @@ let dualvt_cmd =
 
 (* generate *)
 let generate_cmd =
-  let action name out =
-    match Iscas85.by_name name with
-    | None -> Fmt.failwith "unknown benchmark %S" name
-    | Some spec ->
-        let circuit, placement = Iscas85.build_placed spec in
-        let bench_path = Filename.concat out (name ^ ".bench") in
-        let verilog_path = Filename.concat out (name ^ ".v") in
-        let def_path = Filename.concat out (name ^ ".def") in
-        let spef_path = Filename.concat out (name ^ ".spef") in
-        Bench_format.write_file bench_path circuit;
-        Verilog.write_file verilog_path circuit;
-        Def_format.write_file def_path
-          (Def_format.of_placement ~design:name circuit placement);
-        Spef.write_file spef_path
-          (Spef.of_placement ~design:name circuit placement);
-        Fmt.pr "wrote %s, %s, %s and %s (%a)@." bench_path verilog_path
-          def_path spef_path Netlist.pp_stats circuit
+  let action name out random gates depth seed =
+    guarded @@ fun () ->
+    let circuit =
+      if random then
+        Ssta_circuit.Generators.random_layered ~name
+          ~inputs:(Int.max 2 (gates / 20))
+          ~outputs:(Int.max 1 (gates / 40))
+          ~gates ~depth ~seed ()
+      else
+        match Iscas85.by_name name with
+        | None -> Fmt.failwith "unknown benchmark %S" name
+        | Some spec -> Iscas85.build spec
+    in
+    let placement = Placement.place circuit in
+    let bench_path = Filename.concat out (name ^ ".bench") in
+    let verilog_path = Filename.concat out (name ^ ".v") in
+    let def_path = Filename.concat out (name ^ ".def") in
+    let spef_path = Filename.concat out (name ^ ".spef") in
+    Bench_format.write_file bench_path circuit;
+    Verilog.write_file verilog_path circuit;
+    Def_format.write_file def_path
+      (Def_format.of_placement ~design:name circuit placement);
+    Spef.write_file spef_path
+      (Spef.of_placement ~design:name circuit placement);
+    Fmt.pr "wrote %s, %s, %s and %s (%a)@." bench_path verilog_path
+      def_path spef_path Netlist.pp_stats circuit;
+    0
   in
   let out =
     Arg.(value & opt dir "." & info [ "o"; "out" ] ~docv:"DIR"
            ~doc:"Output directory.")
   in
+  let random =
+    Arg.(value & flag & info [ "random" ]
+           ~doc:"Generate a random layered circuit named CIRCUIT instead \
+                 of a built-in benchmark (size set by --gates/--depth, \
+                 deterministic in --seed).")
+  in
+  let gates =
+    Arg.(value & opt int 500 & info [ "gates" ] ~docv:"N"
+           ~doc:"Gate count for --random.")
+  in
+  let depth =
+    Arg.(value & opt int 12 & info [ "depth" ] ~docv:"D"
+           ~doc:"Logic depth for --random.")
+  in
   Cmd.v (Cmd.info "generate" ~doc:"Write a benchmark as .bench + DEF files.")
-    Term.(const action $ circuit_arg $ out)
+    Term.(const action $ circuit_arg $ out $ random $ gates $ depth
+          $ seed_opt)
 
 (* figures *)
 let figures_cmd =
   let action out mp =
+    guarded @@ fun () ->
     let save path contents =
       let oc = open_out path in
       output_string oc contents;
@@ -640,7 +765,8 @@ let figures_cmd =
         let m = Methodology.run ~config ~placement circuit in
         save (Filename.concat out "fig6_c7552_ranks.csv")
           (Report.rank_scatter_csv
-             (Ranking.rank_pairs ~first:100 m.Methodology.ranked)))
+             (Ranking.rank_pairs ~first:100 m.Methodology.ranked)));
+    0
   in
   let out =
     Arg.(value & opt dir "." & info [ "o"; "out" ] ~docv:"DIR"
@@ -653,12 +779,111 @@ let figures_cmd =
   Cmd.v (Cmd.info "figures" ~doc:"Emit CSV data behind Figs. 3-6.")
     Term.(const action $ out $ mp)
 
+(* fault *)
+let fault_cmd =
+  let action name seed verbose =
+    guarded @@ fun () ->
+    let circuit =
+      match Iscas85.by_name name with
+      | Some spec -> Iscas85.build spec
+      | None ->
+          Err.raise_error
+            (Err.structural ~subject:"circuit"
+               (Printf.sprintf "unknown benchmark %S" name))
+    in
+    let placement = Placement.place circuit in
+    let bench_text = Bench_format.to_string circuit in
+    let verilog_text = Verilog.to_string circuit in
+    let def_text =
+      Def_format.to_string (Def_format.of_placement ~design:name circuit placement)
+    in
+    let spef_text =
+      Spef.to_string (Spef.of_placement ~design:name circuit placement)
+    in
+    let crashes = ref 0 in
+    let total = ref 0 in
+    let record fmt_name (c : Fault.corruption) outcome =
+      incr total;
+      match outcome with
+      | Fault.Crash msg ->
+          incr crashes;
+          Fmt.pr "CRASH  %-8s %-22s %s@." fmt_name c.Fault.label msg
+      | Fault.Typed e ->
+          if verbose then
+            Fmt.pr "typed  %-8s %-22s %s@." fmt_name c.Fault.label
+              (Err.kind_name e)
+      | Fault.Value () ->
+          if verbose then
+            Fmt.pr "accept %-8s %-22s corrupted input still analyzable@."
+              fmt_name c.Fault.label
+    in
+    let check fmt_name text extra parse =
+      List.iter
+        (fun c ->
+          let corrupted = Fault.apply c text in
+          record fmt_name c (Fault.run (fun () -> parse corrupted)))
+        (Fault.standard ~seed () @ extra)
+    in
+    (* A corrupted netlist that still parses must also survive a budgeted
+       end-to-end analysis — parse acceptance alone is not the contract. *)
+    let analyze_netlist c =
+      Result.map ignore
+        (Methodology.analyze
+           ~budget:(Rbudget.make ~deadline_s:10.0 ~max_paths:200 ())
+           c)
+    in
+    check "bench" bench_text
+      [ Fault.substitute ~pattern:"NAND" ~by:"FROB";
+        Fault.substitute ~pattern:"INPUT" ~by:"OUTPUT" ]
+      (fun t ->
+        Result.bind (Bench_format.parse_string_res t) analyze_netlist);
+    check "verilog" verilog_text
+      [ Fault.substitute ~pattern:"endmodule" ~by:"";
+        Fault.substitute ~pattern:";" ~by:"" ]
+      (fun t -> Result.bind (Verilog.parse_string_res t) analyze_netlist);
+    check "def" def_text
+      [ Fault.substitute ~pattern:"PLACED" ~by:"FLOATING";
+        Fault.substitute ~pattern:"0" ~by:"nan" ]
+      (fun t ->
+        Result.bind (Def_format.parse_string_res t) (fun d ->
+            Result.map ignore (Def_format.placement_of_res d circuit)));
+    check "spef" spef_text
+      [ Fault.substitute ~pattern:"0.0" ~by:"-1.0";
+        Fault.substitute ~pattern:"*D_NET" ~by:"*D_NAT" ]
+      (fun t ->
+        Result.bind (Spef.parse_string_res t) (fun s ->
+            Result.map ignore (Spef.apply_res s circuit)));
+    Fmt.pr "fault injection: %d corruptions, %d crash%s@." !total !crashes
+      (if !crashes = 1 then "" else "es");
+    if !crashes > 0 then 1 else 0
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ]
+           ~doc:"Print the outcome of every corruption, not only crashes.")
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Fault-injection self-test: corrupt generated .bench, \
+             Verilog, DEF and SPEF inputs and verify every corruption \
+             yields a typed error or a successful (possibly degraded) \
+             analysis — never a crash.  Exits 1 on any crash.")
+    Term.(const action $ circuit_arg $ seed_opt $ verbose)
+
 let () =
   let doc = "Path-based statistical static timing analysis (DATE'05)" in
   let info = Cmd.info "ssta" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ run_cmd; lint_cmd; report_cmd; table2_cmd; table3_cmd;
+        sensitivity_cmd; convexity_cmd; sweep_cmd; mc_cmd; block_cmd;
+        yield_cmd; dualvt_cmd; generate_cmd; figures_cmd; fault_cmd ]
+  in
+  (* Exit-code convention: cmdline usage problems are 2, uncaught
+     exceptions (cmdliner already printed a backtrace) are internal
+     errors, and command bodies return their own code via [guarded]. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ run_cmd; lint_cmd; report_cmd; table2_cmd; table3_cmd;
-            sensitivity_cmd; convexity_cmd; sweep_cmd; mc_cmd; block_cmd;
-            yield_cmd; dualvt_cmd; generate_cmd; figures_cmd ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 4)

@@ -1,8 +1,14 @@
 module Gate = Ssta_tech.Gate
+module Err = Ssta_runtime.Ssta_error
 
-exception Parse_error of int * string
+exception Parse_error of Err.position * string
 
-let fail line msg = raise (Parse_error (line, msg))
+let fail line msg =
+  raise (Parse_error (Err.position ~line (), msg))
+
+(* Failure at a specific token: recover the column from the raw line. *)
+let fail_tok line line_text token msg =
+  raise (Parse_error (Err.position_of_token ~line ~line_text token, msg))
 
 type raw_line =
   | Input of string
@@ -17,21 +23,22 @@ let is_ident_char ch =
   || (ch >= '0' && ch <= '9')
   || ch = '_' || ch = '[' || ch = ']' || ch = '.' || ch = '-'
 
-let check_ident lineno s =
+let check_ident lineno line s =
   if s = "" then fail lineno "empty identifier";
   String.iter
     (fun ch ->
       if not (is_ident_char ch) then
-        fail lineno (Printf.sprintf "invalid character %C in identifier %S" ch s))
+        fail_tok lineno line s
+          (Printf.sprintf "invalid character %C in identifier %S" ch s))
     s
 
 (* Parse "HEAD(arg1, arg2, ...)" -> (HEAD, args). *)
-let parse_call lineno s =
+let parse_call lineno line s =
   match String.index_opt s '(' with
-  | None -> fail lineno ("expected a parenthesized form: " ^ s)
+  | None -> fail_tok lineno line s ("expected a parenthesized form: " ^ s)
   | Some open_paren ->
       if not (String.length s > 0 && s.[String.length s - 1] = ')') then
-        fail lineno ("missing closing parenthesis: " ^ s);
+        fail_tok lineno line s ("missing closing parenthesis: " ^ s);
       let head = strip (String.sub s 0 open_paren) in
       let inner =
         String.sub s (open_paren + 1) (String.length s - open_paren - 2)
@@ -43,6 +50,7 @@ let parse_call lineno s =
       (head, args)
 
 let parse_raw_line lineno line =
+  let full_line = line in
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
@@ -54,24 +62,24 @@ let parse_raw_line lineno line =
     match String.index_opt line '=' with
     | Some eq ->
         let target = strip (String.sub line 0 eq) in
-        check_ident lineno target;
+        check_ident lineno full_line target;
         let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
-        let head, args = parse_call lineno rhs in
+        let head, args = parse_call lineno full_line rhs in
         if args = [] then fail lineno ("gate with no operands: " ^ line);
-        List.iter (check_ident lineno) args;
+        List.iter (check_ident lineno full_line) args;
         Some (Def (target, head, args))
     | None ->
-        let head, args = parse_call lineno line in
+        let head, args = parse_call lineno full_line line in
         let arg =
           match args with
           | [ a ] -> a
           | _ -> fail lineno ("expected a single signal: " ^ line)
         in
-        check_ident lineno arg;
+        check_ident lineno full_line arg;
         (match String.uppercase_ascii head with
         | "INPUT" -> Some (Input arg)
         | "OUTPUT" -> Some (Output arg)
-        | _ -> fail lineno ("unknown directive: " ^ head))
+        | _ -> fail_tok lineno full_line head ("unknown directive: " ^ head))
 
 let parse_string ?(name = "bench") text =
   let lines = String.split_on_char '\n' text in
@@ -144,7 +152,25 @@ let parse_file path =
   let text = really_input_string ic len in
   close_in ic;
   let name = Filename.remove_extension (Filename.basename path) in
-  parse_string ~name text
+  try parse_string ~name text
+  with Parse_error (pos, msg) ->
+    raise (Parse_error (Err.with_file pos path, msg))
+
+let parse_string_res ?name text =
+  match parse_string ?name text with
+  | c -> Ok c
+  | exception Parse_error (pos, msg) ->
+      Error (Err.parse_at ~pos ~format:"bench" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Bench_format.parse" exn)
+
+let parse_file_res path =
+  match parse_file path with
+  | c -> Ok c
+  | exception Parse_error (pos, msg) ->
+      Error (Err.parse_at ~pos ~format:"bench" msg)
+  | exception Sys_error msg ->
+      Error (Err.parse ~file:path ~format:"bench" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Bench_format.parse" exn)
 
 let to_string (c : Netlist.t) =
   let buf = Buffer.create 4096 in

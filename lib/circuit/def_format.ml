@@ -1,6 +1,7 @@
 module Gate = Ssta_tech.Gate
+module Err = Ssta_runtime.Ssta_error
 
-exception Parse_error of int * string
+exception Parse_error of Err.position * string
 
 type component = { comp_name : string; master : string; x : float; y : float }
 
@@ -12,17 +13,21 @@ type t = {
   components : component list;
 }
 
-let fail line msg = raise (Parse_error (line, msg))
+let fail line msg = raise (Parse_error (Err.position ~line (), msg))
+
+let fail_tok line line_text token msg =
+  raise (Parse_error (Err.position_of_token ~line ~line_text token, msg))
 
 let tokens_of_line line =
   String.split_on_char ' ' line
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
-let float_token lineno s =
+let float_token lineno line_text s =
   match float_of_string_opt s with
-  | Some f -> f
-  | None -> fail lineno ("expected a number, got " ^ s)
+  | Some f when Float.is_finite f -> f
+  | Some _ -> fail_tok lineno line_text s ("non-finite coordinate: " ^ s)
+  | None -> fail_tok lineno line_text s ("expected a number, got " ^ s)
 
 let parse_string text =
   let lines = String.split_on_char '\n' text in
@@ -40,18 +45,19 @@ let parse_string text =
       | "UNITS" :: "DISTANCE" :: "MICRONS" :: v :: _ ->
           (match int_of_string_opt v with
           | Some u when u > 0 -> units := u
-          | Some _ | None -> fail lineno "bad UNITS value")
+          | Some _ | None -> fail_tok lineno raw v "bad UNITS value")
       | "DIEAREA" :: rest -> (
           (* DIEAREA ( x0 y0 ) ( x1 y1 ) ; *)
           let numbers =
             List.filter_map (fun tok -> float_of_string_opt tok) rest
           in
           match numbers with
-          | [ x0; y0; x1; y1 ] ->
+          | [ x0; y0; x1; y1 ]
+            when List.for_all Float.is_finite [ x0; y0; x1; y1 ] ->
               let u = float_of_int !units in
               die_w := (x1 -. x0) /. u;
               die_h := (y1 -. y0) /. u
-          | _ -> fail lineno "DIEAREA expects two corner points")
+          | _ -> fail lineno "DIEAREA expects two finite corner points")
       | "COMPONENTS" :: _ -> in_components := true
       | "END" :: "COMPONENTS" :: _ -> in_components := false
       | "END" :: "DESIGN" :: _ -> ()
@@ -59,7 +65,7 @@ let parse_string text =
           (* - name master + PLACED ( x y ) N ; *)
           let rec find_placed = function
             | "PLACED" :: "(" :: x :: y :: _ ->
-                Some (float_token lineno x, float_token lineno y)
+                Some (float_token lineno raw x, float_token lineno raw y)
             | _ :: tl -> find_placed tl
             | [] -> None
           in
@@ -69,7 +75,9 @@ let parse_string text =
               components :=
                 { comp_name = name; master; x = x /. u; y = y /. u }
                 :: !components
-          | None -> fail lineno ("component without PLACED location: " ^ name))
+          | None ->
+              fail_tok lineno raw name
+                ("component without PLACED location: " ^ name))
       | _ -> ())
     lines;
   if !design = "" then fail 0 "missing DESIGN statement";
@@ -84,7 +92,24 @@ let parse_file path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse_string text
+  try parse_string text
+  with Parse_error (pos, msg) ->
+    raise (Parse_error (Err.with_file pos path, msg))
+
+let parse_string_res text =
+  match parse_string text with
+  | t -> Ok t
+  | exception Parse_error (pos, msg) ->
+      Error (Err.parse_at ~pos ~format:"def" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Def_format.parse" exn)
+
+let parse_file_res path =
+  match parse_file path with
+  | t -> Ok t
+  | exception Parse_error (pos, msg) ->
+      Error (Err.parse_at ~pos ~format:"def" msg)
+  | exception Sys_error msg -> Error (Err.parse ~file:path ~format:"def" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Def_format.parse" exn)
 
 let to_string t =
   let buf = Buffer.create 4096 in
@@ -162,3 +187,10 @@ let placement_of t (c : Netlist.t) =
          (Float.min (Float.max x 0.0) die_width,
           Float.min (Float.max y 0.0) die_height))
        coords)
+
+let placement_of_res t c =
+  match placement_of t c with
+  | pl -> Ok pl
+  | exception Invalid_argument msg ->
+      Error (Err.structural ~subject:"def-placement" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Def_format.placement_of" exn)

@@ -19,7 +19,7 @@
 
     Coordinates are stored in DEF database units ([units] per micron). *)
 
-exception Parse_error of int * string
+exception Parse_error of Ssta_runtime.Ssta_error.position * string
 
 type component = { comp_name : string; master : string; x : float; y : float }
 (** One placed component; [x], [y] in microns. *)
@@ -34,6 +34,11 @@ type t = {
 
 val parse_string : string -> t
 val parse_file : string -> t
+
+val parse_string_res : string -> (t, Ssta_runtime.Ssta_error.t) result
+val parse_file_res : string -> (t, Ssta_runtime.Ssta_error.t) result
+(** Typed-error entry points: never raise. *)
+
 val to_string : t -> string
 val write_file : string -> t -> unit
 
@@ -46,3 +51,7 @@ val placement_of : t -> Netlist.t -> Placement.t
     gate names.  Gates without a component fall back to (0, 0); raises
     [Invalid_argument] if fewer than half the gates are matched (wrong
     netlist/DEF pairing). *)
+
+val placement_of_res :
+  t -> Netlist.t -> (Placement.t, Ssta_runtime.Ssta_error.t) result
+(** Typed-error variant of {!placement_of}: never raises. *)

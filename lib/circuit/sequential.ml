@@ -77,7 +77,8 @@ let parse_bench ?(name = "sequential") text =
           | Some eq when strip (String.sub line 0 eq) = target ->
               raise
                 (Bench_format.Parse_error
-                   (0, "signal driven by both DFF and a gate: " ^ target))
+                   ( Ssta_runtime.Ssta_error.no_position,
+                     "signal driven by both DFF and a gate: " ^ target ))
           | Some _ | None -> ())
         comb_lines)
     dffs;
@@ -103,7 +104,9 @@ let parse_bench ?(name = "sequential") text =
     | Some id -> id
     | None ->
         raise
-          (Bench_format.Parse_error (0, "DFF references unknown signal: " ^ name))
+          (Bench_format.Parse_error
+             ( Ssta_runtime.Ssta_error.no_position,
+               "DFF references unknown signal: " ^ name ))
   in
   let registers =
     List.map

@@ -1,8 +1,13 @@
-exception Parse_error of int * string
+module Err = Ssta_runtime.Ssta_error
+
+exception Parse_error of Err.position * string
 
 type t = { design : string; caps : (string * float) list }
 
-let fail line msg = raise (Parse_error (line, msg))
+let fail line msg = raise (Parse_error (Err.position ~line (), msg))
+
+let fail_tok line line_text token msg =
+  raise (Parse_error (Err.position_of_token ~line ~line_text token, msg))
 
 let tokens_of_line line =
   String.split_on_char ' ' line
@@ -21,9 +26,14 @@ let parse_string text =
       | "*DESIGN" :: name :: _ -> design := name
       | "*D_NET" :: net :: cap :: _ -> (
           match float_of_string_opt cap with
-          | Some c when c >= 0.0 -> caps := (net, c *. pf) :: !caps
-          | Some _ -> fail lineno ("negative capacitance on net " ^ net)
-          | None -> fail lineno ("bad capacitance value: " ^ cap))
+          | Some c when c >= 0.0 && Float.is_finite c ->
+              caps := (net, c *. pf) :: !caps
+          | Some c when Float.is_nan c || not (Float.is_finite c) ->
+              fail_tok lineno raw cap
+                ("non-finite capacitance on net " ^ net)
+          | Some _ ->
+              fail_tok lineno raw cap ("negative capacitance on net " ^ net)
+          | None -> fail_tok lineno raw cap ("bad capacitance value: " ^ cap))
       | "*D_NET" :: _ -> fail lineno "*D_NET needs a net name and a value"
       | tok :: _ when String.length tok > 0 && tok.[0] = '*' -> ()
       | _ -> ())
@@ -36,7 +46,24 @@ let parse_file path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse_string text
+  try parse_string text
+  with Parse_error (pos, msg) ->
+    raise (Parse_error (Err.with_file pos path, msg))
+
+let parse_string_res text =
+  match parse_string text with
+  | t -> Ok t
+  | exception Parse_error (pos, msg) ->
+      Error (Err.parse_at ~pos ~format:"spef" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Spef.parse" exn)
+
+let parse_file_res path =
+  match parse_file path with
+  | t -> Ok t
+  | exception Parse_error (pos, msg) ->
+      Error (Err.parse_at ~pos ~format:"spef" msg)
+  | exception Sys_error msg -> Error (Err.parse ~file:path ~format:"spef" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Spef.parse" exn)
 
 let to_string t =
   let buf = Buffer.create 2048 in
@@ -85,3 +112,10 @@ let apply t (c : Netlist.t) =
   if !matched * 2 < Netlist.num_gates c then
     invalid_arg "Spef.apply: SPEF does not match this netlist";
   caps
+
+let apply_res t c =
+  match apply t c with
+  | caps -> Ok caps
+  | exception Invalid_argument msg ->
+      Error (Err.structural ~subject:"spef-annotation" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Spef.apply" exn)

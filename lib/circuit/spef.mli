@@ -17,7 +17,7 @@
     annotation into a per-node wire-capacitance vector for
     {!Ssta_timing.Graph} construction. *)
 
-exception Parse_error of int * string
+exception Parse_error of Ssta_runtime.Ssta_error.position * string
 
 type t = {
   design : string;
@@ -26,6 +26,12 @@ type t = {
 
 val parse_string : string -> t
 val parse_file : string -> t
+
+val parse_string_res : string -> (t, Ssta_runtime.Ssta_error.t) result
+val parse_file_res : string -> (t, Ssta_runtime.Ssta_error.t) result
+(** Typed-error entry points: never raise.  NaN, infinite and negative
+    capacitances are parse errors with line/column positions. *)
+
 val to_string : t -> string
 val write_file : string -> t -> unit
 
@@ -40,3 +46,7 @@ val apply : t -> Netlist.t -> float array
 (** Per-node wire capacitances (farads), 0 for unannotated nets.
     Raises [Invalid_argument] if fewer than half the gates are
     annotated (wrong netlist/SPEF pairing). *)
+
+val apply_res :
+  t -> Netlist.t -> (float array, Ssta_runtime.Ssta_error.t) result
+(** Typed-error variant of {!apply}: never raises. *)

@@ -1,9 +1,11 @@
 module Gate = Ssta_tech.Gate
 module B = Netlist.Builder
+module Err = Ssta_runtime.Ssta_error
 
-exception Parse_error of int * string
+exception Parse_error of Err.position * string
 
-let fail line msg = raise (Parse_error (line, msg))
+let failp pos msg = raise (Parse_error (pos, msg))
+let fail0 msg = failp Err.no_position msg
 
 (* ----- lexer ----- *)
 
@@ -27,14 +29,18 @@ let is_ident_char ch =
 let tokenize text =
   let tokens = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in
   let n = String.length text in
   let i = ref 0 in
-  let push t = tokens := (t, !line) :: !tokens in
+  let pos_at off = Err.position ~line:!line ~col:(off - !bol + 1) () in
+  let push ?(off = !i) t = tokens := (t, pos_at off) :: !tokens in
+  let lex_fail msg = failp (pos_at !i) msg in
   while !i < n do
     let ch = text.[!i] in
     if ch = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if ch = ' ' || ch = '\t' || ch = '\r' then incr i
     else if ch = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
@@ -51,11 +57,14 @@ let tokenize text =
           i := !i + 2
         end
         else begin
-          if text.[!i] = '\n' then incr line;
+          if text.[!i] = '\n' then begin
+            incr line;
+            bol := !i + 1
+          end;
           incr i
         end
       done;
-      if not !closed then fail !line "unterminated block comment"
+      if not !closed then lex_fail "unterminated block comment"
     end
     else if ch = '(' then (push LParen; incr i)
     else if ch = ')' then (push RParen; incr i)
@@ -69,8 +78,8 @@ let tokenize text =
       do
         incr j
       done;
-      if !j = start then fail !line "empty escaped identifier";
-      push (Ident (String.sub text start (!j - start)));
+      if !j = start then lex_fail "empty escaped identifier";
+      push ~off:!i (Ident (String.sub text start (!j - start)));
       i := !j
     end
     else if is_ident_start ch then begin
@@ -81,11 +90,11 @@ let tokenize text =
       done;
       let word = String.sub text start (!j - start) in
       if List.mem (String.lowercase_ascii word) keywords then
-        push (Keyword (String.lowercase_ascii word))
-      else push (Ident word);
+        push ~off:start (Keyword (String.lowercase_ascii word))
+      else push ~off:start (Ident word);
       i := !j
     end
-    else fail !line (Printf.sprintf "unexpected character %C" ch)
+    else lex_fail (Printf.sprintf "unexpected character %C" ch)
   done;
   List.rev !tokens
 
@@ -100,20 +109,20 @@ let parse_string text =
   let rec skip_to_module = function
     | (Keyword "module", _) :: rest -> rest
     | _ :: rest -> skip_to_module rest
-    | [] -> fail 0 "no module declaration"
+    | [] -> fail0 "no module declaration"
   in
   let after_module = skip_to_module tokens in
   let module_name, rest =
     match after_module with
     | (Ident name, _) :: rest -> (name, rest)
-    | (_, l) :: _ -> fail l "expected module name"
-    | [] -> fail 0 "truncated module header"
+    | (_, l) :: _ -> failp l "expected module name"
+    | [] -> fail0 "truncated module header"
   in
   (* skip the port list up to the first ';' *)
   let rec skip_header = function
     | (Semicolon, _) :: rest -> rest
     | _ :: rest -> skip_header rest
-    | [] -> fail 0 "unterminated module header"
+    | [] -> fail0 "unterminated module header"
   in
   let body = skip_header rest in
   (* collect statements *)
@@ -123,11 +132,11 @@ let parse_string text =
     | (Ident s, _) :: rest -> idents_until_semi (s :: acc) rest
     | (Comma, _) :: rest -> idents_until_semi acc rest
     | (Semicolon, _) :: rest -> (List.rev acc, rest)
-    | (_, l) :: _ -> fail l "expected identifier list"
-    | [] -> fail 0 "unterminated declaration"
+    | (_, l) :: _ -> failp l "expected identifier list"
+    | [] -> fail0 "unterminated declaration"
   in
   let rec statements = function
-    | [] -> fail 0 "missing endmodule"
+    | [] -> fail0 "missing endmodule"
     | (Keyword "endmodule", _) :: _ -> ()
     | (Keyword "input", _) :: rest ->
         let names, rest = idents_until_semi [] rest in
@@ -147,8 +156,8 @@ let parse_string text =
           match rest with
           | (Ident _, _) :: ((LParen, _) :: _ as r) -> r
           | (LParen, _) :: _ -> rest
-          | (_, l) :: _ -> fail l "expected instance connection list"
-          | [] -> fail l "truncated instance"
+          | (_, l) :: _ -> failp l "expected instance connection list"
+          | [] -> failp l "truncated instance"
         in
         match rest with
         | (LParen, _) :: rest ->
@@ -156,17 +165,17 @@ let parse_string text =
               | (Ident s, _) :: rest -> connections (s :: acc) rest
               | (Comma, _) :: rest -> connections acc rest
               | (RParen, _) :: (Semicolon, _) :: rest -> (List.rev acc, rest)
-              | (RParen, l) :: _ -> fail l "expected ';' after instance"
-              | (_, l) :: _ -> fail l "bad connection list"
-              | [] -> fail l "unterminated connection list"
+              | (RParen, l) :: _ -> failp l "expected ';' after instance"
+              | (_, l) :: _ -> failp l "bad connection list"
+              | [] -> failp l "unterminated connection list"
             in
             let conns, rest = connections [] rest in
             instances :=
               (String.lowercase_ascii prim, conns, l) :: !instances;
             statements rest
-        | (_, l) :: _ -> fail l "expected '('"
-        | [] -> fail l "truncated instance")
-    | (_, l) :: _ -> fail l "unexpected token in module body"
+        | (_, l) :: _ -> failp l "expected '('"
+        | [] -> failp l "truncated instance")
+    | (_, l) :: _ -> failp l "unexpected token in module body"
   in
   statements body;
   let instances = List.rev !instances in
@@ -178,14 +187,14 @@ let parse_string text =
     (fun (prim, conns, l) ->
       match conns with
       | out :: ins ->
-          if ins = [] then fail l ("instance with no inputs: " ^ out);
-          if Hashtbl.mem defs out then fail l ("net driven twice: " ^ out);
+          if ins = [] then failp l ("instance with no inputs: " ^ out);
+          if Hashtbl.mem defs out then failp l ("net driven twice: " ^ out);
           Hashtbl.add defs out (prim, ins, l)
-      | [] -> fail l "instance with no connections")
+      | [] -> failp l "instance with no connections")
     instances;
   List.iter
     (fun name ->
-      if Hashtbl.mem ids name then fail 0 ("duplicate input: " ^ name);
+      if Hashtbl.mem ids name then fail0 ("duplicate input: " ^ name);
       Hashtbl.replace ids name (B.add_input builder name))
     !inputs;
   let visiting = Hashtbl.create 64 in
@@ -194,10 +203,10 @@ let parse_string text =
     | Some id -> id
     | None -> (
         if Hashtbl.mem visiting signal then
-          fail 0 ("combinational cycle through " ^ signal);
+          fail0 ("combinational cycle through " ^ signal);
         Hashtbl.add visiting signal ();
         match Hashtbl.find_opt defs signal with
-        | None -> fail 0 ("undriven net: " ^ signal)
+        | None -> fail0 ("undriven net: " ^ signal)
         | Some (prim, ins, l) ->
             let fanins = List.map resolve ins in
             let arity = List.length ins in
@@ -211,7 +220,7 @@ let parse_string text =
               match Gate.of_name bench_name arity with
               | Some k -> k
               | None ->
-                  fail l
+                  failp l
                     (Printf.sprintf "unsupported %s with %d inputs" prim arity)
             in
             let id = B.add_gate ~name:signal builder kind fanins in
@@ -226,18 +235,36 @@ let parse_string text =
     (fun name ->
       match Hashtbl.find_opt ids name with
       | Some id -> B.mark_output builder id
-      | None -> fail 0 ("output is never driven: " ^ name))
+      | None -> fail0 ("output is never driven: " ^ name))
     !outputs;
   (* Surface structural failures (no inputs/gates/outputs) as parse
      errors: the input text is what is malformed. *)
-  try B.finish builder with Invalid_argument msg -> fail 0 msg
+  try B.finish builder with Invalid_argument msg -> fail0 msg
 
 let parse_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse_string text
+  try parse_string text
+  with Parse_error (pos, msg) ->
+    raise (Parse_error (Err.with_file pos path, msg))
+
+let parse_string_res text =
+  match parse_string text with
+  | c -> Ok c
+  | exception Parse_error (pos, msg) ->
+      Error (Err.parse_at ~pos ~format:"verilog" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Verilog.parse" exn)
+
+let parse_file_res path =
+  match parse_file path with
+  | c -> Ok c
+  | exception Parse_error (pos, msg) ->
+      Error (Err.parse_at ~pos ~format:"verilog" msg)
+  | exception Sys_error msg ->
+      Error (Err.parse ~file:path ~format:"verilog" msg)
+  | exception exn -> Error (Err.of_exn ~context:"Verilog.parse" exn)
 
 (* ----- printer ----- *)
 

@@ -21,11 +21,17 @@
     file; instances may reference wires declared later (resolved like
     the .bench parser). *)
 
-exception Parse_error of int * string
-(** [(line, message)]. *)
+exception Parse_error of Ssta_runtime.Ssta_error.position * string
+(** Position (line and column from the lexer; resolution-phase errors
+    carry line 0) plus message. *)
 
 val parse_string : string -> Netlist.t
 val parse_file : string -> Netlist.t
+
+val parse_string_res :
+  string -> (Netlist.t, Ssta_runtime.Ssta_error.t) result
+val parse_file_res : string -> (Netlist.t, Ssta_runtime.Ssta_error.t) result
+(** Typed-error entry points: never raise. *)
 
 val to_string : Netlist.t -> string
 (** Emit the netlist as a single structural module (named after the

@@ -2,6 +2,11 @@ module Sta = Ssta_timing.Sta
 module Paths = Ssta_timing.Paths
 module Placement = Ssta_circuit.Placement
 module Netlist = Ssta_circuit.Netlist
+module Rbudget = Ssta_runtime.Budget
+module Health = Ssta_runtime.Health
+module Err = Ssta_runtime.Ssta_error
+
+type status = Complete | Degraded of Rbudget.degradation list
 
 type t = {
   circuit_name : string;
@@ -15,10 +20,22 @@ type t = {
   det_critical : Path_analysis.t;
   prob_critical : Ranking.ranked;
   runtime_s : float;
+  status : status;
+  health : Health.t;
 }
 
-let run ?(config = Config.default) ?placement ?wire ?wire_caps circuit =
+let is_degraded t = match t.status with Complete -> false | Degraded _ -> true
+
+let degradations t =
+  match t.status with Complete -> [] | Degraded ds -> ds
+
+exception Out_of_time
+
+let run_tracked ~config ~tracker ?placement ?wire ?wire_caps circuit =
   let started = Unix.gettimeofday () in
+  let budget = Rbudget.limits tracker in
+  let degradations = ref [] in
+  let degrade d = degradations := d :: !degradations in
   let placement =
     match placement with Some pl -> pl | None -> Placement.place circuit
   in
@@ -31,37 +48,138 @@ let run ?(config = Config.default) ?placement ?wire ?wire_caps circuit =
     | None, Some caps ->
         Sta.of_graph (Ssta_timing.Graph.with_wire_caps circuit caps)
   in
-  let ctx = Path_analysis.context config sta.Sta.graph placement in
+  (* Degrade the PDF resolution first: a cell cap trades accuracy for
+     memory/time without dropping any path. *)
+  let config =
+    match
+      Rbudget.clamp_quality budget ~intra:config.Config.quality_intra
+        ~inter:config.Config.quality_inter
+    with
+    | None -> config
+    | Some (qi, qe) ->
+        if qi <> config.Config.quality_intra then
+          degrade
+            (Rbudget.Tightened
+               { parameter = "quality-intra";
+                 from_ = float_of_int config.Config.quality_intra;
+                 to_ = float_of_int qi });
+        if qe <> config.Config.quality_inter then
+          degrade
+            (Rbudget.Tightened
+               { parameter = "quality-inter";
+                 from_ = float_of_int config.Config.quality_inter;
+                 to_ = float_of_int qe });
+        Config.with_quality config ~intra:qi ~inter:qe
+  in
+  let health = Health.create () in
+  let ctx = Path_analysis.context ~health config sta.Sta.graph placement in
   (* Step 3: sigma_C from the deterministic critical path. *)
   let det_critical = Path_analysis.analyze ctx sta.Sta.critical_path in
   let sigma_c = det_critical.Path_analysis.std in
   let slack = config.Config.confidence *. sigma_c in
-  (* Step 4: all near-critical paths, deterministically ranked. *)
+  (* Step 4: all near-critical paths, deterministically ranked.  The
+     budget clamps the enumeration cap and imposes the deadline. *)
+  let max_paths = Rbudget.effective_max_paths budget config.Config.max_paths in
+  let should_stop = Rbudget.stop_check tracker in
   let enumeration =
-    Sta.near_critical ~max_paths:config.Config.max_paths sta ~slack
+    Sta.near_critical ~max_paths ~should_stop sta ~slack
   in
-  (* Step 5: statistical analysis of each, then confidence ranking. *)
+  let num_enumerated = List.length enumeration.Paths.paths in
+  if enumeration.Paths.deadline_hit then
+    degrade
+      (Rbudget.Deadline_hit
+         { phase = "enumeration";
+           detail =
+             Printf.sprintf "stopped after %d paths (%d candidates explored)"
+               num_enumerated enumeration.Paths.explored });
+  if enumeration.Paths.truncated && max_paths < config.Config.max_paths then
+    degrade
+      (Rbudget.Capped
+         { resource = "paths";
+           kept = num_enumerated;
+           detail =
+             Printf.sprintf "budget capped enumeration at %d paths" max_paths });
+  (* Step 5: statistical analysis of each, then confidence ranking.
+     Deadline checked between paths so a late breach keeps the analyzed
+     prefix. *)
+  let analyses = ref [] in
+  let analyzed = ref 0 in
+  (try
+     List.iter
+       (fun p ->
+         if Rbudget.out_of_time tracker then raise Out_of_time;
+         let a =
+           if p.Paths.nodes = det_critical.Path_analysis.path.Paths.nodes then
+             det_critical
+           else Path_analysis.analyze ctx p
+         in
+         analyses := a :: !analyses;
+         incr analyzed)
+       enumeration.Paths.paths
+   with Out_of_time ->
+     degrade
+       (Rbudget.Deadline_hit
+          { phase = "path-analysis";
+            detail =
+              Printf.sprintf "analyzed %d of %d enumerated paths" !analyzed
+                num_enumerated }));
   let analyses =
-    List.map
-      (fun p ->
-        if p.Paths.nodes = det_critical.Path_analysis.path.Paths.nodes then
-          det_critical
-        else Path_analysis.analyze ctx p)
-      enumeration.Paths.paths
+    match List.rev !analyses with [] -> [ det_critical ] | l -> l
   in
+  (* When paths were dropped, the run effectively used a smaller
+     confidence C: report the value actually covered by the kept set. *)
+  let dropped_paths =
+    List.exists
+      (function
+        | Rbudget.Deadline_hit _ | Rbudget.Capped _ -> true
+        | Rbudget.Tightened _ -> false)
+      !degradations
+  in
+  if dropped_paths && sigma_c > 0.0 then begin
+    let last = List.nth analyses (List.length analyses - 1) in
+    let covered =
+      (sta.Sta.critical_delay -. last.Path_analysis.det_delay) /. sigma_c
+    in
+    let c_eff = Float.max 0.0 (Float.min config.Config.confidence covered) in
+    if c_eff < config.Config.confidence then
+      degrade
+        (Rbudget.Tightened
+           { parameter = "confidence";
+             from_ = config.Config.confidence;
+             to_ = c_eff })
+  end;
   let ranked = Ranking.rank analyses in
   let prob_critical = Ranking.probabilistic_critical ranked in
+  let status =
+    match List.rev !degradations with [] -> Complete | ds -> Degraded ds
+  in
   { circuit_name = circuit.Netlist.name;
     num_gates = Netlist.num_gates circuit;
     config;
     sta;
     sigma_c;
     slack;
-    truncated = enumeration.Paths.truncated;
+    truncated = enumeration.Paths.truncated || enumeration.Paths.deadline_hit;
     ranked;
     det_critical;
     prob_critical;
-    runtime_s = Unix.gettimeofday () -. started }
+    runtime_s = Unix.gettimeofday () -. started;
+    status;
+    health }
+
+let run ?(config = Config.default) ?placement ?wire ?wire_caps circuit =
+  run_tracked ~config
+    ~tracker:(Rbudget.start Rbudget.unlimited)
+    ?placement ?wire ?wire_caps circuit
+
+let analyze ?(config = Config.default) ?(budget = Rbudget.unlimited) ?placement
+    ?wire ?wire_caps circuit =
+  match Rbudget.validate budget with
+  | Error e -> Error e
+  | Ok () ->
+      Err.protect ~context:"Methodology.analyze" (fun () ->
+          run_tracked ~config ~tracker:(Rbudget.start budget) ?placement ?wire
+            ?wire_caps circuit)
 
 let num_critical_paths t = Array.length t.ranked
 

@@ -7,7 +7,18 @@
     5. Statistical analysis of each; rank by the confidence point.
 
     The result carries everything the paper's Table 2 reports, plus the
-    full per-path analyses for the figures. *)
+    full per-path analyses for the figures.
+
+    Runs can be bounded by an {!Ssta_runtime.Budget.t}.  Breaching a
+    budget never aborts the flow: the PDF resolution is tightened first
+    (cell cap), then the enumeration is capped, then the per-path
+    analysis loop stops at the deadline — each degradation keeps the
+    already-computed subset and is recorded in {!field-status}. *)
+
+type status =
+  | Complete
+  | Degraded of Ssta_runtime.Budget.degradation list
+      (** what the budget forced the run to give up, in order *)
 
 type t = {
   circuit_name : string;
@@ -21,6 +32,9 @@ type t = {
   det_critical : Path_analysis.t;  (** analysis of the det. critical path *)
   prob_critical : Ranking.ranked;
   runtime_s : float;  (** wall-clock of the whole flow *)
+  status : status;
+  health : Ssta_runtime.Health.t;
+      (** numerical-health ledger of every PDF operation in the run *)
 }
 
 val run :
@@ -36,6 +50,25 @@ val run :
     ({!Ssta_timing.Graph.of_placed}); when [wire_caps] is given (e.g.
     from {!Ssta_circuit.Spef.apply}), each node uses that explicit wire
     capacitance.  The two are mutually exclusive. *)
+
+val analyze :
+  ?config:Config.t ->
+  ?budget:Ssta_runtime.Budget.t ->
+  ?placement:Ssta_circuit.Placement.t ->
+  ?wire:Ssta_tech.Wire.params ->
+  ?wire_caps:float array ->
+  Ssta_circuit.Netlist.t ->
+  (t, Ssta_runtime.Ssta_error.t) result
+(** Result-returning entry point: like {!run}, but never raises —
+    invalid arguments and numerical failures come back as typed errors —
+    and enforces [budget] (default {!Ssta_runtime.Budget.unlimited}).
+    A budget breach degrades the run (see {!status}) but still returns
+    [Ok] with the truthful partial answer. *)
+
+val is_degraded : t -> bool
+
+val degradations : t -> Ssta_runtime.Budget.degradation list
+(** Empty for complete runs. *)
 
 val num_critical_paths : t -> int
 (** Paths analyzed (Table 2 column 7). *)

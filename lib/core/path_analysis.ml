@@ -1,10 +1,11 @@
 module Pdf = Ssta_prob.Pdf
-module Combine = Ssta_prob.Combine
 module Corner = Ssta_tech.Corner
 module Graph = Ssta_timing.Graph
 module Paths = Ssta_timing.Paths
 module Layers = Ssta_correlation.Layers
 module Path_coeffs = Ssta_correlation.Path_coeffs
+module Guard = Ssta_runtime.Guard
+module Health = Ssta_runtime.Health
 
 type t = {
   path : Paths.path;
@@ -28,24 +29,36 @@ type context = {
   placement : Ssta_circuit.Placement.t;
   layers : Layers.t;
   tables : Inter.tables;
+  health : Health.t;
 }
 
-let context config graph placement =
+let context ?health config graph placement =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Path_analysis.context: " ^ msg));
+  let health =
+    match health with Some h -> h | None -> Health.create ()
+  in
   { config;
     graph;
     placement;
     layers = Config.layers_for config placement;
-    tables = Inter.tables config }
+    tables = Inter.tables config;
+    health }
+
+let health ctx = ctx.health
 
 let analyze ctx path =
   let coeffs = Path_coeffs.of_path ctx.graph ctx.placement ctx.layers path in
-  let intra_pdf = Intra.pdf ctx.config coeffs in
-  let inter_pdf = Inter.of_coeffs ctx.tables coeffs in
+  let intra_pdf =
+    Guard.check ctx.health ~op:"intra pdf" (Intra.pdf ctx.config coeffs)
+  in
+  let inter_pdf =
+    Guard.check ctx.health ~op:"inter pdf" (Inter.of_coeffs ctx.tables coeffs)
+  in
   let total_pdf =
-    Combine.sum ~n:ctx.config.Config.quality_intra inter_pdf intra_pdf
+    Guard.sum ~n:ctx.config.Config.quality_intra ctx.health inter_pdf
+      intra_pdf
   in
   let mean = Pdf.mean total_pdf and std = Pdf.std total_pdf in
   let worst_case =

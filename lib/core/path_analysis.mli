@@ -24,13 +24,27 @@ type t = {
 
 type context
 (** Shared precomputation (inter tables, layers) for analyzing many paths
-    of one placed circuit. *)
+    of one placed circuit, plus the numerical-health ledger the guarded
+    PDF operations report into. *)
 
 val context :
-  Config.t -> Ssta_timing.Graph.t -> Ssta_circuit.Placement.t -> context
+  ?health:Ssta_runtime.Health.t ->
+  Config.t ->
+  Ssta_timing.Graph.t ->
+  Ssta_circuit.Placement.t ->
+  context
+(** A fresh ledger is created when [health] is omitted. *)
+
+val health : context -> Ssta_runtime.Health.t
+(** The ledger accumulated by every {!analyze} call through this
+    context. *)
 
 val analyze : context -> Ssta_timing.Paths.path -> t
-(** Full statistical analysis of one path. *)
+(** Full statistical analysis of one path.  The intra/inter PDFs and
+    their convolution run through {!Ssta_runtime.Guard}: repairable
+    numerical damage is fixed and recorded in the context's health
+    ledger; unrepairable damage raises
+    [Ssta_runtime.Ssta_error.Error (Numeric _)]. *)
 
 val overestimation_pct : t -> float
 (** [(worst_case - confidence_point) / confidence_point * 100] — the

@@ -155,3 +155,19 @@ let rank_scatter_csv pairs =
     (fun (d, p) -> Buffer.add_string buf (Printf.sprintf "%d,%d\n" d p))
     pairs;
   Buffer.contents buf
+
+let pp_run_status fmt (t : Methodology.t) =
+  (match t.Methodology.status with
+  | Methodology.Complete -> Format.fprintf fmt "status: complete@."
+  | Methodology.Degraded ds ->
+      Format.fprintf fmt "status: DEGRADED (%d budget event%s)@."
+        (List.length ds)
+        (if List.length ds = 1 then "" else "s");
+      List.iter
+        (fun d ->
+          Format.fprintf fmt "  - %a@." Ssta_runtime.Budget.pp_degradation d)
+        ds);
+  let h = t.Methodology.health in
+  if Ssta_runtime.Health.is_clean h then
+    Format.fprintf fmt "numerical health: clean@."
+  else Format.fprintf fmt "numerical health: %a@." Ssta_runtime.Health.pp h

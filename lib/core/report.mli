@@ -60,3 +60,7 @@ val pdfs_csv : (string * Ssta_prob.Pdf.t) list -> string
 
 val rank_scatter_csv : (int * int) array -> string
 (** CSV [det_rank,prob_rank] (Figs. 5/6). *)
+
+val pp_run_status : Format.formatter -> Methodology.t -> unit
+(** Degradation events (budget breaches) and the numerical-health ledger
+    of a run — the robustness footer of the run report. *)

@@ -21,7 +21,7 @@ type location =
   | Net of string
   | Config
   | Pdf of string
-  | File of { path : string; line : int }
+  | File of { path : string; line : int; col : int }
 
 type t = {
   rule : string;
@@ -41,7 +41,7 @@ let location_key = function
   | Net n -> (3, 0, n)
   | Config -> (4, 0, "")
   | Pdf n -> (5, 0, n)
-  | File { path; line } -> (6, line, path)
+  | File { path; line; col } -> (6, (line * 10_000) + col, path)
 
 let compare a b =
   let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
@@ -59,9 +59,31 @@ let pp_location fmt = function
   | Net n -> Format.fprintf fmt "net '%s'" n
   | Config -> Format.fprintf fmt "config"
   | Pdf n -> Format.fprintf fmt "pdf '%s'" n
-  | File { path; line } -> Format.fprintf fmt "%s:%d" path line
+  | File { path; line; col } ->
+      if col > 0 then Format.fprintf fmt "%s:%d:%d" path line col
+      else Format.fprintf fmt "%s:%d" path line
 
 let pp fmt t =
   Format.fprintf fmt "%s[%s] %a: %s"
     (severity_name t.severity)
     t.rule pp_location t.location t.message
+
+let of_error (e : Ssta_runtime.Ssta_error.t) =
+  let module E = Ssta_runtime.Ssta_error in
+  match e with
+  | E.Parse { pos; format; message } ->
+      let path = Option.value pos.E.file ~default:"<input>" in
+      make ~rule:"parse-error" ~severity:Error
+        ~location:(File { path; line = pos.E.line; col = pos.E.col })
+        (Printf.sprintf "%s: %s" format message)
+  | E.Structural { subject; message } ->
+      make ~rule:"structural-error" ~severity:Error ~location:Circuit
+        (Printf.sprintf "%s: %s" subject message)
+  | E.Numeric { op; message } ->
+      make ~rule:"numeric-error" ~severity:Error ~location:(Pdf op) message
+  | E.Budget_exceeded { resource; message } ->
+      make ~rule:"budget-exceeded" ~severity:Warning ~location:Config
+        (Printf.sprintf "%s: %s" resource message)
+  | E.Internal { context; message } ->
+      make ~rule:"internal-error" ~severity:Error ~location:Circuit
+        (Printf.sprintf "%s: %s" context message)

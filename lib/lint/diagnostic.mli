@@ -29,7 +29,8 @@ type location =
   | Net of string  (** a named net of a SPEF/DEF annotation *)
   | Config  (** the methodology configuration *)
   | Pdf of string  (** a named probability density *)
-  | File of { path : string; line : int }  (** a position in an input file *)
+  | File of { path : string; line : int; col : int }
+      (** a position in an input file; [col] 0 when unknown *)
 
 type t = {
   rule : string;  (** stable rule identifier *)
@@ -51,3 +52,8 @@ val pp_location : Format.formatter -> location -> unit
 
 val pp : Format.formatter -> t -> unit
 (** One-line rendering: [severity[rule] location: message]. *)
+
+val of_error : Ssta_runtime.Ssta_error.t -> t
+(** Render a typed runtime error as a diagnostic: parse errors map to
+    {!constructor-File} locations (with column when known), numeric
+    errors to {!constructor-Pdf}, budget breaches to warnings. *)

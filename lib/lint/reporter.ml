@@ -47,9 +47,9 @@ let location_json = function
   | D.Config -> "{\"kind\":\"config\"}"
   | D.Pdf n ->
       Printf.sprintf "{\"kind\":\"pdf\",\"name\":\"%s\"}" (json_escape n)
-  | D.File { path; line } ->
-      Printf.sprintf "{\"kind\":\"file\",\"path\":\"%s\",\"line\":%d}"
-        (json_escape path) line
+  | D.File { path; line; col } ->
+      Printf.sprintf "{\"kind\":\"file\",\"path\":\"%s\",\"line\":%d,\"col\":%d}"
+        (json_escape path) line col
 
 let diagnostic_json (d : D.t) =
   Printf.sprintf

@@ -1,0 +1,112 @@
+type t = {
+  deadline_s : float option;
+  max_paths : int option;
+  max_cells : int option;
+}
+
+let unlimited = { deadline_s = None; max_paths = None; max_cells = None }
+
+let make ?deadline_s ?max_paths ?max_cells () =
+  { deadline_s; max_paths; max_cells }
+
+let is_unlimited t =
+  t.deadline_s = None && t.max_paths = None && t.max_cells = None
+
+let validate t =
+  let bad what = Error (Ssta_error.structural ~subject:"budget" what) in
+  match t with
+  | { deadline_s = Some d; _ } when not (d > 0.0 && Float.is_finite d) ->
+      bad (Printf.sprintf "deadline must be positive and finite, got %g" d)
+  | { max_paths = Some p; _ } when p < 1 ->
+      bad (Printf.sprintf "max-paths must be >= 1, got %d" p)
+  | { max_cells = Some c; _ } when c < 2 ->
+      bad (Printf.sprintf "max-cells must be >= 2, got %d" c)
+  | _ -> Ok ()
+
+(* "10s", "500ms", "2m", "0.25h" or a plain number of seconds. *)
+let parse_duration s =
+  let s = String.trim s in
+  let err () =
+    Error
+      (Ssta_error.parse ~format:"duration"
+         (Printf.sprintf
+            "cannot parse %S (expected e.g. 10s, 500ms, 2m, 1.5)" s))
+  in
+  let num_with_suffix suffix scale =
+    if String.length s > String.length suffix
+       && String.ends_with ~suffix s
+    then
+      let body = String.sub s 0 (String.length s - String.length suffix) in
+      Option.map (fun v -> v *. scale) (float_of_string_opt body)
+    else None
+  in
+  let candidates =
+    [ num_with_suffix "ms" 1e-3;
+      num_with_suffix "s" 1.0;
+      num_with_suffix "m" 60.0;
+      num_with_suffix "h" 3600.0;
+      float_of_string_opt s ]
+  in
+  match List.find_opt Option.is_some candidates with
+  | Some (Some v) when v > 0.0 && Float.is_finite v -> Ok v
+  | _ -> err ()
+
+type tracker = { budget : t; started : float }
+
+let start budget = { budget; started = Unix.gettimeofday () }
+
+let limits tr = tr.budget
+let elapsed_s tr = Unix.gettimeofday () -. tr.started
+
+let remaining_s tr =
+  Option.map (fun d -> d -. elapsed_s tr) tr.budget.deadline_s
+
+let out_of_time tr =
+  match tr.budget.deadline_s with
+  | None -> false
+  | Some d -> elapsed_s tr >= d
+
+(* A cheap stop predicate for hot loops: only consults the clock every
+   [stride] calls (gettimeofday is ~20ns but enumeration pops are
+   cheaper still). Latches once tripped. *)
+let stop_check ?(stride = 512) tr =
+  match tr.budget.deadline_s with
+  | None -> fun () -> false
+  | Some _ ->
+      let calls = ref 0 in
+      let tripped = ref false in
+      fun () ->
+        !tripped
+        ||
+        begin
+          incr calls;
+          if !calls land (stride - 1) = 0 && out_of_time tr then
+            tripped := true;
+          !tripped
+        end
+
+let effective_max_paths t config_max =
+  match t.max_paths with
+  | None -> config_max
+  | Some m -> Int.min m config_max
+
+let clamp_quality t ~intra ~inter =
+  match t.max_cells with
+  | None -> None
+  | Some cells ->
+      let intra' = Int.min intra cells and inter' = Int.min inter cells in
+      if intra' = intra && inter' = inter then None else Some (intra', inter')
+
+(* How a budgeted run fell short of the full analysis. *)
+type degradation =
+  | Deadline_hit of { phase : string; detail : string }
+  | Capped of { resource : string; kept : int; detail : string }
+  | Tightened of { parameter : string; from_ : float; to_ : float }
+
+let pp_degradation fmt = function
+  | Deadline_hit { phase; detail } ->
+      Format.fprintf fmt "deadline hit during %s: %s" phase detail
+  | Capped { resource; kept; detail } ->
+      Format.fprintf fmt "%s capped at %d: %s" resource kept detail
+  | Tightened { parameter; from_; to_ } ->
+      Format.fprintf fmt "%s tightened from %g to %g" parameter from_ to_

@@ -1,0 +1,49 @@
+(** Resource budgets and graceful degradation bookkeeping.
+
+    A budget bounds a methodology run along three axes: wall-clock
+    deadline, near-critical path count, and PDF grid cells.  Breaching a
+    budget never kills the run — the driver tightens its parameters,
+    keeps the already-analyzed subset, and marks the result degraded
+    with a list of {!degradation} values saying exactly what was
+    dropped. *)
+
+type t = {
+  deadline_s : float option;  (** wall-clock limit for the whole run *)
+  max_paths : int option;  (** cap on near-critical enumeration *)
+  max_cells : int option;  (** cap on PDF discretization (QUALITY) *)
+}
+
+val unlimited : t
+val make : ?deadline_s:float -> ?max_paths:int -> ?max_cells:int -> unit -> t
+val is_unlimited : t -> bool
+val validate : t -> (unit, Ssta_error.t) result
+
+val parse_duration : string -> (float, Ssta_error.t) result
+(** Parse "10s", "500ms", "2m", "0.25h" or a bare number of seconds. *)
+
+type tracker
+(** A budget plus the wall-clock instant the run started. *)
+
+val start : t -> tracker
+val limits : tracker -> t
+val elapsed_s : tracker -> float
+val remaining_s : tracker -> float option
+val out_of_time : tracker -> bool
+
+val stop_check : ?stride:int -> tracker -> unit -> bool
+(** A predicate for hot loops: consults the clock only every [stride]
+    calls (a power of two, default 512) and latches once the deadline
+    passes.  Always [false] for deadline-free budgets. *)
+
+val effective_max_paths : t -> int -> int
+(** The configured enumeration cap further clamped by the budget. *)
+
+val clamp_quality : t -> intra:int -> inter:int -> (int * int) option
+(** Clamp QUALITY settings to [max_cells]; [None] when unchanged. *)
+
+type degradation =
+  | Deadline_hit of { phase : string; detail : string }
+  | Capped of { resource : string; kept : int; detail : string }
+  | Tightened of { parameter : string; from_ : float; to_ : float }
+
+val pp_degradation : Format.formatter -> degradation -> unit

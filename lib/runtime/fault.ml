@@ -1,0 +1,145 @@
+module Rng = Ssta_prob.Rng
+
+type corruption = {
+  label : string;
+  describe : string;
+  apply : string -> string;
+}
+
+let make_corruption ~label ~describe apply = { label; describe; apply }
+let apply c text = c.apply text
+
+let truncate_frac frac =
+  { label = Printf.sprintf "truncate-%.0f%%" (frac *. 100.0);
+    describe =
+      Printf.sprintf "keep only the first %.0f%% of the bytes"
+        (frac *. 100.0);
+    apply =
+      (fun text ->
+        let keep =
+          Int.max 0
+            (Int.min (String.length text)
+               (int_of_float (frac *. float_of_int (String.length text))))
+        in
+        String.sub text 0 keep) }
+
+let garble ~seed ~fraction =
+  { label = Printf.sprintf "garble-%d" seed;
+    describe =
+      Printf.sprintf
+        "overwrite ~%.0f%% of the bytes with random printable junk \
+         (seed %d)"
+        (fraction *. 100.0) seed;
+    apply =
+      (fun text ->
+        let rng = Rng.create seed in
+        String.map
+          (fun ch ->
+            if Rng.float rng < fraction then
+              Char.chr (33 + Rng.int rng 94)
+            else ch)
+          text) }
+
+let on_lines f text =
+  String.split_on_char '\n' text |> f |> String.concat "\n"
+
+let delete_lines ~seed ~fraction =
+  { label = Printf.sprintf "delete-lines-%d" seed;
+    describe =
+      Printf.sprintf "drop ~%.0f%% of the lines (seed %d)"
+        (fraction *. 100.0) seed;
+    apply =
+      (fun text ->
+        let rng = Rng.create seed in
+        on_lines
+          (List.filter (fun _ -> Rng.float rng >= fraction))
+          text) }
+
+let duplicate_lines ~seed ~fraction =
+  { label = Printf.sprintf "duplicate-lines-%d" seed;
+    describe =
+      Printf.sprintf "repeat ~%.0f%% of the lines (seed %d)"
+        (fraction *. 100.0) seed;
+    apply =
+      (fun text ->
+        let rng = Rng.create seed in
+        on_lines
+          (List.concat_map (fun l ->
+               if Rng.float rng < fraction then [ l; l ] else [ l ]))
+          text) }
+
+let replace_line ~line replacement =
+  { label = Printf.sprintf "replace-line-%d" line;
+    describe = Printf.sprintf "replace line %d with %S" line replacement;
+    apply =
+      (fun text ->
+        on_lines
+          (List.mapi (fun i l -> if i + 1 = line then replacement else l))
+          text) }
+
+let append_line suffix =
+  { label = "append-line";
+    describe = Printf.sprintf "append the line %S" suffix;
+    apply = (fun text -> text ^ "\n" ^ suffix ^ "\n") }
+
+(* Global [pattern -> by] substitution (plain text, not regex). *)
+let substitute ~pattern ~by =
+  { label = Printf.sprintf "subst-%s" pattern;
+    describe = Printf.sprintf "replace every %S with %S" pattern by;
+    apply =
+      (fun text ->
+        let n = String.length text and m = String.length pattern in
+        if m = 0 then text
+        else begin
+          let buf = Buffer.create n in
+          let i = ref 0 in
+          while !i < n do
+            if !i + m <= n && String.sub text !i m = pattern then begin
+              Buffer.add_string buf by;
+              i := !i + m
+            end
+            else begin
+              Buffer.add_char buf text.[!i];
+              incr i
+            end
+          done;
+          Buffer.contents buf
+        end) }
+
+(* The format-agnostic core corpus; format-specific substitutions are
+   added by the callers that know the syntax. *)
+let standard ~seed () =
+  [ truncate_frac 0.33;
+    truncate_frac 0.90;
+    garble ~seed ~fraction:0.05;
+    garble ~seed:(seed + 1) ~fraction:0.40;
+    delete_lines ~seed ~fraction:0.25;
+    duplicate_lines ~seed ~fraction:0.25;
+    append_line "GARBAGE = UNKNOWN(net_that_does_not_exist" ]
+
+(* ----- outcome classification ----- *)
+
+type 'a outcome =
+  | Value of 'a  (** the corrupted input was still accepted *)
+  | Typed of Ssta_error.t  (** rejected through the typed channel — good *)
+  | Crash of string  (** an uncaught exception escaped — a bug *)
+
+let run f =
+  match f () with
+  | Ok v -> Value v
+  | Error e -> Typed e
+  | exception Ssta_error.Error e -> Typed e
+  | exception exn -> Crash (Printexc.to_string exn)
+
+let run_exn f =
+  match f () with
+  | v -> Value v
+  | exception Ssta_error.Error e -> Typed e
+  | exception exn -> Crash (Printexc.to_string exn)
+
+let is_crash = function Crash _ -> true | _ -> false
+
+let pp_outcome pp_value fmt = function
+  | Value v -> Format.fprintf fmt "accepted: %a" pp_value v
+  | Typed e -> Format.fprintf fmt "typed error: %a" Ssta_error.pp e
+  | Crash msg -> Format.fprintf fmt "CRASH: %s" msg

@@ -1,0 +1,56 @@
+(** Fault-injection harness.
+
+    Deterministic corruptions of input text (netlists, DEF, SPEF,
+    configuration) plus an outcome classifier.  The robustness contract
+    under test: {e every} corruption must yield either a successful
+    (possibly degraded) result or a typed {!Ssta_error.t} — never an
+    uncaught exception, a hang, or silent garbage. *)
+
+type corruption = {
+  label : string;  (** short stable identifier, used in reports *)
+  describe : string;  (** human description of the damage *)
+  apply : string -> string;
+}
+
+val make_corruption :
+  label:string -> describe:string -> (string -> string) -> corruption
+
+val apply : corruption -> string -> string
+
+val truncate_frac : float -> corruption
+(** Keep only the first fraction of the bytes (mid-token cuts). *)
+
+val garble : seed:int -> fraction:float -> corruption
+(** Overwrite a fraction of the bytes with random printable junk;
+    deterministic in [seed]. *)
+
+val delete_lines : seed:int -> fraction:float -> corruption
+val duplicate_lines : seed:int -> fraction:float -> corruption
+
+val replace_line : line:int -> string -> corruption
+(** Replace a 1-based line wholesale. *)
+
+val append_line : string -> corruption
+val substitute : pattern:string -> by:string -> corruption
+
+val standard : seed:int -> unit -> corruption list
+(** The format-agnostic core corpus: truncations, garbling, line
+    deletion/duplication and a trailing junk line.  Callers add
+    format-specific {!substitute} corruptions on top. *)
+
+type 'a outcome =
+  | Value of 'a  (** the corrupted input was still accepted *)
+  | Typed of Ssta_error.t  (** rejected through the typed channel *)
+  | Crash of string  (** an uncaught exception escaped — a bug *)
+
+val run : (unit -> ('a, Ssta_error.t) result) -> 'a outcome
+(** Evaluate a result-returning thunk, catching stray exceptions
+    (including [Ssta_error.Error], which counts as typed). *)
+
+val run_exn : (unit -> 'a) -> 'a outcome
+(** Same for a raising thunk. *)
+
+val is_crash : 'a outcome -> bool
+
+val pp_outcome :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit

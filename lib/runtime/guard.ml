@@ -1,0 +1,140 @@
+module Pdf = Ssta_prob.Pdf
+module Combine = Ssta_prob.Combine
+
+let default_tol = 1e-6
+
+let numeric ~op msg = Error (Ssta_error.numeric ~op msg)
+
+let finite x = Float.is_finite x
+
+(* Classify and, where sound, repair a density array in place (a copy of
+   the caller's).  Returns the mass, or an error for unrepairable
+   damage.  [normalized] says whether the caller promised unit mass, so
+   a drift is worth a ledger entry. *)
+let audit_density ~tol ~op ~normalized health ~lo ~step density =
+  if not (finite lo && finite step && step > 0.0) then begin
+    Health.record health ~op ~issue:Health.Non_finite
+      "grid geometry is not finite/positive";
+    numeric ~op
+      (Printf.sprintf "invalid grid (lo=%g step=%g)" lo step)
+  end
+  else begin
+    let n = Array.length density in
+    let bad = ref None in
+    let neg_mass = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = density.(i) in
+      if not (finite d) then begin
+        if !bad = None then bad := Some i
+      end
+      else if d < 0.0 then neg_mass := !neg_mass +. (-.d *. step)
+    done;
+    match !bad with
+    | Some i ->
+        Health.record health ~op ~issue:Health.Non_finite
+          (Printf.sprintf "cell %d is %g" i density.(i));
+        numeric ~op (Printf.sprintf "non-finite density in cell %d" i)
+    | None ->
+        if !neg_mass > tol then begin
+          Health.record health ~op ~issue:Health.Negative_density
+            ~defect:!neg_mass "negative density beyond tolerance";
+          numeric ~op
+            (Printf.sprintf "negative probability mass %.3g" !neg_mass)
+        end
+        else begin
+          (* Dust-level negatives: clamp to zero and account for it. *)
+          if !neg_mass > 0.0 then begin
+            for i = 0 to n - 1 do
+              if density.(i) < 0.0 then density.(i) <- 0.0
+            done;
+            Health.record health ~op ~issue:Health.Negative_density
+              ~defect:!neg_mass "clamped negative dust to 0"
+          end;
+          let mass = ref 0.0 in
+          Array.iter (fun d -> mass := !mass +. (d *. step)) density;
+          if not (!mass > 0.0 && finite !mass) then begin
+            Health.record health ~op ~issue:Health.Degenerate
+              (Printf.sprintf "total mass %g" !mass);
+            numeric ~op (Printf.sprintf "degenerate total mass %g" !mass)
+          end
+          else begin
+            let defect = Float.abs (!mass -. 1.0) in
+            if normalized && defect > tol then
+              Health.record health ~op ~issue:Health.Renormalized ~defect
+                (Printf.sprintf "mass %.9g renormalized to 1" !mass);
+            Ok !mass
+          end
+        end
+  end
+
+let make_res ?(tol = default_tol) health ~op ~lo ~step density =
+  let density = Array.copy density in
+  match audit_density ~tol ~op ~normalized:true health ~lo ~step density with
+  | Error _ as e -> e
+  | Ok _ -> (
+      (* Pdf.make normalizes; its own validation is now redundant but
+         harmless. *)
+      try Ok (Pdf.make ~lo ~step density)
+      with Invalid_argument msg -> numeric ~op msg)
+
+let check_res ?(tol = default_tol) health ~op (p : Pdf.t) =
+  let density = Array.copy p.Pdf.density in
+  match
+    audit_density ~tol ~op ~normalized:true health ~lo:p.Pdf.lo
+      ~step:p.Pdf.step density
+  with
+  | Error _ as e -> e
+  | Ok mass ->
+      if Float.abs (mass -. 1.0) > tol then
+        (* Repair: Pdf.make renormalizes the audited copy. *)
+        try Ok (Pdf.make ~lo:p.Pdf.lo ~step:p.Pdf.step density)
+        with Invalid_argument msg -> numeric ~op msg
+      else Ok p
+
+let lift1 ?(tol = default_tol) health ~op f =
+  match f () with
+  | p -> check_res ~tol health ~op p
+  | exception Invalid_argument msg ->
+      Health.record health ~op ~issue:Health.Degenerate msg;
+      numeric ~op msg
+
+let or_raise = function Ok v -> v | Error e -> Ssta_error.raise_error e
+
+let make ?tol health ~op ~lo ~step density =
+  or_raise (make_res ?tol health ~op ~lo ~step density)
+
+let check ?tol health ~op p = or_raise (check_res ?tol health ~op p)
+
+let sum_res ?tol ?n health px py =
+  lift1 ?tol health ~op:"Combine.sum" (fun () -> Combine.sum ?n px py)
+
+let sum ?tol ?n health px py = or_raise (sum_res ?tol ?n health px py)
+
+let map_res ?tol ?n health f p =
+  lift1 ?tol health ~op:"Combine.map" (fun () -> Combine.map ?n f p)
+
+let map ?tol ?n health f p = or_raise (map_res ?tol ?n health f p)
+
+let push3_res ?tol ?n health f px py pz =
+  lift1 ?tol health ~op:"Combine.push3" (fun () -> Combine.push3 ?n f px py pz)
+
+let push3 ?tol ?n health f px py pz =
+  or_raise (push3_res ?tol ?n health f px py pz)
+
+let affine_res ?tol health ~mul ~add p =
+  if not (finite mul && finite add && mul <> 0.0) then begin
+    Health.record health ~op:"Pdf.affine" ~issue:Health.Non_finite
+      (Printf.sprintf "mul=%g add=%g" mul add);
+    numeric ~op:"Pdf.affine"
+      (Printf.sprintf "coefficients must be finite, mul non-zero \
+                       (mul=%g add=%g)" mul add)
+  end
+  else lift1 ?tol health ~op:"Pdf.affine" (fun () -> Pdf.affine ~mul ~add p)
+
+let affine ?tol health ~mul ~add p =
+  or_raise (affine_res ?tol health ~mul ~add p)
+
+let resample_res ?tol health ~n p =
+  lift1 ?tol health ~op:"Pdf.resample" (fun () -> Pdf.resample ~n p)
+
+let resample ?tol health ~n p = or_raise (resample_res ?tol health ~n p)

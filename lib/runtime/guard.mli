@@ -1,0 +1,76 @@
+(** Guarded PDF operations.
+
+    Wrappers around [Ssta_prob.Pdf] / [Ssta_prob.Combine] that audit
+    their result: NaN/Inf anywhere, negative density beyond float dust,
+    or total mass drifting from 1 beyond a tolerance.  Repairable damage
+    (dust negatives, mass drift) is fixed — clamped / renormalized — and
+    recorded in the {!Health} ledger; unrepairable damage becomes a
+    typed {!Ssta_error.Numeric} error.
+
+    Each operation comes in two forms: [foo_res] returning a [result],
+    and [foo] raising [Ssta_error.Error] (for use deep inside a
+    computation whose boundary catches it).
+
+    The guarded operations are closed over well-formed PDFs: whenever
+    they return [Ok p] (or don't raise), [p] has finite non-negative
+    density everywhere and unit mass within [tol]. *)
+
+module Pdf = Ssta_prob.Pdf
+
+val default_tol : float
+(** Relative mass tolerance, [1e-6]. *)
+
+val make_res :
+  ?tol:float -> Health.t -> op:string -> lo:float -> step:float ->
+  float array -> (Pdf.t, Ssta_error.t) result
+(** Guarded constructor for a density that is {e supposed} to be
+    normalized already (external data, accumulator output); a mass
+    defect beyond [tol] is repaired and recorded. *)
+
+val make :
+  ?tol:float -> Health.t -> op:string -> lo:float -> step:float ->
+  float array -> Pdf.t
+
+val check_res :
+  ?tol:float -> Health.t -> op:string -> Pdf.t -> (Pdf.t, Ssta_error.t) result
+(** Audit an existing PDF; returns it unchanged when sound, a
+    renormalized copy when the mass drifted, an error when broken. *)
+
+val check : ?tol:float -> Health.t -> op:string -> Pdf.t -> Pdf.t
+
+val sum_res :
+  ?tol:float -> ?n:int -> Health.t -> Pdf.t -> Pdf.t ->
+  (Pdf.t, Ssta_error.t) result
+(** Guarded convolution (distribution of X + Y). *)
+
+val sum : ?tol:float -> ?n:int -> Health.t -> Pdf.t -> Pdf.t -> Pdf.t
+
+val map_res :
+  ?tol:float -> ?n:int -> Health.t -> (float -> float) -> Pdf.t ->
+  (Pdf.t, Ssta_error.t) result
+(** Guarded 1-variable push-forward. *)
+
+val map : ?tol:float -> ?n:int -> Health.t -> (float -> float) -> Pdf.t -> Pdf.t
+
+val push3_res :
+  ?tol:float -> ?n:int -> Health.t -> (float -> float -> float -> float) ->
+  Pdf.t -> Pdf.t -> Pdf.t -> (Pdf.t, Ssta_error.t) result
+(** Guarded 3-variable push-forward. *)
+
+val push3 :
+  ?tol:float -> ?n:int -> Health.t -> (float -> float -> float -> float) ->
+  Pdf.t -> Pdf.t -> Pdf.t -> Pdf.t
+
+val affine_res :
+  ?tol:float -> Health.t -> mul:float -> add:float -> Pdf.t ->
+  (Pdf.t, Ssta_error.t) result
+(** Guarded affine transform; additionally rejects non-finite or zero
+    coefficients (which the raw [Pdf.affine] lets through as Inf/NaN
+    grids). *)
+
+val affine : ?tol:float -> Health.t -> mul:float -> add:float -> Pdf.t -> Pdf.t
+
+val resample_res :
+  ?tol:float -> Health.t -> n:int -> Pdf.t -> (Pdf.t, Ssta_error.t) result
+
+val resample : ?tol:float -> Health.t -> n:int -> Pdf.t -> Pdf.t

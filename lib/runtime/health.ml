@@ -1,0 +1,77 @@
+type issue =
+  | Non_finite
+  | Negative_density
+  | Mass_defect
+  | Renormalized
+  | Degenerate
+
+let issue_name = function
+  | Non_finite -> "non-finite"
+  | Negative_density -> "negative-density"
+  | Mass_defect -> "mass-defect"
+  | Renormalized -> "renormalized"
+  | Degenerate -> "degenerate"
+
+type event = { op : string; issue : issue; defect : float; detail : string }
+
+type t = {
+  mutable events : event list;  (* newest first; capped *)
+  mutable total : int;
+  mutable dropped : int;
+  mutable worst_defect : float;
+  mutable worst_defect_op : string;
+  mutable renormalizations : int;
+}
+
+let max_kept_events = 64
+
+let create () =
+  { events = [];
+    total = 0;
+    dropped = 0;
+    worst_defect = 0.0;
+    worst_defect_op = "";
+    renormalizations = 0 }
+
+let record t ~op ~issue ?(defect = 0.0) detail =
+  t.total <- t.total + 1;
+  if issue = Renormalized then t.renormalizations <- t.renormalizations + 1;
+  let defect = Float.abs defect in
+  if defect > t.worst_defect then begin
+    t.worst_defect <- defect;
+    t.worst_defect_op <- op
+  end;
+  if List.length t.events >= max_kept_events then t.dropped <- t.dropped + 1
+  else t.events <- { op; issue; defect; detail } :: t.events
+
+let is_clean t = t.total = 0
+let count t = t.total
+let renormalizations t = t.renormalizations
+let worst_defect t = (t.worst_defect, t.worst_defect_op)
+let events t = List.rev t.events
+
+let merge ~into src =
+  List.iter
+    (fun e -> record into ~op:e.op ~issue:e.issue ~defect:e.defect e.detail)
+    (events src);
+  into.dropped <- into.dropped + src.dropped
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%s] %s: %s" (issue_name e.issue) e.op e.detail;
+  if e.defect > 0.0 then Format.fprintf fmt " (defect %.3g)" e.defect
+
+let pp fmt t =
+  if is_clean t then Format.fprintf fmt "numerics: clean"
+  else begin
+    Format.fprintf fmt
+      "numerics: %d warning%s (%d renormalization%s, worst mass defect %.3g%s)"
+      t.total
+      (if t.total = 1 then "" else "s")
+      t.renormalizations
+      (if t.renormalizations = 1 then "" else "s")
+      t.worst_defect
+      (if t.worst_defect_op = "" then "" else " in " ^ t.worst_defect_op);
+    List.iter (fun e -> Format.fprintf fmt "@.  %a" pp_event e) (events t);
+    if t.dropped > 0 then
+      Format.fprintf fmt "@.  ... and %d more (not kept)" t.dropped
+  end

@@ -1,0 +1,41 @@
+(** Per-run ledger of numerical warnings.
+
+    {!Guard} records every anomaly it repairs (and every one it cannot)
+    here, so a run that silently renormalized a drifting PDF still tells
+    the caller it did.  A single [t] is threaded through a whole
+    methodology run and surfaced by [Report]. *)
+
+type issue =
+  | Non_finite  (** NaN or infinity appeared in a density *)
+  | Negative_density  (** density entries below 0 (beyond dust) *)
+  | Mass_defect  (** total mass drifted from 1 beyond tolerance *)
+  | Renormalized  (** the defect above was repaired by renormalizing *)
+  | Degenerate  (** zero-mass / empty / collapsed distribution *)
+
+val issue_name : issue -> string
+
+type event = { op : string; issue : issue; defect : float; detail : string }
+
+type t
+
+val create : unit -> t
+
+val record : t -> op:string -> issue:issue -> ?defect:float -> string -> unit
+(** Append an event.  Only the first 64 events are kept verbatim; the
+    counters keep counting past that. *)
+
+val is_clean : t -> bool
+val count : t -> int
+val renormalizations : t -> int
+
+val worst_defect : t -> float * string
+(** Largest absolute mass defect seen and the operation it occurred in
+    (empty string when none). *)
+
+val events : t -> event list
+(** Kept events, oldest first. *)
+
+val merge : into:t -> t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type position = { file : string option; line : int; col : int }
+
+let no_position = { file = None; line = 0; col = 0 }
+
+let position ?file ?(line = 0) ?(col = 0) () = { file; line; col }
+
+let with_file pos file = { pos with file = Some file }
+
+(* Locate [token] inside [line_text] so parsers that only track the
+   offending token can still report a column.  Column numbers are
+   1-based; 0 means unknown. *)
+let position_of_token ?file ~line ~line_text token =
+  let col =
+    if token = "" then 0
+    else begin
+      let n = String.length line_text and m = String.length token in
+      let found = ref 0 in
+      (try
+         for i = 0 to n - m do
+           if String.sub line_text i m = token then begin
+             found := i + 1;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !found
+    end
+  in
+  { file; line; col }
+
+let pp_position fmt p =
+  let file = match p.file with Some f -> f | None -> "<input>" in
+  if p.line <= 0 then Format.fprintf fmt "%s" file
+  else if p.col <= 0 then Format.fprintf fmt "%s:%d" file p.line
+  else Format.fprintf fmt "%s:%d:%d" file p.line p.col
+
+type t =
+  | Parse of { pos : position; format : string; message : string }
+  | Structural of { subject : string; message : string }
+  | Numeric of { op : string; message : string }
+  | Budget_exceeded of { resource : string; message : string }
+  | Internal of { context : string; message : string }
+
+exception Error of t
+
+let parse ?file ?(line = 0) ?(col = 0) ~format message =
+  Parse { pos = { file; line; col }; format; message }
+
+let parse_at ~pos ~format message = Parse { pos; format; message }
+let structural ~subject message = Structural { subject; message }
+let numeric ~op message = Numeric { op; message }
+let budget ~resource message = Budget_exceeded { resource; message }
+let internal ~context message = Internal { context; message }
+
+let raise_error e = raise (Error e)
+
+let pp fmt = function
+  | Parse { pos; format; message } ->
+      Format.fprintf fmt "parse error (%s) at %a: %s" format pp_position pos
+        message
+  | Structural { subject; message } ->
+      Format.fprintf fmt "structural error in %s: %s" subject message
+  | Numeric { op; message } ->
+      Format.fprintf fmt "numerical error in %s: %s" op message
+  | Budget_exceeded { resource; message } ->
+      Format.fprintf fmt "budget exceeded (%s): %s" resource message
+  | Internal { context; message } ->
+      Format.fprintf fmt "internal error in %s: %s" context message
+
+let to_string e = Format.asprintf "%a" pp e
+
+let kind_name = function
+  | Parse _ -> "parse"
+  | Structural _ -> "structural"
+  | Numeric _ -> "numeric"
+  | Budget_exceeded _ -> "budget-exceeded"
+  | Internal _ -> "internal"
+
+(* The CLI's documented convention: 1 analysis/lint error, 4 internal.
+   (0 success, 2 usage and 3 strict-budget degradation are produced by
+   the driver itself.) *)
+let exit_code = function Internal _ -> 4 | _ -> 1
+
+let of_exn ~context = function
+  | Error e -> e
+  | Invalid_argument msg | Failure msg ->
+      Structural { subject = context; message = msg }
+  | Sys_error msg -> Structural { subject = context; message = msg }
+  | Out_of_memory ->
+      Budget_exceeded { resource = "memory"; message = context }
+  | Stack_overflow ->
+      Budget_exceeded { resource = "stack"; message = context }
+  | exn -> Internal { context; message = Printexc.to_string exn }
+
+let protect ~context f =
+  match f () with
+  | v -> Ok v
+  | exception (Error _ as e) -> Error (of_exn ~context e)
+  | exception exn -> Error (of_exn ~context exn)

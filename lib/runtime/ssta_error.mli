@@ -1,0 +1,67 @@
+(** The typed error channel of the analysis runtime.
+
+    Every boundary of the stack — parsers, the methodology driver, the
+    CLI — reports failures as a value of {!t} instead of an untyped
+    [Failure]/[Invalid_argument].  Internal invariant checks deep inside
+    the libraries may still assert, but anything a malformed input or an
+    exhausted budget can trigger must surface through this type. *)
+
+type position = { file : string option; line : int; col : int }
+(** [line] and [col] are 1-based; 0 means unknown. *)
+
+val no_position : position
+val position : ?file:string -> ?line:int -> ?col:int -> unit -> position
+val with_file : position -> string -> position
+
+val position_of_token :
+  ?file:string -> line:int -> line_text:string -> string -> position
+(** Recover a column by locating the offending token inside the raw
+    source line (col 0 when it cannot be found). *)
+
+val pp_position : Format.formatter -> position -> unit
+
+type t =
+  | Parse of { pos : position; format : string; message : string }
+      (** Malformed input text ([format] names the syntax: "bench",
+          "def", "spef", "verilog", "duration", ...). *)
+  | Structural of { subject : string; message : string }
+      (** Well-formed input describing an impossible object (cycle,
+          mismatched netlist, invalid configuration). *)
+  | Numeric of { op : string; message : string }
+      (** A PDF operation produced NaN/Inf, negative density or lost
+          probability mass beyond repair. *)
+  | Budget_exceeded of { resource : string; message : string }
+      (** A resource budget was exhausted in a way that prevented even a
+          degraded result. *)
+  | Internal of { context : string; message : string }
+      (** A bug: an invariant the code itself promised was violated. *)
+
+exception Error of t
+(** Wrapper for crossing exception-based plumbing; boundaries catch it
+    and return the payload. *)
+
+val parse : ?file:string -> ?line:int -> ?col:int -> format:string -> string -> t
+val parse_at : pos:position -> format:string -> string -> t
+val structural : subject:string -> string -> t
+val numeric : op:string -> string -> t
+val budget : resource:string -> string -> t
+val internal : context:string -> string -> t
+val raise_error : t -> 'a
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val kind_name : t -> string
+(** "parse", "structural", "numeric", "budget-exceeded" or "internal". *)
+
+val exit_code : t -> int
+(** CLI exit code for this error: 4 for [Internal], 1 otherwise. *)
+
+val of_exn : context:string -> exn -> t
+(** Classify an arbitrary exception: [Error] payloads pass through,
+    [Invalid_argument]/[Failure]/[Sys_error] become [Structural],
+    resource exhaustion becomes [Budget_exceeded], anything else is
+    [Internal]. *)
+
+val protect : context:string -> (unit -> 'a) -> ('a, t) result
+(** Run [f], converting any exception via {!of_exn}. *)

@@ -7,6 +7,8 @@ type enumeration = {
   truncated : bool;
   critical_delay : float;
   slack : float;
+  explored : int;
+  deadline_hit : bool;
 }
 
 let path_gates g p =
@@ -22,47 +24,147 @@ let path_gate_count g p =
 let recompute_delay g nodes =
   Array.fold_left (fun acc id -> acc +. g.Graph.delay.(id)) 0.0 nodes
 
-exception Limit
+(* ----- best-first enumeration -----
 
-let enumerate ?(max_paths = 200_000) g ~labels ~slack =
+   A candidate is a partial path: a suffix from some node [head] down to
+   a primary output, with [tail_delay] the delay of the suffix excluding
+   [head].  [bound] = tail_delay + labels(head) is the delay of the best
+   full path completing this suffix (the labels are exactly the
+   backward-looking optimistic bound), so expanding candidates in
+   decreasing [bound] order emits complete paths in decreasing delay
+   order: the first K emitted paths are the K longest.  This is what
+   makes a [max_paths] budget honest — a capped enumeration is a prefix
+   of the uncapped ranking, not an arbitrary subset of it. *)
+
+type cand = {
+  bound : float;
+  head : int;
+  tail_delay : float;
+  suffix : int list;  (** [head] first, output last *)
+}
+
+(* Priority: larger bound first; ties broken on the suffix node sequence
+   so the emission order is deterministic regardless of caps. *)
+let cand_before a b =
+  a.bound > b.bound
+  || (a.bound = b.bound && List.compare Int.compare a.suffix b.suffix < 0)
+
+module Heap = struct
+  type t = { mutable items : cand array; mutable size : int }
+
+  let dummy =
+    { bound = neg_infinity; head = -1; tail_delay = 0.0; suffix = [] }
+
+  let create () = { items = Array.make 64 dummy; size = 0 }
+  let is_empty h = h.size = 0
+
+  let push h c =
+    if h.size = Array.length h.items then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.items 0 bigger 0 h.size;
+      h.items <- bigger
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.items.(!i) <- c;
+    (* sift up *)
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if cand_before h.items.(!i) h.items.(parent) then begin
+        let tmp = h.items.(parent) in
+        h.items.(parent) <- h.items.(!i);
+        h.items.(!i) <- tmp;
+        i := parent
+      end
+      else continue_ := false
+    done
+
+  let pop h =
+    let top = h.items.(0) in
+    h.size <- h.size - 1;
+    h.items.(0) <- h.items.(h.size);
+    h.items.(h.size) <- dummy;
+    (* sift down *)
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let best = ref !i in
+      if l < h.size && cand_before h.items.(l) h.items.(!best) then best := l;
+      if r < h.size && cand_before h.items.(r) h.items.(!best) then best := r;
+      if !best <> !i then begin
+        let tmp = h.items.(!best) in
+        h.items.(!best) <- h.items.(!i);
+        h.items.(!i) <- tmp;
+        i := !best
+      end
+      else continue_ := false
+    done;
+    top
+end
+
+let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) g
+    ~labels ~slack =
   if slack < 0.0 then invalid_arg "Paths.enumerate: slack must be >= 0";
   if max_paths < 1 then invalid_arg "Paths.enumerate: max_paths must be >= 1";
   let critical = Longest_path.critical_delay g labels in
   let eps = 1e-15 +. (1e-12 *. Float.abs critical) in
+  let threshold = critical -. slack -. eps in
+  let heap = Heap.create () in
+  Array.iter
+    (fun o ->
+      if labels.(o) >= threshold then
+        Heap.push heap
+          { bound = labels.(o); head = o; tail_delay = 0.0; suffix = [ o ] })
+    g.Graph.circuit.Netlist.outputs;
   let collected = ref [] in
   let count = ref 0 in
+  let explored = ref 0 in
   let truncated = ref false in
-  (* Walk backwards from [id] with [budget] slack remaining; [suffix] is
-     the node list from [id]'s consumer down to the output. *)
-  let rec walk id budget suffix =
-    let suffix = id :: suffix in
-    if Graph.is_input g id then begin
-      if !count >= max_paths then raise Limit;
-      incr count;
-      let nodes = Array.of_list suffix in
-      collected := { nodes; delay = recompute_delay g nodes } :: !collected
+  let deadline_hit = ref false in
+  let running = ref true in
+  while !running && not (Heap.is_empty heap) do
+    if !count >= max_paths then begin
+      truncated := true;
+      running := false
+    end
+    else if should_stop () then begin
+      deadline_hit := true;
+      running := false
     end
     else begin
-      let arrival_before = labels.(id) -. g.Graph.delay.(id) in
-      Array.iter
-        (fun u ->
-          let local_slack = arrival_before -. labels.(u) in
-          if local_slack <= budget +. eps then
-            walk u (budget -. local_slack) suffix)
-        (Graph.fanins g id)
+      let c = Heap.pop heap in
+      incr explored;
+      if Graph.is_input g c.head then begin
+        incr count;
+        let nodes = Array.of_list c.suffix in
+        collected := { nodes; delay = recompute_delay g nodes } :: !collected
+      end
+      else begin
+        let tail_delay = c.tail_delay +. g.Graph.delay.(c.head) in
+        Array.iter
+          (fun u ->
+            let bound = tail_delay +. labels.(u) in
+            if bound >= threshold then
+              Heap.push heap
+                { bound; head = u; tail_delay; suffix = u :: c.suffix })
+          (Graph.fanins g c.head)
+      end
     end
-  in
-  (try
-     Array.iter
-       (fun o ->
-         let budget = slack -. (critical -. labels.(o)) in
-         if budget >= -.eps then walk o budget [])
-       g.Graph.circuit.Netlist.outputs
-   with Limit -> truncated := true);
+  done;
+  (* Emission order is already non-increasing in the heap bound; the
+     stable sort only repairs last-ulp drift between the incremental
+     bound and the recomputed forward sum. *)
   let paths =
-    List.sort (fun a b -> compare b.delay a.delay) !collected
+    List.stable_sort (fun a b -> compare b.delay a.delay) (List.rev !collected)
   in
-  { paths; truncated = !truncated; critical_delay = critical; slack }
+  { paths;
+    truncated = !truncated;
+    critical_delay = critical;
+    slack;
+    explored = !explored;
+    deadline_hit = !deadline_hit }
 
 let is_path g nodes =
   let n = Array.length nodes in

@@ -8,7 +8,14 @@
     O(kappa * E) for kappa emitted paths, as the paper notes.
 
     The paper caps the explosion on c6288 by lowering C; we additionally
-    support a hard [max_paths] cap that marks the result truncated. *)
+    support a hard [max_paths] cap that marks the result truncated.
+
+    Enumeration is best-first: candidates are expanded in decreasing
+    order of their optimistic delay bound, so paths are emitted longest
+    first and a capped enumeration is exactly a prefix of the uncapped
+    ranking.  An optional [should_stop] callback lets callers impose
+    wall-clock deadlines; a stopped run returns the paths found so far
+    with [deadline_hit] set. *)
 
 type path = {
   nodes : int array;  (** primary input first, primary output last *)
@@ -20,6 +27,8 @@ type enumeration = {
   truncated : bool;  (** true when [max_paths] stopped the search *)
   critical_delay : float;
   slack : float;  (** the slack budget used *)
+  explored : int;  (** candidate states popped from the frontier *)
+  deadline_hit : bool;  (** true when [should_stop] stopped the search *)
 }
 
 val path_gates : Graph.t -> path -> Ssta_tech.Gate.electrical list
@@ -33,9 +42,17 @@ val recompute_delay : Graph.t -> int array -> float
 (** Sum of gate delays along an explicit node list (validation). *)
 
 val enumerate :
-  ?max_paths:int -> Graph.t -> labels:float array -> slack:float -> enumeration
+  ?max_paths:int ->
+  ?should_stop:(unit -> bool) ->
+  Graph.t ->
+  labels:float array ->
+  slack:float ->
+  enumeration
 (** All paths with delay >= critical - slack, up to [max_paths]
-    (default 200_000).  [slack] must be non-negative. *)
+    (default 200_000), longest first.  [slack] must be non-negative.
+    [should_stop] is polled once per expanded candidate; when it
+    returns [true] the search stops and the result carries the paths
+    emitted so far with [deadline_hit = true]. *)
 
 val is_path : Graph.t -> int array -> bool
 (** Check that consecutive nodes are connected, the first is a primary

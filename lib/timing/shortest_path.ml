@@ -101,4 +101,9 @@ let enumerate_near_min ?(max_paths = 200_000) g ~labels ~slack =
        g.Graph.circuit.Netlist.outputs
    with Limit -> truncated := true);
   let paths = List.sort (fun a b -> compare a.Paths.delay b.Paths.delay) !collected in
-  { Paths.paths; truncated = !truncated; critical_delay = fastest; slack }
+  { Paths.paths;
+    truncated = !truncated;
+    critical_delay = fastest;
+    slack;
+    explored = !count;
+    deadline_hit = false }

@@ -28,9 +28,15 @@ val analyze_placed :
 (** Like {!analyze} but with placement-aware wire loading
     ({!Graph.of_placed}). *)
 
-val near_critical : ?max_paths:int -> t -> slack:float -> Paths.enumeration
+val near_critical :
+  ?max_paths:int ->
+  ?should_stop:(unit -> bool) ->
+  t ->
+  slack:float ->
+  Paths.enumeration
 (** Paths within [slack] of the critical delay, ranked by nominal delay
-    (deterministic rank = 1-based position in this list). *)
+    (deterministic rank = 1-based position in this list).  [should_stop]
+    imposes a caller-side deadline; see {!Paths.enumerate}. *)
 
 val worst_case_delay : ?corner_k:float -> t -> Paths.path -> float
 (** Classical corner analysis of one path (all parameters at the

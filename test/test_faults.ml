@@ -1,0 +1,156 @@
+(* Fault-injection harness: every corruption of every input artifact
+   must yield a typed error or a successful (possibly degraded) analysis
+   — never an uncaught exception, a hang, or silent garbage. *)
+
+open Helpers
+module Err = Ssta_runtime.Ssta_error
+module Fault = Ssta_runtime.Fault
+module Rbudget = Ssta_runtime.Budget
+module Bench_format = Ssta_circuit.Bench_format
+module Def_format = Ssta_circuit.Def_format
+module Spef = Ssta_circuit.Spef
+module Verilog = Ssta_circuit.Verilog
+module Placement = Ssta_circuit.Placement
+module Methodology = Ssta_core.Methodology
+module Config = Ssta_core.Config
+
+let circuit = lazy (small_random ())
+let placement = lazy (Placement.place (Lazy.force circuit))
+
+let bench_text = lazy (Bench_format.to_string (Lazy.force circuit))
+let verilog_text = lazy (Verilog.to_string (Lazy.force circuit))
+
+let def_text =
+  lazy
+    (Def_format.to_string
+       (Def_format.of_placement ~design:"rand" (Lazy.force circuit)
+          (Lazy.force placement)))
+
+let spef_text =
+  lazy
+    (Spef.to_string
+       (Spef.of_placement ~design:"rand" (Lazy.force circuit)
+          (Lazy.force placement)))
+
+(* A corrupted netlist that still parses must also survive a budgeted
+   end-to-end run. *)
+let analyze_netlist c =
+  Result.map ignore
+    (Methodology.analyze ~config:fast_config
+       ~budget:(Rbudget.make ~deadline_s:20.0 ~max_paths:100 ())
+       c)
+
+let corpus ~extra = Fault.standard ~seed:42 () @ extra
+
+(* Run every corruption of one artifact through [consume]; return the
+   labels that crashed. *)
+let crashes_of ~text ~extra consume =
+  List.filter_map
+    (fun (c : Fault.corruption) ->
+      let corrupted = Fault.apply c text in
+      match Fault.run (fun () -> consume corrupted) with
+      | Fault.Crash msg -> Some (c.Fault.label ^ ": " ^ msg)
+      | Fault.Typed _ | Fault.Value _ -> None)
+    (corpus ~extra)
+
+let check_no_crashes what crashed =
+  if crashed <> [] then
+    Alcotest.failf "%s corruptions crashed:\n  %s" what
+      (String.concat "\n  " crashed)
+
+let test_bench_faults () =
+  check_no_crashes "bench"
+    (crashes_of ~text:(Lazy.force bench_text)
+       ~extra:
+         [ Fault.substitute ~pattern:"NAND" ~by:"FROB";
+           Fault.substitute ~pattern:"INPUT" ~by:"OUTPUT";
+           Fault.substitute ~pattern:"(" ~by:"" ]
+       (fun t -> Result.bind (Bench_format.parse_string_res t) analyze_netlist))
+
+let test_verilog_faults () =
+  check_no_crashes "verilog"
+    (crashes_of ~text:(Lazy.force verilog_text)
+       ~extra:
+         [ Fault.substitute ~pattern:"endmodule" ~by:"";
+           Fault.substitute ~pattern:";" ~by:"";
+           Fault.substitute ~pattern:"wire" ~by:"wired" ]
+       (fun t -> Result.bind (Verilog.parse_string_res t) analyze_netlist))
+
+let test_def_faults () =
+  let circuit = Lazy.force circuit in
+  check_no_crashes "def"
+    (crashes_of ~text:(Lazy.force def_text)
+       ~extra:
+         [ Fault.substitute ~pattern:"PLACED" ~by:"FLOATING";
+           Fault.substitute ~pattern:"0" ~by:"nan";
+           Fault.substitute ~pattern:"COMPONENTS" ~by:"COMPONENT" ]
+       (fun t ->
+         Result.bind (Def_format.parse_string_res t) (fun d ->
+             Result.map ignore (Def_format.placement_of_res d circuit))))
+
+let test_spef_faults () =
+  let circuit = Lazy.force circuit in
+  check_no_crashes "spef"
+    (crashes_of ~text:(Lazy.force spef_text)
+       ~extra:
+         [ Fault.substitute ~pattern:"0.0" ~by:"-1.0";
+           Fault.substitute ~pattern:"0.0" ~by:"inf";
+           Fault.substitute ~pattern:"*D_NET" ~by:"*D_NAT" ]
+       (fun t ->
+         Result.bind (Spef.parse_string_res t) (fun s ->
+             Result.map ignore (Spef.apply_res s circuit))))
+
+(* Config corruption: invalid methodology configurations must come back
+   as typed structural errors, not exceptions. *)
+let test_config_faults () =
+  let circuit = Lazy.force circuit in
+  let corrupt =
+    [ ("zero quality", { fast_config with Config.quality_intra = 0 });
+      ("negative confidence", { fast_config with Config.confidence = -1.0 });
+      ("zero truncation", { fast_config with Config.truncation = 0.0 });
+      ("zero max paths", { fast_config with Config.max_paths = 0 });
+      ("no layers", { fast_config with Config.quad_levels = 0 }) ]
+  in
+  List.iter
+    (fun (what, config) ->
+      match Fault.run (fun () -> Methodology.analyze ~config circuit) with
+      | Fault.Crash msg -> Alcotest.failf "%s crashed: %s" what msg
+      | Fault.Value _ -> Alcotest.failf "%s was accepted" what
+      | Fault.Typed e ->
+          Alcotest.(check string)
+            (what ^ " kind") "structural" (Err.kind_name e))
+    corrupt
+
+(* Placement corruption: non-finite and wildly inconsistent coordinates
+   must not crash the flow. *)
+let test_placement_faults () =
+  let circuit = Lazy.force circuit in
+  let pl = Lazy.force placement in
+  let n = Array.length pl.Placement.coords in
+  let corrupt_pl ~label mutate =
+    let coords = Array.copy pl.Placement.coords in
+    mutate coords;
+    let pl' = { pl with Placement.coords } in
+    match
+      Fault.run (fun () ->
+          Methodology.analyze ~config:fast_config ~placement:pl' circuit)
+    with
+    | Fault.Crash msg -> Alcotest.failf "%s crashed: %s" label msg
+    | Fault.Typed _ | Fault.Value _ -> ()
+  in
+  corrupt_pl ~label:"nan coordinate" (fun c ->
+      c.(n / 2) <- (Float.nan, snd c.(n / 2)));
+  corrupt_pl ~label:"inf coordinate" (fun c ->
+      c.(n / 3) <- (fst c.(n / 3), infinity));
+  corrupt_pl ~label:"huge outlier" (fun c -> c.(0) <- (1e30, 1e30));
+  corrupt_pl ~label:"all collapsed" (fun c ->
+      Array.fill c 0 n (0.0, 0.0))
+
+let suite =
+  ( "faults",
+    [ slow_case "bench corruptions never crash" test_bench_faults;
+      slow_case "verilog corruptions never crash" test_verilog_faults;
+      case "def corruptions never crash" test_def_faults;
+      case "spef corruptions never crash" test_spef_faults;
+      case "config corruptions are typed errors" test_config_faults;
+      slow_case "placement corruptions never crash" test_placement_faults ] )

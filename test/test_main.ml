@@ -22,4 +22,6 @@ let () =
       Test_advanced.suite;
       Test_dual_vt.suite;
       Test_sequential.suite;
-      Test_lint.suite ]
+      Test_lint.suite;
+      Test_runtime.suite;
+      Test_faults.suite ]

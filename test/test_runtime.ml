@@ -1,0 +1,334 @@
+(* Tests for the analysis runtime: typed errors, guarded PDF operations,
+   resource budgets and graceful degradation. *)
+
+open Helpers
+module Err = Ssta_runtime.Ssta_error
+module Health = Ssta_runtime.Health
+module Guard = Ssta_runtime.Guard
+module Rbudget = Ssta_runtime.Budget
+module Pdf = Ssta_prob.Pdf
+module Rng = Ssta_prob.Rng
+module Sta = Ssta_timing.Sta
+module Paths = Ssta_timing.Paths
+module Methodology = Ssta_core.Methodology
+module Config = Ssta_core.Config
+
+(* ----- typed errors ----- *)
+
+let test_positions () =
+  let pos =
+    Err.position_of_token ~file:"x.bench" ~line:7
+      ~line_text:"g1 = NAND(a, b)" "NAND"
+  in
+  check_int "line" 7 pos.Err.line;
+  check_int "col of NAND" 6 pos.Err.col;
+  Alcotest.(check (option string)) "file" (Some "x.bench") pos.Err.file;
+  let missing =
+    Err.position_of_token ~line:3 ~line_text:"short line" "ABSENT"
+  in
+  check_int "unknown col is 0" 0 missing.Err.col
+
+let test_exit_codes () =
+  check_int "parse is 1" 1 (Err.exit_code (Err.parse ~format:"bench" "x"));
+  check_int "structural is 1" 1
+    (Err.exit_code (Err.structural ~subject:"s" "x"));
+  check_int "numeric is 1" 1 (Err.exit_code (Err.numeric ~op:"o" "x"));
+  check_int "budget is 1" 1 (Err.exit_code (Err.budget ~resource:"r" "x"));
+  check_int "internal is 4" 4
+    (Err.exit_code (Err.internal ~context:"c" "x"))
+
+let test_of_exn () =
+  let kind e = Err.kind_name (Err.of_exn ~context:"t" e) in
+  Alcotest.(check string) "invalid_arg" "structural"
+    (kind (Invalid_argument "x"));
+  Alcotest.(check string) "failure" "structural" (kind (Failure "x"));
+  Alcotest.(check string) "oom" "budget-exceeded" (kind Out_of_memory);
+  Alcotest.(check string) "not_found" "internal" (kind Not_found);
+  (* Error payloads pass through unchanged *)
+  let e = Err.numeric ~op:"conv" "NaN" in
+  check_true "passthrough" (Err.of_exn ~context:"t" (Err.Error e) == e)
+
+let test_protect () =
+  (match Err.protect ~context:"t" (fun () -> 42) with
+  | Ok v -> check_int "ok" 42 v
+  | Error _ -> Alcotest.fail "expected Ok");
+  match Err.protect ~context:"t" (fun () -> invalid_arg "boom") with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error e -> Alcotest.(check string) "kind" "structural" (Err.kind_name e)
+
+(* ----- budgets ----- *)
+
+let test_parse_duration () =
+  let ok s = match Rbudget.parse_duration s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: unexpected error %s" s (Err.to_string e)
+  in
+  check_close "seconds" 10.0 (ok "10s");
+  check_close "millis" 0.5 (ok "500ms");
+  check_close "minutes" 120.0 (ok "2m");
+  check_close "hours" 900.0 (ok "0.25h");
+  check_close "bare" 3.5 (ok "3.5");
+  List.iter
+    (fun s ->
+      match Rbudget.parse_duration s with
+      | Ok v -> Alcotest.failf "%s: expected error, got %g" s v
+      | Error _ -> ())
+    [ "abc"; "-5s"; "0"; "1d"; ""; "nan" ]
+
+let test_budget_basics () =
+  check_true "unlimited" (Rbudget.is_unlimited Rbudget.unlimited);
+  let b = Rbudget.make ~max_paths:100 () in
+  check_true "not unlimited" (not (Rbudget.is_unlimited b));
+  check_int "clamped" 100 (Rbudget.effective_max_paths b 5000);
+  check_int "config smaller" 7 (Rbudget.effective_max_paths b 7);
+  check_int "no cap" 5000
+    (Rbudget.effective_max_paths Rbudget.unlimited 5000);
+  (match Rbudget.validate (Rbudget.make ~deadline_s:(-1.0) ()) with
+  | Ok () -> Alcotest.fail "negative deadline must be invalid"
+  | Error _ -> ());
+  match Rbudget.clamp_quality (Rbudget.make ~max_cells:20 ()) ~intra:100 ~inter:50 with
+  | None -> Alcotest.fail "expected clamping"
+  | Some (qi, qe) ->
+      check_true "intra clamped" (qi <= 20);
+      check_true "inter clamped" (qe <= 20);
+      check_true "still usable" (qi >= 2 && qe >= 2)
+
+let test_stop_check () =
+  (* no deadline: never stops *)
+  let tr = Rbudget.start Rbudget.unlimited in
+  let stop = Rbudget.stop_check ~stride:1 tr in
+  check_true "never" (not (stop () || stop () || stop ()));
+  (* already-expired deadline latches immediately *)
+  let tr = Rbudget.start (Rbudget.make ~deadline_s:1e-9 ()) in
+  let stop = Rbudget.stop_check ~stride:1 tr in
+  ignore (Unix.select [] [] [] 0.01);
+  check_true "expired" (stop ());
+  check_true "latched" (stop ())
+
+(* ----- guarded PDF operations ----- *)
+
+let well_formed p =
+  Array.for_all (fun d -> Float.is_finite d && d >= 0.0) p.Pdf.density
+  && Float.abs (Pdf.total_mass p -. 1.0) <= 1e-6
+
+let random_pdf rng =
+  let n = 2 + Rng.int rng 40 in
+  let lo = -1.0 +. (2.0 *. Rng.float rng) in
+  let step = 0.01 +. Rng.float rng in
+  let density = Array.init n (fun _ -> Rng.float rng +. 1e-3) in
+  Pdf.make ~lo ~step density
+
+let test_guard_rejects_nan () =
+  let h = Health.create () in
+  (match
+     Guard.make_res h ~op:"t" ~lo:0.0 ~step:0.1 [| 1.0; Float.nan; 1.0 |]
+   with
+  | Ok _ -> Alcotest.fail "NaN density must be rejected"
+  | Error e -> Alcotest.(check string) "kind" "numeric" (Err.kind_name e));
+  match Guard.make_res h ~op:"t" ~lo:0.0 ~step:0.1 [| 1.0; infinity |] with
+  | Ok _ -> Alcotest.fail "Inf density must be rejected"
+  | Error _ -> ()
+
+let test_guard_repairs_drift () =
+  let h = Health.create () in
+  (* mass 2.0: repairable drift, renormalized + recorded *)
+  match Guard.make_res h ~op:"drift" ~lo:0.0 ~step:1.0 [| 1.0; 1.0 |] with
+  | Error e -> Alcotest.failf "unexpected: %s" (Err.to_string e)
+  | Ok p ->
+      check_true "well-formed after repair" (well_formed p);
+      check_true "recorded" (not (Health.is_clean h));
+      check_true "renormalized" (Health.renormalizations h >= 1)
+
+let test_guard_affine_bad_coeffs () =
+  let h = Health.create () in
+  let p = Pdf.make ~lo:0.0 ~step:0.5 [| 1.0; 2.0; 1.0 |] in
+  (match Guard.affine_res h ~mul:Float.nan ~add:0.0 p with
+  | Ok _ -> Alcotest.fail "NaN mul must be rejected"
+  | Error _ -> ());
+  match Guard.affine_res h ~mul:0.0 ~add:1.0 p with
+  | Ok _ -> Alcotest.fail "zero mul must be rejected"
+  | Error _ -> ()
+
+let prop_guard_closed seed =
+  let rng = Rng.create seed in
+  let h = Health.create () in
+  let p = random_pdf rng in
+  let q = random_pdf rng in
+  let results =
+    [ Guard.sum_res ~n:30 h p q;
+      Guard.map_res ~n:30 h (fun x -> (x *. 1.3) +. 0.1) p;
+      Guard.affine_res h ~mul:(0.5 +. Rng.float rng) ~add:(Rng.float rng) p;
+      Guard.resample_res h ~n:(2 + Rng.int rng 50) p;
+      Guard.check_res h ~op:"id" p ]
+  in
+  List.for_all
+    (function
+      | Ok r -> well_formed r
+      | Error _ -> false (* well-formed inputs must never error *))
+    results
+
+(* ----- best-first enumeration: budget = prefix of the ranking ----- *)
+
+let prop_capped_prefix (seed, k) =
+  let circuit =
+    Ssta_circuit.Generators.random_layered ~name:"pfx"
+      ~inputs:(4 + (seed mod 5))
+      ~outputs:(2 + (seed mod 3))
+      ~gates:(40 + (seed mod 40))
+      ~depth:(5 + (seed mod 4))
+      ~seed ()
+  in
+  let sta = Sta.analyze circuit in
+  let slack = 0.2 *. sta.Sta.critical_delay in
+  let full = Sta.near_critical ~max_paths:100_000 sta ~slack in
+  let capped = Sta.near_critical ~max_paths:k sta ~slack in
+  let full_arr = Array.of_list full.Paths.paths in
+  let capped_arr = Array.of_list capped.Paths.paths in
+  let expected = Int.min k (Array.length full_arr) in
+  Array.length capped_arr = expected
+  && Array.for_all
+       (fun (p : Paths.path) ->
+         Array.exists (fun (q : Paths.path) -> q.Paths.nodes = p.Paths.nodes)
+           full_arr)
+       capped_arr
+  && Array.for_all
+       (fun i ->
+         let scale =
+           Float.max 1e-30 (Float.abs full_arr.(i).Paths.delay)
+         in
+         Float.abs (capped_arr.(i).Paths.delay -. full_arr.(i).Paths.delay)
+         <= 1e-9 *. scale)
+       (Array.init expected (fun i -> i))
+
+let test_enumeration_sorted_and_stopped () =
+  let circuit = small_random () in
+  let sta = Sta.analyze circuit in
+  let slack = 0.3 *. sta.Sta.critical_delay in
+  let e = Sta.near_critical sta ~slack in
+  check_true "has paths" (e.Paths.paths <> []);
+  check_true "explored counted" (e.Paths.explored > 0);
+  check_true "no deadline" (not e.Paths.deadline_hit);
+  (* a stop callback that fires immediately returns an empty, flagged
+     enumeration instead of hanging or raising *)
+  let stopped = Sta.near_critical ~should_stop:(fun () -> true) sta ~slack in
+  check_true "deadline flagged" stopped.Paths.deadline_hit;
+  check_int "no paths" 0 (List.length stopped.Paths.paths)
+
+(* ----- methodology budgets ----- *)
+
+let test_methodology_deadline_degrades () =
+  let circuit = small_random () in
+  match
+    Methodology.analyze ~config:fast_config
+      ~budget:(Rbudget.make ~deadline_s:1e-9 ())
+      circuit
+  with
+  | Error e -> Alcotest.failf "must not fail: %s" (Err.to_string e)
+  | Ok m ->
+      check_true "degraded" (Methodology.is_degraded m);
+      check_true "events recorded" (Methodology.degradations m <> []);
+      check_true "still has a ranking" (Array.length m.Methodology.ranked >= 1)
+
+let test_methodology_path_cap_degrades () =
+  let circuit = small_random () in
+  let config = Ssta_core.Config.with_confidence fast_config 3.0 in
+  match
+    Methodology.analyze ~config ~budget:(Rbudget.make ~max_paths:2 ()) circuit
+  with
+  | Error e -> Alcotest.failf "must not fail: %s" (Err.to_string e)
+  | Ok m ->
+      check_true "degraded by cap" (Methodology.is_degraded m);
+      check_true "kept the capped subset"
+        (Array.length m.Methodology.ranked >= 1
+        && Array.length m.Methodology.ranked <= 2);
+      check_true "capped event"
+        (List.exists
+           (function
+             | Rbudget.Capped { resource = "paths"; _ } -> true
+             | _ -> false)
+           (Methodology.degradations m))
+
+let test_methodology_cell_cap_degrades () =
+  let circuit = small_random () in
+  match
+    Methodology.analyze ~config:fast_config
+      ~budget:(Rbudget.make ~max_cells:8 ())
+      circuit
+  with
+  | Error e -> Alcotest.failf "must not fail: %s" (Err.to_string e)
+  | Ok m ->
+      check_true "degraded by cells" (Methodology.is_degraded m);
+      check_true "quality tightened"
+        (List.exists
+           (function
+             | Rbudget.Tightened { parameter; _ } ->
+                 String.length parameter >= 7
+                 && String.sub parameter 0 7 = "quality"
+             | _ -> false)
+           (Methodology.degradations m));
+      check_int "quality actually used" 8 m.Methodology.config.Config.quality_intra
+
+let test_methodology_unlimited_complete () =
+  let circuit = small_random () in
+  match Methodology.analyze ~config:fast_config circuit with
+  | Error e -> Alcotest.failf "must not fail: %s" (Err.to_string e)
+  | Ok m ->
+      check_true "complete" (not (Methodology.is_degraded m));
+      check_true "healthy" (Health.is_clean m.Methodology.health)
+
+let test_methodology_analyze_invalid () =
+  let circuit = small_random () in
+  let caps = Array.make 3 0.0 (* wrong length *) in
+  match
+    Methodology.analyze ~config:fast_config ~wire:Ssta_tech.Wire.default
+      ~wire_caps:caps circuit
+  with
+  | Ok _ -> Alcotest.fail "wire + wire_caps must be a typed error"
+  | Error e ->
+      Alcotest.(check string) "kind" "structural" (Err.kind_name e)
+
+(* ----- health ledger ----- *)
+
+let test_health_ledger () =
+  let h = Health.create () in
+  check_true "fresh is clean" (Health.is_clean h);
+  Health.record h ~op:"conv" ~issue:Health.Mass_defect ~defect:1e-3 "drift";
+  Health.record h ~op:"conv" ~issue:Health.Renormalized ~defect:1e-3 "fixed";
+  check_int "count" 2 (Health.count h);
+  check_close "worst defect" 1e-3 (fst (Health.worst_defect h));
+  let h2 = Health.create () in
+  Health.record h2 ~op:"aff" ~issue:Health.Negative_density ~defect:5e-2 "neg";
+  Health.merge ~into:h h2;
+  check_int "merged" 3 (Health.count h);
+  check_close "merged worst" 5e-2 (fst (Health.worst_defect h));
+  Alcotest.(check string) "worst op" "aff" (snd (Health.worst_defect h))
+
+let suite =
+  ( "runtime",
+    [ case "error positions from tokens" test_positions;
+      case "exit-code convention" test_exit_codes;
+      case "exception classification" test_of_exn;
+      case "protect" test_protect;
+      case "duration parsing" test_parse_duration;
+      case "budget basics" test_budget_basics;
+      case "stop-check latching" test_stop_check;
+      case "guard rejects non-finite density" test_guard_rejects_nan;
+      case "guard repairs mass drift" test_guard_repairs_drift;
+      case "guard rejects bad affine coefficients" test_guard_affine_bad_coeffs;
+      qcheck ~count:60 "guarded ops closed over well-formed PDFs"
+        QCheck.(int_range 1 10_000)
+        prop_guard_closed;
+      qcheck ~count:30 "capped enumeration is a prefix of the ranking"
+        QCheck.(pair (int_range 1 500) (int_range 1 25))
+        prop_capped_prefix;
+      case "enumeration stop callback" test_enumeration_sorted_and_stopped;
+      slow_case "deadline degrades gracefully"
+        test_methodology_deadline_degrades;
+      slow_case "path cap degrades gracefully"
+        test_methodology_path_cap_degrades;
+      slow_case "cell cap tightens quality" test_methodology_cell_cap_degrades;
+      slow_case "unlimited budget stays complete"
+        test_methodology_unlimited_complete;
+      case "invalid arguments become typed errors"
+        test_methodology_analyze_invalid;
+      case "health ledger" test_health_ledger ] )
