@@ -27,6 +27,7 @@ module Yield = Ssta_core.Yield
 module Lint = Ssta_lint.Engine
 module Lint_reporter = Ssta_lint.Reporter
 module Diagnostic = Ssta_lint.Diagnostic
+module Checker = Ssta_check.Checker
 module Err = Ssta_runtime.Ssta_error
 module Rbudget = Ssta_runtime.Budget
 module Fault = Ssta_runtime.Fault
@@ -273,15 +274,20 @@ let lint_cmd =
       let shown = Lint.filter ~min_severity diags in
       (match format with
       | `Text -> Lint_reporter.text ~circuit_name Fmt.stdout shown
-      | `Json -> Lint_reporter.json ~circuit_name Fmt.stdout shown);
+      | `Json -> Lint_reporter.json ~circuit_name Fmt.stdout shown
+      | `Sarif ->
+          Lint_reporter.sarif ~tool:"ssta-lint" ~rules:Lint.all_rules
+            ~circuit_name Fmt.stdout shown);
       if Lint.exit_code diags <> 0 then 1 else 0
     end
   in
   let format =
     Arg.(value
-         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & opt
+             (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+             `Text
          & info [ "format" ] ~docv:"FMT"
-             ~doc:"Output format: text or json.")
+             ~doc:"Output format: text, json or sarif.")
   in
   let min_severity =
     Arg.(value
@@ -317,6 +323,106 @@ let lint_cmd =
              inputs; exits 1 when any error-severity diagnostic fires.")
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ spef_opt $ format $ min_severity $ budget $ list_rules $ no_deep)
+
+(* check *)
+let check_cmd =
+  let action name bench verilog def qi qj c k mp inter_fraction shape format
+      min_severity no_pdfsan path_limit inject list_checks =
+    guarded @@ fun () ->
+    if list_checks then begin
+      Lint_reporter.rule_table Fmt.stdout Checker.all_checks;
+      0
+    end
+    else begin
+      let circuit, placement = load_circuit ?verilog ~bench ~def name in
+      let config =
+        config_of ~quality_intra:qi ~quality_inter:qj ~confidence:c
+          ~corner_k:k ~max_paths:mp ~inter_fraction ~shape
+      in
+      let input =
+        Checker.input ~config ~placement ~pdfsan:(not no_pdfsan) ~path_limit
+          ?inject circuit
+      in
+      let report = Checker.run input in
+      let circuit_name = circuit.Ssta_circuit.Netlist.name in
+      let shown = Lint.filter ~min_severity report.Checker.diagnostics in
+      (match format with
+      | `Text ->
+          Lint_reporter.text ~circuit_name Fmt.stdout shown;
+          Fmt.pr
+            "certified: %d node label(s), %d path(s); %d PDF op(s) audited@."
+            report.Checker.nodes_certified report.Checker.paths_certified
+            report.Checker.ops_audited
+      | `Json -> Lint_reporter.json ~circuit_name Fmt.stdout shown
+      | `Sarif ->
+          Lint_reporter.sarif ~tool:"ssta-check" ~rules:Checker.all_checks
+            ~circuit_name Fmt.stdout shown);
+      if Lint.exit_code report.Checker.diagnostics <> 0 then 1 else 0
+    end
+  in
+  let format =
+    Arg.(value
+         & opt
+             (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+             `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: text, json or sarif.")
+  in
+  let min_severity =
+    Arg.(value
+         & opt
+             (enum
+                [ ("error", Diagnostic.Error);
+                  ("warning", Diagnostic.Warning);
+                  ("info", Diagnostic.Info) ])
+             Diagnostic.Info
+         & info [ "severity" ] ~docv:"SEV"
+             ~doc:"Only report diagnostics at least this severe (the exit \
+                   code still reflects all errors).")
+  in
+  let no_pdfsan =
+    Arg.(value & flag
+         & info [ "no-pdfsan" ]
+             ~doc:"Skip the PDF sanitizer (per-operation shadow-interval \
+                   audits of the probabilistic kernel).")
+  in
+  let path_limit =
+    Arg.(value & opt int 64
+         & info [ "path-limit" ] ~docv:"N"
+             ~doc:"Certify at most N ranked paths against the static \
+                   bounds (0 = all); capping is reported as an info \
+                   diagnostic.")
+  in
+  let inject =
+    Arg.(value
+         & opt
+             (some
+                (enum
+                   [ ("budget", Checker.Bad_budget);
+                     ("placement", Checker.Bad_placement);
+                     ("pdf", Checker.Corrupt_pdf) ]))
+             None
+         & info [ "inject" ] ~docv:"FAULT"
+             ~doc:"Seed a violation (budget, placement or pdf) before \
+                   checking; the verifier must catch it (for tests and \
+                   CI).")
+  in
+  let list_checks =
+    Arg.(value & flag
+         & info [ "list-checks" ]
+             ~doc:"Print the check catalogue and exit.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Whole-program dataflow verification: interval arrival-time \
+             bounds, per-path variance accounting, placement/quad-tree \
+             consistency and a PDF sanitizer; exits 1 when any \
+             error-severity diagnostic fires.")
+    Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
+          $ quality_intra_opt $ quality_inter_opt $ confidence_opt
+          $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
+          $ format $ min_severity $ no_pdfsan $ path_limit $ inject
+          $ list_checks)
 
 (* run *)
 let run_cmd =
@@ -874,7 +980,7 @@ let () =
   let info = Cmd.info "ssta" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; lint_cmd; report_cmd; table2_cmd; table3_cmd;
+      [ run_cmd; lint_cmd; check_cmd; report_cmd; table2_cmd; table3_cmd;
         sensitivity_cmd; convexity_cmd; sweep_cmd; mc_cmd; block_cmd;
         yield_cmd; dualvt_cmd; generate_cmd; figures_cmd; fault_cmd ]
   in

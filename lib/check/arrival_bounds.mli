@@ -1,0 +1,62 @@
+(** Interval arrival-time analysis (the first concrete instance of the
+    monotone framework).
+
+    Every gate delay is bounded because the paper truncates all
+    parameter PDFs at [+-truncation * sigma] (Section 2.2).  This module
+    turns that fact into certified per-node intervals:
+
+    - {b gate intervals} — a sound enclosure of one gate's stochastic
+      delay.  Monotonicity of the Elmore model gives the exact range
+      over an axis-aligned parameter box ({!Ssta_tech.Elmore.delay_bounds});
+      soundness over {e both} delay semantics used in the code base
+      requires the hull of two boxes:
+      {ul
+      {- the {e full} box with half-width
+         [truncation * sigma * sum over layers u of sqrt w_u] per RV —
+         per-layer truncation bounds each layer's draw separately, so
+         the total deviation of a Monte-Carlo sample is L1-inflated
+         beyond the naive [+-truncation * sigma]; and}
+      {- the {e inter} box ([sqrt w_0] scale) Minkowski-summed with the
+         linearized intra half-width
+         [truncation * sqrt (sum_rv grad_rv^2 sigma_rv^2 (1 - w_0))] —
+         the analytic intra PDF is a truncated Gaussian of the
+         linearized path delay, and by convexity the linearized value
+         can leave the nonlinear range.}}
+    - {b arrival intervals} — a forward max-plus fixpoint:
+      [arrival(n) = sup over fan-ins + gate interval], inputs at [0].
+    - {b suffix intervals} — the backward dual: worst delay from a
+      node's output to any primary output.  For every node,
+      [hi(arrival) + hi(suffix) <= hi(circuit)] must hold — a built-in
+      cross-check of the two fixpoints. *)
+
+type t = {
+  gate_total : Interval.t array;
+      (** per node: sound bound on the gate's stochastic delay
+          ([[0, 0]] for primary inputs) *)
+  gate_inter : Interval.t array;
+      (** bound on the inter-die (layer 0) part alone *)
+  intra_halfwidth : float array;
+      (** per node: linearized intra-die half-width (seconds) *)
+  arrival : Interval.t array;  (** forward max-plus fixpoint *)
+  suffix : Interval.t array;
+      (** backward fixpoint: delay from the node's output (exclusive of
+          its own delay) to any primary output *)
+  circuit : Interval.t;  (** sup over primary outputs of [arrival] *)
+  forward_stats : string;  (** rendered solver statistics *)
+  backward_stats : string;
+}
+
+val compute :
+  Ssta_core.Config.t -> Ssta_timing.Graph.t -> (t, string) result
+(** [Error] when a corner of the parameter box leaves the Elmore model's
+    validity domain (the bound cannot be computed soundly). *)
+
+val path_total : t -> Ssta_timing.Paths.path -> Interval.t
+(** Sum of {!field-gate_total} along a path. *)
+
+val path_inter : t -> Ssta_timing.Paths.path -> Interval.t
+(** Sum of {!field-gate_inter} along a path. *)
+
+val path_intra_halfwidth : t -> Ssta_timing.Paths.path -> float
+(** Sum of {!field-intra_halfwidth} along a path: the analytic intra PDF
+    of the path is supported in [[-h, h]]. *)

@@ -1,0 +1,300 @@
+module D = Ssta_lint.Diagnostic
+module Engine = Ssta_lint.Engine
+module Health = Ssta_runtime.Health
+module Pdf = Ssta_prob.Pdf
+module Netlist = Ssta_circuit.Netlist
+module Placement = Ssta_circuit.Placement
+module Sta = Ssta_timing.Sta
+module Budget = Ssta_correlation.Budget
+module Config = Ssta_core.Config
+module Methodology = Ssta_core.Methodology
+module Path_analysis = Ssta_core.Path_analysis
+module Ranking = Ssta_core.Ranking
+
+type injection = Bad_budget | Bad_placement | Corrupt_pdf
+
+type input = {
+  circuit : Netlist.t;
+  placement : Placement.t;
+  config : Config.t;
+  pdfsan : bool;
+  path_limit : int;
+  inject : injection option;
+}
+
+let input ?(config = Config.default) ?placement ?(pdfsan = true)
+    ?(path_limit = 64) ?inject circuit =
+  let placement =
+    match placement with Some pl -> pl | None -> Placement.place circuit
+  in
+  { circuit; placement; config; pdfsan; path_limit; inject }
+
+type report = {
+  diagnostics : D.t list;
+  nodes_certified : int;
+  paths_certified : int;
+  ops_audited : int;
+  health : Health.t;
+}
+
+let own_checks =
+  [ ("check-bound-domain",
+     "the truncated parameter box stays inside the Elmore validity \
+      domain");
+    ("check-bound-arrival",
+     "nominal labels and the critical delay lie inside the static \
+      arrival intervals, and the forward/backward bounds agree");
+    ("check-bound-nominal",
+     "each certified path's nominal delay lies inside its static \
+      interval");
+    ("check-bound-support",
+     "each certified path's inter/intra/total PDF support lies inside \
+      its static interval");
+    ("check-bound-quantile",
+     "each certified path's mean and quantiles lie inside its static \
+      interval");
+    ("check-health",
+     "numerical-health events of the certified run are surfaced");
+    ("check-internal", "the verifier itself failed") ]
+
+let all_checks =
+  List.sort_uniq
+    (fun (a, _) (b, _) -> String.compare a b)
+    (own_checks @ Variance_check.checks @ Placement_check.checks
+   @ Pdfsan.checks)
+
+(* --- injections ------------------------------------------------------ *)
+
+let apply_injection inp =
+  match inp.inject with
+  | None | Some Corrupt_pdf -> inp
+  | Some Bad_budget ->
+      (* A three-weight budget against the default 4+1 layer structure:
+         structurally inconsistent, every weight still legal. *)
+      let config =
+        { inp.config with
+          Config.budget = Budget.of_weights [| 0.4; 0.3; 0.3 |] }
+      in
+      { inp with config }
+  | Some Bad_placement ->
+      let pl = inp.placement in
+      let coords = Array.copy pl.Placement.coords in
+      let victim = Array.length coords - 1 in
+      coords.(victim) <-
+        (2.0 *. pl.Placement.die_width, 2.0 *. pl.Placement.die_height);
+      { inp with placement = { pl with Placement.coords } }
+
+let corrupt_event () =
+  (* All-infinite densities normalize to NaN cells: the one corruption
+     Pdf.make does not reject. *)
+  let bad = Pdf.of_fun ~lo:0.0 ~hi:1.0 ~n:8 (fun _ -> infinity) in
+  { Pdf.trace_op = "inject.corrupt-pdf";
+    trace_expected = Some (0.0, 1.0);
+    trace_mass_in = Some 1.0;
+    trace_clamped = 0.0;
+    trace_output = bad }
+
+(* --- bound certification --------------------------------------------- *)
+
+let rel_slack i = 1e-12 +. (1e-9 *. Interval.magnitude i)
+
+let certify_labels (bounds : Arrival_bounds.t) (sta : Sta.t) add =
+  let labels = sta.Sta.labels in
+  let bad = ref 0 and example = ref (-1) in
+  Array.iteri
+    (fun id a ->
+      let slack = rel_slack a in
+      if not (Interval.contains ~slack a labels.(id)) then begin
+        incr bad;
+        if !example < 0 then example := id
+      end)
+    bounds.Arrival_bounds.arrival;
+  if !bad > 0 then
+    add
+      (D.make ~rule:"check-bound-arrival" ~severity:D.Error
+         ~location:D.Circuit
+         (Printf.sprintf
+            "%d nominal arrival labels escape their static interval \
+             (first: node %d, label %.6g s, interval %s)"
+            !bad !example
+            labels.(!example)
+            (Format.asprintf "%a" Interval.pp
+               bounds.Arrival_bounds.arrival.(!example))));
+  let circuit = bounds.Arrival_bounds.circuit in
+  if
+    not
+      (Interval.contains ~slack:(rel_slack circuit) circuit
+         sta.Sta.critical_delay)
+  then
+    add
+      (D.make ~rule:"check-bound-arrival" ~severity:D.Error
+         ~location:D.Circuit
+         (Printf.sprintf
+            "critical delay %.6g s escapes the static circuit interval %s"
+            sta.Sta.critical_delay
+            (Format.asprintf "%a" Interval.pp circuit)));
+  (* Forward/backward duality: the worst path through any node cannot
+     beat the circuit bound. *)
+  (match Interval.range circuit with
+  | None ->
+      add
+        (D.make ~rule:"check-bound-arrival" ~severity:D.Error
+           ~location:D.Circuit "circuit arrival interval is empty")
+  | Some (_, circuit_hi) ->
+      let dual_bad = ref 0 in
+      Array.iteri
+        (fun id a ->
+          let through = Interval.add a bounds.Arrival_bounds.suffix.(id) in
+          match Interval.range through with
+          | None -> ()
+          | Some (_, hi) ->
+              if hi > circuit_hi +. rel_slack through then incr dual_bad)
+        bounds.Arrival_bounds.arrival;
+      if !dual_bad > 0 then
+        add
+          (D.make ~rule:"check-bound-arrival" ~severity:D.Error
+             ~location:D.Circuit
+             (Printf.sprintf
+                "forward/backward duality fails at %d nodes: arrival + \
+                 suffix exceeds the circuit bound"
+                !dual_bad)))
+
+let pdf_support_slack (p : Pdf.t) interval =
+  (2.0 *. p.Pdf.step) +. rel_slack interval +. (1e-3 *. Interval.magnitude interval)
+
+let certify_path (bounds : Arrival_bounds.t) ~label (pa : Path_analysis.t) add =
+  let interval = Arrival_bounds.path_total bounds pa.Path_analysis.path in
+  let loc = D.Pdf label in
+  if
+    not
+      (Interval.contains ~slack:(rel_slack interval) interval
+         pa.Path_analysis.det_delay)
+  then
+    add
+      (D.make ~rule:"check-bound-nominal" ~severity:D.Error ~location:loc
+         (Printf.sprintf "nominal delay %.6g s escapes the static interval %s"
+            pa.Path_analysis.det_delay
+            (Format.asprintf "%a" Interval.pp interval)));
+  let support_check name p i =
+    let slack = pdf_support_slack p i in
+    let sup = Interval.make ~lo:p.Pdf.lo ~hi:(Pdf.hi p) in
+    if not (Interval.subset ~slack sup ~of_:i) then
+      add
+        (D.make ~rule:"check-bound-support" ~severity:D.Error ~location:loc
+           (Printf.sprintf
+              "%s PDF support [%.6g, %.6g] s escapes the static interval %s"
+              name p.Pdf.lo (Pdf.hi p)
+              (Format.asprintf "%a" Interval.pp i)))
+  in
+  support_check "total" pa.Path_analysis.total_pdf interval;
+  support_check "inter" pa.Path_analysis.inter_pdf
+    (Arrival_bounds.path_inter bounds pa.Path_analysis.path);
+  let h = Arrival_bounds.path_intra_halfwidth bounds pa.Path_analysis.path in
+  support_check "intra" pa.Path_analysis.intra_pdf
+    (Interval.make ~lo:(-.h) ~hi:h);
+  let total = pa.Path_analysis.total_pdf in
+  let q_slack = pdf_support_slack total interval in
+  List.iter
+    (fun (name, v) ->
+      if not (Interval.contains ~slack:q_slack interval v) then
+        add
+          (D.make ~rule:"check-bound-quantile" ~severity:D.Error
+             ~location:loc
+             (Printf.sprintf
+                "%s %.6g s escapes the static interval %s" name v
+                (Format.asprintf "%a" Interval.pp interval))))
+    [ ("mean", pa.Path_analysis.mean);
+      ("median", Pdf.quantile total 0.5);
+      ("0.1% quantile", Pdf.quantile total 0.001);
+      ("99.9% quantile", Pdf.quantile total 0.999);
+      ("confidence point", pa.Path_analysis.confidence_point) ]
+
+(* --- driver ---------------------------------------------------------- *)
+
+let run inp =
+  let inp = apply_injection inp in
+  let { circuit; placement; config; pdfsan; path_limit; inject } = inp in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let nodes_certified = ref 0 and paths_certified = ref 0 in
+  let health = Health.create () in
+  let san = Pdfsan.create ~health () in
+  (* Static phase. *)
+  List.iter add (Variance_check.check_config config);
+  List.iter add (Placement_check.check config circuit placement);
+  let static_clean = not (Engine.has_errors !ds) in
+  (* Injected PDF corruption is audited even when the static phase (or
+     the pdfsan flag) would skip the dynamic run. *)
+  if inject = Some Corrupt_pdf then Pdfsan.audit san (corrupt_event ());
+  if static_clean then begin
+    let sta = Sta.analyze circuit in
+    (match Arrival_bounds.compute config sta.Sta.graph with
+    | Error msg ->
+        add
+          (D.make ~rule:"check-bound-domain" ~severity:D.Error
+             ~location:D.Config
+             (Printf.sprintf
+                "static bounds are not computable: %s (truncated \
+                 parameter box leaves the delay model's domain)"
+                msg))
+    | Ok bounds ->
+        certify_labels bounds sta add;
+        nodes_certified := Array.length bounds.Arrival_bounds.arrival;
+        (* Dynamic phase: a full methodology run under the sanitizer. *)
+        if pdfsan then Pdfsan.install san;
+        let result =
+          Fun.protect ~finally:Pdfsan.uninstall (fun () ->
+              Methodology.analyze ~config ~placement circuit)
+        in
+        (match result with
+        | Error e -> add (D.of_error e)
+        | Ok m ->
+            let ranked = m.Methodology.ranked in
+            let total = Array.length ranked in
+            let limit =
+              if path_limit <= 0 then total else Int.min path_limit total
+            in
+            for i = 0 to limit - 1 do
+              let r = ranked.(i) in
+              let label = Printf.sprintf "path#%d" r.Ranking.prob_rank in
+              let pa = r.Ranking.analysis in
+              certify_path bounds ~label pa add;
+              List.iter add
+                (Variance_check.check_path config
+                   ~num_nodes:(Netlist.num_nodes circuit)
+                   ~label pa)
+            done;
+            paths_certified := limit;
+            if limit < total then
+              add
+                (D.make ~rule:"check-health" ~severity:D.Info
+                   ~location:D.Circuit
+                   (Printf.sprintf
+                      "certified %d of %d analyzed paths (raise the path \
+                       limit for full coverage)"
+                      limit total));
+            Health.merge ~into:health m.Methodology.health;
+            if not (Health.is_clean m.Methodology.health) then begin
+              let defect, op = Health.worst_defect m.Methodology.health in
+              add
+                (D.make ~rule:"check-health" ~severity:D.Info
+                   ~location:D.Circuit
+                   (Printf.sprintf
+                      "run recorded %d numerical-health events (worst \
+                       defect %.3g%s)"
+                      (Health.count m.Methodology.health)
+                      defect
+                      (if op = "" then "" else " in " ^ op)))
+            end))
+  end;
+  List.iter add (Pdfsan.findings san);
+  if Pdfsan.dropped san > 0 then
+    add
+      (D.make ~rule:"check-health" ~severity:D.Info ~location:D.Circuit
+         (Printf.sprintf "%d sanitizer findings dropped beyond the cap"
+            (Pdfsan.dropped san)));
+  { diagnostics = List.stable_sort D.compare (List.rev !ds);
+    nodes_certified = !nodes_certified;
+    paths_certified = !paths_certified;
+    ops_audited = Pdfsan.ops san;
+    health }

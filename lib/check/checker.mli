@@ -1,0 +1,69 @@
+(** The verification driver: whole-program checks over one placed
+    circuit.
+
+    Phases, mirroring the lint engine's layering:
+
+    + {b static} — variance-budget accounting ({!Variance_check}) and
+      placement/quad-tree consistency ({!Placement_check}).  Errors here
+      void the dynamic phase (certifying a run against a broken
+      configuration proves nothing).
+    + {b bounds} — interval arrival-time analysis
+      ({!Arrival_bounds}): certify the deterministic labels, the
+      critical delay and the forward/backward duality.
+    + {b dynamic} — run {!Ssta_core.Methodology.analyze} (optionally
+      under the PDF sanitizer, {!Pdfsan}) and certify every analyzed
+      path: nominal delay, PDF supports, quantiles and mean against the
+      static intervals; per-layer variance accounting per path.
+
+    All findings are {!Ssta_lint.Diagnostic} values; severity and exit
+    conventions follow the lint engine
+    ({!Ssta_lint.Engine.exit_code}). *)
+
+(** Seeded violations for tests and CI: each corrupts one layer of the
+    pipeline and must be caught by a distinct check id. *)
+type injection =
+  | Bad_budget
+      (** budget with the wrong layer count -> [check-var-budget] *)
+  | Bad_placement
+      (** a gate moved outside the die -> [check-place-bounds] *)
+  | Corrupt_pdf
+      (** a PDF with non-finite density pushed through the sanitizer ->
+          [check-pdfsan-density] *)
+
+type input = {
+  circuit : Ssta_circuit.Netlist.t;
+  placement : Ssta_circuit.Placement.t;
+  config : Ssta_core.Config.t;
+  pdfsan : bool;  (** audit every PDF operation of the run *)
+  path_limit : int;
+      (** certify at most this many ranked paths (0 = all); a capped
+          certification is reported as an info diagnostic *)
+  inject : injection option;
+}
+
+val input :
+  ?config:Ssta_core.Config.t ->
+  ?placement:Ssta_circuit.Placement.t ->
+  ?pdfsan:bool ->
+  ?path_limit:int ->
+  ?inject:injection ->
+  Ssta_circuit.Netlist.t ->
+  input
+(** Defaults: {!Ssta_core.Config.default} configuration, computed
+    placement, pdfsan on, [path_limit] 64. *)
+
+type report = {
+  diagnostics : Ssta_lint.Diagnostic.t list;
+      (** sorted with {!Ssta_lint.Diagnostic.compare} *)
+  nodes_certified : int;  (** nodes with certified arrival labels *)
+  paths_certified : int;  (** analyzed paths certified against bounds *)
+  ops_audited : int;  (** PDF operations audited by the sanitizer *)
+  health : Ssta_runtime.Health.t;
+      (** merged ledger: the run's own plus the sanitizer's *)
+}
+
+val run : input -> report
+
+val all_checks : (string * string) list
+(** Every check id the verifier can emit with its one-line description,
+    sorted by id. *)

@@ -1,0 +1,95 @@
+module Netlist = Ssta_circuit.Netlist
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : prev:t -> next:t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (D : DOMAIN) = struct
+  type stats = {
+    visits : int;
+    updates : int;
+    widenings : int;
+    converged : bool;
+  }
+
+  type result = { values : D.t array; stats : stats }
+
+  let fixpoint ?(direction = Forward) ?(widen_after = 8)
+      ?(max_updates_per_node = 64) (c : Netlist.t) ~init ~transfer =
+    let n = Netlist.num_nodes c in
+    let fanouts = Netlist.fanouts c in
+    let fanins id =
+      if Netlist.is_input c id then [||] else (Netlist.gate_of c id).Netlist.fanins
+    in
+    let preds, succs =
+      match direction with
+      | Forward -> (fanins, fun id -> fanouts.(id))
+      | Backward -> ((fun id -> fanouts.(id)), fanins)
+    in
+    let values = Array.make n D.bottom in
+    let update_count = Array.make n 0 in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let push id =
+      if not queued.(id) then begin
+        queued.(id) <- true;
+        Queue.add id queue
+      end
+    in
+    (* Seed in (reverse-)topological order: node ids are topological by
+       netlist construction. *)
+    (match direction with
+    | Forward ->
+        for id = 0 to n - 1 do
+          push id
+        done
+    | Backward ->
+        for id = n - 1 downto 0 do
+          push id
+        done);
+    let visits = ref 0 and updates = ref 0 and widenings = ref 0 in
+    let converged = ref true in
+    while !converged && not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      queued.(id) <- false;
+      incr visits;
+      let inflow =
+        Array.fold_left
+          (fun acc p -> D.join acc values.(p))
+          (init id) (preds id)
+      in
+      let out = transfer ~node:id inflow in
+      if not (D.equal out values.(id)) then begin
+        update_count.(id) <- update_count.(id) + 1;
+        if update_count.(id) > max_updates_per_node then converged := false
+        else begin
+          let out =
+            if update_count.(id) > widen_after then begin
+              incr widenings;
+              D.widen ~prev:values.(id) ~next:out
+            end
+            else out
+          in
+          if not (D.equal out values.(id)) then begin
+            incr updates;
+            values.(id) <- out;
+            Array.iter push (succs id)
+          end
+        end
+      end
+    done;
+    { values;
+      stats =
+        { visits = !visits;
+          updates = !updates;
+          widenings = !widenings;
+          converged = !converged } }
+end

@@ -1,0 +1,66 @@
+(** Generic monotone dataflow framework over the netlist DAG.
+
+    A classic worklist solver: values from a user-supplied
+    join-semilattice are attached to every node and iterated to the
+    least fixpoint of
+
+    {v value(n) = transfer n (init n  JOIN  join over preds p of value(p)) v}
+
+    where the predecessors are the fan-ins in a [Forward] analysis and
+    the fan-out consumers in a [Backward] one.  Because netlist node ids
+    are topological by construction, the worklist is seeded in
+    topological (respectively reverse-topological) order, so on a DAG
+    with a monotone transfer function the solver converges in one pass
+    per node plus re-visits only where joins refine.
+
+    Termination on non-monotone or infinitely ascending inputs is
+    guaranteed by widening: once a node has been updated [widen_after]
+    times, further updates go through [D.widen], which must jump to an
+    upper bound of any ascending chain in finitely many steps.  A hard
+    per-node update cap backstops a broken widening; hitting it reports
+    [converged = false] instead of looping. *)
+
+type direction = Forward | Backward
+
+(** What the framework needs from an abstract domain: a bottom element,
+    a join, decidable equality, and a widening. *)
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : prev:t -> next:t -> t
+  (** Must be an upper bound of both arguments, and must stabilize any
+      ascending chain in finitely many applications. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (D : DOMAIN) : sig
+  type stats = {
+    visits : int;  (** worklist pops *)
+    updates : int;  (** value changes committed *)
+    widenings : int;  (** updates that went through [D.widen] *)
+    converged : bool;  (** false when the per-node cap stopped iteration *)
+  }
+
+  type result = { values : D.t array; stats : stats }
+
+  val fixpoint :
+    ?direction:direction ->
+    ?widen_after:int ->
+    ?max_updates_per_node:int ->
+    Ssta_circuit.Netlist.t ->
+    init:(int -> D.t) ->
+    transfer:(node:int -> D.t -> D.t) ->
+    result
+  (** [fixpoint c ~init ~transfer] solves the equation above for every
+      node id of [c].  [init] is each node's contribution independent of
+      its predecessors (typically [D.bottom] everywhere except entry
+      nodes); [transfer ~node v] maps the joined in-flow to the node's
+      out-value and must be monotone for the result to be the least
+      fixpoint.  Defaults: [direction = Forward], [widen_after = 8],
+      [max_updates_per_node = 64]. *)
+end

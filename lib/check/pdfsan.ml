@@ -1,0 +1,165 @@
+module D = Ssta_lint.Diagnostic
+module Health = Ssta_runtime.Health
+module Pdf = Ssta_prob.Pdf
+
+type config = {
+  tol_mass : float;
+  tol_clamped : float;
+  max_findings : int;
+}
+
+let default_config = { tol_mass = 1e-6; tol_clamped = 1e-9; max_findings = 64 }
+
+type t = {
+  cfg : config;
+  health_ledger : Health.t;
+  mutable ops : int;
+  mutable kept : D.t list;  (* newest first *)
+  mutable n_kept : int;
+  mutable n_dropped : int;
+}
+
+let checks =
+  [ ("check-pdfsan-density",
+     "no NaN, infinite or negative density entries in any operation's \
+      output");
+    ("check-pdfsan-mass",
+     "every operation conserves probability mass within tolerance");
+    ("check-pdfsan-support",
+     "every operation's output support lies inside its shadow interval");
+    ("check-pdfsan-cdf",
+     "every operation's output CDF is monotone from 0 to 1");
+    ("check-pdfsan-clamped",
+     "no significant mass is clamped at accumulator grid boundaries") ]
+
+let create ?(config = default_config) ?health () =
+  let health_ledger =
+    match health with Some h -> h | None -> Health.create ()
+  in
+  { cfg = config;
+    health_ledger;
+    ops = 0;
+    kept = [];
+    n_kept = 0;
+    n_dropped = 0 }
+
+let keep t d =
+  if t.n_kept < t.cfg.max_findings then begin
+    t.kept <- d :: t.kept;
+    t.n_kept <- t.n_kept + 1
+  end
+  else t.n_dropped <- t.n_dropped + 1
+
+let finding t ~severity ~rule ~op msg =
+  keep t (D.make ~rule ~severity ~location:(D.Pdf op) msg)
+
+let audit t (ev : Pdf.trace_event) =
+  t.ops <- t.ops + 1;
+  let op = ev.Pdf.trace_op in
+  let out = ev.Pdf.trace_output in
+  let n = Pdf.size out in
+  let bad_density = ref 0 and negative = ref false in
+  Array.iter
+    (fun d ->
+      if not (Float.is_finite d) then incr bad_density
+      else if d < 0.0 then begin
+        incr bad_density;
+        negative := true
+      end)
+    out.Pdf.density;
+  if !bad_density > 0 then begin
+    let issue = if !negative then Health.Negative_density else Health.Non_finite in
+    Health.record t.health_ledger ~op ~issue
+      (Printf.sprintf "%d bad density cells" !bad_density);
+    finding t ~severity:D.Error ~rule:"check-pdfsan-density" ~op
+      (Printf.sprintf
+         "%d of %d density entries are NaN, infinite or negative"
+         !bad_density n)
+  end
+  else begin
+    (* Mass conservation: the normalized output must integrate to 1, and
+       the mass the operation accumulated before Pdf.make normalized it
+       must have been 1 as well. *)
+    let mass = Pdf.total_mass out in
+    if Float.abs (mass -. 1.0) > t.cfg.tol_mass then begin
+      Health.record t.health_ledger ~op ~issue:Health.Mass_defect
+        ~defect:(Float.abs (mass -. 1.0))
+        "normalized output mass drifted";
+      finding t ~severity:D.Error ~rule:"check-pdfsan-mass" ~op
+        (Printf.sprintf "output mass is %.9g, expected 1" mass)
+    end;
+    (match ev.Pdf.trace_mass_in with
+    | Some mass_in when Float.abs (mass_in -. 1.0) > t.cfg.tol_mass ->
+        Health.record t.health_ledger ~op ~issue:Health.Mass_defect
+          ~defect:(Float.abs (mass_in -. 1.0))
+          "operation accumulated non-unit mass";
+        finding t ~severity:D.Error ~rule:"check-pdfsan-mass" ~op
+          (Printf.sprintf
+             "operation accumulated mass %.9g before normalization, \
+              expected 1"
+             mass_in)
+    | _ -> ());
+    (* Support containment in the shadow interval.  Slack: one output
+       grid step (deposit splitting), a 1e-12 absolute floor (the widen
+       epsilon of degenerate grids) and 1e-9 relative rounding. *)
+    (match ev.Pdf.trace_expected with
+    | Some (elo, ehi) ->
+        let slack =
+          out.Pdf.step +. 1e-12
+          +. (1e-9 *. Float.max (Float.abs elo) (Float.abs ehi))
+        in
+        if out.Pdf.lo < elo -. slack || Pdf.hi out > ehi +. slack then
+          finding t ~severity:D.Error ~rule:"check-pdfsan-support" ~op
+            (Printf.sprintf
+               "output support [%.9g, %.9g] escapes the shadow interval \
+                [%.9g, %.9g]"
+               out.Pdf.lo (Pdf.hi out) elo ehi)
+    | None -> ());
+    (* Monotone CDF: 0 at the left edge, 1 at the right edge,
+       non-decreasing across probes. *)
+    let lo = out.Pdf.lo and hi = Pdf.hi out in
+    let cdf_lo = Pdf.cdf out lo and cdf_hi = Pdf.cdf out hi in
+    let monotone = ref true in
+    let probes = 8 in
+    let prev = ref neg_infinity in
+    for i = 0 to probes do
+      let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int probes) in
+      let v = Pdf.cdf out x in
+      if v < !prev -. t.cfg.tol_mass then monotone := false;
+      prev := v
+    done;
+    if
+      Float.abs cdf_lo > t.cfg.tol_mass
+      || Float.abs (cdf_hi -. 1.0) > t.cfg.tol_mass
+      || not !monotone
+    then
+      finding t ~severity:D.Error ~rule:"check-pdfsan-cdf" ~op
+        (Printf.sprintf
+           "CDF spans [%.9g, %.9g] over the support%s, expected a \
+            monotone [0, 1]"
+           cdf_lo cdf_hi
+           (if !monotone then "" else " and is non-monotone"))
+  end;
+  if ev.Pdf.trace_clamped > t.cfg.tol_clamped then begin
+    Health.record t.health_ledger ~op ~issue:Health.Mass_defect
+      ~defect:ev.Pdf.trace_clamped "mass clamped at grid boundary";
+    finding t ~severity:D.Warning ~rule:"check-pdfsan-clamped" ~op
+      (Printf.sprintf
+         "%.3g probability mass was deposited outside the grid and \
+          clamped to a boundary cell"
+         ev.Pdf.trace_clamped)
+  end
+
+let install t = Pdf.trace_install (audit t)
+let uninstall () = Pdf.trace_uninstall ()
+let ops t = t.ops
+let findings t = List.rev t.kept
+let dropped t = t.n_dropped
+let health t = t.health_ledger
+
+let with_session ?config f =
+  let t = create ?config () in
+  install t;
+  Fun.protect ~finally:uninstall (fun () ->
+      let r = f () in
+      (r, t))

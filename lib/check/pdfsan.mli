@@ -1,0 +1,68 @@
+(** The PDF sanitizer ("pdfsan").
+
+    A session consumes the {!Ssta_prob.Pdf.trace_event} stream emitted
+    by the instrumented grid operations and audits every event against
+    four invariants:
+
+    - {b density}: no NaN, infinite or negative density entries;
+    - {b mass conservation}: the operation's output integrates to 1 and
+      its pre-normalization input mass was 1 (within [tol_mass]) — a
+      drift means [Pdf.make]'s normalization silently papered over a
+      mass leak;
+    - {b support containment}: the output's support lies inside the
+      shadow interval computed by interval arithmetic on the operation's
+      inputs (within one grid step plus rounding);
+    - {b monotone CDF}: the CDF is 0 at the left support edge, 1 at the
+      right, and non-decreasing across probe points;
+
+    plus a {b clamping} watchdog: mass deposited strictly outside an
+    accumulator grid (then clamped to a boundary cell) beyond
+    [tol_clamped] indicates a range-scan failure.
+
+    Violations become diagnostics (capped, with an overflow counter) and
+    are mirrored into a {!Ssta_runtime.Health} ledger so existing
+    reporting surfaces them too. *)
+
+type config = {
+  tol_mass : float;  (** mass drift tolerance (default 1e-6) *)
+  tol_clamped : float;  (** clamped-mass tolerance (default 1e-9) *)
+  max_findings : int;  (** diagnostics kept verbatim (default 64) *)
+}
+
+val default_config : config
+
+type t
+
+val checks : (string * string) list
+(** Check ids this module can emit, with one-line descriptions. *)
+
+val create : ?config:config -> ?health:Ssta_runtime.Health.t -> unit -> t
+(** A fresh session (fresh ledger when [health] is omitted).  The
+    session is passive until {!install}ed. *)
+
+val install : t -> unit
+(** Route the process-wide {!Ssta_prob.Pdf} trace hook into this
+    session (replacing any previous hook). *)
+
+val uninstall : unit -> unit
+(** Remove the process-wide hook. *)
+
+val audit : t -> Ssta_prob.Pdf.trace_event -> unit
+(** Audit one event directly (what {!install} wires up; also the
+    fault-injection entry point). *)
+
+val ops : t -> int
+(** Events audited so far. *)
+
+val findings : t -> Ssta_lint.Diagnostic.t list
+(** Violations in arrival order (at most [max_findings]). *)
+
+val dropped : t -> int
+(** Findings discarded beyond the cap. *)
+
+val health : t -> Ssta_runtime.Health.t
+
+val with_session :
+  ?config:config -> (unit -> 'a) -> 'a * t
+(** [with_session f] installs a fresh session around [f ()],
+    uninstalling even on exceptions. *)

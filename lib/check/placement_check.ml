@@ -1,0 +1,158 @@
+module D = Ssta_lint.Diagnostic
+module Netlist = Ssta_circuit.Netlist
+module Placement = Ssta_circuit.Placement
+module Layers = Ssta_correlation.Layers
+module Config = Ssta_core.Config
+
+let checks =
+  [ ("check-place-bounds",
+     "every placed node has finite coordinates inside the die");
+    ("check-place-partition",
+     "each gate falls in exactly one partition rectangle per layer, the \
+      one partition_of reports");
+    ("check-place-nesting",
+     "a gate's partition at level u is a child of its partition at u-1");
+    ("check-place-sibling",
+     "each level's sibling partitions tile the die, four children per \
+      parent") ]
+
+let err ?hint ~rule ~location msg = D.make ?hint ~rule ~severity:D.Error ~location msg
+
+(* Row-major rectangle of partition [p] on a [2^level] grid.  Cells are
+   half-open except at the die's right/top edge, so every in-die point
+   belongs to exactly one rectangle. *)
+let rect ~die_w ~die_h ~level p =
+  let cells = 1 lsl level in
+  let cw = die_w /. float_of_int cells and ch = die_h /. float_of_int cells in
+  let col = p mod cells and row = p / cells in
+  ( float_of_int col *. cw,
+    float_of_int row *. ch,
+    float_of_int (col + 1) *. cw,
+    float_of_int (row + 1) *. ch )
+
+let in_rect ~die_w ~die_h (x0, y0, x1, y1) x y =
+  (* Half-open at the right/top, except that the die's own edge closes
+     the last cell (an in-die point on the edge must belong somewhere;
+     the rounding guard covers cells*(die/cells) <> die). *)
+  let below_hi edge hi v =
+    if hi >= edge *. (1.0 -. 1e-12) then v <= edge else v < hi
+  in
+  x >= x0 && y >= y0 && below_hi die_w x1 x && below_hi die_h y1 y
+
+let check (config : Config.t) (c : Netlist.t) (pl : Placement.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let n = Netlist.num_nodes c in
+  let die_w = pl.Placement.die_width and die_h = pl.Placement.die_height in
+  if
+    (not (Float.is_finite die_w && Float.is_finite die_h))
+    || die_w <= 0.0 || die_h <= 0.0
+  then begin
+    add
+      (err ~rule:"check-place-bounds" ~location:D.Circuit
+         (Printf.sprintf "die %g x %g um is not a positive finite rectangle"
+            die_w die_h));
+    List.rev !ds
+  end
+  else if Array.length pl.Placement.coords <> n then begin
+    add
+      (err ~rule:"check-place-bounds" ~location:D.Circuit
+         (Printf.sprintf "placement covers %d nodes but the netlist has %d"
+            (Array.length pl.Placement.coords) n));
+    List.rev !ds
+  end
+  else begin
+    let layers = Config.layers_for config pl in
+    let quad_levels = layers.Layers.quad_levels in
+    (* Level-wise tiling: four children per parent, areas summing to the
+       die.  This is per level, not per gate. *)
+    for level = 1 to quad_levels - 1 do
+      let parts = Layers.partitions_at layers level in
+      if parts <> 4 * Layers.partitions_at layers (level - 1) then
+        add
+          (err ~rule:"check-place-sibling" ~location:D.Circuit
+             (Printf.sprintf
+                "level %d has %d partitions, expected 4x the %d of level %d"
+                level parts
+                (Layers.partitions_at layers (level - 1))
+                (level - 1)));
+      let area = ref 0.0 in
+      for p = 0 to parts - 1 do
+        let x0, y0, x1, y1 = rect ~die_w ~die_h ~level p in
+        area := !area +. ((x1 -. x0) *. (y1 -. y0))
+      done;
+      let die_area = die_w *. die_h in
+      if Float.abs (!area -. die_area) > 1e-9 *. die_area then
+        add
+          (err ~rule:"check-place-sibling" ~location:D.Circuit
+             (Printf.sprintf
+                "level %d partition rectangles tile %.9g um^2 of a %.9g \
+                 um^2 die"
+                level !area die_area))
+    done;
+    for id = 0 to n - 1 do
+      let x, y = Placement.coord pl id in
+      let in_die =
+        Float.is_finite x && Float.is_finite y
+        && x >= 0.0 && x <= die_w && y >= 0.0 && y <= die_h
+      in
+      if not in_die then
+        add
+          (err ~rule:"check-place-bounds"
+             ~location:(D.Place { id; x; y })
+             ~hint:"partition_of clamps out-of-die points, silently \
+                    distorting spatial correlation"
+             (Printf.sprintf "node lies outside the %g x %g um die" die_w
+                die_h));
+      (* Partition membership is checked for gates only: inputs carry no
+         delay and no correlation coefficients. *)
+      if in_die && not (Netlist.is_input c id) then begin
+        let prev_partition = ref 0 in
+        for level = 1 to quad_levels - 1 do
+          let reported = Layers.partition_of layers ~level ~x ~y in
+          (* Independent geometric verification: scan every rectangle of
+             the level and demand exactly one contains the point — the
+             reported one. *)
+          let containing = ref [] in
+          let parts = Layers.partitions_at layers level in
+          for p = 0 to parts - 1 do
+            if in_rect ~die_w ~die_h (rect ~die_w ~die_h ~level p) x y then
+              containing := p :: !containing
+          done;
+          (match !containing with
+          | [ p ] when p = reported -> ()
+          | [ p ] ->
+              add
+                (err ~rule:"check-place-partition"
+                   ~location:(D.Place { id; x; y })
+                   (Printf.sprintf
+                      "level %d: partition_of reports %d but the point \
+                       lies in rectangle %d"
+                      level reported p))
+          | others ->
+              add
+                (err ~rule:"check-place-partition"
+                   ~location:(D.Place { id; x; y })
+                   (Printf.sprintf
+                      "level %d: point lies in %d partition rectangles, \
+                       expected exactly 1"
+                      level (List.length others))));
+          (* Nesting: the parent of this level's cell is last level's
+             cell. *)
+          let cells = 1 lsl level in
+          let col = reported mod cells and row = reported / cells in
+          let parent = ((row / 2) * (cells / 2)) + (col / 2) in
+          if level > 1 && parent <> !prev_partition then
+            add
+              (err ~rule:"check-place-nesting"
+                 ~location:(D.Place { id; x; y })
+                 (Printf.sprintf
+                    "level %d partition %d nests under %d, but the gate \
+                     maps to %d at level %d"
+                    level reported parent !prev_partition (level - 1)));
+          prev_partition := reported
+        done
+      end
+    done;
+    List.rev !ds
+  end

@@ -1,0 +1,19 @@
+(** Placement / quad-tree consistency.
+
+    The spatial-correlation model is only meaningful when the geometry
+    is coherent: every placed gate must lie inside the die, must map to
+    exactly one partition rectangle per quad-tree layer (verified
+    against an independent rectangle scan, not just the arithmetic of
+    [Layers.partition_of]), the partition containing a gate at level
+    [u] must be a child of its partition at level [u-1], and each
+    level's sibling partitions must tile the die exactly with four
+    children per parent sharing the parent's variance layer. *)
+
+val checks : (string * string) list
+(** Check ids this module can emit, with one-line descriptions. *)
+
+val check :
+  Ssta_core.Config.t ->
+  Ssta_circuit.Netlist.t ->
+  Ssta_circuit.Placement.t ->
+  Ssta_lint.Diagnostic.t list

@@ -63,5 +63,20 @@ let intra_variance t budget =
       acc +. (c *. c *. sigma *. sigma))
     t.coeffs 0.0
 
+let layer_variances t budget =
+  let n = Budget.layers budget in
+  let shares = Array.make n 0.0 in
+  Hashtbl.iter
+    (fun key c ->
+      if key.layer >= 1 && key.layer < n then begin
+        let sigma =
+          Budget.sigma_of_layer budget ~total_sigma:(Params.sigma key.rv)
+            key.layer
+        in
+        shares.(key.layer) <- shares.(key.layer) +. (c *. c *. sigma *. sigma)
+      end)
+    t.coeffs;
+  shares
+
 let coeff t key = try Hashtbl.find t.coeffs key with Not_found -> 0.0
 let num_layer_rvs t = Hashtbl.length t.coeffs

@@ -40,6 +40,13 @@ val intra_variance : t -> Budget.t -> float
 (** Eq. (14): [sum coeff^2 * sigma_layer^2] over all intra keys, with
     per-layer sigmas from the budget and {!Ssta_tech.Params.sigma}. *)
 
+val layer_variances : t -> Budget.t -> float array
+(** Per-layer decomposition of {!intra_variance}: element [u] (for
+    [1 <= u < Budget.layers budget]) is the variance contributed by
+    layer [u]'s RVs; element 0 is 0 (the inter part is not in the
+    coefficient table).  Summing the array recovers
+    [intra_variance t budget] exactly. *)
+
 val coeff : t -> key -> float
 (** 0 when the key is absent. *)
 

@@ -34,14 +34,16 @@ type t = {
 let make ?hint ~rule ~severity ~location message =
   { rule; severity; location; message; hint }
 
+(* Orders by kind, then name/path, then line/id, then column — so file
+   locations group by path before comparing positions. *)
 let location_key = function
-  | Circuit -> (0, 0, "")
-  | Node { id; _ } -> (1, id, "")
-  | Place { id; _ } -> (2, id, "")
-  | Net n -> (3, 0, n)
-  | Config -> (4, 0, "")
-  | Pdf n -> (5, 0, n)
-  | File { path; line; col } -> (6, (line * 10_000) + col, path)
+  | Circuit -> (0, "", 0, 0)
+  | Node { id; _ } -> (1, "", id, 0)
+  | Place { id; _ } -> (2, "", id, 0)
+  | Net n -> (3, n, 0, 0)
+  | Config -> (4, "", 0, 0)
+  | Pdf n -> (5, n, 0, 0)
+  | File { path; line; col } -> (6, path, line, col)
 
 let compare a b =
   let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
@@ -50,6 +52,18 @@ let compare a b =
     let c = String.compare a.rule b.rule in
     if c <> 0 then c
     else Stdlib.compare (location_key a.location) (location_key b.location)
+
+let presentation_compare a b =
+  let c = Stdlib.compare (location_key a.location) (location_key b.location) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c =
+        Int.compare (severity_rank a.severity) (severity_rank b.severity)
+      in
+      if c <> 0 then c else String.compare a.message b.message
 
 let pp_location fmt = function
   | Circuit -> Format.fprintf fmt "circuit"

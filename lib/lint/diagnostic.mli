@@ -46,7 +46,13 @@ val make :
 
 val compare : t -> t -> int
 (** Orders by severity (errors first), then rule id, then location —
-    the presentation order of the reporters. *)
+    the triage order used by the engines. *)
+
+val presentation_compare : t -> t -> int
+(** Orders by location (file locations by path, then line, then
+    column), then rule id, then severity, then message — the
+    deterministic presentation order of the reporters, chosen so
+    findings in the same file read top to bottom. *)
 
 val pp_location : Format.formatter -> location -> unit
 

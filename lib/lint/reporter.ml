@@ -1,5 +1,9 @@
 module D = Diagnostic
 
+(* All reporters render in the deterministic presentation order:
+   (file/location, line, rule id). *)
+let order ds = List.stable_sort D.presentation_compare ds
+
 let text ~circuit_name fmt ds =
   let s = Engine.summarize ds in
   Format.fprintf fmt "%s: %d diagnostic(s) (%d error(s), %d warning(s), %d info(s))@."
@@ -11,7 +15,7 @@ let text ~circuit_name fmt ds =
       match d.D.hint with
       | Some h -> Format.fprintf fmt "    hint: %s@." h
       | None -> ())
-    ds
+    (order ds)
 
 (* Minimal JSON emission; strings are escaped per RFC 8259. *)
 let json_escape s =
@@ -68,7 +72,63 @@ let json ~circuit_name fmt ds =
     "{\"circuit\":\"%s\",\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"total\":%d},\"diagnostics\":[%s]}@."
     (json_escape circuit_name)
     s.Engine.errors s.Engine.warnings s.Engine.infos (List.length ds)
-    (String.concat "," (List.map diagnostic_json ds))
+    (String.concat "," (List.map diagnostic_json (order ds)))
+
+(* SARIF 2.1.0 (the subset GitHub code scanning ingests): one run, one
+   driver, the rule catalogue, one result per diagnostic. *)
+let sarif_level = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+let sarif_location (loc : D.location) =
+  match loc with
+  | D.File { path; line; col } ->
+      Printf.sprintf
+        "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d%s}}}"
+        (json_escape path)
+        (Int.max 1 line)
+        (if col > 0 then Printf.sprintf ",\"startColumn\":%d" col else "")
+  | _ ->
+      let name = Format.asprintf "%a" D.pp_location loc in
+      Printf.sprintf
+        "{\"logicalLocations\":[{\"name\":\"%s\",\"kind\":\"object\"}]}"
+        (json_escape name)
+
+let sarif_result rule_index (d : D.t) =
+  let message =
+    match d.D.hint with
+    | Some h -> d.D.message ^ " (hint: " ^ h ^ ")"
+    | None -> d.D.message
+  in
+  let index =
+    match rule_index d.D.rule with
+    | Some i -> Printf.sprintf ",\"ruleIndex\":%d" i
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"ruleId\":\"%s\"%s,\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\"locations\":[%s]}"
+    (json_escape d.D.rule) index (sarif_level d.D.severity)
+    (json_escape message)
+    (sarif_location d.D.location)
+
+let sarif ~tool ~rules ~circuit_name fmt ds =
+  let rule_index =
+    let tbl = Hashtbl.create (List.length rules) in
+    List.iteri (fun i (id, _) -> Hashtbl.replace tbl id i) rules;
+    fun id -> Hashtbl.find_opt tbl id
+  in
+  let rule_json (id, doc) =
+    Printf.sprintf
+      "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+      (json_escape id) (json_escape doc)
+  in
+  Format.fprintf fmt
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"%s\",\"rules\":[%s]}},\"properties\":{\"circuit\":\"%s\"},\"results\":[%s]}]}@."
+    (json_escape tool)
+    (String.concat "," (List.map rule_json rules))
+    (json_escape circuit_name)
+    (String.concat "," (List.map (sarif_result rule_index) (order ds)))
 
 let rule_table fmt rules =
   let width =

@@ -20,11 +20,33 @@
     ["x"], ["y"]; net/pdf locations ["name"]; file locations ["path"]
     and ["line"]. *)
 
+(** A third format, SARIF 2.1.0, serves CI upload (GitHub code
+    scanning); it is shared by the lint and check subcommands, which
+    pass their own tool name and rule catalogue.
+
+    Every reporter renders diagnostics in the deterministic presentation
+    order of {!Diagnostic.presentation_compare} — by location (file
+    locations by path, then line), then rule id — regardless of input
+    order. *)
+
 val text :
   circuit_name:string -> Format.formatter -> Diagnostic.t list -> unit
 
 val json :
   circuit_name:string -> Format.formatter -> Diagnostic.t list -> unit
+
+val sarif :
+  tool:string ->
+  rules:(string * string) list ->
+  circuit_name:string ->
+  Format.formatter ->
+  Diagnostic.t list ->
+  unit
+(** SARIF 2.1.0 document: one run with driver [tool], the given rule
+    catalogue (ids + short descriptions; results reference it by
+    index), and one result per diagnostic.  Severities map
+    error/warning/info to error/warning/note.  File locations become
+    physical locations; all others become logical locations. *)
 
 val rule_table : Format.formatter -> (string * string) list -> unit
 (** Render the rule catalogue (for [--list-rules]). *)

@@ -3,6 +3,7 @@ type accumulator = {
   acc_step : float;
   cells : float array;
   mutable deposited : float;
+  mutable clamped : float;
 }
 
 let accumulator ~lo ~hi ~n =
@@ -11,7 +12,8 @@ let accumulator ~lo ~hi ~n =
   { acc_lo = lo;
     acc_step = (hi -. lo) /. float_of_int n;
     cells = Array.make n 0.0;
-    deposited = 0.0 }
+    deposited = 0.0;
+    clamped = 0.0 }
 
 (* Linear mass splitting between the two nearest cell centers keeps the
    mean of each deposit exact, which matters for the paper's claim that
@@ -19,6 +21,11 @@ let accumulator ~lo ~hi ~n =
 let deposit a ~x ~mass =
   if mass > 0.0 then begin
     let n = Array.length a.cells in
+    (* Deposits strictly outside the grid get clamped to a boundary cell
+       below; count that mass so the sanitizer can flag range-scan
+       failures.  A position exactly on the right edge is in range. *)
+    if x < a.acc_lo || x > a.acc_lo +. (a.acc_step *. float_of_int n) then
+      a.clamped <- a.clamped +. mass;
     let u = ((x -. a.acc_lo) /. a.acc_step) -. 0.5 in
     let i = int_of_float (Float.floor u) in
     let frac = u -. float_of_int i in
@@ -33,11 +40,20 @@ let deposit a ~x ~mass =
     a.deposited <- a.deposited +. mass
   end
 
+let clamped_mass a = a.clamped
+
 let to_pdf a =
   if not (a.deposited > 0.0) then
     invalid_arg "Combine.to_pdf: no mass deposited";
   Pdf.make ~lo:a.acc_lo ~step:a.acc_step
     (Array.map (fun m -> m /. a.acc_step) a.cells)
+
+(* Normalize an accumulator into a PDF and report the operation to the
+   sanitizer hook.  [mass_in] defaults to the total deposited mass, which
+   for mass-conserving combinators should be 1 within rounding. *)
+let finish ~op ?expected ?mass_in a =
+  let mass_in = match mass_in with Some m -> m | None -> a.deposited in
+  Pdf.traced ~op ?expected ~mass_in ~clamped:a.clamped (to_pdf a)
 
 (* Scan the corners and edges of the product grid to find the output
    range; for monotone-ish smooth functions (everything the delay model
@@ -67,7 +83,7 @@ let widen (lo, hi) =
     let eps = 1e-12 *. (1.0 +. Float.abs lo) in
     (lo -. eps, hi +. eps)
 
-let binop ?n f px py =
+let binop_into ?n f px py =
   let n = match n with Some n -> n | None -> Int.max (Pdf.size px) (Pdf.size py) in
   let lo, hi = widen (range2 f px py) in
   let a = accumulator ~lo ~hi ~n in
@@ -79,16 +95,29 @@ let binop ?n f px py =
         if my > 0.0 then deposit a ~x:(f x (Pdf.x_at py j)) ~mass:(mx *. my)
       done
   done;
-  to_pdf a
+  a
 
-let sum ?n px py = binop ?n ( +. ) px py
+let binop ?n f px py = finish ~op:"combine.binop" (binop_into ?n f px py)
+
+let sum ?n px py =
+  (* Shadow support by interval arithmetic on the operand supports. *)
+  let expected = (px.Pdf.lo +. py.Pdf.lo, Pdf.hi px +. Pdf.hi py) in
+  finish ~op:"combine.sum" ~expected (binop_into ?n ( +. ) px py)
 
 let sum_list ?n = function
   | [] -> invalid_arg "Combine.sum_list: empty list"
   | [ p ] -> p
   | p :: rest -> List.fold_left (fun acc q -> sum ?n acc q) p rest
 
-let product ?n px py = binop ?n ( *. ) px py
+let product ?n px py =
+  let xl = px.Pdf.lo and xh = Pdf.hi px in
+  let yl = py.Pdf.lo and yh = Pdf.hi py in
+  let corners = [| xl *. yl; xl *. yh; xh *. yl; xh *. yh |] in
+  let expected =
+    ( Array.fold_left Float.min corners.(0) corners,
+      Array.fold_left Float.max corners.(0) corners )
+  in
+  finish ~op:"combine.product" ~expected (binop_into ?n ( *. ) px py)
 
 let map ?n f p =
   let n = match n with Some n -> n | None -> Pdf.size p in
@@ -103,7 +132,7 @@ let map ?n f p =
   for i = 0 to Pdf.size p - 1 do
     deposit a ~x:(f (Pdf.x_at p i)) ~mass:(Pdf.mass_at p i)
   done;
-  to_pdf a
+  finish ~op:"combine.map" a
 
 let push2 = binop
 
@@ -150,7 +179,7 @@ let push3 ?n f px py pz =
           done
       done
   done;
-  to_pdf a
+  finish ~op:"combine.push3" a
 
 let mixture weighted =
   if weighted = [] then invalid_arg "Combine.mixture: empty mixture";
@@ -176,4 +205,18 @@ let mixture weighted =
         deposit a ~x:(Pdf.x_at p i) ~mass:(w /. wtotal *. Pdf.mass_at p i)
       done)
     weighted;
-  to_pdf a
+  (* Hull of the component supports, widened by the coarsest component
+     step because the mixture grid extends half a cell below the hull. *)
+  let hull_lo =
+    List.fold_left (fun acc (_, p) -> Float.min acc p.Pdf.lo) infinity weighted
+  in
+  let hull_hi =
+    List.fold_left (fun acc (_, p) -> Float.max acc (Pdf.hi p)) neg_infinity
+      weighted
+  in
+  let max_step =
+    List.fold_left (fun acc (_, p) -> Float.max acc p.Pdf.step) 0.0 weighted
+  in
+  finish ~op:"combine.mixture"
+    ~expected:(hull_lo -. max_step, hull_hi +. max_step)
+    a

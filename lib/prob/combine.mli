@@ -5,7 +5,13 @@
     (products) independent discretized distributions and by pushing grids
     of input RVs through the nonlinear Elmore delay function.  Mass is
     deposited with linear splitting between the two nearest destination
-    cells, which keeps the first moment of each deposit exact. *)
+    cells, which keeps the first moment of each deposit exact.
+
+    Every combinator reports its result through the {!Pdf.trace_emit}
+    hook (when installed) together with a shadow support interval derived
+    by interval arithmetic on its operands, the pre-normalization mass it
+    accumulated, and the mass clamped at the grid boundary — the raw
+    material for the PDF sanitizer. *)
 
 type accumulator
 (** A mass-accumulation grid onto which weighted samples are deposited
@@ -18,6 +24,11 @@ val accumulator : lo:float -> hi:float -> n:int -> accumulator
 val deposit : accumulator -> x:float -> mass:float -> unit
 (** Add probability mass at position [x], split linearly between the two
     neighbouring cell centers. *)
+
+val clamped_mass : accumulator -> float
+(** Total mass deposited at positions strictly outside the grid (and
+    therefore clamped into a boundary cell).  Nonzero values indicate a
+    range-scan failure; the PDF sanitizer reports them. *)
 
 val to_pdf : accumulator -> Pdf.t
 (** Normalize the accumulated mass into a PDF.  Raises [Invalid_argument]

@@ -1,5 +1,36 @@
 type t = { lo : float; step : float; density : float array }
 
+type trace_event = {
+  trace_op : string;
+  trace_expected : (float * float) option;
+  trace_mass_in : float option;
+  trace_clamped : float;
+  trace_output : t;
+}
+
+(* The sanitizer hook lives here (rather than in a separate module)
+   because the grid operations that emit events are defined in this file
+   and in Combine, which already depends on Pdf. *)
+let trace_hook : (trace_event -> unit) option ref = ref None
+
+let trace_install f = trace_hook := Some f
+let trace_uninstall () = trace_hook := None
+let trace_active () = Option.is_some !trace_hook
+
+let trace_emit ev = match !trace_hook with None -> () | Some f -> f ev
+
+let traced ~op ?expected ?mass_in ?(clamped = 0.0) p =
+  (match !trace_hook with
+  | None -> ()
+  | Some f ->
+      f
+        { trace_op = op;
+          trace_expected = expected;
+          trace_mass_in = mass_in;
+          trace_clamped = clamped;
+          trace_output = p });
+  p
+
 let total_unnormalized step density =
   Array.fold_left (fun acc d -> acc +. (d *. step)) 0.0 density
 
@@ -109,15 +140,23 @@ let density_at p x =
 
 let affine p ~mul ~add =
   if mul = 0.0 then invalid_arg "Pdf.affine: mul must be non-zero";
-  if mul > 0.0 then
-    { lo = (p.lo *. mul) +. add;
-      step = p.step *. mul;
-      density = Array.map (fun d -> d /. mul) p.density }
-  else begin
-    let n = size p in
-    let density = Array.init n (fun i -> p.density.(n - 1 - i) /. -.mul) in
-    { lo = (hi p *. mul) +. add; step = p.step *. -.mul; density }
-  end
+  let expected =
+    if mul > 0.0 then ((p.lo *. mul) +. add, (hi p *. mul) +. add)
+    else ((hi p *. mul) +. add, (p.lo *. mul) +. add)
+  in
+  let mass_in = total_mass p in
+  let q =
+    if mul > 0.0 then
+      { lo = (p.lo *. mul) +. add;
+        step = p.step *. mul;
+        density = Array.map (fun d -> d /. mul) p.density }
+    else begin
+      let n = size p in
+      let density = Array.init n (fun i -> p.density.(n - 1 - i) /. -.mul) in
+      { lo = (hi p *. mul) +. add; step = p.step *. -.mul; density }
+    end
+  in
+  traced ~op:"pdf.affine" ~expected ~mass_in q
 
 let shift p c = affine p ~mul:1.0 ~add:c
 let scale p a = affine p ~mul:a ~add:0.0
@@ -145,7 +184,9 @@ let resample p ~n =
           density.(j) <- density.(j) +. (m *. overlap /. p.step)
       done
   done;
-  make ~lo ~step:step' (Array.map (fun m -> m /. step') density)
+  let mass_in = total_unnormalized 1.0 density in
+  traced ~op:"pdf.resample" ~expected:(p.lo, h) ~mass_in
+    (make ~lo ~step:step' (Array.map (fun m -> m /. step') density))
 
 let restrict p ~lo ~hi:hiv =
   if not (hiv > lo) then invalid_arg "Pdf.restrict: empty window";
@@ -156,7 +197,8 @@ let restrict p ~lo ~hi:hiv =
         if x >= lo && x <= hiv then d else 0.0)
       p.density
   in
-  try make ~lo:p.lo ~step:p.step masked
+  try traced ~op:"pdf.restrict" ~expected:(p.lo, hi p)
+        (make ~lo:p.lo ~step:p.step masked)
   with Invalid_argument _ ->
     invalid_arg "Pdf.restrict: window carries no probability mass"
 

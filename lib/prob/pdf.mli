@@ -99,3 +99,49 @@ val ks_distance : t -> t -> float
 
 val pp : Format.formatter -> t -> unit
 (** Short human-readable summary (support, mean, std). *)
+
+(** {1 Operation tracing}
+
+    A process-wide observation hook used by the PDF sanitizer
+    ([Ssta_check.Pdfsan]).  Every grid operation in {!Pdf} and
+    [Combine] reports its result together with a shadow interval — the
+    support the output must be contained in, derived independently by
+    interval arithmetic on the inputs — and bookkeeping for mass
+    conservation.  When no hook is installed the instrumentation is a
+    single [ref] read per operation. *)
+
+type trace_event = {
+  trace_op : string;  (** originating operation, e.g. ["combine.sum"] *)
+  trace_expected : (float * float) option;
+      (** shadow support interval the output must lie within, when the
+          operation admits one *)
+  trace_mass_in : float option;
+      (** pre-normalization mass the operation accumulated; should be 1
+          within rounding for mass-conserving operations *)
+  trace_clamped : float;
+      (** mass that landed strictly outside the target grid and was
+          clamped to a boundary cell *)
+  trace_output : t;  (** the operation's result *)
+}
+
+val trace_install : (trace_event -> unit) -> unit
+(** Install the hook (replacing any previous one). *)
+
+val trace_uninstall : unit -> unit
+(** Remove the hook. *)
+
+val trace_active : unit -> bool
+(** Whether a hook is currently installed. *)
+
+val trace_emit : trace_event -> unit
+(** Feed one event to the installed hook (no-op without one).  Exposed
+    for [Combine] and for fault-injection in tests. *)
+
+val traced :
+  op:string ->
+  ?expected:float * float ->
+  ?mass_in:float ->
+  ?clamped:float ->
+  t ->
+  t
+(** [traced ~op p] reports [p] to the hook and returns it. *)

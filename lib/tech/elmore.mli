@@ -27,6 +27,25 @@ val gate_delay : Gate.electrical -> Params.t -> float
 val nominal_delay : Gate.electrical -> float
 (** Delay at {!Params.nominal}. *)
 
+val delay_bounds :
+  ?sigmas:Params.t -> bound:float -> Gate.electrical -> float * float
+(** [delay_bounds ~bound e] is the exact range [(lo, hi)] of
+    [gate_delay e] over the axis-aligned parameter box
+    [nominal +- bound * sigma] (componentwise, [sigmas] defaulting to
+    {!Params.sigmas}).  Exactness follows from monotonicity: the delay is
+    increasing in [t_ox], [L_eff], [V_Tn], [V_Tp] and decreasing in
+    [V_dd], so the extrema are attained at the fast corner (thin/short
+    device, high supply, low thresholds) and the slow corner (the
+    opposite).
+
+    Very wide boxes are handled soundly: fast-corner thresholds below
+    zero clamp to zero, and when the fast corner's geometry crosses zero
+    the lower bound is 0 (the delay is linear in [t_ox * L_eff] with a
+    positive voltage factor, so 0 is the infimum over the physical part
+    of the box).  Raises [Invalid_argument] if the slow corner — or a
+    fast corner with positive geometry — leaves the delay model's
+    validity domain. *)
+
 val path_delay : Gate.electrical list -> Params.t -> float
 (** Sum of gate delays with {e shared} parameters — the fully correlated
     evaluation used for corner analysis (Eq. 5 with all gates at the same

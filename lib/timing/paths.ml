@@ -37,23 +37,41 @@ let recompute_delay g nodes =
    of the uncapped ranking, not an arbitrary subset of it. *)
 
 type cand = {
-  bound : float;
+  bucket : int;  (** optimistic delay bound quantized to the tie tick *)
+  depth : int;  (** suffix length — larger is closer to completion *)
   head : int;
   tail_delay : float;
   suffix : int list;  (** [head] first, output last *)
 }
 
-(* Priority: larger bound first; ties broken on the suffix node sequence
-   so the emission order is deterministic regardless of caps. *)
+(* Priority: larger bound first, compared through a fixed quantization
+   grid rather than exactly.  Two partial paths of the same full path
+   set accumulate [tail_delay] in different orders, so exact-tied paths
+   (ubiquitous in symmetric circuits — c6288 has ~1e20 of them) get
+   bounds differing by a few ulp.  Comparing raw floats then orders the
+   frontier by that noise, which degenerates into a breadth-first sweep
+   of the whole tied cone: on c6288 the search pops tens of millions of
+   candidates without ever completing a path.  Bucketing by a fixed tick
+   (transitive, unlike an epsilon-compare) restores honest ties, and the
+   depth tie-break makes tied exploration depth-first, so every
+   completion costs O(path length) pops.  The final suffix comparison
+   keeps the order total and deterministic. *)
 let cand_before a b =
-  a.bound > b.bound
-  || (a.bound = b.bound && List.compare Int.compare a.suffix b.suffix < 0)
+  a.bucket > b.bucket
+  || (a.bucket = b.bucket
+      && (a.depth > b.depth
+          || (a.depth = b.depth
+              && List.compare Int.compare a.suffix b.suffix < 0)))
 
 module Heap = struct
   type t = { mutable items : cand array; mutable size : int }
 
   let dummy =
-    { bound = neg_infinity; head = -1; tail_delay = 0.0; suffix = [] }
+    { bucket = min_int;
+      depth = 0;
+      head = -1;
+      tail_delay = 0.0;
+      suffix = [] }
 
   let create () = { items = Array.make 64 dummy; size = 0 }
   let is_empty h = h.size = 0
@@ -111,12 +129,20 @@ let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) g
   let critical = Longest_path.critical_delay g labels in
   let eps = 1e-15 +. (1e-12 *. Float.abs critical) in
   let threshold = critical -. slack -. eps in
+  (* Tie tick for the priority order: well above ulp-level summation
+     noise (~1e-22 s at gate-delay scale), well below real inter-path
+     delay differences. *)
+  let bucket_of bound = int_of_float (Float.floor (bound /. eps)) in
   let heap = Heap.create () in
   Array.iter
     (fun o ->
       if labels.(o) >= threshold then
         Heap.push heap
-          { bound = labels.(o); head = o; tail_delay = 0.0; suffix = [ o ] })
+          { bucket = bucket_of labels.(o);
+            depth = 1;
+            head = o;
+            tail_delay = 0.0;
+            suffix = [ o ] })
     g.Graph.circuit.Netlist.outputs;
   let collected = ref [] in
   let count = ref 0 in
@@ -148,7 +174,11 @@ let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) g
             let bound = tail_delay +. labels.(u) in
             if bound >= threshold then
               Heap.push heap
-                { bound; head = u; tail_delay; suffix = u :: c.suffix })
+                { bucket = bucket_of bound;
+                  depth = c.depth + 1;
+                  head = u;
+                  tail_delay;
+                  suffix = u :: c.suffix })
           (Graph.fanins g c.head)
       end
     end

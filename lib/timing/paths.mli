@@ -12,10 +12,15 @@
 
     Enumeration is best-first: candidates are expanded in decreasing
     order of their optimistic delay bound, so paths are emitted longest
-    first and a capped enumeration is exactly a prefix of the uncapped
-    ranking.  An optional [should_stop] callback lets callers impose
-    wall-clock deadlines; a stopped run returns the paths found so far
-    with [deadline_hit] set. *)
+    first and a capped enumeration is a prefix of the uncapped ranking
+    at tie-tick granularity — bounds are compared through a fixed
+    quantization tick (1e-15 s + 1e-12 relative), below which paths
+    count as tied and are explored depth-first.  Without the tick,
+    ulp-level float noise between exactly-tied paths (c6288 has ~1e20)
+    degenerates the search into a breadth-first sweep that never
+    completes a path.  An optional [should_stop] callback lets callers
+    impose wall-clock deadlines; a stopped run returns the paths found
+    so far with [deadline_hit] set. *)
 
 type path = {
   nodes : int array;  (** primary input first, primary output last *)

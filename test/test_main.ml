@@ -23,5 +23,6 @@ let () =
       Test_dual_vt.suite;
       Test_sequential.suite;
       Test_lint.suite;
+      Test_check.suite;
       Test_runtime.suite;
       Test_faults.suite ]
