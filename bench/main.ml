@@ -16,6 +16,7 @@ module Dist = Ssta_prob.Dist
 module Combine = Ssta_prob.Combine
 module Stats = Ssta_prob.Stats
 module Rng = Ssta_prob.Rng
+module Pool = Ssta_parallel.Pool
 open Ssta_core
 
 let section name = Fmt.pr "@.=== %s ===@." name
@@ -418,6 +419,87 @@ let pipeline () =
           paper's ~55%%)@."
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling: the whole methodology at several worker counts.   *)
+
+(* Wall-clock and speedup per benchmark at jobs in {1, 2, 4, 8}, with a
+   byte-identity check of the deterministic JSON report across worker
+   counts, written to BENCH_parallel.json.  Speedups are honest numbers
+   for the host this ran on: on a single-core machine every speedup is
+   ~1.0 by construction (extra domains just time-share the core). *)
+let parallel_jobs = [ 1; 2; 4; 8 ]
+
+let parallel () =
+  section
+    (Printf.sprintf
+       "Parallel scaling at jobs in {1, 2, 4, 8} (host: %d core(s))"
+       (Pool.default_jobs ()));
+  let max_paths = 2000 in
+  Fmt.pr "  %-7s" "name";
+  List.iter (fun j -> Fmt.pr " %8s" (Printf.sprintf "j=%d (s)" j))
+    parallel_jobs;
+  Fmt.pr " %8s %13s@." "speedup4" "deterministic";
+  let rows =
+    List.map
+      (fun (spec : Iscas85.spec) ->
+        let circuit, placement = Iscas85.build_placed spec in
+        let config =
+          Config.with_confidence Config.default
+            spec.Iscas85.paper.Iscas85.confidence
+        in
+        let config = { config with Config.max_paths } in
+        let runs =
+          List.map
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun pool ->
+                  let t0 = Unix.gettimeofday () in
+                  let m = Methodology.run ~config ~placement ~pool circuit in
+                  let wall = Unix.gettimeofday () -. t0 in
+                  (jobs, wall, Report.json_report m)))
+            parallel_jobs
+        in
+        let _, wall1, report1 = List.hd runs in
+        let deterministic =
+          List.for_all (fun (_, _, r) -> String.equal r report1) runs
+        in
+        let speedup wall = if wall > 0.0 then wall1 /. wall else 1.0 in
+        Fmt.pr "  %-7s" spec.Iscas85.name;
+        List.iter (fun (_, w, _) -> Fmt.pr " %8.3f" w) runs;
+        let speedup4 =
+          match List.find_opt (fun (j, _, _) -> j = 4) runs with
+          | Some (_, w, _) -> speedup w
+          | None -> 1.0
+        in
+        Fmt.pr " %7.2fx %13s@." speedup4
+          (if deterministic then "yes" else "NO");
+        (spec.Iscas85.name, runs, deterministic))
+      Iscas85.all
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  let out fmt = Printf.ksprintf (output_string oc) fmt in
+  out "{\"host_cores\":%d,\"max_paths\":%d,\"benchmarks\":[\n"
+    (Pool.default_jobs ()) max_paths;
+  List.iteri
+    (fun i (name, runs, deterministic) ->
+      let _, wall1, _ = List.hd runs in
+      out "  {\"name\":\"%s\",\"deterministic\":%b,\"runs\":[%s]}%s\n" name
+        deterministic
+        (String.concat ","
+           (List.map
+              (fun (j, w, _) ->
+                Printf.sprintf
+                  "{\"jobs\":%d,\"wall_s\":%.4f,\"speedup\":%.3f}" j w
+                  (if w > 0.0 then wall1 /. w else 1.0))
+              runs))
+        (if i = List.length rows - 1 then "" else ",");
+      ())
+    rows;
+  out "]}\n";
+  close_out oc;
+  Fmt.pr "  wrote BENCH_parallel.json@.";
+  if List.exists (fun (_, _, d) -> not d) rows then
+    failwith "parallel runs diverged from the sequential report"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per artifact.                 *)
 
 let bechamel_suite () =
@@ -502,7 +584,7 @@ let artifacts =
     ("mc-validation", mc_validation); ("block-based", block_based);
     ("shapes", shapes); ("wires", wires);
     ("yield-criticality", yield_criticality); ("dual-vt", dual_vt);
-    ("pipeline", pipeline) ]
+    ("pipeline", pipeline); ("parallel", parallel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

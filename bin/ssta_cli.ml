@@ -32,6 +32,7 @@ module Err = Ssta_runtime.Ssta_error
 module Rbudget = Ssta_runtime.Budget
 module Fault = Ssta_runtime.Fault
 module Health = Ssta_runtime.Health
+module Pool = Ssta_parallel.Pool
 
 (* Exit-code convention (documented in the README):
      0  success
@@ -156,6 +157,18 @@ let seed_opt =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
          ~doc:"Random seed, threaded into circuit generators, \
                Monte-Carlo sampling and fault injection.")
+
+let jobs_opt =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel phases (0 = all \
+               available cores).  Results are bit-identical at any \
+               value; only wall-clock time changes.")
+
+(* [--jobs 0] means "all cores"; a pool is created either way so the
+   parallel code path is always the one exercised. *)
+let with_jobs jobs f =
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  Pool.with_pool ~jobs f
 
 (* Budget options (run command): wall-clock deadline, enumeration cap
    (shared with --max-paths) and PDF cell cap. *)
@@ -327,7 +340,7 @@ let lint_cmd =
 (* check *)
 let check_cmd =
   let action name bench verilog def qi qj c k mp inter_fraction shape format
-      min_severity no_pdfsan path_limit inject list_checks =
+      min_severity no_pdfsan path_limit jobs inject list_checks =
     guarded @@ fun () ->
     if list_checks then begin
       Lint_reporter.rule_table Fmt.stdout Checker.all_checks;
@@ -339,9 +352,14 @@ let check_cmd =
         config_of ~quality_intra:qi ~quality_inter:qj ~confidence:c
           ~corner_k:k ~max_paths:mp ~inter_fraction ~shape
       in
+      let par_jobs =
+        if jobs = 0 then Some (Pool.default_jobs ())
+        else if jobs > 1 then Some jobs
+        else None
+      in
       let input =
         Checker.input ~config ~placement ~pdfsan:(not no_pdfsan) ~path_limit
-          ?inject circuit
+          ?par_jobs ?inject circuit
       in
       let report = Checker.run input in
       let circuit_name = circuit.Ssta_circuit.Netlist.name in
@@ -412,6 +430,13 @@ let check_cmd =
          & info [ "list-checks" ]
              ~doc:"Print the check catalogue and exit.")
   in
+  let check_jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Also certify parallel determinism: rerun the flow on \
+                   an N-worker pool (0 = all cores) and require a \
+                   byte-identical report.  --jobs 1 skips the rerun.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Whole-program dataflow verification: interval arrival-time \
@@ -421,13 +446,13 @@ let check_cmd =
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
-          $ format $ min_severity $ no_pdfsan $ path_limit $ inject
-          $ list_checks)
+          $ format $ min_severity $ no_pdfsan $ path_limit $ check_jobs
+          $ inject $ list_checks)
 
 (* run *)
 let run_cmd =
   let action name bench verilog def spef qi qj c k mp inter_fraction shape
-      wires deadline max_cells strict_budget verbose =
+      wires deadline max_cells strict_budget jobs json verbose =
     guarded @@ fun () ->
     let circuit, placement = load_circuit ?verilog ~bench ~def name in
     let config =
@@ -457,15 +482,24 @@ let run_cmd =
       Option.map (fun s -> ok_or_raise (Spef.apply_res s circuit)) spef_t
     in
     let m =
-      ok_or_raise
-        (Methodology.analyze ~config ~budget ~placement ?wire ?wire_caps
-           circuit)
+      with_jobs jobs (fun pool ->
+          ok_or_raise
+            (Methodology.analyze ~config ~budget ~placement ?wire ?wire_caps
+               ~pool circuit))
     in
-    Report.pp_table2_header Fmt.stdout ();
-    Report.pp_table2_row Fmt.stdout (Report.table2_row m);
-    if Methodology.is_degraded m || not (Health.is_clean m.Methodology.health)
-    then Report.pp_run_status Fmt.stdout m;
-    if verbose then begin
+    if json then begin
+      print_string (Report.json_report m);
+      print_newline ()
+    end
+    else begin
+      Report.pp_table2_header Fmt.stdout ();
+      Report.pp_table2_row Fmt.stdout (Report.table2_row m);
+      if
+        Methodology.is_degraded m
+        || not (Health.is_clean m.Methodology.health)
+      then Report.pp_run_status Fmt.stdout m
+    end;
+    if verbose && not json then begin
       let d = m.Methodology.det_critical in
       Fmt.pr "deterministic critical path: delay %.3f ps, %d gates@."
         (Elmore.ps d.Path_analysis.det_delay)
@@ -495,12 +529,19 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print path details.")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the deterministic JSON report instead of the \
+                   table: byte-identical across --jobs values for the \
+                   same inputs.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run the full statistical methodology.")
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ spef_opt $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
           $ wire_opt $ deadline_opt $ max_cells_opt $ strict_budget_opt
-          $ verbose)
+          $ jobs_opt $ json $ verbose)
 
 (* table2 *)
 let table2_cmd =
@@ -599,7 +640,7 @@ let sweep_cmd =
 
 (* mc *)
 let mc_cmd =
-  let action name samples seed =
+  let action name samples seed jobs =
     guarded @@ fun () ->
     let circuit, placement = load_circuit ~bench:None ~def:None name in
     let sta = Ssta_timing.Sta.analyze circuit in
@@ -610,8 +651,10 @@ let mc_cmd =
     let sampler =
       Monte_carlo.sampler Config.default sta.Ssta_timing.Sta.graph placement
     in
-    let rng = Ssta_prob.Rng.create seed in
-    let v = Monte_carlo.validate_path ~n:samples sampler rng a in
+    let v =
+      with_jobs jobs (fun pool ->
+          Monte_carlo.validate_path_sharded ~n:samples ~pool ~seed sampler a)
+    in
     Fmt.pr "critical path of %s, %d exact Monte-Carlo samples:@." name samples;
     Fmt.pr "  analytic: mean %.3f ps, std %.3f ps@."
       (Elmore.ps a.Path_analysis.mean)
@@ -631,7 +674,7 @@ let mc_cmd =
   in
   Cmd.v (Cmd.info "mc" ~doc:"Validate the analytic path PDF against exact \
                              Monte-Carlo sampling.")
-    Term.(const action $ circuit_arg $ samples $ seed_opt)
+    Term.(const action $ circuit_arg $ samples $ seed_opt $ jobs_opt)
 
 (* block *)
 let block_cmd =

@@ -1,0 +1,12 @@
+(* The worked example of docs/HANDBOOK.md section 4, verbatim. *)
+
+let circuit = Ssta_circuit.Iscas85.(build (Option.get (by_name "c432")))
+let m = Ssta_core.Methodology.run ~config:Ssta_core.Config.default circuit
+
+let () =
+  Printf.printf "det %.3f ps, 3-sigma point %.3f ps, %d paths\n"
+    (1e12 *. m.Ssta_core.Methodology.det_critical.Ssta_core.Path_analysis.det_delay)
+    (1e12
+    *. m.Ssta_core.Methodology.prob_critical.Ssta_core.Ranking.analysis
+         .Ssta_core.Path_analysis.confidence_point)
+    (Ssta_core.Methodology.num_critical_paths m)

@@ -10,6 +10,8 @@ module Config = Ssta_core.Config
 module Methodology = Ssta_core.Methodology
 module Path_analysis = Ssta_core.Path_analysis
 module Ranking = Ssta_core.Ranking
+module Report_ = Ssta_core.Report
+module Pool = Ssta_parallel.Pool
 
 type injection = Bad_budget | Bad_placement | Corrupt_pdf
 
@@ -19,15 +21,16 @@ type input = {
   config : Config.t;
   pdfsan : bool;
   path_limit : int;
+  par_jobs : int option;
   inject : injection option;
 }
 
 let input ?(config = Config.default) ?placement ?(pdfsan = true)
-    ?(path_limit = 64) ?inject circuit =
+    ?(path_limit = 64) ?par_jobs ?inject circuit =
   let placement =
     match placement with Some pl -> pl | None -> Placement.place circuit
   in
-  { circuit; placement; config; pdfsan; path_limit; inject }
+  { circuit; placement; config; pdfsan; path_limit; par_jobs; inject }
 
 type report = {
   diagnostics : D.t list;
@@ -55,6 +58,9 @@ let own_checks =
       interval");
     ("check-health",
      "numerical-health events of the certified run are surfaced");
+    ("check-parallel-determinism",
+     "a parallel methodology run reproduces the sequential run's \
+      report byte for byte");
     ("check-internal", "the verifier itself failed") ]
 
 let all_checks =
@@ -213,7 +219,9 @@ let certify_path (bounds : Arrival_bounds.t) ~label (pa : Path_analysis.t) add =
 
 let run inp =
   let inp = apply_injection inp in
-  let { circuit; placement; config; pdfsan; path_limit; inject } = inp in
+  let { circuit; placement; config; pdfsan; path_limit; par_jobs; inject } =
+    inp
+  in
   let ds = ref [] in
   let add d = ds := d :: !ds in
   let nodes_certified = ref 0 and paths_certified = ref 0 in
@@ -274,6 +282,39 @@ let run inp =
                        limit for full coverage)"
                       limit total));
             Health.merge ~into:health m.Methodology.health;
+            (* Parallel determinism: rerun the whole flow on a worker
+               pool (without the sanitizer — its trace hook is a
+               process-global that must not observe worker domains) and
+               demand a byte-identical deterministic report: same PDFs,
+               same ranking, same degradations, same health counters. *)
+            (match par_jobs with
+            | None -> ()
+            | Some jobs -> (
+                let par =
+                  Pool.with_pool ~jobs (fun pool ->
+                      Methodology.analyze ~config ~placement ~pool circuit)
+                in
+                match par with
+                | Error e -> add (D.of_error e)
+                | Ok p ->
+                    let js = Report_.json_report m in
+                    let jp = Report_.json_report p in
+                    if not (String.equal js jp) then begin
+                      let n = Int.min (String.length js) (String.length jp) in
+                      let i = ref 0 in
+                      while !i < n && js.[!i] = jp.[!i] do
+                        incr i
+                      done;
+                      add
+                        (D.make ~rule:"check-parallel-determinism"
+                           ~severity:D.Error ~location:D.Circuit
+                           (Printf.sprintf
+                              "parallel run (%d jobs) diverges from the \
+                               sequential report at byte %d (lengths %d \
+                               vs %d)"
+                              jobs !i (String.length js)
+                              (String.length jp)))
+                    end));
             if not (Health.is_clean m.Methodology.health) then begin
               let defect, op = Health.worst_defect m.Methodology.health in
               add

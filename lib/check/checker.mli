@@ -38,6 +38,10 @@ type input = {
   path_limit : int;
       (** certify at most this many ranked paths (0 = all); a capped
           certification is reported as an info diagnostic *)
+  par_jobs : int option;
+      (** when [Some jobs], rerun the flow on a [jobs]-worker pool and
+          demand a byte-identical deterministic report
+          ([check-parallel-determinism]) *)
   inject : injection option;
 }
 
@@ -46,11 +50,12 @@ val input :
   ?placement:Ssta_circuit.Placement.t ->
   ?pdfsan:bool ->
   ?path_limit:int ->
+  ?par_jobs:int ->
   ?inject:injection ->
   Ssta_circuit.Netlist.t ->
   input
 (** Defaults: {!Ssta_core.Config.default} configuration, computed
-    placement, pdfsan on, [path_limit] 64. *)
+    placement, pdfsan on, [path_limit] 64, parallel certification off. *)
 
 type report = {
   diagnostics : Ssta_lint.Diagnostic.t list;

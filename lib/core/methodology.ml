@@ -5,6 +5,7 @@ module Netlist = Ssta_circuit.Netlist
 module Rbudget = Ssta_runtime.Budget
 module Health = Ssta_runtime.Health
 module Err = Ssta_runtime.Ssta_error
+module Pool = Ssta_parallel.Pool
 
 type status = Complete | Degraded of Rbudget.degradation list
 
@@ -29,9 +30,7 @@ let is_degraded t = match t.status with Complete -> false | Degraded _ -> true
 let degradations t =
   match t.status with Complete -> [] | Degraded ds -> ds
 
-exception Out_of_time
-
-let run_tracked ~config ~tracker ?placement ?wire ?wire_caps circuit =
+let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool circuit =
   let started = Unix.gettimeofday () in
   let budget = Rbudget.limits tracker in
   let degradations = ref [] in
@@ -82,7 +81,7 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps circuit =
   let max_paths = Rbudget.effective_max_paths budget config.Config.max_paths in
   let should_stop = Rbudget.stop_check tracker in
   let enumeration =
-    Sta.near_critical ~max_paths ~should_stop sta ~slack
+    Sta.near_critical ~max_paths ~should_stop ?pool sta ~slack
   in
   let num_enumerated = List.length enumeration.Paths.paths in
   if enumeration.Paths.deadline_hit then
@@ -100,31 +99,50 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps circuit =
            detail =
              Printf.sprintf "budget capped enumeration at %d paths" max_paths });
   (* Step 5: statistical analysis of each, then confidence ranking.
-     Deadline checked between paths so a late breach keeps the analyzed
-     prefix. *)
-  let analyses = ref [] in
-  let analyzed = ref 0 in
-  (try
-     List.iter
-       (fun p ->
-         if Rbudget.out_of_time tracker then raise Out_of_time;
-         let a =
-           if p.Paths.nodes = det_critical.Path_analysis.path.Paths.nodes then
-             det_critical
-           else Path_analysis.analyze ctx p
-         in
-         analyses := a :: !analyses;
-         incr analyzed)
-       enumeration.Paths.paths
-   with Out_of_time ->
-     degrade
-       (Rbudget.Deadline_hit
-          { phase = "path-analysis";
-            detail =
-              Printf.sprintf "analyzed %d of %d enumerated paths" !analyzed
-                num_enumerated }));
+     The paths fan out across the pool one per chunk; each gets a
+     private health ledger, merged back in path order, so the ledger —
+     like every analysis — is identical to a sequential run's.  The
+     deadline is polled per chunk: a late breach keeps the contiguous
+     analyzed prefix, exactly as the historical sequential loop did. *)
+  let paths_arr = Array.of_list enumeration.Paths.paths in
+  let ledgers = Array.map (fun _ -> Health.create ()) paths_arr in
+  let analyze_one i =
+    let p = paths_arr.(i) in
+    if p.Paths.nodes = det_critical.Path_analysis.path.Paths.nodes then
+      det_critical
+    else Path_analysis.analyze ~health:ledgers.(i) ctx p
+  in
+  let prefix, stopped =
+    match pool with
+    | Some pool ->
+        Pool.map_prefix pool ~chunk:1
+          ~should_stop:(fun () -> Rbudget.out_of_time tracker)
+          analyze_one
+          (Array.init (Array.length paths_arr) Fun.id)
+    | None ->
+        let out = ref [] and stopped = ref false in
+        (try
+           Array.iteri
+             (fun i _ ->
+               if Rbudget.out_of_time tracker then begin
+                 stopped := true;
+                 raise Exit
+               end;
+               out := analyze_one i :: !out)
+             paths_arr
+         with Exit -> ());
+        (Array.of_list (List.rev !out), !stopped)
+  in
+  Array.iteri (fun i _ -> Health.merge ~into:health ledgers.(i)) prefix;
+  if stopped then
+    degrade
+      (Rbudget.Deadline_hit
+         { phase = "path-analysis";
+           detail =
+             Printf.sprintf "analyzed %d of %d enumerated paths"
+               (Array.length prefix) num_enumerated });
   let analyses =
-    match List.rev !analyses with [] -> [ det_critical ] | l -> l
+    match Array.to_list prefix with [] -> [ det_critical ] | l -> l
   in
   (* When paths were dropped, the run effectively used a smaller
      confidence C: report the value actually covered by the kept set. *)
@@ -167,19 +185,19 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps circuit =
     status;
     health }
 
-let run ?(config = Config.default) ?placement ?wire ?wire_caps circuit =
+let run ?(config = Config.default) ?placement ?wire ?wire_caps ?pool circuit =
   run_tracked ~config
     ~tracker:(Rbudget.start Rbudget.unlimited)
-    ?placement ?wire ?wire_caps circuit
+    ?placement ?wire ?wire_caps ?pool circuit
 
 let analyze ?(config = Config.default) ?(budget = Rbudget.unlimited) ?placement
-    ?wire ?wire_caps circuit =
+    ?wire ?wire_caps ?pool circuit =
   match Rbudget.validate budget with
   | Error e -> Error e
   | Ok () ->
       Err.protect ~context:"Methodology.analyze" (fun () ->
           run_tracked ~config ~tracker:(Rbudget.start budget) ?placement ?wire
-            ?wire_caps circuit)
+            ?wire_caps ?pool circuit)
 
 let num_critical_paths t = Array.length t.ranked
 

@@ -13,7 +13,17 @@
     budget never aborts the flow: the PDF resolution is tightened first
     (cell cap), then the enumeration is capped, then the per-path
     analysis loop stops at the deadline — each degradation keeps the
-    already-computed subset and is recorded in {!field-status}. *)
+    already-computed subset and is recorded in {!field-status}.
+
+    Steps 4 and 5 optionally fan out over an {!Ssta_parallel.Pool.t}:
+    enumeration parallelizes per-endpoint stream prefetching, and
+    per-path analysis distributes paths one per chunk with private
+    health ledgers merged back in path order.  Both reductions are
+    scheduling-independent, so a run with a pool returns results —
+    PDFs, ranking, ledger, degradations — identical to the sequential
+    run; only wall-clock time changes.  Budget deadlines keep working
+    under parallelism: the stop predicate is polled cooperatively per
+    chunk and a breach keeps the contiguous analyzed prefix. *)
 
 type status =
   | Complete
@@ -42,6 +52,7 @@ val run :
   ?placement:Ssta_circuit.Placement.t ->
   ?wire:Ssta_tech.Wire.params ->
   ?wire_caps:float array ->
+  ?pool:Ssta_parallel.Pool.t ->
   Ssta_circuit.Netlist.t ->
   t
 (** Execute the flow (default config {!Config.default}; default placement
@@ -49,7 +60,9 @@ val run :
     come from the placement-aware interconnect model
     ({!Ssta_timing.Graph.of_placed}); when [wire_caps] is given (e.g.
     from {!Ssta_circuit.Spef.apply}), each node uses that explicit wire
-    capacitance.  The two are mutually exclusive. *)
+    capacitance.  The two are mutually exclusive.  [pool] parallelizes
+    steps 4–5 without changing any result bit (see the module
+    preamble). *)
 
 val analyze :
   ?config:Config.t ->
@@ -57,13 +70,14 @@ val analyze :
   ?placement:Ssta_circuit.Placement.t ->
   ?wire:Ssta_tech.Wire.params ->
   ?wire_caps:float array ->
+  ?pool:Ssta_parallel.Pool.t ->
   Ssta_circuit.Netlist.t ->
   (t, Ssta_runtime.Ssta_error.t) result
 (** Result-returning entry point: like {!run}, but never raises —
     invalid arguments and numerical failures come back as typed errors —
     and enforces [budget] (default {!Ssta_runtime.Budget.unlimited}).
     A budget breach degrades the run (see {!status}) but still returns
-    [Ok] with the truthful partial answer. *)
+    [Ok] with the truthful partial answer.  [pool] as in {!run}. *)
 
 val is_degraded : t -> bool
 

@@ -131,3 +131,20 @@ let validate_path ?(n = 20_000) s rng (analysis : Path_analysis.t) =
     std_err = Float.abs (sampled.Stats.std -. Pdf.std pdf);
     ks = Stats.ks_against_pdf samples pdf;
     sampled }
+
+let validate_path_sharded ?(n = 20_000) ?pool ~seed s
+    (analysis : Path_analysis.t) =
+  (* Per-die parameter draws live in a per-call cache, so dies shard
+     freely across domains; the shard layout (Mc.run_sharded) makes the
+     sample array identical at any worker count. *)
+  let r =
+    Ssta_prob.Mc.run_sharded ?pool ~n ~seed (fun rng ->
+        path_delay_once s rng analysis.Path_analysis.path)
+  in
+  let samples = r.Ssta_prob.Mc.samples in
+  let sampled = r.Ssta_prob.Mc.summary in
+  let pdf = analysis.Path_analysis.total_pdf in
+  { mean_err = Float.abs (sampled.Stats.mean -. Pdf.mean pdf);
+    std_err = Float.abs (sampled.Stats.std -. Pdf.std pdf);
+    ks = Stats.ks_against_pdf samples pdf;
+    sampled }

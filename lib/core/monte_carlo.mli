@@ -47,3 +47,16 @@ val validate_path :
   ?n:int -> sampler -> Ssta_prob.Rng.t -> Path_analysis.t -> validation
 (** Compare a path's analytic total PDF with [n] (default 20_000) exact
     samples. *)
+
+val validate_path_sharded :
+  ?n:int ->
+  ?pool:Ssta_parallel.Pool.t ->
+  seed:int ->
+  sampler ->
+  Path_analysis.t ->
+  validation
+(** Like {!validate_path} but drawing the dies through
+    {!Ssta_prob.Mc.run_sharded}: the sample budget splits into
+    fixed-size shards with per-shard RNG streams derived from [seed],
+    optionally evaluated on [pool].  The validation numbers are
+    bit-identical at any worker count (this is [ssta mc --jobs]). *)

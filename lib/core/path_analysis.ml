@@ -48,17 +48,19 @@ let context ?health config graph placement =
 
 let health ctx = ctx.health
 
-let analyze ctx path =
+let analyze ?health ctx path =
+  (* [health] overrides the context ledger so parallel callers can give
+     each path a private ledger and merge them back in a fixed order. *)
+  let health = match health with Some h -> h | None -> ctx.health in
   let coeffs = Path_coeffs.of_path ctx.graph ctx.placement ctx.layers path in
   let intra_pdf =
-    Guard.check ctx.health ~op:"intra pdf" (Intra.pdf ctx.config coeffs)
+    Guard.check health ~op:"intra pdf" (Intra.pdf ctx.config coeffs)
   in
   let inter_pdf =
-    Guard.check ctx.health ~op:"inter pdf" (Inter.of_coeffs ctx.tables coeffs)
+    Guard.check health ~op:"inter pdf" (Inter.of_coeffs ctx.tables coeffs)
   in
   let total_pdf =
-    Guard.sum ~n:ctx.config.Config.quality_intra ctx.health inter_pdf
-      intra_pdf
+    Guard.sum ~n:ctx.config.Config.quality_intra health inter_pdf intra_pdf
   in
   let mean = Pdf.mean total_pdf and std = Pdf.std total_pdf in
   let worst_case =

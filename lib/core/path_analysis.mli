@@ -39,12 +39,18 @@ val health : context -> Ssta_runtime.Health.t
 (** The ledger accumulated by every {!analyze} call through this
     context. *)
 
-val analyze : context -> Ssta_timing.Paths.path -> t
+val analyze :
+  ?health:Ssta_runtime.Health.t -> context -> Ssta_timing.Paths.path -> t
 (** Full statistical analysis of one path.  The intra/inter PDFs and
     their convolution run through {!Ssta_runtime.Guard}: repairable
     numerical damage is fixed and recorded in the context's health
     ledger; unrepairable damage raises
-    [Ssta_runtime.Ssta_error.Error (Numeric _)]. *)
+    [Ssta_runtime.Ssta_error.Error (Numeric _)].
+
+    [health] redirects the guard reports away from the context ledger.
+    Parallel drivers hand every path a private ledger and
+    {!Ssta_runtime.Health.merge} them back in path order, so the
+    context ledger ends up identical to a sequential run's. *)
 
 val overestimation_pct : t -> float
 (** [(worst_case - confidence_point) / confidence_point * 100] — the

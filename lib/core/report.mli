@@ -64,3 +64,15 @@ val rank_scatter_csv : (int * int) array -> string
 val pp_run_status : Format.formatter -> Methodology.t -> unit
 (** Degradation events (budget breaches) and the numerical-health ledger
     of a run — the robustness footer of the run report. *)
+
+val json_report : Methodology.t -> string
+(** Machine-readable report of a full run: config, critical delay,
+    sigma_C, degradations, health counters, the analysis of every
+    ranked path and the probabilistic critical path's total PDF.
+
+    Deterministic by construction — floats are printed with round-trip
+    precision and nothing host- or time-dependent (in particular no
+    wall-clock) is included — so two runs that computed the same
+    results emit byte-identical strings.  The parallel determinism
+    property tests diff this artifact between [--jobs 1] and
+    [--jobs N] runs. *)

@@ -1,0 +1,199 @@
+(* A fixed pool of worker domains fed by chunked work regions.
+
+   Determinism contract: workers only ever write results into
+   caller-provided slots indexed by input position; every reduction over
+   those slots happens on the caller in index order.  Scheduling (which
+   worker runs which chunk, and in what interleaving) is thus invisible
+   in the results.  See pool.mli. *)
+
+type job = {
+  chunks : int;
+  run_chunk : int -> unit;
+  next : int Atomic.t;  (* next chunk index to claim *)
+  pending : int Atomic.t;  (* chunks not yet finished *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_cv : Condition.t;  (* a new work region was posted, or shutdown *)
+  done_cv : Condition.t;  (* the last chunk of a region finished *)
+  mutable current : job option;
+  mutable generation : int;  (* bumped when a region is posted *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  (* First failure by chunk index, re-raised deterministically. *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Claim and execute chunks until the region's counter is exhausted.
+   Called by workers and by the posting caller alike. *)
+let execute t job =
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.chunks then continue_ := false
+    else begin
+      (try job.run_chunk i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         (match t.failure with
+         | Some (j, _, _) when j <= i -> ()
+         | Some _ | None -> t.failure <- Some (i, e, bt));
+         Mutex.unlock t.mutex);
+      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.done_cv;
+        Mutex.unlock t.mutex
+      end
+    end
+  done
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.mutex;
+  while
+    (not t.stopping) && (t.generation = last_gen || t.current = None)
+  do
+    Condition.wait t.work_cv t.mutex
+  done;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    let gen = t.generation in
+    let job = match t.current with Some j -> j | None -> assert false in
+    Mutex.unlock t.mutex;
+    execute t job;
+    worker_loop t gen
+  end
+
+let create ?jobs () =
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let jobs = Int.min jobs 128 in
+  let t =
+    { jobs;
+      mutex = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      generation = 0;
+      stopping = false;
+      workers = [||];
+      failure = None }
+  in
+  if jobs > 1 then
+    t.workers <-
+      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  if Array.length t.workers > 0 || not t.stopping then begin
+    Mutex.lock t.mutex;
+    let need_join = not t.stopping in
+    t.stopping <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.mutex;
+    if need_join then begin
+      Array.iter Domain.join t.workers;
+      t.workers <- [||]
+    end
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run t ~chunks f =
+  if chunks < 0 then invalid_arg "Pool.run: chunks must be >= 0";
+  if chunks = 0 then ()
+  else if t.jobs = 1 || chunks = 1 then
+    for i = 0 to chunks - 1 do
+      f i
+    done
+  else begin
+    let job =
+      { chunks; run_chunk = f; next = Atomic.make 0;
+        pending = Atomic.make chunks }
+    in
+    Mutex.lock t.mutex;
+    t.failure <- None;
+    t.current <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.mutex;
+    execute t job;
+    Mutex.lock t.mutex;
+    while Atomic.get job.pending > 0 do
+      Condition.wait t.done_cv t.mutex
+    done;
+    t.current <- None;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let default_chunk t n = Int.max 1 (n / (t.jobs * 8))
+
+let chunk_bounds ~chunk ~n ci =
+  let lo = ci * chunk in
+  (lo, Int.min n (lo + chunk) - 1)
+
+let map_array t ?chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with Some c -> Int.max 1 c | None -> default_chunk t n
+    in
+    let out = Array.make n None in
+    let chunks = (n + chunk - 1) / chunk in
+    run t ~chunks (fun ci ->
+        let lo, hi = chunk_bounds ~chunk ~n ci in
+        for i = lo to hi do
+          out.(i) <- Some (f a.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_reduce t ?chunk ~map ~combine ~init a =
+  let mapped = map_array t ?chunk map a in
+  Array.fold_left combine init mapped
+
+let map_prefix t ?chunk ~should_stop f a =
+  let n = Array.length a in
+  if n = 0 then ([||], false)
+  else begin
+    let chunk =
+      match chunk with Some c -> Int.max 1 c | None -> default_chunk t n
+    in
+    let out = Array.make n None in
+    let stop_flag = Atomic.make false in
+    let chunks = (n + chunk - 1) / chunk in
+    run t ~chunks (fun ci ->
+        if Atomic.get stop_flag || should_stop () then
+          Atomic.set stop_flag true
+        else begin
+          let lo, hi = chunk_bounds ~chunk ~n ci in
+          for i = lo to hi do
+            out.(i) <- Some (f a.(i))
+          done
+        end);
+    if not (Atomic.get stop_flag) then
+      (Array.map (function Some v -> v | None -> assert false) out, false)
+    else begin
+      let k = ref 0 in
+      while !k < n && Option.is_some out.(!k) do
+        incr k
+      done;
+      ( Array.init !k (fun i ->
+            match out.(i) with Some v -> v | None -> assert false),
+        true )
+    end
+  end

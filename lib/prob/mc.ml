@@ -1,15 +1,46 @@
+module Pool = Ssta_parallel.Pool
+
 type result = {
   samples : float array;
   summary : Stats.summary;
   empirical : Pdf.t;
 }
 
-let run ?(bins = 100) ~n rng draw =
-  if n < 2 then invalid_arg "Mc.run: need at least 2 samples";
-  let samples = Array.init n (fun _ -> draw rng) in
+let of_samples ~bins samples =
   { samples;
     summary = Stats.summarize samples;
     empirical = Pdf.of_samples ~n:bins samples }
+
+let run ?(bins = 100) ~n rng draw =
+  if n < 2 then invalid_arg "Mc.run: need at least 2 samples";
+  of_samples ~bins (Array.init n (fun _ -> draw rng))
+
+let shard_size = 4096
+
+let run_sharded ?(bins = 100) ?pool ~n ~seed draw =
+  if n < 2 then invalid_arg "Mc.run_sharded: need at least 2 samples";
+  (* The shard layout is a function of [n] alone: [shard_size] samples
+     per shard, each shard drawing from its own stream split off the
+     master seed.  The pool only decides which domain evaluates which
+     shard, so the sample array is bit-identical at any worker count. *)
+  let shards = (n + shard_size - 1) / shard_size in
+  let streams = Rng.split (Rng.create seed) shards in
+  let samples = Array.make n 0.0 in
+  let fill si =
+    let rng = streams.(si) in
+    let lo = si * shard_size in
+    let hi = Int.min n (lo + shard_size) - 1 in
+    for i = lo to hi do
+      samples.(i) <- draw rng
+    done
+  in
+  (match pool with
+  | None ->
+      for si = 0 to shards - 1 do
+        fill si
+      done
+  | Some pool -> Pool.run pool ~chunks:shards fill);
+  of_samples ~bins samples
 
 let compare_to_pdf r pdf =
   let mean_err = Float.abs (r.summary.Stats.mean -. Pdf.mean pdf) in

@@ -2,17 +2,49 @@
 
     The paper validates its analytic PDFs implicitly; this reproduction
     validates them explicitly by sampling the exact nonlinear delay model
-    with correlated parameters and comparing summaries. *)
+    with correlated parameters and comparing summaries (mean error, std
+    error and the Kolmogorov-Smirnov distance).
+
+    Two entry points share the result type:
+
+    + {!run} threads a single caller-owned {!Rng.t} through every draw —
+      the historical sequential driver, reproducible for a given
+      generator state.
+    + {!run_sharded} partitions the draw budget into fixed-size shards,
+      each fed by its own stream {!Rng.split} off a master seed, and
+      optionally evaluates the shards on a
+      {!Ssta_parallel.Pool.t}.  Because the shard layout depends only on
+      [n] (never on the pool), the sample array — and therefore every
+      downstream summary — is bit-identical whether it ran on 1 domain
+      or 8.  This is the engine behind [ssta mc --jobs]. *)
 
 type result = {
-  samples : float array;
-  summary : Stats.summary;
+  samples : float array;  (** every draw, in shard-layout order *)
+  summary : Stats.summary;  (** moments and quantiles of [samples] *)
   empirical : Pdf.t;  (** histogram estimate of the sampled distribution *)
 }
 
 val run : ?bins:int -> n:int -> Rng.t -> (Rng.t -> float) -> result
 (** [run ~n rng draw] evaluates [draw rng] [n] times ([n >= 2]) and
     summarizes.  [bins] controls the histogram resolution (default 100). *)
+
+val shard_size : int
+(** Number of samples per shard of {!run_sharded} (4096).  Part of the
+    reproducibility contract: changing it changes which stream produces
+    which sample. *)
+
+val run_sharded :
+  ?bins:int ->
+  ?pool:Ssta_parallel.Pool.t ->
+  n:int ->
+  seed:int ->
+  (Rng.t -> float) ->
+  result
+(** [run_sharded ~pool ~n ~seed draw] evaluates [n] draws ([n >= 2])
+    split into {!shard_size}-sample shards, shard [i] drawing from
+    stream [i] of [Rng.split (Rng.create seed)].  Omitting [pool] (or
+    passing a 1-job pool) runs the shards sequentially; the result is
+    bit-identical either way. *)
 
 val compare_to_pdf : result -> Pdf.t -> float * float * float
 (** [compare_to_pdf r pdf] is

@@ -19,9 +19,15 @@ let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let split t =
-  let s = int64 t in
-  { state = mix s }
+let split t n =
+  if n < 1 then invalid_arg "Rng.split: need at least one shard";
+  (* Each shard state is an independent draw from the master stream,
+     re-mixed: shard i's sequence then walks its own gamma lattice from
+     a point ~uniform in the 2^64 state space, so two shards revisiting
+     each other's states within any feasible draw horizon would need a
+     ~2^-40 state collision.  The master advances by [n], so later
+     splits (or further master draws) never reuse a shard stream. *)
+  Array.init n (fun _ -> { state = mix (int64 t) })
 
 let float t =
   (* 53 high bits -> [0, 1). *)

@@ -14,9 +14,13 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
-val split : t -> t
-(** [split t] derives a new statistically independent generator and
-    advances [t]; use to give sub-components their own streams. *)
+val split : t -> int -> t array
+(** [split t n] derives [n] statistically independent generators from the
+    master stream and advances [t] by [n] draws.  Each shard starts from
+    its own re-mixed draw of the master, so shard streams are pairwise
+    non-overlapping for any feasible number of draws and sharded
+    Monte-Carlo runs are bit-reproducible for a given master seed at any
+    worker count.  [n] must be at least 1. *)
 
 val int64 : t -> int64
 (** Next raw 64-bit output. *)

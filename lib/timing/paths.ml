@@ -1,4 +1,5 @@
 module Netlist = Ssta_circuit.Netlist
+module Pool = Ssta_parallel.Pool
 
 type path = { nodes : int array; delay : float }
 
@@ -122,10 +123,62 @@ module Heap = struct
     top
 end
 
-let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) g
+(* ----- per-endpoint streams and the deterministic merge -----
+
+   The search decomposes exactly by primary output: a candidate seeded
+   at output [o] only ever meets candidates from the same output, so
+   the global frontier is the disjoint union of per-endpoint frontiers
+   and the global pop order is reconstructible as a k-way merge — at
+   every step, the next global pop is the [cand_before]-greatest of the
+   per-endpoint heap tops.  Each endpoint's own pop sequence is
+   self-contained (expanding a candidate touches only its endpoint's
+   heap), so endpoints can run ahead of the merge on worker domains:
+   they prefetch pops in batches, and the merge consumes the buffered
+   pops in the exact order the historical single-heap search would have
+   popped them.  The result is therefore byte-identical to the
+   sequential search at any worker count; the pool only decides who
+   fills which buffer. *)
+
+type stream = {
+  sheap : Heap.t;
+  buf : cand Queue.t;  (* prefetched pops, local pop order *)
+  mutable live : bool;  (* the heap may still produce pops *)
+}
+
+let stream_batch = 64
+
+(* Advance one endpoint's search by up to [want] pops, buffering them.
+   Runs on worker domains: touches only this stream's state. *)
+let fill g ~labels ~threshold ~bucket_of ~want s =
+  let i = ref 0 in
+  while !i < want && not (Heap.is_empty s.sheap) do
+    let c = Heap.pop s.sheap in
+    if not (Graph.is_input g c.head) then begin
+      let tail_delay = c.tail_delay +. g.Graph.delay.(c.head) in
+      Array.iter
+        (fun u ->
+          let bound = tail_delay +. labels.(u) in
+          if bound >= threshold then
+            Heap.push s.sheap
+              { bucket = bucket_of bound;
+                depth = c.depth + 1;
+                head = u;
+                tail_delay;
+                suffix = u :: c.suffix })
+        (Graph.fanins g c.head)
+    end;
+    Queue.push c s.buf;
+    incr i
+  done;
+  if Heap.is_empty s.sheap then s.live <- false
+
+let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) ?pool g
     ~labels ~slack =
   if slack < 0.0 then invalid_arg "Paths.enumerate: slack must be >= 0";
   if max_paths < 1 then invalid_arg "Paths.enumerate: max_paths must be >= 1";
+  let pool =
+    match pool with Some p -> p | None -> Pool.create ~jobs:1 ()
+  in
   let critical = Longest_path.critical_delay g labels in
   let eps = 1e-15 +. (1e-12 *. Float.abs critical) in
   let threshold = critical -. slack -. eps in
@@ -133,55 +186,82 @@ let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) g
      noise (~1e-22 s at gate-delay scale), well below real inter-path
      delay differences. *)
   let bucket_of bound = int_of_float (Float.floor (bound /. eps)) in
-  let heap = Heap.create () in
-  Array.iter
-    (fun o ->
-      if labels.(o) >= threshold then
-        Heap.push heap
-          { bucket = bucket_of labels.(o);
-            depth = 1;
-            head = o;
-            tail_delay = 0.0;
-            suffix = [ o ] })
-    g.Graph.circuit.Netlist.outputs;
+  let streams =
+    Array.of_list
+      (List.filter_map
+         (fun o ->
+           if labels.(o) >= threshold then begin
+             let sheap = Heap.create () in
+             Heap.push sheap
+               { bucket = bucket_of labels.(o);
+                 depth = 1;
+                 head = o;
+                 tail_delay = 0.0;
+                 suffix = [ o ] };
+             Some { sheap; buf = Queue.create (); live = true }
+           end
+           else None)
+         (Array.to_list g.Graph.circuit.Netlist.outputs))
+  in
+  (* Refill every half-drained stream whenever any head is unknown; the
+     set of streams refilled in a round is a function of the merge state
+     alone, so rounds are identical at any worker count. *)
+  let refill_round () =
+    let targets =
+      Array.of_list
+        (List.filter
+           (fun s -> s.live && Queue.length s.buf < stream_batch / 2)
+           (Array.to_list streams))
+    in
+    Pool.run pool ~chunks:(Array.length targets) (fun i ->
+        let s = targets.(i) in
+        fill g ~labels ~threshold ~bucket_of
+          ~want:(stream_batch - Queue.length s.buf)
+          s)
+  in
+  let head_unknown s = s.live && Queue.is_empty s.buf in
   let collected = ref [] in
   let count = ref 0 in
   let explored = ref 0 in
   let truncated = ref false in
   let deadline_hit = ref false in
   let running = ref true in
-  while !running && not (Heap.is_empty heap) do
-    if !count >= max_paths then begin
-      truncated := true;
-      running := false
-    end
-    else if should_stop () then begin
-      deadline_hit := true;
-      running := false
-    end
-    else begin
-      let c = Heap.pop heap in
-      incr explored;
-      if Graph.is_input g c.head then begin
-        incr count;
-        let nodes = Array.of_list c.suffix in
-        collected := { nodes; delay = recompute_delay g nodes } :: !collected
-      end
-      else begin
-        let tail_delay = c.tail_delay +. g.Graph.delay.(c.head) in
-        Array.iter
-          (fun u ->
-            let bound = tail_delay +. labels.(u) in
-            if bound >= threshold then
-              Heap.push heap
-                { bucket = bucket_of bound;
-                  depth = c.depth + 1;
-                  head = u;
-                  tail_delay;
-                  suffix = u :: c.suffix })
-          (Graph.fanins g c.head)
-      end
-    end
+  while !running do
+    if Array.exists head_unknown streams then refill_round ();
+    (* The next global pop: the cand_before-greatest buffered head.
+       Suffixes of distinct endpoints differ, so the order is total and
+       the winner unique. *)
+    let best = ref None in
+    Array.iter
+      (fun s ->
+        match Queue.peek_opt s.buf with
+        | None -> ()
+        | Some c -> (
+            match !best with
+            | Some (_, bc) when not (cand_before c bc) -> ()
+            | Some _ | None -> best := Some (s, c)))
+      streams;
+    match !best with
+    | None -> running := false
+    | Some (s, c) ->
+        if !count >= max_paths then begin
+          truncated := true;
+          running := false
+        end
+        else if should_stop () then begin
+          deadline_hit := true;
+          running := false
+        end
+        else begin
+          ignore (Queue.pop s.buf);
+          incr explored;
+          if Graph.is_input g c.head then begin
+            incr count;
+            let nodes = Array.of_list c.suffix in
+            collected :=
+              { nodes; delay = recompute_delay g nodes } :: !collected
+          end
+        end
   done;
   (* Emission order is already non-increasing in the heap bound; the
      stable sort only repairs last-ulp drift between the incremental

@@ -49,6 +49,7 @@ val recompute_delay : Graph.t -> int array -> float
 val enumerate :
   ?max_paths:int ->
   ?should_stop:(unit -> bool) ->
+  ?pool:Ssta_parallel.Pool.t ->
   Graph.t ->
   labels:float array ->
   slack:float ->
@@ -57,7 +58,14 @@ val enumerate :
     (default 200_000), longest first.  [slack] must be non-negative.
     [should_stop] is polled once per expanded candidate; when it
     returns [true] the search stops and the result carries the paths
-    emitted so far with [deadline_hit = true]. *)
+    emitted so far with [deadline_hit = true].
+
+    The search decomposes by primary output into independent
+    per-endpoint streams whose buffered expansions are merged back in
+    the exact order a single global frontier would pop them, so passing
+    [pool] parallelizes stream prefetching across domains while keeping
+    the result — paths, order, [explored], flags — byte-identical to
+    the sequential run. *)
 
 val is_path : Graph.t -> int array -> bool
 (** Check that consecutive nodes are connected, the first is a primary

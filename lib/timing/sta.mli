@@ -31,12 +31,15 @@ val analyze_placed :
 val near_critical :
   ?max_paths:int ->
   ?should_stop:(unit -> bool) ->
+  ?pool:Ssta_parallel.Pool.t ->
   t ->
   slack:float ->
   Paths.enumeration
 (** Paths within [slack] of the critical delay, ranked by nominal delay
     (deterministic rank = 1-based position in this list).  [should_stop]
-    imposes a caller-side deadline; see {!Paths.enumerate}. *)
+    imposes a caller-side deadline; [pool] parallelizes per-endpoint
+    stream prefetching without changing any output bit; see
+    {!Paths.enumerate}. *)
 
 val worst_case_delay : ?corner_k:float -> t -> Paths.path -> float
 (** Classical corner analysis of one path (all parameters at the

@@ -497,7 +497,8 @@ let test_sarif_shape () =
 let expected_check_ids =
   [ "check-bound-arrival"; "check-bound-domain"; "check-bound-nominal";
     "check-bound-quantile"; "check-bound-support"; "check-health";
-    "check-internal"; "check-pdfsan-cdf"; "check-pdfsan-clamped";
+    "check-internal"; "check-parallel-determinism"; "check-pdfsan-cdf";
+    "check-pdfsan-clamped";
     "check-pdfsan-density"; "check-pdfsan-mass"; "check-pdfsan-support";
     "check-place-bounds"; "check-place-nesting"; "check-place-partition";
     "check-place-sibling"; "check-var-additivity"; "check-var-budget";

@@ -25,4 +25,5 @@ let () =
       Test_lint.suite;
       Test_check.suite;
       Test_runtime.suite;
+      Test_parallel.suite;
       Test_faults.suite ]

@@ -1,0 +1,230 @@
+open Ssta_circuit
+open Ssta_core
+open Helpers
+module Pool = Ssta_parallel.Pool
+
+(* ---------------- Pool primitives ---------------- *)
+
+let test_default_jobs_positive () =
+  check_true "at least one" (Pool.default_jobs () >= 1)
+
+let test_create_rejects_zero () =
+  check_raises_invalid "jobs 0" (fun () -> ignore (Pool.create ~jobs:0 ()))
+
+let test_map_array_matches_sequential () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let a = Array.init 1_000 (fun i -> i) in
+      let expected = Array.map (fun x -> x * x) a in
+      let got = Pool.map_array pool (fun x -> x * x) a in
+      check_true "squares" (got = expected);
+      (* small chunk forces many claim rounds *)
+      let got = Pool.map_array pool ~chunk:1 (fun x -> x * x) a in
+      check_true "chunk 1" (got = expected))
+
+let test_map_array_empty () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      check_int "empty" 0 (Array.length (Pool.map_array pool succ [||])))
+
+let test_map_reduce_index_order () =
+  (* String concatenation is non-commutative: any scheduling leak in the
+     reduction order changes the result. *)
+  let a = Array.init 257 string_of_int in
+  let expected = Array.fold_left ( ^ ) "" a in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let got =
+        Pool.map_reduce pool ~chunk:3
+          ~map:(fun s -> s)
+          ~combine:( ^ ) ~init:"" a
+      in
+      check_true "index-order fold" (got = expected))
+
+let test_run_counts_every_chunk_once () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let hits = Array.make 100 0 in
+      Pool.run pool ~chunks:100 (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri (fun i n ->
+          if n <> 1 then Alcotest.failf "chunk %d ran %d times" i n)
+        hits)
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Pool.map_array pool ~chunk:1
+          (fun i -> if i = 17 then failwith "boom17" else i)
+          (Array.init 64 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> check_true "message" (msg = "boom17"))
+
+let test_exception_lowest_index_wins () =
+  (* Two failing chunks: the caller must see the lowest index's exception
+     no matter which worker hit its failure first. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Pool.map_array pool ~chunk:1
+          (fun i -> if i = 5 || i = 50 then failwith (string_of_int i) else i)
+          (Array.init 64 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> check_true "lowest index" (msg = "5"))
+
+let test_map_prefix_no_stop_is_full_map () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let a = Array.init 200 (fun i -> i) in
+      let prefix, stopped =
+        Pool.map_prefix pool ~should_stop:(fun () -> false) (fun x -> x + 1) a
+      in
+      check_true "not stopped" (not stopped);
+      check_true "full map" (prefix = Array.map (( + ) 1) a))
+
+let test_map_prefix_stop_returns_contiguous_prefix () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 500 in
+      let consumed = Atomic.make 0 in
+      let a = Array.init n (fun i -> i) in
+      let prefix, stopped =
+        Pool.map_prefix pool ~chunk:1
+          ~should_stop:(fun () -> Atomic.get consumed >= 20)
+          (fun x ->
+            Atomic.incr consumed;
+            x * 3)
+          a
+      in
+      check_true "stopped" stopped;
+      check_true "proper prefix" (Array.length prefix < n);
+      Array.iteri (fun i v ->
+          if v <> i * 3 then
+            Alcotest.failf "slot %d holds %d, not a contiguous prefix" i v)
+        prefix)
+
+let test_jobs_one_is_inline () =
+  let pool = Pool.create ~jobs:1 () in
+  let a = Array.init 100 (fun i -> i) in
+  check_true "map" (Pool.map_array pool succ a = Array.map succ a);
+  let seen = ref 0 in
+  let prefix, stopped =
+    Pool.map_prefix pool ~chunk:1
+      ~should_stop:(fun () -> !seen >= 10)
+      (fun x -> incr seen; x)
+      a
+  in
+  check_true "stopped" stopped;
+  (* jobs = 1 matches the historical sequential deadline semantics
+     exactly: the prefix is precisely the items before the predicate
+     fired. *)
+  check_int "exact sequential prefix" 10 (Array.length prefix);
+  ignore (Pool.shutdown pool)
+
+(* ---------------- End-to-end determinism ---------------- *)
+
+let quick_config = { fast_config with Config.max_paths = 100 }
+
+let report_with_jobs ~jobs config circuit =
+  Pool.with_pool ~jobs (fun pool ->
+      Report.json_report (Methodology.run ~config ~pool circuit))
+
+let test_iscas85_reports_byte_identical_across_jobs () =
+  List.iter
+    (fun (spec : Iscas85.spec) ->
+      let circuit = Iscas85.build spec in
+      let seq = report_with_jobs ~jobs:1 quick_config circuit in
+      let par = report_with_jobs ~jobs:4 quick_config circuit in
+      if not (String.equal seq par) then begin
+        let n = Int.min (String.length seq) (String.length par) in
+        let i = ref 0 in
+        while !i < n && seq.[!i] = par.[!i] do incr i done;
+        Alcotest.failf "%s: reports diverge at byte %d (lengths %d vs %d)"
+          spec.Iscas85.name !i (String.length seq) (String.length par)
+      end)
+    Iscas85.all
+
+let qcheck_random_circuit_reports_byte_identical =
+  qcheck ~count:8 "random circuits: --jobs 1 == --jobs 4 report"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let circuit =
+        Generators.random_layered ~name:"qpar" ~inputs:6 ~outputs:3 ~gates:40
+          ~depth:6 ~seed ()
+      in
+      String.equal
+        (report_with_jobs ~jobs:1 quick_config circuit)
+        (report_with_jobs ~jobs:4 quick_config circuit))
+
+(* ---------------- Deadline degradation under parallelism ---------------- *)
+
+let test_deadline_degraded_parallel_prefix_is_exact () =
+  (* A deadline-degraded parallel run must return a subset of the
+     complete run's paths with bit-identical per-path analyses — the
+     budget machinery may cut the work short but never approximates what
+     it did complete. *)
+  let spec =
+    match Iscas85.by_name "c499" with Some s -> s | None -> assert false
+  in
+  let circuit = Iscas85.build spec in
+  let config = { fast_config with Config.max_paths = 2_000 } in
+  let full =
+    match Methodology.analyze ~config circuit with
+    | Ok m -> m
+    | Error e ->
+        Alcotest.failf "full run failed: %a" Ssta_runtime.Ssta_error.pp e
+  in
+  let budget = Ssta_runtime.Budget.make ~deadline_s:0.05 () in
+  let degraded =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        match Methodology.analyze ~config ~budget ~pool circuit with
+        | Ok m -> m
+        | Error e ->
+            Alcotest.failf "degraded run failed: %a" Ssta_runtime.Ssta_error.pp
+              e)
+  in
+  let full_by_nodes = Hashtbl.create 64 in
+  Array.iter
+    (fun (r : Ranking.ranked) ->
+      Hashtbl.replace full_by_nodes
+        r.Ranking.analysis.Path_analysis.path.Ssta_timing.Paths.nodes
+        r.Ranking.analysis)
+    full.Methodology.ranked;
+  check_true "degraded analyzed no more paths than the full run"
+    (Methodology.num_critical_paths degraded
+    <= Methodology.num_critical_paths full);
+  Array.iter
+    (fun (r : Ranking.ranked) ->
+      let a = r.Ranking.analysis in
+      match
+        Hashtbl.find_opt full_by_nodes
+          a.Path_analysis.path.Ssta_timing.Paths.nodes
+      with
+      | None -> Alcotest.fail "degraded run invented a path"
+      | Some f ->
+          (* Same code path on the same inputs: exact float equality. *)
+          check_true "mean exact" (a.Path_analysis.mean = f.Path_analysis.mean);
+          check_true "std exact" (a.Path_analysis.std = f.Path_analysis.std);
+          check_true "confidence point exact"
+            (a.Path_analysis.confidence_point = f.Path_analysis.confidence_point))
+    degraded.Methodology.ranked;
+  if
+    Methodology.num_critical_paths degraded
+    < Methodology.num_critical_paths full
+  then check_true "cut run is marked degraded" (Methodology.is_degraded degraded)
+
+let suite =
+  ( "parallel",
+    [ case "default jobs positive" test_default_jobs_positive;
+      case "create rejects jobs 0" test_create_rejects_zero;
+      case "map_array matches sequential" test_map_array_matches_sequential;
+      case "map_array empty" test_map_array_empty;
+      case "map_reduce folds in index order" test_map_reduce_index_order;
+      case "run executes every chunk once" test_run_counts_every_chunk_once;
+      case "exceptions propagate" test_exception_propagates;
+      case "lowest-index exception wins" test_exception_lowest_index_wins;
+      case "map_prefix without stop is a full map"
+        test_map_prefix_no_stop_is_full_map;
+      case "map_prefix stop returns contiguous prefix"
+        test_map_prefix_stop_returns_contiguous_prefix;
+      case "jobs 1 runs inline with sequential semantics"
+        test_jobs_one_is_inline;
+      slow_case "ISCAS85 reports byte-identical at jobs 1 and 4"
+        test_iscas85_reports_byte_identical_across_jobs;
+      qcheck_random_circuit_reports_byte_identical;
+      slow_case "deadline-degraded parallel prefix is exact"
+        test_deadline_degraded_parallel_prefix_is_exact ] )

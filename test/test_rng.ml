@@ -23,10 +23,38 @@ let test_copy_independent () =
 
 let test_split_diverges () =
   let a = Rng.create 7 in
-  let b = Rng.split a in
+  let b = (Rng.split a 1).(0) in
   let xs = Array.init 16 (fun _ -> Rng.float a) in
   let ys = Array.init 16 (fun _ -> Rng.float b) in
   check_true "split stream differs" (xs <> ys)
+
+let test_split_deterministic () =
+  let mk () = Rng.split (Rng.create 99) 4 in
+  let draws shards = Array.map (fun r -> Array.init 8 (fun _ -> Rng.int64 r)) shards in
+  check_true "split shards replay identically" (draws (mk ()) = draws (mk ()))
+
+let test_split_invalid () =
+  check_raises_invalid "n=0" (fun () -> ignore (Rng.split (Rng.create 1) 0))
+
+(* The MC-sharding soundness property: shard streams never silently
+   reuse one another's draws.  10^5 draws from each of 4 shards must be
+   globally distinct 64-bit values (a cross-shard repeat would mean two
+   shards walking the same state lattice; a chance collision among
+   4*10^5 uniform 64-bit draws has probability ~4e-9). *)
+let test_split_non_overlapping () =
+  let shards = Rng.split (Rng.create 2026) 4 in
+  let seen = Hashtbl.create (8 * 100_000) in
+  Array.iteri
+    (fun si rng ->
+      for _ = 1 to 100_000 do
+        let v = Rng.int64 rng in
+        (match Hashtbl.find_opt seen v with
+        | Some sj when sj <> si ->
+            Alcotest.failf "shards %d and %d overlap on %Ld" sj si v
+        | Some _ | None -> ());
+        Hashtbl.replace seen v si
+      done)
+    shards
 
 let test_float_range () =
   let rng = Rng.create 3 in
@@ -116,6 +144,10 @@ let suite =
       case "different seeds diverge" test_seed_sensitivity;
       case "copy continues identically" test_copy_independent;
       case "split stream diverges" test_split_diverges;
+      case "split shards replay identically" test_split_deterministic;
+      case "split rejects bad shard count" test_split_invalid;
+      case "split shards non-overlapping over 1e5 draws"
+        test_split_non_overlapping;
       case "float stays in [0,1)" test_float_range;
       case "uniform mean" test_float_mean;
       case "int uniform buckets" test_int_range;
