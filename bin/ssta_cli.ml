@@ -80,12 +80,12 @@ let load_circuit ?verilog ~bench ~def name =
                   (String.concat ", " Iscas85.names))))
 
 let config_of ~quality_intra ~quality_inter ~confidence ~corner_k ~max_paths
-    ~inter_fraction ~shape =
+    ~inter_fraction ~shape ~inter_cache =
   let c = Config.default in
   let c = Config.with_quality c ~intra:quality_intra ~inter:quality_inter in
   let c = Config.with_confidence c confidence in
   let c = Config.with_inter_shape c shape in
-  let c = { c with Config.corner_k; max_paths } in
+  let c = { c with Config.corner_k; max_paths; inter_cache } in
   match inter_fraction with
   | None -> c
   | Some f -> Config.with_budget_split c ~inter_fraction:f
@@ -132,6 +132,14 @@ let inter_fraction_opt =
   Arg.(value & opt (some float) None & info [ "inter-fraction" ] ~docv:"F"
          ~doc:"Give layer 0 (inter-die) this fraction of the variance; \
                the rest splits equally over the intra layers.")
+
+let no_inter_cache_opt =
+  Arg.(value & flag
+       & info [ "no-inter-cache" ]
+           ~doc:"Disable the scale-covariant inter-kernel cache and \
+                 recompute every path's inter PDF from scratch (A/B \
+                 escape hatch; statistics agree with the cached run \
+                 within 1e-9 relative).")
 
 let shape_opt =
   let shape_conv =
@@ -339,8 +347,9 @@ let lint_cmd =
 
 (* check *)
 let check_cmd =
-  let action name bench verilog def qi qj c k mp inter_fraction shape format
-      min_severity no_pdfsan path_limit jobs inject list_checks =
+  let action name bench verilog def qi qj c k mp inter_fraction shape
+      no_inter_cache format min_severity no_pdfsan path_limit jobs inject
+      list_checks =
     guarded @@ fun () ->
     if list_checks then begin
       Lint_reporter.rule_table Fmt.stdout Checker.all_checks;
@@ -351,6 +360,7 @@ let check_cmd =
       let config =
         config_of ~quality_intra:qi ~quality_inter:qj ~confidence:c
           ~corner_k:k ~max_paths:mp ~inter_fraction ~shape
+          ~inter_cache:(not no_inter_cache)
       in
       let par_jobs =
         if jobs = 0 then Some (Pool.default_jobs ())
@@ -446,18 +456,19 @@ let check_cmd =
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
-          $ format $ min_severity $ no_pdfsan $ path_limit $ check_jobs
-          $ inject $ list_checks)
+          $ no_inter_cache_opt $ format $ min_severity $ no_pdfsan
+          $ path_limit $ check_jobs $ inject $ list_checks)
 
 (* run *)
 let run_cmd =
   let action name bench verilog def spef qi qj c k mp inter_fraction shape
-      wires deadline max_cells strict_budget jobs json verbose =
+      no_inter_cache wires deadline max_cells strict_budget jobs json verbose =
     guarded @@ fun () ->
     let circuit, placement = load_circuit ?verilog ~bench ~def name in
     let config =
       config_of ~quality_intra:qi ~quality_inter:qj ~confidence:c ~corner_k:k
         ~max_paths:mp ~inter_fraction ~shape
+        ~inter_cache:(not no_inter_cache)
     in
     let budget =
       Rbudget.make ?deadline_s:deadline ?max_cells ~max_paths:mp ()
@@ -513,6 +524,15 @@ let run_cmd =
       Fmt.pr "rank correlation (det vs prob): %.4f; max rank change: %d@."
         (Ranking.rank_correlation m.Methodology.ranked)
         (Ranking.max_rank_change m.Methodology.ranked);
+      (match Health.counter m.Methodology.health "inter-cache-lookups" with
+      | 0 -> Fmt.pr "inter-kernel cache: disabled@."
+      | lookups ->
+          Fmt.pr
+            "inter-kernel cache: %d lookups, %d distinct directions, %d \
+             hits@."
+            lookups
+            (Health.counter m.Methodology.health "inter-cache-distinct")
+            (Health.counter m.Methodology.health "inter-cache-hits"));
       let top = Int.min 10 (Array.length m.Methodology.ranked) in
       Fmt.pr "top %d paths by 3-sigma point:@." top;
       for i = 0 to top - 1 do
@@ -540,8 +560,8 @@ let run_cmd =
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ spef_opt $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
-          $ wire_opt $ deadline_opt $ max_cells_opt $ strict_budget_opt
-          $ jobs_opt $ json $ verbose)
+          $ no_inter_cache_opt $ wire_opt $ deadline_opt $ max_cells_opt
+          $ strict_budget_opt $ jobs_opt $ json $ verbose)
 
 (* table2 *)
 let table2_cmd =

@@ -58,6 +58,9 @@ let own_checks =
       interval");
     ("check-health",
      "numerical-health events of the certified run are surfaced");
+    ("check-inter-cache-consistency",
+     "each certified path's cached (scale-covariant) inter PDF matches \
+      an uncached from-scratch recomputation within 1e-9 relative");
     ("check-parallel-determinism",
      "a parallel methodology run reproduces the sequential run's \
       report byte for byte");
@@ -215,6 +218,46 @@ let certify_path (bounds : Arrival_bounds.t) ~label (pa : Path_analysis.t) add =
       ("99.9% quantile", Pdf.quantile total 0.999);
       ("confidence point", pa.Path_analysis.confidence_point) ]
 
+(* Recompute a certified path's inter PDF from scratch (no cache) and
+   compare the statistics the methodology consumes against the stored —
+   cached and rescaled — PDF.  The scale-covariant cache quantizes the
+   normalized coefficient direction to 40 mantissa bits, so any
+   divergence is bounded around 1e-12 relative; 1e-9 flags real damage
+   (a stale kernel, a wrong rescale) without tripping on rounding. *)
+let cache_consistency_tol = 1e-9
+
+let check_cache_consistency tables ~label (pa : Path_analysis.t) add =
+  let fresh = Ssta_core.Inter.of_coeffs tables pa.Path_analysis.coeffs in
+  let stored = pa.Path_analysis.inter_pdf in
+  let rel a b =
+    Float.abs (a -. b)
+    /. Float.max 1e-300 (Float.max (Float.abs a) (Float.abs b))
+  in
+  let worst = ref 0.0 and worst_stat = ref "" in
+  let consider name a b =
+    let r = rel a b in
+    if r > !worst then begin
+      worst := r;
+      worst_stat := Printf.sprintf "%s (cached %.12g vs fresh %.12g)" name a b
+    end
+  in
+  consider "mean" (Pdf.mean stored) (Pdf.mean fresh);
+  consider "std" (Pdf.std stored) (Pdf.std fresh);
+  List.iter
+    (fun q ->
+      consider
+        (Printf.sprintf "quantile %g" q)
+        (Pdf.quantile stored q) (Pdf.quantile fresh q))
+    [ 0.001; 0.5; 0.999 ];
+  if !worst > cache_consistency_tol then
+    add
+      (D.make ~rule:"check-inter-cache-consistency" ~severity:D.Error
+         ~location:(D.Pdf label)
+         (Printf.sprintf
+            "cached inter PDF diverges from the uncached recomputation: \
+             %s differs by %.3g relative (tolerance %g)"
+            !worst_stat !worst cache_consistency_tol))
+
 (* --- driver ---------------------------------------------------------- *)
 
 let run inp =
@@ -262,11 +305,22 @@ let run inp =
             let limit =
               if path_limit <= 0 then total else Int.min path_limit total
             in
+            (* Fresh tables for the cache cross-check: a deterministic
+               function of the (possibly budget-clamped) config the run
+               actually used. *)
+            let cache_tables =
+              if config.Config.inter_cache then
+                Some (Ssta_core.Inter.tables m.Methodology.config)
+              else None
+            in
             for i = 0 to limit - 1 do
               let r = ranked.(i) in
               let label = Printf.sprintf "path#%d" r.Ranking.prob_rank in
               let pa = r.Ranking.analysis in
               certify_path bounds ~label pa add;
+              (match cache_tables with
+              | Some t -> check_cache_consistency t ~label pa add
+              | None -> ());
               List.iter add
                 (Variance_check.check_path config
                    ~num_nodes:(Netlist.num_nodes circuit)

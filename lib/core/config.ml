@@ -13,6 +13,7 @@ type t = {
   confidence_sigma : float;
   max_paths : int;
   inter_shape : Ssta_prob.Shape.t;
+  inter_cache : bool;
 }
 
 let num_layers t = t.quad_levels + if t.random_layer then 1 else 0
@@ -29,7 +30,8 @@ let default =
     corner_k = Ssta_tech.Corner.default_k;
     confidence_sigma = 3.0;
     max_paths = 20_000;
-    inter_shape = Ssta_prob.Shape.Gaussian }
+    inter_shape = Ssta_prob.Shape.Gaussian;
+    inter_cache = true }
 
 let with_confidence t confidence = { t with confidence }
 

@@ -21,6 +21,10 @@ type t = {
       (** distribution shape of the inter-die RVs (paper: Gaussian; the
           numeric inter engine accepts any shape — an extension
           demonstrating that path-based SSTA is not Gaussian-bound) *)
+  inter_cache : bool;
+      (** amortize the per-path inter-kernel through the scale-covariant
+          cache (see {!Inter}); [false] recomputes every path from
+          scratch (the [--no-inter-cache] A/B escape hatch) *)
 }
 
 val default : t

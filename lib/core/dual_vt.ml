@@ -33,7 +33,7 @@ let graph_for ?shift circuit assignment =
   Graph.with_params_of circuit (fun id ->
       Vt_class.params_for ?shift assignment.(id))
 
-let analyze_path ?shift config tables graph placement assignment
+let analyze_path ?shift ?cache config tables graph placement assignment
     (path : Paths.path) =
   let layers = Config.layers_for config placement in
   (* class-aware coefficient accumulation (cf. Path_coeffs.of_path) *)
@@ -89,13 +89,14 @@ let analyze_path ?shift config tables graph placement assignment
   in
   let intra_pdf = Intra.pdf_of_variance config intra_variance in
   let inter_pdf =
-    Inter.pdf_dual tables ~alpha_low:!alpha_low ~alpha_high:!alpha_high
-      ~beta_low:!beta_low ~beta_high:!beta_high
+    Inter.pdf_dual ?cache tables ~alpha_low:!alpha_low
+      ~alpha_high:!alpha_high ~beta_low:!beta_low ~beta_high:!beta_high
   in
   let total_pdf =
     Combine.sum ~n:config.Config.quality_intra inter_pdf intra_pdf
   in
-  let mean = Pdf.mean total_pdf and std = Pdf.std total_pdf in
+  let m = Pdf.moments total_pdf in
+  let mean = m.Pdf.m_mean and std = sqrt m.Pdf.m_var in
   { path;
     nominal_delay = !nominal_delay;
     mean;
@@ -131,7 +132,8 @@ type result = {
 
 (* 3-sigma point of the statistically worst near-critical path under the
    current assignment, together with that path. *)
-let statistical_critical ?shift config tables placement circuit assignment =
+let statistical_critical ?shift ?cache config tables placement circuit
+    assignment =
   let graph = graph_for ?shift circuit assignment in
   let sta = Sta.of_graph graph in
   let slack = config.Config.confidence *. (0.1 *. sta.Sta.critical_delay) in
@@ -141,7 +143,9 @@ let statistical_critical ?shift config tables placement circuit assignment =
   let worst = ref None in
   List.iter
     (fun p ->
-      let stats = analyze_path ?shift config tables graph placement assignment p in
+      let stats =
+        analyze_path ?shift ?cache config tables graph placement assignment p
+      in
       match !worst with
       | None -> worst := Some stats
       | Some best ->
@@ -162,10 +166,17 @@ let optimize ?(config = Config.default) ?placement
     match placement with Some pl -> pl | None -> Placement.place circuit
   in
   let tables = Inter.tables ~vt_shift:shift config in
+  (* One kernel cache for the whole optimization: the demotion and
+     promotion sweeps re-analyze near-critical paths per assignment, and
+     their normalized coefficient directions repeat heavily. *)
+  let cache =
+    if config.Config.inter_cache then Some (Inter.cache_create tables)
+    else None
+  in
   let n = Netlist.num_nodes circuit in
   let all_low = Array.make n Vt_class.Low in
   let graph_low, low_stats =
-    statistical_critical ~shift config tables placement circuit all_low
+    statistical_critical ~shift ?cache config tables placement circuit all_low
   in
   let leakage_all_low = leakage ~shift graph_low all_low in
   (* Greedy seed: High wherever the deterministic slack can absorb the
@@ -187,7 +198,8 @@ let optimize ?(config = Config.default) ?placement
      until the target holds. *)
   let rec refine iteration =
     let graph, stats =
-      statistical_critical ~shift config tables placement circuit assignment
+      statistical_critical ~shift ?cache config tables placement circuit
+        assignment
     in
     if stats.confidence_point <= target then (iteration, graph, stats, true)
     else begin
@@ -241,7 +253,7 @@ let optimize ?(config = Config.default) ?placement
         List.iter (fun id -> assignment.(id) <- Vt_class.High) chunk;
         incr iterations;
         let _, stats =
-          statistical_critical ~shift config tables placement circuit
+          statistical_critical ~shift ?cache config tables placement circuit
             assignment
         in
         if stats.confidence_point > target then
@@ -249,7 +261,8 @@ let optimize ?(config = Config.default) ?placement
       (chunks candidates)
   end;
   let graph_final, final_stats =
-    statistical_critical ~shift config tables placement circuit assignment
+    statistical_critical ~shift ?cache config tables placement circuit
+      assignment
   in
   let met =
     if met then final_stats.confidence_point <= target +. 1e-18 else met

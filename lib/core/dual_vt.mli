@@ -35,6 +35,7 @@ val graph_for :
 
 val analyze_path :
   ?shift:float ->
+  ?cache:Inter.cache ->
   Config.t ->
   Inter.tables ->
   Ssta_timing.Graph.t ->
@@ -43,7 +44,9 @@ val analyze_path :
   Ssta_timing.Paths.path ->
   path_stats
 (** Full statistical analysis of a path under a class assignment.  The
-    [tables] must have been built with the same [shift]. *)
+    [tables] must have been built with the same [shift], and [cache] (if
+    any) with the same [tables].  [optimize] threads one cache through
+    all of its assignment sweeps. *)
 
 val leakage : ?shift:float -> Ssta_timing.Graph.t -> assignment -> float
 (** Total leakage proxy of the circuit under the assignment. *)

@@ -26,11 +26,69 @@ val tables : ?vt_shift:float -> Config.t -> tables
 val vt_shift : tables -> float
 (** The threshold shift the high-Vt grids were built with. *)
 
-val pdf : tables -> alpha_sum:float -> beta_sum:float -> Ssta_prob.Pdf.t
+(** {1 Scale-covariant kernel cache}
+
+    [pdf_dual] is homogeneous of degree 1 in its four coefficients, so
+    the result at [c*alpha, c*beta] is the exact affine rescale
+    [x -> c*x] of the result at [alpha, beta].  A {!cache} memoizes
+    kernels by the direction [coeffs / sum] (quantized to 40 mantissa
+    bits) and answers every call by rescaling with [Pdf.scale]; hits turn
+    the per-path O(Q^3) kernel into an O(Q) rescale.
+
+    Cached results are a pure function of the call's coefficients —
+    independent of cache state, shard layout, or hit/miss history — so
+    parallel runs using per-domain shards stay byte-identical to
+    sequential ones.  Cached and uncached results for the same call may
+    differ by the quantization, bounded well below 1e-9 relative. *)
+
+type cache
+(** A single-domain kernel cache bound to the {!tables} it was created
+    from (using it with different tables raises [Invalid_argument]). *)
+
+val cache_create : ?max_entries:int -> tables -> cache
+(** Fresh cache.  [max_entries] (default 512) bounds resident kernels;
+    reaching the bound evicts everything (statistics keep counting). *)
+
+type cache_stats = {
+  cs_lookups : int;  (** cached calls; scheduling-independent *)
+  cs_distinct : int;
+      (** distinct normalized directions ever looked up (union over
+          shards); scheduling-independent *)
+  cs_hits : int;
+      (** [lookups - distinct]: the hits a single shared cache would have
+          served; scheduling-independent, safe for reports *)
+  cs_builds : int;
+      (** kernels actually built; with several shards this depends on
+          scheduling — keep it out of deterministic artifacts *)
+  cs_entries : int;  (** currently resident kernels across shards *)
+  cs_shards : int;  (** number of per-domain shards materialized *)
+}
+
+val cache_stats : cache -> cache_stats
+
+type caches
+(** A family of per-domain cache shards for parallel fan-outs. *)
+
+val caches_create : ?max_entries:int -> tables -> caches
+
+val caches_get : caches -> cache
+(** The calling domain's shard (created on first use). *)
+
+val caches_stats : caches -> cache_stats
+(** Aggregated statistics: lookups/builds summed, distinct as the union
+    of the per-shard direction sets. *)
+
+val pdf :
+  ?cache:cache ->
+  tables ->
+  alpha_sum:float ->
+  beta_sum:float ->
+  Ssta_prob.Pdf.t
 (** Inter-delay PDF of a path with the given coefficient sums (both must
     be positive); all gates on the low-Vt class. *)
 
 val pdf_dual :
+  ?cache:cache ->
   tables ->
   alpha_low:float ->
   alpha_high:float ->
@@ -40,9 +98,11 @@ val pdf_dual :
 (** Mixed-class inter PDF: alpha/beta sums split by Vt class (the class
     shifts the threshold's mean, the deviation RV stays shared).  Sums
     must be non-negative with a positive total on each of the NMOS and
-    PMOS sides. *)
+    PMOS sides.  With [?cache], the call is answered through the
+    scale-covariant cache (see above). *)
 
-val of_coeffs : tables -> Ssta_correlation.Path_coeffs.t -> Ssta_prob.Pdf.t
+val of_coeffs :
+  ?cache:cache -> tables -> Ssta_correlation.Path_coeffs.t -> Ssta_prob.Pdf.t
 
 val mean_is_shifted : Ssta_prob.Pdf.t -> nominal:float -> float
 (** [mean pdf - nominal]: the systematic shift between the probabilistic

@@ -134,6 +134,16 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool circuit =
         (Array.of_list (List.rev !out), !stopped)
   in
   Array.iteri (fun i _ -> Health.merge ~into:health ledgers.(i)) prefix;
+  (* Surface the inter-kernel cache traffic through the ledger.  Only the
+     scheduling-independent counters go in (lookups, distinct directions,
+     and their difference — the hits a shared cache would serve), so the
+     report stays byte-identical across --jobs. *)
+  (match Path_analysis.cache_stats ctx with
+  | None -> ()
+  | Some st ->
+      Health.counter_set health "inter-cache-lookups" st.Inter.cs_lookups;
+      Health.counter_set health "inter-cache-distinct" st.Inter.cs_distinct;
+      Health.counter_set health "inter-cache-hits" st.Inter.cs_hits);
   if stopped then
     degrade
       (Rbudget.Deadline_hit

@@ -30,6 +30,7 @@ type context = {
   layers : Layers.t;
   tables : Inter.tables;
   health : Health.t;
+  caches : Inter.caches option;  (* per-domain kernel cache shards *)
 }
 
 let context ?health config graph placement =
@@ -39,14 +40,20 @@ let context ?health config graph placement =
   let health =
     match health with Some h -> h | None -> Health.create ()
   in
+  let tables = Inter.tables config in
   { config;
     graph;
     placement;
     layers = Config.layers_for config placement;
-    tables = Inter.tables config;
-    health }
+    tables;
+    health;
+    caches =
+      (if config.Config.inter_cache then Some (Inter.caches_create tables)
+       else None) }
 
 let health ctx = ctx.health
+
+let cache_stats ctx = Option.map Inter.caches_stats ctx.caches
 
 let analyze ?health ctx path =
   (* [health] overrides the context ledger so parallel callers can give
@@ -56,13 +63,16 @@ let analyze ?health ctx path =
   let intra_pdf =
     Guard.check health ~op:"intra pdf" (Intra.pdf ctx.config coeffs)
   in
+  let cache = Option.map Inter.caches_get ctx.caches in
   let inter_pdf =
-    Guard.check health ~op:"inter pdf" (Inter.of_coeffs ctx.tables coeffs)
+    Guard.check health ~op:"inter pdf"
+      (Inter.of_coeffs ?cache ctx.tables coeffs)
   in
   let total_pdf =
     Guard.sum ~n:ctx.config.Config.quality_intra health inter_pdf intra_pdf
   in
-  let mean = Pdf.mean total_pdf and std = Pdf.std total_pdf in
+  let m = Pdf.moments total_pdf in
+  let mean = m.Pdf.m_mean and std = sqrt m.Pdf.m_var in
   let worst_case =
     Corner.path_delay ~k:ctx.config.Config.corner_k Corner.Worst
       (Paths.path_gates ctx.graph path)

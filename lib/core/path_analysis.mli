@@ -39,6 +39,10 @@ val health : context -> Ssta_runtime.Health.t
 (** The ledger accumulated by every {!analyze} call through this
     context. *)
 
+val cache_stats : context -> Inter.cache_stats option
+(** Aggregated inter-kernel cache statistics, or [None] when the context
+    was built with [config.inter_cache = false]. *)
+
 val analyze :
   ?health:Ssta_runtime.Health.t -> context -> Ssta_timing.Paths.path -> t
 (** Full statistical analysis of one path.  The intra/inter PDFs and

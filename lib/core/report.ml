@@ -209,11 +209,11 @@ let json_report (m : Methodology.t) =
   add "{\"circuit\":\"%s\"," (json_escape m.Methodology.circuit_name);
   add "\"gates\":%d," m.Methodology.num_gates;
   add
-    "\"config\":{\"confidence\":%s,\"quality_intra\":%d,\"quality_inter\":%d,\"confidence_sigma\":%s,\"corner_k\":%s,\"max_paths\":%d},"
+    "\"config\":{\"confidence\":%s,\"quality_intra\":%d,\"quality_inter\":%d,\"confidence_sigma\":%s,\"corner_k\":%s,\"max_paths\":%d,\"inter_cache\":%b},"
     (jfloat cfg.Config.confidence)
     cfg.Config.quality_intra cfg.Config.quality_inter
     (jfloat cfg.Config.confidence_sigma)
-    (jfloat cfg.Config.corner_k) cfg.Config.max_paths;
+    (jfloat cfg.Config.corner_k) cfg.Config.max_paths cfg.Config.inter_cache;
   add "\"critical_delay_s\":%s,"
     (jfloat m.Methodology.sta.Sta.critical_delay);
   add "\"sigma_c_s\":%s," (jfloat m.Methodology.sigma_c);
@@ -230,10 +230,17 @@ let json_report (m : Methodology.t) =
   let h = m.Methodology.health in
   let worst, worst_op = Ssta_runtime.Health.worst_defect h in
   add
-    "\"health\":{\"count\":%d,\"renormalizations\":%d,\"worst_defect\":%s,\"worst_op\":\"%s\"},"
+    "\"health\":{\"count\":%d,\"renormalizations\":%d,\"worst_defect\":%s,\"worst_op\":\"%s\",\"counters\":{%s}},"
     (Ssta_runtime.Health.count h)
     (Ssta_runtime.Health.renormalizations h)
-    (jfloat worst) (json_escape worst_op);
+    (jfloat worst) (json_escape worst_op)
+    (* counters are sorted by name, so this is deterministic; only
+       scheduling-independent counters are ever recorded (see
+       Methodology) *)
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+          (Ssta_runtime.Health.counters h)));
   add "\"det_critical\":%s,"
     (json_of_path_analysis m.Methodology.det_critical);
   add "\"prob_critical_pdf\":%s,"
@@ -265,4 +272,12 @@ let pp_run_status fmt (t : Methodology.t) =
   let h = t.Methodology.health in
   if Ssta_runtime.Health.is_clean h then
     Format.fprintf fmt "numerical health: clean@."
-  else Format.fprintf fmt "numerical health: %a@." Ssta_runtime.Health.pp h
+  else Format.fprintf fmt "numerical health: %a@." Ssta_runtime.Health.pp h;
+  match Ssta_runtime.Health.counter h "inter-cache-lookups" with
+  | 0 -> ()
+  | lookups ->
+      Format.fprintf fmt
+        "inter-kernel cache: %d lookups, %d distinct directions, %d hits@."
+        lookups
+        (Ssta_runtime.Health.counter h "inter-cache-distinct")
+        (Ssta_runtime.Health.counter h "inter-cache-hits")

@@ -25,6 +25,12 @@ val deposit : accumulator -> x:float -> mass:float -> unit
 (** Add probability mass at position [x], split linearly between the two
     neighbouring cell centers. *)
 
+val unsafe_deposit : accumulator -> x:float -> mass:float -> unit
+(** Bit-identical to {!deposit} (same splitting, clamping and mass
+    accounting) but clamps the two destination indices before the cell
+    updates so the array accesses themselves are unchecked.  Intended for
+    hot inner loops such as the inter-kernel triple loop. *)
+
 val clamped_mass : accumulator -> float
 (** Total mass deposited at positions strictly outside the grid (and
     therefore clamped into a boundary cell).  Nonzero values indicate a

@@ -75,21 +75,29 @@ let mean p =
   done;
   !acc
 
-let moment_central p k =
-  let mu = mean p in
+let moment_central_about p ~mu k =
   let acc = ref 0.0 in
   for i = 0 to size p - 1 do
     acc := !acc +. (((x_at p i -. mu) ** float_of_int k) *. mass_at p i)
   done;
   !acc
 
-let variance p = Float.max 0.0 (moment_central p 2)
+let moment_central p k = moment_central_about p ~mu:(mean p) k
+
+type moments = { m_mean : float; m_var : float }
+
+let moments p =
+  let mu = mean p in
+  { m_mean = mu; m_var = Float.max 0.0 (moment_central_about p ~mu 2) }
+
+let variance p = (moments p).m_var
 
 let std p = sqrt (variance p)
 
 let skewness p =
-  let s = std p in
-  if s = 0.0 then 0.0 else moment_central p 3 /. (s *. s *. s)
+  let mu = mean p in
+  let s = sqrt (Float.max 0.0 (moment_central_about p ~mu 2)) in
+  if s = 0.0 then 0.0 else moment_central_about p ~mu 3 /. (s *. s *. s)
 
 let cdf p x =
   if x <= p.lo then 0.0
@@ -125,7 +133,9 @@ let quantile p q =
     !result
   end
 
-let sigma_point p k = mean p +. (k *. std p)
+let sigma_point p k =
+  let m = moments p in
+  m.m_mean +. (k *. sqrt m.m_var)
 
 let mode p =
   let best = ref 0 in

@@ -47,6 +47,15 @@ val mean : t -> float
 val variance : t -> float
 val std : t -> float
 
+type moments = { m_mean : float; m_var : float }
+(** First two moments, computed together. *)
+
+val moments : t -> moments
+(** [moments p] returns the mean and (clamped non-negative) variance in a
+    single call, traversing the density twice instead of the four walks
+    that separate [mean]/[std] calls would cost.  Values are bit-identical
+    to [mean p] and [variance p]. *)
+
 val moment_central : t -> int -> float
 (** [moment_central p k] is E[(X - mean)^k]. *)
 

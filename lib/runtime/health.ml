@@ -21,6 +21,7 @@ type t = {
   mutable worst_defect : float;
   mutable worst_defect_op : string;
   mutable renormalizations : int;
+  mutable counters : (string * int) list;  (* informational tallies *)
 }
 
 let max_kept_events = 64
@@ -31,7 +32,8 @@ let create () =
     dropped = 0;
     worst_defect = 0.0;
     worst_defect_op = "";
-    renormalizations = 0 }
+    renormalizations = 0;
+    counters = [] }
 
 let record t ~op ~issue ?(defect = 0.0) detail =
   t.total <- t.total + 1;
@@ -50,10 +52,26 @@ let renormalizations t = t.renormalizations
 let worst_defect t = (t.worst_defect, t.worst_defect_op)
 let events t = List.rev t.events
 
+let counter_add t name n =
+  if n <> 0 then
+    t.counters <-
+      (match List.assoc_opt name t.counters with
+      | Some v -> (name, v + n) :: List.remove_assoc name t.counters
+      | None -> (name, n) :: t.counters)
+
+let counter_set t name n =
+  t.counters <- (name, n) :: List.remove_assoc name t.counters
+
+let counter t name = Option.value ~default:0 (List.assoc_opt name t.counters)
+
+let counters t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) t.counters
+
 let merge ~into src =
   List.iter
     (fun e -> record into ~op:e.op ~issue:e.issue ~defect:e.defect e.detail)
     (events src);
+  List.iter (fun (k, v) -> counter_add into k v) (counters src);
   into.dropped <- into.dropped + src.dropped
 
 let pp_event fmt e =

@@ -35,7 +35,21 @@ val worst_defect : t -> float * string
 val events : t -> event list
 (** Kept events, oldest first. *)
 
+val counter_add : t -> string -> int -> unit
+(** Bump the named informational counter (no-op for 0).  Counters do not
+    affect {!is_clean}; they record run facts such as cache traffic. *)
+
+val counter_set : t -> string -> int -> unit
+(** Overwrite the named counter with an absolute value. *)
+
+val counter : t -> string -> int
+(** Current value of a counter (0 when never touched). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name — a deterministic serialization order. *)
+
 val merge : into:t -> t -> unit
+(** Replays [src]'s events into [into] and sums its counters. *)
 
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit

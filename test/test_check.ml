@@ -497,6 +497,7 @@ let test_sarif_shape () =
 let expected_check_ids =
   [ "check-bound-arrival"; "check-bound-domain"; "check-bound-nominal";
     "check-bound-quantile"; "check-bound-support"; "check-health";
+    "check-inter-cache-consistency";
     "check-internal"; "check-parallel-determinism"; "check-pdfsan-cdf";
     "check-pdfsan-clamped";
     "check-pdfsan-density"; "check-pdfsan-mass"; "check-pdfsan-support";

@@ -25,5 +25,6 @@ let () =
       Test_lint.suite;
       Test_check.suite;
       Test_runtime.suite;
+      Test_inter_cache.suite;
       Test_parallel.suite;
       Test_faults.suite ]
