@@ -661,6 +661,123 @@ let hotpath () =
       failwith "hotpath assertions failed"
 
 (* ------------------------------------------------------------------ *)
+(* Screening: the affine path-screener A/B harness.                    *)
+
+(* A/B of the affine suffix-bound screener at jobs=1: near-critical
+   enumeration with and without pruning must return byte-identical
+   records (the screener's proof obligation — pruning only skips
+   provably sub-threshold subtrees), while the pruned run saves frontier
+   work.  Written to BENCH_screening.json as the screening artifact. *)
+let render_enumeration (e : Ssta_timing.Paths.enumeration) =
+  let module Paths = Ssta_timing.Paths in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (p : Paths.path) ->
+      Buffer.add_string b (Printf.sprintf "%.17g|" p.Paths.delay);
+      Array.iter
+        (fun id ->
+          Buffer.add_string b (string_of_int id);
+          Buffer.add_char b ',')
+        p.Paths.nodes;
+      Buffer.add_char b '\n')
+    e.Paths.paths;
+  Buffer.add_string b
+    (Printf.sprintf "explored=%d truncated=%b deadline=%b" e.Paths.explored
+       e.Paths.truncated e.Paths.deadline_hit);
+  Buffer.contents b
+
+let screening () =
+  section "Screening: affine suffix-bound path pruning A/B (jobs=1)";
+  let module Affine = Ssta_check.Affine in
+  let module Paths = Ssta_timing.Paths in
+  let max_paths = 2000 in
+  let specs =
+    match !hotpath_only with
+    | [] -> Iscas85.all
+    | names -> List.filter_map Iscas85.by_name names
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  Fmt.pr "  %-7s %7s %7s %9s %12s %11s %6s %5s@." "name" "nodes" "pruned"
+    "fraction" "unpruned(s)" "pruned(s)" "paths" "equal";
+  let rows =
+    List.map
+      (fun (spec : Iscas85.spec) ->
+        let name = spec.Iscas85.name in
+        let circuit, placement = Iscas85.build_placed spec in
+        let config =
+          Config.with_confidence Config.default
+            spec.Iscas85.paper.Iscas85.confidence
+        in
+        let config = { config with Config.max_paths } in
+        let sta = Sta.analyze circuit in
+        let ctx = Path_analysis.context config sta.Sta.graph placement in
+        let det = Path_analysis.analyze ctx sta.Sta.critical_path in
+        let slack = config.Config.confidence *. det.Path_analysis.std in
+        let aff =
+          match Affine.compute config sta.Sta.graph with
+          | Ok aff -> aff
+          | Error msg -> Fmt.failwith "%s: affine analysis failed: %s" name msg
+        in
+        let sc = Affine.screen aff sta ~slack in
+        let time_run f =
+          let t0 = Unix.gettimeofday () in
+          let e = f () in
+          (e, Unix.gettimeofday () -. t0)
+        in
+        let base, wall_base =
+          time_run (fun () -> Sta.near_critical ~max_paths sta ~slack)
+        in
+        let pruned, wall_pruned =
+          time_run (fun () ->
+              Sta.near_critical ~max_paths ~prune:(Affine.prune_hook sc) sta
+                ~slack)
+        in
+        let equal =
+          String.equal (render_enumeration base) (render_enumeration pruned)
+        in
+        let fraction =
+          if sc.Affine.nodes_visited > 0 then
+            float_of_int sc.Affine.nodes_pruned
+            /. float_of_int sc.Affine.nodes_visited
+          else 0.0
+        in
+        if not equal then
+          fail "%s: pruned enumeration diverges from the unpruned one" name;
+        if !hotpath_assert && fraction <= 0.0 then
+          fail "%s: screener pruned nothing (fraction %.4f)" name fraction;
+        Fmt.pr "  %-7s %7d %7d %8.1f%% %12.3f %11.3f %6d %5s@." name
+          sc.Affine.nodes_visited sc.Affine.nodes_pruned (fraction *. 100.0)
+          wall_base wall_pruned
+          (List.length base.Paths.paths)
+          (if equal then "yes" else "NO");
+        (name, sc.Affine.nodes_visited, sc.Affine.nodes_pruned, fraction,
+         wall_base, wall_pruned, List.length base.Paths.paths, equal))
+      specs
+  in
+  let oc = open_out "BENCH_screening.json" in
+  let out fmt = Printf.ksprintf (output_string oc) fmt in
+  out "{\"max_paths\":%d,\"benchmarks\":[\n" max_paths;
+  List.iteri
+    (fun i (name, nodes, pruned, fraction, wall_base, wall_pruned, paths,
+            equal) ->
+      out
+        "  {\"name\":\"%s\",\"nodes\":%d,\"pruned\":%d,\"fraction\":%.4f,\
+         \"wall_unpruned_s\":%.4f,\"wall_pruned_s\":%.4f,\"paths\":%d,\
+         \"equal\":%b}%s\n"
+        name nodes pruned fraction wall_base wall_pruned paths equal
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "]}\n";
+  close_out oc;
+  Fmt.pr "  wrote BENCH_screening.json@.";
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun f -> Fmt.epr "  FAIL: %s@." f) fs;
+      failwith "screening assertions failed"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per artifact.                 *)
 
 let bechamel_suite () =
@@ -745,7 +862,8 @@ let artifacts =
     ("mc-validation", mc_validation); ("block-based", block_based);
     ("shapes", shapes); ("wires", wires);
     ("yield-criticality", yield_criticality); ("dual-vt", dual_vt);
-    ("pipeline", pipeline); ("parallel", parallel); ("hotpath", hotpath) ]
+    ("pipeline", pipeline); ("parallel", parallel); ("hotpath", hotpath);
+    ("screening", screening) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -28,6 +28,7 @@ module Lint = Ssta_lint.Engine
 module Lint_reporter = Ssta_lint.Reporter
 module Diagnostic = Ssta_lint.Diagnostic
 module Checker = Ssta_check.Checker
+module Affine = Ssta_check.Affine
 module Err = Ssta_runtime.Ssta_error
 module Rbudget = Ssta_runtime.Budget
 module Fault = Ssta_runtime.Fault
@@ -208,7 +209,7 @@ let strict_budget_opt =
 
 (* lint *)
 let lint_cmd =
-  let action name bench verilog def spef format min_severity budget
+  let action name bench verilog def spef format min_severity budget deadline
       list_rules no_deep =
     guarded @@ fun () ->
     if list_rules then begin
@@ -288,7 +289,7 @@ let lint_cmd =
             let input =
               Lint.input ?placement ?spef:spef_t ?def:def_t
                 ?budget_weights:(Option.map Array.of_list budget)
-                ~deep:(not no_deep) c
+                ?deadline_s:deadline ~deep:(not no_deep) c
             in
             !parse_diags @ Lint.run input
       in
@@ -343,13 +344,14 @@ let lint_cmd =
        ~doc:"Static analysis of circuit, placement, SPEF/DEF and config \
              inputs; exits 1 when any error-severity diagnostic fires.")
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
-          $ spef_opt $ format $ min_severity $ budget $ list_rules $ no_deep)
+          $ spef_opt $ format $ min_severity $ budget $ deadline_opt
+          $ list_rules $ no_deep)
 
 (* check *)
 let check_cmd =
   let action name bench verilog def qi qj c k mp inter_fraction shape
       no_inter_cache format min_severity no_pdfsan path_limit jobs inject
-      list_checks =
+      only list_checks =
     guarded @@ fun () ->
     if list_checks then begin
       Lint_reporter.rule_table Fmt.stdout Checker.all_checks;
@@ -369,7 +371,7 @@ let check_cmd =
       in
       let input =
         Checker.input ~config ~placement ~pdfsan:(not no_pdfsan) ~path_limit
-          ?par_jobs ?inject circuit
+          ?par_jobs ?inject ~only circuit
       in
       let report = Checker.run input in
       let circuit_name = circuit.Ssta_circuit.Netlist.name in
@@ -435,6 +437,33 @@ let check_cmd =
                    checking; the verifier must catch it (for tests and \
                    CI).")
   in
+  let only =
+    let ids_conv =
+      let parse s =
+        let ids =
+          String.split_on_char ',' s
+          |> List.map String.trim
+          |> List.filter (fun id -> id <> "")
+        in
+        let known = List.map fst Checker.all_checks in
+        match List.find_opt (fun id -> not (List.mem id known)) ids with
+        | Some bad ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown check id %S (see ssta check --list-checks)" bad))
+        | None -> Ok ids
+      in
+      let print fmt ids = Format.pp_print_string fmt (String.concat "," ids) in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt ids_conv []
+         & info [ "only" ] ~docv:"ID,..."
+             ~doc:"Run only the named checks (comma-separated ids from \
+                   --list-checks).  Phases no selected check needs are \
+                   skipped, but error-severity diagnostics from the phases \
+                   that do run are always reported.")
+  in
   let list_checks =
     Arg.(value & flag
          & info [ "list-checks" ]
@@ -457,12 +486,13 @@ let check_cmd =
           $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
           $ no_inter_cache_opt $ format $ min_severity $ no_pdfsan
-          $ path_limit $ check_jobs $ inject $ list_checks)
+          $ path_limit $ check_jobs $ inject $ only $ list_checks)
 
 (* run *)
 let run_cmd =
   let action name bench verilog def spef qi qj c k mp inter_fraction shape
-      no_inter_cache wires deadline max_cells strict_budget jobs json verbose =
+      no_inter_cache wires deadline max_cells strict_budget jobs
+      no_affine_prune criticality json verbose =
     guarded @@ fun () ->
     let circuit, placement = load_circuit ?verilog ~bench ~def name in
     let config =
@@ -470,6 +500,7 @@ let run_cmd =
         ~max_paths:mp ~inter_fraction ~shape
         ~inter_cache:(not no_inter_cache)
     in
+    let config = { config with Config.affine_prune = not no_affine_prune } in
     let budget =
       Rbudget.make ?deadline_s:deadline ?max_cells ~max_paths:mp ()
     in
@@ -481,7 +512,8 @@ let run_cmd =
        so malformed inputs are called out before they skew the PDFs. *)
     let lint_ds =
       Lint.run
-        (Lint.input ~placement ?spef:spef_t ~config ~deep:false circuit)
+        (Lint.input ~placement ?spef:spef_t ~config ?deadline_s:deadline
+           ~deep:false circuit)
     in
     let visible =
       Lint.filter ~min_severity:Diagnostic.Warning lint_ds
@@ -492,13 +524,44 @@ let run_cmd =
     let wire_caps =
       Option.map (fun s -> ok_or_raise (Spef.apply_res s circuit)) spef_t
     in
+    let screen =
+      if config.Config.affine_prune then
+        Some (Affine.methodology_screen config)
+      else None
+    in
     let m =
       with_jobs jobs (fun pool ->
           ok_or_raise
             (Methodology.analyze ~config ~budget ~placement ?wire ?wire_caps
-               ~pool circuit))
+               ?screen ~pool circuit))
     in
-    if json then begin
+    if criticality then begin
+      let sta = m.Methodology.sta in
+      let graph = sta.Ssta_timing.Sta.graph in
+      match Affine.compute m.Methodology.config graph with
+      | Error msg ->
+          Err.raise_error
+            (Err.structural ~subject:"affine"
+               ("criticality report unavailable: " ^ msg))
+      | Ok aff ->
+          let crits = Affine.criticality aff sta in
+          if json then begin
+            print_string (Affine.criticality_json graph crits);
+            print_newline ()
+          end
+          else begin
+            Fmt.pr "%a" (Affine.pp_criticality ~top:20 graph) crits;
+            if verbose then
+              match crits with
+              | c :: _ ->
+                  Fmt.pr "most critical node %s: through-form %a@."
+                    (Ssta_circuit.Netlist.node_name circuit c.Affine.node)
+                    Affine.pp
+                    (Affine.through aff c.Affine.node)
+              | [] -> ()
+          end
+    end
+    else if json then begin
       print_string (Report.json_report m);
       print_newline ()
     end
@@ -556,12 +619,28 @@ let run_cmd =
                    table: byte-identical across --jobs values for the \
                    same inputs.")
   in
+  let no_affine_prune =
+    Arg.(value & flag
+         & info [ "no-affine-prune" ]
+             ~doc:"Disable the affine path screener during near-critical \
+                   enumeration (A/B escape hatch; the report is \
+                   byte-identical either way, pruning only saves work).")
+  in
+  let criticality =
+    Arg.(value & flag
+         & info [ "criticality" ]
+             ~doc:"Report per-node statistical criticality from the affine \
+                   forward/backward pass (slack, sensitivity-bounded sigma \
+                   and a criticality-probability upper bound) instead of \
+                   the Table-2 row.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run the full statistical methodology.")
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ spef_opt $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
           $ no_inter_cache_opt $ wire_opt $ deadline_opt $ max_cells_opt
-          $ strict_budget_opt $ jobs_opt $ json $ verbose)
+          $ strict_budget_opt $ jobs_opt $ no_affine_prune $ criticality
+          $ json $ verbose)
 
 (* table2 *)
 let table2_cmd =

@@ -1,0 +1,409 @@
+module Netlist = Ssta_circuit.Netlist
+module Graph = Ssta_timing.Graph
+module Paths = Ssta_timing.Paths
+module Sta = Ssta_timing.Sta
+module Params = Ssta_tech.Params
+module Elmore = Ssta_tech.Elmore
+module Derivatives = Ssta_tech.Derivatives
+module Budget = Ssta_correlation.Budget
+module Config = Ssta_core.Config
+module Erf = Ssta_prob.Erf
+
+type form = {
+  center : float;
+  coeffs : Interval.t array;
+  intra_sigma : float;
+  residual : Interval.t;
+}
+
+type t = Bottom | Form of form
+
+let num_rvs = List.length Params.all_rvs
+let zero_coeffs () = Array.make num_rvs (Interval.singleton 0.0)
+
+let const c =
+  Form
+    { center = c;
+      coeffs = zero_coeffs ();
+      intra_sigma = 0.0;
+      residual = Interval.zero }
+
+let add a b =
+  match (a, b) with
+  | Bottom, _ | _, Bottom -> Bottom
+  | Form a, Form b ->
+      Form
+        { center = a.center +. b.center;
+          coeffs = Array.map2 Interval.add a.coeffs b.coeffs;
+          intra_sigma = a.intra_sigma +. b.intra_sigma;
+          residual = Interval.add a.residual b.residual }
+
+(* Interval scaled by a constant; the endpoints swap when k < 0. *)
+let iscale k i =
+  match Interval.range i with
+  | None -> Interval.Bottom
+  | Some (lo, hi) ->
+      let a = k *. lo and b = k *. hi in
+      Interval.make ~lo:(Float.min a b) ~hi:(Float.max a b)
+
+let scale k = function
+  | Bottom -> Bottom
+  | Form f ->
+      Form
+        { center = k *. f.center;
+          coeffs = Array.map (iscale k) f.coeffs;
+          intra_sigma = Float.abs k *. f.intra_sigma;
+          residual = iscale k f.residual }
+
+let max a b =
+  match (a, b) with
+  | Bottom, x | x, Bottom -> x
+  | Form a, Form b ->
+      Form
+        { center = Float.max a.center b.center;
+          coeffs = Array.map2 Interval.hull a.coeffs b.coeffs;
+          intra_sigma = Float.max a.intra_sigma b.intra_sigma;
+          residual = Interval.hull a.residual b.residual }
+
+let join = max
+
+let equal a b =
+  match (a, b) with
+  | Bottom, Bottom -> true
+  | Form a, Form b ->
+      Float.equal a.center b.center
+      && Array.for_all2 Interval.equal a.coeffs b.coeffs
+      && Float.equal a.intra_sigma b.intra_sigma
+      && Interval.equal a.residual b.residual
+  | _ -> false
+
+let widen ~prev ~next =
+  match (prev, next) with
+  | Bottom, x | x, Bottom -> x
+  | Form p, Form n ->
+      Form
+        { center = (if n.center > p.center then infinity else n.center);
+          coeffs =
+            Array.map2
+              (fun prev next -> Interval.widen ~prev ~next)
+              p.coeffs n.coeffs;
+          intra_sigma =
+            (if n.intra_sigma > p.intra_sigma then infinity
+             else n.intra_sigma);
+          residual = Interval.widen ~prev:p.residual ~next:n.residual }
+
+let pp fmt = function
+  | Bottom -> Format.pp_print_string fmt "_|_"
+  | Form f ->
+      Format.fprintf fmt "%.6g" f.center;
+      List.iteri
+        (fun i rv ->
+          Format.fprintf fmt " + %a*%s" Interval.pp f.coeffs.(i)
+            (Params.rv_name rv))
+        Params.all_rvs;
+      Format.fprintf fmt " (intra<=%.3g, res=%a)" f.intra_sigma Interval.pp
+        f.residual
+
+let sum_coeff_magnitude f =
+  Array.fold_left (fun acc c -> acc +. Interval.magnitude c) 0.0 f.coeffs
+
+let concretize ~trunc = function
+  | Bottom -> Interval.bottom
+  | Form f ->
+      let half = trunc *. (sum_coeff_magnitude f +. f.intra_sigma) in
+      Interval.add
+        (Interval.make ~lo:(f.center -. half) ~hi:(f.center +. half))
+        f.residual
+
+let sigma_upper = function
+  | Bottom -> 0.0
+  | Form f ->
+      let acc =
+        Array.fold_left
+          (fun acc c ->
+            let m = Interval.magnitude c in
+            acc +. (m *. m))
+          0.0 f.coeffs
+      in
+      sqrt (acc +. (f.intra_sigma *. f.intra_sigma))
+
+(* ----- whole-circuit analysis ----- *)
+
+type analysis = {
+  gate : t array;
+  arrival : t array;
+  suffix : t array;
+  circuit : t;
+  trunc : float;
+  forward_stats : string;
+  backward_stats : string;
+}
+
+module Domain = struct
+  type nonrec t = t
+
+  let bottom = Bottom
+  let equal = equal
+  let join = join
+  let widen = widen
+  let pp = pp
+end
+
+module Solver = Dataflow.Make (Domain)
+
+let pp_stats (s : Solver.stats) =
+  Printf.sprintf "visits=%d updates=%d widenings=%d converged=%b"
+    s.Solver.visits s.Solver.updates s.Solver.widenings s.Solver.converged
+
+(* One gate's delay as a form.  The linear part is the tangent plane at
+   nominal, split into the inter-die share (per-RV coefficients scaled
+   by sigma * sqrt w0) and the orthogonal intra-die sigma; the residual
+   is whatever the exact corner range of the Elmore model
+   (Arrival_bounds' certified gate interval) sticks out beyond the
+   tangent box, clamped so it always contains 0.  By construction the
+   concretization at the analysis truncation is the hull of the
+   certified interval and the tangent box — sound without any convexity
+   assumption on the delay model. *)
+let gate_form ~trunc ~scale_all ~w0 ~intra_fraction ~d0 e =
+  let grad = Derivatives.gradient e Params.nominal in
+  let sqrt_w0 = sqrt w0 in
+  let coeffs =
+    Array.of_list
+      (List.map
+         (fun rv ->
+           Interval.singleton
+             (Params.get grad rv *. Params.sigma rv *. sqrt_w0))
+         Params.all_rvs)
+  in
+  let intra_var =
+    List.fold_left
+      (fun acc rv ->
+        let d = Params.get grad rv and s = Params.sigma rv in
+        acc +. (d *. d *. s *. s))
+      0.0 Params.all_rvs
+  in
+  let intra_sigma = sqrt (intra_fraction *. intra_var) in
+  let full =
+    Interval.of_pair (Elmore.delay_bounds ~bound:(trunc *. scale_all) e)
+  in
+  let inter =
+    Interval.of_pair (Elmore.delay_bounds ~bound:(trunc *. sqrt_w0) e)
+  in
+  let h = trunc *. intra_sigma in
+  let total = Interval.hull full (Interval.add inter (Interval.make ~lo:(-.h) ~hi:h)) in
+  let gt_lo, gt_hi =
+    match Interval.range total with Some r -> r | None -> (d0, d0)
+  in
+  let half =
+    trunc
+    *. (Array.fold_left (fun acc c -> acc +. Interval.magnitude c) 0.0 coeffs
+       +. intra_sigma)
+  in
+  let res_lo = Float.min 0.0 (gt_lo -. (d0 -. half)) in
+  let res_hi = Float.max 0.0 (gt_hi -. (d0 +. half)) in
+  Form
+    { center = d0;
+      coeffs;
+      intra_sigma;
+      residual = Interval.make ~lo:res_lo ~hi:res_hi }
+
+let compute (config : Config.t) (g : Graph.t) =
+  let c = g.Graph.circuit in
+  let n = Netlist.num_nodes c in
+  let budget = config.Config.budget in
+  let trunc = config.Config.truncation in
+  let num_layers = Budget.layers budget in
+  let scale_all = ref 0.0 in
+  for u = 0 to num_layers - 1 do
+    scale_all := !scale_all +. sqrt (Budget.weight budget u)
+  done;
+  let scale_all = !scale_all in
+  let w0 = Budget.inter_fraction budget in
+  let intra_fraction = Float.max 0.0 (1.0 -. w0) in
+  let gate = Array.make n (const 0.0) in
+  match
+    for id = 0 to n - 1 do
+      if not (Graph.is_input g id) then
+        gate.(id) <-
+          gate_form ~trunc ~scale_all ~w0 ~intra_fraction
+            ~d0:g.Graph.delay.(id)
+            (Graph.electrical_exn g id)
+    done
+  with
+  | exception Invalid_argument msg -> Error msg
+  | () ->
+      let forward =
+        Solver.fixpoint ~direction:Dataflow.Forward c
+          ~init:(fun id ->
+            if Netlist.is_input c id then const 0.0 else Bottom)
+          ~transfer:(fun ~node inflow -> add inflow gate.(node))
+      in
+      let arrival = forward.Solver.values in
+      let is_output = Array.make n false in
+      Array.iter (fun id -> is_output.(id) <- true) c.Netlist.outputs;
+      (* Backward value: suffix including the node's own gate; the
+         exclusive suffix is recovered per node below, exactly as in
+         Arrival_bounds. *)
+      let backward =
+        Solver.fixpoint ~direction:Dataflow.Backward c
+          ~init:(fun id -> if is_output.(id) then const 0.0 else Bottom)
+          ~transfer:(fun ~node inflow -> add inflow gate.(node))
+      in
+      let fanouts = Netlist.fanouts c in
+      let suffix =
+        Array.init n (fun id ->
+            let from_consumers =
+              Array.fold_left
+                (fun acc cid -> join acc backward.Solver.values.(cid))
+                Bottom fanouts.(id)
+            in
+            if is_output.(id) then join (const 0.0) from_consumers
+            else from_consumers)
+      in
+      let circuit =
+        Array.fold_left
+          (fun acc id -> join acc arrival.(id))
+          Bottom c.Netlist.outputs
+      in
+      Ok
+        { gate;
+          arrival;
+          suffix;
+          circuit;
+          trunc;
+          forward_stats = pp_stats forward.Solver.stats;
+          backward_stats = pp_stats backward.Solver.stats }
+
+let path_form a (path : Paths.path) =
+  Array.fold_left
+    (fun acc id -> add acc a.gate.(id))
+    (const 0.0) path.Paths.nodes
+
+let through a u = add a.arrival.(u) a.suffix.(u)
+
+(* ----- static path screening ----- *)
+
+type screen = {
+  pruned : bool array;
+  nodes_visited : int;
+  nodes_pruned : int;
+  threshold : float;
+}
+
+let screen a (sta : Sta.t) ~slack =
+  let labels = sta.Sta.labels in
+  let critical = sta.Sta.critical_delay in
+  (* Must match Paths.enumerate: threshold = critical - slack - eps,
+     and we leave one further eps of margin so that ulp-level
+     summation-order drift (~1e-22 s, see the tie-tick comment in
+     Paths) can never promote a pruned node into a pushable one. *)
+  let eps = 1e-15 +. (1e-12 *. Float.abs critical) in
+  let threshold = critical -. slack -. eps in
+  let n = Array.length labels in
+  let pruned = Array.make n false in
+  let nodes_pruned = ref 0 in
+  for u = 0 to n - 1 do
+    let p =
+      match a.suffix.(u) with
+      | Bottom -> true (* on no complete path at all *)
+      | Form s -> labels.(u) +. s.center < threshold -. eps
+    in
+    pruned.(u) <- p;
+    if p then incr nodes_pruned
+  done;
+  { pruned; nodes_visited = n; nodes_pruned = !nodes_pruned; threshold }
+
+let prune_hook s u = s.pruned.(u)
+
+let screen_counters s =
+  [ ("affine-screen-nodes-pruned", s.nodes_pruned);
+    ("affine-screen-nodes-visited", s.nodes_visited) ]
+
+let methodology_screen config ~sta ~slack =
+  match compute config sta.Sta.graph with
+  | Error _ -> ((fun _ -> false), [])
+  | Ok a ->
+      let s = screen a sta ~slack in
+      (prune_hook s, screen_counters s)
+
+(* ----- per-node criticality ----- *)
+
+type crit = {
+  node : int;
+  through_center : float;
+  slack : float;
+  sigma : float;
+  z : float;
+  prob : float;
+}
+
+let criticality a (sta : Sta.t) =
+  let g = sta.Sta.graph in
+  let critical = sta.Sta.critical_delay in
+  let crits = ref [] in
+  for u = 0 to Graph.num_nodes g - 1 do
+    if not (Graph.is_input g u) then begin
+      match through a u with
+      | Bottom -> ()
+      | Form f ->
+          let slack = Float.max 0.0 (critical -. f.center) in
+          let sigma = sigma_upper (Form f) in
+          let z = if sigma > 0.0 then slack /. sigma else infinity in
+          let prob = Erf.erfc (z /. sqrt 2.0) /. 2.0 in
+          crits :=
+            { node = u; through_center = f.center; slack; sigma; z; prob }
+            :: !crits
+    end
+  done;
+  List.sort
+    (fun a b ->
+      match Float.compare a.z b.z with
+      | 0 -> Int.compare a.node b.node
+      | c -> c)
+    (List.rev !crits)
+
+let pp_criticality ?(top = 20) (g : Graph.t) fmt crits =
+  let name id = Netlist.node_name g.Graph.circuit id in
+  Format.fprintf fmt
+    "criticality (affine upper bound, %d gates, top %d):@." (List.length crits)
+    top;
+  Format.fprintf fmt "  %-16s %10s %10s %8s %10s@." "gate" "slack_ps"
+    "sigma_ps" "z" "P_crit<=";
+  List.iteri
+    (fun i c ->
+      if i < top then
+        Format.fprintf fmt "  %-16s %10.3f %10.3f %8.3f %10.3e@." (name c.node)
+          (Elmore.ps c.slack) (Elmore.ps c.sigma) c.z c.prob)
+    crits
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let criticality_json (g : Graph.t) crits =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"criticality\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"node\": %d, \"name\": \"%s\", \"through_s\": %.17g, \
+            \"slack_s\": %.17g, \"sigma_s\": %.17g, \"z\": %.17g, \
+            \"prob_ub\": %.17g}"
+           c.node
+           (json_escape (Netlist.node_name g.Graph.circuit c.node))
+           c.through_center c.slack c.sigma c.z c.prob))
+    crits;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -11,6 +11,11 @@ module Methodology = Ssta_core.Methodology
 module Path_analysis = Ssta_core.Path_analysis
 module Ranking = Ssta_core.Ranking
 module Report_ = Ssta_core.Report
+module Monte_carlo = Ssta_core.Monte_carlo
+module Paths = Ssta_timing.Paths
+module Params = Ssta_tech.Params
+module Path_coeffs = Ssta_correlation.Path_coeffs
+module Rng = Ssta_prob.Rng
 module Pool = Ssta_parallel.Pool
 
 type injection = Bad_budget | Bad_placement | Corrupt_pdf
@@ -23,14 +28,15 @@ type input = {
   path_limit : int;
   par_jobs : int option;
   inject : injection option;
+  only : string list;
 }
 
 let input ?(config = Config.default) ?placement ?(pdfsan = true)
-    ?(path_limit = 64) ?par_jobs ?inject circuit =
+    ?(path_limit = 64) ?par_jobs ?inject ?(only = []) circuit =
   let placement =
     match placement with Some pl -> pl | None -> Placement.place circuit
   in
-  { circuit; placement; config; pdfsan; path_limit; par_jobs; inject }
+  { circuit; placement; config; pdfsan; path_limit; par_jobs; inject; only }
 
 type report = {
   diagnostics : D.t list;
@@ -56,6 +62,16 @@ let own_checks =
     ("check-bound-quantile",
      "each certified path's mean and quantiles lie inside its static \
       interval");
+    ("check-affine-containment",
+     "each certified path's Eq. (14) sensitivity vector lies inside the \
+      affine coefficient intervals, and Monte-Carlo samples of the \
+      circuit delay fall inside the affine truncation envelope");
+    ("check-affine-variance",
+     "each certified path's Eq. (14) inter/intra variance split is \
+      bounded by the affine sensitivity analysis");
+    ("check-affine-screen",
+     "the affine path screener's pruned enumeration reproduces the \
+      unpruned near-critical path set byte for byte");
     ("check-health",
      "numerical-health events of the certified run are surfaced");
     ("check-inter-cache-consistency",
@@ -258,26 +274,215 @@ let check_cache_consistency tables ~label (pa : Path_analysis.t) add =
              %s differs by %.3g relative (tolerance %g)"
             !worst_stat !worst cache_consistency_tol))
 
+(* --- affine certification -------------------------------------------- *)
+
+(* Eq. (14) vs the affine domain, per certified path.  The path's inter
+   coefficient per RV is the linearized (sum of gradients) * sigma *
+   sqrt w0 — exactly what the affine gate forms accumulate, up to
+   association order of the float sum, so a tight relative tolerance
+   applies.  The analytic intra sigma comes from
+   [Path_coeffs.intra_variance] (the exact Eq. 14 value, no PDF-grid
+   error) and must be bounded by the affine [intra_sigma] — a theorem
+   by the triangle inequality, whatever the layer partitioning. *)
+let check_affine_path config (aff : Affine.analysis) ~check_containment
+    ~check_variance ~label (pa : Path_analysis.t) add =
+  match Affine.path_form aff pa.Path_analysis.path with
+  | Affine.Bottom ->
+      add
+        (D.make ~rule:"check-affine-containment" ~severity:D.Error
+           ~location:(D.Pdf label)
+           "affine path form is bottom for an analyzed path")
+  | Affine.Form f ->
+      let budget = config.Config.budget in
+      let sqrt_w0 = sqrt (Budget.inter_fraction budget) in
+      let coeffs = pa.Path_analysis.coeffs in
+      let path_coeff rv =
+        Params.get coeffs.Path_coeffs.grad_sum rv *. Params.sigma rv
+        *. sqrt_w0
+      in
+      if check_containment then
+        List.iteri
+          (fun i rv ->
+            let c = path_coeff rv in
+            let iv = f.Affine.coeffs.(i) in
+            let slack =
+              1e-15
+              +. (1e-9 *. Float.max (Interval.magnitude iv) (Float.abs c))
+            in
+            if not (Interval.contains ~slack iv c) then
+              add
+                (D.make ~rule:"check-affine-containment" ~severity:D.Error
+                   ~location:(D.Pdf label)
+                   (Printf.sprintf
+                      "Eq. (14) sensitivity %.6g s of %s escapes the \
+                       affine coefficient interval %s"
+                      c (Params.rv_name rv)
+                      (Format.asprintf "%a" Interval.pp iv))))
+          Params.all_rvs;
+      if check_variance then begin
+        let inter_path =
+          sqrt
+            (List.fold_left
+               (fun acc rv ->
+                 let c = path_coeff rv in
+                 acc +. (c *. c))
+               0.0 Params.all_rvs)
+        in
+        let inter_bound =
+          sqrt
+            (Array.fold_left
+               (fun acc iv ->
+                 let m = Interval.magnitude iv in
+                 acc +. (m *. m))
+               0.0 f.Affine.coeffs)
+        in
+        let tol x = 1e-15 +. (1e-9 *. Float.abs x) in
+        if inter_path > inter_bound +. tol inter_bound then
+          add
+            (D.make ~rule:"check-affine-variance" ~severity:D.Error
+               ~location:(D.Pdf label)
+               (Printf.sprintf
+                  "Eq. (14) inter sigma %.6g s exceeds the affine bound \
+                   %.6g s"
+                  inter_path inter_bound));
+        let intra_path = sqrt (Path_coeffs.intra_variance coeffs budget) in
+        if intra_path > f.Affine.intra_sigma +. tol f.Affine.intra_sigma
+        then
+          add
+            (D.make ~rule:"check-affine-variance" ~severity:D.Error
+               ~location:(D.Pdf label)
+               (Printf.sprintf
+                  "Eq. (14) intra sigma %.6g s exceeds the affine bound \
+                   %.6g s"
+                  intra_path f.Affine.intra_sigma))
+      end
+
+(* Circuit-level Monte-Carlo envelope: every sampled critical delay
+   must land inside the concretization of the circuit's affine form at
+   the configured truncation (samples are drawn from the same truncated
+   parameter model).  Fixed seed: the check is deterministic. *)
+let mc_envelope_samples = 200
+
+let check_affine_envelope config (aff : Affine.analysis) sta placement add =
+  let env = Affine.concretize ~trunc:aff.Affine.trunc aff.Affine.circuit in
+  let sampler = Monte_carlo.sampler config sta.Sta.graph placement in
+  let rng = Rng.create 1 in
+  let samples =
+    Monte_carlo.circuit_delay_samples sampler ~n:mc_envelope_samples rng
+  in
+  let slack = rel_slack env in
+  let bad = ref 0 and worst = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      if not (Interval.contains ~slack env s) then begin
+        incr bad;
+        if s > !worst then worst := s
+      end)
+    samples;
+  if !bad > 0 then
+    add
+      (D.make ~rule:"check-affine-containment" ~severity:D.Error
+         ~location:D.Circuit
+         (Printf.sprintf
+            "%d of %d Monte-Carlo circuit delays escape the affine \
+             envelope %s (worst %.6g s)"
+            !bad mc_envelope_samples
+            (Format.asprintf "%a" Interval.pp env)
+            !worst))
+
+(* Proof obligation of the static screener: rerun the near-critical
+   enumeration with and without the prune hook and demand byte-equal
+   records — paths, order, delays, explored count, flags. *)
+let render_enumeration (e : Paths.enumeration) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (Printf.sprintf "%.17g|" p.Paths.delay);
+      Array.iter
+        (fun id ->
+          Buffer.add_string b (string_of_int id);
+          Buffer.add_char b ',')
+        p.Paths.nodes;
+      Buffer.add_char b '\n')
+    e.Paths.paths;
+  Buffer.add_string b
+    (Printf.sprintf "explored=%d truncated=%b deadline=%b" e.Paths.explored
+       e.Paths.truncated e.Paths.deadline_hit);
+  Buffer.contents b
+
+let check_affine_screen config (aff : Affine.analysis) sta ~slack add =
+  let sc = Affine.screen aff sta ~slack in
+  let max_paths = config.Config.max_paths in
+  let base = Sta.near_critical ~max_paths sta ~slack in
+  let pruned =
+    Sta.near_critical ~max_paths ~prune:(Affine.prune_hook sc) sta ~slack
+  in
+  let sb = render_enumeration base and sp = render_enumeration pruned in
+  if String.equal sb sp then
+    add
+      (D.make ~rule:"check-affine-screen" ~severity:D.Info
+         ~location:D.Circuit
+         (Printf.sprintf
+            "screener pruned %d of %d nodes; pruned enumeration is \
+             byte-identical (%d paths)"
+            sc.Affine.nodes_pruned sc.Affine.nodes_visited
+            (List.length base.Paths.paths)))
+  else begin
+    let n = Int.min (String.length sb) (String.length sp) in
+    let i = ref 0 in
+    while !i < n && sb.[!i] = sp.[!i] do
+      incr i
+    done;
+    add
+      (D.make ~rule:"check-affine-screen" ~severity:D.Error
+         ~location:D.Circuit
+         (Printf.sprintf
+            "pruned enumeration diverges from the unpruned one at byte \
+             %d (%d vs %d paths, %d of %d nodes pruned)"
+            !i
+            (List.length pruned.Paths.paths)
+            (List.length base.Paths.paths)
+            sc.Affine.nodes_pruned sc.Affine.nodes_visited))
+  end
+
 (* --- driver ---------------------------------------------------------- *)
+
+(* Check ids whose evidence comes from the static phase alone; with
+   [--only] restricted to these, the dynamic run is skipped entirely. *)
+let static_ids =
+  "check-var-budget" :: List.map fst Placement_check.checks
 
 let run inp =
   let inp = apply_injection inp in
-  let { circuit; placement; config; pdfsan; path_limit; par_jobs; inject } =
+  let { circuit;
+        placement;
+        config;
+        pdfsan;
+        path_limit;
+        par_jobs;
+        inject;
+        only } =
     inp
+  in
+  let selected id = only = [] || List.mem id only in
+  let any_selected ids = List.exists selected ids in
+  let dynamic_needed =
+    only = [] || List.exists (fun id -> not (List.mem id static_ids)) only
   in
   let ds = ref [] in
   let add d = ds := d :: !ds in
   let nodes_certified = ref 0 and paths_certified = ref 0 in
   let health = Health.create () in
   let san = Pdfsan.create ~health () in
-  (* Static phase. *)
+  (* Static phase: always runs — static errors gate the dynamic phase
+     whatever the selection, and stay visible through the filter. *)
   List.iter add (Variance_check.check_config config);
   List.iter add (Placement_check.check config circuit placement);
   let static_clean = not (Engine.has_errors !ds) in
   (* Injected PDF corruption is audited even when the static phase (or
      the pdfsan flag) would skip the dynamic run. *)
   if inject = Some Corrupt_pdf then Pdfsan.audit san (corrupt_event ());
-  if static_clean then begin
+  if static_clean && dynamic_needed then begin
     let sta = Sta.analyze circuit in
     (match Arrival_bounds.compute config sta.Sta.graph with
     | Error msg ->
@@ -291,8 +496,32 @@ let run inp =
     | Ok bounds ->
         certify_labels bounds sta add;
         nodes_certified := Array.length bounds.Arrival_bounds.arrival;
+        let affine_ids =
+          [ "check-affine-containment";
+            "check-affine-variance";
+            "check-affine-screen" ]
+        in
+        let affine =
+          if any_selected affine_ids then
+            match Affine.compute config sta.Sta.graph with
+            | Ok aff -> Some aff
+            | Error msg ->
+                (* Arrival_bounds succeeded on the same corners, so
+                   this is a verifier bug, not a domain failure. *)
+                add
+                  (D.make ~rule:"check-internal" ~severity:D.Error
+                     ~location:D.Config
+                     (Printf.sprintf "affine analysis failed: %s" msg));
+                None
+          else None
+        in
+        (match affine with
+        | Some aff when selected "check-affine-containment" ->
+            check_affine_envelope config aff sta placement add
+        | _ -> ());
         (* Dynamic phase: a full methodology run under the sanitizer. *)
-        if pdfsan then Pdfsan.install san;
+        if pdfsan && any_selected (List.map fst Pdfsan.checks) then
+          Pdfsan.install san;
         let result =
           Fun.protect ~finally:Pdfsan.uninstall (fun () ->
               Methodology.analyze ~config ~placement circuit)
@@ -313,18 +542,41 @@ let run inp =
                 Some (Ssta_core.Inter.tables m.Methodology.config)
               else None
             in
+            let bound_path_ids =
+              [ "check-bound-nominal";
+                "check-bound-support";
+                "check-bound-quantile" ]
+            in
+            let var_path_ids =
+              List.filter
+                (fun id -> not (String.equal id "check-var-budget"))
+                (List.map fst Variance_check.checks)
+            in
             for i = 0 to limit - 1 do
               let r = ranked.(i) in
               let label = Printf.sprintf "path#%d" r.Ranking.prob_rank in
               let pa = r.Ranking.analysis in
-              certify_path bounds ~label pa add;
+              if any_selected bound_path_ids then
+                certify_path bounds ~label pa add;
               (match cache_tables with
-              | Some t -> check_cache_consistency t ~label pa add
-              | None -> ());
-              List.iter add
-                (Variance_check.check_path config
-                   ~num_nodes:(Netlist.num_nodes circuit)
-                   ~label pa)
+              | Some t when selected "check-inter-cache-consistency" ->
+                  check_cache_consistency t ~label pa add
+              | _ -> ());
+              if any_selected var_path_ids then
+                List.iter add
+                  (Variance_check.check_path config
+                     ~num_nodes:(Netlist.num_nodes circuit)
+                     ~label pa);
+              match affine with
+              | Some aff ->
+                  let check_containment =
+                    selected "check-affine-containment"
+                  in
+                  let check_variance = selected "check-affine-variance" in
+                  if check_containment || check_variance then
+                    check_affine_path config aff ~check_containment
+                      ~check_variance ~label pa add
+              | None -> ()
             done;
             paths_certified := limit;
             if limit < total then
@@ -335,6 +587,11 @@ let run inp =
                       "certified %d of %d analyzed paths (raise the path \
                        limit for full coverage)"
                       limit total));
+            (match affine with
+            | Some aff when selected "check-affine-screen" ->
+                check_affine_screen config aff sta ~slack:m.Methodology.slack
+                  add
+            | _ -> ());
             Health.merge ~into:health m.Methodology.health;
             (* Parallel determinism: rerun the whole flow on a worker
                pool (without the sanitizer — its trace hook is a
@@ -343,6 +600,7 @@ let run inp =
                same ranking, same degradations, same health counters. *)
             (match par_jobs with
             | None -> ()
+            | Some _ when not (selected "check-parallel-determinism") -> ()
             | Some jobs -> (
                 let par =
                   Pool.with_pool ~jobs (fun pool ->
@@ -388,7 +646,15 @@ let run inp =
       (D.make ~rule:"check-health" ~severity:D.Info ~location:D.Circuit
          (Printf.sprintf "%d sanitizer findings dropped beyond the cap"
             (Pdfsan.dropped san)));
-  { diagnostics = List.stable_sort D.compare (List.rev !ds);
+  (* [--only] filters the report to the selected ids — except that
+     errors from checks that did run always surface: a hidden error
+     would turn a failing run into a clean exit code. *)
+  let diagnostics =
+    List.filter
+      (fun d -> selected d.D.rule || d.D.severity = D.Error)
+      (List.rev !ds)
+  in
+  { diagnostics = List.stable_sort D.compare diagnostics;
     nodes_certified = !nodes_certified;
     paths_certified = !paths_certified;
     ops_audited = Pdfsan.ops san;

@@ -10,6 +10,11 @@
     + {b bounds} — interval arrival-time analysis
       ({!Arrival_bounds}): certify the deterministic labels, the
       critical delay and the forward/backward duality.
+    + {b bounds} — affine arrival-time analysis ({!Affine}): certify
+      every path's Eq. (14) sensitivity vector and variance split
+      against the zonotope bounds, Monte-Carlo samples against the
+      truncation envelope, and the static path screener's proof
+      obligation (pruned enumeration byte-equal to the unpruned one).
     + {b dynamic} — run {!Ssta_core.Methodology.analyze} (optionally
       under the PDF sanitizer, {!Pdfsan}) and certify every analyzed
       path: nominal delay, PDF supports, quantiles and mean against the
@@ -43,6 +48,14 @@ type input = {
           demand a byte-identical deterministic report
           ([check-parallel-determinism]) *)
   inject : injection option;
+  only : string list;
+      (** run only these check ids ([[]] = all).  The static phase
+          still executes (its errors gate the dynamic phase and always
+          surface), but expensive phases whose ids are all unselected —
+          the methodology run itself, the sanitizer, per-path
+          certification loops, the parallel rerun, the affine passes —
+          are skipped, and the report is filtered to the selected ids
+          plus any error found along the way. *)
 }
 
 val input :
@@ -52,10 +65,12 @@ val input :
   ?path_limit:int ->
   ?par_jobs:int ->
   ?inject:injection ->
+  ?only:string list ->
   Ssta_circuit.Netlist.t ->
   input
 (** Defaults: {!Ssta_core.Config.default} configuration, computed
-    placement, pdfsan on, [path_limit] 64, parallel certification off. *)
+    placement, pdfsan on, [path_limit] 64, parallel certification off,
+    [only] empty (every check). *)
 
 type report = {
   diagnostics : Ssta_lint.Diagnostic.t list;

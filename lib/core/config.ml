@@ -14,6 +14,7 @@ type t = {
   max_paths : int;
   inter_shape : Ssta_prob.Shape.t;
   inter_cache : bool;
+  affine_prune : bool;
 }
 
 let num_layers t = t.quad_levels + if t.random_layer then 1 else 0
@@ -31,7 +32,8 @@ let default =
     confidence_sigma = 3.0;
     max_paths = 20_000;
     inter_shape = Ssta_prob.Shape.Gaussian;
-    inter_cache = true }
+    inter_cache = true;
+    affine_prune = true }
 
 let with_confidence t confidence = { t with confidence }
 

@@ -25,6 +25,12 @@ type t = {
       (** amortize the per-path inter-kernel through the scale-covariant
           cache (see {!Inter}); [false] recomputes every path from
           scratch (the [--no-inter-cache] A/B escape hatch) *)
+  affine_prune : bool;
+      (** statically screen near-critical enumeration through the affine
+          arrival domain (see [Ssta_check.Affine]); pruning is proof-
+          carrying — the reported path set is byte-identical either way —
+          so [false] ([--no-affine-prune]) is purely an A/B escape
+          hatch *)
 }
 
 val default : t

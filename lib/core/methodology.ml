@@ -30,7 +30,8 @@ let is_degraded t = match t.status with Complete -> false | Degraded _ -> true
 let degradations t =
   match t.status with Complete -> [] | Degraded ds -> ds
 
-let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool circuit =
+let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
+    circuit =
   let started = Unix.gettimeofday () in
   let budget = Rbudget.limits tracker in
   let degradations = ref [] in
@@ -80,8 +81,18 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool circuit =
      budget clamps the enumeration cap and imposes the deadline. *)
   let max_paths = Rbudget.effective_max_paths budget config.Config.max_paths in
   let should_stop = Rbudget.stop_check tracker in
+  (* Optional static screen (the affine suffix bound): the hook prunes
+     only provably sub-threshold subtrees, so the enumeration record is
+     byte-identical with or without it; the counters it reports are a
+     pure function of graph + config + slack, keeping --jobs
+     determinism. *)
+  let prune, screen_counters =
+    match screen with
+    | None -> ((fun _ -> false), [])
+    | Some f -> f ~sta ~slack
+  in
   let enumeration =
-    Sta.near_critical ~max_paths ~should_stop ?pool sta ~slack
+    Sta.near_critical ~max_paths ~should_stop ~prune ?pool sta ~slack
   in
   let num_enumerated = List.length enumeration.Paths.paths in
   if enumeration.Paths.deadline_hit then
@@ -144,6 +155,7 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool circuit =
       Health.counter_set health "inter-cache-lookups" st.Inter.cs_lookups;
       Health.counter_set health "inter-cache-distinct" st.Inter.cs_distinct;
       Health.counter_set health "inter-cache-hits" st.Inter.cs_hits);
+  List.iter (fun (k, v) -> Health.counter_set health k v) screen_counters;
   if stopped then
     degrade
       (Rbudget.Deadline_hit
@@ -195,19 +207,20 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool circuit =
     status;
     health }
 
-let run ?(config = Config.default) ?placement ?wire ?wire_caps ?pool circuit =
+let run ?(config = Config.default) ?placement ?wire ?wire_caps ?pool ?screen
+    circuit =
   run_tracked ~config
     ~tracker:(Rbudget.start Rbudget.unlimited)
-    ?placement ?wire ?wire_caps ?pool circuit
+    ?placement ?wire ?wire_caps ?pool ?screen circuit
 
 let analyze ?(config = Config.default) ?(budget = Rbudget.unlimited) ?placement
-    ?wire ?wire_caps ?pool circuit =
+    ?wire ?wire_caps ?pool ?screen circuit =
   match Rbudget.validate budget with
   | Error e -> Error e
   | Ok () ->
       Err.protect ~context:"Methodology.analyze" (fun () ->
           run_tracked ~config ~tracker:(Rbudget.start budget) ?placement ?wire
-            ?wire_caps ?pool circuit)
+            ?wire_caps ?pool ?screen circuit)
 
 let num_critical_paths t = Array.length t.ranked
 

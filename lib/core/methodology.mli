@@ -53,6 +53,10 @@ val run :
   ?wire:Ssta_tech.Wire.params ->
   ?wire_caps:float array ->
   ?pool:Ssta_parallel.Pool.t ->
+  ?screen:
+    (sta:Ssta_timing.Sta.t ->
+     slack:float ->
+     (int -> bool) * (string * int) list) ->
   Ssta_circuit.Netlist.t ->
   t
 (** Execute the flow (default config {!Config.default}; default placement
@@ -62,7 +66,16 @@ val run :
     from {!Ssta_circuit.Spef.apply}), each node uses that explicit wire
     capacitance.  The two are mutually exclusive.  [pool] parallelizes
     steps 4–5 without changing any result bit (see the module
-    preamble). *)
+    preamble).
+
+    [screen] statically screens step 4: it receives the step-2 STA and
+    the step-3 slack and returns a prune hook for
+    {!Ssta_timing.Paths.enumerate} plus health counters to record
+    (e.g. [Ssta_check.Affine.methodology_screen]).  The hook carries
+    the proof obligation documented at [Paths.enumerate ?prune] — it
+    must only prune nodes on no near-critical path, so the reported
+    paths stay byte-identical; the counters must be
+    scheduling-independent. *)
 
 val analyze :
   ?config:Config.t ->
@@ -71,6 +84,10 @@ val analyze :
   ?wire:Ssta_tech.Wire.params ->
   ?wire_caps:float array ->
   ?pool:Ssta_parallel.Pool.t ->
+  ?screen:
+    (sta:Ssta_timing.Sta.t ->
+     slack:float ->
+     (int -> bool) * (string * int) list) ->
   Ssta_circuit.Netlist.t ->
   (t, Ssta_runtime.Ssta_error.t) result
 (** Result-returning entry point: like {!run}, but never raises —

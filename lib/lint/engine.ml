@@ -12,12 +12,13 @@ type input = {
   def : Ssta_circuit.Def_format.t option;
   config : Config.t;
   budget_weights : float array option;
+  deadline_s : float option;
   deep : bool;
 }
 
 let input ?placement ?spef ?def ?(config = Config.default) ?budget_weights
-    ?(deep = true) circuit =
-  { circuit; placement; spef; def; config; budget_weights; deep }
+    ?deadline_s ?(deep = true) circuit =
+  { circuit; placement; spef; def; config; budget_weights; deadline_s; deep }
 
 let deep_checks i =
   (* One Bellman-Ford pass plus a single-path statistical analysis —
@@ -42,7 +43,7 @@ let deep_checks i =
 
 let run i =
   let config_ds =
-    Rules_config.check i.config
+    Rules_config.check ?deadline_s:i.deadline_s i.config
     @
     match i.budget_weights with
     | Some w ->

@@ -17,6 +17,9 @@ type input = {
   budget_weights : float array option;
       (** raw (pre-normalization) weights to validate, e.g. parsed from
           the command line *)
+  deadline_s : float option;
+      (** the run's deadline budget, for the config-vs-budget
+          cross-check ([config-deadline]) *)
   deep : bool;  (** run the timing-graph / PDF checks (default true) *)
 }
 
@@ -26,6 +29,7 @@ val input :
   ?def:Ssta_circuit.Def_format.t ->
   ?config:Ssta_core.Config.t ->
   ?budget_weights:float array ->
+  ?deadline_s:float ->
   ?deep:bool ->
   Ssta_circuit.Netlist.t ->
   input

@@ -6,10 +6,25 @@ let rules =
   [ ("config-invalid", "Config.validate rejected the configuration");
     ("config-quality", "suspicious PDF discretization quality points");
     ("config-confidence", "confidence constant beyond 1.0");
+    ("config-deadline",
+     "configured inter quality cannot cold-build its kernel within the \
+      deadline budget");
     ("budget-shares", "layer variance shares do not sum to the total");
     ("budget-degenerate", "intra-die layers carry zero variance") ]
 
 let quality_ceiling = 4000
+
+(* Conservative per-cell cost of the O(Q^3) inter-kernel cold build
+   (dominant term: Q_inter^3 density evaluations when the scale-covariant
+   cache is cold).  8 ns/cell is calibrated well above the measured
+   hotpath numbers, so the estimate errs toward warning early: the
+   paper's Q = 50 estimates at 1 ms, the 4000-cell sanity ceiling at
+   ~8.5 min. *)
+let cold_build_cell_ns = 8.0
+
+let inter_cold_build_estimate_s q =
+  let q = float_of_int q in
+  q *. q *. q *. cold_build_cell_ns *. 1e-9
 
 let check_budget_weights ?layers weights =
   let ds = ref [] in
@@ -57,7 +72,7 @@ let check_budget_weights ?layers weights =
   end;
   List.rev !ds
 
-let check (cfg : Config.t) =
+let check ?deadline_s (cfg : Config.t) =
   let ds = ref [] in
   let emit d = ds := d :: !ds in
   (match Config.validate cfg with
@@ -81,6 +96,22 @@ let check (cfg : Config.t) =
          ~hint:"PDF combination cost grows quadratically in the quality"
          (Printf.sprintf "quality points %d/%d beyond the %d sanity ceiling"
             cfg.Config.quality_intra cfg.Config.quality_inter quality_ceiling));
+  (match deadline_s with
+  | Some deadline when deadline > 0.0 ->
+      let estimate = inter_cold_build_estimate_s cfg.Config.quality_inter in
+      if estimate > deadline then
+        emit
+          (D.make ~rule:"config-deadline" ~severity:D.Warning
+             ~location:D.Config
+             ~hint:
+               "lower quality_inter or raise the deadline; the run will \
+                start but degrade before producing results"
+             (Printf.sprintf
+                "quality_inter %d estimates a %.3g s inter-kernel cold \
+                 build (O(Q^3), %.0f ns/cell), beyond the %.3g s deadline"
+                cfg.Config.quality_inter estimate cold_build_cell_ns
+                deadline))
+  | _ -> ());
   if cfg.Config.confidence > 1.0 then
     emit
       (D.make ~rule:"config-confidence" ~severity:D.Warning ~location:D.Config

@@ -10,15 +10,21 @@
       quality point beyond 4000 cells (quadratic run-time blow-up).
     - [config-confidence] (warning): a confidence constant above 1.0 —
       near-critical enumeration explodes.
+    - [config-deadline] (warning): the configured [quality_inter] makes
+      the O(Q^3) inter-kernel cold build estimate (at a conservative
+      8 ns per cell) exceed the configured deadline budget — the run
+      would burn its deadline before analyzing a single path.
     - [budget-shares] (error): a raw weight vector that is empty, has
       negative or non-finite entries, does not sum to 1, or does not
       match the layer count.
     - [budget-degenerate] (warning): the intra-die layers carry zero
       variance — every path PDF collapses to the inter-die part. *)
 
-val check : Ssta_core.Config.t -> Diagnostic.t list
+val check : ?deadline_s:float -> Ssta_core.Config.t -> Diagnostic.t list
 (** Configuration checks, including budget checks on the (normalized)
-    weights embedded in the config. *)
+    weights embedded in the config.  [deadline_s] is the run's deadline
+    budget, if any: when given, the [config-deadline] cross-check
+    compares it against the inter-kernel cold-build estimate. *)
 
 val check_budget_weights :
   ?layers:int -> float array -> Diagnostic.t list

@@ -149,7 +149,7 @@ let stream_batch = 64
 
 (* Advance one endpoint's search by up to [want] pops, buffering them.
    Runs on worker domains: touches only this stream's state. *)
-let fill g ~labels ~threshold ~bucket_of ~want s =
+let fill g ~labels ~threshold ~bucket_of ~prune ~want s =
   let i = ref 0 in
   while !i < want && not (Heap.is_empty s.sheap) do
     let c = Heap.pop s.sheap in
@@ -158,7 +158,7 @@ let fill g ~labels ~threshold ~bucket_of ~want s =
       Array.iter
         (fun u ->
           let bound = tail_delay +. labels.(u) in
-          if bound >= threshold then
+          if bound >= threshold && not (prune u) then
             Heap.push s.sheap
               { bucket = bucket_of bound;
                 depth = c.depth + 1;
@@ -172,8 +172,8 @@ let fill g ~labels ~threshold ~bucket_of ~want s =
   done;
   if Heap.is_empty s.sheap then s.live <- false
 
-let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) ?pool g
-    ~labels ~slack =
+let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false)
+    ?(prune = fun _ -> false) ?pool g ~labels ~slack =
   if slack < 0.0 then invalid_arg "Paths.enumerate: slack must be >= 0";
   if max_paths < 1 then invalid_arg "Paths.enumerate: max_paths must be >= 1";
   let pool =
@@ -190,7 +190,7 @@ let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) ?pool g
     Array.of_list
       (List.filter_map
          (fun o ->
-           if labels.(o) >= threshold then begin
+           if labels.(o) >= threshold && not (prune o) then begin
              let sheap = Heap.create () in
              Heap.push sheap
                { bucket = bucket_of labels.(o);
@@ -215,7 +215,7 @@ let enumerate ?(max_paths = 200_000) ?(should_stop = fun () -> false) ?pool g
     in
     Pool.run pool ~chunks:(Array.length targets) (fun i ->
         let s = targets.(i) in
-        fill g ~labels ~threshold ~bucket_of
+        fill g ~labels ~threshold ~bucket_of ~prune
           ~want:(stream_batch - Queue.length s.buf)
           s)
   in

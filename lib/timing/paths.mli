@@ -49,6 +49,7 @@ val recompute_delay : Graph.t -> int array -> float
 val enumerate :
   ?max_paths:int ->
   ?should_stop:(unit -> bool) ->
+  ?prune:(int -> bool) ->
   ?pool:Ssta_parallel.Pool.t ->
   Graph.t ->
   labels:float array ->
@@ -59,6 +60,16 @@ val enumerate :
     [should_stop] is polled once per expanded candidate; when it
     returns [true] the search stops and the result carries the paths
     emitted so far with [deadline_hit = true].
+
+    [prune] is a static screening hook: a node for which it returns
+    [true] is never pushed on the frontier.  The caller must only prune
+    nodes that provably lie on no path whose delay clears the
+    enumeration threshold (e.g. from the affine suffix bound of
+    [Ssta_check.Affine.screen]); under that obligation the entire
+    enumeration record — paths, order, [explored], flags — is
+    byte-identical to the unpruned run, because every frontier push the
+    unpruned search performs survives the hook.  The hook must be pure:
+    it is called from worker domains when [pool] is given.
 
     The search decomposes by primary output into independent
     per-endpoint streams whose buffered expansions are merged back in

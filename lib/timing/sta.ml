@@ -20,8 +20,9 @@ let of_graph graph =
 let analyze ?wire_cap c = of_graph (Graph.of_netlist ?wire_cap c)
 let analyze_placed ?wire c pl = of_graph (Graph.of_placed ?wire c pl)
 
-let near_critical ?max_paths ?should_stop ?pool t ~slack =
-  Paths.enumerate ?max_paths ?should_stop ?pool t.graph ~labels:t.labels ~slack
+let near_critical ?max_paths ?should_stop ?prune ?pool t ~slack =
+  Paths.enumerate ?max_paths ?should_stop ?prune ?pool t.graph
+    ~labels:t.labels ~slack
 
 let worst_case_delay ?corner_k t path =
   Corner.path_delay ?k:corner_k Corner.Worst (Paths.path_gates t.graph path)

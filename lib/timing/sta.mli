@@ -31,6 +31,7 @@ val analyze_placed :
 val near_critical :
   ?max_paths:int ->
   ?should_stop:(unit -> bool) ->
+  ?prune:(int -> bool) ->
   ?pool:Ssta_parallel.Pool.t ->
   t ->
   slack:float ->

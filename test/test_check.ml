@@ -495,7 +495,9 @@ let test_sarif_shape () =
 (* --- registry (satellite): ids unique and stable --------------------- *)
 
 let expected_check_ids =
-  [ "check-bound-arrival"; "check-bound-domain"; "check-bound-nominal";
+  [ "check-affine-containment"; "check-affine-screen";
+    "check-affine-variance";
+    "check-bound-arrival"; "check-bound-domain"; "check-bound-nominal";
     "check-bound-quantile"; "check-bound-support"; "check-health";
     "check-inter-cache-consistency";
     "check-internal"; "check-parallel-determinism"; "check-pdfsan-cdf";

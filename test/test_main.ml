@@ -24,6 +24,7 @@ let () =
       Test_sequential.suite;
       Test_lint.suite;
       Test_check.suite;
+      Test_affine.suite;
       Test_runtime.suite;
       Test_inter_cache.suite;
       Test_parallel.suite;
