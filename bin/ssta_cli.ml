@@ -33,7 +33,11 @@ module Err = Ssta_runtime.Ssta_error
 module Rbudget = Ssta_runtime.Budget
 module Fault = Ssta_runtime.Fault
 module Health = Ssta_runtime.Health
+module Cancel = Ssta_runtime.Cancel
+module Backoff = Ssta_runtime.Backoff
 module Pool = Ssta_parallel.Pool
+module Server = Ssta_server.Server
+module Sproto = Ssta_server.Protocol
 
 (* Exit-code convention (documented in the README):
      0  success
@@ -369,11 +373,21 @@ let check_cmd =
         else if jobs > 1 then Some jobs
         else None
       in
+      (* SIGINT/SIGTERM stop the verifier between checks: the completed
+         certifications are reported plus a check-interrupted warning. *)
+      let signal_latch = Cancel.create () in
+      Cancel.on_signals signal_latch;
       let input =
         Checker.input ~config ~placement ~pdfsan:(not no_pdfsan) ~path_limit
-          ?par_jobs ?inject ~only circuit
+          ?par_jobs ?inject ~only
+          ~should_stop:(fun () -> Cancel.cancelled signal_latch)
+          circuit
       in
-      let report = Checker.run input in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Cancel.restore_default_signals ())
+          (fun () -> Checker.run input)
+      in
       let circuit_name = circuit.Ssta_circuit.Netlist.name in
       let shown = Lint.filter ~min_severity report.Checker.diagnostics in
       (match format with
@@ -529,12 +543,28 @@ let run_cmd =
         Some (Affine.methodology_screen config)
       else None
     in
+    (* SIGINT/SIGTERM land in a cooperative latch: the run finishes the
+       path in flight, keeps the analyzed prefix, and the report below
+       is emitted in full (marked degraded) instead of dying mid-write. *)
+    let signal_latch = Cancel.create () in
+    Cancel.on_signals signal_latch;
     let m =
-      with_jobs jobs (fun pool ->
-          ok_or_raise
-            (Methodology.analyze ~config ~budget ~placement ?wire ?wire_caps
-               ?screen ~pool circuit))
+      Fun.protect
+        ~finally:(fun () -> Cancel.restore_default_signals ())
+        (fun () ->
+          with_jobs jobs (fun pool ->
+              ok_or_raise
+                (Methodology.analyze ~config ~budget
+                   ~cancelled:(fun () -> Cancel.cancelled signal_latch)
+                   ~placement ?wire ?wire_caps ?screen ~pool circuit)))
     in
+    (match Cancel.reason signal_latch with
+    | None -> ()
+    | Some r ->
+        Health.counter_set m.Methodology.health ("signal-" ^ r) 1;
+        Fmt.epr
+          "ssta: interrupted by %s; the report covers the analyzed prefix@."
+          r);
     if criticality then begin
       let sta = m.Methodology.sta in
       let graph = sta.Ssta_timing.Sta.graph in
@@ -750,11 +780,28 @@ let mc_cmd =
     let sampler =
       Monte_carlo.sampler Config.default sta.Ssta_timing.Sta.graph placement
     in
+    (* SIGINT/SIGTERM finish the shard in flight and summarize the
+       completed prefix instead of dying mid-run. *)
+    let signal_latch = Cancel.create () in
+    Cancel.on_signals signal_latch;
     let v =
-      with_jobs jobs (fun pool ->
-          Monte_carlo.validate_path_sharded ~n:samples ~pool ~seed sampler a)
+      Fun.protect
+        ~finally:(fun () -> Cancel.restore_default_signals ())
+        (fun () ->
+          with_jobs jobs (fun pool ->
+              Monte_carlo.validate_path_sharded ~n:samples ~pool
+                ~should_stop:(fun () -> Cancel.cancelled signal_latch)
+                ~seed sampler a))
     in
-    Fmt.pr "critical path of %s, %d exact Monte-Carlo samples:@." name samples;
+    let drawn = v.Monte_carlo.sampled.Ssta_prob.Stats.count in
+    (match Cancel.reason signal_latch with
+    | Some r when drawn < samples ->
+        Fmt.epr
+          "ssta: interrupted by %s after %d of %d samples; summarizing \
+           the completed shards@."
+          r drawn samples
+    | _ -> ());
+    Fmt.pr "critical path of %s, %d exact Monte-Carlo samples:@." name drawn;
     Fmt.pr "  analytic: mean %.3f ps, std %.3f ps@."
       (Elmore.ps a.Path_analysis.mean)
       (Elmore.ps a.Path_analysis.std);
@@ -1028,6 +1075,98 @@ let figures_cmd =
     Term.(const action $ out $ mp)
 
 (* fault *)
+(* serve *)
+let serve_cmd =
+  let action name bench verilog def qi qj c k mp inter_fraction shape
+      no_inter_cache jobs max_queue max_request_bytes default_deadline
+      retry_degraded socket =
+    guarded @@ fun () ->
+    let load () = load_circuit ?verilog ~bench ~def name in
+    let circuit, placement = load () in
+    let config =
+      config_of ~quality_intra:qi ~quality_inter:qj ~confidence:c ~corner_k:k
+        ~max_paths:mp ~inter_fraction ~shape ~inter_cache:(not no_inter_cache)
+    in
+    (* SIGINT/SIGTERM trip the server's cancellation latch: the request
+       in flight degrades cooperatively, accepted requests drain, new
+       ones are refused, then the loop exits and the summary flushes. *)
+    let cancel = Cancel.create () in
+    Cancel.on_signals cancel;
+    let reload () = Err.protect ~context:"ssta-serve.reload" load in
+    let backoff = Backoff.make ~base_s:0.05 ~max_retries:1 () in
+    let summary =
+      Fun.protect
+        ~finally:(fun () -> Cancel.restore_default_signals ())
+        (fun () ->
+          with_jobs jobs (fun pool ->
+              let server =
+                Server.create ~config ~pool
+                  ?default_deadline_s:default_deadline ~retry_degraded
+                  ~backoff ~cancel ~reload circuit placement
+              in
+              (match socket with
+              | Some path ->
+                  Server.serve_socket ~max_queue ~max_request_bytes server
+                    ~path
+              | None ->
+                  ignore
+                    (Server.serve ~max_queue ~max_request_bytes server stdin
+                       stdout));
+              Server.summary server))
+    in
+    Fmt.epr "%s@." summary;
+    0
+  in
+  let max_queue =
+    Arg.(value & opt int 64
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Bound on queued requests; submissions beyond it are \
+                   answered immediately with a retryable overloaded \
+                   status instead of buffering without limit.")
+  in
+  let max_request_bytes =
+    Arg.(value & opt int 1_048_576
+         & info [ "max-request-bytes" ] ~docv:"N"
+             ~doc:"Reject request lines longer than this many bytes with \
+                   a typed protocol error.")
+  in
+  let default_deadline =
+    Arg.(value & opt (some deadline_conv) None
+         & info [ "default-deadline" ] ~docv:"DURATION"
+             ~doc:"Wall-clock budget applied to requests that carry no \
+                   deadline field of their own.")
+  in
+  let retry_degraded =
+    Arg.(value & flag
+         & info [ "retry-degraded" ]
+             ~doc:"When a request hits its deadline, re-run it once at \
+                   halved PDF quality with no deadline — a complete \
+                   low-resolution answer instead of a truncated \
+                   high-resolution one.  Requests can override this \
+                   per-call with the retry field.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket instead of \
+                   stdin/stdout (one connection served at a time).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Persistent analysis server: load the circuit once, keep the \
+             inter-PDF tables and kernel cache warm, and answer \
+             line-delimited JSON requests (run, query, check, \
+             criticality, health, reload, shutdown) from stdin or a \
+             Unix socket.  Supervised: per-request deadlines degrade \
+             instead of killing the server, malformed requests get \
+             typed error responses, the queue is bounded with \
+             backpressure, and SIGTERM drains before exiting.")
+    Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
+          $ quality_intra_opt $ quality_inter_opt $ confidence_opt
+          $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
+          $ no_inter_cache_opt $ jobs_opt $ max_queue $ max_request_bytes
+          $ default_deadline $ retry_degraded $ socket)
+
 let fault_cmd =
   let action name seed verbose =
     guarded @@ fun () ->
@@ -1101,6 +1240,38 @@ let fault_cmd =
       (fun t ->
         Result.bind (Spef.parse_string_res t) (fun s ->
             Result.map ignore (Spef.apply_res s circuit)));
+    (* The server's request protocol is an input format like any other:
+       every corruption of a request line must come back as a typed
+       protocol error, never a crash.  [fixed] corruptions replace the
+       line wholesale with a specific attack; the standard corpus
+       (truncation, garbling, junk) applies on top. *)
+    let proto_base =
+      {|{"op": "run", "id": "fault-probe", "quality_intra": 24, "max_paths": 8}|}
+    in
+    let fixed label text =
+      Fault.make_corruption ~label ~describe:label (fun _ -> text)
+    in
+    check "protocol" proto_base
+      [ fixed "proto-unknown-op" {|{"op": "frobnicate"}|};
+        fixed "proto-missing-op" {|{"id": "x", "quality_intra": 24}|};
+        fixed "proto-extra-field" {|{"op": "health", "bogus": 1}|};
+        fixed "proto-quality-negative" {|{"op": "run", "quality_intra": -5}|};
+        fixed "proto-quality-absurd"
+          {|{"op": "run", "quality_inter": 1000000}|};
+        fixed "proto-deadline-negative" {|{"op": "run", "deadline": "-3s"}|};
+        fixed "proto-deadline-zero" {|{"op": "run", "deadline": 0}|};
+        fixed "proto-wrong-type" {|{"op": "run", "max_paths": "lots"}|};
+        fixed "proto-bad-id" {|{"op": "health", "id": [1, 2]}|};
+        fixed "proto-non-object" {|[1, 2, 3]|};
+        fixed "proto-duplicate-key" {|{"op": "run", "op": "run"}|};
+        fixed "proto-truncated-json" {|{"op": "run", "quality_int|};
+        fixed "proto-lone-surrogate" {|{"op": "\ud800"}|};
+        fixed "proto-control-char" "{\"op\": \"run\x01\"}";
+        fixed "proto-invalid-utf8" "{\"op\": \"\xff\xfe run\"}";
+        Fault.make_corruption ~label:"proto-oversized"
+          ~describe:"line beyond --max-request-bytes"
+          (fun s -> s ^ String.make 4096 ' ') ]
+      (fun t -> Result.map ignore (Sproto.decode ~max_bytes:512 t));
     Fmt.pr "fault injection: %d corruptions, %d crash%s@." !total !crashes
       (if !crashes = 1 then "" else "es");
     if !crashes > 0 then 1 else 0
@@ -1112,9 +1283,10 @@ let fault_cmd =
   Cmd.v
     (Cmd.info "fault"
        ~doc:"Fault-injection self-test: corrupt generated .bench, \
-             Verilog, DEF and SPEF inputs and verify every corruption \
-             yields a typed error or a successful (possibly degraded) \
-             analysis — never a crash.  Exits 1 on any crash.")
+             Verilog, DEF and SPEF inputs plus server protocol request \
+             lines, and verify every corruption yields a typed error or \
+             a successful (possibly degraded) analysis — never a crash.  \
+             Exits 1 on any crash.")
     Term.(const action $ circuit_arg $ seed_opt $ verbose)
 
 let () =
@@ -1124,7 +1296,8 @@ let () =
     Cmd.group info
       [ run_cmd; lint_cmd; check_cmd; report_cmd; table2_cmd; table3_cmd;
         sensitivity_cmd; convexity_cmd; sweep_cmd; mc_cmd; block_cmd;
-        yield_cmd; dualvt_cmd; generate_cmd; figures_cmd; fault_cmd ]
+        yield_cmd; dualvt_cmd; generate_cmd; figures_cmd; serve_cmd;
+        fault_cmd ]
   in
   (* Exit-code convention: cmdline usage problems are 2, uncaught
      exceptions (cmdliner already printed a backtrace) are internal

@@ -29,14 +29,24 @@ type input = {
   par_jobs : int option;
   inject : injection option;
   only : string list;
+  should_stop : unit -> bool;
 }
 
 let input ?(config = Config.default) ?placement ?(pdfsan = true)
-    ?(path_limit = 64) ?par_jobs ?inject ?(only = []) circuit =
+    ?(path_limit = 64) ?par_jobs ?inject ?(only = [])
+    ?(should_stop = fun () -> false) circuit =
   let placement =
     match placement with Some pl -> pl | None -> Placement.place circuit
   in
-  { circuit; placement; config; pdfsan; path_limit; par_jobs; inject; only }
+  { circuit;
+    placement;
+    config;
+    pdfsan;
+    path_limit;
+    par_jobs;
+    inject;
+    only;
+    should_stop }
 
 type report = {
   diagnostics : D.t list;
@@ -74,6 +84,9 @@ let own_checks =
       unpruned near-critical path set byte for byte");
     ("check-health",
      "numerical-health events of the certified run are surfaced");
+    ("check-interrupted",
+     "verification stopped on a cooperative cancellation request; the \
+      certified results cover the completed prefix only");
     ("check-inter-cache-consistency",
      "each certified path's cached (scale-covariant) inter PDF matches \
       an uncached from-scratch recomputation within 1e-9 relative");
@@ -461,13 +474,22 @@ let run inp =
         path_limit;
         par_jobs;
         inject;
-        only } =
+        only;
+        should_stop } =
     inp
   in
   let selected id = only = [] || List.mem id only in
   let any_selected ids = List.exists selected ids in
   let dynamic_needed =
     only = [] || List.exists (fun id -> not (List.mem id static_ids)) only
+  in
+  (* Latching cancellation: once the external hook trips, every later
+     poll answers true, so the phases wind down in order and the report
+     describes a clean prefix. *)
+  let interrupted = ref false in
+  let stop () =
+    if (not !interrupted) && should_stop () then interrupted := true;
+    !interrupted
   in
   let ds = ref [] in
   let add d = ds := d :: !ds in
@@ -524,7 +546,7 @@ let run inp =
           Pdfsan.install san;
         let result =
           Fun.protect ~finally:Pdfsan.uninstall (fun () ->
-              Methodology.analyze ~config ~placement circuit)
+              Methodology.analyze ~config ~cancelled:stop ~placement circuit)
         in
         (match result with
         | Error e -> add (D.of_error e)
@@ -552,33 +574,36 @@ let run inp =
                 (fun id -> not (String.equal id "check-var-budget"))
                 (List.map fst Variance_check.checks)
             in
-            for i = 0 to limit - 1 do
-              let r = ranked.(i) in
-              let label = Printf.sprintf "path#%d" r.Ranking.prob_rank in
-              let pa = r.Ranking.analysis in
-              if any_selected bound_path_ids then
-                certify_path bounds ~label pa add;
-              (match cache_tables with
-              | Some t when selected "check-inter-cache-consistency" ->
-                  check_cache_consistency t ~label pa add
-              | _ -> ());
-              if any_selected var_path_ids then
-                List.iter add
-                  (Variance_check.check_path config
-                     ~num_nodes:(Netlist.num_nodes circuit)
-                     ~label pa);
-              match affine with
-              | Some aff ->
-                  let check_containment =
-                    selected "check-affine-containment"
-                  in
-                  let check_variance = selected "check-affine-variance" in
-                  if check_containment || check_variance then
-                    check_affine_path config aff ~check_containment
-                      ~check_variance ~label pa add
-              | None -> ()
-            done;
-            paths_certified := limit;
+            (try
+               for i = 0 to limit - 1 do
+                 if stop () then raise Exit;
+                 let r = ranked.(i) in
+                 let label = Printf.sprintf "path#%d" r.Ranking.prob_rank in
+                 let pa = r.Ranking.analysis in
+                 if any_selected bound_path_ids then
+                   certify_path bounds ~label pa add;
+                 (match cache_tables with
+                 | Some t when selected "check-inter-cache-consistency" ->
+                     check_cache_consistency t ~label pa add
+                 | _ -> ());
+                 if any_selected var_path_ids then
+                   List.iter add
+                     (Variance_check.check_path config
+                        ~num_nodes:(Netlist.num_nodes circuit)
+                        ~label pa);
+                 (match affine with
+                 | Some aff ->
+                     let check_containment =
+                       selected "check-affine-containment"
+                     in
+                     let check_variance = selected "check-affine-variance" in
+                     if check_containment || check_variance then
+                       check_affine_path config aff ~check_containment
+                         ~check_variance ~label pa add
+                 | None -> ());
+                 paths_certified := i + 1
+               done
+             with Exit -> ());
             if limit < total then
               add
                 (D.make ~rule:"check-health" ~severity:D.Info
@@ -588,7 +613,8 @@ let run inp =
                        limit for full coverage)"
                       limit total));
             (match affine with
-            | Some aff when selected "check-affine-screen" ->
+            | Some aff
+              when selected "check-affine-screen" && not (stop ()) ->
                 check_affine_screen config aff sta ~slack:m.Methodology.slack
                   add
             | _ -> ());
@@ -601,6 +627,11 @@ let run inp =
             (match par_jobs with
             | None -> ()
             | Some _ when not (selected "check-parallel-determinism") -> ()
+            | Some _ when stop () ->
+                (* The sequential run may itself have been cut short by
+                   the cancellation; a fresh complete parallel run would
+                   diverge for timing reasons, not determinism bugs. *)
+                ()
             | Some jobs -> (
                 let par =
                   Pool.with_pool ~jobs (fun pool ->
@@ -640,6 +671,14 @@ let run inp =
                       (if op = "" then "" else " in " ^ op)))
             end))
   end;
+  if !interrupted then
+    add
+      (D.make ~rule:"check-interrupted" ~severity:D.Warning
+         ~location:D.Circuit
+         (Printf.sprintf
+            "verification interrupted: %d paths certified before the \
+             cancellation request; unfinished checks were skipped"
+            !paths_certified));
   List.iter add (Pdfsan.findings san);
   if Pdfsan.dropped san > 0 then
     add

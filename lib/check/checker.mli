@@ -56,6 +56,13 @@ type input = {
           certification loops, the parallel rerun, the affine passes —
           are skipped, and the report is filtered to the selected ids
           plus any error found along the way. *)
+  should_stop : unit -> bool;
+      (** cooperative cancellation hook (a signal latch, a server
+          shutdown flag), polled between phases and between per-path
+          certifications.  Once it answers true the verifier finishes
+          the current item, skips the remaining work, and reports a
+          [check-interrupted] warning — the diagnostics emitted up to
+          that point still describe fully certified items. *)
 }
 
 val input :
@@ -66,11 +73,12 @@ val input :
   ?par_jobs:int ->
   ?inject:injection ->
   ?only:string list ->
+  ?should_stop:(unit -> bool) ->
   Ssta_circuit.Netlist.t ->
   input
 (** Defaults: {!Ssta_core.Config.default} configuration, computed
     placement, pdfsan on, [path_limit] 64, parallel certification off,
-    [only] empty (every check). *)
+    [only] empty (every check), [should_stop] never. *)
 
 type report = {
   diagnostics : Ssta_lint.Diagnostic.t list;

@@ -31,7 +31,7 @@ let degradations t =
   match t.status with Complete -> [] | Degraded ds -> ds
 
 let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
-    circuit =
+    ?sta ?warm circuit =
   let started = Unix.gettimeofday () in
   let budget = Rbudget.limits tracker in
   let degradations = ref [] in
@@ -40,12 +40,15 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
     match placement with Some pl -> pl | None -> Placement.place circuit
   in
   let sta =
-    match wire, wire_caps with
-    | Some _, Some _ ->
+    match sta, wire, wire_caps with
+    | Some _, Some _, _ | Some _, _, Some _ ->
+        invalid_arg "Methodology.run: sta excludes wire and wire_caps"
+    | Some sta, None, None -> sta
+    | None, Some _, Some _ ->
         invalid_arg "Methodology.run: wire and wire_caps are exclusive"
-    | None, None -> Sta.analyze circuit
-    | Some wire, None -> Sta.analyze_placed ~wire circuit placement
-    | None, Some caps ->
+    | None, None, None -> Sta.analyze circuit
+    | None, Some wire, None -> Sta.analyze_placed ~wire circuit placement
+    | None, None, Some caps ->
         Sta.of_graph (Ssta_timing.Graph.with_wire_caps circuit caps)
   in
   (* Degrade the PDF resolution first: a cell cap trades accuracy for
@@ -72,7 +75,9 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
         Config.with_quality config ~intra:qi ~inter:qe
   in
   let health = Health.create () in
-  let ctx = Path_analysis.context ~health config sta.Sta.graph placement in
+  let ctx =
+    Path_analysis.context ~health ?warm config sta.Sta.graph placement
+  in
   (* Step 3: sigma_C from the deterministic critical path. *)
   let det_critical = Path_analysis.analyze ctx sta.Sta.critical_path in
   let sigma_c = det_critical.Path_analysis.std in
@@ -127,7 +132,7 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
     match pool with
     | Some pool ->
         Pool.map_prefix pool ~chunk:1
-          ~should_stop:(fun () -> Rbudget.out_of_time tracker)
+          ~should_stop:(fun () -> Rbudget.stopped tracker)
           analyze_one
           (Array.init (Array.length paths_arr) Fun.id)
     | None ->
@@ -135,7 +140,7 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
         (try
            Array.iteri
              (fun i _ ->
-               if Rbudget.out_of_time tracker then begin
+               if Rbudget.stopped tracker then begin
                  stopped := true;
                  raise Exit
                end;
@@ -148,13 +153,17 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
   (* Surface the inter-kernel cache traffic through the ledger.  Only the
      scheduling-independent counters go in (lookups, distinct directions,
      and their difference — the hits a shared cache would serve), so the
-     report stays byte-identical across --jobs. *)
-  (match Path_analysis.cache_stats ctx with
-  | None -> ()
-  | Some st ->
-      Health.counter_set health "inter-cache-lookups" st.Inter.cs_lookups;
-      Health.counter_set health "inter-cache-distinct" st.Inter.cs_distinct;
-      Health.counter_set health "inter-cache-hits" st.Inter.cs_hits);
+     report stays byte-identical across --jobs.  A cache borrowed from a
+     warm state is skipped entirely: its statistics span every request it
+     ever served, so they belong to the warm-state owner's lifetime
+     ledger, not this run's deterministic report. *)
+  (if not (Path_analysis.cache_shared ctx) then
+     match Path_analysis.cache_stats ctx with
+     | None -> ()
+     | Some st ->
+         Health.counter_set health "inter-cache-lookups" st.Inter.cs_lookups;
+         Health.counter_set health "inter-cache-distinct" st.Inter.cs_distinct;
+         Health.counter_set health "inter-cache-hits" st.Inter.cs_hits);
   List.iter (fun (k, v) -> Health.counter_set health k v) screen_counters;
   if stopped then
     degrade
@@ -213,14 +222,15 @@ let run ?(config = Config.default) ?placement ?wire ?wire_caps ?pool ?screen
     ~tracker:(Rbudget.start Rbudget.unlimited)
     ?placement ?wire ?wire_caps ?pool ?screen circuit
 
-let analyze ?(config = Config.default) ?(budget = Rbudget.unlimited) ?placement
-    ?wire ?wire_caps ?pool ?screen circuit =
+let analyze ?(config = Config.default) ?(budget = Rbudget.unlimited)
+    ?cancelled ?placement ?wire ?wire_caps ?pool ?screen ?sta ?warm circuit =
   match Rbudget.validate budget with
   | Error e -> Error e
   | Ok () ->
       Err.protect ~context:"Methodology.analyze" (fun () ->
-          run_tracked ~config ~tracker:(Rbudget.start budget) ?placement ?wire
-            ?wire_caps ?pool ?screen circuit)
+          run_tracked ~config
+            ~tracker:(Rbudget.start ?cancelled budget)
+            ?placement ?wire ?wire_caps ?pool ?screen ?sta ?warm circuit)
 
 let num_critical_paths t = Array.length t.ranked
 

@@ -80,6 +80,7 @@ val run :
 val analyze :
   ?config:Config.t ->
   ?budget:Ssta_runtime.Budget.t ->
+  ?cancelled:(unit -> bool) ->
   ?placement:Ssta_circuit.Placement.t ->
   ?wire:Ssta_tech.Wire.params ->
   ?wire_caps:float array ->
@@ -88,13 +89,29 @@ val analyze :
     (sta:Ssta_timing.Sta.t ->
      slack:float ->
      (int -> bool) * (string * int) list) ->
+  ?sta:Ssta_timing.Sta.t ->
+  ?warm:Path_analysis.warm ->
   Ssta_circuit.Netlist.t ->
   (t, Ssta_runtime.Ssta_error.t) result
 (** Result-returning entry point: like {!run}, but never raises —
     invalid arguments and numerical failures come back as typed errors —
     and enforces [budget] (default {!Ssta_runtime.Budget.unlimited}).
     A budget breach degrades the run (see {!status}) but still returns
-    [Ok] with the truthful partial answer.  [pool] as in {!run}. *)
+    [Ok] with the truthful partial answer.  [pool] as in {!run}.
+
+    [cancelled] is an external cooperative stop hook (a signal latch, a
+    server shutdown flag) threaded into the budget tracker: when it
+    trips, enumeration and per-path analysis stop at the next poll
+    exactly as a deadline breach would, the completed prefix is kept
+    and the run comes back [Degraded] — never an exception, never a
+    partial write.
+
+    [sta] supplies step 1–2 results precomputed by a long-lived caller
+    (it must describe [circuit]; mutually exclusive with [wire] and
+    [wire_caps]).  [warm] shares the inter-table/kernel-cache state
+    across calls (see {!Path_analysis.warm}); sharing changes no
+    analysis bit, and cache counters are then left out of the run's
+    health ledger — the warm-state owner accounts for them. *)
 
 val is_degraded : t -> bool
 

@@ -132,13 +132,13 @@ let validate_path ?(n = 20_000) s rng (analysis : Path_analysis.t) =
     ks = Stats.ks_against_pdf samples pdf;
     sampled }
 
-let validate_path_sharded ?(n = 20_000) ?pool ~seed s
+let validate_path_sharded ?(n = 20_000) ?pool ?should_stop ~seed s
     (analysis : Path_analysis.t) =
   (* Per-die parameter draws live in a per-call cache, so dies shard
      freely across domains; the shard layout (Mc.run_sharded) makes the
      sample array identical at any worker count. *)
   let r =
-    Ssta_prob.Mc.run_sharded ?pool ~n ~seed (fun rng ->
+    Ssta_prob.Mc.run_sharded ?pool ?should_stop ~n ~seed (fun rng ->
         path_delay_once s rng analysis.Path_analysis.path)
   in
   let samples = r.Ssta_prob.Mc.samples in

@@ -51,6 +51,7 @@ val validate_path :
 val validate_path_sharded :
   ?n:int ->
   ?pool:Ssta_parallel.Pool.t ->
+  ?should_stop:(unit -> bool) ->
   seed:int ->
   sampler ->
   Path_analysis.t ->
@@ -59,4 +60,9 @@ val validate_path_sharded :
     {!Ssta_prob.Mc.run_sharded}: the sample budget splits into
     fixed-size shards with per-shard RNG streams derived from [seed],
     optionally evaluated on [pool].  The validation numbers are
-    bit-identical at any worker count (this is [ssta mc --jobs]). *)
+    bit-identical at any worker count (this is [ssta mc --jobs]).
+
+    [should_stop] cancels cooperatively between shards (see
+    {!Ssta_prob.Mc.run_sharded}); a stopped validation summarizes the
+    completed shard prefix — [validation.sampled.count] tells how many
+    dies were actually drawn. *)

@@ -31,29 +31,76 @@ type context = {
   tables : Inter.tables;
   health : Health.t;
   caches : Inter.caches option;  (* per-domain kernel cache shards *)
+  cache_shared : bool;  (* caches owned by a longer-lived warm state *)
 }
 
-let context ?health config graph placement =
+type warm = {
+  w_config : Config.t;
+  w_tables : Inter.tables;
+  w_caches : Inter.caches option;
+}
+
+(* The inter tables read exactly these configuration fields (grid
+   resolution, RV shape, truncation, layer-0 variance share); two
+   configs agreeing on them may share tables and kernel caches. *)
+let warm_compatible w config =
+  let a = w.w_config and b = config in
+  a.Config.quality_inter = b.Config.quality_inter
+  && a.Config.inter_shape = b.Config.inter_shape
+  && a.Config.truncation = b.Config.truncation
+  && a.Config.budget = b.Config.budget
+
+let warm config =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Path_analysis.warm: " ^ msg));
+  let tables = Inter.tables config in
+  { w_config = config;
+    w_tables = tables;
+    w_caches =
+      (if config.Config.inter_cache then Some (Inter.caches_create tables)
+       else None) }
+
+let warm_cache_stats w = Option.map Inter.caches_stats w.w_caches
+
+let context ?health ?warm config graph placement =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Path_analysis.context: " ^ msg));
   let health =
     match health with Some h -> h | None -> Health.create ()
   in
-  let tables = Inter.tables config in
+  let warm =
+    match warm with
+    | Some w when not (warm_compatible w config) ->
+        invalid_arg
+          "Path_analysis.context: warm state built for an incompatible \
+           configuration (quality-inter/shape/truncation/budget differ)"
+    | w -> w
+  in
+  let tables =
+    match warm with Some w -> w.w_tables | None -> Inter.tables config
+  in
+  let caches, cache_shared =
+    if not config.Config.inter_cache then (None, false)
+    else
+      match warm with
+      | Some { w_caches = Some c; _ } -> (Some c, true)
+      | _ -> (Some (Inter.caches_create tables), false)
+  in
   { config;
     graph;
     placement;
     layers = Config.layers_for config placement;
     tables;
     health;
-    caches =
-      (if config.Config.inter_cache then Some (Inter.caches_create tables)
-       else None) }
+    caches;
+    cache_shared }
 
 let health ctx = ctx.health
 
 let cache_stats ctx = Option.map Inter.caches_stats ctx.caches
+let cache_shared ctx = ctx.cache_shared
 
 let analyze ?health ctx path =
   (* [health] overrides the context ledger so parallel callers can give

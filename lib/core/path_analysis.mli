@@ -27,13 +27,41 @@ type context
     of one placed circuit, plus the numerical-health ledger the guarded
     PDF operations report into. *)
 
+type warm
+(** Request-independent precomputation a long-lived process (the
+    analysis server) keeps across many {!context} creations: the inter
+    tables and, when the configuration enables it, the scale-covariant
+    kernel cache.  Sharing a warm state never changes any analysis
+    result — cached kernels are pure functions of their coefficients —
+    only the cache {e statistics} become history-dependent, which is why
+    {!cache_stats} accounting moves to the warm-state owner (see
+    {!cache_shared}). *)
+
+val warm : Config.t -> warm
+(** Build the tables (and cache, if [config.inter_cache]) once.
+    Raises [Invalid_argument] on an invalid configuration. *)
+
+val warm_compatible : warm -> Config.t -> bool
+(** May [context ~warm] be used with this configuration?  True when the
+    fields the tables depend on (quality-inter, inter shape, truncation,
+    variance budget) agree with the configuration the state was built
+    from. *)
+
+val warm_cache_stats : warm -> Inter.cache_stats option
+(** Lifetime cache statistics of the warm state (None when built with
+    [inter_cache = false]). *)
+
 val context :
   ?health:Ssta_runtime.Health.t ->
+  ?warm:warm ->
   Config.t ->
   Ssta_timing.Graph.t ->
   Ssta_circuit.Placement.t ->
   context
-(** A fresh ledger is created when [health] is omitted. *)
+(** A fresh ledger is created when [health] is omitted.  [warm] reuses a
+    previously built table/cache pair instead of rebuilding them; it
+    must satisfy {!warm_compatible} (raises [Invalid_argument]
+    otherwise). *)
 
 val health : context -> Ssta_runtime.Health.t
 (** The ledger accumulated by every {!analyze} call through this
@@ -41,7 +69,15 @@ val health : context -> Ssta_runtime.Health.t
 
 val cache_stats : context -> Inter.cache_stats option
 (** Aggregated inter-kernel cache statistics, or [None] when the context
-    was built with [config.inter_cache = false]. *)
+    was built with [config.inter_cache = false].  When the cache is
+    shared ({!cache_shared}), the numbers span the cache's whole
+    lifetime, not just this context's calls. *)
+
+val cache_shared : context -> bool
+(** The context borrows its kernel cache from a {!warm} state.  Drivers
+    must then keep cache counters out of per-run reports: the statistics
+    depend on every request the cache ever served, so they would break
+    the byte-determinism of otherwise identical runs. *)
 
 val analyze :
   ?health:Ssta_runtime.Health.t -> context -> Ssta_timing.Paths.path -> t

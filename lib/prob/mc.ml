@@ -4,12 +4,14 @@ type result = {
   samples : float array;
   summary : Stats.summary;
   empirical : Pdf.t;
+  stopped : bool;
 }
 
-let of_samples ~bins samples =
+let of_samples ?(stopped = false) ~bins samples =
   { samples;
     summary = Stats.summarize samples;
-    empirical = Pdf.of_samples ~n:bins samples }
+    empirical = Pdf.of_samples ~n:bins samples;
+    stopped }
 
 let run ?(bins = 100) ~n rng draw =
   if n < 2 then invalid_arg "Mc.run: need at least 2 samples";
@@ -17,7 +19,7 @@ let run ?(bins = 100) ~n rng draw =
 
 let shard_size = 4096
 
-let run_sharded ?(bins = 100) ?pool ~n ~seed draw =
+let run_sharded ?(bins = 100) ?pool ?should_stop ~n ~seed draw =
   if n < 2 then invalid_arg "Mc.run_sharded: need at least 2 samples";
   (* The shard layout is a function of [n] alone: [shard_size] samples
      per shard, each shard drawing from its own stream split off the
@@ -32,15 +34,43 @@ let run_sharded ?(bins = 100) ?pool ~n ~seed draw =
     let hi = Int.min n (lo + shard_size) - 1 in
     for i = lo to hi do
       samples.(i) <- draw rng
-    done
+    done;
+    si
   in
-  (match pool with
-  | None ->
-      for si = 0 to shards - 1 do
-        fill si
-      done
-  | Some pool -> Pool.run pool ~chunks:shards fill);
-  of_samples ~bins samples
+  (* Cancellation stops between shards, keeping a contiguous prefix;
+     shard 0 always completes so the summary has samples to stand on. *)
+  let completed, stopped =
+    match pool, should_stop with
+    | None, None ->
+        for si = 0 to shards - 1 do
+          ignore (fill si)
+        done;
+        (shards, false)
+    | None, Some stop ->
+        let si = ref 0 and stopped = ref false in
+        while !si < shards && not !stopped do
+          ignore (fill !si);
+          incr si;
+          if !si < shards && stop () then stopped := true
+        done;
+        (!si, !stopped)
+    | Some pool, None -> Pool.run pool ~chunks:shards (fun si -> ignore (fill si));
+        (shards, false)
+    | Some pool, Some stop ->
+        ignore (fill 0);
+        if shards = 1 then (1, false)
+        else
+          let prefix, stopped =
+            Pool.map_prefix pool ~chunk:1 ~should_stop:stop
+              (fun si -> fill si)
+              (Array.init (shards - 1) (fun i -> i + 1))
+          in
+          (1 + Array.length prefix, stopped)
+  in
+  if completed = shards then of_samples ~bins samples
+  else
+    of_samples ~stopped ~bins
+      (Array.sub samples 0 (Int.min n (completed * shard_size)))
 
 let compare_to_pdf r pdf =
   let mean_err = Float.abs (r.summary.Stats.mean -. Pdf.mean pdf) in

@@ -22,6 +22,9 @@ type result = {
   samples : float array;  (** every draw, in shard-layout order *)
   summary : Stats.summary;  (** moments and quantiles of [samples] *)
   empirical : Pdf.t;  (** histogram estimate of the sampled distribution *)
+  stopped : bool;
+      (** a [should_stop] hook ended {!run_sharded} early: [samples] is
+          the completed-shard prefix of the full budget *)
 }
 
 val run : ?bins:int -> n:int -> Rng.t -> (Rng.t -> float) -> result
@@ -36,6 +39,7 @@ val shard_size : int
 val run_sharded :
   ?bins:int ->
   ?pool:Ssta_parallel.Pool.t ->
+  ?should_stop:(unit -> bool) ->
   n:int ->
   seed:int ->
   (Rng.t -> float) ->
@@ -44,7 +48,13 @@ val run_sharded :
     split into {!shard_size}-sample shards, shard [i] drawing from
     stream [i] of [Rng.split (Rng.create seed)].  Omitting [pool] (or
     passing a 1-job pool) runs the shards sequentially; the result is
-    bit-identical either way. *)
+    bit-identical either way.
+
+    [should_stop] is polled between shards (cooperative cancellation:
+    signals, deadlines).  When it fires, the completed contiguous
+    shard prefix is kept — at least shard 0 always completes — and the
+    result carries [stopped = true] with its summary taken over the
+    kept samples only. *)
 
 val compare_to_pdf : result -> Pdf.t -> float * float * float
 (** [compare_to_pdf r pdf] is

@@ -1,0 +1,44 @@
+type t = {
+  base_s : float;
+  multiplier : float;
+  cap_s : float;
+  max_retries : int;
+}
+
+let make ?(base_s = 0.001) ?(multiplier = 2.0) ?(cap_s = 1.0) ~max_retries ()
+    =
+  if max_retries < 0 then
+    invalid_arg "Backoff.make: max_retries must be >= 0";
+  if not (base_s > 0.0 && Float.is_finite base_s) then
+    invalid_arg "Backoff.make: base_s must be positive and finite";
+  if not (multiplier >= 1.0 && Float.is_finite multiplier) then
+    invalid_arg "Backoff.make: multiplier must be >= 1";
+  if not (cap_s >= base_s && Float.is_finite cap_s) then
+    invalid_arg "Backoff.make: cap_s must be >= base_s";
+  { base_s; multiplier; cap_s; max_retries }
+
+let none = { base_s = 0.001; multiplier = 2.0; cap_s = 1.0; max_retries = 0 }
+
+let max_retries t = t.max_retries
+
+let delay_s t ~attempt =
+  if attempt < 1 || attempt > t.max_retries then None
+  else
+    (* base * mult^(attempt-1), computed by repeated multiplication with
+       early saturation so huge attempt counts cannot overflow. *)
+    let d = ref t.base_s in
+    (try
+       for _ = 2 to attempt do
+         if !d >= t.cap_s then raise Exit;
+         d := !d *. t.multiplier
+       done
+     with Exit -> ());
+    Some (Float.min !d t.cap_s)
+
+let schedule t =
+  List.init t.max_retries (fun i ->
+      match delay_s t ~attempt:(i + 1) with
+      | Some d -> d
+      | None -> assert false)
+
+let total_s t = List.fold_left ( +. ) 0.0 (schedule t)

@@ -1,0 +1,41 @@
+(** Deterministic bounded exponential backoff schedules.
+
+    A schedule is a pure function of its parameters — no wall-clock, no
+    randomness — so any retry policy built on it (the server's
+    retry-with-degradation, future client reconnect loops) produces the
+    same attempt sequence on every run and nothing time-dependent ever
+    leaks into deterministic reports.  Delays grow geometrically from
+    [base_s] by [multiplier] and saturate at [cap_s]; after
+    [max_retries] attempts the schedule is exhausted. *)
+
+type t
+
+val make :
+  ?base_s:float ->
+  ?multiplier:float ->
+  ?cap_s:float ->
+  max_retries:int ->
+  unit ->
+  t
+(** [make ~max_retries ()] builds a schedule of [max_retries] delays
+    (default [base_s] 0.001, [multiplier] 2.0, [cap_s] 1.0).  Raises
+    [Invalid_argument] when [max_retries < 0], [base_s <= 0],
+    [multiplier < 1] or [cap_s < base_s]. *)
+
+val none : t
+(** The empty schedule: no retries. *)
+
+val max_retries : t -> int
+
+val delay_s : t -> attempt:int -> float option
+(** Delay before retry number [attempt] (1-based): [base * mult^(a-1)]
+    capped at [cap_s].  [None] once [attempt > max_retries] (the policy
+    gives up) or when [attempt < 1]. *)
+
+val schedule : t -> float list
+(** The full delay sequence, [delay_s ~attempt:1 .. max_retries].
+    Nondecreasing by construction. *)
+
+val total_s : t -> float
+(** Sum of the whole schedule — the worst-case time a caller can spend
+    sleeping, useful for sizing deadlines around a retry loop. *)

@@ -51,9 +51,18 @@ let parse_duration s =
   | Some (Some v) when v > 0.0 && Float.is_finite v -> Ok v
   | _ -> err ()
 
-type tracker = { budget : t; started : float }
+type tracker = {
+  budget : t;
+  started : float;
+  cancelled : unit -> bool;  (* external cooperative cancellation *)
+  has_cancel : bool;
+}
 
-let start budget = { budget; started = Unix.gettimeofday () }
+let start ?cancelled budget =
+  { budget;
+    started = Unix.gettimeofday ();
+    cancelled = Option.value ~default:(fun () -> false) cancelled;
+    has_cancel = Option.is_some cancelled }
 
 let limits tr = tr.budget
 let elapsed_s tr = Unix.gettimeofday () -. tr.started
@@ -66,13 +75,16 @@ let out_of_time tr =
   | None -> false
   | Some d -> elapsed_s tr >= d
 
-(* A cheap stop predicate for hot loops: only consults the clock every
-   [stride] calls (gettimeofday is ~20ns but enumeration pops are
-   cheaper still). Latches once tripped. *)
+let interrupted tr = tr.has_cancel && tr.cancelled ()
+let stopped tr = interrupted tr || out_of_time tr
+
+(* A cheap stop predicate for hot loops: only consults the clock (and
+   the cancellation hook) every [stride] calls (gettimeofday is ~20ns
+   but enumeration pops are cheaper still). Latches once tripped. *)
 let stop_check ?(stride = 512) tr =
-  match tr.budget.deadline_s with
-  | None -> fun () -> false
-  | Some _ ->
+  match tr.budget.deadline_s, tr.has_cancel with
+  | None, false -> fun () -> false
+  | _ ->
       let calls = ref 0 in
       let tripped = ref false in
       fun () ->
@@ -80,7 +92,7 @@ let stop_check ?(stride = 512) tr =
         ||
         begin
           incr calls;
-          if !calls land (stride - 1) = 0 && out_of_time tr then
+          if !calls land (stride - 1) = 0 && stopped tr then
             tripped := true;
           !tripped
         end

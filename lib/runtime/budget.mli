@@ -22,18 +22,34 @@ val parse_duration : string -> (float, Ssta_error.t) result
 (** Parse "10s", "500ms", "2m", "0.25h" or a bare number of seconds. *)
 
 type tracker
-(** A budget plus the wall-clock instant the run started. *)
+(** A budget plus the wall-clock instant the run started, plus an
+    optional external cancellation hook. *)
 
-val start : t -> tracker
+val start : ?cancelled:(unit -> bool) -> t -> tracker
+(** [cancelled] is an external cooperative stop source — a signal latch
+    ({!Cancel.cancelled}), a server shutdown flag — polled alongside the
+    deadline by {!stopped} and {!stop_check}.  It must be cheap and
+    monotone (once [true], always [true]). *)
+
 val limits : tracker -> t
 val elapsed_s : tracker -> float
 val remaining_s : tracker -> float option
+
 val out_of_time : tracker -> bool
+(** The wall-clock deadline alone (cancellation not consulted). *)
+
+val interrupted : tracker -> bool
+(** The external cancellation hook alone (clock not consulted). *)
+
+val stopped : tracker -> bool
+(** [interrupted || out_of_time] — what budgeted drivers poll between
+    work items. *)
 
 val stop_check : ?stride:int -> tracker -> unit -> bool
-(** A predicate for hot loops: consults the clock only every [stride]
-    calls (a power of two, default 512) and latches once the deadline
-    passes.  Always [false] for deadline-free budgets. *)
+(** A predicate for hot loops: consults the clock and the cancellation
+    hook only every [stride] calls (a power of two, default 512) and
+    latches once either trips.  Always [false] for deadline-free,
+    hook-free budgets. *)
 
 val effective_max_paths : t -> int -> int
 (** The configured enumeration cap further clamped by the budget. *)

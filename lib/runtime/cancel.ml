@@ -1,0 +1,35 @@
+(* [None] = untriggered; [Some reason] = tripped.  A single atomic makes
+   the latch safe to trip from signal handlers and other domains, and
+   compare-and-set keeps the first reason. *)
+type t = string option Atomic.t
+
+let create () = Atomic.make None
+
+let cancel ?(reason = "cancelled") t =
+  ignore (Atomic.compare_and_set t None (Some reason))
+
+let cancelled t = Atomic.get t <> None
+let reason t = Atomic.get t
+
+let signal_reason s =
+  if s = Sys.sigint then "sigint"
+  else if s = Sys.sigterm then "sigterm"
+  else Printf.sprintf "signal-%d" s
+
+let default_signals = [ Sys.sigint; Sys.sigterm ]
+
+let on_signals ?(signals = default_signals) t =
+  List.iter
+    (fun s ->
+      try
+        Sys.set_signal s
+          (Sys.Signal_handle (fun s -> cancel ~reason:(signal_reason s) t))
+      with Invalid_argument _ | Sys_error _ -> ())
+    signals
+
+let restore_default_signals ?(signals = default_signals) () =
+  List.iter
+    (fun s ->
+      try Sys.set_signal s Sys.Signal_default
+      with Invalid_argument _ | Sys_error _ -> ())
+    signals

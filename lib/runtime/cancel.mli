@@ -1,0 +1,33 @@
+(** Cooperative cancellation tokens.
+
+    A token is a domain-safe latch connecting an asynchronous event — a
+    POSIX signal, a server shutdown, a watchdog — to the cooperative
+    stop predicates the analysis hot loops already poll
+    ({!Budget.stop_check}).  Cancellation never kills work mid-write:
+    the running phase finishes its current path or shard, the driver
+    keeps the completed prefix and reports a degraded result, exactly
+    like a deadline breach. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, untriggered token. *)
+
+val cancel : ?reason:string -> t -> unit
+(** Trip the latch.  Idempotent: the first reason wins.  Safe to call
+    from a signal handler or another domain. *)
+
+val cancelled : t -> bool
+(** Has the latch tripped?  Cheap enough for hot-loop polling. *)
+
+val reason : t -> string option
+(** Why, when tripped ("sigint", "sigterm", "shutdown", ...). *)
+
+val on_signals : ?signals:int list -> t -> unit
+(** Install handlers that {!cancel} the token (reason "sigint" /
+    "sigterm" / "signal-N") on delivery.  Default signals: [Sys.sigint]
+    and [Sys.sigterm].  Platforms without signal support ignore the
+    failure silently — the token simply never trips. *)
+
+val restore_default_signals : ?signals:int list -> unit -> unit
+(** Put the default behaviour back (same default signal list). *)

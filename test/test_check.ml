@@ -500,7 +500,8 @@ let expected_check_ids =
     "check-bound-arrival"; "check-bound-domain"; "check-bound-nominal";
     "check-bound-quantile"; "check-bound-support"; "check-health";
     "check-inter-cache-consistency";
-    "check-internal"; "check-parallel-determinism"; "check-pdfsan-cdf";
+    "check-internal"; "check-interrupted";
+    "check-parallel-determinism"; "check-pdfsan-cdf";
     "check-pdfsan-clamped";
     "check-pdfsan-density"; "check-pdfsan-mass"; "check-pdfsan-support";
     "check-place-bounds"; "check-place-nesting"; "check-place-partition";

@@ -28,4 +28,5 @@ let () =
       Test_runtime.suite;
       Test_inter_cache.suite;
       Test_parallel.suite;
-      Test_faults.suite ]
+      Test_faults.suite;
+      Test_server.suite ]

@@ -75,6 +75,114 @@ let test_parse_duration () =
       | Error _ -> ())
     [ "abc"; "-5s"; "0"; "1d"; ""; "nan" ]
 
+let test_parse_duration_edges () =
+  let reject s =
+    match Rbudget.parse_duration s with
+    | Ok v -> Alcotest.failf "%s: expected error, got %g" s v
+    | Error e ->
+        check_true
+          (Printf.sprintf "%s: typed" s)
+          (Err.kind_name e = "structural" || Err.kind_name e = "parse")
+  in
+  (* Zero in any unit, overflow to infinity, explicit infinities, bad
+     suffixes and embedded whitespace must all be typed rejections. *)
+  List.iter reject
+    [ "0s"; "0ms"; "0.0"; "-0.5h"; "1e400"; "inf"; "infinity"; "-inf";
+      "5x"; "ms"; "1.5.2s"; "5 s" ];
+  (* Surrounding whitespace is trimmed by design. *)
+  match Rbudget.parse_duration "  5s " with
+  | Ok v -> check_close "trimmed" 5.0 v
+  | Error e -> Alcotest.failf "trimmed: unexpected error %s" (Err.to_string e)
+
+(* ----- backoff schedules ----- *)
+
+module Backoff = Ssta_runtime.Backoff
+
+let test_backoff_schedule () =
+  let b = Backoff.make ~base_s:0.01 ~multiplier:2.0 ~cap_s:0.05 ~max_retries:4 () in
+  check_int "retries" 4 (Backoff.max_retries b);
+  let d a = match Backoff.delay_s b ~attempt:a with
+    | Some v -> v
+    | None -> Alcotest.failf "attempt %d: expected a delay" a
+  in
+  check_close "attempt 1" 0.01 (d 1);
+  check_close "attempt 2" 0.02 (d 2);
+  check_close "attempt 3" 0.04 (d 3);
+  check_close "attempt 4 saturates" 0.05 (d 4);
+  check_true "exhausted" (Backoff.delay_s b ~attempt:5 = None);
+  check_true "attempt 0 invalid" (Backoff.delay_s b ~attempt:0 = None);
+  check_true "negative invalid" (Backoff.delay_s b ~attempt:(-3) = None);
+  check_int "schedule length" 4 (List.length (Backoff.schedule b));
+  check_close "total" 0.12 (Backoff.total_s b);
+  (* Nondecreasing by construction *)
+  let rec mono = function
+    | a :: (b' :: _ as rest) -> check_true "monotone" (a <= b'); mono rest
+    | _ -> ()
+  in
+  mono (Backoff.schedule b)
+
+let test_backoff_none_and_validation () =
+  check_int "none has no retries" 0 (Backoff.max_retries Backoff.none);
+  check_true "none exhausted" (Backoff.delay_s Backoff.none ~attempt:1 = None);
+  check_close "none total" 0.0 (Backoff.total_s Backoff.none);
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Backoff.make ~max_retries:(-1) ());
+  invalid (fun () -> Backoff.make ~base_s:0.0 ~max_retries:1 ());
+  invalid (fun () -> Backoff.make ~multiplier:0.5 ~max_retries:1 ());
+  invalid (fun () -> Backoff.make ~base_s:1.0 ~cap_s:0.5 ~max_retries:1 ())
+
+(* ----- health ledger merge algebra ----- *)
+
+let apply_health h (name, add) =
+  if add >= 0 then Health.counter_add h name add
+  else Health.counter_set h name (-add)
+
+let merged_counters ops =
+  (* Build one ledger per op, then merge in the given order. *)
+  let into = Health.create () in
+  List.iter
+    (fun op ->
+      let h = Health.create () in
+      apply_health h op;
+      Health.merge ~into h)
+    ops;
+  List.sort compare (Health.counters into)
+
+let prop_health_merge_permutation ops =
+  (* Counter merging is order-independent when every op is additive
+     (counter_add); merge order must not leak into lifetime stats. *)
+  let ops = List.map (fun (n, v) -> ("c" ^ string_of_int (n mod 3), abs v)) ops in
+  merged_counters ops = merged_counters (List.rev ops)
+
+let test_health_merge_associative () =
+  let mk pairs =
+    let h = Health.create () in
+    List.iter (fun (n, v) -> Health.counter_add h n v) pairs;
+    h
+  in
+  let a () = mk [ ("x", 1); ("y", 2) ]
+  and b () = mk [ ("x", 3) ]
+  and c () = mk [ ("z", 5); ("y", 1) ] in
+  (* (a <- b) <- c  versus  a <- (b <- c) *)
+  let left =
+    let t = a () in
+    Health.merge ~into:t (b ());
+    Health.merge ~into:t (c ());
+    List.sort compare (Health.counters t)
+  in
+  let right =
+    let t = a () in
+    let bc = b () in
+    Health.merge ~into:bc (c ());
+    Health.merge ~into:t bc;
+    List.sort compare (Health.counters t)
+  in
+  check_true "associative" (left = right);
+  check_true "totals" (left = [ ("x", 4); ("y", 3); ("z", 5) ])
+
 let test_budget_basics () =
   check_true "unlimited" (Rbudget.is_unlimited Rbudget.unlimited);
   let b = Rbudget.make ~max_paths:100 () in
@@ -310,6 +418,13 @@ let suite =
       case "exception classification" test_of_exn;
       case "protect" test_protect;
       case "duration parsing" test_parse_duration;
+      case "duration parsing edge cases" test_parse_duration_edges;
+      case "backoff schedule" test_backoff_schedule;
+      case "backoff none and validation" test_backoff_none_and_validation;
+      qcheck ~count:80 "health counter merge is order-independent"
+        QCheck.(small_list (pair small_int small_int))
+        prop_health_merge_permutation;
+      case "health merge associativity" test_health_merge_associative;
       case "budget basics" test_budget_basics;
       case "stop-check latching" test_stop_check;
       case "guard rejects non-finite density" test_guard_rejects_nan;

@@ -1,0 +1,470 @@
+(* Tests for the persistent analysis server: the strict JSON layer, the
+   wire protocol, the bounded request queue, the serve loop, and the
+   chaos acceptance run (>= 100 interleaved requests, two arrival
+   orders, byte-identical deterministic responses, zero crashes). *)
+
+open Helpers
+module Err = Ssta_runtime.Ssta_error
+module Json = Ssta_server.Json
+module Protocol = Ssta_server.Protocol
+module Supervisor = Ssta_server.Supervisor
+module Server = Ssta_server.Server
+module Iscas85 = Ssta_circuit.Iscas85
+module Netlist = Ssta_circuit.Netlist
+module Config = Ssta_core.Config
+
+(* ----- strict JSON ----- *)
+
+let test_json_print_deterministic () =
+  let v =
+    Json.(
+      Obj
+        [ ("a", Number 1.5);
+          ("b", List [ Null; Bool true; String "x" ]);
+          ("n", Number 3.0) ])
+  in
+  let s = Json.to_string v in
+  Alcotest.(check string) "print" {|{"a":1.5,"b":[null,true,"x"],"n":3}|} s;
+  (match Json.parse s with
+  | Ok v2 -> Alcotest.(check string) "roundtrip" s (Json.to_string v2)
+  | Error e -> Alcotest.failf "roundtrip: %s" (Err.to_string e));
+  Alcotest.(check string) "nan is null" "null"
+    (Json.to_string (Json.Number Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string (Json.Number Float.infinity))
+
+let test_json_accessors () =
+  let v = Json.(Obj [ ("i", Number 3.0); ("f", Number 1.5); ("s", String "x") ]) in
+  check_true "exact int" (Json.member "i" v |> Option.get |> Json.to_int = Some 3);
+  check_true "not int" (Json.member "f" v |> Option.get |> Json.to_int = None);
+  check_true "float" (Json.member "f" v |> Option.get |> Json.to_float = Some 1.5);
+  check_true "str" (Json.member "s" v |> Option.get |> Json.to_str = Some "x");
+  check_true "missing" (Json.member "z" v = None);
+  check_true "keys" (Json.keys v = [ "i"; "f"; "s" ])
+
+let parse_err s =
+  match Json.parse s with
+  | Ok _ -> Alcotest.failf "%S: expected parse error" (String.escaped s)
+  | Error e ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: kind" (String.escaped s))
+        "parse" (Err.kind_name e)
+
+let test_json_rejections () =
+  List.iter parse_err
+    [ "";
+      "{";
+      "[1] x";                         (* trailing garbage *)
+      {|{"a":1,"a":2}|};               (* duplicate key *)
+      {|{"a"}|};
+      {|"\ud800"|};                    (* lone surrogate *)
+      "\"a\x01b\"";                    (* raw control character *)
+      "\"\xff\"";                      (* invalid UTF-8 *)
+      "+1";
+      ".5";
+      "\"unterminated";
+      String.make 70 '[' ^ "0" ^ String.make 70 ']' (* depth cap *) ]
+
+let test_json_surrogate_pair () =
+  match Json.parse {|"😀"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "decoded UTF-8" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "surrogate pair: %s" (Err.to_string e)
+
+(* ----- wire protocol ----- *)
+
+let decode = Protocol.decode ~max_bytes:4096
+
+let decode_ok line =
+  match decode line with
+  | Ok env -> env
+  | Error e -> Alcotest.failf "%s: %s" line (Err.to_string e)
+
+let decode_err ~kind line =
+  match decode line with
+  | Ok _ -> Alcotest.failf "%s: expected a decode error" line
+  | Error e ->
+      Alcotest.(check string) (line ^ ": kind") kind (Err.kind_name e)
+
+let test_protocol_decode_ok () =
+  (match decode_ok {|{"op":"run","id":"r1","quality_intra":8,"deadline":"500ms"}|} with
+  | { id = Some (Json.String "r1"); request = Protocol.Run p } ->
+      check_true "quality" (p.Protocol.p_quality_intra = Some 8);
+      (match p.Protocol.p_deadline_s with
+      | Some d -> check_close "deadline" 0.5 d
+      | None -> Alcotest.fail "expected a deadline")
+  | _ -> Alcotest.fail "run decode");
+  (match decode_ok {|{"op":"query","id":7,"endpoint":"n62"}|} with
+  | { id = Some (Json.Number 7.0); request = Protocol.Query { endpoint; _ } } ->
+      Alcotest.(check string) "endpoint" "n62" endpoint
+  | _ -> Alcotest.fail "query decode");
+  (match decode_ok {|{"op":"check","only":["check-health"],"path_limit":3}|} with
+  | { id = None; request = Protocol.Check { only; path_limit } } ->
+      check_true "only" (only = [ "check-health" ]);
+      check_true "limit" (path_limit = Some 3)
+  | _ -> Alcotest.fail "check decode");
+  (match decode_ok {|{"op":"criticality","top":5}|} with
+  | { request = Protocol.Criticality { top = Some 5 }; _ } -> ()
+  | _ -> Alcotest.fail "criticality decode");
+  (match decode_ok {|{"op":"health"}|} with
+  | { request = Protocol.Health; _ } -> ()
+  | _ -> Alcotest.fail "health decode");
+  (match decode_ok {|{"op":"shutdown"}|} with
+  | { request = Protocol.Shutdown; _ } -> ()
+  | _ -> Alcotest.fail "shutdown decode")
+
+let test_protocol_decode_errors () =
+  decode_err ~kind:"structural" {|{"op":"nope"}|};
+  decode_err ~kind:"structural" {|{"quality_intra":8}|};
+  decode_err ~kind:"structural" {|{"op":"run","bogus":1}|};
+  decode_err ~kind:"structural" {|{"op":"run","quality_intra":-3}|};
+  decode_err ~kind:"structural" {|{"op":"run","quality_intra":1000000}|};
+  decode_err ~kind:"structural" {|{"op":"run","deadline":0}|};
+  decode_err ~kind:"structural" {|{"op":"run","deadline":-2}|};
+  decode_err ~kind:"structural" {|{"op":"run","id":true}|};
+  decode_err ~kind:"structural" {|{"op":"query"}|};
+  decode_err ~kind:"structural" {|{"op":"criticality","top":0}|};
+  decode_err ~kind:"structural" {|[1,2]|};
+  decode_err ~kind:"parse" {|{"op":"run"|};
+  decode_err ~kind:"parse" {|{"op":"run","id":"x","id":"y"}|};
+  decode_err ~kind:"budget-exceeded"
+    ({|{"op":"run","id":"big"|} ^ String.make 8192 ' ' ^ "}")
+
+let test_protocol_render () =
+  Alcotest.(check string) "render"
+    {|{"id":"x","status":"ok","k":true}|}
+    (Protocol.render ~id:(Json.String "x") ~status:Protocol.Ok_
+       [ ("k", Json.Bool true) ]);
+  Alcotest.(check string) "no id"
+    {|{"status":"degraded"}|}
+    (Protocol.render ~status:Protocol.Degraded []);
+  let err = Protocol.render_error (Err.parse ~format:"json" "boom") in
+  match Json.parse err with
+  | Ok v ->
+      check_true "status error"
+        (Json.member "status" v |> Option.get |> Json.to_str = Some "error");
+      check_true "kind"
+        (Json.member "kind" v |> Option.get |> Json.to_str = Some "parse");
+      check_true "code"
+        (Json.member "code" v |> Option.get |> Json.to_int = Some 1)
+  | Error e -> Alcotest.failf "error response unparsable: %s" (Err.to_string e)
+
+(* ----- bounded request queue ----- *)
+
+let test_supervisor () =
+  let q = Supervisor.create ~max_queue:2 () in
+  check_true "accept 1" (Supervisor.submit q 1 = Supervisor.Accepted);
+  check_true "accept 2" (Supervisor.submit q 2 = Supervisor.Accepted);
+  check_true "overflow" (Supervisor.submit q 3 = Supervisor.Overloaded);
+  check_true "fifo 1" (Supervisor.try_take q = Some 1);
+  check_true "accept 4" (Supervisor.submit q 4 = Supervisor.Accepted);
+  Supervisor.begin_shutdown q;
+  check_true "rejected after shutdown"
+    (Supervisor.submit q 5 = Supervisor.Shutting_down);
+  check_true "not yet drained" (not (Supervisor.drained q));
+  check_true "fifo 2" (Supervisor.try_take q = Some 2);
+  check_true "fifo 4" (Supervisor.try_take q = Some 4);
+  check_true "empty" (Supervisor.try_take q = None);
+  check_true "drained" (Supervisor.drained q);
+  let s = Supervisor.stats q in
+  check_int "accepted" 3 s.Supervisor.accepted;
+  check_int "overloaded" 1 s.Supervisor.overloaded;
+  check_int "rejected" 1 s.Supervisor.rejected_shutdown
+
+(* ----- the server itself ----- *)
+
+let make_server () =
+  let spec =
+    match Iscas85.by_name "c432" with Some s -> s | None -> assert false
+  in
+  let circuit, placement = Iscas85.build_placed spec in
+  let config =
+    { (Config.with_quality Config.default ~intra:16 ~inter:8) with
+      Config.max_paths = 8 }
+  in
+  let reload () = Ok (Iscas85.build_placed spec) in
+  (Server.create ~config ~reload circuit placement, circuit)
+
+let ask t line =
+  match Protocol.decode ~max_bytes:1_048_576 line with
+  | Ok env -> Server.dispatch t env
+  | Error e -> Protocol.render_error e
+
+let status_of resp =
+  match Json.parse resp with
+  | Ok v -> (
+      match Json.member "status" v with
+      | Some s -> Option.value ~default:"?" (Json.to_str s)
+      | None -> "?")
+  | Error e ->
+      Alcotest.failf "response is not valid JSON (%s): %s" (Err.to_string e)
+        resp
+
+let test_server_basic_requests () =
+  let t, circuit = make_server () in
+  let run = {|{"op":"run","id":"r","max_paths":4,"full":false}|} in
+  let a = ask t run and b = ask t run in
+  Alcotest.(check string) "identical requests, identical bytes" a b;
+  Alcotest.(check string) "run ok" "ok" (status_of a);
+  let endpoint = Netlist.node_name circuit circuit.Netlist.outputs.(0) in
+  let q =
+    ask t (Printf.sprintf {|{"op":"query","id":"q","endpoint":"%s"}|} endpoint)
+  in
+  Alcotest.(check string) "query ok" "ok" (status_of q);
+  (match Json.parse q with
+  | Ok v ->
+      check_true "query echoes endpoint"
+        (Json.member "endpoint" v |> Option.get |> Json.to_str = Some endpoint);
+      check_true "mean present" (Json.member "mean_s" v <> None)
+  | Error _ -> Alcotest.fail "query response unparsable");
+  let bad = ask t {|{"op":"query","id":"qb","endpoint":"no_such_node"}|} in
+  Alcotest.(check string) "unknown endpoint" "error" (status_of bad);
+  let badck = ask t {|{"op":"check","id":"cb","only":["no-such-check"]}|} in
+  Alcotest.(check string) "unknown check id" "error" (status_of badck);
+  let crit = ask t {|{"op":"criticality","id":"c","top":3}|} in
+  Alcotest.(check string) "criticality ok" "ok" (status_of crit);
+  check_true "criticality single line" (not (String.contains crit '\n'));
+  let rel = ask t {|{"op":"reload","id":"rl"}|} in
+  Alcotest.(check string) "reload ok" "ok" (status_of rel);
+  let h = ask t {|{"op":"health","id":"h"}|} in
+  Alcotest.(check string) "health ok" "ok" (status_of h);
+  match Json.parse h with
+  | Ok v ->
+      let counters = Json.member "counters" v |> Option.get in
+      let c name = Json.member name counters |> Option.get |> Json.to_int in
+      check_true "total counted" (c "requests-total" = Some 8);
+      check_true "errors counted" (c "requests-error" = Some 2)
+  | Error _ -> Alcotest.fail "health response unparsable"
+
+let test_server_deadline_degrades_then_recovers () =
+  let t, _ = make_server () in
+  let slow =
+    ask t
+      {|{"op":"run","id":"dl","deadline":1e-6,"quality_intra":64,"quality_inter":32,"max_paths":200,"full":false}|}
+  in
+  Alcotest.(check string) "deadline degrades" "degraded" (status_of slow);
+  (* The server survives the breach: the next request is untouched. *)
+  let ok = ask t {|{"op":"run","id":"after","max_paths":4,"full":false}|} in
+  Alcotest.(check string) "server alive" "ok" (status_of ok)
+
+(* ----- the serve loop over real channels ----- *)
+
+let with_serve_session lines f =
+  let req_path = Filename.temp_file "ssta_serve" ".req" in
+  let resp_path = Filename.temp_file "ssta_serve" ".resp" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove req_path;
+      Sys.remove resp_path)
+    (fun () ->
+      let oc = open_out req_path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      let t, circuit = make_server () in
+      let ic = open_in req_path in
+      let out = open_out resp_path in
+      let outcome =
+        Fun.protect
+          ~finally:(fun () ->
+            close_in ic;
+            close_out out)
+          (fun () -> Server.serve t ic out)
+      in
+      let ic = open_in resp_path in
+      let rec read acc =
+        match input_line ic with
+        | l -> read (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let responses = read [] in
+      close_in ic;
+      f ~outcome ~responses ~circuit t)
+
+let test_serve_loop () =
+  let lines =
+    [ {|{"op":"health","id":"h1"}|};
+      {|{"op":"run","id":"r1","max_paths":4,"full":false}|};
+      "this is not json";
+      "";
+      {|{"op":"run","id":"r2","max_paths":4,"full":false}|};
+      {|{"op":"shutdown","id":"bye"}|};
+      {|{"op":"run","id":"late","max_paths":4}|} ]
+  in
+  with_serve_session lines
+    (fun ~outcome ~responses ~circuit:_ _t ->
+      check_true "shutdown outcome" (outcome = `Shutdown);
+      (* 6 non-blank lines, each answered exactly once. *)
+      check_int "one response per request" 6 (List.length responses);
+      List.iter
+        (fun r -> check_true "parses" (Result.is_ok (Json.parse r)))
+        responses;
+      let statuses = List.map status_of responses in
+      check_int "malformed line answered" 1
+        (List.length (List.filter (( = ) "error") statuses));
+      (* The line after "shutdown" is answered exactly once, either in
+         the drain (the reader enqueued it before the dispatcher began
+         shutting down — the usual case with a pre-written file) or as
+         a "shutting-down" refusal; deterministic rejection is covered
+         by the Supervisor unit test. *)
+      check_true "late request answered"
+        (List.for_all
+           (fun s ->
+             List.mem s [ "ok"; "degraded"; "error"; "shutting-down" ])
+           statuses))
+
+(* ----- chaos acceptance ----- *)
+
+(* >= 100 interleaved requests — valid, malformed, and over-budget —
+   fed to one server in two arrival orders.  Every request must be
+   answered with typed JSON (zero crashes), and every response whose
+   content is deterministic (everything except health, whose answer is
+   lifetime-dependent by design, and tiny-deadline runs, which truncate
+   at a wall-clock boundary) must be byte-identical across the two
+   orders. *)
+
+let chaos_corpus circuit =
+  let items = ref [] in
+  let add ?(det = true) line = items := (line, det) :: !items in
+  for i = 1 to 40 do
+    add
+      (Printf.sprintf
+         {|{"op":"run","id":"run%d","quality_intra":%d,"quality_inter":8,"max_paths":%d,"full":false}|}
+         i
+         (8 + (4 * (i mod 3)))
+         (1 + (i mod 5)))
+  done;
+  let outs = circuit.Netlist.outputs in
+  for i = 1 to 20 do
+    let name = Netlist.node_name circuit outs.(i mod Array.length outs) in
+    add
+      (Printf.sprintf {|{"op":"query","id":"q%d","endpoint":"%s"}|} i name)
+  done;
+  add {|{"op":"query","id":"qbad1","endpoint":"no_such_node"}|};
+  add {|{"op":"query","id":"qbad2","endpoint":"also_missing"}|};
+  for i = 1 to 12 do
+    add (Printf.sprintf {|{"op":"criticality","id":"cr%d","top":%d}|} i
+           (1 + (i mod 6)))
+  done;
+  for i = 1 to 4 do
+    add
+      (Printf.sprintf
+         {|{"op":"check","id":"chk%d","path_limit":%d,"only":["check-health","check-pdfsan-mass"]}|}
+         i (1 + i))
+  done;
+  (* Malformed protocol lines: answered with deterministic typed errors. *)
+  List.iter (fun l -> add l)
+    [ {|{"op":"nope"}|};
+      {|{"quality_intra":8}|};
+      {|{"op":"run","bogus":1}|};
+      {|{"op":"run","quality_intra":-3}|};
+      {|{"op":"run","deadline":0}|};
+      {|{"op":"run","id":true}|};
+      {|[1,2]|};
+      {|{"op":"run"|};
+      {|{"op":"run","id":"x","id":"y"}|};
+      {|"\ud800"|};
+      "\"a\x01b\"";
+      "\"\xff\"";
+      {|{"op":"query"}|};
+      {|{"op":"criticality","top":0}|};
+      "not json at all";
+      "{}" ];
+  (* Over-budget: wall-clock truncation point is timing-dependent, so
+     only the status contract is asserted. *)
+  for i = 1 to 5 do
+    add ~det:false
+      (Printf.sprintf
+         {|{"op":"run","id":"dl%d","deadline":1e-6,"quality_intra":64,"max_paths":200,"full":false}|}
+         i)
+  done;
+  add ~det:false {|{"op":"health","id":"h1"}|};
+  add ~det:false {|{"op":"health","id":"h2"}|};
+  add {|{"op":"reload","id":"rel1"}|};
+  add {|{"op":"reload","id":"rel2"}|};
+  (* Two byte-identical requests at different queue positions: the warm
+     cache state differs (first builds, second reuses) but the answer
+     must not. *)
+  add {|{"op":"run","id":"dup","max_paths":3,"full":false}|};
+  add {|{"op":"run","id":"dup","max_paths":3,"full":false}|};
+  List.rev !items
+
+let run_order server items =
+  List.map
+    (fun (line, det) ->
+      let resp =
+        try ask server line
+        with e ->
+          Alcotest.failf "request crashed the dispatcher: %s (%s)"
+            (Printexc.to_string e) line
+      in
+      (line, det, resp))
+    items
+
+let test_chaos_acceptance () =
+  let t_a, circuit = make_server () in
+  let items = chaos_corpus circuit in
+  check_true "corpus size" (List.length items >= 100);
+  let order_a = run_order t_a items in
+  let t_b, _ = make_server () in
+  let order_b = List.rev (run_order t_b (List.rev items)) in
+  (* Every request answered with typed JSON carrying a status. *)
+  List.iter
+    (fun (line, _, resp) ->
+      match Json.parse resp with
+      | Ok v ->
+          check_true
+            (Printf.sprintf "typed status (%s)" (String.escaped line))
+            (Json.member "status" v <> None);
+          check_true "single line" (not (String.contains resp '\n'))
+      | Error e ->
+          Alcotest.failf "untyped response for %s: %s" (String.escaped line)
+            (Err.to_string e))
+    order_a;
+  (* Deterministic responses are byte-identical across arrival orders. *)
+  List.iter2
+    (fun (line, det, ra) (line_b, _, rb) ->
+      check_true "corpus aligned" (line = line_b);
+      if det then
+        Alcotest.(check string)
+          (Printf.sprintf "order-independent (%s)" (String.escaped line))
+          ra rb
+      else
+        check_true
+          (Printf.sprintf "status contract (%s)" (String.escaped line))
+          (List.mem (status_of ra) [ "ok"; "degraded" ]
+          && List.mem (status_of rb) [ "ok"; "degraded" ]))
+    order_a order_b;
+  (* The two byte-identical "dup" requests agree within one order. *)
+  let dups order =
+    List.filter_map
+      (fun (line, _, resp) ->
+        if line = {|{"op":"run","id":"dup","max_paths":3,"full":false}|} then
+          Some resp
+        else None)
+      order
+  in
+  (match dups order_a with
+  | [ a; b ] -> Alcotest.(check string) "dup agree (order A)" a b
+  | _ -> Alcotest.fail "expected two dup responses");
+  match dups order_b with
+  | [ a; b ] -> Alcotest.(check string) "dup agree (order B)" a b
+  | _ -> Alcotest.fail "expected two dup responses"
+
+let suite =
+  ( "server",
+    [ case "json printing is deterministic" test_json_print_deterministic;
+      case "json accessors" test_json_accessors;
+      case "json strictness" test_json_rejections;
+      case "json surrogate pairs" test_json_surrogate_pair;
+      case "protocol decodes every op" test_protocol_decode_ok;
+      case "protocol rejects malformed requests" test_protocol_decode_errors;
+      case "protocol rendering" test_protocol_render;
+      case "bounded request queue" test_supervisor;
+      slow_case "server answers the basic request set"
+        test_server_basic_requests;
+      slow_case "deadline breach degrades, server survives"
+        test_server_deadline_degrades_then_recovers;
+      slow_case "serve loop drains and shuts down" test_serve_loop;
+      slow_case "chaos acceptance: two arrival orders"
+        test_chaos_acceptance ] )
