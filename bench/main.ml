@@ -778,6 +778,157 @@ let screening () =
       failwith "screening assertions failed"
 
 (* ------------------------------------------------------------------ *)
+(* Incremental: edit-to-answer latency vs a full rerun.                 *)
+
+(* A single-gate resize (drive 1.25) applied to a warm incremental
+   image (Ssta_check.Impact): time the baseline init, the incremental
+   re-analysis, and a warm-backed from-scratch run of the same edited
+   design, and byte-compare the two reports.  The edited gate is the
+   one whose dirty set ({g} + fanins) covers the fewest enumerated
+   near-critical paths — the representative local ECO (fixing a buffer
+   off the critical region), deterministic per circuit.  Timings are
+   the min of two runs.  Written to BENCH_incremental.json as the
+   edit-to-answer artifact. *)
+let incremental () =
+  section "Incremental: dependence-cone re-analysis after one edit (jobs=1)";
+  let module Impact = Ssta_check.Impact in
+  let module Netlist = Ssta_circuit.Netlist in
+  let max_paths = 2000 in
+  let specs =
+    match !hotpath_only with
+    | [] -> Iscas85.all
+    | names -> List.filter_map Iscas85.by_name names
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  Fmt.pr "  %-7s %8s %8s %8s %8s %6s %7s %7s %6s@." "name" "init(s)"
+    "incr(s)" "full(s)" "speedup" "cone" "reused" "reanal" "equal";
+  let rows =
+    List.map
+      (fun (spec : Iscas85.spec) ->
+        let name = spec.Iscas85.name in
+        let circuit, placement = Iscas85.build_placed spec in
+        let config =
+          Config.with_confidence Config.default
+            spec.Iscas85.paper.Iscas85.confidence
+        in
+        let config = { config with Config.max_paths } in
+        let d = Impact.design ~placement ~config circuit in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let v = f () in
+          (v, Unix.gettimeofday () -. t0)
+        in
+        let or_fail = function
+          | Ok v -> v
+          | Error e ->
+              Fmt.failwith "%s: %s" name
+                (Ssta_runtime.Ssta_error.to_string e)
+        in
+        let (state, baseline), init_s =
+          time (fun () -> or_fail (Impact.init d))
+        in
+        (* Least-covered gate: re-enumerate the near-critical paths of
+           the baseline and pick the gate whose dirty set touches the
+           fewest of them. *)
+        let gate =
+          let module Paths = Ssta_timing.Paths in
+          let n = Netlist.num_nodes circuit in
+          let count = Array.make n 0 in
+          let e =
+            Sta.near_critical ~max_paths baseline.Methodology.sta
+              ~slack:baseline.Methodology.slack
+          in
+          List.iter
+            (fun (p : Paths.path) ->
+              Array.iter
+                (fun id -> count.(id) <- count.(id) + 1)
+                p.Paths.nodes)
+            e.Paths.paths;
+          let best = ref circuit.Netlist.num_inputs in
+          let best_cost = ref max_int in
+          for id = circuit.Netlist.num_inputs to n - 1 do
+            let g = Netlist.gate_of circuit id in
+            let cost =
+              Array.fold_left
+                (fun acc f -> acc + count.(f))
+                count.(id) g.Netlist.fanins
+            in
+            if cost < !best_cost then begin
+              best := id;
+              best_cost := cost
+            end
+          done;
+          Netlist.node_name circuit !best
+        in
+        let edit =
+          or_fail
+            (Ssta_circuit.Edit.parse_string_res
+               (Printf.sprintf "resize %s 1.25" gate))
+        in
+        let _, probe_s =
+          time (fun () -> or_fail (Impact.what_if state edit))
+        in
+        let o, commit_s =
+          time (fun () -> or_fail (Impact.reanalyze state edit))
+        in
+        let incr_s = Float.min probe_s commit_s in
+        let edited = Impact.design_of state in
+        let m_scratch, full1_s =
+          time (fun () -> or_fail (Impact.scratch edited))
+        in
+        let _, full2_s = time (fun () -> or_fail (Impact.scratch edited)) in
+        let full_s = Float.min full1_s full2_s in
+        let identical =
+          String.equal
+            (Report.json_report o.Impact.report)
+            (Report.json_report m_scratch)
+        in
+        let speedup = if incr_s > 0.0 then full_s /. incr_s else 1.0 in
+        if not identical then
+          fail "%s: incremental report diverges from the from-scratch run"
+            name;
+        if !hotpath_assert && incr_s >= full_s then
+          fail "%s: incremental (%.4fs) not faster than full rerun (%.4fs)"
+            name incr_s full_s;
+        Fmt.pr "  %-7s %8.3f %8.3f %8.3f %7.2fx %6d %7d %7d %6s@." name
+          init_s incr_s full_s speedup o.Impact.cone.Impact.cone_nodes
+          o.Impact.reused o.Impact.reanalyzed
+          (if identical then "yes" else "NO");
+        (name, gate, init_s, incr_s, full_s, speedup,
+         o.Impact.cone.Impact.cone_nodes, o.Impact.invalidated,
+         o.Impact.reused, o.Impact.reanalyzed, identical))
+      specs
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  let out fmt = Printf.ksprintf (output_string oc) fmt in
+  out
+    "{\"max_paths\":%d,\"edit\":\"resize least-covered-gate 1.25\",\
+     \"benchmarks\":[\n"
+    max_paths;
+  List.iteri
+    (fun i
+         (name, gate, init_s, incr_s, full_s, speedup, cone, invalidated,
+          reused, reanalyzed, identical) ->
+      out
+        "  {\"name\":\"%s\",\"gate\":\"%s\",\"init_s\":%.4f,\
+         \"incremental_s\":%.4f,\"full_s\":%.4f,\"speedup\":%.3f,\
+         \"cone_nodes\":%d,\"invalidated\":%d,\"reused\":%d,\
+         \"reanalyzed\":%d,\"identical\":%b}%s\n"
+        name gate init_s incr_s full_s speedup cone invalidated reused
+        reanalyzed identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "]}\n";
+  close_out oc;
+  Fmt.pr "  wrote BENCH_incremental.json@.";
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun f -> Fmt.epr "  FAIL: %s@." f) fs;
+      failwith "incremental assertions failed"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per artifact.                 *)
 
 let bechamel_suite () =
@@ -863,7 +1014,7 @@ let artifacts =
     ("shapes", shapes); ("wires", wires);
     ("yield-criticality", yield_criticality); ("dual-vt", dual_vt);
     ("pipeline", pipeline); ("parallel", parallel); ("hotpath", hotpath);
-    ("screening", screening) ]
+    ("screening", screening); ("incremental", incremental) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -29,6 +29,10 @@ module Lint_reporter = Ssta_lint.Reporter
 module Diagnostic = Ssta_lint.Diagnostic
 module Checker = Ssta_check.Checker
 module Affine = Ssta_check.Affine
+module Impact = Ssta_check.Impact
+module Edit = Ssta_circuit.Edit
+module Rules_edit = Ssta_lint.Rules_edit
+module Json = Ssta_server.Json
 module Err = Ssta_runtime.Ssta_error
 module Rbudget = Ssta_runtime.Budget
 module Fault = Ssta_runtime.Fault
@@ -213,8 +217,8 @@ let strict_budget_opt =
 
 (* lint *)
 let lint_cmd =
-  let action name bench verilog def spef format min_severity budget deadline
-      list_rules no_deep =
+  let action name bench verilog def spef edits format min_severity budget
+      deadline list_rules no_deep =
     guarded @@ fun () ->
     if list_rules then begin
       Lint_reporter.rule_table Fmt.stdout Lint.all_rules;
@@ -272,6 +276,19 @@ let lint_cmd =
               parse_diag path (pos, msg);
               None)
       in
+      let edits_t =
+        match edits with
+        | None -> None
+        | Some path -> (
+            match Ssta_circuit.Edit.parse_file_res path with
+            | Ok es -> Some es
+            | Error (Err.Parse { pos; message; _ }) ->
+                parse_diag path (pos, message);
+                None
+            | Error e ->
+                parse_diag path (Err.no_position, Err.to_string e);
+                None)
+      in
       let circuit_name =
         match circuit with
         | Some c -> c.Ssta_circuit.Netlist.name
@@ -291,7 +308,7 @@ let lint_cmd =
               | None -> Some (Placement.place c)
             in
             let input =
-              Lint.input ?placement ?spef:spef_t ?def:def_t
+              Lint.input ?placement ?spef:spef_t ?def:def_t ?edits:edits_t
                 ?budget_weights:(Option.map Array.of_list budget)
                 ?deadline_s:deadline ~deep:(not no_deep) c
             in
@@ -343,19 +360,27 @@ let lint_cmd =
          & info [ "no-deep" ]
              ~doc:"Skip the timing-graph / PDF sanity checks.")
   in
+  let edits =
+    Arg.(value & opt (some file) None
+         & info [ "edits" ] ~docv:"FILE"
+             ~doc:"Validate an edit script against the circuit and \
+                   placement (unknown gates, off-die moves, bad drives, \
+                   unknown parameters, no-ops).")
+  in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Static analysis of circuit, placement, SPEF/DEF and config \
-             inputs; exits 1 when any error-severity diagnostic fires.")
+       ~doc:"Static analysis of circuit, placement, SPEF/DEF, edit-script \
+             and config inputs; exits 1 when any error-severity \
+             diagnostic fires.")
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
-          $ spef_opt $ format $ min_severity $ budget $ deadline_opt
+          $ spef_opt $ edits $ format $ min_severity $ budget $ deadline_opt
           $ list_rules $ no_deep)
 
 (* check *)
 let check_cmd =
   let action name bench verilog def qi qj c k mp inter_fraction shape
       no_inter_cache format min_severity no_pdfsan path_limit jobs inject
-      only list_checks =
+      only impact_edits impact_seed list_checks =
     guarded @@ fun () ->
     if list_checks then begin
       Lint_reporter.rule_table Fmt.stdout Checker.all_checks;
@@ -379,7 +404,7 @@ let check_cmd =
       Cancel.on_signals signal_latch;
       let input =
         Checker.input ~config ~placement ~pdfsan:(not no_pdfsan) ~path_limit
-          ?par_jobs ?inject ~only
+          ?par_jobs ?inject ~only ~impact_edits ~impact_seed
           ~should_stop:(fun () -> Cancel.cancelled signal_latch)
           circuit
       in
@@ -483,6 +508,20 @@ let check_cmd =
          & info [ "list-checks" ]
              ~doc:"Print the check catalogue and exit.")
   in
+  let impact_edits =
+    Arg.(value & opt int 1
+         & info [ "impact-edits" ] ~docv:"N"
+             ~doc:"Seeded random edits for the incremental-equivalence \
+                   phase (check-impact-equivalence): each is applied to \
+                   a warm incremental image and the spliced report is \
+                   byte-compared against a from-scratch run.  0 skips \
+                   the phase.")
+  in
+  let impact_seed =
+    Arg.(value & opt int 7
+         & info [ "impact-seed" ] ~docv:"SEED"
+             ~doc:"Seed of the random-edit corpus.")
+  in
   let check_jobs =
     Arg.(value & opt int 0
          & info [ "j"; "jobs" ] ~docv:"N"
@@ -500,7 +539,174 @@ let check_cmd =
           $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
           $ no_inter_cache_opt $ format $ min_severity $ no_pdfsan
-          $ path_limit $ check_jobs $ inject $ only $ list_checks)
+          $ path_limit $ check_jobs $ inject $ only $ impact_edits
+          $ impact_seed $ list_checks)
+
+(* diff *)
+let diff_cmd =
+  let action name bench verilog def qi qj c k mp inter_fraction shape
+      no_inter_cache edits_file edit_ops jobs json verify =
+    guarded @@ fun () ->
+    let circuit, placement = load_circuit ?verilog ~bench ~def name in
+    let config =
+      config_of ~quality_intra:qi ~quality_inter:qj ~confidence:c ~corner_k:k
+        ~max_paths:mp ~inter_fraction ~shape
+        ~inter_cache:(not no_inter_cache)
+    in
+    let edits =
+      match (edits_file, edit_ops) with
+      | Some path, [] -> ok_or_raise (Edit.parse_file_res path)
+      | None, (_ :: _ as ops) ->
+          ok_or_raise (Edit.parse_string_res (String.concat "\n" ops))
+      | Some _, _ :: _ ->
+          Err.raise_error
+            (Err.structural ~subject:"edit"
+               "use either --edits FILE or repeated --edit OP, not both")
+      | None, [] ->
+          Err.raise_error
+            (Err.structural ~subject:"edit"
+               "no edits given (use --edits FILE or --edit 'resize G1 1.2')")
+    in
+    (* Lint pre-validation: errors refuse the run before any analysis;
+       warnings (no-op edits) are reported and the run proceeds. *)
+    let ds = Rules_edit.check ~placement ~config circuit edits in
+    if ds <> [] then
+      Lint_reporter.text ~circuit_name:circuit.Ssta_circuit.Netlist.name
+        Fmt.stderr ds;
+    if Lint.has_errors ds then 1
+    else
+      with_jobs jobs @@ fun pool ->
+      let d = Impact.design ~placement ~config circuit in
+      let t0 = Unix.gettimeofday () in
+      let state, _baseline = ok_or_raise (Impact.init ~pool d) in
+      let full_s = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      let o = ok_or_raise (Impact.reanalyze ~pool state edits) in
+      let incr_s = Unix.gettimeofday () -. t1 in
+      let verified =
+        if not verify then None
+        else begin
+          let m2 =
+            ok_or_raise (Impact.scratch ~pool (Impact.design_of state))
+          in
+          Some (Report.json_report o.Impact.report = Report.json_report m2)
+        end
+      in
+      let m = o.Impact.report in
+      let cone = o.Impact.cone in
+      let endpoints =
+        List.map
+          (Netlist.node_name circuit)
+          cone.Impact.affected_endpoints
+      in
+      let critical_delay = m.Methodology.sta.Ssta_timing.Sta.critical_delay in
+      let confidence_point =
+        m.Methodology.prob_critical.Ranking.analysis
+          .Path_analysis.confidence_point
+      in
+      if json then begin
+        let jint i = Json.Number (float_of_int i) in
+        print_string
+          (Json.to_string
+             (Json.Obj
+                ([ ("circuit", Json.String circuit.Netlist.name);
+                   ("edits", Json.String (Edit.describe edits));
+                   ("dirty_nodes", jint cone.Impact.dirty_count);
+                   ("cone_nodes", jint cone.Impact.cone_nodes);
+                   ( "affected_endpoints",
+                     Json.List (List.map (fun e -> Json.String e) endpoints)
+                   );
+                   ("full_invalidation", Json.Bool cone.Impact.full);
+                   ("invalidated", jint o.Impact.invalidated);
+                   ("reused", jint o.Impact.reused);
+                   ("reanalyzed", jint o.Impact.reanalyzed);
+                   ("paths", jint (Methodology.num_critical_paths m));
+                   ("critical_delay_s", Json.Number critical_delay);
+                   ("sigma_c_s", Json.Number m.Methodology.sigma_c);
+                   ("confidence_point_s", Json.Number confidence_point);
+                   ("init_s", Json.Number full_s);
+                   ("incremental_s", Json.Number incr_s) ]
+                @
+                match verified with
+                | None -> []
+                | Some v -> [ ("verified", Json.Bool v) ])));
+        print_newline ()
+      end
+      else begin
+        Fmt.pr "edit impact on %s: %s@." circuit.Netlist.name
+          (Edit.describe edits);
+        Fmt.pr "  dirty nodes %d; dependence cone %d of %d nodes%s@."
+          cone.Impact.dirty_count cone.Impact.cone_nodes
+          (Netlist.num_nodes circuit)
+          (if cone.Impact.full then
+             " (parameter delta: full cache invalidation)"
+           else "");
+        let shown = List.filteri (fun i _ -> i < 8) endpoints in
+        Fmt.pr "  affected endpoints (%d): %s%s@." (List.length endpoints)
+          (String.concat ", " shown)
+          (if List.length endpoints > 8 then ", ..." else "");
+        Fmt.pr "  path cache: %d invalidated, %d reused, %d reanalyzed@."
+          o.Impact.invalidated o.Impact.reused o.Impact.reanalyzed;
+        Fmt.pr
+          "  %d paths; critical delay %.3f ps, sigma_C %.3f ps, \
+           confidence point %.3f ps@."
+          (Methodology.num_critical_paths m)
+          (Elmore.ps critical_delay)
+          (Elmore.ps m.Methodology.sigma_c)
+          (Elmore.ps confidence_point);
+        Fmt.pr "  edit-to-answer %.3f s vs %.3f s full baseline (%.1fx)@."
+          incr_s full_s
+          (if incr_s > 0.0 then full_s /. incr_s else Float.infinity)
+      end;
+      match verified with
+      | Some false ->
+          Fmt.epr
+            "ssta: error: incremental report diverges from the \
+             from-scratch run@.";
+          1
+      | Some true ->
+          if not json then
+            Fmt.pr "  verified: byte-identical to a from-scratch run@.";
+          0
+      | None -> 0
+  in
+  let edits_file =
+    Arg.(value & opt (some file) None
+         & info [ "edits" ] ~docv:"FILE"
+             ~doc:"Read the edit script from a file (one op per line: \
+                   resize GATE DRIVE, retype GATE KIND, move GATE X Y, \
+                   set PARAM VALUE; '#' comments).")
+  in
+  let edit_ops =
+    Arg.(value & opt_all string []
+         & info [ "e"; "edit" ] ~docv:"OP"
+             ~doc:"Give one edit op inline (repeatable; ops apply in \
+                   order).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the impact report as JSON.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Also run the edited design from scratch and require \
+                   the incremental report to be byte-identical (exit 1 \
+                   on divergence).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Change-impact analysis: apply an edit script (gate \
+             resize/retype, cell move, parameter delta), compute the \
+             static dependence cone of the change, and re-analyze \
+             incrementally — cached per-path results outside the cone \
+             are reused and the spliced report is byte-identical to a \
+             from-scratch run.")
+    Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
+          $ quality_intra_opt $ quality_inter_opt $ confidence_opt
+          $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
+          $ no_inter_cache_opt $ edits_file $ edit_ops $ jobs_opt $ json
+          $ verify)
 
 (* run *)
 let run_cmd =
@@ -1272,6 +1478,52 @@ let fault_cmd =
           ~describe:"line beyond --max-request-bytes"
           (fun s -> s ^ String.make 4096 ' ') ]
       (fun t -> Result.map ignore (Sproto.decode ~max_bytes:512 t));
+    (* Edit scripts are an input format like the others: every
+       corruption must come back as a typed error through
+       parse -> resolve -> apply, never a crash. *)
+    let gate_name = Netlist.node_name circuit circuit.Netlist.num_inputs in
+    let input_name = Netlist.node_name circuit 0 in
+    let multi_input_name =
+      let n = Netlist.num_nodes circuit in
+      let rec find i =
+        if i >= n then gate_name
+        else if
+          (not (Netlist.is_input circuit i))
+          && Array.length (Netlist.gate_of circuit i).Netlist.fanins >= 2
+        then Netlist.node_name circuit i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let edit_base =
+      Printf.sprintf "resize %s 1.2\nmove %s 10.0 10.0" gate_name gate_name
+    in
+    let design = Impact.design ~placement circuit in
+    check "edits" edit_base
+      [ fixed "edit-unknown-op"
+          (Printf.sprintf "frobnicate %s 1.2" gate_name);
+        fixed "edit-missing-field" (Printf.sprintf "resize %s" gate_name);
+        fixed "edit-extra-field"
+          (Printf.sprintf "resize %s 1.2 3.4" gate_name);
+        fixed "edit-nonnumeric-drive"
+          (Printf.sprintf "resize %s huge" gate_name);
+        fixed "edit-negative-drive"
+          (Printf.sprintf "resize %s -1.0" gate_name);
+        fixed "edit-nan-coord" (Printf.sprintf "move %s nan 5.0" gate_name);
+        fixed "edit-offdie-move"
+          (Printf.sprintf "move %s 1e9 1e9" gate_name);
+        fixed "edit-dangling-gate" "resize NO_SUCH_GATE 1.2";
+        fixed "edit-input-node" (Printf.sprintf "resize %s 1.2" input_name);
+        fixed "edit-unknown-kind"
+          (Printf.sprintf "retype %s FROB" gate_name);
+        fixed "edit-arity-mismatch"
+          (Printf.sprintf "retype %s INV" multi_input_name);
+        fixed "edit-unknown-param" "set frobnication 3.0" ]
+      (fun t ->
+        Result.bind (Edit.parse_string_res t) (fun es ->
+            Result.map
+              (fun ch -> ignore (Impact.apply design ch))
+              (Impact.resolve design es)));
     Fmt.pr "fault injection: %d corruptions, %d crash%s@." !total !crashes
       (if !crashes = 1 then "" else "es");
     if !crashes > 0 then 1 else 0
@@ -1284,9 +1536,9 @@ let fault_cmd =
     (Cmd.info "fault"
        ~doc:"Fault-injection self-test: corrupt generated .bench, \
              Verilog, DEF and SPEF inputs plus server protocol request \
-             lines, and verify every corruption yields a typed error or \
-             a successful (possibly degraded) analysis — never a crash.  \
-             Exits 1 on any crash.")
+             lines and edit scripts, and verify every corruption yields \
+             a typed error or a successful (possibly degraded) analysis \
+             — never a crash.  Exits 1 on any crash.")
     Term.(const action $ circuit_arg $ seed_opt $ verbose)
 
 let () =
@@ -1294,10 +1546,10 @@ let () =
   let info = Cmd.info "ssta" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; lint_cmd; check_cmd; report_cmd; table2_cmd; table3_cmd;
-        sensitivity_cmd; convexity_cmd; sweep_cmd; mc_cmd; block_cmd;
-        yield_cmd; dualvt_cmd; generate_cmd; figures_cmd; serve_cmd;
-        fault_cmd ]
+      [ run_cmd; lint_cmd; check_cmd; diff_cmd; report_cmd; table2_cmd;
+        table3_cmd; sensitivity_cmd; convexity_cmd; sweep_cmd; mc_cmd;
+        block_cmd; yield_cmd; dualvt_cmd; generate_cmd; figures_cmd;
+        serve_cmd; fault_cmd ]
   in
   (* Exit-code convention: cmdline usage problems are 2, uncaught
      exceptions (cmdliner already printed a backtrace) are internal

@@ -29,12 +29,14 @@ type input = {
   par_jobs : int option;
   inject : injection option;
   only : string list;
+  impact_edits : int;
+  impact_seed : int;
   should_stop : unit -> bool;
 }
 
 let input ?(config = Config.default) ?placement ?(pdfsan = true)
-    ?(path_limit = 64) ?par_jobs ?inject ?(only = [])
-    ?(should_stop = fun () -> false) circuit =
+    ?(path_limit = 64) ?par_jobs ?inject ?(only = []) ?(impact_edits = 1)
+    ?(impact_seed = 7) ?(should_stop = fun () -> false) circuit =
   let placement =
     match placement with Some pl -> pl | None -> Placement.place circuit
   in
@@ -46,6 +48,8 @@ let input ?(config = Config.default) ?placement ?(pdfsan = true)
     par_jobs;
     inject;
     only;
+    impact_edits;
+    impact_seed;
     should_stop }
 
 type report = {
@@ -84,6 +88,9 @@ let own_checks =
       unpruned near-critical path set byte for byte");
     ("check-health",
      "numerical-health events of the certified run are surfaced");
+    ("check-impact-equivalence",
+     "incremental re-analysis after a seeded random edit splices cached \
+      path results into a report byte-identical to a from-scratch run");
     ("check-interrupted",
      "verification stopped on a cooperative cancellation request; the \
       certified results cover the completed prefix only");
@@ -458,6 +465,74 @@ let check_affine_screen config (aff : Affine.analysis) sta ~slack add =
             sc.Affine.nodes_pruned sc.Affine.nodes_visited))
   end
 
+(* --- incremental-equivalence certification --------------------------- *)
+
+(* Apply seeded random single-gate edits one after another to a warm
+   incremental image and demand, after every edit, that the spliced
+   incremental report is byte-identical to a from-scratch run of the
+   same (edited) design.  Both runs are warm-backed, so both reports
+   exclude the history-dependent cache counters; any byte of divergence
+   is a real soundness hole in the dirty-set/cone logic. *)
+let check_impact_equivalence ~config ~circuit ~placement ~edits ~seed ~stop
+    add =
+  let design = Impact.design ~placement ~config circuit in
+  match Impact.init design with
+  | Error e -> add (D.of_error e)
+  | Ok (state, _baseline) -> (
+      let rng = Rng.create seed in
+      try
+        for k = 1 to edits do
+          if stop () then raise Exit;
+          let script =
+            Impact.random_edits ~rng ~count:1 (Impact.design_of state)
+          in
+          let label = Ssta_circuit.Edit.describe script in
+          match Impact.reanalyze state script with
+          | Error e ->
+              add (D.of_error e);
+              raise Exit
+          | Ok o -> (
+              match Impact.scratch (Impact.design_of state) with
+              | Error e ->
+                  add (D.of_error e);
+                  raise Exit
+              | Ok sm ->
+                  let ji = Report_.json_report o.Impact.report in
+                  let js = Report_.json_report sm in
+                  if String.equal ji js then
+                    add
+                      (D.make ~rule:"check-impact-equivalence"
+                         ~severity:D.Info ~location:D.Circuit
+                         (Printf.sprintf
+                            "edit %d (%s): incremental report \
+                             byte-identical to from-scratch (%d bytes; \
+                             cone %d nodes, %d paths reused, %d \
+                             reanalyzed)"
+                            k label (String.length ji)
+                            o.Impact.cone.Impact.cone_nodes o.Impact.reused
+                            o.Impact.reanalyzed))
+                  else begin
+                    let n = Int.min (String.length ji) (String.length js) in
+                    let i = ref 0 in
+                    while !i < n && ji.[!i] = js.[!i] do
+                      incr i
+                    done;
+                    add
+                      (D.make ~rule:"check-impact-equivalence"
+                         ~severity:D.Error ~location:D.Circuit
+                         (Printf.sprintf
+                            "edit %d (%s): incremental report diverges \
+                             from the from-scratch run at byte %d \
+                             (lengths %d vs %d; cone %d nodes, %d \
+                             reused, %d reanalyzed)"
+                            k label !i (String.length ji)
+                            (String.length js)
+                            o.Impact.cone.Impact.cone_nodes o.Impact.reused
+                            o.Impact.reanalyzed))
+                  end)
+        done
+      with Exit -> ())
+
 (* --- driver ---------------------------------------------------------- *)
 
 (* Check ids whose evidence comes from the static phase alone; with
@@ -475,13 +550,23 @@ let run inp =
         par_jobs;
         inject;
         only;
+        impact_edits;
+        impact_seed;
         should_stop } =
     inp
   in
   let selected id = only = [] || List.mem id only in
   let any_selected ids = List.exists selected ids in
-  let dynamic_needed =
-    only = [] || List.exists (fun id -> not (List.mem id static_ids)) only
+  (* The main methodology run feeds every dynamic check except the
+     impact-equivalence phase, which performs its own runs — selecting
+     only that id skips the main run entirely. *)
+  let main_needed =
+    only = []
+    || List.exists
+         (fun id ->
+           (not (List.mem id static_ids))
+           && id <> "check-impact-equivalence")
+         only
   in
   (* Latching cancellation: once the external hook trips, every later
      poll answers true, so the phases wind down in order and the report
@@ -504,7 +589,7 @@ let run inp =
   (* Injected PDF corruption is audited even when the static phase (or
      the pdfsan flag) would skip the dynamic run. *)
   if inject = Some Corrupt_pdf then Pdfsan.audit san (corrupt_event ());
-  if static_clean && dynamic_needed then begin
+  if static_clean && main_needed then begin
     let sta = Sta.analyze circuit in
     (match Arrival_bounds.compute config sta.Sta.graph with
     | Error msg ->
@@ -671,6 +756,14 @@ let run inp =
                       (if op = "" then "" else " in " ^ op)))
             end))
   end;
+  if
+    static_clean
+    && selected "check-impact-equivalence"
+    && impact_edits > 0
+    && not (stop ())
+  then
+    check_impact_equivalence ~config ~circuit ~placement ~edits:impact_edits
+      ~seed:impact_seed ~stop add;
   if !interrupted then
     add
       (D.make ~rule:"check-interrupted" ~severity:D.Warning

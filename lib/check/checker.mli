@@ -56,6 +56,13 @@ type input = {
           certification loops, the parallel rerun, the affine passes —
           are skipped, and the report is filtered to the selected ids
           plus any error found along the way. *)
+  impact_edits : int;
+      (** seeded random edits for the incremental-equivalence phase
+          ([check-impact-equivalence]): each edit is applied to a warm
+          incremental image ({!Impact}) and the spliced report is
+          byte-compared against a from-scratch run; [0] skips the
+          phase *)
+  impact_seed : int;  (** seed of the random-edit corpus *)
   should_stop : unit -> bool;
       (** cooperative cancellation hook (a signal latch, a server
           shutdown flag), polled between phases and between per-path
@@ -73,12 +80,15 @@ val input :
   ?par_jobs:int ->
   ?inject:injection ->
   ?only:string list ->
+  ?impact_edits:int ->
+  ?impact_seed:int ->
   ?should_stop:(unit -> bool) ->
   Ssta_circuit.Netlist.t ->
   input
 (** Defaults: {!Ssta_core.Config.default} configuration, computed
     placement, pdfsan on, [path_limit] 64, parallel certification off,
-    [only] empty (every check), [should_stop] never. *)
+    [only] empty (every check), one impact edit at seed 7,
+    [should_stop] never. *)
 
 type report = {
   diagnostics : Ssta_lint.Diagnostic.t list;

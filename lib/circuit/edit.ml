@@ -1,0 +1,93 @@
+module Err = Ssta_runtime.Ssta_error
+
+type op =
+  | Resize of { gate : string; drive : float }
+  | Retype of { gate : string; kind : string }
+  | Move of { gate : string; x : float; y : float }
+  | Set of { param : string; value : float }
+
+type edit = { op : op; line : int }
+type t = edit list
+
+exception Fail of Err.t
+
+let fail ?file ~line fmt =
+  Printf.ksprintf
+    (fun m -> raise (Fail (Err.parse ?file ~line ~format:"edit" m)))
+    fmt
+
+(* All numbers in a script must be finite: NaN and infinities have no
+   meaning for a drive, a coordinate or a parameter value, and catching
+   them here keeps every downstream consumer total. *)
+let number ?file ~line ~what s =
+  match float_of_string_opt s with
+  | Some x when Float.is_finite x -> x
+  | Some _ -> fail ?file ~line "%s must be finite, got %S" what s
+  | None -> fail ?file ~line "%s must be a number, got %S" what s
+
+let parse_line ?file ~line tokens =
+  match tokens with
+  | [ "resize"; gate; d ] ->
+      Resize { gate; drive = number ?file ~line ~what:"drive" d }
+  | [ "retype"; gate; kind ] when kind <> "" -> Retype { gate; kind }
+  | [ "move"; gate; x; y ] ->
+      Move
+        { gate;
+          x = number ?file ~line ~what:"x coordinate" x;
+          y = number ?file ~line ~what:"y coordinate" y }
+  | [ "set"; param; v ] when param <> "" ->
+      Set { param; value = number ?file ~line ~what:"parameter value" v }
+  | ("resize" | "retype" | "move" | "set") :: _ ->
+      fail ?file ~line
+        "malformed %s edit: expected \"resize GATE DRIVE\", \"retype GATE \
+         KIND\", \"move GATE X Y\" or \"set PARAM VALUE\""
+        (List.hd tokens)
+  | op :: _ ->
+      fail ?file ~line
+        "unknown edit op %S (expected resize, retype, move or set)" op
+  | [] -> assert false (* blank lines are filtered out by the caller *)
+
+let split_tokens s =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) s)
+  |> List.filter (fun t -> t <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let parse_string_res ?file text =
+  try
+    let edits = ref [] in
+    List.iteri
+      (fun i raw ->
+        let line = i + 1 in
+        match split_tokens (strip_comment raw) with
+        | [] -> ()
+        | tokens -> edits := { op = parse_line ?file ~line tokens; line } :: !edits)
+      (String.split_on_char '\n' text);
+    Ok (List.rev !edits)
+  with Fail e -> Error e
+
+let parse_file_res path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string_res ~file:path text
+  | exception Sys_error msg ->
+      Error (Err.parse ~file:path ~format:"edit" msg)
+
+let gate_of_op = function
+  | Resize { gate; _ } | Retype { gate; _ } | Move { gate; _ } -> Some gate
+  | Set _ -> None
+
+let pp_op fmt = function
+  | Resize { gate; drive } -> Format.fprintf fmt "resize %s %g" gate drive
+  | Retype { gate; kind } -> Format.fprintf fmt "retype %s %s" gate kind
+  | Move { gate; x; y } -> Format.fprintf fmt "move %s %g %g" gate x y
+  | Set { param; value } -> Format.fprintf fmt "set %s %g" param value
+
+let to_string es =
+  String.concat ""
+    (List.map (fun e -> Format.asprintf "%a\n" pp_op e.op) es)
+
+let describe es =
+  String.concat "; " (List.map (fun e -> Format.asprintf "%a" pp_op e.op) es)

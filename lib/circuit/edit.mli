@@ -1,0 +1,58 @@
+(** Typed edit scripts: the ECO-style design deltas the change-impact
+    analysis consumes.
+
+    A script is an ordered list of edits, each referring to a gate by
+    its netlist node name (or, for [set], to a methodology parameter by
+    name).  The text format is line-oriented — one edit per line,
+    whitespace-separated tokens, [#] starts a comment:
+
+    {v
+    # resize gate G10 to 1.5x drive strength
+    resize G10 1.5
+    retype G22 NOR
+    move G5 120.0 80.0
+    set confidence 0.1
+    v}
+
+    Parsing is purely syntactic: gate names, kind names and parameter
+    names are resolved against a concrete design later (by
+    [Ssta_check.Impact.resolve] and the [edit-*] lint rules), so the
+    same script can be replayed against several designs.  All numeric
+    literals must be finite; anything else is a typed parse error
+    (format ["edit"]), never an exception. *)
+
+type op =
+  | Resize of { gate : string; drive : float }
+      (** set the gate's drive-strength multiplier *)
+  | Retype of { gate : string; kind : string }
+      (** swap the gate kind (same arity); [kind] is a .bench-style
+          name, case-insensitive *)
+  | Move of { gate : string; x : float; y : float }
+      (** move the cell to (x, y) microns *)
+  | Set of { param : string; value : float }
+      (** change one methodology parameter (see
+          {!Ssta_core.Config.set_param}) *)
+
+type edit = { op : op; line : int  (** 1-based source line *) }
+type t = edit list
+
+val parse_string_res :
+  ?file:string -> string -> (t, Ssta_runtime.Ssta_error.t) result
+(** Parse a script from text.  Errors are positioned
+    [Parse { format = "edit"; _ }] values. *)
+
+val parse_file_res : string -> (t, Ssta_runtime.Ssta_error.t) result
+(** Parse a script file ([Parse] error if unreadable). *)
+
+val gate_of_op : op -> string option
+(** The gate name an edit refers to ([None] for [Set]). *)
+
+val pp_op : Format.formatter -> op -> unit
+(** One edit in the text format. *)
+
+val to_string : t -> string
+(** Render a script back to its text format, one edit per line. *)
+
+val describe : t -> string
+(** Compact one-line summary (ops joined with ["; "]), for labels and
+    log lines. *)

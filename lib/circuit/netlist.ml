@@ -71,6 +71,28 @@ let fanouts c =
       c.cache.c_fanouts <- Some result;
       result
 
+(* Structural edits return a *fresh* netlist with a fresh memo record:
+   the fanout/fanout-count memo is keyed on the netlist value, so
+   mutating a netlist in place would silently serve stale derived
+   structures to every later caller.  The gates array is copied; gate
+   records and fan-in arrays are shared (they are never mutated). *)
+let with_gate_kind c id kind =
+  if is_input c id then
+    invalid_arg "Netlist.with_gate_kind: node is a primary input";
+  if id < 0 || id >= num_nodes c then
+    invalid_arg "Netlist.with_gate_kind: bad id";
+  let gi = id - c.num_inputs in
+  let old = c.gates.(gi) in
+  if Gate.fan_in kind <> Array.length old.fanins then
+    invalid_arg
+      (Printf.sprintf
+         "Netlist.with_gate_kind: %s expects %d fan-ins, gate %s has %d"
+         (Gate.name kind) (Gate.fan_in kind) c.node_names.(id)
+         (Array.length old.fanins));
+  let gates = Array.copy c.gates in
+  gates.(gi) <- { old with kind };
+  { c with gates; cache = { c_fanouts = None; c_fanout_counts = None } }
+
 let levels c =
   let lv = Array.make (num_nodes c) 0 in
   Array.iter

@@ -48,6 +48,15 @@ val fanout_counts : t -> int array
 (** Number of consumers per node (primary outputs add one sink each).
     Cached like {!fanouts}; treat the result as read-only. *)
 
+val with_gate_kind : t -> int -> Ssta_tech.Gate.kind -> t
+(** [with_gate_kind c id kind] is [c] with the gate at node [id] swapped
+    to [kind] — a {e fresh} netlist value with an empty memo: the
+    {!fanouts}/{!fanout_counts} memo is keyed on the netlist value, so
+    an edit must never mutate in place (the stale memo would survive).
+    The original is untouched and its memo stays valid.  Raises
+    [Invalid_argument] for a primary input, a bad id, or a kind whose
+    arity differs from the existing gate's fan-in count. *)
+
 val levels : t -> int array
 (** Topological level per node: inputs are 0, a gate is
     1 + max level of its fan-ins. *)

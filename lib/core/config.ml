@@ -50,6 +50,64 @@ let layers_for t pl =
   Layers.of_placement ~quad_levels:t.quad_levels ~random_layer:t.random_layer
     pl
 
+type param_effect = Enumeration_only | Analysis | Tables
+
+let params =
+  [ ("affine-prune", "static affine path screening (0 or 1)");
+    ("confidence", "the C constant: slack = C * sigma_C");
+    ("confidence-sigma", "ranking confidence point, in sigmas");
+    ("corner-k", "worst-case corner multiplier");
+    ("max-paths", "near-critical enumeration safety cap");
+    ("quality-inter", "inter-PDF discretization (cells)");
+    ("quality-intra", "intra-PDF discretization (cells)");
+    ("truncation", "Gaussian truncation, in sigmas") ]
+
+(* The effect classification drives incremental re-analysis
+   (Ssta_check.Impact): [Enumeration_only] parameters never enter a
+   per-path analysis — they steer slack, ranking caps or the screener —
+   so cached path results stay valid; [Analysis] parameters change every
+   path's statistics; [Tables] parameters additionally invalidate the
+   warm inter-table/kernel-cache state (see
+   Path_analysis.warm_compatible, which compares exactly the [Tables]
+   fields plus the budget and inter shape, neither settable here). *)
+let set_param t name v =
+  let as_int ~lo what k =
+    if Float.is_integer v && v >= float_of_int lo && v <= 1e9 then
+      k (int_of_float v)
+    else
+      Error (Printf.sprintf "%s must be an integer >= %d, got %g" what lo v)
+  in
+  match name with
+  | "confidence" ->
+      if v >= 0.0 then Ok ({ t with confidence = v }, Enumeration_only)
+      else Error (Printf.sprintf "confidence must be >= 0, got %g" v)
+  | "max-paths" ->
+      as_int ~lo:1 "max-paths" (fun i ->
+          Ok ({ t with max_paths = i }, Enumeration_only))
+  | "affine-prune" ->
+      if v = 0.0 || v = 1.0 then
+        Ok ({ t with affine_prune = v = 1.0 }, Enumeration_only)
+      else Error (Printf.sprintf "affine-prune must be 0 or 1, got %g" v)
+  | "quality-intra" ->
+      as_int ~lo:2 "quality-intra" (fun i ->
+          Ok ({ t with quality_intra = i }, Analysis))
+  | "corner-k" ->
+      if v >= 0.0 then Ok ({ t with corner_k = v }, Analysis)
+      else Error (Printf.sprintf "corner-k must be >= 0, got %g" v)
+  | "confidence-sigma" ->
+      if v >= 0.0 then Ok ({ t with confidence_sigma = v }, Analysis)
+      else Error (Printf.sprintf "confidence-sigma must be >= 0, got %g" v)
+  | "quality-inter" ->
+      as_int ~lo:2 "quality-inter" (fun i ->
+          Ok ({ t with quality_inter = i }, Tables))
+  | "truncation" ->
+      if v > 0.0 then Ok ({ t with truncation = v }, Tables)
+      else Error (Printf.sprintf "truncation must be positive, got %g" v)
+  | _ ->
+      Error
+        (Printf.sprintf "unknown parameter %S (known: %s)" name
+           (String.concat ", " (List.map fst params)))
+
 let validate t =
   if t.quality_intra < 2 then Error "quality_intra must be >= 2"
   else if t.quality_inter < 2 then Error "quality_inter must be >= 2"

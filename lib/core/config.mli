@@ -51,6 +51,25 @@ val with_inter_shape : t -> Ssta_prob.Shape.t -> t
 val layers_for : t -> Ssta_circuit.Placement.t -> Ssta_correlation.Layers.t
 (** Instantiate the layer structure on a placed die. *)
 
+(** How a {!set_param} delta interacts with cached analysis state:
+    [Enumeration_only] deltas never enter a per-path analysis (slack,
+    ranking caps, the screener) so cached path results stay valid;
+    [Analysis] deltas change every path's statistics (per-path caches
+    must be invalidated, the warm table state survives); [Tables] deltas
+    additionally rebuild the warm inter-table/kernel-cache state
+    ({!Path_analysis.warm_compatible} fails across them). *)
+type param_effect = Enumeration_only | Analysis | Tables
+
+val params : (string * string) list
+(** The parameters {!set_param} understands, with one-line
+    descriptions, sorted by name. *)
+
+val set_param : t -> string -> float -> (t * param_effect, string) result
+(** [set_param t name v] applies one named parameter delta (the [set]
+    op of an edit script, {!Ssta_circuit.Edit}).  Integer parameters
+    demand an integral [v]; out-of-range or unknown names return
+    [Error] with a human-readable reason. *)
+
 val validate : t -> (unit, string) result
 (** Check internal consistency (positive qualities, budget layer count
     matching the layer structure, C >= 0, ...). *)

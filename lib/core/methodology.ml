@@ -31,7 +31,7 @@ let degradations t =
   match t.status with Complete -> [] | Degraded ds -> ds
 
 let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
-    ?sta ?warm circuit =
+    ?sta ?warm ?reuse ?record circuit =
   let started = Unix.gettimeofday () in
   let budget = Rbudget.limits tracker in
   let degradations = ref [] in
@@ -78,8 +78,27 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
   let ctx =
     Path_analysis.context ~health ?warm config sta.Sta.graph placement
   in
-  (* Step 3: sigma_C from the deterministic critical path. *)
-  let det_critical = Path_analysis.analyze ctx sta.Sta.critical_path in
+  (* Step 3: sigma_C from the deterministic critical path.  The path
+     gets a private ledger merged back immediately — Health.merge
+     replays events in order, so this is byte-identical to recording
+     into the run ledger directly, and it gives the reuse/record hooks
+     (incremental re-analysis, Ssta_check.Impact) a ledger that covers
+     exactly this path's events. *)
+  let consult_reuse p = match reuse with None -> None | Some f -> f p in
+  let det_ledger = Health.create () in
+  let det_critical, det_reused =
+    match consult_reuse sta.Sta.critical_path with
+    | Some (pa, cached) ->
+        Health.merge ~into:det_ledger cached;
+        (pa, true)
+    | None ->
+        (Path_analysis.analyze ~health:det_ledger ctx sta.Sta.critical_path,
+         false)
+  in
+  Health.merge ~into:health det_ledger;
+  (match record with
+  | Some f when not det_reused -> f sta.Sta.critical_path det_critical det_ledger
+  | _ -> ());
   let sigma_c = det_critical.Path_analysis.std in
   let slack = config.Config.confidence *. sigma_c in
   (* Step 4: all near-critical paths, deterministically ranked.  The
@@ -122,11 +141,34 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
      analyzed prefix, exactly as the historical sequential loop did. *)
   let paths_arr = Array.of_list enumeration.Paths.paths in
   let ledgers = Array.map (fun _ -> Health.create ()) paths_arr in
+  let det_nodes = det_critical.Path_analysis.path.Paths.nodes in
+  (* The reuse hook is consulted for every path here, on the caller's
+     thread, before the fan-out: the hook (typically a cache lookup) is
+     never invoked from a worker domain, so it needs no synchronization.
+     A hit pre-merges the cached ledger — identical events to a fresh
+     analysis, since Path_analysis.analyze is deterministic. *)
+  let reused =
+    match reuse with
+    | None -> [||]
+    | Some f ->
+        Array.mapi
+          (fun i p ->
+            if p.Paths.nodes = det_nodes then None
+            else
+              match f p with
+              | Some (pa, cached) ->
+                  Health.merge ~into:ledgers.(i) cached;
+                  Some pa
+              | None -> None)
+          paths_arr
+  in
   let analyze_one i =
     let p = paths_arr.(i) in
-    if p.Paths.nodes = det_critical.Path_analysis.path.Paths.nodes then
-      det_critical
-    else Path_analysis.analyze ~health:ledgers.(i) ctx p
+    if p.Paths.nodes = det_nodes then det_critical
+    else
+      match if reused = [||] then None else reused.(i) with
+      | Some pa -> pa
+      | None -> Path_analysis.analyze ~health:ledgers.(i) ctx p
   in
   let prefix, stopped =
     match pool with
@@ -150,6 +192,20 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
         (Array.of_list (List.rev !out), !stopped)
   in
   Array.iteri (fun i _ -> Health.merge ~into:health ledgers.(i)) prefix;
+  (* Record freshly analyzed paths (again on the caller's thread).  The
+     deterministic critical path was recorded above with its own
+     ledger; its copies in the enumeration carry empty ledgers and are
+     skipped so they never overwrite that entry. *)
+  (match record with
+  | None -> ()
+  | Some f ->
+      Array.iteri
+        (fun i pa ->
+          let p = paths_arr.(i) in
+          let was_reused = reused <> [||] && Option.is_some reused.(i) in
+          if (not was_reused) && p.Paths.nodes <> det_nodes then
+            f p pa ledgers.(i))
+        prefix);
   (* Surface the inter-kernel cache traffic through the ledger.  Only the
      scheduling-independent counters go in (lookups, distinct directions,
      and their difference — the hits a shared cache would serve), so the
@@ -223,14 +279,16 @@ let run ?(config = Config.default) ?placement ?wire ?wire_caps ?pool ?screen
     ?placement ?wire ?wire_caps ?pool ?screen circuit
 
 let analyze ?(config = Config.default) ?(budget = Rbudget.unlimited)
-    ?cancelled ?placement ?wire ?wire_caps ?pool ?screen ?sta ?warm circuit =
+    ?cancelled ?placement ?wire ?wire_caps ?pool ?screen ?sta ?warm ?reuse
+    ?record circuit =
   match Rbudget.validate budget with
   | Error e -> Error e
   | Ok () ->
       Err.protect ~context:"Methodology.analyze" (fun () ->
           run_tracked ~config
             ~tracker:(Rbudget.start ?cancelled budget)
-            ?placement ?wire ?wire_caps ?pool ?screen ?sta ?warm circuit)
+            ?placement ?wire ?wire_caps ?pool ?screen ?sta ?warm ?reuse
+            ?record circuit)
 
 let num_critical_paths t = Array.length t.ranked
 

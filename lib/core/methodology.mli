@@ -91,6 +91,14 @@ val analyze :
      (int -> bool) * (string * int) list) ->
   ?sta:Ssta_timing.Sta.t ->
   ?warm:Path_analysis.warm ->
+  ?reuse:
+    (Ssta_timing.Paths.path ->
+     (Path_analysis.t * Ssta_runtime.Health.t) option) ->
+  ?record:
+    (Ssta_timing.Paths.path ->
+     Path_analysis.t ->
+     Ssta_runtime.Health.t ->
+     unit) ->
   Ssta_circuit.Netlist.t ->
   (t, Ssta_runtime.Ssta_error.t) result
 (** Result-returning entry point: like {!run}, but never raises —
@@ -111,7 +119,20 @@ val analyze :
     [wire_caps]).  [warm] shares the inter-table/kernel-cache state
     across calls (see {!Path_analysis.warm}); sharing changes no
     analysis bit, and cache counters are then left out of the run's
-    health ledger — the warm-state owner accounts for them. *)
+    health ledger — the warm-state owner accounts for them.
+
+    [reuse]/[record] are the incremental re-analysis hooks
+    ([Ssta_check.Impact]).  For every path of step 3/5, [reuse] may
+    supply a previously computed analysis together with the private
+    health ledger that analysis produced; the caller must guarantee the
+    pair is exactly what a fresh [Path_analysis.analyze] of that path
+    would produce (analyses are deterministic, so this holds whenever
+    the path's delays, partitions and the analysis-relevant
+    configuration are unchanged).  [record] is called once per freshly
+    analyzed path with its analysis and private ledger.  Both hooks run
+    on the calling thread only — never from pool workers — so an
+    unsynchronized cache is safe; with correct reuse the returned
+    report is byte-identical to a hook-free run. *)
 
 val is_degraded : t -> bool
 

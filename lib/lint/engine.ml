@@ -13,12 +13,21 @@ type input = {
   config : Config.t;
   budget_weights : float array option;
   deadline_s : float option;
+  edits : Ssta_circuit.Edit.t option;
   deep : bool;
 }
 
 let input ?placement ?spef ?def ?(config = Config.default) ?budget_weights
-    ?deadline_s ?(deep = true) circuit =
-  { circuit; placement; spef; def; config; budget_weights; deadline_s; deep }
+    ?deadline_s ?edits ?(deep = true) circuit =
+  { circuit;
+    placement;
+    spef;
+    def;
+    config;
+    budget_weights;
+    deadline_s;
+    edits;
+    deep }
 
 let deep_checks i =
   (* One Bellman-Ford pass plus a single-path statistical analysis —
@@ -69,7 +78,15 @@ let run i =
     | Some d -> Rules_annotation.check_def d i.circuit
     | None -> []
   in
-  let shallow = config_ds @ netlist_ds @ placement_ds @ spef_ds @ def_ds in
+  let edit_ds =
+    match i.edits with
+    | Some es ->
+        Rules_edit.check ?placement:i.placement ~config:i.config i.circuit es
+    | None -> []
+  in
+  let shallow =
+    config_ds @ netlist_ds @ placement_ds @ spef_ds @ def_ds @ edit_ds
+  in
   let blocked =
     List.exists
       (fun (d : D.t) ->
@@ -105,5 +122,5 @@ let all_rules =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
     (Rules_netlist.rules @ Rules_placement.rules @ Rules_annotation.rules
-   @ Rules_config.rules @ Rules_timing.rules
+   @ Rules_config.rules @ Rules_timing.rules @ Rules_edit.rules
     @ [ ("lint-internal", "deep timing analysis crashed on this input") ])

@@ -20,6 +20,9 @@ type input = {
   deadline_s : float option;
       (** the run's deadline budget, for the config-vs-budget
           cross-check ([config-deadline]) *)
+  edits : Ssta_circuit.Edit.t option;
+      (** an edit script to validate against the circuit/placement
+          ({!Rules_edit}) *)
   deep : bool;  (** run the timing-graph / PDF checks (default true) *)
 }
 
@@ -30,6 +33,7 @@ val input :
   ?config:Ssta_core.Config.t ->
   ?budget_weights:float array ->
   ?deadline_s:float ->
+  ?edits:Ssta_circuit.Edit.t ->
   ?deep:bool ->
   Ssta_circuit.Netlist.t ->
   input

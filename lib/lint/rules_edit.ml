@@ -1,0 +1,128 @@
+module Netlist = Ssta_circuit.Netlist
+module Placement = Ssta_circuit.Placement
+module Edit = Ssta_circuit.Edit
+module Gate = Ssta_tech.Gate
+module Config = Ssta_core.Config
+module D = Diagnostic
+
+let rules =
+  [ ("edit-unknown-gate",
+     "edit references an unknown gate name or a primary input");
+    ("edit-unknown-kind",
+     "retype names an unknown gate kind or one of the wrong arity");
+    ("edit-outside-die",
+     "placement move lands outside the die bounds — in no quad-tree \
+      leaf");
+    ("edit-bad-drive", "resize drive is not finite and positive");
+    ("edit-unknown-param",
+     "set names an unknown methodology parameter or an out-of-range \
+      value");
+    ("edit-noop", "edit changes nothing: the new value equals the old") ]
+
+let check ?placement ?drives ~config c (edits : Edit.t) =
+  let placement =
+    match placement with Some pl -> pl | None -> Placement.place c
+  in
+  (* Mutable views of the design state, advanced edit by edit so no-op
+     detection follows the script's sequential semantics. *)
+  let drives =
+    match drives with
+    | Some d -> Array.copy d
+    | None -> Array.make (Netlist.num_nodes c) 1.0
+  in
+  let coords = Array.copy placement.Placement.coords in
+  let kinds =
+    Array.map (fun (g : Netlist.gate) -> g.Netlist.kind) c.Netlist.gates
+  in
+  let config = ref config in
+  let ds = ref [] in
+  let emit ~rule ~severity ~location ?hint ~line fmt =
+    Printf.ksprintf
+      (fun m ->
+        ds :=
+          D.make ~rule ~severity ~location ?hint
+            (Printf.sprintf "line %d: %s" line m)
+          :: !ds)
+      fmt
+  in
+  let noop ~line ~location fmt =
+    emit ~rule:"edit-noop" ~severity:D.Warning ~location ~line fmt
+  in
+  let gate_node ~line name =
+    match Netlist.find_node c name with
+    | None ->
+        emit ~rule:"edit-unknown-gate" ~severity:D.Error ~location:D.Circuit
+          ~line "unknown gate %S" name;
+        None
+    | Some id when Netlist.is_input c id ->
+        emit ~rule:"edit-unknown-gate" ~severity:D.Error
+          ~location:(D.Node { id; name }) ~line
+          "%S is a primary input, not a gate" name;
+        None
+    | Some id -> Some id
+  in
+  List.iter
+    (fun { Edit.op; line } ->
+      match op with
+      | Edit.Resize { gate; drive } -> (
+          match gate_node ~line gate with
+          | None -> ()
+          | Some id ->
+              let loc = D.Node { id; name = gate } in
+              if not (Float.is_finite drive && drive > 0.0) then
+                emit ~rule:"edit-bad-drive" ~severity:D.Error ~location:loc
+                  ~line "drive must be finite and positive, got %g" drive
+              else if drives.(id) = drive then
+                noop ~line ~location:loc
+                  "gate %s already has drive %g" gate drive
+              else drives.(id) <- drive)
+      | Edit.Retype { gate; kind } -> (
+          match gate_node ~line gate with
+          | None -> ()
+          | Some id -> (
+              let loc = D.Node { id; name = gate } in
+              let arity =
+                Array.length (Netlist.gate_of c id).Netlist.fanins
+              in
+              match Gate.of_name (String.uppercase_ascii kind) arity with
+              | None ->
+                  emit ~rule:"edit-unknown-kind" ~severity:D.Error
+                    ~location:loc ~line
+                    "unknown gate kind %S for a %d-input gate" kind arity
+              | Some k ->
+                  let gi = id - c.Netlist.num_inputs in
+                  if kinds.(gi) = k then
+                    noop ~line ~location:loc "gate %s is already a %s" gate
+                      (Gate.name k)
+                  else kinds.(gi) <- k))
+      | Edit.Move { gate; x; y } -> (
+          match gate_node ~line gate with
+          | None -> ()
+          | Some id ->
+              let w = placement.Placement.die_width
+              and h = placement.Placement.die_height in
+              if
+                (not (Float.is_finite x && Float.is_finite y))
+                || x < 0.0 || y < 0.0 || x > w || y > h
+              then
+                emit ~rule:"edit-outside-die" ~severity:D.Error
+                  ~location:(D.Place { id; x; y })
+                  ~hint:
+                    (Printf.sprintf "die bounding box is (0, 0) .. (%g, %g)"
+                       w h)
+                  ~line "move lands outside the die — in no quad-tree leaf"
+              else if coords.(id) = (x, y) then
+                noop ~line ~location:(D.Place { id; x; y })
+                  "gate %s is already at (%g, %g)" gate x y
+              else coords.(id) <- (x, y))
+      | Edit.Set { param; value } -> (
+          match Config.set_param !config param value with
+          | Error msg ->
+              emit ~rule:"edit-unknown-param" ~severity:D.Error
+                ~location:D.Config ~line "%s" msg
+          | Ok (next, _) ->
+              if next = !config then
+                noop ~line ~location:D.Config "%s is already %g" param value
+              else config := next))
+    edits;
+  List.rev !ds

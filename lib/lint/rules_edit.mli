@@ -1,0 +1,23 @@
+(** Lint rules for edit scripts ({!Ssta_circuit.Edit}): the
+    pre-validation surface of the [diff] CLI command and the server
+    [edit]/[what-if] ops.
+
+    Errors ([edit-unknown-gate], [edit-unknown-kind],
+    [edit-outside-die], [edit-bad-drive], [edit-unknown-param]) mean
+    the script cannot be resolved against the design and the edit op
+    must be refused; [edit-noop] warns about edits that change nothing
+    (the new value equals the old one). *)
+
+val rules : (string * string) list
+
+val check :
+  ?placement:Ssta_circuit.Placement.t ->
+  ?drives:float array ->
+  config:Ssta_core.Config.t ->
+  Ssta_circuit.Netlist.t ->
+  Ssta_circuit.Edit.t ->
+  Diagnostic.t list
+(** Validate a script against a design.  [placement] defaults to the
+    computed placement, [drives] to all-1.0.  Edits are checked
+    sequentially, so a no-op is judged against the state the earlier
+    edits of the same script produce. *)

@@ -27,6 +27,8 @@ type request =
   | Query of { endpoint : string; params : run_params }
   | Check of { only : string list; path_limit : int option }
   | Criticality of { top : int option }
+  | Edit of { script : string }
+  | What_if of { script : string }
   | Health
   | Reload
   | Shutdown
@@ -48,6 +50,7 @@ let fields_of_op = function
   | "query" -> "endpoint" :: param_fields
   | "check" -> [ "only"; "path_limit" ]
   | "criticality" -> [ "top" ]
+  | "edit" | "what-if" -> [ "edits" ]
   | "health" | "reload" | "shutdown" -> []
   | op -> bad "unknown op %S" op
 
@@ -156,6 +159,13 @@ let decode_obj j =
           { only = Option.value ~default:[] (get_string_list "only" j);
             path_limit = get_int ~lo:0 ~hi:1_000_000 "path_limit" j }
     | "criticality" -> Criticality { top = get_int ~lo:1 ~hi:1_000_000 "top" j }
+    | "edit" | "what-if" -> (
+        match get_string "edits" j with
+        | Some s when s <> "" ->
+            if op = "edit" then Edit { script = s }
+            else What_if { script = s }
+        | Some _ -> bad "field \"edits\" must be a non-empty string"
+        | None -> bad "op %S requires field \"edits\"" op)
     | "health" -> Health
     | "reload" -> Reload
     | "shutdown" -> Shutdown

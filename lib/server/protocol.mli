@@ -30,6 +30,13 @@ type request =
       (** critical path to one named output *)
   | Check of { only : string list; path_limit : int option }
   | Criticality of { top : int option }
+  | Edit of { script : string }
+      (** apply an edit script (the {!Ssta_circuit.Edit} text format,
+          newline-separated ops in one JSON string) to the warm image
+          and re-analyze incrementally *)
+  | What_if of { script : string }
+      (** same analysis as [Edit] on a forked image: the answer is
+          computed, the server state is left untouched *)
   | Health
   | Reload
   | Shutdown

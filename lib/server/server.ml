@@ -11,6 +11,8 @@ module Report = Ssta_core.Report
 module Inter = Ssta_core.Inter
 module Checker = Ssta_check.Checker
 module Affine = Ssta_check.Affine
+module Impact = Ssta_check.Impact
+module Edit = Ssta_circuit.Edit
 module D = Ssta_lint.Diagnostic
 module Err = Ssta_runtime.Ssta_error
 module Rbudget = Ssta_runtime.Budget
@@ -32,6 +34,9 @@ type t = {
   mutable placement : Placement.t;
   mutable sta : Sta.t;
   mutable warm : Path_analysis.warm option;
+  mutable impact : Impact.state option;
+      (* warm incremental image for edit/what-if, built lazily on first
+         use, dropped on reload *)
   lifetime : Health.t;
 }
 
@@ -50,6 +55,7 @@ let create ?(config = Config.default) ?pool ?default_deadline_s
     placement;
     sta = Sta.analyze circuit;
     warm = None;
+    impact = None;
     lifetime = Health.create () }
 
 let lifetime t = t.lifetime
@@ -346,6 +352,111 @@ let do_health t id =
       );
       ("cache", cache) ]
 
+(* --- incremental edit / what-if --------------------------------------- *)
+
+(* The impact image is built lazily on the first edit/what-if: one full
+   methodology run under the drive-aware load model (impact designs
+   always use {!Graph.with_drives} so a resize stays a local
+   perturbation), populating the per-path cache.  Note the model
+   switch: [run]/[query] use the fanout-count load model, edit answers
+   the drive-aware one — absolute delays differ slightly until the
+   first committed edit replaces the server's timing image. *)
+let impact_state t =
+  match t.impact with
+  | Some s -> Ok s
+  | None -> (
+      let d =
+        Impact.design ~placement:t.placement ~config:t.base_config t.circuit
+      in
+      match Impact.init ?pool:t.pool ~ledger:t.lifetime d with
+      | Error e -> Error e
+      | Ok (s, _baseline) ->
+          t.impact <- Some s;
+          Ok s)
+
+(* Pre-validation: parse the script, then run the edit lint rules
+   against the current image; any lint error refuses the op before a
+   single cached path is touched. *)
+let parse_edits state script =
+  match Edit.parse_string_res script with
+  | Error e -> Error e
+  | Ok edits -> (
+      let d = Impact.design_of state in
+      let ds =
+        Ssta_lint.Rules_edit.check ~placement:d.Impact.placement
+          ~drives:d.Impact.drives ~config:d.Impact.config d.Impact.circuit
+          edits
+      in
+      match List.find_opt (fun dg -> dg.D.severity = D.Error) ds with
+      | Some dg -> Error (Err.structural ~subject:"edit" dg.D.message)
+      | None -> Ok edits)
+
+let impact_fields (o : Impact.outcome) =
+  let m = o.Impact.report in
+  [ ("cone_nodes", jint o.Impact.cone.Impact.cone_nodes);
+    ("dirty_nodes", jint o.Impact.cone.Impact.dirty_count);
+    ( "affected_endpoints",
+      jint (List.length o.Impact.cone.Impact.affected_endpoints) );
+    ("full_invalidation", Json.Bool o.Impact.cone.Impact.full);
+    ("invalidated", jint o.Impact.invalidated);
+    ("reused", jint o.Impact.reused);
+    ("reanalyzed", jint o.Impact.reanalyzed);
+    ("paths", jint (Methodology.num_critical_paths m));
+    ("critical_delay_s", Json.Number m.Methodology.sta.Sta.critical_delay);
+    ("sigma_c_s", Json.Number m.Methodology.sigma_c);
+    ( "confidence_point_s",
+      Json.Number
+        m.Methodology.prob_critical.Ranking.analysis
+          .Path_analysis.confidence_point ) ]
+
+let do_edit t id script =
+  count t "requests-edit";
+  let answer =
+    match impact_state t with
+    | Error e -> Error e
+    | Ok state -> (
+        match parse_edits state script with
+        | Error e -> Error e
+        | Ok edits -> Impact.reanalyze ?pool:t.pool state edits)
+  in
+  match answer with
+  | Error e ->
+      count t "requests-error";
+      Protocol.render_error ?id e
+  | Ok o ->
+      (* Commit: the edited design becomes the served image.  The new
+         static timing comes from the incremental run itself
+         (drive-aware — [Sta.analyze] would forget the drives). *)
+      let state = Option.get t.impact in
+      let d = Impact.design_of state in
+      t.circuit <- d.Impact.circuit;
+      t.placement <- d.Impact.placement;
+      t.sta <- o.Impact.report.Methodology.sta;
+      count t "requests-ok";
+      Protocol.render ?id ~status:Protocol.Ok_
+        (("circuit", Json.String t.circuit.Netlist.name) :: impact_fields o)
+
+let do_what_if t id script =
+  count t "requests-whatif";
+  let answer =
+    match impact_state t with
+    | Error e -> Error e
+    | Ok state -> (
+        match parse_edits state script with
+        | Error e -> Error e
+        | Ok edits -> Impact.what_if ?pool:t.pool state edits)
+  in
+  match answer with
+  | Error e ->
+      count t "requests-error";
+      Protocol.render_error ?id e
+  | Ok o ->
+      count t "requests-ok";
+      Protocol.render ?id ~status:Protocol.Ok_
+        (("circuit", Json.String t.circuit.Netlist.name)
+         :: ("committed", Json.Bool false)
+         :: impact_fields o)
+
 let do_reload t id =
   count t "requests-reload";
   match t.reload () with
@@ -357,6 +468,7 @@ let do_reload t id =
       t.placement <- placement;
       t.sta <- Sta.analyze circuit;
       t.warm <- None;
+      t.impact <- None;
       count t "reloads";
       count t "requests-ok";
       Protocol.render ?id ~status:Protocol.Ok_
@@ -370,6 +482,8 @@ let dispatch_inner t ({ Protocol.id; request } : Protocol.envelope) =
   | Protocol.Query { endpoint; params } -> do_query t id endpoint params
   | Protocol.Check { only; path_limit } -> do_check t id only path_limit
   | Protocol.Criticality { top } -> do_criticality t id top
+  | Protocol.Edit { script } -> do_edit t id script
+  | Protocol.What_if { script } -> do_what_if t id script
   | Protocol.Health -> do_health t id
   | Protocol.Reload -> do_reload t id
   | Protocol.Shutdown ->

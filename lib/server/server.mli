@@ -33,6 +33,14 @@
     - {e graceful shutdown}: a ["shutdown"] request, end of input, or a
       cancellation latch (SIGTERM) stops admissions, drains accepted
       requests, and flushes a statistics summary.
+    - {e incremental edits}: the [edit] op applies an
+      {!Ssta_circuit.Edit} script to a warm incremental image
+      ({!Ssta_check.Impact}) — lint pre-validation refuses bad scripts
+      with typed errors, cached per-path analyses outside the change's
+      dependence cone are reused, and the edited design is committed as
+      the served image; [what-if] answers the same question on a fork
+      without committing.  The image is built lazily on first use and
+      dropped on [reload].
 
     Determinism: responses for [run]/[query]/[check]/[criticality] are
     byte-identical for identical requests whatever the arrival order,

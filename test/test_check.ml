@@ -499,7 +499,7 @@ let expected_check_ids =
     "check-affine-variance";
     "check-bound-arrival"; "check-bound-domain"; "check-bound-nominal";
     "check-bound-quantile"; "check-bound-support"; "check-health";
-    "check-inter-cache-consistency";
+    "check-impact-equivalence"; "check-inter-cache-consistency";
     "check-internal"; "check-interrupted";
     "check-parallel-determinism"; "check-pdfsan-cdf";
     "check-pdfsan-clamped";

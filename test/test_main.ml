@@ -29,4 +29,5 @@ let () =
       Test_inter_cache.suite;
       Test_parallel.suite;
       Test_faults.suite;
-      Test_server.suite ]
+      Test_server.suite;
+      Test_impact.suite ]
