@@ -929,6 +929,111 @@ let incremental () =
       failwith "incremental assertions failed"
 
 (* ------------------------------------------------------------------ *)
+(* Block crossover: path-based vs block-based wall clock.              *)
+
+(* Path-based cost is enumeration-dominated (O(paths * Q^3) after the
+   near-critical walk); the block engine visits every gate once.  This
+   harness measures both walls per benchmark at the paper's settings and
+   records where the one-pass engine wins, plus the statistical gap
+   between the two answers.  Written to BENCH_blockcross.json. *)
+let blockcross () =
+  section "Block crossover: path-based vs block-based engine (jobs=1)";
+  let module Block_engine = Ssta_block.Engine in
+  let max_paths = 2000 in
+  let specs =
+    match !hotpath_only with
+    | [] -> Iscas85.all
+    | names -> List.filter_map Iscas85.by_name names
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  Fmt.pr "  %-7s %6s %9s %10s %8s %10s %10s %6s@." "name" "gates" "path(s)"
+    "block(s)" "speedup" "dmean" "dsigma" "wins";
+  let rows =
+    List.map
+      (fun (spec : Iscas85.spec) ->
+        let name = spec.Iscas85.name in
+        let circuit, placement = Iscas85.build_placed spec in
+        let config =
+          Config.with_confidence Config.default
+            spec.Iscas85.paper.Iscas85.confidence
+        in
+        let config = { config with Config.max_paths } in
+        let t0 = Unix.gettimeofday () in
+        let m = Methodology.run ~config ~placement circuit in
+        let path_wall = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        let r = Block_engine.analyze ~config ~placement circuit in
+        let block_wall = Unix.gettimeofday () -. t1 in
+        let pa = m.Methodology.prob_critical.Ranking.analysis in
+        let path_mean = pa.Path_analysis.mean in
+        let path_std = pa.Path_analysis.std in
+        let rel_mean =
+          Float.abs (r.Block_engine.mean -. path_mean) /. path_mean
+        in
+        let rel_std =
+          Float.abs (r.Block_engine.std -. path_std) /. path_std
+        in
+        let speedup =
+          if block_wall > 0.0 then path_wall /. block_wall else 1.0
+        in
+        let wins = block_wall < path_wall in
+        (* The block mean upper-bounds the most-critical path's mean
+           (the circuit max dominates every path), so the one-sided
+           check is a soundness gate, the relative ones a quality
+           gate. *)
+        if !hotpath_assert then begin
+          if r.Block_engine.mean < path_mean *. 0.98 then
+            fail "%s: block mean %.4g below path mean %.4g" name
+              r.Block_engine.mean path_mean;
+          if rel_mean > 0.10 then
+            fail "%s: block/path mean gap %.1f%% (tol 10%%)" name
+              (rel_mean *. 100.0);
+          if rel_std > 0.35 then
+            fail "%s: block/path sigma gap %.1f%% (tol 35%%)" name
+              (rel_std *. 100.0)
+        end;
+        Fmt.pr "  %-7s %6d %9.3f %10.4f %7.1fx %9.2f%% %9.2f%% %6s@." name
+          r.Block_engine.num_gates path_wall block_wall speedup
+          (rel_mean *. 100.0) (rel_std *. 100.0)
+          (if wins then "yes" else "no");
+        (name, r.Block_engine.num_gates, path_wall, block_wall, speedup,
+         path_mean, path_std, pa.Path_analysis.confidence_point,
+         r.Block_engine.mean, r.Block_engine.std,
+         r.Block_engine.confidence_point, wins))
+      specs
+  in
+  if !hotpath_assert
+     && not (List.exists (fun (_, _, _, _, _, _, _, _, _, _, _, w) -> w) rows)
+  then fail "no benchmark where the block engine beats the path engine";
+  let oc = open_out "BENCH_blockcross.json" in
+  let out fmt = Printf.ksprintf (output_string oc) fmt in
+  out "{\"max_paths\":%d,\"max_policy\":\"clark\",\"benchmarks\":[\n" max_paths;
+  List.iteri
+    (fun i
+         (name, gates, path_wall, block_wall, speedup, path_mean, path_std,
+          path_conf, block_mean, block_std, block_conf, wins) ->
+      out
+        "  {\"name\":\"%s\",\"gates\":%d,\"path_wall_s\":%.4f,\
+         \"block_wall_s\":%.4f,\"speedup\":%.3f,\
+         \"path\":{\"mean_s\":%.6e,\"std_s\":%.6e,\
+         \"confidence_point_s\":%.6e},\
+         \"block\":{\"mean_s\":%.6e,\"std_s\":%.6e,\
+         \"confidence_point_s\":%.6e},\"block_wins\":%b}%s\n"
+        name gates path_wall block_wall speedup path_mean path_std path_conf
+        block_mean block_std block_conf wins
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "]}\n";
+  close_out oc;
+  Fmt.pr "  wrote BENCH_blockcross.json@.";
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun f -> Fmt.epr "  FAIL: %s@." f) fs;
+      failwith "blockcross assertions failed"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per artifact.                 *)
 
 let bechamel_suite () =
@@ -1014,7 +1119,8 @@ let artifacts =
     ("shapes", shapes); ("wires", wires);
     ("yield-criticality", yield_criticality); ("dual-vt", dual_vt);
     ("pipeline", pipeline); ("parallel", parallel); ("hotpath", hotpath);
-    ("screening", screening); ("incremental", incremental) ]
+    ("screening", screening); ("incremental", incremental);
+    ("blockcross", blockcross) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -22,6 +22,7 @@ module Ranking = Ssta_core.Ranking
 module Path_analysis = Ssta_core.Path_analysis
 module Monte_carlo = Ssta_core.Monte_carlo
 module Block_based = Ssta_core.Block_based
+module Block_engine = Ssta_block.Engine
 module Quality_sweep = Ssta_core.Quality_sweep
 module Yield = Ssta_core.Yield
 module Lint = Ssta_lint.Engine
@@ -161,6 +162,29 @@ let shape_opt =
        & info [ "shape" ] ~docv:"SHAPE"
            ~doc:"Distribution shape of the inter-die RVs (gaussian, \
                  uniform, triangular).")
+
+let engine_opt =
+  let engine_conv =
+    Arg.enum (List.map (fun e -> (Config.engine_name e, e)) Config.engines)
+  in
+  Arg.(value & opt engine_conv Config.Path
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Analysis engine: 'path' (the paper's path-based flow) \
+                 or 'block' (one-pass topological propagation with \
+                 statistical sum/max; faster on large circuits, \
+                 approximate at reconvergent fan-out).")
+
+let max_policy_opt =
+  let policy_conv =
+    Arg.enum
+      (List.map (fun p -> (Config.max_policy_name p, p)) Config.max_policies)
+  in
+  Arg.(value & opt policy_conv Config.Clark_max
+       & info [ "max-policy" ] ~docv:"POLICY"
+           ~doc:"Statistical max policy of the block engine: 'clark' \
+                 (moment-matched max of correlated Gaussians, sound \
+                 under correlation) or 'grid' (grid-exact max assuming \
+                 independent operands).")
 
 let wire_opt =
   Arg.(value & flag & info [ "wires" ]
@@ -545,7 +569,7 @@ let check_cmd =
 (* diff *)
 let diff_cmd =
   let action name bench verilog def qi qj c k mp inter_fraction shape
-      no_inter_cache edits_file edit_ops jobs json verify =
+      no_inter_cache engine max_policy edits_file edit_ops jobs json verify =
     guarded @@ fun () ->
     let circuit, placement = load_circuit ?verilog ~bench ~def name in
     let config =
@@ -553,6 +577,7 @@ let diff_cmd =
         ~max_paths:mp ~inter_fraction ~shape
         ~inter_cache:(not no_inter_cache)
     in
+    let config = { config with Config.engine; block_max = max_policy } in
     let edits =
       match (edits_file, edit_ops) with
       | Some path, [] -> ok_or_raise (Edit.parse_file_res path)
@@ -574,6 +599,89 @@ let diff_cmd =
       Lint_reporter.text ~circuit_name:circuit.Ssta_circuit.Netlist.name
         Fmt.stderr ds;
     if Lint.has_errors ds then 1
+    else if config.Config.engine = Config.Block then begin
+      (* Block mode has no per-path cache to splice: every analysis is a
+         single topological sweep, so the edited design is simply
+         re-analyzed from scratch.  [--verify] is vacuously satisfied
+         (the answer *is* the from-scratch run). *)
+      ignore jobs;
+      let d = Impact.design ~placement ~config circuit in
+      let changes = ok_or_raise (Impact.resolve d edits) in
+      let d2 = Impact.apply d changes in
+      let analyze (d : Impact.design) =
+        Block_engine.analyze ~config:d.Impact.config
+          ~placement:d.Impact.placement
+          ~sta:
+            (Ssta_timing.Sta.of_graph
+               (Ssta_timing.Graph.with_drives d.Impact.circuit
+                  d.Impact.drives))
+          d.Impact.circuit
+      in
+      let t0 = Unix.gettimeofday () in
+      let base = analyze d in
+      let edited = analyze d2 in
+      let wall = Unix.gettimeofday () -. t0 in
+      if json then begin
+        print_string
+          (Json.to_string
+             (Json.Obj
+                ([ ("circuit", Json.String circuit.Netlist.name);
+                   ("edits", Json.String (Edit.describe edits));
+                   ("engine", Json.String (Config.engine_name Config.Block));
+                   ( "max_policy",
+                     Json.String
+                       (Config.max_policy_name config.Config.block_max) );
+                   ( "base_critical_delay_s",
+                     Json.Number
+                       base.Block_engine.sta.Ssta_timing.Sta.critical_delay
+                   );
+                   ("base_mean_s", Json.Number base.Block_engine.mean);
+                   ("base_std_s", Json.Number base.Block_engine.std);
+                   ( "base_confidence_point_s",
+                     Json.Number base.Block_engine.confidence_point );
+                   ( "edited_critical_delay_s",
+                     Json.Number
+                       edited.Block_engine.sta.Ssta_timing.Sta.critical_delay
+                   );
+                   ("edited_mean_s", Json.Number edited.Block_engine.mean);
+                   ("edited_std_s", Json.Number edited.Block_engine.std);
+                   ( "edited_confidence_point_s",
+                     Json.Number edited.Block_engine.confidence_point );
+                   ( "delta_mean_s",
+                     Json.Number
+                       (edited.Block_engine.mean -. base.Block_engine.mean)
+                   );
+                   ( "delta_confidence_point_s",
+                     Json.Number
+                       (edited.Block_engine.confidence_point
+                       -. base.Block_engine.confidence_point) );
+                   ("reanalysis_s", Json.Number wall) ]
+                @ if verify then [ ("verified", Json.Bool true) ] else [])));
+        print_newline ()
+      end
+      else begin
+        Fmt.pr "edit impact on %s (block engine): %s@." circuit.Netlist.name
+          (Edit.describe edits);
+        Fmt.pr "  base:   mean %.3f ps, sigma %.3f ps, confidence %.3f ps@."
+          (Elmore.ps base.Block_engine.mean)
+          (Elmore.ps base.Block_engine.std)
+          (Elmore.ps base.Block_engine.confidence_point);
+        Fmt.pr "  edited: mean %.3f ps, sigma %.3f ps, confidence %.3f ps@."
+          (Elmore.ps edited.Block_engine.mean)
+          (Elmore.ps edited.Block_engine.std)
+          (Elmore.ps edited.Block_engine.confidence_point);
+        Fmt.pr "  delta:  mean %+.3f ps, confidence %+.3f ps@."
+          (Elmore.ps
+             (edited.Block_engine.mean -. base.Block_engine.mean))
+          (Elmore.ps
+             (edited.Block_engine.confidence_point
+             -. base.Block_engine.confidence_point));
+        Fmt.pr "  edit-to-answer %.3f s (two full sweeps)@." wall;
+        if verify then
+          Fmt.pr "  verified: block analyses are from-scratch by design@."
+      end;
+      0
+    end
     else
       with_jobs jobs @@ fun pool ->
       let d = Impact.design ~placement ~config circuit in
@@ -705,14 +813,14 @@ let diff_cmd =
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
-          $ no_inter_cache_opt $ edits_file $ edit_ops $ jobs_opt $ json
-          $ verify)
+          $ no_inter_cache_opt $ engine_opt $ max_policy_opt $ edits_file
+          $ edit_ops $ jobs_opt $ json $ verify)
 
 (* run *)
 let run_cmd =
   let action name bench verilog def spef qi qj c k mp inter_fraction shape
-      no_inter_cache wires deadline max_cells strict_budget jobs
-      no_affine_prune criticality json verbose =
+      no_inter_cache engine max_policy wires deadline max_cells strict_budget
+      jobs no_affine_prune criticality json verbose =
     guarded @@ fun () ->
     let circuit, placement = load_circuit ?verilog ~bench ~def name in
     let config =
@@ -721,6 +829,22 @@ let run_cmd =
         ~inter_cache:(not no_inter_cache)
     in
     let config = { config with Config.affine_prune = not no_affine_prune } in
+    let config = { config with Config.engine; block_max = max_policy } in
+    if config.Config.engine = Config.Block then begin
+      (* Block mode: one topological sweep, no enumeration — the budget,
+         screening and wire options of the path flow do not apply. *)
+      let r = Block_engine.analyze ~config ~placement circuit in
+      if json then begin
+        print_string (Block_engine.json_report r);
+        print_newline ()
+      end
+      else begin
+        Fmt.pr "%a" Block_engine.pp_summary r;
+        if verbose then Fmt.pr "%a" Block_engine.pp_endpoints r
+      end;
+      0
+    end
+    else
     let budget =
       Rbudget.make ?deadline_s:deadline ?max_cells ~max_paths:mp ()
     in
@@ -874,9 +998,9 @@ let run_cmd =
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ spef_opt $ quality_intra_opt $ quality_inter_opt $ confidence_opt
           $ corner_k_opt $ max_paths_opt $ inter_fraction_opt $ shape_opt
-          $ no_inter_cache_opt $ wire_opt $ deadline_opt $ max_cells_opt
-          $ strict_budget_opt $ jobs_opt $ no_affine_prune $ criticality
-          $ json $ verbose)
+          $ no_inter_cache_opt $ engine_opt $ max_policy_opt $ wire_opt
+          $ deadline_opt $ max_cells_opt $ strict_budget_opt $ jobs_opt
+          $ no_affine_prune $ criticality $ json $ verbose)
 
 (* table2 *)
 let table2_cmd =

@@ -1,0 +1,206 @@
+module Pdf = Ssta_prob.Pdf
+module Elmore = Ssta_tech.Elmore
+module Graph = Ssta_timing.Graph
+module Sta = Ssta_timing.Sta
+module Netlist = Ssta_circuit.Netlist
+module Placement = Ssta_circuit.Placement
+module Config = Ssta_core.Config
+
+type endpoint = {
+  node : int;
+  name : string;
+  arrival : Arrival.t;
+  pdf : Pdf.t;
+  mean : float;
+  std : float;
+  inter_sigma : float;
+  intra_sigma : float;
+  confidence_point : float;
+}
+
+type t = {
+  config : Config.t;
+  circuit_name : string;
+  num_gates : int;
+  sta : Sta.t;
+  endpoints : endpoint list;
+  arrival : Arrival.t;
+  pdf : Pdf.t;
+  mean : float;
+  std : float;
+  inter_sigma : float;
+  intra_sigma : float;
+  confidence_point : float;
+  runtime_s : float;
+}
+
+let endpoint_of config ~node ~name arrival =
+  let mean = Arrival.mean arrival and std = Arrival.std config arrival in
+  { node;
+    name;
+    arrival;
+    pdf = Arrival.total_pdf config arrival;
+    mean;
+    std;
+    inter_sigma = Arrival.inter_sigma config arrival;
+    intra_sigma = Arrival.intra_sigma config arrival;
+    confidence_point = mean +. (config.Config.confidence_sigma *. std) }
+
+let propagate config layers placement graph =
+  let n = Graph.num_nodes graph in
+  let arrivals = Array.make n (Arrival.zero ()) in
+  for id = 0 to n - 1 do
+    if not (Graph.is_input graph id) then begin
+      let fanins = Graph.fanins graph id in
+      let merged =
+        Array.fold_left
+          (fun acc f ->
+            match acc with
+            | None -> Some arrivals.(f)
+            | Some m -> Some (Arrival.max config m arrivals.(f)))
+          None fanins
+      in
+      let input_arrival =
+        match merged with Some m -> m | None -> Arrival.zero ()
+      in
+      arrivals.(id) <-
+        Arrival.sum config input_arrival
+          (Arrival.of_gate config layers placement graph id)
+    end
+  done;
+  arrivals
+
+let analyze ?(config = Config.default) ?placement ?sta circuit =
+  let started = Unix.gettimeofday () in
+  let sta = match sta with Some s -> s | None -> Sta.analyze circuit in
+  let graph = sta.Sta.graph in
+  let placement =
+    match placement with Some pl -> pl | None -> Placement.place circuit
+  in
+  let layers = Config.layers_for config placement in
+  let arrivals = propagate config layers placement graph in
+  let outputs = circuit.Netlist.outputs in
+  let arrival =
+    Array.fold_left
+      (fun acc o ->
+        match acc with
+        | None -> Some arrivals.(o)
+        | Some m -> Some (Arrival.max config m arrivals.(o)))
+      None outputs
+    |> function
+    | Some m -> m
+    | None -> invalid_arg "Engine.analyze: circuit has no outputs"
+  in
+  let endpoints =
+    Array.to_list outputs
+    |> List.map (fun o ->
+           endpoint_of config ~node:o
+             ~name:(Netlist.node_name circuit o)
+             arrivals.(o))
+  in
+  let mean = Arrival.mean arrival and std = Arrival.std config arrival in
+  { config;
+    circuit_name = circuit.Netlist.name;
+    num_gates = Netlist.num_gates circuit;
+    sta;
+    endpoints;
+    arrival;
+    pdf = Arrival.total_pdf config arrival;
+    mean;
+    std;
+    inter_sigma = Arrival.inter_sigma config arrival;
+    intra_sigma = Arrival.intra_sigma config arrival;
+    confidence_point = mean +. (config.Config.confidence_sigma *. std);
+    runtime_s = Unix.gettimeofday () -. started }
+
+(* ----- deterministic JSON report -----
+
+   Same contract as Report.json_report: a pure function of the analysis
+   results (round-trip floats, no wall-clock), so identical results are
+   byte-identical — the block-mode [--jobs] determinism tests diff this
+   artifact. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jfloat v = Printf.sprintf "%.17g" v
+
+let json_of_pdf (p : Pdf.t) =
+  Printf.sprintf "{\"lo\":%s,\"step\":%s,\"density\":[%s]}" (jfloat p.Pdf.lo)
+    (jfloat p.Pdf.step)
+    (String.concat "," (Array.to_list (Array.map jfloat p.Pdf.density)))
+
+let json_of_endpoint ep =
+  Printf.sprintf
+    "{\"node\":%d,\"name\":\"%s\",\"mean_s\":%s,\"std_s\":%s,\"inter_sigma_s\":%s,\"intra_sigma_s\":%s,\"confidence_point_s\":%s,\"q001_s\":%s,\"median_s\":%s,\"q999_s\":%s}"
+    ep.node (json_escape ep.name) (jfloat ep.mean) (jfloat ep.std)
+    (jfloat ep.inter_sigma) (jfloat ep.intra_sigma)
+    (jfloat ep.confidence_point)
+    (jfloat (Pdf.quantile ep.pdf 0.001))
+    (jfloat (Pdf.quantile ep.pdf 0.5))
+    (jfloat (Pdf.quantile ep.pdf 0.999))
+
+let json_report t =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let cfg = t.config in
+  add "{\"circuit\":\"%s\"," (json_escape t.circuit_name);
+  add "\"engine\":\"block\",";
+  add "\"gates\":%d," t.num_gates;
+  add
+    "\"config\":{\"confidence_sigma\":%s,\"quality_intra\":%d,\"truncation\":%s,\"max_policy\":\"%s\"},"
+    (jfloat cfg.Config.confidence_sigma)
+    cfg.Config.quality_intra
+    (jfloat cfg.Config.truncation)
+    (Config.max_policy_name cfg.Config.block_max);
+  add "\"critical_delay_s\":%s," (jfloat t.sta.Sta.critical_delay);
+  add
+    "\"mean_s\":%s,\"std_s\":%s,\"inter_sigma_s\":%s,\"intra_sigma_s\":%s,\"confidence_point_s\":%s,"
+    (jfloat t.mean) (jfloat t.std) (jfloat t.inter_sigma)
+    (jfloat t.intra_sigma)
+    (jfloat t.confidence_point);
+  add "\"q001_s\":%s,\"median_s\":%s,\"q999_s\":%s,"
+    (jfloat (Pdf.quantile t.pdf 0.001))
+    (jfloat (Pdf.quantile t.pdf 0.5))
+    (jfloat (Pdf.quantile t.pdf 0.999));
+  add "\"endpoints\":[%s],"
+    (String.concat "," (List.map json_of_endpoint t.endpoints));
+  add "\"circuit_pdf\":%s}" (json_of_pdf t.pdf);
+  Buffer.contents buf
+
+let pp_summary fmt t =
+  Format.fprintf fmt "circuit %s: %d gates, engine block (%s max)@."
+    t.circuit_name t.num_gates
+    (Config.max_policy_name t.config.Config.block_max);
+  Format.fprintf fmt "deterministic critical delay: %.3f ps@."
+    (Elmore.ps t.sta.Sta.critical_delay);
+  Format.fprintf fmt
+    "circuit arrival: mean %.3f ps, sigma %.3f ps (inter %.3f / intra %.3f)@."
+    (Elmore.ps t.mean) (Elmore.ps t.std)
+    (Elmore.ps t.inter_sigma)
+    (Elmore.ps t.intra_sigma);
+  Format.fprintf fmt "%g-sigma point: %.3f ps@."
+    t.config.Config.confidence_sigma
+    (Elmore.ps t.confidence_point);
+  Format.fprintf fmt "endpoints: %d@." (List.length t.endpoints)
+
+let pp_endpoints fmt t =
+  Format.fprintf fmt "%-16s %10s %10s %10s@." "endpoint" "mean(ps)"
+    "sigma(ps)" "conf(ps)";
+  List.iter
+    (fun ep ->
+      Format.fprintf fmt "%-16s %10.3f %10.3f %10.3f@." ep.name
+        (Elmore.ps ep.mean) (Elmore.ps ep.std)
+        (Elmore.ps ep.confidence_point))
+    t.endpoints

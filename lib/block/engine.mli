@@ -1,0 +1,73 @@
+(** Block-based timing engine: one topological pass over the netlist
+    DAG, propagating {!Arrival} distributions with statistical sum at
+    gates and statistical max at merge points and endpoints.
+
+    Where the path engine's cost is O(paths * Q^3) after enumeration,
+    this engine visits every gate exactly once at O(Q^2) per visit — the
+    crossover is measured per benchmark by the [blockcross] bench
+    artifact.  The price is approximation at reconvergent fan-out
+    (Clark's max, or the independence assumption of the grid max); the
+    [check-block-vs-path] checker cross-validates the result against the
+    path-based answer and Monte Carlo on every ISCAS85 circuit. *)
+
+(** Per primary-output arrival statistics. *)
+type endpoint = {
+  node : int;  (** node id of the primary output *)
+  name : string;  (** its netlist name *)
+  arrival : Arrival.t;  (** the full arrival object *)
+  pdf : Ssta_prob.Pdf.t;  (** concretized delay PDF *)
+  mean : float;  (** seconds *)
+  std : float;  (** seconds *)
+  inter_sigma : float;  (** inter-die share of sigma (Eq. 14 split) *)
+  intra_sigma : float;  (** everything below the inter-die layer *)
+  confidence_point : float;  (** mean + confidence_sigma * std *)
+}
+
+(** One block-based analysis of a circuit. *)
+type t = {
+  config : Ssta_core.Config.t;  (** configuration used *)
+  circuit_name : string;
+  num_gates : int;
+  sta : Ssta_timing.Sta.t;  (** deterministic STA of the same graph *)
+  endpoints : endpoint list;  (** one per primary output, in output order *)
+  arrival : Arrival.t;  (** circuit arrival: max over all outputs *)
+  pdf : Ssta_prob.Pdf.t;  (** concretized circuit-delay PDF *)
+  mean : float;  (** seconds *)
+  std : float;  (** seconds *)
+  inter_sigma : float;  (** inter-die share of sigma *)
+  intra_sigma : float;  (** remaining share *)
+  confidence_point : float;  (** mean + confidence_sigma * std *)
+  runtime_s : float;  (** wall-clock of the sweep (not in the JSON) *)
+}
+
+val analyze :
+  ?config:Ssta_core.Config.t ->
+  ?placement:Ssta_circuit.Placement.t ->
+  ?sta:Ssta_timing.Sta.t ->
+  Ssta_circuit.Netlist.t ->
+  t
+(** [analyze circuit] runs deterministic STA plus one statistical
+    topological sweep (the circuit's node order is topological by
+    construction).  The default placement is
+    {!Ssta_circuit.Placement.place}; the max policy and grid quality
+    come from [config].  [sta] substitutes a pre-built deterministic
+    analysis (e.g. on a drive-aware graph,
+    {!Ssta_timing.Graph.with_drives}) — its graph must describe
+    [circuit].  Raises [Invalid_argument] if the circuit has no
+    outputs. *)
+
+val json_report : t -> string
+(** Machine-readable report: engine name (["block"]), max policy,
+    deterministic critical delay, circuit and per-endpoint statistics
+    (mean/sigma/inter/intra/confidence point and 0.1%/50%/99.9%
+    quantiles) and the circuit-delay PDF.  Deterministic by
+    construction — round-trip floats, no wall-clock — so identical
+    results are byte-identical; the block-mode [--jobs] determinism
+    tests diff this artifact. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable run summary (engine, critical delay, circuit arrival
+    statistics, endpoint count). *)
+
+val pp_endpoints : Format.formatter -> t -> unit
+(** Per-endpoint table (name, mean, sigma, confidence point). *)

@@ -17,6 +17,7 @@ module Params = Ssta_tech.Params
 module Path_coeffs = Ssta_correlation.Path_coeffs
 module Rng = Ssta_prob.Rng
 module Pool = Ssta_parallel.Pool
+module Block_engine = Ssta_block.Engine
 
 type injection = Bad_budget | Bad_placement | Corrupt_pdf
 
@@ -86,6 +87,10 @@ let own_checks =
     ("check-affine-screen",
      "the affine path screener's pruned enumeration reproduces the \
       unpruned near-critical path set byte for byte");
+    ("check-block-vs-path",
+     "the block-based engine's circuit arrival agrees with the \
+      path-based answer and a fixed-seed Monte-Carlo reference within \
+      mean/sigma/quantile tolerances");
     ("check-health",
      "numerical-health events of the certified run are surfaced");
     ("check-impact-equivalence",
@@ -465,6 +470,90 @@ let check_affine_screen config (aff : Affine.analysis) sta ~slack add =
             sc.Affine.nodes_pruned sc.Affine.nodes_visited))
   end
 
+(* --- block-vs-path cross-validation ---------------------------------- *)
+
+(* The block engine answers the same question as the path-based flow by
+   a completely different route (one topological pass vs per-path
+   analysis), so agreement is strong evidence for both.  Three gates:
+   the block circuit arrival must dominate the probabilistic critical
+   path (the circuit max is at least any single path) without escaping
+   the worst-case corner, and its mean/sigma/median must sit inside the
+   confidence band of a fixed-seed Monte-Carlo reference. *)
+let block_vs_path_samples = 200
+
+let check_block_vs_path config circuit placement (m : Methodology.t) add =
+  let r = Block_engine.analyze ~config ~placement circuit in
+  let prob = m.Methodology.prob_critical.Ranking.analysis in
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        ok := false;
+        add
+          (D.make ~rule:"check-block-vs-path" ~severity:D.Error
+             ~location:D.Circuit msg))
+      fmt
+  in
+  let rel = 0.02 in
+  if r.Block_engine.mean < prob.Path_analysis.mean *. (1.0 -. rel) then
+    fail
+      "block circuit mean %.6g s falls below the probabilistic critical \
+       path mean %.6g s (the circuit max dominates every path)"
+      r.Block_engine.mean prob.Path_analysis.mean;
+  if
+    r.Block_engine.confidence_point
+    > prob.Path_analysis.worst_case *. (1.0 +. rel)
+  then
+    fail
+      "block confidence point %.6g s exceeds the worst-case corner %.6g s"
+      r.Block_engine.confidence_point prob.Path_analysis.worst_case;
+  let sampler =
+    Monte_carlo.sampler config r.Block_engine.sta.Sta.graph placement
+  in
+  let samples =
+    Monte_carlo.circuit_delay_samples sampler ~n:block_vs_path_samples
+      (Rng.create 2)
+  in
+  let n = float_of_int (Array.length samples) in
+  let mc_mean = Array.fold_left ( +. ) 0.0 samples /. n in
+  let mc_std =
+    sqrt
+      (Array.fold_left
+         (fun acc d -> acc +. ((d -. mc_mean) *. (d -. mc_mean)))
+         0.0 samples
+      /. (n -. 1.0))
+  in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let mc_median =
+    let h = Array.length sorted / 2 in
+    0.5 *. (sorted.(h - 1) +. sorted.(h))
+  in
+  let se = mc_std /. sqrt n in
+  let mean_tol = (4.0 *. se) +. (0.01 *. Float.abs mc_mean) in
+  if Float.abs (r.Block_engine.mean -. mc_mean) > mean_tol then
+    fail "block mean %.6g s outside the MC band %.6g +- %.6g s"
+      r.Block_engine.mean mc_mean mean_tol;
+  if Float.abs (r.Block_engine.std -. mc_std) > 0.35 *. mc_std then
+    fail "block sigma %.6g s disagrees with MC sigma %.6g s (>35%%)"
+      r.Block_engine.std mc_std;
+  let median = Pdf.quantile r.Block_engine.pdf 0.5 in
+  (* The sample median's standard error is ~1.2533 sigma / sqrt(n). *)
+  let median_tol = (5.0 *. se) +. (0.01 *. Float.abs mc_mean) in
+  if Float.abs (median -. mc_median) > median_tol then
+    fail "block median %.6g s outside the MC band %.6g +- %.6g s" median
+      mc_median median_tol;
+  if !ok then
+    add
+      (D.make ~rule:"check-block-vs-path" ~severity:D.Info
+         ~location:D.Circuit
+         (Printf.sprintf
+            "block engine (%s max) agrees: mean %.6g s vs path %.6g s \
+             and MC %.6g s; sigma %.6g s vs MC %.6g s (%d samples)"
+            (Config.max_policy_name config.Config.block_max)
+            r.Block_engine.mean prob.Path_analysis.mean mc_mean
+            r.Block_engine.std mc_std block_vs_path_samples))
+
 (* --- incremental-equivalence certification --------------------------- *)
 
 (* Apply seeded random single-gate edits one after another to a warm
@@ -703,6 +792,8 @@ let run inp =
                 check_affine_screen config aff sta ~slack:m.Methodology.slack
                   add
             | _ -> ());
+            if selected "check-block-vs-path" && not (stop ()) then
+              check_block_vs_path config circuit placement m add;
             Health.merge ~into:health m.Methodology.health;
             (* Parallel determinism: rerun the whole flow on a worker
                pool (without the sanitizer — its trace hook is a

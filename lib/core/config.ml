@@ -1,6 +1,18 @@
 module Budget = Ssta_correlation.Budget
 module Layers = Ssta_correlation.Layers
 
+type engine = Path | Block
+
+let engine_name = function Path -> "path" | Block -> "block"
+
+let engines = [ Path; Block ]
+
+type max_policy = Clark_max | Grid_max
+
+let max_policy_name = function Clark_max -> "clark" | Grid_max -> "grid"
+
+let max_policies = [ Clark_max; Grid_max ]
+
 type t = {
   quality_intra : int;
   quality_inter : int;
@@ -15,6 +27,8 @@ type t = {
   inter_shape : Ssta_prob.Shape.t;
   inter_cache : bool;
   affine_prune : bool;
+  engine : engine;
+  block_max : max_policy;
 }
 
 let num_layers t = t.quad_levels + if t.random_layer then 1 else 0
@@ -33,7 +47,9 @@ let default =
     max_paths = 20_000;
     inter_shape = Ssta_prob.Shape.Gaussian;
     inter_cache = true;
-    affine_prune = true }
+    affine_prune = true;
+    engine = Path;
+    block_max = Clark_max }
 
 let with_confidence t confidence = { t with confidence }
 

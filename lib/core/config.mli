@@ -6,6 +6,35 @@
     correlation-layer structure and variance budget, the worst-case
     corner multiplier and the confidence point used for ranking. *)
 
+(** Which analysis engine answers a query: [Path] is the paper's
+    path-based flow (enumerate near-critical paths, analyze each with the
+    factorized inter/intra machinery, combine); [Block] is the one-pass
+    topological block-based engine ([Ssta_block]) that propagates
+    arrival-time distributions through the netlist DAG with statistical
+    sum/max operators. *)
+type engine = Path | Block
+
+val engine_name : engine -> string
+(** Stable lowercase name (["path"] / ["block"]) used by the CLI, the
+    server protocol and JSON reports. *)
+
+val engines : engine list
+(** All engines, in declaration order (for CLI enumerations). *)
+
+(** Policy for the statistical [max] at block-engine merge points:
+    [Clark_max] is Clark's moment-matched max of correlated Gaussians
+    (sound under correlation, Gaussian-approximate); [Grid_max] is the
+    grid-exact independent max P(max <= x) = F(x)G(x) (exact shape, but
+    unsound when the operands share inter-die terms — see the design
+    note in DESIGN.md). *)
+type max_policy = Clark_max | Grid_max
+
+val max_policy_name : max_policy -> string
+(** Stable lowercase name (["clark"] / ["grid"]). *)
+
+val max_policies : max_policy list
+(** All max policies, in declaration order (for CLI enumerations). *)
+
 type t = {
   quality_intra : int;  (** intra-PDF discretization (paper: 100) *)
   quality_inter : int;  (** inter-PDF discretization (paper: 50) *)
@@ -31,6 +60,12 @@ type t = {
           carrying — the reported path set is byte-identical either way —
           so [false] ([--no-affine-prune]) is purely an A/B escape
           hatch *)
+  engine : engine;
+      (** which engine answers queries (default [Path], the paper's
+          flow); [Block] switches to the one-pass topological engine *)
+  block_max : max_policy;
+      (** merge-point max policy of the block engine (default
+          [Clark_max]); ignored by the path engine *)
 }
 
 val default : t

@@ -207,6 +207,7 @@ let json_report (m : Methodology.t) =
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let cfg = m.Methodology.config in
   add "{\"circuit\":\"%s\"," (json_escape m.Methodology.circuit_name);
+  add "\"engine\":\"%s\"," (Config.engine_name cfg.Config.engine);
   add "\"gates\":%d," m.Methodology.num_gates;
   add
     "\"config\":{\"confidence\":%s,\"quality_intra\":%d,\"quality_inter\":%d,\"confidence_sigma\":%s,\"corner_k\":%s,\"max_paths\":%d,\"inter_cache\":%b},"
@@ -259,6 +260,8 @@ let json_report (m : Methodology.t) =
   Buffer.contents buf
 
 let pp_run_status fmt (t : Methodology.t) =
+  Format.fprintf fmt "engine: %s@."
+    (Config.engine_name t.Methodology.config.Config.engine);
   (match t.Methodology.status with
   | Methodology.Complete -> Format.fprintf fmt "status: complete@."
   | Methodology.Degraded ds ->

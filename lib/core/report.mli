@@ -62,8 +62,11 @@ val rank_scatter_csv : (int * int) array -> string
 (** CSV [det_rank,prob_rank] (Figs. 5/6). *)
 
 val pp_run_status : Format.formatter -> Methodology.t -> unit
-(** Degradation events (budget breaches) and the numerical-health ledger
-    of a run — the robustness footer of the run report. *)
+(** Engine name, degradation events (budget breaches) and the
+    numerical-health ledger of a run — the robustness footer of the run
+    report.  The engine line keeps path and block run transcripts
+    distinguishable (block runs print their own summary through
+    [Ssta_block.Engine], which names the engine the same way). *)
 
 val json_report : Methodology.t -> string
 (** Machine-readable report of a full run: config, critical delay,

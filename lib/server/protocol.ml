@@ -1,5 +1,6 @@
 module Err = Ssta_runtime.Ssta_error
 module Rbudget = Ssta_runtime.Budget
+module Config = Ssta_core.Config
 
 type run_params = {
   p_quality_intra : int option;
@@ -10,6 +11,8 @@ type run_params = {
   p_max_cells : int option;
   p_retry : bool option;
   p_full : bool option;
+  p_engine : Config.engine option;
+  p_max_policy : Config.max_policy option;
 }
 
 let no_params =
@@ -20,7 +23,9 @@ let no_params =
     p_deadline_s = None;
     p_max_cells = None;
     p_retry = None;
-    p_full = None }
+    p_full = None;
+    p_engine = None;
+    p_max_policy = None }
 
 type request =
   | Run of run_params
@@ -43,7 +48,7 @@ let bad fmt = Printf.ksprintf (fun m -> raise (Bad (Err.structural ~subject:"req
 
 let param_fields =
   [ "quality_intra"; "quality_inter"; "confidence"; "max_paths"; "deadline";
-    "max_cells"; "retry"; "full" ]
+    "max_cells"; "retry"; "full"; "engine"; "max_policy" ]
 
 let fields_of_op = function
   | "run" -> param_fields
@@ -88,6 +93,19 @@ let get_string name j =
       | Some s -> Some s
       | None -> bad "field %S must be a string" name)
 
+(* A small closed string enumeration ("engine", "max_policy"): any value
+   outside the table is a typed decode error naming the alternatives. *)
+let get_enum name table j =
+  match get_string name j with
+  | None -> None
+  | Some s -> (
+      match List.assoc_opt s table with
+      | Some v -> Some v
+      | None ->
+          bad "field %S must be one of %s" name
+            (String.concat ", "
+               (List.map (fun (k, _) -> Printf.sprintf "%S" k) table)))
+
 (* A deadline is either a duration string ("500ms", "2s") or a bare
    number of seconds; either way it must be positive and finite. *)
 let get_deadline j =
@@ -127,7 +145,15 @@ let params_of j =
     p_deadline_s = get_deadline j;
     p_max_cells = get_int ~lo:16 ~hi:100_000_000 "max_cells" j;
     p_retry = get_bool "retry" j;
-    p_full = get_bool "full" j }
+    p_full = get_bool "full" j;
+    p_engine =
+      get_enum "engine"
+        (List.map (fun e -> (Config.engine_name e, e)) Config.engines)
+        j;
+    p_max_policy =
+      get_enum "max_policy"
+        (List.map (fun p -> (Config.max_policy_name p, p)) Config.max_policies)
+        j }
 
 let decode_obj j =
   let id =

@@ -20,6 +20,12 @@ type run_params = {
   p_max_cells : int option;
   p_retry : bool option;  (** override the server retry policy *)
   p_full : bool option;  (** include the full JSON report (default) *)
+  p_engine : Ssta_core.Config.engine option;
+      (** ["path"] (default) or ["block"]: which analysis engine answers
+          the request *)
+  p_max_policy : Ssta_core.Config.max_policy option;
+      (** ["clark"] or ["grid"]: statistical-max policy of the block
+          engine (ignored by the path engine) *)
 }
 
 val no_params : run_params

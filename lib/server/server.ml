@@ -9,6 +9,7 @@ module Path_analysis = Ssta_core.Path_analysis
 module Ranking = Ssta_core.Ranking
 module Report = Ssta_core.Report
 module Inter = Ssta_core.Inter
+module Block_engine = Ssta_block.Engine
 module Checker = Ssta_check.Checker
 module Affine = Ssta_check.Affine
 module Impact = Ssta_check.Impact
@@ -91,9 +92,19 @@ let effective_config t (p : Protocol.run_params) =
     | None -> c
     | Some v -> Config.with_confidence c v
   in
-  match p.Protocol.p_max_paths with
+  let c =
+    match p.Protocol.p_max_paths with
+    | None -> c
+    | Some mp -> { c with Config.max_paths = mp }
+  in
+  let c =
+    match p.Protocol.p_engine with
+    | None -> c
+    | Some e -> { c with Config.engine = e }
+  in
+  match p.Protocol.p_max_policy with
   | None -> c
-  | Some mp -> { c with Config.max_paths = mp }
+  | Some mp -> { c with Config.block_max = mp }
 
 let budget_of t (p : Protocol.run_params) =
   let deadline_s =
@@ -164,9 +175,32 @@ let maybe_retry t (p : Protocol.run_params) cfg m =
     | Error _ -> (m, false)
   end
 
+(* Block-mode run: one topological sweep on the warm image.  The sweep
+   is cheap enough (no path enumeration) that nothing is cached between
+   requests; deadlines and retry do not apply. *)
+let do_run_block t id (p : Protocol.run_params) cfg =
+  let r = Block_engine.analyze ~config:cfg ~placement:t.placement ~sta:t.sta t.circuit in
+  count t "requests-ok";
+  let full = Option.value ~default:true p.Protocol.p_full in
+  let summary_fields =
+    if full then [ ("report", raw_compact (Block_engine.json_report r)) ]
+    else
+      [ ("critical_delay_s", Json.Number r.Block_engine.sta.Sta.critical_delay);
+        ("mean_s", Json.Number r.Block_engine.mean);
+        ("std_s", Json.Number r.Block_engine.std);
+        ( "confidence_point_s",
+          Json.Number r.Block_engine.confidence_point ) ]
+  in
+  Protocol.render ?id ~status:Protocol.Ok_
+    (("circuit", Json.String r.Block_engine.circuit_name)
+     :: ("engine", Json.String (Config.engine_name Config.Block))
+     :: summary_fields)
+
 let do_run t id (p : Protocol.run_params) =
   count t "requests-run";
   let cfg = effective_config t p in
+  if cfg.Config.engine = Config.Block then do_run_block t id p cfg
+  else
   match analyze_once t cfg (budget_of t p) with
   | Error e ->
       count t "requests-error";
@@ -232,6 +266,46 @@ let do_query t id endpoint (p : Protocol.run_params) =
       Protocol.render_error ?id
         (Err.structural ~subject:"endpoint"
            (Printf.sprintf "node %S is a primary input" endpoint))
+  | Some nid when (effective_config t p).Config.engine = Config.Block -> (
+      (* Block mode propagates whole arrival distributions, so the
+         answer comes from the endpoint table of one sweep — but only
+         primary outputs have entries (interior nodes are folded into
+         downstream maxes). *)
+      let cfg = effective_config t p in
+      let r =
+        Block_engine.analyze ~config:cfg ~placement:t.placement ~sta:t.sta
+          t.circuit
+      in
+      match
+        List.find_opt
+          (fun ep -> ep.Block_engine.node = nid)
+          r.Block_engine.endpoints
+      with
+      | None ->
+          count t "requests-error";
+          Protocol.render_error ?id
+            (Err.structural ~subject:"endpoint"
+               (Printf.sprintf
+                  "node %S is not a primary output (the block engine \
+                   answers endpoint queries only)"
+                  endpoint))
+      | Some ep ->
+          count t "requests-ok";
+          Protocol.render ?id ~status:Protocol.Ok_
+            [ ("endpoint", Json.String endpoint);
+              ("engine", Json.String (Config.engine_name Config.Block));
+              ("mean_s", Json.Number ep.Block_engine.mean);
+              ("std_s", Json.Number ep.Block_engine.std);
+              ("inter_sigma_s", Json.Number ep.Block_engine.inter_sigma);
+              ("intra_sigma_s", Json.Number ep.Block_engine.intra_sigma);
+              ( "confidence_point_s",
+                Json.Number ep.Block_engine.confidence_point );
+              ( "q001_s",
+                Json.Number (Pdf.quantile ep.Block_engine.pdf 0.001) );
+              ( "median_s",
+                Json.Number (Pdf.quantile ep.Block_engine.pdf 0.5) );
+              ( "q999_s",
+                Json.Number (Pdf.quantile ep.Block_engine.pdf 0.999) ) ])
   | Some nid ->
       let cfg = effective_config t p in
       let warm = get_warm t cfg in

@@ -1,0 +1,286 @@
+(* The block-based engine: the statistical sum/max operator algebra
+   (Clark moments against closed forms, the grid-exact independent max
+   against closed forms and Monte Carlo), correlation preservation
+   through reconvergent fan-out, containment of the block answer in the
+   affine envelope on random circuits, and byte-identity of the JSON
+   report across worker counts. *)
+
+module Pdf = Ssta_prob.Pdf
+module Dist = Ssta_prob.Dist
+module Rng = Ssta_prob.Rng
+module Params = Ssta_tech.Params
+module Gate = Ssta_tech.Gate
+module Netlist = Ssta_circuit.Netlist
+module Generators = Ssta_circuit.Generators
+module Placement = Ssta_circuit.Placement
+module Sta = Ssta_timing.Sta
+module Config = Ssta_core.Config
+module Block_based = Ssta_core.Block_based
+module Monte_carlo = Ssta_core.Monte_carlo
+module Path_coeffs = Ssta_correlation.Path_coeffs
+module Interval = Ssta_check.Interval
+module Affine = Ssta_check.Affine
+module Arrival = Ssta_block.Arrival
+module Engine = Ssta_block.Engine
+open Helpers
+
+let grid_config = { Config.default with Config.block_max = Config.Grid_max }
+
+(* Synthetic arrivals: a zero-mean grid residual plus optional shared
+   terms, with the indep invariant taken from the grid. *)
+let arrival ?(mean = 0.0) ?(terms = []) resid =
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) terms;
+  let indep = match resid with None -> 0.0 | Some p -> Pdf.variance p in
+  { Arrival.canon = { Block_based.mean; terms = tbl; indep }; resid }
+
+let std_normal_resid () =
+  Some (Dist.truncated_gaussian ~n:400 ~bound:6.0 ~mu:0.0 ~sigma:1.0 ())
+
+(* A layer-0 key, and the coefficient that gives it unit variance under
+   the default budget (so tests can speak in unit-variance terms). *)
+let key =
+  { Path_coeffs.rv = List.hd Params.all_rvs; layer = 0; partition = 0 }
+
+let unit_coeff =
+  let tbl = Hashtbl.create 1 in
+  Hashtbl.replace tbl key 1.0;
+  let v =
+    Block_based.variance Config.default
+      { Block_based.mean = 0.0; terms = tbl; indep = 0.0 }
+  in
+  1.0 /. sqrt v
+
+(* --- operator algebra -------------------------------------------------- *)
+
+let test_sum_moments () =
+  let config = Config.default in
+  let half_var_resid sigma =
+    Some (Dist.truncated_gaussian ~n:400 ~bound:6.0 ~mu:0.0 ~sigma ())
+  in
+  let a =
+    arrival ~mean:1.0 ~terms:[ (key, unit_coeff) ] (half_var_resid 0.5)
+  in
+  let b =
+    arrival ~mean:2.0 ~terms:[ (key, 0.5 *. unit_coeff) ] (half_var_resid 0.5)
+  in
+  let s = Arrival.sum config a b in
+  check_close "sum of means" 3.0 (Arrival.mean s);
+  (* Var(A+B) = va + vb + 2 cov: shared coefficients add exactly. *)
+  check_close ~tol:5e-3 "sum variance includes the covariance" 2.75
+    (Arrival.variance config s);
+  let m = Pdf.moments (Arrival.total_pdf config s) in
+  check_close ~tol:5e-3 "total-pdf mean matches" 3.0 m.Pdf.m_mean;
+  check_close ~tol:2e-2 "total-pdf variance matches" 2.75 m.Pdf.m_var
+
+let test_clark_independent_normals () =
+  let config = Config.default in
+  let a = arrival (std_normal_resid ()) in
+  let b = arrival (std_normal_resid ()) in
+  let m = Arrival.max config a b in
+  (* X, Y iid N(0,1): E[max] = 1/sqrt(pi), Var[max] = 1 - 1/pi, and
+     Clark's moment matching is exact for jointly Gaussian inputs. *)
+  check_close ~tol:2e-3 "Clark mean = 1/sqrt(pi)"
+    (1.0 /. sqrt Float.pi) (Arrival.mean m);
+  check_close ~tol:5e-3 "Clark variance = 1 - 1/pi"
+    (1.0 -. (1.0 /. Float.pi))
+    (Arrival.variance config m)
+
+let test_clark_correlated_shared_term () =
+  let config = Config.default in
+  let rho = 0.6 in
+  let a = arrival ~terms:[ (key, unit_coeff) ] None in
+  let b =
+    arrival
+      ~terms:[ (key, rho *. unit_coeff) ]
+      (Some
+         (Dist.truncated_gaussian ~n:400 ~bound:6.0 ~mu:0.0
+            ~sigma:(sqrt (1.0 -. (rho *. rho)))
+            ()))
+  in
+  let m = Arrival.max config a b in
+  (* Both std normal with correlation rho: E[max] = theta * phi(0) with
+     theta = sqrt(2 - 2 rho). *)
+  let theta = sqrt (2.0 -. (2.0 *. rho)) in
+  check_close ~tol:2e-3 "Clark mean with correlation"
+    (theta /. sqrt (2.0 *. Float.pi))
+    (Arrival.mean m);
+  check_close ~tol:5e-3 "Clark variance with correlation"
+    (1.0 -. (theta *. theta /. (2.0 *. Float.pi)))
+    (Arrival.variance config m)
+
+let test_grid_max_uniforms () =
+  let u () =
+    (* zero-mean uniform residual, shifted to U(0,1) via the mean *)
+    arrival ~mean:0.5 (Some (Dist.uniform ~n:400 ~lo:(-0.5) ~hi:0.5 ()))
+  in
+  let m = Arrival.max grid_config (u ()) (u ()) in
+  (* X, Y iid U(0,1): max has CDF x^2, mean 2/3, variance 1/18 — a
+     shape no Gaussian moment matching can represent exactly. *)
+  check_close ~tol:5e-3 "grid max mean = 2/3" (2.0 /. 3.0) (Arrival.mean m);
+  check_close ~tol:2e-2 "grid max variance = 1/18" (1.0 /. 18.0)
+    (Arrival.variance grid_config m)
+
+let test_grid_max_vs_mc () =
+  let a = arrival ~mean:0.2 (std_normal_resid ()) in
+  let b = arrival ~mean:0.0 (Some (Dist.uniform ~n:400 ~lo:(-1.5) ~hi:1.5 ())) in
+  let pa = Arrival.total_pdf grid_config a
+  and pb = Arrival.total_pdf grid_config b in
+  let m = Arrival.max grid_config a b in
+  let n = 4000 in
+  let rng = Rng.create 7 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Float.max (Pdf.sample pa rng) (Pdf.sample pb rng)
+  done;
+  let mc_mean = !acc /. float_of_int n in
+  (* 4 standard errors of the n-sample mean, plus grid slack. *)
+  let se = sqrt (Arrival.variance grid_config m /. float_of_int n) in
+  check_close_abs
+    ~tol:((4.0 *. se) +. 0.01)
+    "grid max mean within the MC confidence band" mc_mean (Arrival.mean m)
+
+(* --- correlation preservation ------------------------------------------ *)
+
+let test_correlation_preserved_at_merge () =
+  (* A = S + Xa, B = S + Xb with a dominant shared S: the true max is
+     S + max(Xa, Xb), so E[max] barely exceeds the means.  Clark sees
+     the covariance through the shared term; the grid-exact policy
+     assumes independence and inflates the mean by an order of
+     magnitude. *)
+  let branch_sigma = 0.1 in
+  let branch () =
+    arrival
+      ~terms:[ (key, unit_coeff) ]
+      (Some
+         (Dist.truncated_gaussian ~n:400 ~bound:6.0 ~mu:0.0
+            ~sigma:branch_sigma ()))
+  in
+  let truth = branch_sigma /. sqrt Float.pi in
+  let clark = Arrival.max Config.default (branch ()) (branch ()) in
+  let grid = Arrival.max grid_config (branch ()) (branch ()) in
+  check_close ~tol:3e-3 "Clark mean matches the correlated closed form"
+    truth (Arrival.mean clark);
+  check_true "independent grid max overestimates the correlated mean"
+    (Arrival.mean grid -. truth > 5.0 *. Float.abs (Arrival.mean clark -. truth));
+  (* Both policies preserve the shared sensitivity itself: the merged
+     arrival still carries the full unit coefficient on the shared key. *)
+  List.iter
+    (fun (name, m) ->
+      match Hashtbl.find_opt m.Arrival.canon.Block_based.terms key with
+      | None -> Alcotest.failf "%s max dropped the shared term" name
+      | Some c ->
+          check_close ~tol:1e-9
+            (name ^ " max blends the shared coefficient to unity")
+            unit_coeff c)
+    [ ("clark", clark); ("grid", grid) ]
+
+let diamond () =
+  let b = Netlist.Builder.create "diamond" in
+  let i1 = Netlist.Builder.add_input b "a" in
+  let i2 = Netlist.Builder.add_input b "b" in
+  let g1 = Netlist.Builder.add_gate b (Gate.Nand 2) [ i1; i2 ] in
+  let g2 = Netlist.Builder.add_gate b Gate.Inv [ g1 ] in
+  let g3 = Netlist.Builder.add_gate b Gate.Inv [ g1 ] in
+  let g4 = Netlist.Builder.add_gate b (Gate.Nand 2) [ g2; g3 ] in
+  Netlist.Builder.mark_output b g4;
+  Netlist.Builder.finish b
+
+let test_diamond_vs_mc () =
+  let c = diamond () in
+  let pl = Placement.place c in
+  let r = Engine.analyze ~config:Config.default ~placement:pl c in
+  let s = Monte_carlo.sampler Config.default r.Engine.sta.Sta.graph pl in
+  let samples =
+    Monte_carlo.circuit_delay_samples s ~n:4000 (Rng.create 1234)
+  in
+  let n = float_of_int (Array.length samples) in
+  let mc_mean = Array.fold_left ( +. ) 0.0 samples /. n in
+  let mc_var =
+    Array.fold_left
+      (fun acc d -> acc +. ((d -. mc_mean) *. (d -. mc_mean)))
+      0.0 samples
+    /. (n -. 1.0)
+  in
+  let mc_std = sqrt mc_var in
+  (* Through the reconvergent diamond the two merge operands share
+     every layer term of g1 and of the common partitions; Clark's max
+     must stay on the MC answer. *)
+  check_close ~tol:0.02 "diamond block mean tracks MC" mc_mean r.Engine.mean;
+  check_close ~tol:0.25 "diamond block sigma tracks MC" mc_std r.Engine.std;
+  check_true "variance splits into inter + intra (Eq. 14)"
+    (Float.abs
+       ((r.Engine.inter_sigma *. r.Engine.inter_sigma)
+       +. (r.Engine.intra_sigma *. r.Engine.intra_sigma)
+       -. (r.Engine.std *. r.Engine.std))
+    <= 1e-9 *. r.Engine.std *. r.Engine.std);
+  (* The grid policy still runs the diamond; ignoring the merge
+     correlation can only push the max mean up. *)
+  let g = Engine.analyze ~config:grid_config ~placement:pl c in
+  check_true "independent-max mean is not below Clark's"
+    (g.Engine.mean >= r.Engine.mean -. (1e-6 *. r.Engine.mean))
+
+(* --- containment in the affine envelope -------------------------------- *)
+
+let test_block_within_affine_envelope =
+  qcheck ~count:8 "block answer falls inside the affine envelope"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let c =
+        Generators.random_layered ~name:"blockenv" ~inputs:6 ~outputs:3
+          ~gates:40 ~depth:6 ~seed ()
+      in
+      let sta = Sta.analyze c in
+      match Affine.compute fast_config sta.Sta.graph with
+      | Error _ -> false
+      | Ok aff ->
+          let env =
+            Affine.concretize ~trunc:aff.Affine.trunc aff.Affine.circuit
+          in
+          let slack = 1e-6 *. Interval.magnitude env in
+          let r = Engine.analyze ~config:fast_config c in
+          Interval.contains ~slack env r.Engine.mean
+          && Interval.contains ~slack env r.Engine.confidence_point)
+
+(* --- determinism ------------------------------------------------------- *)
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_json_byte_identity () =
+  let c = small_adder () in
+  let pl = Placement.place c in
+  List.iter
+    (fun (name, config) ->
+      let r1 = Engine.analyze ~config ~placement:pl c in
+      let r2 =
+        Ssta_parallel.Pool.with_pool ~jobs:4 (fun _pool ->
+            Engine.analyze ~config ~placement:pl c)
+      in
+      Alcotest.(check string)
+        (name ^ " report is byte-identical across worker counts")
+        (Engine.json_report r1) (Engine.json_report r2);
+      check_true
+        (name ^ " report names the engine")
+        (contains_substring (Engine.json_report r1) "\"engine\":\"block\""))
+    [ ("clark", fast_config);
+      ("grid", { fast_config with Config.block_max = Config.Grid_max }) ]
+
+let suite =
+  ( "block",
+    [ case "statistical sum adds moments and covariance" test_sum_moments;
+      case "Clark max of independent normals vs closed form"
+        test_clark_independent_normals;
+      case "Clark max of correlated operands vs closed form"
+        test_clark_correlated_shared_term;
+      case "grid max of uniforms vs closed form" test_grid_max_uniforms;
+      case "grid max vs Monte Carlo" test_grid_max_vs_mc;
+      case "merge preserves shared-term correlation"
+        test_correlation_preserved_at_merge;
+      slow_case "reconvergent diamond tracks Monte Carlo"
+        test_diamond_vs_mc;
+      test_block_within_affine_envelope;
+      case "block JSON report byte-identical across jobs"
+        test_json_byte_identity ] )

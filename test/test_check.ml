@@ -496,7 +496,7 @@ let test_sarif_shape () =
 
 let expected_check_ids =
   [ "check-affine-containment"; "check-affine-screen";
-    "check-affine-variance";
+    "check-affine-variance"; "check-block-vs-path";
     "check-bound-arrival"; "check-bound-domain"; "check-bound-nominal";
     "check-bound-quantile"; "check-bound-support"; "check-health";
     "check-impact-equivalence"; "check-inter-cache-consistency";

@@ -25,6 +25,7 @@ let () =
       Test_lint.suite;
       Test_check.suite;
       Test_affine.suite;
+      Test_block.suite;
       Test_runtime.suite;
       Test_inter_cache.suite;
       Test_parallel.suite;
