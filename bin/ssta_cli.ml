@@ -206,9 +206,17 @@ let jobs_opt =
                value; only wall-clock time changes.")
 
 (* [--jobs 0] means "all cores"; a pool is created either way so the
-   parallel code path is always the one exercised. *)
+   parallel code path is always the one exercised.  An explicit worker
+   count beyond the host's cores is honored (results are jobs-
+   independent) but flagged: the extra domains only time-share. *)
 let with_jobs jobs f =
-  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  let cores = Pool.default_jobs () in
+  if jobs > cores then
+    Fmt.epr
+      "warning: --jobs %d on a host with %d core%s; extra domains only \
+       time-share the cores (results are unchanged)@."
+      jobs cores (if cores = 1 then "" else "s");
+  let jobs = if jobs <= 0 then cores else jobs in
   Pool.with_pool ~jobs f
 
 (* Budget options (run command): wall-clock deadline, enumeration cap
@@ -242,7 +250,7 @@ let strict_budget_opt =
 (* lint *)
 let lint_cmd =
   let action name bench verilog def spef edits format min_severity budget
-      deadline list_rules no_deep =
+      deadline jobs list_rules no_deep =
     guarded @@ fun () ->
     if list_rules then begin
       Lint_reporter.rule_table Fmt.stdout Lint.all_rules;
@@ -334,7 +342,9 @@ let lint_cmd =
             let input =
               Lint.input ?placement ?spef:spef_t ?def:def_t ?edits:edits_t
                 ?budget_weights:(Option.map Array.of_list budget)
-                ?deadline_s:deadline ~deep:(not no_deep) c
+                ?deadline_s:deadline
+                ?jobs:(if jobs > 0 then Some jobs else None)
+                ~deep:(not no_deep) c
             in
             !parse_diags @ Lint.run input
       in
@@ -391,6 +401,13 @@ let lint_cmd =
                    placement (unknown gates, off-die moves, bad drives, \
                    unknown parameters, no-ops).")
   in
+  let lint_jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Validate a planned worker count against the host's \
+                   cores (config-jobs warns on oversubscription, e.g. \
+                   --jobs 4 on a single-core machine).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Static analysis of circuit, placement, SPEF/DEF, edit-script \
@@ -398,7 +415,7 @@ let lint_cmd =
              diagnostic fires.")
     Term.(const action $ circuit_arg $ bench_opt $ verilog_opt $ def_opt
           $ spef_opt $ edits $ format $ min_severity $ budget $ deadline_opt
-          $ list_rules $ no_deep)
+          $ lint_jobs $ list_rules $ no_deep)
 
 (* check *)
 let check_cmd =

@@ -91,9 +91,12 @@ let vt_shift t = t.vt_shift
    [beta_low*fp + beta_high*fp_high] are hoisted into the scratch arrays
    [acol]/[bcol] (O(Q) multiply-adds per slice instead of O(Q^2) in the
    inner loop), the grid masses come from the precomputed arrays in
-   [tables], and the deposit itself is the unchecked variant — so the
-   O(Q^3) inner statement is one add, one multiply and a deposit. *)
-let compute t ~acol ~bcol ~alpha_low ~alpha_high ~beta_low ~beta_high =
+   [tables], and the deposit arithmetic is inlined on a raw cell array —
+   the [unsafe_deposit] accumulator updated two boxed float fields per
+   deposit, which was the kernel's only remaining allocation source.
+   The cell grid itself can come from a caller arena.  Bit-identical to
+   the historical [accumulator]/[unsafe_deposit]/[to_pdf] formulation. *)
+let compute ?arena t ~acol ~bcol ~alpha_low ~alpha_high ~beta_low ~beta_high =
   let lo =
     (alpha_low *. t.fn.t_min) +. (alpha_high *. t.fn_high.t_min)
     +. (beta_low *. t.fp.t_min) +. (beta_high *. t.fp_high.t_min)
@@ -103,7 +106,17 @@ let compute t ~acol ~bcol ~alpha_low ~alpha_high ~beta_low ~beta_high =
     +. (beta_low *. t.fp.t_max) +. (beta_high *. t.fp_high.t_max)
   in
   let hi = if hi > lo then hi else lo +. (1e-12 *. (1.0 +. Float.abs lo)) in
-  let acc = Combine.accumulator ~lo ~hi ~n:t.quality in
+  let n = t.quality in
+  if n <= 0 then invalid_arg "Combine.accumulator: n must be positive";
+  if not (hi > lo) then invalid_arg "Combine.accumulator: hi must exceed lo";
+  let step = (hi -. lo) /. float_of_int n in
+  let cells =
+    match arena with
+    | Some a -> Ssta_prob.Arena.borrow a n
+    | None -> Array.make n 0.0
+  in
+  (* dep.(0) holds the deposited mass unboxed across the triple loop. *)
+  let dep = [| 0.0 |] in
   let nv = Pdf.size t.vdd and nn = Pdf.size t.vtn and np = Pdf.size t.vtp in
   let mass_vtn = t.mass_vtn and mass_vtp = t.mass_vtp in
   for i = 0 to nv - 1 do
@@ -127,17 +140,41 @@ let compute t ~acol ~bcol ~alpha_low ~alpha_high ~beta_low ~beta_high =
           let base = Array.unsafe_get acol j in
           for k = 0 to np - 1 do
             let m = mvn *. Array.unsafe_get mass_vtp k in
-            if m > 0.0 then
-              Combine.unsafe_deposit acc
-                ~x:(base +. Array.unsafe_get bcol k)
-                ~mass:m
+            if m > 0.0 then begin
+              let x = base +. Array.unsafe_get bcol k in
+              let u = ((x -. lo) /. step) -. 0.5 in
+              let iu = int_of_float (Float.floor u) in
+              let frac = u -. float_of_int iu in
+              let m0 = m *. (1.0 -. frac) in
+              if m0 > 0.0 then begin
+                let c = if iu < 0 then 0 else if iu >= n then n - 1 else iu in
+                Array.unsafe_set cells c (Array.unsafe_get cells c +. m0)
+              end;
+              let m1 = m *. frac in
+              if m1 > 0.0 then begin
+                let i1 = iu + 1 in
+                let c = if i1 < 0 then 0 else if i1 >= n then n - 1 else i1 in
+                Array.unsafe_set cells c (Array.unsafe_get cells c +. m1)
+              end;
+              Array.unsafe_set dep 0 (Array.unsafe_get dep 0 +. m)
+            end
           done
         end
       done
     end
   done;
-  let voltage_pdf = Combine.to_pdf acc in
-  Combine.binop ~n:t.quality ( *. ) t.u_pdf voltage_pdf
+  let deposited = Array.unsafe_get dep 0 in
+  if not (deposited > 0.0) then begin
+    (match arena with Some a -> Ssta_prob.Arena.release a cells | None -> ());
+    invalid_arg "Combine.to_pdf: no mass deposited"
+  end;
+  let density = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set density i (Array.unsafe_get cells i /. step)
+  done;
+  (match arena with Some a -> Ssta_prob.Arena.release a cells | None -> ());
+  let voltage_pdf = Pdf.make_owned ~lo ~step density in
+  Combine.binop ~n:t.quality ?arena ( *. ) t.u_pdf voltage_pdf
 
 (* {2 Scale-covariant kernel cache}
 
@@ -227,6 +264,23 @@ let validate_dual ~alpha_low ~alpha_high ~beta_low ~beta_high =
   if alpha_low +. alpha_high <= 0.0 || beta_low +. beta_high <= 0.0 then
     invalid_arg "Inter.pdf_dual: need positive NMOS and PMOS coefficients"
 
+(* The quantized direction key of a call — the identity under which the
+   cache memoizes kernels.  Exposed so the scheduler's cost model can
+   predict hit/miss deterministically (by simulating a shared seen-set
+   over paths in index order) without consulting any shard's
+   scheduling-dependent state. *)
+let direction_key ~alpha_low ~alpha_high ~beta_low ~beta_high =
+  let s = alpha_low +. alpha_high +. beta_low +. beta_high in
+  ( Int64.bits_of_float (quantize40 (alpha_low /. s)),
+    Int64.bits_of_float (quantize40 (alpha_high /. s)),
+    Int64.bits_of_float (quantize40 (beta_low /. s)),
+    Int64.bits_of_float (quantize40 (beta_high /. s)) )
+
+(* NOTE: kernel builds (cache misses) deliberately do NOT use the
+   caller's arena: which calls miss depends on shard layout, so arena
+   borrow accounting would become scheduling-dependent and the derived
+   health counters would break --jobs byte-determinism.  Builds are rare
+   (one per distinct direction); their allocations are irrelevant. *)
 let pdf_dual_cached c ~alpha_low ~alpha_high ~beta_low ~beta_high =
   let t = c.c_tables in
   let s = alpha_low +. alpha_high +. beta_low +. beta_high in
@@ -260,26 +314,39 @@ let pdf_dual_cached c ~alpha_low ~alpha_high ~beta_low ~beta_high =
   in
   Pdf.scale kernel s
 
-let pdf_dual ?cache t ~alpha_low ~alpha_high ~beta_low ~beta_high =
+let pdf_dual ?cache ?arena t ~alpha_low ~alpha_high ~beta_low ~beta_high =
   validate_dual ~alpha_low ~alpha_high ~beta_low ~beta_high;
   match cache with
   | Some c ->
       if not (c.c_tables == t) then
         invalid_arg "Inter.pdf_dual: cache was built for different tables";
+      ignore arena;
       pdf_dual_cached c ~alpha_low ~alpha_high ~beta_low ~beta_high
-  | None ->
+  | None -> (
       let nn = Pdf.size t.vtn and np = Pdf.size t.vtp in
-      let acol = Array.make nn 0.0 and bcol = Array.make np 0.0 in
-      compute t ~acol ~bcol ~alpha_low ~alpha_high ~beta_low ~beta_high
+      match arena with
+      | None ->
+          let acol = Array.make nn 0.0 and bcol = Array.make np 0.0 in
+          compute t ~acol ~bcol ~alpha_low ~alpha_high ~beta_low ~beta_high
+      | Some a ->
+          let acol = Ssta_prob.Arena.borrow a nn in
+          let bcol = Ssta_prob.Arena.borrow a np in
+          Fun.protect
+            ~finally:(fun () ->
+              Ssta_prob.Arena.release a bcol;
+              Ssta_prob.Arena.release a acol)
+            (fun () ->
+              compute ~arena:a t ~acol ~bcol ~alpha_low ~alpha_high ~beta_low
+                ~beta_high))
 
-let pdf ?cache t ~alpha_sum ~beta_sum =
+let pdf ?cache ?arena t ~alpha_sum ~beta_sum =
   if alpha_sum <= 0.0 || beta_sum <= 0.0 then
     invalid_arg "Inter.pdf: coefficient sums must be positive";
-  pdf_dual ?cache t ~alpha_low:alpha_sum ~alpha_high:0.0 ~beta_low:beta_sum
-    ~beta_high:0.0
+  pdf_dual ?cache ?arena t ~alpha_low:alpha_sum ~alpha_high:0.0
+    ~beta_low:beta_sum ~beta_high:0.0
 
-let of_coeffs ?cache t (c : Path_coeffs.t) =
-  pdf ?cache t ~alpha_sum:c.Path_coeffs.alpha_sum
+let of_coeffs ?cache ?arena t (c : Path_coeffs.t) =
+  pdf ?cache ?arena t ~alpha_sum:c.Path_coeffs.alpha_sum
     ~beta_sum:c.Path_coeffs.beta_sum
 
 (* {2 Per-domain cache shards}

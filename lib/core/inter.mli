@@ -78,17 +78,35 @@ val caches_stats : caches -> cache_stats
 (** Aggregated statistics: lookups/builds summed, distinct as the union
     of the per-shard direction sets. *)
 
+val direction_key :
+  alpha_low:float ->
+  alpha_high:float ->
+  beta_low:float ->
+  beta_high:float ->
+  int64 * int64 * int64 * int64
+(** The quantized normalized direction of a coefficient quadruple — the
+    exact identity under which the cache memoizes kernels.  A pure
+    function of the coefficients, exposed so the parallel scheduler's
+    cost model can predict cache hits deterministically (simulating a
+    shared seen-set over paths in index order) without reading any
+    shard's scheduling-dependent state. *)
+
 val pdf :
   ?cache:cache ->
+  ?arena:Ssta_prob.Arena.t ->
   tables ->
   alpha_sum:float ->
   beta_sum:float ->
   Ssta_prob.Pdf.t
 (** Inter-delay PDF of a path with the given coefficient sums (both must
-    be positive); all gates on the low-Vt class. *)
+    be positive); all gates on the low-Vt class.  With [?arena], the
+    kernel's O(Q) accumulation grids and column scratch are borrowed
+    from the arena instead of freshly allocated; results are
+    bit-identical either way. *)
 
 val pdf_dual :
   ?cache:cache ->
+  ?arena:Ssta_prob.Arena.t ->
   tables ->
   alpha_low:float ->
   alpha_high:float ->
@@ -102,7 +120,11 @@ val pdf_dual :
     scale-covariant cache (see above). *)
 
 val of_coeffs :
-  ?cache:cache -> tables -> Ssta_correlation.Path_coeffs.t -> Ssta_prob.Pdf.t
+  ?cache:cache ->
+  ?arena:Ssta_prob.Arena.t ->
+  tables ->
+  Ssta_correlation.Path_coeffs.t ->
+  Ssta_prob.Pdf.t
 
 val mean_is_shifted : Ssta_prob.Pdf.t -> nominal:float -> float
 (** [mean pdf - nominal]: the systematic shift between the probabilistic

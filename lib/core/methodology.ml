@@ -170,10 +170,56 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
       | Some pa -> pa
       | None -> Path_analysis.analyze ~health:ledgers.(i) ctx p
   in
+  (* Per-path cost estimate for the weighted fan-out.  The dominant
+     terms: the O(Q_intra^2) convolution every path pays, the per-gate
+     coefficient accumulation, and — only when the path's quantized
+     inter direction has not appeared before — the O(Q_inter^3) kernel
+     build.  The hit/miss prediction simulates one shared seen-set over
+     paths in index order (via Inter.direction_key, a pure function of
+     the coefficients), so the weights are a pure function of the input
+     path list: identical for every --jobs value, keeping the piece
+     layout — and trivially the results — deterministic. *)
+  let weights =
+    let qi = config.Config.quality_intra in
+    let qe = config.Config.quality_inter in
+    let conv = qi * qi and build = qe * qe * qe in
+    let g = sta.Sta.graph in
+    let seen = Hashtbl.create 64 in
+    Array.map
+      (fun p ->
+        if p.Paths.nodes = det_nodes then 1
+        else begin
+          let asum = ref 0.0 and bsum = ref 0.0 and len = ref 0 in
+          Array.iter
+            (fun id ->
+              if not (Ssta_timing.Graph.is_input g id) then begin
+                let e = Ssta_timing.Graph.electrical_exn g id in
+                asum := !asum +. e.Ssta_tech.Gate.alpha;
+                bsum := !bsum +. e.Ssta_tech.Gate.beta;
+                incr len
+              end)
+            p.Paths.nodes;
+          let miss =
+            (not config.Config.inter_cache)
+            ||
+            let key =
+              Inter.direction_key ~alpha_low:!asum ~alpha_high:0.0
+                ~beta_low:!bsum ~beta_high:0.0
+            in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end
+          in
+          conv + (20 * !len) + (if miss then build else qe)
+        end)
+      paths_arr
+  in
   let prefix, stopped =
     match pool with
     | Some pool ->
-        Pool.map_prefix pool ~chunk:1
+        Pool.map_prefix_weighted pool ~weights
           ~should_stop:(fun () -> Rbudget.stopped tracker)
           analyze_one
           (Array.init (Array.length paths_arr) Fun.id)
@@ -220,6 +266,27 @@ let run_tracked ~config ~tracker ?placement ?wire ?wire_caps ?pool ?screen
          Health.counter_set health "inter-cache-lookups" st.Inter.cs_lookups;
          Health.counter_set health "inter-cache-distinct" st.Inter.cs_distinct;
          Health.counter_set health "inter-cache-hits" st.Inter.cs_hits);
+  (* Scratch-arena traffic of the zero-allocation kernels.  All three
+     derived counters are scheduling-independent (size classes are a set
+     union, borrowed bytes a per-path sum, and the peak equals the
+     sequential per-path maximum because arenas drain between paths), so
+     they are safe for byte-deterministic reports.  They do depend on
+     which paths this run analyzed itself, so — like the inter-cache
+     counters under a shared cache — they are skipped when a warm state
+     or a reuse hook lets the run splice in work done elsewhere. *)
+  (let st = Path_analysis.arena_stats ctx in
+   if
+     st.Ssta_prob.Arena.st_borrow_bytes > 0
+     && Option.is_none warm
+     && Option.is_none reuse
+   then begin
+     Health.counter_set health "arena-buffers-created"
+       (Ssta_prob.Arena.buffers_created st);
+     Health.counter_set health "arena-bytes-reused"
+       (Ssta_prob.Arena.bytes_reused st);
+     Health.counter_set health "arena-peak-bytes"
+       st.Ssta_prob.Arena.st_peak_bytes
+   end);
   List.iter (fun (k, v) -> Health.counter_set health k v) screen_counters;
   if stopped then
     degrade

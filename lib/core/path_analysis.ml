@@ -23,6 +23,41 @@ type t = {
   worst_case : float;
 }
 
+(* Per-domain mutable scratch for the zero-allocation kernels: one
+   arena (grid buffers) and one coefficient workspace per worker domain,
+   lazily created under a lock — the same sharding discipline as the
+   inter-kernel cache.  Scratch contents never outlive one [analyze]
+   call, so shard layout cannot affect results. *)
+type domain_state = {
+  ds_arena : Ssta_prob.Arena.t;
+  ds_ws : Path_coeffs.workspace;
+}
+
+type domain_states = {
+  mutable ds_shards : (int * domain_state) list;
+  ds_lock : Mutex.t;
+}
+
+let domain_states_create () = { ds_shards = []; ds_lock = Mutex.create () }
+
+let domain_states_get d =
+  let id = (Domain.self () :> int) in
+  Mutex.protect d.ds_lock (fun () ->
+      match List.assoc_opt id d.ds_shards with
+      | Some s -> s
+      | None ->
+          let s =
+            { ds_arena = Ssta_prob.Arena.create ();
+              ds_ws = Path_coeffs.workspace_create () }
+          in
+          d.ds_shards <- (id, s) :: d.ds_shards;
+          s)
+
+let domain_states_arena_stats d =
+  Mutex.protect d.ds_lock (fun () ->
+      Ssta_prob.Arena.merged_stats
+        (List.map (fun (_, s) -> Ssta_prob.Arena.stats s.ds_arena) d.ds_shards))
+
 type context = {
   config : Config.t;
   graph : Graph.t;
@@ -32,6 +67,9 @@ type context = {
   health : Health.t;
   caches : Inter.caches option;  (* per-domain kernel cache shards *)
   cache_shared : bool;  (* caches owned by a longer-lived warm state *)
+  grads : Ssta_tech.Params.t array;
+      (* per-node nominal delay gradients, evaluated once per graph *)
+  domains : domain_states;  (* per-domain arena / workspace shards *)
 }
 
 type warm = {
@@ -88,6 +126,17 @@ let context ?health ?warm config graph placement =
       | Some { w_caches = Some c; _ } -> (Some c, true)
       | _ -> (Some (Inter.caches_create tables), false)
   in
+  (* Gate gradients depend only on each node's electricals; evaluating
+     them eagerly here (deterministic node order) lets every path reuse
+     them instead of re-deriving ~[num_rvs] [Derivatives.first] calls
+     per gate per path. *)
+  let grads =
+    Array.init (Graph.num_nodes graph) (fun id ->
+        match graph.Graph.electrical.(id) with
+        | Some e ->
+            Ssta_tech.Derivatives.gradient e Ssta_tech.Params.nominal
+        | None -> Ssta_tech.Params.zero)
+  in
   { config;
     graph;
     placement;
@@ -95,28 +144,37 @@ let context ?health ?warm config graph placement =
     tables;
     health;
     caches;
-    cache_shared }
+    cache_shared;
+    grads;
+    domains = domain_states_create () }
 
 let health ctx = ctx.health
 
 let cache_stats ctx = Option.map Inter.caches_stats ctx.caches
 let cache_shared ctx = ctx.cache_shared
+let arena_stats ctx = domain_states_arena_stats ctx.domains
 
 let analyze ?health ctx path =
   (* [health] overrides the context ledger so parallel callers can give
      each path a private ledger and merge them back in a fixed order. *)
   let health = match health with Some h -> h | None -> ctx.health in
-  let coeffs = Path_coeffs.of_path ctx.graph ctx.placement ctx.layers path in
+  let ds = domain_states_get ctx.domains in
+  let arena = ds.ds_arena in
+  let coeffs =
+    Path_coeffs.of_path ~grads:ctx.grads ~ws:ds.ds_ws ctx.graph ctx.placement
+      ctx.layers path
+  in
   let intra_pdf =
     Guard.check health ~op:"intra pdf" (Intra.pdf ctx.config coeffs)
   in
   let cache = Option.map Inter.caches_get ctx.caches in
   let inter_pdf =
     Guard.check health ~op:"inter pdf"
-      (Inter.of_coeffs ?cache ctx.tables coeffs)
+      (Inter.of_coeffs ?cache ~arena ctx.tables coeffs)
   in
   let total_pdf =
-    Guard.sum ~n:ctx.config.Config.quality_intra health inter_pdf intra_pdf
+    Guard.sum ~n:ctx.config.Config.quality_intra ~arena health inter_pdf
+      intra_pdf
   in
   let m = Pdf.moments total_pdf in
   let mean = m.Pdf.m_mean and std = sqrt m.Pdf.m_var in

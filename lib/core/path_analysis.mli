@@ -79,6 +79,13 @@ val cache_shared : context -> bool
     depend on every request the cache ever served, so they would break
     the byte-determinism of otherwise identical runs. *)
 
+val arena_stats : context -> Ssta_prob.Arena.stats
+(** Merged scratch-arena statistics over all per-domain shards this
+    context's {!analyze} calls materialized.  The derived counters
+    ({!Ssta_prob.Arena.buffers_created}, [bytes_reused], peak bytes) are
+    scheduling-independent (see {!Ssta_prob.Arena.merged_stats}) and
+    safe for deterministic reports. *)
+
 val analyze :
   ?health:Ssta_runtime.Health.t -> context -> Ssta_timing.Paths.path -> t
 (** Full statistical analysis of one path.  The intra/inter PDFs and

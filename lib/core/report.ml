@@ -276,11 +276,19 @@ let pp_run_status fmt (t : Methodology.t) =
   if Ssta_runtime.Health.is_clean h then
     Format.fprintf fmt "numerical health: clean@."
   else Format.fprintf fmt "numerical health: %a@." Ssta_runtime.Health.pp h;
-  match Ssta_runtime.Health.counter h "inter-cache-lookups" with
+  (match Ssta_runtime.Health.counter h "inter-cache-lookups" with
   | 0 -> ()
   | lookups ->
       Format.fprintf fmt
         "inter-kernel cache: %d lookups, %d distinct directions, %d hits@."
         lookups
         (Ssta_runtime.Health.counter h "inter-cache-distinct")
-        (Ssta_runtime.Health.counter h "inter-cache-hits")
+        (Ssta_runtime.Health.counter h "inter-cache-hits"));
+  match Ssta_runtime.Health.counter h "arena-peak-bytes" with
+  | 0 -> ()
+  | peak ->
+      Format.fprintf fmt
+        "scratch arenas: %d buffers created, %d bytes reused, peak %d bytes@."
+        (Ssta_runtime.Health.counter h "arena-buffers-created")
+        (Ssta_runtime.Health.counter h "arena-bytes-reused")
+        peak

@@ -27,14 +27,35 @@ type t = {
       (** intra layers only (layer >= 1): summed delay derivatives *)
 }
 
+type workspace
+(** Reusable flat accumulation scratch for {!of_path}.  A workspace
+    replaces the per-(gate, rv, layer) hashtable find/replace pairs of
+    the reference path with epoch-stamped dense-array writes, then
+    rebuilds the public hashtable from the touched slots in first-touch
+    order — the result (including the hashtable's iteration order, and
+    hence every downstream float sum) is bit-identical to running
+    without one.  Single-domain scratch: never share across domains. *)
+
+val workspace_create : unit -> workspace
+(** Empty workspace; sized lazily on first use and resized when the
+    graph or layering changes. *)
+
 val of_path :
+  ?grads:Ssta_tech.Params.t array ->
+  ?ws:workspace ->
   Ssta_timing.Graph.t ->
   Ssta_circuit.Placement.t ->
   Layers.t ->
   Ssta_timing.Paths.path ->
   t
 (** Accumulate coefficients for one path.  Derivatives are evaluated at
-    nominal (the paper's zeroth-order approximation, Eq. 11). *)
+    nominal (the paper's zeroth-order approximation, Eq. 11).
+
+    [grads], when given, must hold for every non-input node [id] the
+    value [Derivatives.gradient (Graph.electrical_exn g id)
+    Params.nominal]; callers analyzing many paths precompute it once per
+    graph.  [ws] enables the flat accumulation scratch.  Both options
+    leave every output bit unchanged. *)
 
 val intra_variance : t -> Budget.t -> float
 (** Eq. (14): [sum coeff^2 * sigma_layer^2] over all intra keys, with

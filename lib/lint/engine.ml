@@ -14,11 +14,12 @@ type input = {
   budget_weights : float array option;
   deadline_s : float option;
   edits : Ssta_circuit.Edit.t option;
+  jobs : int option;
   deep : bool;
 }
 
 let input ?placement ?spef ?def ?(config = Config.default) ?budget_weights
-    ?deadline_s ?edits ?(deep = true) circuit =
+    ?deadline_s ?edits ?jobs ?(deep = true) circuit =
   { circuit;
     placement;
     spef;
@@ -27,6 +28,7 @@ let input ?placement ?spef ?def ?(config = Config.default) ?budget_weights
     budget_weights;
     deadline_s;
     edits;
+    jobs;
     deep }
 
 let deep_checks i =
@@ -52,7 +54,7 @@ let deep_checks i =
 
 let run i =
   let config_ds =
-    Rules_config.check ?deadline_s:i.deadline_s i.config
+    Rules_config.check ?deadline_s:i.deadline_s ?jobs:i.jobs i.config
     @
     match i.budget_weights with
     | Some w ->

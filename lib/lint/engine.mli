@@ -23,6 +23,9 @@ type input = {
   edits : Ssta_circuit.Edit.t option;
       (** an edit script to validate against the circuit/placement
           ({!Rules_edit}) *)
+  jobs : int option;
+      (** the requested worker count, for the oversubscription
+          cross-check ([config-jobs]) *)
   deep : bool;  (** run the timing-graph / PDF checks (default true) *)
 }
 
@@ -34,6 +37,7 @@ val input :
   ?budget_weights:float array ->
   ?deadline_s:float ->
   ?edits:Ssta_circuit.Edit.t ->
+  ?jobs:int ->
   ?deep:bool ->
   Ssta_circuit.Netlist.t ->
   input

@@ -9,6 +9,7 @@ let rules =
     ("config-deadline",
      "configured inter quality cannot cold-build its kernel within the \
       deadline budget");
+    ("config-jobs", "worker count exceeds the host's available cores");
     ("budget-shares", "layer variance shares do not sum to the total");
     ("budget-degenerate", "intra-die layers carry zero variance") ]
 
@@ -72,7 +73,7 @@ let check_budget_weights ?layers weights =
   end;
   List.rev !ds
 
-let check ?deadline_s (cfg : Config.t) =
+let check ?deadline_s ?jobs ?host_cores (cfg : Config.t) =
   let ds = ref [] in
   let emit d = ds := d :: !ds in
   (match Config.validate cfg with
@@ -111,6 +112,27 @@ let check ?deadline_s (cfg : Config.t) =
                  build (O(Q^3), %.0f ns/cell), beyond the %.3g s deadline"
                 cfg.Config.quality_inter estimate cold_build_cell_ns
                 deadline))
+  | _ -> ());
+  (* Results are jobs-independent by the pool's determinism contract, so
+     an over-subscribed worker count is purely a performance smell:
+     extra domains time-share the cores (speedup ~1.0 at best, minor
+     slowdown from the pool machinery at worst). *)
+  (match jobs with
+  | Some jobs when jobs > 1 ->
+      let host_cores =
+        match host_cores with
+        | Some c -> c
+        | None -> Domain.recommended_domain_count ()
+      in
+      if jobs > host_cores then
+        emit
+          (D.make ~rule:"config-jobs" ~severity:D.Warning ~location:D.Config
+             ~hint:
+               "results are byte-identical at any --jobs value; extra \
+                domains only time-share the cores"
+             (Printf.sprintf
+                "%d worker domains requested on a host with %d core%s"
+                jobs host_cores (if host_cores = 1 then "" else "s")))
   | _ -> ());
   if cfg.Config.confidence > 1.0 then
     emit

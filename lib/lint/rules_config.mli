@@ -14,17 +14,29 @@
       the O(Q^3) inter-kernel cold build estimate (at a conservative
       8 ns per cell) exceed the configured deadline budget — the run
       would burn its deadline before analyzing a single path.
+    - [config-jobs] (warning): more worker domains requested than the
+      host has cores (notably [--jobs N > 1] on a single-core machine) —
+      results stay byte-identical, but the extra domains only time-share
+      the cores.
     - [budget-shares] (error): a raw weight vector that is empty, has
       negative or non-finite entries, does not sum to 1, or does not
       match the layer count.
     - [budget-degenerate] (warning): the intra-die layers carry zero
       variance — every path PDF collapses to the inter-die part. *)
 
-val check : ?deadline_s:float -> Ssta_core.Config.t -> Diagnostic.t list
+val check :
+  ?deadline_s:float ->
+  ?jobs:int ->
+  ?host_cores:int ->
+  Ssta_core.Config.t ->
+  Diagnostic.t list
 (** Configuration checks, including budget checks on the (normalized)
     weights embedded in the config.  [deadline_s] is the run's deadline
     budget, if any: when given, the [config-deadline] cross-check
-    compares it against the inter-kernel cold-build estimate. *)
+    compares it against the inter-kernel cold-build estimate.  [jobs] is
+    the requested worker count, cross-checked against [host_cores]
+    (default: [Domain.recommended_domain_count ()]) by the
+    [config-jobs] rule. *)
 
 val check_budget_weights :
   ?layers:int -> float array -> Diagnostic.t list

@@ -8,6 +8,7 @@
 
 type job = {
   chunks : int;
+  batch : int;  (* chunk indices claimed per fetch-and-add *)
   run_chunk : int -> unit;
   next : int Atomic.t;  (* next chunk index to claim *)
   pending : int Atomic.t;  (* chunks not yet finished *)
@@ -24,27 +25,39 @@ type t = {
   mutable workers : unit Domain.t array;
   (* First failure by chunk index, re-raised deterministically. *)
   mutable failure : (int * exn * Printexc.raw_backtrace) option;
+  (* Idle accounting (under [mutex]): how many workers are currently
+     parked on [work_cv], and how many park sessions ever happened.
+     Observability only — never consulted by the scheduler. *)
+  mutable idle : int;
+  mutable parks : int;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 (* Claim and execute chunks until the region's counter is exhausted.
-   Called by workers and by the posting caller alike. *)
+   Called by workers and by the posting caller alike.  A claim takes
+   [job.batch] consecutive chunk indices with one fetch-and-add —
+   claims, and hence chunk execution starts, stay in increasing index
+   order regardless of the batch size. *)
 let execute t job =
   let continue_ = ref true in
   while !continue_ do
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i >= job.chunks then continue_ := false
+    let lo = Atomic.fetch_and_add job.next job.batch in
+    if lo >= job.chunks then continue_ := false
     else begin
-      (try job.run_chunk i
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         Mutex.lock t.mutex;
-         (match t.failure with
-         | Some (j, _, _) when j <= i -> ()
-         | Some _ | None -> t.failure <- Some (i, e, bt));
-         Mutex.unlock t.mutex);
-      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+      let hi = Int.min job.chunks (lo + job.batch) - 1 in
+      for i = lo to hi do
+        try job.run_chunk i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock t.mutex;
+          (match t.failure with
+          | Some (j, _, _) when j <= i -> ()
+          | Some _ | None -> t.failure <- Some (i, e, bt));
+          Mutex.unlock t.mutex
+      done;
+      let finished = hi - lo + 1 in
+      if Atomic.fetch_and_add job.pending (-finished) = finished then begin
         Mutex.lock t.mutex;
         Condition.broadcast t.done_cv;
         Mutex.unlock t.mutex
@@ -54,11 +67,20 @@ let execute t job =
 
 let rec worker_loop t last_gen =
   Mutex.lock t.mutex;
+  let parked = ref false in
   while
     (not t.stopping) && (t.generation = last_gen || t.current = None)
   do
+    if not !parked then begin
+      (* One park session per wait loop, however many spurious wakeups
+         the condition variable delivers. *)
+      parked := true;
+      t.idle <- t.idle + 1;
+      t.parks <- t.parks + 1
+    end;
     Condition.wait t.work_cv t.mutex
   done;
+  if !parked then t.idle <- t.idle - 1;
   if t.stopping then Mutex.unlock t.mutex
   else begin
     let gen = t.generation in
@@ -81,7 +103,9 @@ let create ?jobs () =
       generation = 0;
       stopping = false;
       workers = [||];
-      failure = None }
+      failure = None;
+      idle = 0;
+      parks = 0 }
   in
   if jobs > 1 then
     t.workers <-
@@ -89,6 +113,9 @@ let create ?jobs () =
   t
 
 let jobs t = t.jobs
+
+let idle_workers t = Mutex.protect t.mutex (fun () -> t.idle)
+let park_count t = Mutex.protect t.mutex (fun () -> t.parks)
 
 let shutdown t =
   if Array.length t.workers > 0 || not t.stopping then begin
@@ -107,8 +134,9 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let run t ~chunks f =
+let run t ?(batch = 1) ~chunks f =
   if chunks < 0 then invalid_arg "Pool.run: chunks must be >= 0";
+  if batch < 1 then invalid_arg "Pool.run: batch must be >= 1";
   if chunks = 0 then ()
   else if t.jobs = 1 || chunks = 1 then
     for i = 0 to chunks - 1 do
@@ -116,7 +144,7 @@ let run t ~chunks f =
     done
   else begin
     let job =
-      { chunks; run_chunk = f; next = Atomic.make 0;
+      { chunks; batch; run_chunk = f; next = Atomic.make 0;
         pending = Atomic.make chunks }
     in
     Mutex.lock t.mutex;
@@ -145,7 +173,7 @@ let chunk_bounds ~chunk ~n ci =
   let lo = ci * chunk in
   (lo, Int.min n (lo + chunk) - 1)
 
-let map_array t ?chunk f a =
+let map_array t ?chunk ?batch f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
@@ -154,7 +182,7 @@ let map_array t ?chunk f a =
     in
     let out = Array.make n None in
     let chunks = (n + chunk - 1) / chunk in
-    run t ~chunks (fun ci ->
+    run t ?batch ~chunks (fun ci ->
         let lo, hi = chunk_bounds ~chunk ~n ci in
         for i = lo to hi do
           out.(i) <- Some (f a.(i))
@@ -185,6 +213,72 @@ let map_prefix t ?chunk ~should_stop f a =
             out.(i) <- Some (f a.(i))
           done
         end);
+    if not (Atomic.get stop_flag) then
+      (Array.map (function Some v -> v | None -> assert false) out, false)
+    else begin
+      let k = ref 0 in
+      while !k < n && Option.is_some out.(!k) do
+        incr k
+      done;
+      ( Array.init !k (fun i ->
+            match out.(i) with Some v -> v | None -> assert false),
+        true )
+    end
+  end
+
+(* Contiguous weight-balanced piece boundaries: [starts] has
+   [pieces + 1] entries with [starts.(0) = 0] and [starts.(pieces) = n];
+   piece [ci] covers [starts.(ci) .. starts.(ci+1) - 1].  The cut after
+   item [i] happens when the accumulated weight crosses the next
+   [total/pieces] boundary, except that every remaining piece is
+   guaranteed at least one item.  Pieces beyond the last cut are empty
+   (start = n), which the executor skips. *)
+let weighted_starts ~weights ~pieces n =
+  let starts = Array.make (pieces + 1) n in
+  starts.(0) <- 0;
+  let total = Array.fold_left (fun acc w -> acc + Int.max 1 w) 0 weights in
+  let acc = ref 0 and piece = ref 1 in
+  for i = 0 to n - 1 do
+    acc := !acc + Int.max 1 weights.(i);
+    if !piece < pieces then begin
+      let boundary = !piece * total / pieces in
+      let remaining_items = n - (i + 1) in
+      let remaining_pieces = pieces - !piece in
+      if
+        remaining_items = remaining_pieces
+        || (!acc >= boundary && remaining_items >= remaining_pieces)
+      then begin
+        starts.(!piece) <- i + 1;
+        incr piece
+      end
+    end
+  done;
+  starts
+
+let map_prefix_weighted t ?pieces ~weights ~should_stop f a =
+  let n = Array.length a in
+  if n = 0 then ([||], false)
+  else begin
+    if Array.length weights <> n then
+      invalid_arg "Pool.map_prefix_weighted: weights length mismatch";
+    let pieces =
+      match pieces with
+      | Some p -> Int.min n (Int.max 1 p)
+      | None -> Int.min n (Int.max 1 (t.jobs * 8))
+    in
+    let starts = weighted_starts ~weights ~pieces n in
+    let out = Array.make n None in
+    let stop_flag = Atomic.make false in
+    run t ~chunks:pieces (fun ci ->
+        (* Poll per item (not per piece): deadline granularity matches
+           the historical one-item-per-chunk fan-out. *)
+        let lo = starts.(ci) and hi = starts.(ci + 1) - 1 in
+        let i = ref lo in
+        while !i <= hi && not (Atomic.get stop_flag || should_stop ()) do
+          out.(!i) <- Some (f a.(!i));
+          incr i
+        done;
+        if !i <= hi then Atomic.set stop_flag true);
     if not (Atomic.get stop_flag) then
       (Array.map (function Some v -> v | None -> assert false) out, false)
     else begin

@@ -37,6 +37,17 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** The worker count the pool was created with (including the caller). *)
 
+val idle_workers : t -> int
+(** Number of worker domains currently parked on the work condition
+    variable (0 for a [jobs = 1] pool, which has no workers).  Between
+    work regions every worker parks, so an idle pool burns no CPU.
+    Observability only; never consulted by the scheduler. *)
+
+val park_count : t -> int
+(** Total park sessions since pool creation (a worker entering the
+    condition-variable wait counts once, however many spurious wakeups
+    it sees before new work arrives). *)
+
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent; the pool must not be used
     afterwards (except for further {!shutdown} calls).  Pools with
@@ -46,20 +57,26 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and guarantees
     {!shutdown} afterwards, whether [f] returns or raises. *)
 
-val run : t -> chunks:int -> (int -> unit) -> unit
+val run : t -> ?batch:int -> chunks:int -> (int -> unit) -> unit
 (** [run t ~chunks f] executes [f 0 .. f (chunks - 1)], each exactly
     once, distributed over the pool through the shared chunk counter.
     The caller participates and returns only once every chunk finished.
     If any [f i] raises, the exception of the {e lowest} chunk index is
     re-raised in the caller (after all chunks completed or were
-    abandoned), keeping failure reporting deterministic. *)
+    abandoned), keeping failure reporting deterministic.
 
-val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+    [batch] (default 1) is the streaming claim granularity: each
+    fetch-and-add claims that many consecutive chunk indices, trading
+    contention on the shared counter against load-balance slack.  It
+    cannot affect results — chunks still execute exactly once and
+    claims stay in increasing index order. *)
+
+val map_array : t -> ?chunk:int -> ?batch:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f a] is [Array.map f a], evaluated in parallel.
     [chunk] (default: a size that yields roughly 8 chunks per worker)
-    sets how many consecutive elements one claimed chunk processes.
-    Result slots are committed by index: the output is identical for any
-    worker count. *)
+    sets how many consecutive elements one claimed chunk processes;
+    [batch] is the claim granularity (see {!run}).  Result slots are
+    committed by index: the output is identical for any worker count. *)
 
 val map_reduce :
   t ->
@@ -91,3 +108,28 @@ val map_prefix :
     processed before the predicate fired, matching the historical
     sequential deadline semantics.  When [stopped] is [false] the prefix
     is the full map. *)
+
+val map_prefix_weighted :
+  t ->
+  ?pieces:int ->
+  weights:int array ->
+  should_stop:(unit -> bool) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array * bool
+(** Cost-aware variant of {!map_prefix}: instead of fixed-size chunks,
+    the input is pre-partitioned into [pieces] (default [8 * jobs])
+    {e contiguous} pieces of approximately equal total weight
+    ([weights.(i)] estimates item [i]'s cost; non-positive weights count
+    as 1), and pieces are claimed in increasing index order.  One
+    expensive item no longer drags a whole fixed-size chunk's worth of
+    cheap neighbours into its worker's queue, which matters when per-item
+    cost varies by orders of magnitude (e.g. a cache-missing O(Q^3)
+    kernel build vs a cache-hitting O(Q) rescale).
+
+    [should_stop] is polled {e per item}, matching the historical
+    one-item-per-chunk deadline granularity.
+
+    Weights influence scheduling only: results are committed by input
+    index, so the returned array is bit-identical for any weights, piece
+    count or worker count. *)

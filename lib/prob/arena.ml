@@ -1,0 +1,96 @@
+type t = {
+  (* Free lists keyed by exact buffer length.  A run touches only a few
+     distinct grid sizes (the quality settings), so an association list
+     outperforms a hashtable here. *)
+  mutable free : (int * float array list) list;
+  sizes : (int, unit) Hashtbl.t;
+  mutable borrow_bytes : int;
+  mutable outstanding_bytes : int;
+  mutable peak_bytes : int;
+}
+
+let create () =
+  { free = [];
+    sizes = Hashtbl.create 8;
+    borrow_bytes = 0;
+    outstanding_bytes = 0;
+    peak_bytes = 0 }
+
+let bytes_of_len n = 8 * n
+
+let borrow a n =
+  if n <= 0 then invalid_arg "Arena.borrow: n must be positive";
+  let b = bytes_of_len n in
+  a.borrow_bytes <- a.borrow_bytes + b;
+  a.outstanding_bytes <- a.outstanding_bytes + b;
+  if a.outstanding_bytes > a.peak_bytes then
+    a.peak_bytes <- a.outstanding_bytes;
+  match List.assoc_opt n a.free with
+  | Some (buf :: rest) ->
+      a.free <- (n, rest) :: List.remove_assoc n a.free;
+      Array.fill buf 0 n 0.0;
+      buf
+  | Some [] | None ->
+      if not (Hashtbl.mem a.sizes n) then Hashtbl.add a.sizes n ();
+      Array.make n 0.0
+
+let release a buf =
+  let n = Array.length buf in
+  a.outstanding_bytes <- a.outstanding_bytes - bytes_of_len n;
+  let rest =
+    match List.assoc_opt n a.free with Some l -> l | None -> []
+  in
+  a.free <- (n, buf :: rest) :: List.remove_assoc n a.free
+
+type stats = {
+  st_sizes : int list;
+  st_borrow_bytes : int;
+  st_peak_bytes : int;
+}
+
+let stats a =
+  { st_sizes = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) a.sizes []);
+    st_borrow_bytes = a.borrow_bytes;
+    st_peak_bytes = a.peak_bytes }
+
+let merged_stats l =
+  let union = Hashtbl.create 8 in
+  let borrow = ref 0 and peak = ref 0 in
+  List.iter
+    (fun st ->
+      List.iter (fun s -> Hashtbl.replace union s ()) st.st_sizes;
+      borrow := !borrow + st.st_borrow_bytes;
+      if st.st_peak_bytes > !peak then peak := st.st_peak_bytes)
+    l;
+  { st_sizes = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) union []);
+    st_borrow_bytes = !borrow;
+    st_peak_bytes = !peak }
+
+let buffers_created st = List.length st.st_sizes
+
+let bytes_reused st =
+  let first_alloc =
+    List.fold_left (fun acc s -> acc + bytes_of_len s) 0 st.st_sizes
+  in
+  Int.max 0 (st.st_borrow_bytes - first_alloc)
+
+type pools = {
+  mutable shards : (int * t) list;
+  lock : Mutex.t;
+}
+
+let pools_create () = { shards = []; lock = Mutex.create () }
+
+let pools_get p =
+  let id = (Domain.self () :> int) in
+  Mutex.protect p.lock (fun () ->
+      match List.assoc_opt id p.shards with
+      | Some a -> a
+      | None ->
+          let a = create () in
+          p.shards <- (id, a) :: p.shards;
+          a)
+
+let pools_stats p =
+  Mutex.protect p.lock (fun () ->
+      merged_stats (List.map (fun (_, a) -> stats a) p.shards))

@@ -1,0 +1,77 @@
+(** Size-classed scratch pools for the zero-allocation grid kernels.
+
+    The hot path of the methodology — [Combine.sum], [Combine.binop]
+    and the O(Q^3) inter-kernel — historically allocated a fresh
+    accumulation grid per call.  Under OCaml 5's shared minor heap that
+    serializes worker domains on allocation and triggers a minor
+    collection every few paths.  An arena keeps one free list of
+    [float array] buffers per exact length; borrowing zero-fills a
+    recycled buffer instead of allocating, and releasing returns it for
+    the next grid operation of the same size.  A statistical run touches
+    only a handful of distinct grid sizes (the intra/inter quality
+    settings), so the pools reach steady state after the first path.
+
+    Arenas are single-domain scratch: never share one [t] across
+    domains.  {!pools} provides the per-domain sharding used by the
+    parallel fan-out, mirroring the inter-kernel cache shards.
+
+    Accounting is designed so the derived health counters are
+    {e scheduling-independent} (see {!merged_stats}): total borrowed
+    bytes is a per-path property summed over paths, the distinct size
+    classes are a set union, and the peak outstanding bytes of any
+    domain equals the sequential per-path peak because every borrow is
+    released before the next path starts. *)
+
+type t
+(** A single-domain pool set. *)
+
+val create : unit -> t
+
+val borrow : t -> int -> float array
+(** [borrow a n] returns a zero-filled array of length exactly [n],
+    recycled from the pool when one is available.  Raises
+    [Invalid_argument] when [n <= 0]. *)
+
+val release : t -> float array -> unit
+(** Return a borrowed buffer to its size-class free list.  The caller
+    must not use the buffer afterwards. *)
+
+type stats = {
+  st_sizes : int list;  (** distinct buffer lengths ever borrowed, sorted *)
+  st_borrow_bytes : int;  (** total bytes served over all borrows *)
+  st_peak_bytes : int;  (** maximum outstanding borrowed bytes *)
+}
+
+val stats : t -> stats
+
+val merged_stats : stats list -> stats
+(** Deterministic merge across domains: size classes by set union,
+    borrowed bytes by sum, peak by max.  Because each path's borrows are
+    balanced by releases before the path ends, the per-domain peak is a
+    max over that domain's paths, and the max over any partition of the
+    paths equals the sequential maximum — the merge is independent of
+    which domain analyzed which path. *)
+
+val buffers_created : stats -> int
+(** Number of distinct size classes — the buffers a steady-state
+    sequential run allocates (one backing array per class). *)
+
+val bytes_reused : stats -> int
+(** [st_borrow_bytes] minus one allocation per size class: the bytes
+    served by recycling rather than fresh allocation in the steady-state
+    sequential model.  Scheduling-independent, unlike the raw per-domain
+    allocation counts. *)
+
+(** {1 Per-domain shards} *)
+
+type pools
+(** Lazily creates one arena per worker domain, keyed by domain id —
+    the same sharding discipline as the inter-kernel cache. *)
+
+val pools_create : unit -> pools
+
+val pools_get : pools -> t
+(** The calling domain's arena (created on first use). *)
+
+val pools_stats : pools -> stats
+(** {!merged_stats} over all shards. *)

@@ -71,7 +71,9 @@ let clamped_mass a = a.clamped
 let to_pdf a =
   if not (a.deposited > 0.0) then
     invalid_arg "Combine.to_pdf: no mass deposited";
-  Pdf.make ~lo:a.acc_lo ~step:a.acc_step
+  (* The mapped array is fresh, so the owning constructor normalizes it
+     in place instead of copying a second time — same bits. *)
+  Pdf.make_owned ~lo:a.acc_lo ~step:a.acc_step
     (Array.map (fun m -> m /. a.acc_step) a.cells)
 
 (* Normalize an accumulator into a PDF and report the operation to the
@@ -123,19 +125,186 @@ let binop_into ?n f px py =
   done;
   a
 
-let binop ?n f px py = finish ~op:"combine.binop" (binop_into ?n f px py)
+(* {2 Zero-allocation fast paths}
 
-let sum ?n px py =
+   The binary combinators below are the hot path of the methodology (one
+   [sum] per path stage, one [binop] per inter-kernel build).  They are
+   re-implementations of [finish (binop_into f px py)] with three
+   changes, none of which alters a single output bit:
+
+   - the [deposit] arithmetic is inlined on raw arrays with every
+     intermediate kept in registers or an unboxed scratch slot — the
+     historical [x_at]/[mass_at]/[deposit] call chain boxes several
+     floats per cell pair and updates two boxed record fields, which
+     dominated the per-path minor-heap traffic;
+   - the accumulation grid can come from a caller-provided {!Arena.t}
+     instead of a fresh allocation;
+   - normalization is fused: the output density is written once and
+     normalized in place by [Pdf.make_owned] instead of the two extra
+     arrays that [to_pdf] + [Pdf.make] allocate.
+
+   [test_combine] qcheck-certifies bit-identity against the
+   [accumulator]/[deposit]/[to_pdf] reference on random grids. *)
+
+let scratch_cells arena n =
+  match arena with Some a -> Arena.borrow a n | None -> Array.make n 0.0
+
+let scratch_release arena cells =
+  match arena with Some a -> Arena.release a cells | None -> ()
+
+(* Fused equivalent of [finish]: normalize accumulated cell masses into
+   a fresh density array, return the borrowed grid, and emit the trace
+   event.  Division order matches [to_pdf] (cells /. step, then the mass
+   fold inside [make_owned], then /. mass) expression for expression. *)
+let finish_cells ~op ?expected arena ~lo ~step ~deposited ~clamped cells =
+  if not (deposited > 0.0) then begin
+    scratch_release arena cells;
+    invalid_arg "Combine.to_pdf: no mass deposited"
+  end;
+  let n = Array.length cells in
+  let density = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set density i (Array.unsafe_get cells i /. step)
+  done;
+  scratch_release arena cells;
+  Pdf.traced ~op ?expected ~mass_in:deposited ~clamped
+    (Pdf.make_owned ~lo ~step density)
+
+let binop_core ~op ?expected ?n ?arena f px py =
+  let xd = px.Pdf.density and yd = py.Pdf.density in
+  let nx = Array.length xd and ny = Array.length yd in
+  let n = match n with Some n -> n | None -> Int.max nx ny in
+  let lo, hi = widen (range2 f px py) in
+  if n <= 0 then invalid_arg "Combine.accumulator: n must be positive";
+  if not (hi > lo) then invalid_arg "Combine.accumulator: hi must exceed lo";
+  let xlo = px.Pdf.lo and xstep = px.Pdf.step in
+  let ylo = py.Pdf.lo and ystep = py.Pdf.step in
+  let step = (hi -. lo) /. float_of_int n in
+  let grid_hi = lo +. (step *. float_of_int n) in
+  let cells = scratch_cells arena n in
+  (* acc.(0) = deposited mass, acc.(1) = clamped mass; a local float
+     array keeps both unboxed across iterations. *)
+  let acc = [| 0.0; 0.0 |] in
+  (try
+     for i = 0 to nx - 1 do
+       let mx = Array.unsafe_get xd i *. xstep in
+       if mx > 0.0 then begin
+         let x = xlo +. ((float_of_int i +. 0.5) *. xstep) in
+         for j = 0 to ny - 1 do
+           let my = Array.unsafe_get yd j *. ystep in
+           if my > 0.0 then begin
+             let v = f x (ylo +. ((float_of_int j +. 0.5) *. ystep)) in
+             let mass = mx *. my in
+             if mass > 0.0 then begin
+               if v < lo || v > grid_hi then
+                 Array.unsafe_set acc 1 (Array.unsafe_get acc 1 +. mass);
+               let u = ((v -. lo) /. step) -. 0.5 in
+               let iu = int_of_float (Float.floor u) in
+               let frac = u -. float_of_int iu in
+               let m0 = mass *. (1.0 -. frac) in
+               if m0 > 0.0 then begin
+                 let k = if iu < 0 then 0 else if iu >= n then n - 1 else iu in
+                 Array.unsafe_set cells k (Array.unsafe_get cells k +. m0)
+               end;
+               let m1 = mass *. frac in
+               if m1 > 0.0 then begin
+                 let i1 = iu + 1 in
+                 let k = if i1 < 0 then 0 else if i1 >= n then n - 1 else i1 in
+                 Array.unsafe_set cells k (Array.unsafe_get cells k +. m1)
+               end;
+               Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. mass)
+             end
+           end
+         done
+       end
+     done
+   with e ->
+     scratch_release arena cells;
+     raise e);
+  finish_cells ~op ?expected arena ~lo ~step
+    ~deposited:(Array.unsafe_get acc 0)
+    ~clamped:(Array.unsafe_get acc 1)
+    cells
+
+let binop ?n ?arena f px py = binop_core ~op:"combine.binop" ?n ?arena f px py
+
+(* Monomorphic specialization of [binop_core] at [( +. )]: the range
+   scan and the convolution both inline the addition, so the whole inner
+   loop compiles to straight float code with no closure call. *)
+let sum ?n ?arena px py =
+  let xd = px.Pdf.density and yd = py.Pdf.density in
+  let nx = Array.length xd and ny = Array.length yd in
+  let n = match n with Some n -> n | None -> Int.max nx ny in
+  let xlo = px.Pdf.lo and xstep = px.Pdf.step in
+  let ylo = py.Pdf.lo and ystep = py.Pdf.step in
+  (* [range2 ( +. )], inlined; [x] is hoisted out of the inner loop —
+     the same value the reference recomputes per pair. *)
+  let rlo = ref infinity and rhi = ref neg_infinity in
+  let sx = Int.max 1 (nx / 16) and sy = Int.max 1 (ny / 16) in
+  for i = 0 to nx - 1 do
+    if i = 0 || i = nx - 1 || i mod sx = 0 then begin
+      let x = xlo +. ((float_of_int i +. 0.5) *. xstep) in
+      for j = 0 to ny - 1 do
+        if j = 0 || j = ny - 1 || j mod sy = 0 then begin
+          let v = x +. (ylo +. ((float_of_int j +. 0.5) *. ystep)) in
+          if v < !rlo then rlo := v;
+          if v > !rhi then rhi := v
+        end
+      done
+    end
+  done;
+  let lo, hi = widen (!rlo, !rhi) in
+  if n <= 0 then invalid_arg "Combine.accumulator: n must be positive";
+  if not (hi > lo) then invalid_arg "Combine.accumulator: hi must exceed lo";
+  let step = (hi -. lo) /. float_of_int n in
+  let grid_hi = lo +. (step *. float_of_int n) in
+  let cells = scratch_cells arena n in
+  let acc = [| 0.0; 0.0 |] in
+  for i = 0 to nx - 1 do
+    let mx = Array.unsafe_get xd i *. xstep in
+    if mx > 0.0 then begin
+      let x = xlo +. ((float_of_int i +. 0.5) *. xstep) in
+      for j = 0 to ny - 1 do
+        let my = Array.unsafe_get yd j *. ystep in
+        if my > 0.0 then begin
+          let v = x +. (ylo +. ((float_of_int j +. 0.5) *. ystep)) in
+          let mass = mx *. my in
+          if mass > 0.0 then begin
+            if v < lo || v > grid_hi then
+              Array.unsafe_set acc 1 (Array.unsafe_get acc 1 +. mass);
+            let u = ((v -. lo) /. step) -. 0.5 in
+            let iu = int_of_float (Float.floor u) in
+            let frac = u -. float_of_int iu in
+            let m0 = mass *. (1.0 -. frac) in
+            if m0 > 0.0 then begin
+              let k = if iu < 0 then 0 else if iu >= n then n - 1 else iu in
+              Array.unsafe_set cells k (Array.unsafe_get cells k +. m0)
+            end;
+            let m1 = mass *. frac in
+            if m1 > 0.0 then begin
+              let i1 = iu + 1 in
+              let k = if i1 < 0 then 0 else if i1 >= n then n - 1 else i1 in
+              Array.unsafe_set cells k (Array.unsafe_get cells k +. m1)
+            end;
+            Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. mass)
+          end
+        end
+      done
+    end
+  done;
   (* Shadow support by interval arithmetic on the operand supports. *)
   let expected = (px.Pdf.lo +. py.Pdf.lo, Pdf.hi px +. Pdf.hi py) in
-  finish ~op:"combine.sum" ~expected (binop_into ?n ( +. ) px py)
+  finish_cells ~op:"combine.sum" ~expected arena ~lo ~step
+    ~deposited:(Array.unsafe_get acc 0)
+    ~clamped:(Array.unsafe_get acc 1)
+    cells
 
-let sum_list ?n = function
+let sum_list ?n ?arena = function
   | [] -> invalid_arg "Combine.sum_list: empty list"
   | [ p ] -> p
-  | p :: rest -> List.fold_left (fun acc q -> sum ?n acc q) p rest
+  | p :: rest -> List.fold_left (fun acc q -> sum ?n ?arena acc q) p rest
 
-let product ?n px py =
+let product ?n ?arena px py =
   let xl = px.Pdf.lo and xh = Pdf.hi px in
   let yl = py.Pdf.lo and yh = Pdf.hi py in
   let corners = [| xl *. yl; xl *. yh; xh *. yl; xh *. yh |] in
@@ -143,7 +312,7 @@ let product ?n px py =
     ( Array.fold_left Float.min corners.(0) corners,
       Array.fold_left Float.max corners.(0) corners )
   in
-  finish ~op:"combine.product" ~expected (binop_into ?n ( *. ) px py)
+  binop_core ~op:"combine.product" ~expected ?n ?arena ( *. ) px py
 
 let map ?n f p =
   let n = match n with Some n -> n | None -> Pdf.size p in

@@ -40,25 +40,51 @@ val to_pdf : accumulator -> Pdf.t
 (** Normalize the accumulated mass into a PDF.  Raises [Invalid_argument]
     if nothing was deposited. *)
 
-val binop : ?n:int -> (float -> float -> float) -> Pdf.t -> Pdf.t -> Pdf.t
+val binop_into : ?n:int -> (float -> float -> float) -> Pdf.t -> Pdf.t -> accumulator
+(** Reference implementation of the binary push-forward: range-scan,
+    then one {!deposit} per cell pair.  {!binop}, {!sum} and {!product}
+    are inlined zero-allocation rewrites of [to_pdf (binop_into f px py)];
+    the qcheck suite certifies bit-identity against this path. *)
+
+val binop :
+  ?n:int ->
+  ?arena:Arena.t ->
+  (float -> float -> float) ->
+  Pdf.t ->
+  Pdf.t ->
+  Pdf.t
 (** [binop f px py] is the distribution of [f X Y] for independent X, Y.
     Cost O(|px| * |py|).  The output grid has [n] cells (default:
-    max of the input sizes) spanning the observed range of [f]. *)
+    max of the input sizes) spanning the observed range of [f].
 
-val sum : ?n:int -> Pdf.t -> Pdf.t -> Pdf.t
+    When [arena] is given, the O(n) accumulation grid is borrowed from
+    it instead of freshly allocated (and released before returning);
+    results are bit-identical either way. *)
+
+val sum : ?n:int -> ?arena:Arena.t -> Pdf.t -> Pdf.t -> Pdf.t
 (** Distribution of X + Y (independent): discrete convolution.  This is
-    the paper's O(QUALITY^2) convolution of inter- and intra-PDFs. *)
+    the paper's O(QUALITY^2) convolution of inter- and intra-PDFs, and
+    the hottest grid operation of the methodology — it runs as a
+    monomorphic zero-allocation loop (one output array per call, plus
+    the arena-recyclable accumulation grid) that is bit-identical to
+    [Combine.to_pdf] over [deposit] calls. *)
 
-val sum_list : ?n:int -> Pdf.t list -> Pdf.t
+val sum_list : ?n:int -> ?arena:Arena.t -> Pdf.t list -> Pdf.t
 (** Convolution of a non-empty list of independent summands. *)
 
-val product : ?n:int -> Pdf.t -> Pdf.t -> Pdf.t
+val product : ?n:int -> ?arena:Arena.t -> Pdf.t -> Pdf.t -> Pdf.t
 (** Distribution of X * Y (independent). *)
 
 val map : ?n:int -> (float -> float) -> Pdf.t -> Pdf.t
 (** Push-forward of a single PDF through an arbitrary function. *)
 
-val push2 : ?n:int -> (float -> float -> float) -> Pdf.t -> Pdf.t -> Pdf.t
+val push2 :
+  ?n:int ->
+  ?arena:Arena.t ->
+  (float -> float -> float) ->
+  Pdf.t ->
+  Pdf.t ->
+  Pdf.t
 (** Alias of {!binop}, named for symmetry with {!push3}. *)
 
 val push3 :

@@ -34,7 +34,7 @@ let traced ~op ?expected ?mass_in ?(clamped = 0.0) p =
 let total_unnormalized step density =
   Array.fold_left (fun acc d -> acc +. (d *. step)) 0.0 density
 
-let make ~lo ~step density =
+let validate_density ~step density =
   let n = Array.length density in
   if n = 0 then invalid_arg "Pdf.make: empty density";
   if not (step > 0.0) then invalid_arg "Pdf.make: step must be positive";
@@ -45,7 +45,21 @@ let make ~lo ~step density =
     density;
   let mass = total_unnormalized step density in
   if not (mass > 0.0) then invalid_arg "Pdf.make: zero total mass";
+  mass
+
+let make ~lo ~step density =
+  let mass = validate_density ~step density in
   { lo; step; density = Array.map (fun d -> d /. mass) density }
+
+(* Same contract and bit-identical result as [make], but takes ownership
+   of [density] and normalizes it in place instead of copying — the
+   constructor the zero-allocation combinators use. *)
+let make_owned ~lo ~step density =
+  let mass = validate_density ~step density in
+  for i = 0 to Array.length density - 1 do
+    Array.unsafe_set density i (Array.unsafe_get density i /. mass)
+  done;
+  { lo; step; density }
 
 let of_fun ~lo ~hi ~n f =
   if n <= 0 then invalid_arg "Pdf.of_fun: n must be positive";
@@ -54,7 +68,7 @@ let of_fun ~lo ~hi ~n f =
   let density =
     Array.init n (fun i -> f (lo +. ((float_of_int i +. 0.5) *. step)))
   in
-  make ~lo ~step density
+  make_owned ~lo ~step density
 
 let point_mass ?(n = 3) x =
   let eps = 1e-12 *. (1.0 +. Float.abs x) in
@@ -68,19 +82,31 @@ let x_at p i = p.lo +. ((float_of_int i +. 0.5) *. p.step)
 let mass_at p i = p.density.(i) *. p.step
 let total_mass p = total_unnormalized p.step p.density
 
+(* The accumulation loops keep every float local (scratch slot in an
+   unboxed float array, inlined cell arithmetic): without flambda, the
+   historical [x_at]/[mass_at]/[ref] formulation boxed three floats per
+   cell.  The expressions are the same, so the sums are bit-identical. *)
 let mean p =
-  let acc = ref 0.0 in
-  for i = 0 to size p - 1 do
-    acc := !acc +. (x_at p i *. mass_at p i)
+  let lo = p.lo and step = p.step and d = p.density in
+  let acc = [| 0.0 |] in
+  for i = 0 to Array.length d - 1 do
+    let x = lo +. ((float_of_int i +. 0.5) *. step) in
+    Array.unsafe_set acc 0
+      (Array.unsafe_get acc 0 +. (x *. (Array.unsafe_get d i *. step)))
   done;
-  !acc
+  Array.unsafe_get acc 0
 
 let moment_central_about p ~mu k =
-  let acc = ref 0.0 in
-  for i = 0 to size p - 1 do
-    acc := !acc +. (((x_at p i -. mu) ** float_of_int k) *. mass_at p i)
+  let lo = p.lo and step = p.step and d = p.density in
+  let fk = float_of_int k in
+  let acc = [| 0.0 |] in
+  for i = 0 to Array.length d - 1 do
+    let x = lo +. ((float_of_int i +. 0.5) *. step) in
+    Array.unsafe_set acc 0
+      (Array.unsafe_get acc 0
+      +. (((x -. mu) ** fk) *. (Array.unsafe_get d i *. step)))
   done;
-  !acc
+  Array.unsafe_get acc 0
 
 let moment_central p k = moment_central_about p ~mu:(mean p) k
 
@@ -156,13 +182,25 @@ let affine p ~mul ~add =
   in
   let mass_in = total_mass p in
   let q =
-    if mul > 0.0 then
-      { lo = (p.lo *. mul) +. add;
-        step = p.step *. mul;
-        density = Array.map (fun d -> d /. mul) p.density }
+    (* Explicit loops rather than Array.map/init: the closures box every
+       element without flambda, and [scale] sits on the inter-cache hit
+       path (one call per cached kernel lookup). *)
+    if mul > 0.0 then begin
+      let n = size p in
+      let src = p.density in
+      let density = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        Array.unsafe_set density i (Array.unsafe_get src i /. mul)
+      done;
+      { lo = (p.lo *. mul) +. add; step = p.step *. mul; density }
+    end
     else begin
       let n = size p in
-      let density = Array.init n (fun i -> p.density.(n - 1 - i) /. -.mul) in
+      let src = p.density in
+      let density = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        Array.unsafe_set density i (Array.unsafe_get src (n - 1 - i) /. -.mul)
+      done;
       { lo = (hi p *. mul) +. add; step = p.step *. -.mul; density }
     end
   in

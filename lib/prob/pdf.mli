@@ -20,6 +20,12 @@ val make : lo:float -> step:float -> float array -> t
     [Invalid_argument] on empty arrays, non-positive [step], negative
     entries or zero total mass. *)
 
+val make_owned : lo:float -> step:float -> float array -> t
+(** Bit-identical to {!make}, but takes ownership of the array and
+    normalizes it in place instead of copying.  The caller must not use
+    the array afterwards.  This is the constructor the zero-allocation
+    combinators ({!Combine.sum} and friends) normalize into. *)
+
 val of_fun : lo:float -> hi:float -> n:int -> (float -> float) -> t
 (** [of_fun ~lo ~hi ~n f] samples the unnormalized density [f] at the [n]
     cell centers of [lo, hi] and normalizes. *)

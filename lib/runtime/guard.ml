@@ -77,19 +77,85 @@ let make_res ?(tol = default_tol) health ~op ~lo ~step density =
       try Ok (Pdf.make ~lo ~step density)
       with Invalid_argument msg -> numeric ~op msg)
 
+(* Scan-first audit of an existing PDF: the common case (finite,
+   non-negative, mass within tolerance) touches no memory beyond one
+   read-only pass, copying the density only when dust actually needs
+   clamping.  The classification, repair, ledger events and returned
+   values are identical to running [audit_density] on a copy — the scan
+   order, the float expressions and the event sequence are the same. *)
 let check_res ?(tol = default_tol) health ~op (p : Pdf.t) =
-  let density = Array.copy p.Pdf.density in
-  match
-    audit_density ~tol ~op ~normalized:true health ~lo:p.Pdf.lo
-      ~step:p.Pdf.step density
-  with
-  | Error _ as e -> e
-  | Ok mass ->
-      if Float.abs (mass -. 1.0) > tol then
-        (* Repair: Pdf.make renormalizes the audited copy. *)
-        try Ok (Pdf.make ~lo:p.Pdf.lo ~step:p.Pdf.step density)
-        with Invalid_argument msg -> numeric ~op msg
-      else Ok p
+  let lo = p.Pdf.lo and step = p.Pdf.step in
+  if not (finite lo && finite step && step > 0.0) then begin
+    Health.record health ~op ~issue:Health.Non_finite
+      "grid geometry is not finite/positive";
+    numeric ~op (Printf.sprintf "invalid grid (lo=%g step=%g)" lo step)
+  end
+  else begin
+    let density = p.Pdf.density in
+    let n = Array.length density in
+    let bad = ref None in
+    (* Unboxed accumulator slot for the negative-dust mass. *)
+    let neg = [| 0.0 |] in
+    for i = 0 to n - 1 do
+      let d = Array.unsafe_get density i in
+      if not (finite d) then begin
+        if !bad = None then bad := Some i
+      end
+      else if d < 0.0 then
+        Array.unsafe_set neg 0 (Array.unsafe_get neg 0 +. (-.d *. step))
+    done;
+    let neg_mass = Array.unsafe_get neg 0 in
+    match !bad with
+    | Some i ->
+        Health.record health ~op ~issue:Health.Non_finite
+          (Printf.sprintf "cell %d is %g" i density.(i));
+        numeric ~op (Printf.sprintf "non-finite density in cell %d" i)
+    | None ->
+        if neg_mass > tol then begin
+          Health.record health ~op ~issue:Health.Negative_density
+            ~defect:neg_mass "negative density beyond tolerance";
+          numeric ~op
+            (Printf.sprintf "negative probability mass %.3g" neg_mass)
+        end
+        else begin
+          let audited =
+            if neg_mass > 0.0 then begin
+              (* Dust-level negatives: clamp a copy and account for it. *)
+              let c = Array.copy density in
+              for i = 0 to n - 1 do
+                if c.(i) < 0.0 then c.(i) <- 0.0
+              done;
+              Health.record health ~op ~issue:Health.Negative_density
+                ~defect:neg_mass "clamped negative dust to 0";
+              c
+            end
+            else density
+          in
+          let macc = [| 0.0 |] in
+          for i = 0 to n - 1 do
+            Array.unsafe_set macc 0
+              (Array.unsafe_get macc 0 +. (Array.unsafe_get audited i *. step))
+          done;
+          let mass = Array.unsafe_get macc 0 in
+          if not (mass > 0.0 && finite mass) then begin
+            Health.record health ~op ~issue:Health.Degenerate
+              (Printf.sprintf "total mass %g" mass);
+            numeric ~op (Printf.sprintf "degenerate total mass %g" mass)
+          end
+          else begin
+            let defect = Float.abs (mass -. 1.0) in
+            if defect > tol then begin
+              Health.record health ~op ~issue:Health.Renormalized ~defect
+                (Printf.sprintf "mass %.9g renormalized to 1" mass);
+              (* Repair: Pdf.make renormalizes (copying internally, so
+                 passing the original density is safe). *)
+              try Ok (Pdf.make ~lo ~step audited)
+              with Invalid_argument msg -> numeric ~op msg
+            end
+            else Ok p
+          end
+        end
+  end
 
 let lift1 ?(tol = default_tol) health ~op f =
   match f () with
@@ -105,10 +171,11 @@ let make ?tol health ~op ~lo ~step density =
 
 let check ?tol health ~op p = or_raise (check_res ?tol health ~op p)
 
-let sum_res ?tol ?n health px py =
-  lift1 ?tol health ~op:"Combine.sum" (fun () -> Combine.sum ?n px py)
+let sum_res ?tol ?n ?arena health px py =
+  lift1 ?tol health ~op:"Combine.sum" (fun () -> Combine.sum ?n ?arena px py)
 
-let sum ?tol ?n health px py = or_raise (sum_res ?tol ?n health px py)
+let sum ?tol ?n ?arena health px py =
+  or_raise (sum_res ?tol ?n ?arena health px py)
 
 let map_res ?tol ?n health f p =
   lift1 ?tol health ~op:"Combine.map" (fun () -> Combine.map ?n f p)

@@ -34,16 +34,20 @@ val make :
 val check_res :
   ?tol:float -> Health.t -> op:string -> Pdf.t -> (Pdf.t, Ssta_error.t) result
 (** Audit an existing PDF; returns it unchanged when sound, a
-    renormalized copy when the mass drifted, an error when broken. *)
+    renormalized copy when the mass drifted, an error when broken.  The
+    sound common case is a single read-only pass (no copy). *)
 
 val check : ?tol:float -> Health.t -> op:string -> Pdf.t -> Pdf.t
 
 val sum_res :
-  ?tol:float -> ?n:int -> Health.t -> Pdf.t -> Pdf.t ->
-  (Pdf.t, Ssta_error.t) result
-(** Guarded convolution (distribution of X + Y). *)
+  ?tol:float -> ?n:int -> ?arena:Ssta_prob.Arena.t -> Health.t -> Pdf.t ->
+  Pdf.t -> (Pdf.t, Ssta_error.t) result
+(** Guarded convolution (distribution of X + Y).  [arena] is scratch for
+    the accumulation grid (see {!Ssta_prob.Combine.sum}). *)
 
-val sum : ?tol:float -> ?n:int -> Health.t -> Pdf.t -> Pdf.t -> Pdf.t
+val sum :
+  ?tol:float -> ?n:int -> ?arena:Ssta_prob.Arena.t -> Health.t -> Pdf.t ->
+  Pdf.t -> Pdf.t
 
 val map_res :
   ?tol:float -> ?n:int -> Health.t -> (float -> float) -> Pdf.t ->

@@ -416,6 +416,18 @@ let do_health t id =
                 ("hits", jint st.Inter.cs_hits);
                 ("builds", jint st.Inter.cs_builds) ])
   in
+  (* Between requests every worker domain parks on the pool's condition
+     variable, so an idle server burns no CPU; the health answer exposes
+     the park ledger so a smoke test can verify that from outside. *)
+  let pool =
+    match t.pool with
+    | None -> Json.Null
+    | Some p ->
+        Json.Obj
+          [ ("jobs", jint (Pool.jobs p));
+            ("idle_workers", jint (Pool.idle_workers p));
+            ("park_count", jint (Pool.park_count p)) ]
+  in
   Protocol.render ?id ~status:Protocol.Ok_
     [ ("circuit", Json.String t.circuit.Netlist.name);
       ("gates", jint (Netlist.num_gates t.circuit));
@@ -424,6 +436,7 @@ let do_health t id =
         Json.Obj
           (List.map (fun (k, v) -> (k, jint v)) (Health.counters t.lifetime))
       );
+      ("pool", pool);
       ("cache", cache) ]
 
 (* --- incremental edit / what-if --------------------------------------- *)

@@ -19,6 +19,19 @@ let check_raises_invalid msg f =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
 
+(* Bitwise PDF equality: the arena-backed fast kernels advertise
+   bit-identity with their reference paths, so compare raw float bits —
+   no tolerance. *)
+let pdf_bits_equal (a : Ssta_prob.Pdf.t) (b : Ssta_prob.Pdf.t) =
+  let module Pdf = Ssta_prob.Pdf in
+  let bits = Int64.bits_of_float in
+  Int64.equal (bits a.Pdf.lo) (bits b.Pdf.lo)
+  && Int64.equal (bits a.Pdf.step) (bits b.Pdf.step)
+  && Array.length a.Pdf.density = Array.length b.Pdf.density
+  && Array.for_all2
+       (fun x y -> Int64.equal (bits x) (bits y))
+       a.Pdf.density b.Pdf.density
+
 let case name f = Alcotest.test_case name `Quick f
 let slow_case name f = Alcotest.test_case name `Slow f
 

@@ -115,6 +115,65 @@ let prop_total_mass_conserved =
       let z = Combine.binop ( +. ) (gauss ~n:50 m s) (gauss ~n:50 0.0 1.0) in
       Float.abs (Pdf.total_mass z -. 1.0) < 1e-9)
 
+(* ---------------- Arena kernels: bit-identity certification ------------- *)
+
+(* sum/binop/product are inlined zero-allocation rewrites of
+   [to_pdf (binop_into f px py)]; with an [?arena] they additionally
+   recycle the accumulation grid.  Both claims are exact: every output
+   bit must match the reference, including on a reused arena buffer. *)
+let arena_case_gen =
+  QCheck.(
+    pair
+      (quad (float_range (-4.0) 4.0) (float_range 0.2 2.0)
+         (float_range (-4.0) 4.0) (float_range 0.2 2.0))
+      (triple (int_range 8 100) (int_range 8 100) bool))
+
+let prop_fast_matches_reference name
+    (fast : ?n:int -> ?arena:Arena.t -> Pdf.t -> Pdf.t -> Pdf.t) f =
+  qcheck ~count:60 (name ^ " == binop_into reference, bitwise") arena_case_gen
+    (fun ((m1, s1, m2, s2), (nx, ny, use_n)) ->
+      let px = gauss ~n:nx m1 s1 and py = gauss ~n:ny m2 s2 in
+      let n = if use_n then Some 80 else None in
+      let reference = Combine.to_pdf (Combine.binop_into ?n f px py) in
+      let arena = Arena.create () in
+      let plain = fast ?n ?arena:None px py in
+      let first = fast ?n ~arena px py in
+      (* second call recycles the released grid buffer *)
+      let reused = fast ?n ~arena px py in
+      pdf_bits_equal reference plain
+      && pdf_bits_equal reference first
+      && pdf_bits_equal reference reused)
+
+let prop_sum_bits =
+  prop_fast_matches_reference "sum"
+    (fun ?n ?arena px py -> Combine.sum ?n ?arena px py)
+    ( +. )
+
+let prop_product_bits =
+  prop_fast_matches_reference "product"
+    (fun ?n ?arena px py -> Combine.product ?n ?arena px py)
+    ( *. )
+
+let prop_binop_bits =
+  let f a b = Float.max a b +. (0.5 *. Float.min a b) in
+  prop_fast_matches_reference "binop"
+    (fun ?n ?arena px py -> Combine.binop ?n ?arena f px py)
+    f
+
+let test_arena_shared_across_kernels () =
+  (* One arena serving different kernels and grid sizes in sequence —
+     the size-classed free lists must hand each call a clean buffer. *)
+  let arena = Arena.create () in
+  let x = gauss ~n:50 1.0 0.4 and y = gauss ~n:35 2.0 0.7 in
+  let check name reference got = check_true name (pdf_bits_equal reference got) in
+  check "sum after product"
+    (Combine.sum x y)
+    (let _ = Combine.product ~arena x y in
+     Combine.sum ~arena x y);
+  check "n override after defaults"
+    (Combine.sum ~n:64 x y)
+    (Combine.sum ~n:64 ~arena x y)
+
 let suite =
   ( "combine",
     [ case "accumulator deposits keep the mean" test_accumulator_basic;
@@ -132,4 +191,8 @@ let suite =
       case "mixture weights" test_mixture_weights;
       prop_sum_mean_additive;
       prop_sum_variance_additive;
-      prop_total_mass_conserved ] )
+      prop_total_mass_conserved;
+      prop_sum_bits;
+      prop_product_bits;
+      prop_binop_bits;
+      case "one arena serves mixed kernels" test_arena_shared_across_kernels ] )

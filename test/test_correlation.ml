@@ -213,6 +213,47 @@ let test_intra_variance_positive_and_split_sensitivity () =
   check_true "pure intra has more intra variance"
     (Path_coeffs.intra_variance pc pure_intra > v_equal)
 
+let test_of_path_fast_options_bit_identical () =
+  (* [~grads] and [~ws] are pure accelerations: every field of the
+     result — including the coefficient hashtable's contents and
+     first-touch insertion order, which downstream float sums iterate —
+     must match the plain path exactly. *)
+  let g, pl, layers, path = context () in
+  let reference = Path_coeffs.of_path g pl layers path in
+  let grads =
+    Array.init (Graph.num_nodes g) (fun id ->
+        match g.Graph.electrical.(id) with
+        | Some e -> Ssta_tech.Derivatives.gradient e Ssta_tech.Params.nominal
+        | None -> Ssta_tech.Params.zero)
+  in
+  let ws = Path_coeffs.workspace_create () in
+  let dump (t : Path_coeffs.t) =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.Path_coeffs.coeffs []
+  in
+  let same what (fast : Path_coeffs.t) =
+    check_true (what ^ ": alpha_sum")
+      (fast.Path_coeffs.alpha_sum = reference.Path_coeffs.alpha_sum);
+    check_true (what ^ ": beta_sum")
+      (fast.Path_coeffs.beta_sum = reference.Path_coeffs.beta_sum);
+    check_int (what ^ ": gate_count") reference.Path_coeffs.gate_count
+      fast.Path_coeffs.gate_count;
+    check_true (what ^ ": nominal_delay")
+      (fast.Path_coeffs.nominal_delay = reference.Path_coeffs.nominal_delay);
+    List.iter
+      (fun rv ->
+        check_true (what ^ ": grad_sum")
+          (Ssta_tech.Params.get fast.Path_coeffs.grad_sum rv
+          = Ssta_tech.Params.get reference.Path_coeffs.grad_sum rv))
+      Ssta_tech.Params.all_rvs;
+    check_true (what ^ ": coeff table incl. iteration order")
+      (dump fast = dump reference)
+  in
+  same "grads" (Path_coeffs.of_path ~grads g pl layers path);
+  same "ws" (Path_coeffs.of_path ~ws g pl layers path);
+  same "grads+ws" (Path_coeffs.of_path ~grads ~ws g pl layers path);
+  (* second call reuses the workspace's epoch-stamped scratch *)
+  same "ws reuse" (Path_coeffs.of_path ~grads ~ws g pl layers path)
+
 let test_correlation_increases_variance () =
   (* Two gates in the same partition add coefficients before squaring:
      a path through co-located gates must have a larger intra variance
@@ -264,5 +305,7 @@ let suite =
         test_coeffs_level1_sum_equals_gradient_sum;
       case "intra variance responds to the split"
         test_intra_variance_positive_and_split_sensitivity;
+      case "of_path grads/workspace options are bit-identical"
+        test_of_path_fast_options_bit_identical;
       case "spatial correlation increases path variance"
         test_correlation_increases_variance ] )

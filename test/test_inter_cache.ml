@@ -106,6 +106,45 @@ let test_cache_rejects_foreign_tables () =
         (Inter.pdf_dual ~cache t ~alpha_low:1.0 ~alpha_high:0.0 ~beta_low:1.0
            ~beta_high:0.0))
 
+(* ---------------- Arena-backed kernel bit-identity ---------------- *)
+
+let qcheck_arena_kernel_bit_identical =
+  qcheck ~count:40 "inter kernel with arena == without, bitwise" coeff_gen
+    (fun (al, ah, bl, bh) ->
+      let t = Lazy.force tables in
+      let arena = Ssta_prob.Arena.create () in
+      let call ?arena () =
+        Inter.pdf_dual ?arena t ~alpha_low:al ~alpha_high:ah ~beta_low:bl
+          ~beta_high:bh
+      in
+      let plain = call () in
+      let first = call ~arena () in
+      (* second call recycles the released grid/column buffers *)
+      let reused = call ~arena () in
+      pdf_bits_equal plain first && pdf_bits_equal plain reused)
+
+let test_arena_cached_bit_identical () =
+  (* The arena must be invisible through the scale-covariant cache too:
+     both the miss (kernel build) and the hit (O(Q) rescale) paths. *)
+  let t = Lazy.force tables in
+  let arena = Ssta_prob.Arena.create () in
+  let run ?arena () =
+    let cache = Inter.cache_create t in
+    let miss =
+      Inter.pdf_dual ~cache ?arena t ~alpha_low:3.0 ~alpha_high:1.0
+        ~beta_low:2.0 ~beta_high:0.5
+    in
+    let hit =
+      Inter.pdf_dual ~cache ?arena t ~alpha_low:6.0 ~alpha_high:2.0
+        ~beta_low:4.0 ~beta_high:1.0
+    in
+    (miss, hit)
+  in
+  let miss_p, hit_p = run () in
+  let miss_a, hit_a = run ~arena () in
+  check_true "cache miss bit-identical" (pdf_bits_equal miss_p miss_a);
+  check_true "cache hit bit-identical" (pdf_bits_equal hit_p hit_a)
+
 (* ---------------- Whole-flow A/B and parallel determinism ---------------- *)
 
 let quick_config = { fast_config with Config.max_paths = 100 }
@@ -271,6 +310,8 @@ let suite =
       case "cache hit is an exact rescale" test_hit_is_exact_rescale_of_same_direction;
       case "counters distinguish directions" test_counters_distinguish_directions;
       case "cache rejects foreign tables" test_cache_rejects_foreign_tables;
+      qcheck_arena_kernel_bit_identical;
+      case "arena invisible through the cache" test_arena_cached_bit_identical;
       case "cache on/off reports equal modulo flag" test_cache_on_off_reports_equal;
       case "cache on/off stats within 1e-9" test_cache_on_off_stats_within_tol;
       slow_case "cached run byte-identical at jobs 1 and 4"

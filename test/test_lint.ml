@@ -247,6 +247,19 @@ let test_config_quality_and_confidence () =
   assert_fires ~severity:D.Warning "config-confidence" ds;
   check_int "warnings only" 0 (Lint.exit_code ds)
 
+let test_config_jobs_oversubscription () =
+  (* Direct rule check with a pinned host core count. *)
+  let ds = Rules_config.check ~jobs:4 ~host_cores:1 Config.default in
+  assert_fires ~severity:D.Warning "config-jobs" ds;
+  let at jobs = Rules_config.check ~jobs ~host_cores:4 Config.default in
+  check_true "jobs within cores is clean" (not (fires "config-jobs" (at 4)));
+  check_true "jobs 1 never warns" (not (fires "config-jobs" (at 1)));
+  (* Engine plumbing: the input record carries the planned worker count
+     and cross-checks it against the actual host. *)
+  let ds = Lint.run (Lint.input ~deep:false ~jobs:1_000 (tiny ())) in
+  assert_fires ~severity:D.Warning "config-jobs" ds;
+  check_int "warning only" 0 (Lint.exit_code ds)
+
 let test_budget_shares () =
   let ds =
     Lint.run
@@ -334,6 +347,7 @@ let suite =
       case "DEF cross-checks" test_def_cross_checks;
       case "invalid config rejected, deep skipped" test_config_invalid_blocks_deep;
       case "quality and confidence warnings" test_config_quality_and_confidence;
+      case "oversubscribed worker count warns" test_config_jobs_oversubscription;
       case "bad budget shares rejected" test_budget_shares;
       case "NaN pdf density rejected" test_pdf_nan_density;
       case "healthy pdf is clean" test_pdf_healthy;

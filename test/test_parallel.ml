@@ -115,6 +115,148 @@ let test_jobs_one_is_inline () =
   check_int "exact sequential prefix" 10 (Array.length prefix);
   ignore (Pool.shutdown pool)
 
+(* ---------------- Cost-aware scheduling ---------------- *)
+
+let test_map_prefix_weighted_matches_map () =
+  (* Weights influence scheduling only: any weight vector — uniform, one
+     spike six orders of magnitude up, monotone, or all non-positive —
+     must reproduce Array.map exactly. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 300 in
+      let a = Array.init n (fun i -> i) in
+      let expected = Array.map (fun x -> (x * 7) + 1) a in
+      List.iter
+        (fun weights ->
+          let got, stopped =
+            Pool.map_prefix_weighted pool ~weights
+              ~should_stop:(fun () -> false)
+              (fun x -> (x * 7) + 1)
+              a
+          in
+          check_true "not stopped" (not stopped);
+          check_true "weights cannot change results" (got = expected))
+        [ Array.make n 1;
+          Array.init n (fun i -> if i = n / 2 then 1_000_000 else 1);
+          Array.init n (fun i -> i);
+          Array.make n 0 ])
+
+let test_map_prefix_weighted_rejects_mismatch () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      check_raises_invalid "weights length mismatch" (fun () ->
+          ignore
+            (Pool.map_prefix_weighted pool ~weights:(Array.make 5 1)
+               ~should_stop:(fun () -> false)
+               succ
+               (Array.init 6 (fun i -> i)))))
+
+let test_map_prefix_weighted_jobs1_exact_prefix () =
+  (* jobs = 1 keeps the historical sequential deadline semantics: the
+     predicate is polled per item, so the prefix is exactly the items
+     processed before it fired — piece boundaries are invisible. *)
+  let pool = Pool.create ~jobs:1 () in
+  let seen = ref 0 in
+  let a = Array.init 100 (fun i -> i) in
+  let prefix, stopped =
+    Pool.map_prefix_weighted pool ~weights:(Array.make 100 5)
+      ~should_stop:(fun () -> !seen >= 10)
+      (fun x ->
+        incr seen;
+        x * 2)
+      a
+  in
+  check_true "stopped" stopped;
+  check_int "exact sequential prefix" 10 (Array.length prefix);
+  Array.iteri (fun i v -> check_int "prefix slot" (i * 2) v) prefix;
+  Pool.shutdown pool
+
+let test_map_prefix_weighted_stop_contiguous () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 400 in
+      let consumed = Atomic.make 0 in
+      let a = Array.init n (fun i -> i) in
+      let weights = Array.init n (fun i -> 1 + (i mod 9)) in
+      let prefix, stopped =
+        Pool.map_prefix_weighted pool ~pieces:64 ~weights
+          ~should_stop:(fun () -> Atomic.get consumed >= 25)
+          (fun x ->
+            Atomic.incr consumed;
+            x * 3)
+          a
+      in
+      check_true "stopped" stopped;
+      check_true "proper prefix" (Array.length prefix < n);
+      Array.iteri
+        (fun i v ->
+          if v <> i * 3 then
+            Alcotest.failf "slot %d holds %d, not a contiguous prefix" i v)
+        prefix)
+
+(* ---------------- Batched claiming ---------------- *)
+
+let test_run_batched_counts_every_chunk_once () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun batch ->
+          let hits = Array.make 100 0 in
+          Pool.run pool ~batch ~chunks:100 (fun i -> hits.(i) <- hits.(i) + 1);
+          Array.iteri
+            (fun i n ->
+              if n <> 1 then
+                Alcotest.failf "batch %d: chunk %d ran %d times" batch i n)
+            hits)
+        [ 1; 2; 7; 101; 1000 ];
+      check_raises_invalid "batch 0" (fun () ->
+          Pool.run pool ~batch:0 ~chunks:4 ignore))
+
+let test_map_array_batched_matches () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let a = Array.init 500 (fun i -> i) in
+      let expected = Array.map (fun x -> x * x) a in
+      List.iter
+        (fun batch ->
+          check_true "batched map matches"
+            (Pool.map_array pool ~chunk:1 ~batch (fun x -> x * x) a = expected))
+        [ 1; 3; 64 ])
+
+(* ---------------- Idle parking ---------------- *)
+
+let await ?(deadline_s = 5.0) msg cond =
+  let t0 = Unix.gettimeofday () in
+  while (not (cond ())) && Unix.gettimeofday () -. t0 < deadline_s do
+    Unix.sleepf 0.001
+  done;
+  check_true msg (cond ())
+
+let test_idle_counters_jobs1 () =
+  let pool = Pool.create ~jobs:1 () in
+  check_int "no workers to park" 0 (Pool.idle_workers pool);
+  check_int "no park sessions" 0 (Pool.park_count pool);
+  Pool.shutdown pool
+
+let test_workers_park_between_regions () =
+  (* A worker parks on the condition variable right after creation and
+     again after each work region — an idle pool burns no CPU. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      await "worker parks after creation" (fun () ->
+          Pool.idle_workers pool = 1 && Pool.park_count pool >= 1);
+      (* A trivial region can finish on the caller alone while the worker
+         sleeps through it — which by design keeps the worker's park
+         session open.  Spin in each chunk until the worker has either
+         woken (idle 0) or already started a new park session, so the
+         region provably ends the first session. *)
+      let p0 = Pool.park_count pool in
+      Pool.run pool ~chunks:4 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          while
+            Pool.idle_workers pool = 1
+            && Pool.park_count pool = p0
+            && Unix.gettimeofday () -. t0 < 5.0
+          do
+            Unix.sleepf 0.0005
+          done);
+      await "worker re-parks after the region" (fun () ->
+          Pool.idle_workers pool = 1 && Pool.park_count pool >= 2))
+
 (* ---------------- End-to-end determinism ---------------- *)
 
 let quick_config = { fast_config with Config.max_paths = 100 }
@@ -223,6 +365,19 @@ let suite =
         test_map_prefix_stop_returns_contiguous_prefix;
       case "jobs 1 runs inline with sequential semantics"
         test_jobs_one_is_inline;
+      case "weighted map matches Array.map for any weights"
+        test_map_prefix_weighted_matches_map;
+      case "weighted map rejects length mismatch"
+        test_map_prefix_weighted_rejects_mismatch;
+      case "weighted map at jobs 1 keeps exact prefix semantics"
+        test_map_prefix_weighted_jobs1_exact_prefix;
+      case "weighted map stop returns contiguous prefix"
+        test_map_prefix_weighted_stop_contiguous;
+      case "batched run executes every chunk once"
+        test_run_batched_counts_every_chunk_once;
+      case "batched map_array matches" test_map_array_batched_matches;
+      case "jobs 1 pool has no parked workers" test_idle_counters_jobs1;
+      case "workers park between regions" test_workers_park_between_regions;
       slow_case "ISCAS85 reports byte-identical at jobs 1 and 4"
         test_iscas85_reports_byte_identical_across_jobs;
       qcheck_random_circuit_reports_byte_identical;

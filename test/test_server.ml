@@ -237,6 +237,57 @@ let test_server_basic_requests () =
       check_true "errors counted" (c "requests-error" = Some 2)
   | Error _ -> Alcotest.fail "health response unparsable"
 
+let test_server_health_reports_pool_parking () =
+  (* An idle server's worker domains sit parked on the pool's condition
+     variable; the health answer exposes the park ledger. *)
+  let spec =
+    match Iscas85.by_name "c432" with Some s -> s | None -> assert false
+  in
+  let circuit, placement = Iscas85.build_placed spec in
+  let config =
+    { (Config.with_quality Config.default ~intra:16 ~inter:8) with
+      Config.max_paths = 8 }
+  in
+  let pool_member h name =
+    match Json.parse h with
+    | Error _ -> Alcotest.fail "health response unparsable"
+    | Ok v ->
+        let pool = Json.member "pool" v |> Option.get in
+        Json.member name pool |> Option.get |> Json.to_int |> Option.get
+  in
+  Ssta_parallel.Pool.with_pool ~jobs:2 (fun pool ->
+      let t =
+        Server.create ~config ~pool
+          ~reload:(fun () -> Ok (Iscas85.build_placed spec))
+          circuit placement
+      in
+      ignore (ask t {|{"op":"run","id":"r","max_paths":4,"full":false}|});
+      (* The worker parks on creation and re-parks whenever a work
+         region actually woke it (a tiny region can finish on the caller
+         alone, which by design leaves the original session open) — so
+         between requests the worker is always parked. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let parked () =
+        let h = ask t {|{"op":"health","id":"h"}|} in
+        pool_member h "idle_workers" = 1 && pool_member h "park_count" >= 1
+      in
+      while (not (parked ())) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.001
+      done;
+      let h = ask t {|{"op":"health","id":"h"}|} in
+      check_int "jobs" 2 (pool_member h "jobs");
+      check_int "idle server has its worker parked" 1
+        (pool_member h "idle_workers");
+      check_true "park ledger visible" (pool_member h "park_count" >= 1));
+  (* without a pool the field stays null *)
+  let t, _ = make_server () in
+  let h = ask t {|{"op":"health","id":"h"}|} in
+  match Json.parse h with
+  | Error _ -> Alcotest.fail "health response unparsable"
+  | Ok v ->
+      check_true "pool null without a pool"
+        (Json.member "pool" v = Some Json.Null)
+
 let test_server_deadline_degrades_then_recovers () =
   let t, _ = make_server () in
   let slow =
@@ -463,6 +514,8 @@ let suite =
       case "bounded request queue" test_supervisor;
       slow_case "server answers the basic request set"
         test_server_basic_requests;
+      slow_case "health exposes pool parking"
+        test_server_health_reports_pool_parking;
       slow_case "deadline breach degrades, server survives"
         test_server_deadline_degrades_then_recovers;
       slow_case "serve loop drains and shuts down" test_serve_loop;
